@@ -1,0 +1,158 @@
+"""Experiments ABL1 / ABL2 -- design-choice ablations named in DESIGN.md.
+
+ABL1 (Section 3.2): the overlap vs no-overlap communication models.  The
+paper proves every result for both; the ablation quantifies how much the
+serialized model actually costs across instance families (the gap vanishes
+when communications are negligible and approaches 3x when the three
+activity times are balanced).
+
+ABL2 (Section 3.4): the objective weights ``W_a``.  The same instance is
+solved with plain max (W=1), a priority ratio, and max-stretch weights
+(``W_a = 1/T*_a``); the ablation shows how the Algorithm 2 processor
+allocation shifts.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    Platform,
+    ProblemInstance,
+)
+from repro.algorithms import minimize_period_interval
+from repro.algorithms.exact import exact_minimize
+from repro.analysis import render_table
+from repro.core.objectives import stretch_weights, with_weights
+from repro.generators import random_applications, rng_from
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+def test_abl1_overlap_vs_no_overlap(benchmark, report):
+    """Optimal-period gap between the two models across three families."""
+    families = {
+        "compute-bound (data ~ 0)": dict(data_range=(0.0, 0.2)),
+        "balanced": dict(data_range=(2.0, 6.0)),
+        "comm-bound (data >> work)": dict(
+            data_range=(10.0, 20.0), work_range=(0.5, 2.0)
+        ),
+    }
+
+    def sweep():
+        out = []
+        for name, kwargs in families.items():
+            ratios = []
+            for seed in range(4):
+                rng = rng_from(seed)
+                apps = random_applications(
+                    rng, 2, stage_range=(2, 3), **kwargs
+                )
+                platform = Platform.fully_homogeneous(
+                    5, speeds=[2.0], bandwidth=1.5
+                )
+                t_o = minimize_period_interval(
+                    ProblemInstance(apps=apps, platform=platform, model=OVERLAP)
+                ).objective
+                t_n = minimize_period_interval(
+                    ProblemInstance(
+                        apps=apps, platform=platform, model=NO_OVERLAP
+                    )
+                ).objective
+                ratios.append(t_n / t_o)
+            out.append((name, min(ratios), sum(ratios) / len(ratios), max(ratios)))
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ABL1: no-overlap / overlap optimal-period ratio by workload family "
+        "(1 <= ratio <= 3 by construction of Eqs. (3)-(4))",
+        render_table(["family", "min", "mean", "max"], table),
+    )
+    for name, lo, mean, hi in table:
+        assert lo >= 1.0 - 1e-9
+        assert hi <= 3.0 + 1e-9
+    # Compute-bound workloads are model-insensitive; comm-bound are not.
+    by_name = {row[0]: row[2] for row in table}
+    assert (
+        by_name["compute-bound (data ~ 0)"]
+        <= by_name["comm-bound (data >> work)"] + 1e-9
+    )
+
+
+def test_abl2_objective_weights(benchmark, report):
+    """Weight schemes reallocate processors (Equation (6))."""
+    # One heavy and one light application on a tight platform.
+    heavy = Application.from_lists(
+        [8, 8, 8, 8], [1, 1, 1, 1], input_data_size=1, name="heavy"
+    )
+    light = Application.from_lists([2, 2], [1, 1], name="light")
+    platform = Platform.fully_homogeneous(6, speeds=[2.0], bandwidth=2.0)
+
+    def solve_with(weights, label):
+        apps = with_weights((heavy, light), weights)
+        problem = ProblemInstance(apps=apps, platform=platform)
+        s = minimize_period_interval(problem)
+        counts = {
+            a: len(s.mapping.for_app(a)) for a in s.mapping.applications
+        }
+        return (
+            label,
+            f"{weights[0]:.3g}/{weights[1]:.3g}",
+            counts[0],
+            counts[1],
+            s.values.periods[0],
+            s.values.periods[1],
+        )
+
+    def sweep():
+        rows = [solve_with((1.0, 1.0), "plain max")]
+        rows.append(solve_with((1.0, 8.0), "priority on light"))
+        # Max-stretch: weights from solo optima.
+        solo = []
+        for app in (heavy, light):
+            p = ProblemInstance(apps=(app,), platform=platform)
+            solo.append(minimize_period_interval(p).objective)
+        rows.append(solve_with(stretch_weights(solo), "max-stretch"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ABL2: processor allocation under the three weight schemes of "
+        "Section 3.4 (plain max / priority / max-stretch)",
+        render_table(
+            ["scheme", "W_heavy/W_light", "procs heavy", "procs light",
+             "T_heavy", "T_light"],
+            rows,
+        ),
+    )
+    plain, priority = rows[0], rows[1]
+    # Plain max funnels processors to the heavy app; prioritizing the light
+    # app must strictly shift allocation towards it.
+    assert plain[2] > plain[3]
+    assert priority[3] >= plain[3]
+
+
+def test_abl2_weighted_optimum_consistency(benchmark, report):
+    """Algorithm 2 with weights still matches the exact solver (spot check
+    of Equation (6)'s plumbing end to end)."""
+    rng = rng_from(17)
+    apps = random_applications(
+        rng, 2, stage_range=(2, 3), weights=[1.0, 3.0]
+    )
+    platform = Platform.fully_homogeneous(5, speeds=[2.0])
+    problem = ProblemInstance(apps=apps, platform=platform)
+
+    fast = benchmark(lambda: minimize_period_interval(problem))
+    exact = exact_minimize(problem, Criterion.PERIOD)
+    report(
+        "ABL2: weighted optimum, Algorithm 2 vs exact",
+        render_table(
+            ["algorithm 2", "exact"], [(fast.objective, exact.objective)]
+        ),
+    )
+    assert fast.objective == pytest.approx(exact.objective)

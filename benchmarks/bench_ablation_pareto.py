@@ -1,0 +1,116 @@
+"""Experiment ABL3 -- the period/energy trade-off (Section 2's discussion
+made quantitative).
+
+The paper's worked example is three points of one trade-off curve; this
+bench regenerates the *entire exact Pareto front* of the Figure 1 instance
+(the three paper points must lie on it) and a heuristic front for a larger
+instance beyond exact reach.
+"""
+
+import math
+
+import pytest
+
+from repro import EnergyModel, Platform, ProblemInstance, Thresholds
+from repro.algorithms import minimize_period_interval
+from repro.algorithms.heuristics import greedy_mode_downgrade
+from repro.analysis import (
+    pareto_filter,
+    period_energy_front_exact,
+    period_energy_front_heuristic,
+    render_table,
+)
+from repro.generators import dvfs_speed_ladder, random_applications, rng_from
+from repro.paper import FIGURE1_EXPECTED, figure1_problem
+
+
+def test_abl3_figure1_exact_front(benchmark, report):
+    """The exact period/energy Pareto front of the Figure 1 instance."""
+    problem = figure1_problem()
+
+    front = benchmark.pedantic(
+        lambda: period_energy_front_exact(problem), rounds=1, iterations=1
+    )
+    report(
+        "ABL3: exact period/energy Pareto front of the Figure 1 instance "
+        "(paper's points: T=1/E=136, T=2/E=46, E_min=10)",
+        render_table(["period", "energy"], front),
+    )
+    as_dict = dict(front)
+    assert as_dict.get(1.0) == pytest.approx(136.0)
+    assert as_dict.get(2.0) == pytest.approx(46.0)
+    assert min(e for _, e in front) == pytest.approx(10.0)
+    # A front is strictly decreasing in energy as period grows.
+    energies = [e for _, e in front]
+    assert all(a > b for a, b in zip(energies, energies[1:]))
+
+
+def test_abl3_heuristic_front_large_instance(benchmark, report):
+    """A heuristic front on an instance far beyond exhaustive reach
+    (3 applications, 18 stages, 8 processors, 4 modes)."""
+    rng = rng_from(23)
+    apps = random_applications(rng, 3, stage_range=(5, 7))
+    platform = Platform.fully_homogeneous(
+        8, speeds=dvfs_speed_ladder(1.0, 4, top_ratio=3.0), bandwidth=4.0
+    )
+    problem = ProblemInstance(
+        apps=apps, platform=platform, energy_model=EnergyModel(alpha=2.0)
+    )
+    start = minimize_period_interval(problem)
+
+    front = benchmark.pedantic(
+        lambda: period_energy_front_heuristic(problem, start, n_points=10),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "ABL3: heuristic period/energy front, 18-stage instance "
+        "(greedy mode-downgrade sweep)",
+        render_table(["period", "energy"], front),
+    )
+    assert len(front) >= 3
+    energies = [e for _, e in front]
+    assert all(a > b for a, b in zip(energies, energies[1:]))
+    # Relaxing period by >3x must save a solid fraction of the energy with
+    # a 3x DVFS ladder (quadratic dynamic energy).
+    assert energies[-1] <= 0.6 * energies[0]
+
+
+def test_abl3_alpha_sensitivity(benchmark, report):
+    """Ablation over the energy exponent alpha (Section 3.5 allows any
+    alpha > 1): higher alpha makes slowing down more valuable."""
+    problem_base = figure1_problem()
+
+    def sweep():
+        rows = []
+        for alpha in (1.5, 2.0, 3.0):
+            problem = ProblemInstance(
+                apps=problem_base.apps,
+                platform=problem_base.platform,
+                rule=problem_base.rule,
+                model=problem_base.model,
+                energy_model=EnergyModel(alpha=alpha),
+            )
+            from repro.algorithms.exact import exact_minimize
+            from repro import Criterion
+
+            e_fast = exact_minimize(
+                problem, Criterion.ENERGY, Thresholds(period=1.0)
+            ).objective
+            e_slow = exact_minimize(
+                problem, Criterion.ENERGY, Thresholds(period=2.0)
+            ).objective
+            rows.append((alpha, e_fast, e_slow, e_fast / e_slow))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "ABL3: energy savings of relaxing the period 1 -> 2 as a function "
+        "of the exponent alpha",
+        render_table(
+            ["alpha", "E | T<=1", "E | T<=2", "savings factor"], rows
+        ),
+    )
+    factors = [r[3] for r in rows]
+    # Higher alpha -> relaxing the period saves a larger factor.
+    assert all(a <= b + 1e-9 for a, b in zip(factors, factors[1:]))

@@ -1,0 +1,172 @@
+"""Experiments EXT1 / EXT2 -- the paper's future work, implemented and
+measured (Section 6 and Section 3.3).
+
+EXT1 -- replication: "a stage could be mapped onto several processors, each
+in charge of different data sets, in order to improve the period" [4].
+Measured: the period speedup of the replication-aware DP over the plain
+interval DP as processors are added (replication keeps improving after the
+interval rule saturates at one processor per stage), and the round-robin
+simulator confirming the ``cycle / k`` law.
+
+EXT2 -- general mappings: the Section 3.3 justification for forbidding
+them.  Measured: the exact general-mapping optimum vs the interval-rule
+optimum (the "price of tractability") across random instances, plus the
+2-PARTITION gadget decisions.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Application, CommunicationModel, Platform
+from repro.algorithms.interval_period import single_app_period_table
+from repro.analysis import render_table
+from repro.extensions import (
+    GeneralMappingPeriodReduction,
+    ReplicatedAssignment,
+    ReplicatedMapping,
+    evaluate_replicated,
+    min_period_general_mapping,
+    replicated_period_table,
+    simulate_replicated,
+)
+from repro.extensions.general_mappings import best_interval_period_no_comm
+from repro.generators import random_application, rng_from
+
+OVERLAP = CommunicationModel.OVERLAP
+
+
+def test_ext1_replication_speedup(benchmark, report):
+    """Period vs processor count: interval rule saturates, replication
+    keeps scaling (compute-bound pipeline)."""
+    app = Application.from_lists([10, 2], [0.5, 0.5], input_data_size=0.5)
+
+    def sweep():
+        rows = []
+        plain = single_app_period_table(app, 8, 1.0, 1.0, OVERLAP)
+        repl = replicated_period_table(app, 8, 1.0, 1.0, OVERLAP)
+        for q in (1, 2, 4, 8):
+            rows.append((q, plain.period(q), repl.period(q)))
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        "EXT1: interval-rule vs replicated period as processors grow "
+        "(paper future work / [4]; the interval rule saturates at n=2 "
+        "processors, replication keeps improving)",
+        render_table(
+            ["processors", "interval period", "replicated period"], rows
+        ),
+    )
+    # Interval saturates at q=2 (two stages); replication keeps gaining.
+    assert rows[1][1] == rows[3][1]
+    assert rows[3][2] < rows[1][2]
+    for _, plain_t, repl_t in rows:
+        assert repl_t <= plain_t + 1e-12
+
+
+def test_ext1_round_robin_law(benchmark, report):
+    """Simulated steady state matches cycle/k for k = 1..4 replicas."""
+    app = Application.from_lists([12], [0.0])
+    platform = Platform.fully_homogeneous(4, [1.0])
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 3, 4):
+            mapping = ReplicatedMapping(
+                assignments=(
+                    ReplicatedAssignment(
+                        app=0,
+                        interval=(0, 0),
+                        procs=tuple(range(k)),
+                        speeds=(1.0,) * k,
+                    ),
+                )
+            )
+            analytic = evaluate_replicated(
+                [app], platform, mapping
+            ).periods[0]
+            completions = simulate_replicated(
+                [app], platform, mapping, 200
+            )[0]
+            # Completions arrive in bursts of k (round-robin), so the
+            # steady-state window must span whole rounds.
+            window = 120  # divisible by every k in 1..4
+            measured = (completions[-1] - completions[-1 - window]) / window
+            rows.append((k, 12.0 / k, analytic, measured))
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        "EXT1: the cycle/k round-robin law, analytic vs simulated",
+        render_table(
+            ["replicas k", "cycle/k", "analytic period", "simulated period"],
+            rows,
+        ),
+    )
+    for k, law, analytic, measured in rows:
+        assert analytic == pytest.approx(law)
+        assert measured == pytest.approx(law)
+
+
+def test_ext2_general_mapping_gap(benchmark, report):
+    """The interval rule's optimality gap vs general mappings on random
+    no-communication instances (2 processors)."""
+    rng = np.random.default_rng(3)
+    instances = [
+        [float(rng.integers(1, 9)) for _ in range(int(rng.integers(4, 8)))]
+        for _ in range(12)
+    ]
+
+    def sweep():
+        gaps = []
+        for works in instances:
+            general, _ = min_period_general_mapping(works, 2)
+            interval = best_interval_period_no_comm(works, 2)
+            gaps.append(interval / general)
+        return gaps
+
+    gaps = benchmark(sweep)
+    rows = [
+        ("min", min(gaps)),
+        ("mean", sum(gaps) / len(gaps)),
+        ("max", max(gaps)),
+        ("instances with a strict gap", sum(1 for g in gaps if g > 1 + 1e-12)),
+    ]
+    report(
+        "EXT2: interval-rule period / general-mapping period on random "
+        "chains (the price of the restriction that keeps Table 1 polynomial)",
+        render_table(["statistic", "value"], rows),
+    )
+    assert all(g >= 1.0 - 1e-12 for g in gaps)
+    assert max(gaps) < 2.0  # chain cuts are never catastrophically bad here
+
+
+def test_ext2_two_partition_gadget(benchmark, report):
+    """Section 3.3's 'straightforward reduction from 2-partition'."""
+    cases = [
+        ([3, 1, 1, 2, 2, 1], True),
+        ([1, 2, 3], True),
+        ([2, 2, 1], False),
+        ([8, 1, 1, 1], False),
+    ]
+
+    def decide_all():
+        return [
+            GeneralMappingPeriodReduction.build(values).decide()
+            for values, _ in cases
+        ]
+
+    decisions = benchmark(decide_all)
+    rows = [
+        (str(values), "yes" if expected else "no", "yes" if got else "no")
+        for (values, expected), got in zip(cases, decisions)
+    ]
+    report(
+        "EXT2: general-mapping period decision == 2-PARTITION "
+        "(Section 3.3's hardness argument, executable)",
+        render_table(["values", "2-partition", "gadget"], rows),
+    )
+    for (values, expected), got in zip(cases, decisions):
+        assert got == expected

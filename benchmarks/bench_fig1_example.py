@@ -1,0 +1,147 @@
+"""Experiment FIG1 -- the Section 2 motivating example (Figure 1).
+
+Regenerates, number for number, everything the paper reports about the
+example: the optimal period 1 (Equation (1)) with the per-processor
+cycle-times all equal to 1, the optimal latency 2.75 (Equation (2)), the
+minimal energy 10 (at the paper's mapping of period 14), the period-2
+compromise at energy 46, and the 136 energy of the period-optimal mapping.
+Every number is *discovered* by the exact solver, not just evaluated.
+
+Also records the one deviation found: at the energy-10 budget the paper's
+stated mapping (period 14) is not period-optimal -- swapping the two
+applications achieves period 6 at the same energy (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import Criterion, Thresholds, evaluate
+from repro.algorithms.exact import exact_minimize
+from repro.analysis import render_table
+from repro.core.evaluation import interval_costs
+from repro.core.types import CommunicationModel
+from repro.paper import (
+    FIGURE1_EXPECTED,
+    figure1_applications,
+    figure1_platform,
+    figure1_problem,
+    mapping_compromise_energy_46,
+    mapping_min_energy,
+    mapping_optimal_latency,
+    mapping_optimal_period,
+)
+
+
+def test_fig1_worked_mappings(benchmark, report):
+    """Evaluate the four worked mappings (benchmarks the evaluator)."""
+    apps = figure1_applications()
+    platform = figure1_platform()
+    mappings = {
+        "optimal period (Eq. 1)": mapping_optimal_period(),
+        "optimal latency (Eq. 2)": mapping_optimal_latency(),
+        "minimal energy": mapping_min_energy(),
+        "compromise (T <= 2)": mapping_compromise_energy_46(),
+    }
+
+    def evaluate_all():
+        return {
+            name: evaluate(apps, platform, m) for name, m in mappings.items()
+        }
+
+    values = benchmark(evaluate_all)
+    rows = [
+        (name, v.period, v.latency, v.energy) for name, v in values.items()
+    ]
+    report(
+        "FIG1: Section 2 worked mappings (paper: T=1/E=136, L=2.75, "
+        "E=10/T=14, T=2/E=46)",
+        render_table(["mapping", "period", "latency", "energy"], rows),
+    )
+    assert values["optimal period (Eq. 1)"].period == pytest.approx(1.0)
+    assert values["optimal period (Eq. 1)"].energy == pytest.approx(136.0)
+    assert values["optimal latency (Eq. 2)"].latency == pytest.approx(2.75)
+    assert values["minimal energy"].energy == pytest.approx(10.0)
+    assert values["minimal energy"].period == pytest.approx(14.0)
+    assert values["compromise (T <= 2)"].period == pytest.approx(2.0)
+    assert values["compromise (T <= 2)"].energy == pytest.approx(46.0)
+
+
+def test_fig1_optima_discovered(benchmark, report):
+    """The exact solver rediscovers every reported optimum."""
+    problem = figure1_problem()
+
+    def solve_all():
+        return {
+            "min period": exact_minimize(problem, Criterion.PERIOD).objective,
+            "min latency": exact_minimize(
+                problem, Criterion.LATENCY
+            ).objective,
+            "min energy": exact_minimize(problem, Criterion.ENERGY).objective,
+            "min energy | T<=2": exact_minimize(
+                problem, Criterion.ENERGY, Thresholds(period=2.0)
+            ).objective,
+            "min energy | T<=1": exact_minimize(
+                problem, Criterion.ENERGY, Thresholds(period=1.0)
+            ).objective,
+            "min period | E<=10": exact_minimize(
+                problem,
+                Criterion.PERIOD,
+                Thresholds(energy=10.0),
+                fix_max_speed=False,
+            ).objective,
+        }
+
+    found = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    rows = [
+        ("min period", 1.0, found["min period"]),
+        ("min latency", 2.75, found["min latency"]),
+        ("min energy", 10.0, found["min energy"]),
+        ("min energy | period<=2", 46.0, found["min energy | T<=2"]),
+        ("min energy | period<=1", 136.0, found["min energy | T<=1"]),
+        (
+            "min period | energy<=10",
+            "14 (paper's mapping; not optimal)",
+            found["min period | E<=10"],
+        ),
+    ]
+    report(
+        "FIG1: optima rediscovered by the exact solver",
+        render_table(["problem", "paper", "measured"], rows),
+    )
+    assert found["min period"] == pytest.approx(1.0)
+    assert found["min latency"] == pytest.approx(2.75)
+    assert found["min energy"] == pytest.approx(10.0)
+    assert found["min energy | T<=2"] == pytest.approx(46.0)
+    assert found["min energy | T<=1"] == pytest.approx(136.0)
+    # The documented deviation: 6 < the paper's 14.
+    assert found["min period | E<=10"] == pytest.approx(6.0)
+
+
+def test_fig1_equation1_cycle_times(benchmark, report):
+    """Equation (1)'s inner terms: every processor's cycle-time is 1."""
+    apps = figure1_applications()
+    platform = figure1_platform()
+    mapping = mapping_optimal_period()
+
+    costs = benchmark(lambda: interval_costs(apps, platform, mapping))
+    rows = [
+        (
+            apps[c.app].name,
+            f"[{c.interval[0] + 1}, {c.interval[1] + 1}]",
+            platform.processor(c.proc).name,
+            c.t_in,
+            c.t_comp,
+            c.t_out,
+            c.cycle_time(CommunicationModel.OVERLAP),
+        )
+        for c in costs
+    ]
+    report(
+        "FIG1: Equation (1) cycle-time decomposition (all cycles = 1, "
+        "'no idle time on computation')",
+        render_table(
+            ["app", "stages", "proc", "t_in", "t_comp", "t_out", "cycle"],
+            rows,
+        ),
+    )
+    for c in costs:
+        assert c.cycle_time(CommunicationModel.OVERLAP) == pytest.approx(1.0)

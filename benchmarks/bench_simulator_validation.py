@@ -1,0 +1,166 @@
+"""Experiment SIM -- Equations (3), (4), (5) vs the discrete-event
+simulator.
+
+The paper's criteria are purely analytic; this bench closes the loop by
+streaming data sets through randomly generated mapped instances under both
+communication models and comparing the measured steady-state period and
+first-data-set latency with the formulas.  Agreement must be exact (the
+simulator is deterministic); the bench reports the largest relative error
+observed across the sweep, plus simulator throughput.
+"""
+
+import math
+
+import pytest
+
+from repro import CommunicationModel, Criterion
+from repro.algorithms.exact import exact_minimize
+from repro.analysis import render_table
+from repro.core.evaluation import application_latency, application_period
+from repro.generators import small_random_problem
+from repro.simulation import resource_utilization, simulate
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+
+def test_sim_agreement_sweep(benchmark, report):
+    """Max relative deviation simulator-vs-formula over a 20-instance sweep
+    (both models)."""
+    cases = []
+    for seed in range(10):
+        for model in BOTH_MODELS:
+            problem = small_random_problem(
+                seed, model=model, stage_range=(1, 4)
+            )
+            mapping = exact_minimize(problem, Criterion.PERIOD).mapping
+            cases.append((problem, mapping, model))
+
+    def sweep():
+        worst_t, worst_l = 0.0, 0.0
+        for problem, mapping, model in cases:
+            result = simulate(
+                problem.apps, problem.platform, mapping, 150, model=model
+            )
+            for a in mapping.applications:
+                t_ana = application_period(
+                    problem.apps, problem.platform, mapping, a, model
+                )
+                l_ana = application_latency(
+                    problem.apps, problem.platform, mapping, a
+                )
+                if t_ana > 0:
+                    worst_t = max(
+                        worst_t,
+                        abs(result.measured_period(a) - t_ana) / t_ana,
+                    )
+                if l_ana > 0:
+                    worst_l = max(
+                        worst_l,
+                        abs(result.measured_latency(a) - l_ana) / l_ana,
+                    )
+        return worst_t, worst_l
+
+    worst_t, worst_l = benchmark(sweep)
+    report(
+        "SIM: simulator vs Equations (3)/(4)/(5) over 20 random mapped "
+        "instances x both models",
+        render_table(
+            ["metric", "max relative error"],
+            [("period (Eq. 3/4)", worst_t), ("latency (Eq. 5)", worst_l)],
+        ),
+    )
+    assert worst_t < 1e-9
+    assert worst_l < 1e-9
+
+
+def test_sim_throughput(benchmark, report):
+    """Raw simulator speed on the Figure 1 instance (activities/second)."""
+    from repro.paper import (
+        figure1_applications,
+        figure1_platform,
+        mapping_optimal_period,
+    )
+
+    apps = figure1_applications()
+    platform = figure1_platform()
+    mapping = mapping_optimal_period()
+    n = 2000
+
+    result = benchmark(lambda: simulate(apps, platform, mapping, n))
+    activities = n * (3 + 5)
+    report(
+        "SIM: simulator scale (Figure 1 instance)",
+        render_table(
+            ["data sets", "activities simulated"], [(n, activities)]
+        ),
+    )
+    assert result.n_datasets == n
+
+
+def test_sim_bottleneck_utilization(benchmark, report):
+    """The paper's 'no idle time' argument for the period-1 mapping:
+    every cycle-time-1 processor is fully utilized in steady state."""
+    from repro.paper import (
+        figure1_applications,
+        figure1_platform,
+        mapping_optimal_period,
+    )
+
+    apps = figure1_applications()
+    platform = figure1_platform()
+    mapping = mapping_optimal_period()
+
+    def run():
+        result = simulate(
+            apps, platform, mapping, 500, keep_trace=True
+        )
+        return resource_utilization(result.trace)
+
+    util = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = sorted(
+        (str(res), u) for res, u in util.items() if res[0] == "cpu"
+    )
+    report(
+        "SIM: processor utilization under the period-optimal mapping "
+        "(paper: 'no idle time on computation')",
+        render_table(["cpu", "utilization"], rows),
+    )
+    for _, u in rows:
+        assert u > 0.95
+
+
+def test_sim_jitter_robustness(benchmark, report):
+    """Beyond the paper: duration jitter degrades the measured period
+    smoothly (5-20% noise => bounded period inflation), something the
+    analytic model cannot express."""
+    from repro.paper import (
+        figure1_applications,
+        figure1_platform,
+        mapping_optimal_period,
+    )
+
+    apps = figure1_applications()
+    platform = figure1_platform()
+    mapping = mapping_optimal_period()
+    clean = simulate(apps, platform, mapping, 400)
+
+    def sweep():
+        out = []
+        for jitter in (0.05, 0.1, 0.2):
+            noisy = simulate(
+                apps, platform, mapping, 400, jitter=jitter, seed=11
+            )
+            worst = max(
+                noisy.measured_period(a) / clean.measured_period(a)
+                for a in mapping.applications
+            )
+            out.append((jitter, worst))
+        return out
+
+    curve = benchmark(sweep)
+    report(
+        "SIM: period inflation under activity-duration jitter",
+        render_table(["jitter", "worst period ratio"], curve),
+    )
+    for jitter, ratio in curve:
+        assert 0.9 <= ratio <= 1.0 + 3 * jitter

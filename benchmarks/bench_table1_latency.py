@@ -1,0 +1,204 @@
+"""Experiments T1.L11 / T1.L12 / T1.L21 / T1.L22 -- Table 1, latency rows.
+
+Paper claims:
+
+* latency / one-to-one: polynomial on proc-hom (Theorem 8, all mappings
+  equivalent), NP-complete from the ``special-app`` column on (Theorems
+  9-11, 3-PARTITION) -- the second starred entry;
+* latency / interval: polynomial up to com-hom links (Theorem 12, binary
+  search over whole-application placements), NP-complete on com-het
+  (Theorem 13).
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro import Criterion, MappingRule, Platform, ProblemInstance
+from repro.algorithms import (
+    minimize_latency_interval,
+    minimize_latency_one_to_one_fully_hom,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.heuristics import greedy_interval_period, hill_climb
+from repro.algorithms.reductions import (
+    LatencyOneToOneReduction,
+    random_three_partition_yes_instance,
+)
+from repro.analysis import fit_power_law, render_table
+from repro.generators import (
+    random_applications,
+    random_fully_heterogeneous_platform,
+    rng_from,
+)
+
+
+def test_t1l11_theorem8(benchmark, report):
+    """All one-to-one mappings coincide on proc-hom: the canonical mapping
+    equals the exact optimum."""
+    rows = []
+    problems = []
+    for seed in range(6):
+        rng = rng_from(seed)
+        apps = random_applications(rng, 2, stage_range=(1, 3))
+        total = sum(a.n_stages for a in apps)
+        platform = Platform.fully_homogeneous(total, speeds=[2.0])
+        problems.append(
+            ProblemInstance(
+                apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+            )
+        )
+    values = benchmark(
+        lambda: [
+            minimize_latency_one_to_one_fully_hom(p).objective
+            for p in problems
+        ]
+    )
+    for seed, (p, fast) in enumerate(zip(problems, values)):
+        exact = exact_minimize(p, Criterion.LATENCY).objective
+        rows.append((seed, fast, exact))
+        assert fast == pytest.approx(exact)
+    report(
+        "T1.L11: Theorem 8 canonical one-to-one latency vs exact "
+        "(paper: polynomial, all mappings equivalent)",
+        render_table(["seed", "canonical", "exact"], rows),
+    )
+
+
+def test_t1l12_starred_entry_gadget(benchmark, report):
+    """Theorem 9 gadget: exact nodes grow with m; the optimum equals the
+    3-PARTITION bound B on yes-instances."""
+    rng = np.random.default_rng(2)
+    rows = []
+    for m in (1, 2, 3):
+        source = random_three_partition_yes_instance(rng, m=m, bound=12)
+        red = LatencyOneToOneReduction.build(source)
+        t0 = time.perf_counter()
+        exact = exact_minimize(red.problem, Criterion.LATENCY)
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            (m, 3 * m, int(exact.stats["nodes"]), elapsed * 1e3, exact.objective)
+        )
+        assert exact.objective == pytest.approx(red.target_latency)
+    report(
+        "T1.L12: Theorem 9 gadget (latency/one-to-one, special-app) -- "
+        "optimum pinned at B, exact cost grows with m "
+        "(paper: NP-complete(*), polynomial for A=1 [5])",
+        render_table(
+            ["m apps", "p procs", "B&B nodes", "time (ms)", "latency found"],
+            rows,
+        ),
+    )
+    assert rows[-1][2] > rows[0][2]
+    source = random_three_partition_yes_instance(rng, m=2, bound=12)
+    red = LatencyOneToOneReduction.build(source)
+    benchmark.pedantic(
+        lambda: exact_minimize(red.problem, Criterion.LATENCY),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t1l21_theorem12_optimality_and_scaling(benchmark, report):
+    """Theorem 12: optimal on com-hom, polynomial runtime."""
+    rows = []
+    problems = []
+    for seed in range(6):
+        rng = rng_from(seed + 10)
+        apps = random_applications(rng, 2, stage_range=(2, 3))
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 5))] for _ in range(4)], bandwidth=2.0
+        )
+        problems.append(ProblemInstance(apps=apps, platform=platform))
+    values = benchmark(
+        lambda: [minimize_latency_interval(p).objective for p in problems]
+    )
+    for seed, (p, fast) in enumerate(zip(problems, values)):
+        exact = exact_minimize(p, Criterion.LATENCY).objective
+        rows.append((seed, fast, exact))
+        assert fast == pytest.approx(exact)
+    report(
+        "T1.L21: Theorem 12 (whole app per processor, binary search) vs "
+        "exact (paper: polynomial O(Ap log Ap))",
+        render_table(["seed", "theorem 12", "exact"], rows),
+    )
+
+    # Scaling sweep over A and p together.
+    sizes = [2, 4, 8, 16, 32]
+    samples = []
+    scale_rows = []
+    for n_apps in sizes:
+        rng = rng_from(99)
+        apps = random_applications(rng, n_apps, stage_range=(2, 2))
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 5))] for _ in range(n_apps + 2)]
+        )
+        problem = ProblemInstance(apps=apps, platform=platform)
+        t0 = time.perf_counter()
+        minimize_latency_interval(problem)
+        elapsed = time.perf_counter() - t0
+        samples.append((n_apps, elapsed))
+        scale_rows.append((n_apps, n_apps + 2, elapsed * 1e3))
+    fit = fit_power_law([a for a, _ in samples], [t for _, t in samples])
+    scale_rows.append(("fit", "-", f"t ~ A^{fit.exponent:.2f}"))
+    report(
+        "T1.L21: Theorem 12 runtime scaling with the application count",
+        render_table(["A apps", "p procs", "time (ms)"], scale_rows),
+    )
+    assert fit.exponent < 4.0
+
+
+def test_t1l22_np_hard_cell(benchmark, report):
+    """Theorem 13 cell: exact vs heuristic on fully heterogeneous links."""
+    rows = []
+    for seed, n_stages in ((0, 2), (1, 3), (2, 4)):
+        rng = rng_from(seed)
+        apps = random_applications(rng, 2, stage_range=(n_stages, n_stages))
+        platform = random_fully_heterogeneous_platform(
+            rng, 2 * n_stages, 2
+        )
+        problem = ProblemInstance(apps=apps, platform=platform)
+        t0 = time.perf_counter()
+        exact = exact_minimize(problem, Criterion.LATENCY)
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        heur = hill_climb(
+            problem,
+            greedy_interval_period(problem).mapping,
+            Criterion.LATENCY,
+        )
+        t_heur = time.perf_counter() - t0
+        ratio = heur.objective / exact.objective
+        rows.append(
+            (
+                2 * n_stages,
+                int(exact.stats["nodes"]),
+                t_exact * 1e3,
+                t_heur * 1e3,
+                ratio,
+            )
+        )
+        assert 1.0 - 1e-9 <= ratio <= 2.0
+    report(
+        "T1.L22: latency/interval on com-het (paper: NP-complete, Thm 13) "
+        "-- exact nodes grow, heuristic close and fast",
+        render_table(
+            ["N stages", "B&B nodes", "exact (ms)", "heuristic (ms)", "heur/opt"],
+            rows,
+        ),
+    )
+    rng = rng_from(1)
+    apps = random_applications(rng, 2, stage_range=(3, 3))
+    platform = random_fully_heterogeneous_platform(rng, 6, 2)
+    problem = ProblemInstance(apps=apps, platform=platform)
+    benchmark.pedantic(
+        lambda: hill_climb(
+            problem,
+            greedy_interval_period(problem).mapping,
+            Criterion.LATENCY,
+        ),
+        rounds=2,
+        iterations=1,
+    )

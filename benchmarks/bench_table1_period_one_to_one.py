@@ -1,0 +1,154 @@
+"""Experiments T1.P11 / T1.P12 -- Table 1, row "Period / one-to-one".
+
+Paper claims:
+
+* polynomial (binary search + greedy assignment, Theorem 1) for identical
+  links, up to heterogeneous processors -- reproduced by (i) optimality of
+  Algorithm 1 against the exact solver on random instances and (ii) a
+  runtime power-law fit across instance sizes (the bound is
+  ``O((n_max A p)^2 log(n_max A p))``, so the measured exponent must stay
+  far below any exponential and near the quadratic regime);
+* NP-complete with heterogeneous links (Theorem 2) -- reproduced by the
+  exponential node growth of the exact branch-and-bound against the flat
+  polynomial heuristic, which stays within a small factor of the optimum.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro import (
+    Criterion,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+)
+from repro.algorithms import minimize_period_one_to_one
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.heuristics import greedy_one_to_one_period, hill_climb
+from repro.analysis import fit_power_law, render_table
+from repro.generators import (
+    random_applications,
+    random_fully_heterogeneous_platform,
+    rng_from,
+)
+
+
+def make_comm_hom_problem(seed, n_apps, stages_per_app):
+    rng = rng_from(seed)
+    apps = random_applications(
+        rng, n_apps, stage_range=(stages_per_app, stages_per_app)
+    )
+    total = sum(a.n_stages for a in apps)
+    platform = Platform.comm_homogeneous(
+        [[float(rng.uniform(1, 5))] for _ in range(total)],
+        bandwidth=2.0,
+    )
+    return ProblemInstance(
+        apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+    )
+
+
+def make_het_problem(seed, n_apps=2, stages_per_app=2):
+    rng = rng_from(seed)
+    apps = random_applications(
+        rng, n_apps, stage_range=(stages_per_app, stages_per_app)
+    )
+    total = sum(a.n_stages for a in apps)
+    platform = random_fully_heterogeneous_platform(rng, total, n_apps)
+    return ProblemInstance(
+        apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+    )
+
+
+def test_t1p11_theorem1_optimality(benchmark, report):
+    """Theorem 1 equals the exact optimum on every sampled instance."""
+    problems = [make_comm_hom_problem(seed, 2, 2) for seed in range(10)]
+
+    def solve_batch():
+        return [minimize_period_one_to_one(p).objective for p in problems]
+
+    fast_values = benchmark(solve_batch)
+    rows = []
+    for seed, (p, fast) in enumerate(zip(problems, fast_values)):
+        exact = exact_minimize(p, Criterion.PERIOD).objective
+        rows.append((seed, fast, exact, "yes" if math.isclose(fast, exact) else "NO"))
+        assert fast == pytest.approx(exact)
+    report(
+        "T1.P11: Theorem 1 (binary search + greedy) vs exact optimum "
+        "(paper: polynomial AND optimal)",
+        render_table(["seed", "theorem 1", "exact", "match"], rows),
+    )
+
+
+def test_t1p11_theorem1_scaling(benchmark, report):
+    """Runtime grows polynomially with the instance size."""
+    sizes = [2, 4, 8, 16, 24]
+    rows = []
+    samples = []
+    for n in sizes:
+        problem = make_comm_hom_problem(7, 2, n)
+        t0 = time.perf_counter()
+        minimize_period_one_to_one(problem)
+        elapsed = time.perf_counter() - t0
+        samples.append((2 * n, elapsed))
+        rows.append((2 * n, 2 * n, elapsed * 1e3))
+    fit = fit_power_law([s for s, _ in samples], [t for _, t in samples])
+    rows.append(("fit", "-", f"t ~ N^{fit.exponent:.2f}"))
+    report(
+        "T1.P11: Theorem 1 runtime scaling "
+        "(paper bound O((n_max A p)^2 log .); polynomial expected)",
+        render_table(["N stages", "p procs", "time (ms)"], rows),
+    )
+    # Far from exponential: doubling N must not square the runtime 2^N-style.
+    assert fit.exponent < 5.0
+    benchmark(lambda: minimize_period_one_to_one(make_comm_hom_problem(7, 2, 8)))
+
+
+def test_t1p12_np_hard_cell(benchmark, report):
+    """Theorem 2 cell: exact blowup vs polynomial heuristic on fully
+    heterogeneous platforms."""
+    rows = []
+    for stages_per_app in (2, 3, 4):
+        problem = make_het_problem(3, n_apps=2, stages_per_app=stages_per_app)
+        t0 = time.perf_counter()
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        heur = hill_climb(
+            problem,
+            greedy_one_to_one_period(problem).mapping,
+            Criterion.PERIOD,
+        )
+        t_heur = time.perf_counter() - t0
+        ratio = heur.objective / exact.objective
+        rows.append(
+            (
+                2 * stages_per_app,
+                int(exact.stats["nodes"]),
+                t_exact * 1e3,
+                t_heur * 1e3,
+                ratio,
+            )
+        )
+        assert ratio >= 1.0 - 1e-9
+        assert ratio <= 2.0  # heuristic stays in the right ballpark
+    report(
+        "T1.P12: period/one-to-one on com-het (paper: NP-complete, Thm 2) -- "
+        "exact B&B nodes grow combinatorially; heuristic stays fast & close",
+        render_table(
+            ["N stages", "B&B nodes", "exact (ms)", "heuristic (ms)", "heur/opt"],
+            rows,
+        ),
+    )
+    # Node counts must grow with size (the hardness signature).
+    assert rows[-1][1] > rows[0][1]
+    problem = make_het_problem(3, n_apps=2, stages_per_app=2)
+    benchmark(
+        lambda: hill_climb(
+            problem,
+            greedy_one_to_one_period(problem).mapping,
+            Criterion.PERIOD,
+        )
+    )

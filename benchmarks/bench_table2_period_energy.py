@@ -1,0 +1,279 @@
+"""Experiments T2.PE1 / T2.PE2 / T2.PE3 -- Table 2, rows "Period/Energy".
+
+Paper claims:
+
+* one-to-one: polynomial up to com-hom links via minimum weighted bipartite
+  matching (Theorem 19) -- reproduced by optimality of the Hungarian-based
+  solver against the exact solver, agreement between our from-scratch
+  Hungarian and scipy's assignment solver, and a polynomial scaling fit;
+* interval: polynomial on proc-hom via dynamic programming (Theorems 18,
+  21) -- reproduced likewise;
+* NP-complete beyond (Theorems 20, 22) -- exact-vs-heuristic contrast.
+
+Also reproduces the energy-vs-period-bound trade-off curve (the "server
+problem": least energy achieving a required throughput).
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    Criterion,
+    EnergyModel,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_energy_given_period_interval,
+    minimize_energy_given_period_one_to_one,
+    minimize_period_interval,
+    minimize_period_one_to_one,
+)
+from repro.algorithms.energy_matching import build_cost_matrix
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.heuristics import greedy_interval_period, greedy_mode_downgrade
+from repro.analysis import fit_power_law, render_table
+from repro.generators import (
+    dvfs_speed_ladder,
+    random_applications,
+    random_fully_heterogeneous_platform,
+    rng_from,
+)
+from repro.matching import solve_assignment
+
+EM = EnergyModel(alpha=2.0)
+
+
+def one_to_one_problem(seed, stages=2, n_modes=3):
+    rng = rng_from(seed)
+    apps = random_applications(rng, 2, stage_range=(stages, stages))
+    total = sum(a.n_stages for a in apps)
+    speed_sets = [
+        dvfs_speed_ladder(float(rng.uniform(1, 3)), n_modes)
+        for _ in range(total + 1)
+    ]
+    platform = Platform.comm_homogeneous(speed_sets, bandwidth=2.0)
+    return ProblemInstance(
+        apps=apps,
+        platform=platform,
+        rule=MappingRule.ONE_TO_ONE,
+        energy_model=EM,
+    )
+
+
+def interval_problem(seed, stages=3, n_modes=3):
+    rng = rng_from(seed)
+    apps = random_applications(rng, 2, stage_range=(stages, stages))
+    platform = Platform.fully_homogeneous(
+        5, speeds=dvfs_speed_ladder(1.5, n_modes), bandwidth=2.0
+    )
+    return ProblemInstance(apps=apps, platform=platform, energy_model=EM)
+
+
+def test_t2pe1_matching_optimality(benchmark, report):
+    problems, bounds = [], []
+    for seed in range(6):
+        p = one_to_one_problem(seed)
+        base = minimize_period_one_to_one(p).objective
+        problems.append(p)
+        bounds.append(base * 1.5)
+
+    def solve_batch():
+        return [
+            minimize_energy_given_period_one_to_one(
+                p, Thresholds(period=b)
+            ).objective
+            for p, b in zip(problems, bounds)
+        ]
+
+    values = benchmark(solve_batch)
+    rows = []
+    for seed, (p, b, fast) in enumerate(zip(problems, bounds, values)):
+        exact = exact_minimize(
+            p, Criterion.ENERGY, Thresholds(period=b)
+        ).objective
+        rows.append((seed, fast, exact))
+        assert fast == pytest.approx(exact)
+    report(
+        "T2.PE1: Theorem 19 (Hungarian matching) vs exact minimum energy "
+        "(paper: polynomial, minimum matching)",
+        render_table(["seed", "matching energy", "exact energy"], rows),
+    )
+
+
+def test_t2pe1_hungarian_vs_scipy(benchmark, report):
+    """The matching substrate agrees with scipy and scales polynomially."""
+    scipy_opt = pytest.importorskip("scipy.optimize")
+    rng = np.random.default_rng(0)
+    rows = []
+    samples = []
+    for n in (10, 20, 40, 80):
+        cost = rng.uniform(0.1, 10.0, size=(n, n + 5))
+        t0 = time.perf_counter()
+        ours = solve_assignment(cost.tolist())
+        elapsed = time.perf_counter() - t0
+        r, c = scipy_opt.linear_sum_assignment(cost)
+        scipy_total = float(cost[r, c].sum())
+        samples.append((n, elapsed))
+        rows.append((n, elapsed * 1e3, ours.total_cost, scipy_total))
+        assert ours.total_cost == pytest.approx(scipy_total)
+    fit = fit_power_law([s for s, _ in samples], [t for _, t in samples])
+    rows.append(("fit", f"t ~ n^{fit.exponent:.2f}", "-", "-"))
+    report(
+        "T2.PE1: from-scratch Hungarian vs scipy.linear_sum_assignment "
+        "(identical optima; polynomial growth)",
+        render_table(["n rows", "time (ms)", "ours", "scipy"], rows),
+    )
+    assert fit.exponent < 4.5
+    cost = rng.uniform(0.1, 10.0, size=(30, 35)).tolist()
+    benchmark(lambda: solve_assignment(cost))
+
+
+def test_t2pe2_interval_dp_optimality(benchmark, report):
+    problems, bounds = [], []
+    for seed in range(6):
+        p = interval_problem(seed)
+        base = minimize_period_interval(p).objective
+        problems.append(p)
+        bounds.append(base * 1.5)
+
+    def solve_batch():
+        return [
+            minimize_energy_given_period_interval(
+                p, Thresholds(period=b)
+            ).objective
+            for p, b in zip(problems, bounds)
+        ]
+
+    values = benchmark(solve_batch)
+    rows = []
+    for seed, (p, b, fast) in enumerate(zip(problems, bounds, values)):
+        exact = exact_minimize(
+            p, Criterion.ENERGY, Thresholds(period=b)
+        ).objective
+        rows.append((seed, fast, exact))
+        assert fast == pytest.approx(exact)
+    report(
+        "T2.PE2: Theorems 18+21 (interval energy DP) vs exact "
+        "(paper: polynomial, dyn. prog.)",
+        render_table(["seed", "DP energy", "exact energy"], rows),
+    )
+
+
+def test_t2pe2_server_problem_curve(benchmark, report):
+    """The 'server problem': least energy at each required throughput.
+    Loosening the period bound lets processors step down their modes."""
+    problem = interval_problem(33, stages=4, n_modes=4)
+    base = minimize_period_interval(problem).objective
+    factors = [1.0, 1.3, 1.8, 2.5, 4.0, 8.0]
+
+    def sweep():
+        return [
+            (
+                f,
+                minimize_energy_given_period_interval(
+                    problem, Thresholds(period=base * f)
+                ).objective,
+            )
+            for f in factors
+        ]
+
+    curve = benchmark(sweep)
+    rows = [(f, base * f, e) for f, e in curve]
+    report(
+        "T2.PE2: energy vs required period ('server problem'; energy must "
+        "fall monotonically as the bound loosens)",
+        render_table(["bound factor", "period bound", "min energy"], rows),
+    )
+    energies = [e for _, e in curve]
+    assert all(a >= b - 1e-9 for a, b in zip(energies, energies[1:]))
+    # A generous bound must cost strictly less than the tight one.
+    assert energies[-1] < energies[0]
+
+
+def test_t2pe2_scaling(benchmark, report):
+    sizes = [4, 8, 16, 24]
+    samples, rows = [], []
+    for n in sizes:
+        problem = interval_problem(9, stages=n)
+        base = minimize_period_interval(problem).objective
+        t0 = time.perf_counter()
+        minimize_energy_given_period_interval(
+            problem, Thresholds(period=base * 1.5)
+        )
+        elapsed = time.perf_counter() - t0
+        samples.append((2 * n, elapsed))
+        rows.append((2 * n, elapsed * 1e3))
+    fit = fit_power_law([s for s, _ in samples], [t for _, t in samples])
+    rows.append(("fit", f"t ~ N^{fit.exponent:.2f}"))
+    report(
+        "T2.PE2: energy DP runtime scaling (paper: O(A n^3 p^2) with its "
+        "oracle; polynomial expected)",
+        render_table(["N stages", "time (ms)"], rows),
+    )
+    assert fit.exponent < 5.0
+    problem = interval_problem(9, stages=6)
+    base = minimize_period_interval(problem).objective
+    benchmark(
+        lambda: minimize_energy_given_period_interval(
+            problem, Thresholds(period=base * 1.5)
+        )
+    )
+
+
+def test_t2pe3_hard_cell_contrast(benchmark, report):
+    """Theorems 20/22: period/energy beyond the polynomial columns.
+    Exact nodes grow; greedy mode-downgrading stays polynomial and close."""
+    rows = []
+    for seed, stages in ((0, 2), (1, 3)):
+        rng = rng_from(seed)
+        apps = random_applications(rng, 2, stage_range=(stages, stages))
+        platform = random_fully_heterogeneous_platform(
+            rng, 2 * stages, 2, n_modes=2
+        )
+        problem = ProblemInstance(
+            apps=apps, platform=platform, energy_model=EM
+        )
+        start = greedy_interval_period(problem)
+        bound = start.values.period * 1.5
+        t0 = time.perf_counter()
+        exact = exact_minimize(
+            problem, Criterion.ENERGY, Thresholds(period=bound)
+        )
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        heur = greedy_mode_downgrade(
+            problem, start.mapping, Thresholds(period=bound)
+        )
+        t_heur = time.perf_counter() - t0
+        rows.append(
+            (
+                2 * stages,
+                int(exact.stats["nodes"]),
+                t_exact * 1e3,
+                t_heur * 1e3,
+                heur.objective / exact.objective,
+            )
+        )
+        assert heur.objective >= exact.objective - 1e-9
+    report(
+        "T2.PE3: period/energy on com-het (paper: NP-complete, Thms 20/22) "
+        "-- exact nodes vs greedy mode-downgrade",
+        render_table(
+            ["N stages", "B&B nodes", "exact (ms)", "heuristic (ms)", "heur/opt"],
+            rows,
+        ),
+    )
+    assert rows[-1][1] > rows[0][1]
+    problem = one_to_one_problem(5)
+    base = minimize_period_one_to_one(problem).objective
+    benchmark(
+        lambda: minimize_energy_given_period_one_to_one(
+            problem, Thresholds(period=base * 1.5)
+        )
+    )

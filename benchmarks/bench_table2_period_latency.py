@@ -1,0 +1,224 @@
+"""Experiment T2.PL -- Table 2, row "Period/Latency".
+
+Paper claims: polynomial on fully homogeneous platforms (Theorem 14 for
+one-to-one, Theorems 15-16 for interval: minimize latency under a period
+bound by dynamic programming, the dual by binary search, multi-application
+via Algorithm 2), NP-complete everywhere else (Theorem 17).
+
+Reproduced by: optimality of both DP directions against the exact solver;
+the latency-vs-period trade-off curve of a representative instance (the
+curve the DP sweeps); and the exact-vs-heuristic contrast on the
+``special-app`` hard cell.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    Criterion,
+    Platform,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_latency_given_period,
+    minimize_period_given_latency,
+    minimize_period_interval,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.heuristics import greedy_interval_period, hill_climb
+from repro.analysis import fit_power_law, render_table
+from repro.generators import (
+    random_applications,
+    rng_from,
+    special_app_family,
+)
+
+
+def make_problem(seed, n_apps=2, stages=3, n_procs=5):
+    rng = rng_from(seed)
+    apps = random_applications(rng, n_apps, stage_range=(stages, stages))
+    platform = Platform.fully_homogeneous(
+        n_procs, speeds=[2.0], bandwidth=1.5
+    )
+    return ProblemInstance(apps=apps, platform=platform)
+
+
+def test_t2pl_latency_given_period_optimality(benchmark, report):
+    problems = []
+    bounds = []
+    for seed in range(6):
+        p = make_problem(seed)
+        base = minimize_period_interval(p).objective
+        problems.append(p)
+        bounds.append(base * 1.5)
+
+    def solve_batch():
+        return [
+            minimize_latency_given_period(p, Thresholds(period=b)).objective
+            for p, b in zip(problems, bounds)
+        ]
+
+    values = benchmark(solve_batch)
+    rows = []
+    for seed, (p, b, fast) in enumerate(zip(problems, bounds, values)):
+        exact = exact_minimize(
+            p, Criterion.LATENCY, Thresholds(period=b)
+        ).objective
+        rows.append((seed, b, fast, exact))
+        assert fast == pytest.approx(exact)
+    report(
+        "T2.PL: Theorem 16 min latency under a period bound vs exact "
+        "(paper: polynomial, dyn. prog.)",
+        render_table(["seed", "period bound", "DP latency", "exact"], rows),
+    )
+
+
+def test_t2pl_period_given_latency_optimality(benchmark, report):
+    from repro.algorithms import minimize_latency_interval
+
+    problems, bounds = [], []
+    for seed in range(5):
+        p = make_problem(seed + 20)
+        base = minimize_latency_interval(p).objective
+        problems.append(p)
+        bounds.append(base * 1.3)
+
+    def solve_batch():
+        return [
+            minimize_period_given_latency(p, Thresholds(latency=b)).objective
+            for p, b in zip(problems, bounds)
+        ]
+
+    values = benchmark(solve_batch)
+    rows = []
+    for seed, (p, b, fast) in enumerate(zip(problems, bounds, values)):
+        exact = exact_minimize(
+            p, Criterion.PERIOD, Thresholds(latency=b)
+        ).objective
+        rows.append((seed, b, fast, exact))
+        assert fast == pytest.approx(exact)
+    report(
+        "T2.PL: Theorem 16 min period under a latency bound vs exact "
+        "(paper: polynomial, binary search over the DP)",
+        render_table(["seed", "latency bound", "DP period", "exact"], rows),
+    )
+
+
+def test_t2pl_tradeoff_curve(benchmark, report):
+    """The latency/period trade-off the DP navigates: tighter period bounds
+    force more intervals and hence more communication, raising latency."""
+    problem = make_problem(42, n_apps=1, stages=6, n_procs=6)
+    base = minimize_period_interval(problem).objective
+    factors = [1.0, 1.25, 1.5, 2.0, 3.0, 5.0]
+
+    def sweep():
+        out = []
+        for f in factors:
+            s = minimize_latency_given_period(
+                problem, Thresholds(period=base * f)
+            )
+            out.append(
+                (f, base * f, s.objective, len(s.mapping.assignments))
+            )
+        return out
+
+    curve = benchmark(sweep)
+    report(
+        "T2.PL: latency vs period-bound trade-off (tight period bound -> "
+        "more intervals -> higher latency)",
+        render_table(
+            ["bound factor", "period bound", "min latency", "intervals"],
+            curve,
+        ),
+    )
+    latencies = [l for _, _, l, _ in curve]
+    assert all(a >= b - 1e-9 for a, b in zip(latencies, latencies[1:]))
+    # The tightest bound needs at least as many intervals as the loosest.
+    assert curve[0][3] >= curve[-1][3]
+
+
+def test_t2pl_scaling(benchmark, report):
+    sizes = [4, 8, 16, 32]
+    samples, rows = [], []
+    for n in sizes:
+        problem = make_problem(7, n_apps=2, stages=n, n_procs=n)
+        base = minimize_period_interval(problem).objective
+        t0 = time.perf_counter()
+        minimize_latency_given_period(problem, Thresholds(period=base * 1.5))
+        elapsed = time.perf_counter() - t0
+        samples.append((2 * n, elapsed))
+        rows.append((2 * n, n, elapsed * 1e3))
+    fit = fit_power_law([s for s, _ in samples], [t for _, t in samples])
+    rows.append(("fit", "-", f"t ~ N^{fit.exponent:.2f}"))
+    report(
+        "T2.PL: Theorem 15/16 DP runtime scaling (paper: O((np)^2))",
+        render_table(["N stages", "p procs", "time (ms)"], rows),
+    )
+    assert fit.exponent < 5.0
+    problem = make_problem(7, n_apps=2, stages=8, n_procs=8)
+    base = minimize_period_interval(problem).objective
+    benchmark(
+        lambda: minimize_latency_given_period(
+            problem, Thresholds(period=base * 1.5)
+        )
+    )
+
+
+def test_t2pl_hard_cell_contrast(benchmark, report):
+    """Theorem 17: the bi-criteria problem is NP-complete on special-app
+    (heterogeneous processors); exact nodes grow, the heuristic holds."""
+    rows = []
+    for m in (2, 3):
+        apps = special_app_family(m, 4)
+        rng = rng_from(m)
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 4))] for _ in range(3 * m)]
+        )
+        problem = ProblemInstance(apps=apps, platform=platform)
+        latency_bound = max(
+            app.total_work for app in apps
+        )  # generous per the slowest reasonable mapping
+        t0 = time.perf_counter()
+        exact = exact_minimize(
+            problem, Criterion.PERIOD, Thresholds(latency=latency_bound)
+        )
+        t_exact = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        heur = hill_climb(
+            problem,
+            greedy_interval_period(problem).mapping,
+            Criterion.PERIOD,
+            Thresholds(latency=latency_bound),
+        )
+        t_heur = time.perf_counter() - t0
+        rows.append(
+            (
+                m,
+                int(exact.stats["nodes"]),
+                t_exact * 1e3,
+                t_heur * 1e3,
+                heur.objective / exact.objective,
+            )
+        )
+    report(
+        "T2.PL: bi-criteria on special-app (paper: NP-complete, Thm 17) -- "
+        "exact nodes vs heuristic quality",
+        render_table(
+            ["m apps", "B&B nodes", "exact (ms)", "heuristic (ms)", "heur/opt"],
+            rows,
+        ),
+    )
+    assert rows[-1][1] > rows[0][1]
+    problem = ProblemInstance(
+        apps=special_app_family(2, 4),
+        platform=Platform.comm_homogeneous([[1.0], [2.0], [3.0], [1.5], [2.5], [0.5]]),
+    )
+    benchmark.pedantic(
+        lambda: exact_minimize(problem, Criterion.PERIOD),
+        rounds=1,
+        iterations=1,
+    )

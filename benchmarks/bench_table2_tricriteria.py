@@ -1,0 +1,261 @@
+"""Experiments T2.PLE1 / T2.PLE2 -- Table 2, row "Period/Latency/Energy".
+
+Paper claims:
+
+* with *uni-modal* processors on fully homogeneous platforms all three
+  threshold variants are polynomial (Theorems 23-24) -- reproduced by
+  optimality against the exact solver;
+* with *multi-modal* processors the problem is NP-hard even for a single
+  application without communications (Theorem 26 one-to-one, Theorem 27
+  interval, both by reduction from 2-PARTITION) -- reproduced by running
+  the actual reduction gadgets: yes-instances admit threshold-meeting
+  mappings that decode back to balanced partitions, no-instances do not,
+  and the exact solving cost grows with the instance size while the greedy
+  mode-downgrade heuristic stays polynomial.
+"""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    Criterion,
+    EnergyModel,
+    InfeasibleProblemError,
+    Platform,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_energy_tri,
+    minimize_latency_interval,
+    minimize_latency_tri,
+    minimize_period_interval,
+    minimize_period_tri,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.heuristics import greedy_mode_downgrade
+from repro.algorithms.reductions import (
+    TriCriteriaIntervalReduction,
+    TriCriteriaOneToOneReduction,
+    TwoPartitionInstance,
+    random_two_partition_instance,
+)
+from repro.analysis import render_table
+from repro.generators import random_applications, rng_from
+
+EM = EnergyModel(alpha=2.0)
+
+
+def uni_modal_problem(seed):
+    rng = rng_from(seed)
+    apps = random_applications(rng, 2, stage_range=(2, 3))
+    platform = Platform.fully_homogeneous(
+        5, speeds=[2.0], bandwidth=1.5
+    )
+    return ProblemInstance(apps=apps, platform=platform, energy_model=EM)
+
+
+def test_t2ple1_uni_modal_polynomial(benchmark, report):
+    """Theorem 24: all three threshold variants match the exact solver."""
+    rows = []
+    problems = []
+    for seed in range(4):
+        p = uni_modal_problem(seed)
+        base_t = minimize_period_interval(p).objective
+        base_l = minimize_latency_interval(p).objective
+        e0 = EM.dynamic(2.0)
+        problems.append((p, base_t * 1.5, base_l * 1.5, 4 * e0))
+
+    def solve_all():
+        out = []
+        for p, t, l, e in problems:
+            out.append(
+                (
+                    minimize_period_tri(
+                        p, Thresholds(latency=l, energy=e)
+                    ).objective,
+                    minimize_latency_tri(
+                        p, Thresholds(period=t, energy=e)
+                    ).objective,
+                    minimize_energy_tri(
+                        p, Thresholds(period=t, latency=l)
+                    ).objective,
+                )
+            )
+        return out
+
+    values = benchmark(solve_all)
+    for seed, ((p, t, l, e), (v_t, v_l, v_e)) in enumerate(
+        zip(problems, values)
+    ):
+        e_t = exact_minimize(
+            p, Criterion.PERIOD, Thresholds(latency=l, energy=e)
+        ).objective
+        e_l = exact_minimize(
+            p, Criterion.LATENCY, Thresholds(period=t, energy=e)
+        ).objective
+        e_e = exact_minimize(
+            p, Criterion.ENERGY, Thresholds(period=t, latency=l)
+        ).objective
+        rows.append((seed, v_t, e_t, v_l, e_l, v_e, e_e))
+        assert v_t == pytest.approx(e_t)
+        assert v_l == pytest.approx(e_l)
+        assert v_e == pytest.approx(e_e)
+    report(
+        "T2.PLE1: Theorem 24 uni-modal tri-criteria, all three variants vs "
+        "exact (paper: polynomial on proc-hom)",
+        render_table(
+            ["seed", "T|L,E", "exact", "L|T,E", "exact", "E|T,L", "exact"],
+            rows,
+        ),
+    )
+
+
+def test_t2ple2_theorem26_gadget(benchmark, report):
+    """Theorem 26: the 2-PARTITION gadget decides correctly both ways."""
+    rows = []
+    cases = [
+        ((1, 2, 3), True),
+        ((1, 1, 2), True),
+        ((1, 2), False),
+        ((3, 1, 1), False),
+        ((1, 1, 2, 2), True),
+        ((5, 1, 1, 1), False),
+    ]
+    for values, expected_yes in cases:
+        source = TwoPartitionInstance(values=values)
+        red = TriCriteriaOneToOneReduction.build(source)
+        t0 = time.perf_counter()
+        try:
+            solution = exact_minimize(
+                red.problem,
+                Criterion.ENERGY,
+                red.thresholds,
+                fix_max_speed=False,
+            )
+            decided_yes = True
+            detail = f"E={solution.objective:.6g}"
+        except InfeasibleProblemError:
+            decided_yes = False
+            detail = "infeasible"
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            (
+                str(values),
+                "yes" if expected_yes else "no",
+                "yes" if decided_yes else "no",
+                elapsed * 1e3,
+                detail,
+            )
+        )
+        assert decided_yes == expected_yes
+        if decided_yes:
+            subset = red.subset_from_mapping(solution.mapping)
+            assert source.check(subset)
+    report(
+        "T2.PLE2: Theorem 26 gadget (tri-criteria, one-to-one, multi-modal) "
+        "-- decision matches 2-PARTITION on every instance",
+        render_table(
+            ["values", "2-partition", "gadget decision", "time (ms)", "detail"],
+            rows,
+        ),
+    )
+    source = TwoPartitionInstance(values=(1, 2, 3))
+    red = TriCriteriaOneToOneReduction.build(source)
+    benchmark.pedantic(
+        lambda: exact_minimize(
+            red.problem, Criterion.ENERGY, red.thresholds, fix_max_speed=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t2ple2_theorem27_gadget(benchmark, report):
+    """Theorem 27: the interval gadget with big separator stages."""
+    rows = []
+    for values, expected_yes in (((1, 2, 3), True), ((3, 1, 1), False)):
+        source = TwoPartitionInstance(values=values)
+        red = TriCriteriaIntervalReduction.build(source)
+        t0 = time.perf_counter()
+        try:
+            exact_minimize(
+                red.problem,
+                Criterion.ENERGY,
+                red.thresholds,
+                fix_max_speed=False,
+            )
+            decided_yes = True
+        except InfeasibleProblemError:
+            decided_yes = False
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            (
+                str(values),
+                "yes" if expected_yes else "no",
+                "yes" if decided_yes else "no",
+                elapsed * 1e3,
+            )
+        )
+        assert decided_yes == expected_yes
+    report(
+        "T2.PLE2: Theorem 27 gadget (interval rule, big separator stages)",
+        render_table(
+            ["values", "2-partition", "gadget decision", "time (ms)"], rows
+        ),
+    )
+    source = TwoPartitionInstance(values=(1, 2, 3))
+    red = TriCriteriaIntervalReduction.build(source)
+    benchmark.pedantic(
+        lambda: exact_minimize(
+            red.problem, Criterion.ENERGY, red.thresholds, fix_max_speed=False
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_t2ple2_exact_growth_vs_heuristic(benchmark, report):
+    """Exact cost on the Theorem 26 gadget grows with n; the future-work
+    heuristic (greedy mode downgrade) runs in polynomial time on multi-modal
+    tri-criteria instances of any size, at a measured quality gap."""
+    rng = np.random.default_rng(4)
+    rows = []
+    for n in (2, 3, 4):
+        source = random_two_partition_instance(rng, n, max_value=3, force_yes=True)
+        red = TriCriteriaOneToOneReduction.build(source)
+        t0 = time.perf_counter()
+        exact = exact_minimize(
+            red.problem, Criterion.ENERGY, red.thresholds, fix_max_speed=False
+        )
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            (len(source.values), int(exact.stats["nodes"]), elapsed * 1e3)
+        )
+    report(
+        "T2.PLE2: exact nodes on growing Theorem 26 gadgets "
+        "(paper: NP-hard with multi-modal processors)",
+        render_table(["n values", "B&B nodes", "time (ms)"], rows),
+    )
+    assert rows[-1][1] > rows[0][1]
+
+    # Heuristic arm on a realistic multi-modal tri-criteria instance.
+    rng2 = rng_from(9)
+    apps = random_applications(rng2, 3, stage_range=(4, 6))
+    platform = Platform.fully_homogeneous(
+        8, speeds=[1.0, 1.5, 2.0, 3.0], bandwidth=2.0
+    )
+    problem = ProblemInstance(apps=apps, platform=platform, energy_model=EM)
+    start = minimize_period_interval(problem)
+    thresholds = Thresholds(
+        period=start.objective * 1.5, latency=start.values.latency * 2.0
+    )
+    heur = benchmark.pedantic(
+        lambda: greedy_mode_downgrade(problem, start.mapping, thresholds),
+        rounds=2,
+        iterations=1,
+    )
+    assert heur.values.energy <= start.values.energy

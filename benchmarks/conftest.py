@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every bench prints the table or series it regenerates through the
+``report`` fixture, which bypasses pytest's output capture so the rows land
+in the terminal (and in ``bench_output.txt`` when the run is tee'd), right
+next to pytest-benchmark's timing tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a titled block straight to the terminal."""
+
+    def _report(title: str, body: str) -> None:
+        with capsys.disabled():
+            print()
+            print(f"=== {title} ===")
+            print(body)
+
+    return _report

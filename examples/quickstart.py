@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Quickstart: model, solve, simulate.
+
+Walks through the library's core loop on the paper's own motivating
+example (Section 2, Figure 1):
+
+1. build two pipelined applications and a platform of multi-modal
+   processors;
+2. evaluate hand-written mappings (period / latency / energy);
+3. let the solvers find optimal mappings, including an energy-aware
+   trade-off;
+4. validate the analytic numbers with the discrete-event simulator.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    Platform,
+    ProblemInstance,
+    Processor,
+    Thresholds,
+    evaluate,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.analysis import render_table
+from repro.simulation import simulate
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. The applicative framework: linear pipelines.
+    #    App1 reads a size-1 input, runs stages of 3/2/1 operations.
+    # ------------------------------------------------------------------
+    app1 = Application.from_lists(
+        works=[3, 2, 1],
+        output_sizes=[3, 2, 0],
+        input_data_size=1,
+        name="App1",
+    )
+    app2 = Application.from_lists(
+        works=[2, 6, 4, 2],
+        output_sizes=[3, 1, 1, 1],
+        input_data_size=0,
+        name="App2",
+    )
+
+    # ------------------------------------------------------------------
+    # 2. The platform: three bi-modal (DVFS) processors, links of
+    #    bandwidth 1, energy = E_stat + speed^2 per enrolled processor.
+    # ------------------------------------------------------------------
+    platform = Platform(
+        processors=(
+            Processor(speeds=(3.0, 6.0), name="P1"),
+            Processor(speeds=(6.0, 8.0), name="P2"),
+            Processor(speeds=(1.0, 6.0), name="P3"),
+        ),
+        default_bandwidth=1.0,
+    )
+    problem = ProblemInstance(
+        apps=(app1, app2),
+        platform=platform,
+        model=CommunicationModel.OVERLAP,
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Solve: each criterion alone, then the energy/period trade-off.
+    # ------------------------------------------------------------------
+    best_period = exact_minimize(problem, Criterion.PERIOD)
+    best_latency = exact_minimize(problem, Criterion.LATENCY)
+    best_energy = exact_minimize(problem, Criterion.ENERGY)
+    compromise = exact_minimize(
+        problem, Criterion.ENERGY, Thresholds(period=2.0)
+    )
+
+    rows = []
+    for name, s in (
+        ("min period", best_period),
+        ("min latency", best_latency),
+        ("min energy", best_energy),
+        ("min energy s.t. period <= 2", compromise),
+    ):
+        rows.append(
+            (name, s.values.period, s.values.latency, s.values.energy)
+        )
+    print("Optimal mappings found by the solvers:")
+    print(render_table(["problem", "period", "latency", "energy"], rows))
+    print()
+    print("The period-optimal mapping:")
+    mapping_rows = [
+        (
+            problem.apps[x.app].name,
+            f"stages {x.interval[0] + 1}..{x.interval[1] + 1}",
+            platform.processor(x.proc).name,
+            x.speed,
+        )
+        for x in best_period.mapping.assignments
+    ]
+    print(render_table(["application", "stages", "processor", "speed"], mapping_rows))
+
+    # ------------------------------------------------------------------
+    # 4. Simulate: stream 1000 data sets through the period-optimal
+    #    mapping and compare with the analytic model.
+    # ------------------------------------------------------------------
+    result = simulate(
+        problem.apps, platform, best_period.mapping, n_datasets=1000
+    )
+    print()
+    print("Simulation of the period-optimal mapping (1000 data sets):")
+    sim_rows = []
+    for a in sorted(result.completions):
+        sim_rows.append(
+            (
+                problem.apps[a].name,
+                best_period.values.periods[a],
+                result.measured_period(a),
+                best_period.values.latencies[a],
+                result.measured_latency(a),
+            )
+        )
+    print(
+        render_table(
+            [
+                "application",
+                "analytic period",
+                "measured period",
+                "analytic latency",
+                "measured latency",
+            ],
+            sim_rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

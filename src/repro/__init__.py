@@ -1,0 +1,82 @@
+"""repro -- reproduction of "Performance and energy optimization of
+concurrent pipelined applications" (Benoit, Renaud-Goud, Robert, IPDPS 2010).
+
+The library models concurrent linear pipelined applications mapped onto
+multi-modal (DVFS) processor platforms, implements every polynomial algorithm
+of the paper, exact and heuristic solvers for the NP-hard problem variants,
+the NP-hardness reductions themselves, and a discrete-event simulator
+validating the analytic period/latency cost model.
+
+Quickstart::
+
+    from repro import (
+        Application, Platform, ProblemInstance,
+        MappingRule, CommunicationModel,
+    )
+    from repro.algorithms import minimize_period
+
+    apps = [Application.from_lists([3, 2, 1], [3, 2, 0], input_data_size=1)]
+    platform = Platform.fully_homogeneous(4, speeds=[1.0, 2.0])
+    problem = ProblemInstance(apps=tuple(apps), platform=platform)
+    solution = minimize_period(problem)
+    print(solution.objective, solution.mapping)
+"""
+
+from .core import (
+    Application,
+    Assignment,
+    CommunicationModel,
+    CriteriaValues,
+    Criterion,
+    EnergyModel,
+    InfeasibleProblemError,
+    InvalidApplicationError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    Mapping,
+    MappingRule,
+    Platform,
+    PlatformClass,
+    ProblemInstance,
+    Processor,
+    ReproError,
+    Solution,
+    SolverError,
+    Stage,
+    Thresholds,
+    evaluate,
+    global_latency,
+    global_period,
+    platform_energy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Assignment",
+    "CommunicationModel",
+    "CriteriaValues",
+    "Criterion",
+    "EnergyModel",
+    "InfeasibleProblemError",
+    "InvalidApplicationError",
+    "InvalidMappingError",
+    "InvalidPlatformError",
+    "Mapping",
+    "MappingRule",
+    "Platform",
+    "PlatformClass",
+    "ProblemInstance",
+    "Processor",
+    "ReproError",
+    "Solution",
+    "SolverError",
+    "Stage",
+    "Thresholds",
+    "__version__",
+    "evaluate",
+    "global_latency",
+    "global_period",
+    "platform_energy",
+]

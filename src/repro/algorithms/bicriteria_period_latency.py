@@ -1,0 +1,363 @@
+"""Bi-criteria period/latency optimization on fully homogeneous platforms
+(Theorems 14, 15 and 16).
+
+*One-to-one* (Theorem 14): all one-to-one mappings are equivalent on a fully
+homogeneous platform, so the canonical mapping simultaneously optimizes both
+criteria; only the threshold check remains.
+
+*Interval, single application* (Theorem 15): a dynamic program computes, for
+every stage prefix and processor count, the minimum latency achievable by an
+interval mapping whose period does not exceed a bound::
+
+    L(i, q) = min( L(i, q-1),
+                   min_{j < i, cycle(j..i-1) <= T_bound}
+                        L(j, q-1) + sum w / s + delta_i / b )
+
+initialized with ``L(0, 0) = delta_0 / b`` (the input communication is paid
+exactly once).  The dual problem -- minimum period under a latency bound --
+is solved by a binary search over the candidate period set (all individual
+cycle-time terms for the overlap model, all interval cycle-times for the
+no-overlap model), each probe running the DP above.
+
+*Interval, several applications* (Theorem 16): Algorithm 2 distributes the
+processors using the single-application DP as oracle; per-application
+thresholds come from the global bound divided by the weight ``W_a`` (or from
+an explicit per-application table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.mapping import Assignment, Mapping
+from ..core.objectives import Thresholds, meets_threshold
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import CommunicationModel, Interval, PlatformClass
+from .binary_search import smallest_feasible
+from .interval_period import interval_cycle
+from .latency import canonical_one_to_one_mapping
+from .processor_allocation import allocate_processors
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Min-latency DP results for one application under a period bound.
+
+    ``latencies[q]`` is the minimum latency with at most ``q`` processors
+    (``math.inf`` when the period bound cannot be met); index 0 is the
+    ``inf`` sentinel.  :meth:`reconstruct` rebuilds an optimal partition.
+    """
+
+    app: Application
+    speed: float
+    bandwidth: float
+    model: CommunicationModel
+    period_bound: float
+    latencies: Tuple[float, ...]
+    parents: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def max_procs(self) -> int:
+        """The largest processor count tabulated."""
+        return len(self.latencies) - 1
+
+    def latency(self, q: int) -> float:
+        """Minimum latency with at most ``q`` processors."""
+        return self.latencies[min(q, self.max_procs)]
+
+    def reconstruct(self, q: int) -> List[Interval]:
+        """An optimal interval partition for at most ``q`` processors."""
+        q = min(q, self.max_procs)
+        n = self.app.n_stages
+        if q < 1 or not math.isfinite(self.latencies[q]):
+            raise InfeasibleProblemError(
+                f"period bound {self.period_bound} unreachable with {q} processors"
+            )
+        intervals: List[Interval] = []
+        i = n
+        while i > 0:
+            j = self.parents[q][i]
+            while j < 0:
+                q -= 1
+                j = self.parents[q][i]
+            intervals.append((j, i - 1))
+            i = j
+            q -= 1
+        intervals.reverse()
+        return intervals
+
+
+def single_app_latency_table(
+    app: Application,
+    max_procs: int,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel,
+    period_bound: float,
+) -> LatencyTable:
+    """Theorem 15 DP: tabulate min latency under a period bound for
+    ``q = 1 .. min(max_procs, n)`` processors.  ``O(n^2 q_max)``."""
+    n = app.n_stages
+    q_max = max(1, min(max_procs, n))
+    inf = math.inf
+
+    allowed = [[False] * (n + 1) for _ in range(n)]
+    seg_cost = [[0.0] * (n + 1) for _ in range(n)]
+    for j in range(n):
+        for i in range(j + 1, n + 1):
+            cyc = interval_cycle(app, (j, i - 1), speed, bandwidth, model)
+            allowed[j][i] = meets_threshold(cyc, period_bound)
+            seg_cost[j][i] = (
+                app.work_sum(j, i - 1) / speed
+                + app.output_size(i - 1) / bandwidth
+            )
+
+    prev = [app.input_data_size / bandwidth] + [inf] * n  # q = 0
+    latencies: List[float] = [inf]
+    parents: List[Tuple[int, ...]] = [tuple([-1] * (n + 1))]
+    for q in range(1, q_max + 1):
+        cur = list(prev)  # "use at most q-1 processors" default
+        par = [-1] * (n + 1)
+        for i in range(1, n + 1):
+            best = prev[i]
+            best_j = -1
+            for j in range(i):
+                if not allowed[j][i] or not math.isfinite(prev[j]):
+                    continue
+                value = prev[j] + seg_cost[j][i]
+                if value < best:
+                    best = value
+                    best_j = j
+            cur[i] = best
+            par[i] = best_j
+        latencies.append(cur[n])
+        parents.append(tuple(par))
+        prev = cur
+    return LatencyTable(
+        app=app,
+        speed=speed,
+        bandwidth=bandwidth,
+        model=model,
+        period_bound=period_bound,
+        latencies=tuple(latencies),
+        parents=tuple(parents),
+    )
+
+
+def single_app_period_candidates(
+    app: Application,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel,
+) -> List[float]:
+    """The candidate period values of Theorem 15's binary search.
+
+    Overlap model: the period is a max of individual communication and
+    computation terms, so candidates are ``{delta_i / b}`` and
+    ``{sum_{i..j} w / s}``.  No-overlap model: full interval cycle-times
+    ``delta_{i-1}/b + sum w/s + delta_j/b``.
+    """
+    n = app.n_stages
+    out: List[float] = []
+    if model is CommunicationModel.OVERLAP:
+        out.append(app.input_data_size / bandwidth)
+        out.extend(app.output_size(i) / bandwidth for i in range(n))
+        for i in range(n):
+            for j in range(i, n):
+                out.append(app.work_sum(i, j) / speed)
+    else:
+        for i in range(n):
+            for j in range(i, n):
+                out.append(
+                    app.input_size(i) / bandwidth
+                    + app.work_sum(i, j) / speed
+                    + app.output_size(j) / bandwidth
+                )
+    return out
+
+
+def single_app_min_period_given_latency(
+    app: Application,
+    q: int,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel,
+    latency_bound: float,
+) -> Tuple[float, Optional[LatencyTable]]:
+    """Theorem 15 (dual form): minimum period with at most ``q`` processors
+    subject to a latency bound; returns ``(period, witness table)`` or
+    ``(inf, None)`` when infeasible.  ``O(n^2 q log n)``."""
+
+    def test(period: float) -> Optional[LatencyTable]:
+        table = single_app_latency_table(
+            app, q, speed, bandwidth, model, period
+        )
+        if meets_threshold(table.latency(q), latency_bound):
+            return table
+        return None
+
+    result = smallest_feasible(
+        single_app_period_candidates(app, speed, bandwidth, model), test
+    )
+    return result.value, result.witness
+
+
+# ----------------------------------------------------------------------
+# Multi-application wrappers (Theorem 16)
+# ----------------------------------------------------------------------
+def _require_fully_homogeneous(problem: ProblemInstance, solver: str) -> None:
+    if problem.platform.platform_class is not PlatformClass.FULLY_HOMOGENEOUS:
+        raise SolverError(
+            f"{solver} requires a fully homogeneous platform "
+            "(the bi-criteria problem is NP-complete beyond it, Theorem 17)"
+        )
+
+
+def _mapping_from_tables(
+    problem: ProblemInstance,
+    tables: Sequence[LatencyTable],
+    counts: Sequence[int],
+) -> Mapping:
+    assignments: List[Assignment] = []
+    next_proc = 0
+    speed = problem.platform.common_speed_set()[-1]
+    for a, (table, q) in enumerate(zip(tables, counts)):
+        for interval in table.reconstruct(q):
+            assignments.append(
+                Assignment(app=a, interval=interval, proc=next_proc, speed=speed)
+            )
+            next_proc += 1
+    return Mapping.from_assignments(assignments)
+
+
+def minimize_latency_given_period(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 16: minimize the global weighted latency subject to a period
+    bound per application (or a global weighted period bound)."""
+    _require_fully_homogeneous(problem, "Theorem 16 (latency | period)")
+    platform = problem.platform
+    speed = platform.common_speed_set()[-1]
+    bandwidth = platform.default_bandwidth
+    p, A = platform.n_processors, problem.n_apps
+    max_per_app = p - (A - 1)
+
+    tables = [
+        single_app_latency_table(
+            app,
+            max_per_app,
+            speed,
+            bandwidth,
+            problem.model,
+            thresholds.period_bound_for_app(app, a),
+        )
+        for a, app in enumerate(problem.apps)
+    ]
+
+    def weighted_value(a: int, q: int) -> float:
+        return problem.apps[a].weight * tables[a].latency(q)
+
+    allocation = allocate_processors(
+        A, p, weighted_value, max_useful=[t.max_procs for t in tables]
+    )
+    if not math.isfinite(allocation.objective):
+        raise InfeasibleProblemError(
+            "period thresholds unreachable even with all processors"
+        )
+    mapping = _mapping_from_tables(problem, tables, allocation.counts)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.latency,
+        values=values,
+        solver="theorem16-latency-given-period",
+        optimal=True,
+        stats={"n_grants": float(len(allocation.history))},
+    )
+
+
+def minimize_period_given_latency(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 16 (dual): minimize the global weighted period subject to a
+    latency bound per application (or a global weighted latency bound)."""
+    _require_fully_homogeneous(problem, "Theorem 16 (period | latency)")
+    platform = problem.platform
+    speed = platform.common_speed_set()[-1]
+    bandwidth = platform.default_bandwidth
+    p, A = platform.n_processors, problem.n_apps
+    max_per_app = p - (A - 1)
+
+    cache: Dict[Tuple[int, int], Tuple[float, Optional[LatencyTable]]] = {}
+
+    def solve_app(a: int, q: int) -> Tuple[float, Optional[LatencyTable]]:
+        key = (a, min(q, problem.apps[a].n_stages))
+        if key not in cache:
+            cache[key] = single_app_min_period_given_latency(
+                problem.apps[a],
+                key[1],
+                speed,
+                bandwidth,
+                problem.model,
+                thresholds.latency_bound_for_app(problem.apps[a], a),
+            )
+        return cache[key]
+
+    def weighted_value(a: int, q: int) -> float:
+        return problem.apps[a].weight * solve_app(a, q)[0]
+
+    allocation = allocate_processors(
+        A,
+        p,
+        weighted_value,
+        max_useful=[min(app.n_stages, max_per_app) for app in problem.apps],
+    )
+    if not math.isfinite(allocation.objective):
+        raise InfeasibleProblemError(
+            "latency thresholds unreachable even with all processors"
+        )
+    tables = []
+    for a in range(A):
+        _, witness = solve_app(a, allocation.counts[a])
+        assert witness is not None
+        tables.append(witness)
+    mapping = _mapping_from_tables(problem, tables, allocation.counts)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.period,
+        values=values,
+        solver="theorem16-period-given-latency",
+        optimal=True,
+        stats={"n_grants": float(len(allocation.history))},
+    )
+
+
+def bicriteria_one_to_one_fully_hom(
+    problem: ProblemInstance,
+    thresholds: Thresholds,
+    optimize: str = "latency",
+) -> Solution:
+    """Theorem 14: on fully homogeneous platforms all one-to-one mappings
+    coincide; return the canonical mapping when it meets the thresholds."""
+    if problem.platform.platform_class is not PlatformClass.FULLY_HOMOGENEOUS:
+        raise SolverError("Theorem 14 requires a fully homogeneous platform")
+    mapping = canonical_one_to_one_mapping(problem)
+    values = problem.evaluate(mapping)
+    if not values.meets(period=thresholds.period, latency=thresholds.latency):
+        raise InfeasibleProblemError(
+            "the (unique up to renaming) one-to-one mapping violates the "
+            f"thresholds: period={values.period}, latency={values.latency}"
+        )
+    objective = values.latency if optimize == "latency" else values.period
+    return Solution(
+        mapping=mapping,
+        objective=objective,
+        values=values,
+        solver="theorem14-canonical",
+        optimal=True,
+    )

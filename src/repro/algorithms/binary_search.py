@@ -1,0 +1,100 @@
+"""Candidate-set binary search, the driver shared by several theorems.
+
+Many of the paper's polynomial algorithms (Theorems 1, 12, 15) observe that
+the optimal value of the objective necessarily belongs to a polynomial-size
+set of *candidate values* (cycle-times of some stage on some processor,
+single-processor latencies, ...).  The optimum is then located by a binary
+search over the sorted candidates, testing feasibility of each probed value
+with a greedy or dynamic-programming procedure.
+
+:func:`smallest_feasible` implements the driver once for all of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+W = TypeVar("W")
+
+
+@dataclass
+class BinarySearchResult(Generic[W]):
+    """Outcome of a candidate-set binary search.
+
+    ``value`` is the smallest feasible candidate (``math.inf`` when no
+    candidate is feasible), ``witness`` the object returned by the
+    feasibility test at that value, and ``n_tests`` the number of
+    feasibility probes performed (``O(log |candidates|)``).
+    """
+
+    value: float
+    witness: Optional[W]
+    n_tests: int
+
+    @property
+    def feasible(self) -> bool:
+        """True when some candidate passed the feasibility test."""
+        return self.witness is not None
+
+
+def smallest_feasible(
+    candidates: Iterable[float],
+    test: Callable[[float], Optional[W]],
+) -> BinarySearchResult[W]:
+    """Find the smallest candidate value accepted by ``test``.
+
+    Parameters
+    ----------
+    candidates:
+        The candidate objective values; deduplicated and sorted internally.
+        Non-finite candidates are discarded.
+    test:
+        Feasibility oracle: returns a witness (e.g. a mapping) when the value
+        is achievable, ``None`` otherwise.  Feasibility must be *monotone*:
+        if ``test(x)`` succeeds then ``test(y)`` succeeds for every candidate
+        ``y >= x`` -- all the paper's greedy/DP feasibility procedures have
+        this property, which is what makes the binary search correct.
+
+    Returns
+    -------
+    BinarySearchResult
+        The smallest feasible value, its witness, and the probe count.
+    """
+    values: List[float] = sorted({c for c in candidates if math.isfinite(c)})
+    lo, hi = 0, len(values) - 1
+    best_value = math.inf
+    best_witness: Optional[W] = None
+    n_tests = 0
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        witness = test(values[mid])
+        n_tests += 1
+        if witness is not None:
+            best_value = values[mid]
+            best_witness = witness
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    return BinarySearchResult(value=best_value, witness=best_witness, n_tests=n_tests)
+
+
+def linear_smallest_feasible(
+    candidates: Iterable[float],
+    test: Callable[[float], Optional[W]],
+) -> BinarySearchResult[W]:
+    """Reference implementation scanning candidates in increasing order.
+
+    Used by the test suite to confirm that feasibility is indeed monotone on
+    the instances we generate (the binary search and the linear scan must
+    agree); also convenient when the candidate set is tiny.
+    """
+    values: List[float] = sorted({c for c in candidates if math.isfinite(c)})
+    n_tests = 0
+    for v in values:
+        witness = test(v)
+        n_tests += 1
+        if witness is not None:
+            return BinarySearchResult(value=v, witness=witness, n_tests=n_tests)
+    return BinarySearchResult(value=math.inf, witness=None, n_tests=n_tests)

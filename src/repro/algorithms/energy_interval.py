@@ -1,0 +1,253 @@
+"""Period/energy optimization for interval mappings on fully homogeneous
+platforms (Theorems 18 and 21).
+
+*Single application* (Theorem 18): a dynamic program over stage prefixes
+computes the minimum energy of an interval mapping meeting a period bound.
+For one interval, the cheapest feasible configuration picks the *slowest
+mode whose cycle-time meets the bound* (dynamic energy is increasing in
+speed); the DP then splits prefixes::
+
+    E(i, k) = min( E(i, k-1),
+                   min_{j < i} E(j, k-1) + E_one(j .. i-1) )
+
+where ``E_one`` is ``E_stat + s^alpha`` for the cheapest feasible mode
+(``inf`` when even the fastest mode misses the bound).
+
+*Several applications* (Theorem 21): the per-application tables ``E_a(q)``
+are combined by a second dynamic program over applications,
+``E(a, k) = min_q E_a(q) + E(a-1, k-q)``, distributing at most ``p``
+processors.
+
+Both DPs work for the overlap and no-overlap models (only the cycle-time
+formula changes) and support per-application period bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.energy import EnergyModel
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.mapping import Assignment, Mapping
+from ..core.objectives import Thresholds, meets_threshold
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import CommunicationModel, Interval, PlatformClass
+from .interval_period import interval_cycle
+
+
+@dataclass(frozen=True)
+class EnergyTable:
+    """Min-energy DP results for one application under a period bound.
+
+    ``energies[q]`` is the minimum energy with at most ``q`` processors
+    (``inf`` when infeasible); :meth:`reconstruct` returns the optimal
+    partition together with the chosen speed of each interval.
+    """
+
+    app: Application
+    period_bound: float
+    energies: Tuple[float, ...]
+    parents: Tuple[Tuple[int, ...], ...]
+    #: ``segment_speed[j][i]`` = cheapest feasible mode for stages
+    #: ``j .. i-1`` (0.0 when infeasible).
+    segment_speed: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def max_procs(self) -> int:
+        """The largest processor count tabulated."""
+        return len(self.energies) - 1
+
+    def energy(self, q: int) -> float:
+        """Minimum energy with at most ``q`` processors."""
+        return self.energies[min(q, self.max_procs)]
+
+    def reconstruct(self, q: int) -> List[Tuple[Interval, float]]:
+        """Optimal ``(interval, speed)`` list for at most ``q`` processors."""
+        q = min(q, self.max_procs)
+        n = self.app.n_stages
+        if q < 1 or not math.isfinite(self.energies[q]):
+            raise InfeasibleProblemError(
+                f"period bound {self.period_bound} unreachable with {q} processors"
+            )
+        placements: List[Tuple[Interval, float]] = []
+        i = n
+        while i > 0:
+            j = self.parents[q][i]
+            while j < 0:
+                q -= 1
+                j = self.parents[q][i]
+            placements.append(((j, i - 1), self.segment_speed[j][i]))
+            i = j
+            q -= 1
+        placements.reverse()
+        return placements
+
+
+def cheapest_feasible_speed(
+    app: Application,
+    interval: Interval,
+    speed_set: Sequence[float],
+    bandwidth: float,
+    model: CommunicationModel,
+    period_bound: float,
+) -> Optional[float]:
+    """The slowest mode whose interval cycle-time meets the period bound
+    (modes are scanned in increasing speed order), or ``None``."""
+    for s in speed_set:
+        if meets_threshold(
+            interval_cycle(app, interval, s, bandwidth, model), period_bound
+        ):
+            return s
+    return None
+
+
+def single_app_energy_table(
+    app: Application,
+    max_procs: int,
+    speed_set: Sequence[float],
+    static_energy: float,
+    bandwidth: float,
+    model: CommunicationModel,
+    period_bound: float,
+    energy_model: EnergyModel,
+) -> EnergyTable:
+    """Theorem 18 DP: tabulate the minimum energy under a period bound for
+    ``q = 1 .. min(max_procs, n)`` processors.  ``O(n^2 (q_max + modes))``."""
+    n = app.n_stages
+    q_max = max(1, min(max_procs, n))
+    inf = math.inf
+    speeds_sorted = sorted(speed_set)
+
+    seg_energy = [[inf] * (n + 1) for _ in range(n)]
+    seg_speed = [[0.0] * (n + 1) for _ in range(n)]
+    for j in range(n):
+        for i in range(j + 1, n + 1):
+            s = cheapest_feasible_speed(
+                app, (j, i - 1), speeds_sorted, bandwidth, model, period_bound
+            )
+            if s is not None:
+                seg_speed[j][i] = s
+                seg_energy[j][i] = static_energy + energy_model.dynamic(s)
+
+    prev = [0.0] + [inf] * n  # q = 0
+    energies: List[float] = [inf]
+    parents: List[Tuple[int, ...]] = [tuple([-1] * (n + 1))]
+    for q in range(1, q_max + 1):
+        cur = list(prev)
+        par = [-1] * (n + 1)
+        for i in range(1, n + 1):
+            best = prev[i]
+            best_j = -1
+            for j in range(i):
+                if not math.isfinite(prev[j]) or not math.isfinite(seg_energy[j][i]):
+                    continue
+                value = prev[j] + seg_energy[j][i]
+                if value < best:
+                    best = value
+                    best_j = j
+            cur[i] = best
+            par[i] = best_j
+        energies.append(cur[n])
+        parents.append(tuple(par))
+        prev = cur
+    return EnergyTable(
+        app=app,
+        period_bound=period_bound,
+        energies=tuple(energies),
+        parents=tuple(parents),
+        segment_speed=tuple(tuple(row) for row in seg_speed),
+    )
+
+
+def _require_fully_homogeneous(problem: ProblemInstance, solver: str) -> None:
+    if problem.platform.platform_class is not PlatformClass.FULLY_HOMOGENEOUS:
+        raise SolverError(
+            f"{solver} requires a fully homogeneous platform "
+            "(the problem is NP-complete beyond it, Theorem 22)"
+        )
+
+
+def minimize_energy_given_period_interval(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 21: minimize the total energy of an interval mapping subject
+    to a period bound per application, on a fully homogeneous platform.
+
+    Runs the Theorem 18 DP per application, then combines the tables with a
+    processor-budget DP over applications (``O(A p^2)`` after the per-app
+    tables).  Every application must be mapped; ``InfeasibleProblemError``
+    is raised when the bounds are unreachable with ``p`` processors.
+    """
+    _require_fully_homogeneous(problem, "Theorem 21")
+    platform = problem.platform
+    speed_set = platform.common_speed_set()
+    static_energy = platform.processors[0].static_energy
+    bandwidth = platform.default_bandwidth
+    p, A = platform.n_processors, problem.n_apps
+    max_per_app = p - (A - 1)
+
+    tables = [
+        single_app_energy_table(
+            app,
+            max_per_app,
+            speed_set,
+            static_energy,
+            bandwidth,
+            problem.model,
+            thresholds.period_bound_for_app(app, a),
+            problem.energy_model,
+        )
+        for a, app in enumerate(problem.apps)
+    ]
+
+    inf = math.inf
+    # G[a][k]: min energy for applications 0..a using at most k processors.
+    G: List[List[float]] = [[inf] * (p + 1) for _ in range(A)]
+    choice: List[List[int]] = [[-1] * (p + 1) for _ in range(A)]
+    for k in range(1, p + 1):
+        G[0][k] = tables[0].energy(k)
+        choice[0][k] = min(k, tables[0].max_procs)
+    for a in range(1, A):
+        for k in range(a + 1, p + 1):
+            best, best_q = inf, -1
+            for q in range(1, k - a + 1):
+                ea = tables[a].energy(q)
+                rest = G[a - 1][k - q]
+                if math.isfinite(ea) and math.isfinite(rest) and ea + rest < best:
+                    best = ea + rest
+                    best_q = q
+            G[a][k] = best
+            choice[a][k] = best_q
+    total = G[A - 1][p]
+    if not math.isfinite(total):
+        raise InfeasibleProblemError(
+            "period thresholds unreachable with the available processors"
+        )
+
+    counts: List[int] = [0] * A
+    k = p
+    for a in range(A - 1, -1, -1):
+        counts[a] = choice[a][k]
+        k -= counts[a]
+
+    assignments: List[Assignment] = []
+    next_proc = 0
+    for a, (table, q) in enumerate(zip(tables, counts)):
+        for interval, speed in table.reconstruct(q):
+            assignments.append(
+                Assignment(app=a, interval=interval, proc=next_proc, speed=speed)
+            )
+            next_proc += 1
+    mapping = Mapping.from_assignments(assignments)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.energy,
+        values=values,
+        solver="theorem21-energy-dp",
+        optimal=True,
+        stats={"n_procs_used": float(next_proc)},
+    )

@@ -1,0 +1,130 @@
+"""Period/energy optimization for one-to-one mappings via bipartite matching
+(Theorem 19).
+
+On communication homogeneous platforms, choosing the processor *and the
+mode* of every stage decomposes into independent stage-processor costs: the
+cheapest way for processor ``P_u`` to host stage ``S_k^a`` within the
+application's period bound is its slowest mode meeting the bound, with
+energy ``E_stat(u) + s^alpha`` (``inf`` when even the fastest mode misses
+the bound).  Minimizing the total energy over one-to-one mappings is then a
+minimum-weight bipartite matching between stages and processors, solved in
+polynomial time by the Hungarian algorithm of :mod:`repro.matching`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.energy import EnergyModel
+from ..core.evaluation import stage_cycle_time
+from ..core.exceptions import InfeasibleProblemError
+from ..core.mapping import Assignment, Mapping
+from ..core.objectives import Thresholds, meets_threshold
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import CommunicationModel
+from ..matching import solve_assignment
+from .one_to_one_period import _app_bandwidth, _require_comm_homogeneous
+
+#: Stage identifier: (application index, stage index).
+StageId = Tuple[int, int]
+
+
+def cheapest_stage_mode(
+    app: Application,
+    app_index: int,
+    stage: int,
+    platform: Platform,
+    proc: int,
+    period_bound: float,
+    model: CommunicationModel,
+    energy_model: EnergyModel,
+) -> Tuple[float, Optional[float]]:
+    """``(energy, speed)`` of the cheapest mode of ``proc`` that executes the
+    stage within the (unweighted) period bound; ``(inf, None)`` if none."""
+    processor = platform.processor(proc)
+    bw = _app_bandwidth(platform, app_index)
+    for s in processor.speeds:  # ascending: slowest feasible = cheapest
+        if meets_threshold(
+            stage_cycle_time(app, stage, s, bw, model), period_bound
+        ):
+            return energy_model.processor_energy(processor, s), s
+    return math.inf, None
+
+
+def build_cost_matrix(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Tuple[List[StageId], List[List[float]], List[List[Optional[float]]]]:
+    """The stages-by-processors energy matrix of Theorem 19.
+
+    Returns the stage order, the cost matrix and the matching speed choices.
+    """
+    stages: List[StageId] = [
+        (a, k) for a, app in enumerate(problem.apps) for k in range(app.n_stages)
+    ]
+    p = problem.platform.n_processors
+    costs: List[List[float]] = []
+    speeds: List[List[Optional[float]]] = []
+    for a, k in stages:
+        bound = thresholds.period_bound_for_app(problem.apps[a], a)
+        row_c: List[float] = []
+        row_s: List[Optional[float]] = []
+        for u in range(p):
+            energy, speed = cheapest_stage_mode(
+                problem.apps[a],
+                a,
+                k,
+                problem.platform,
+                u,
+                bound,
+                problem.model,
+                problem.energy_model,
+            )
+            row_c.append(energy)
+            row_s.append(speed)
+        costs.append(row_c)
+        speeds.append(row_s)
+    return stages, costs, speeds
+
+
+def minimize_energy_given_period_one_to_one(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 19: minimum-energy one-to-one mapping under per-application
+    period bounds, on communication homogeneous platforms.
+
+    Complexity: building the matrix costs ``O(N p m_max)`` and the Hungarian
+    algorithm ``O(N^2 p)`` -- polynomial, as the theorem requires (the paper
+    quotes the Hopcroft-Karp bound ``O((np)^{3/2})`` for its matching
+    oracle; any polynomial matching preserves the result).
+    """
+    _require_comm_homogeneous(problem.platform, "Theorem 19")
+    if problem.n_stages_total > problem.platform.n_processors:
+        raise InfeasibleProblemError(
+            "one-to-one mapping requires p >= N "
+            f"(p={problem.platform.n_processors}, N={problem.n_stages_total})"
+        )
+    stages, costs, speeds = build_cost_matrix(problem, thresholds)
+    result = solve_assignment(costs)
+    if result is None:
+        raise InfeasibleProblemError(
+            "no one-to-one mapping meets the period thresholds"
+        )
+    assignments = []
+    for i, (a, k) in enumerate(stages):
+        u = result.row_to_col[i]
+        speed = speeds[i][u]
+        assert speed is not None
+        assignments.append(Assignment(app=a, interval=(k, k), proc=u, speed=speed))
+    mapping = Mapping.from_assignments(assignments)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.energy,
+        values=values,
+        solver="theorem19-hungarian",
+        optimal=True,
+        stats={"matching_cost": result.total_cost},
+    )

@@ -1,0 +1,20 @@
+"""Exact solvers for the NP-hard cells of Tables 1 and 2.
+
+Two independent implementations:
+
+* :mod:`repro.algorithms.exact.brute_force` -- full enumeration of valid
+  mappings (partitions x processor permutations x mode choices); the
+  reference oracle for the test suite, usable only on tiny instances;
+* :mod:`repro.algorithms.exact.branch_and_bound` -- depth-first search with
+  monotone partial-cost pruning; exact on any instance, practical up to a
+  few tens of stages/processors depending on the cell.
+
+Both handle every platform class, both mapping rules, both communication
+models, all three criteria and arbitrary thresholds; they are the baseline
+arm of the NP-hardness benches (exponential blowup vs. the heuristics).
+"""
+
+from .branch_and_bound import exact_minimize
+from .brute_force import brute_force_minimize, iter_mappings
+
+__all__ = ["brute_force_minimize", "exact_minimize", "iter_mappings"]

@@ -1,0 +1,313 @@
+"""Exact branch-and-bound solver for every cell of Tables 1 and 2.
+
+Depth-first search placing one interval at a time, application by
+application, stage by stage.  A search node extends the current partial
+mapping with ``(interval end, processor, mode)``; children enumerate all
+admissible extensions.  The three running criteria values (weighted period
+lower bound, weighted latency lower bound, accumulated energy) are all
+*monotone non-decreasing* along any root-to-leaf path, which yields sound
+pruning rules:
+
+* prune when any threshold is already exceeded;
+* prune when the running value of the optimized criterion is already at
+  least the incumbent.
+
+Interval cycle-times are only fully known once the *next* interval's
+processor is chosen (the outgoing bandwidth depends on it); the search
+therefore keeps the last placed interval of the current application
+*pending* and finalizes its cycle-time when the next processor (or the
+virtual output processor) is known.  The pending interval contributes a
+partial cycle-time (without its outgoing communication), which is a valid
+lower bound under both communication models.
+
+When energy is involved (as criterion or threshold) all processor modes are
+enumerated; otherwise every processor is pinned to its fastest mode, as
+pure-performance optimality permits.
+
+Exponential in the worst case -- this is the exact arm of the NP-hard
+benches -- but the pruning makes it practical far beyond the brute-force
+enumerator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.exceptions import InfeasibleProblemError, SolverError
+from ...core.mapping import Assignment, Mapping
+from ...core.objectives import THRESHOLD_RTOL, Thresholds
+from ...core.problem import ProblemInstance, Solution
+from ...core.types import (
+    CommunicationModel,
+    Criterion,
+    IN_ENDPOINT,
+    MappingRule,
+    OUT_ENDPOINT,
+)
+
+
+@dataclass
+class _Pending:
+    """The last placed interval of the in-progress application, waiting for
+    its outgoing bandwidth to be known."""
+
+    proc: int
+    t_in: float
+    t_comp: float
+    out_size: float
+
+
+def _leq(value: float, bound: float) -> bool:
+    """Threshold comparison with the library-wide relative tolerance."""
+    return value <= bound * (1 + THRESHOLD_RTOL) + THRESHOLD_RTOL
+
+
+def exact_minimize(
+    problem: ProblemInstance,
+    criterion: Criterion,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    fix_max_speed: Optional[bool] = None,
+    node_limit: int = 20_000_000,
+) -> Solution:
+    """Exact optimum of one criterion under thresholds on the others.
+
+    Parameters
+    ----------
+    problem:
+        Any problem instance (all platform classes, both rules, both
+        communication models).
+    criterion:
+        The criterion to minimize.
+    thresholds:
+        Bounds on the other criteria (global or per-application).
+    fix_max_speed:
+        Pin every processor to its fastest mode.  Defaults to ``True``
+        exactly when energy plays no role.
+    node_limit:
+        Safety cap on explored nodes; :class:`SolverError` when exceeded.
+
+    Raises
+    ------
+    InfeasibleProblemError
+        When no mapping satisfies the thresholds.
+    """
+    apps = problem.apps
+    platform = problem.platform
+    model = problem.model
+    em = problem.energy_model
+    A = len(apps)
+    p = platform.n_processors
+    if fix_max_speed is None:
+        fix_max_speed = (
+            criterion is not Criterion.ENERGY and thresholds.energy is None
+        )
+
+    period_bounds = [
+        thresholds.period_bound_for_app(app, a) for a, app in enumerate(apps)
+    ]
+    latency_bounds = [
+        thresholds.latency_bound_for_app(app, a) for a, app in enumerate(apps)
+    ]
+    energy_bound = thresholds.energy if thresholds.energy is not None else math.inf
+
+    proc_speeds: List[Tuple[float, ...]] = [
+        (platform.processor(u).max_speed,)
+        if fix_max_speed
+        else platform.processor(u).speeds
+        for u in range(p)
+    ]
+
+    # Symmetry breaking: when all links are homogeneous, processors with the
+    # same speed set and static energy are fully interchangeable -- at each
+    # node only the lowest-indexed free member of each class is branched on.
+    if platform.has_homogeneous_links:
+        class_table: dict = {}
+        proc_class: List[int] = []
+        for u in range(p):
+            key = (
+                platform.processor(u).speeds,
+                platform.processor(u).static_energy,
+            )
+            proc_class.append(class_table.setdefault(key, len(class_table)))
+        n_classes = len(class_table)
+    else:
+        proc_class = list(range(p))
+        n_classes = p
+
+    best_objective = math.inf
+    best_assignments: Optional[Tuple[Assignment, ...]] = None
+    nodes = 0
+
+    trail: List[Assignment] = []
+
+    def place_app(
+        a: int,
+        stage: int,
+        free: int,  # bitmask of free processors
+        pending: Optional[_Pending],
+        app_latency: float,
+        app_period: float,  # unweighted, finalized cycles of app a so far
+        energy: float,
+        done_period_w: float,  # weighted period over completed apps
+        done_latency_w: float,
+    ) -> None:
+        nonlocal best_objective, best_assignments, nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverError(
+                f"exact_minimize: node limit {node_limit} exceeded"
+            )
+        if a == A:
+            objective = {
+                Criterion.PERIOD: done_period_w,
+                Criterion.LATENCY: done_latency_w,
+                Criterion.ENERGY: energy,
+            }[criterion]
+            if objective < best_objective:
+                best_objective = objective
+                best_assignments = tuple(trail)
+            return
+        app = apps[a]
+        n = app.n_stages
+        w_a = app.weight
+        in_size = app.input_size(stage)
+        hi_options = (
+            (stage,)
+            if problem.rule is MappingRule.ONE_TO_ONE
+            else tuple(range(stage, n))
+        )
+        tried_classes = [False] * n_classes
+        for u in range(p):
+            if not (free >> u) & 1:
+                continue
+            if tried_classes[proc_class[u]]:
+                continue  # an interchangeable processor was already branched
+            tried_classes[proc_class[u]] = True
+            # Incoming communication of the new interval.
+            if pending is None:
+                bw_in = platform.bandwidth(IN_ENDPOINT, u, a)
+            else:
+                bw_in = platform.bandwidth(pending.proc, u, a)
+            t_in = in_size / bw_in
+            # Finalize the pending interval: its outgoing link is now known.
+            fin_cycle = 0.0
+            fin_out = 0.0
+            if pending is not None:
+                fin_out = pending.out_size / bw_in
+                fin_cycle = model.combine(pending.t_in, pending.t_comp, fin_out)
+                if not _leq(fin_cycle, period_bounds[a]):
+                    continue
+            new_app_period = max(app_period, fin_cycle)
+            base_latency = app_latency + fin_out
+            if pending is None:
+                base_latency += t_in  # delta_0 / b, paid exactly once
+            if not _leq(base_latency, latency_bounds[a]):
+                continue
+            for speed in proc_speeds[u]:
+                e_add = em.processor_energy(platform.processor(u), speed)
+                new_energy = energy + e_add
+                if not _leq(new_energy, energy_bound):
+                    continue
+                if criterion is Criterion.ENERGY and new_energy >= best_objective:
+                    continue
+                for hi in hi_options:
+                    t_comp = app.work_sum(stage, hi) / speed
+                    partial_cycle = model.combine(t_in, t_comp, 0.0)
+                    if not _leq(partial_cycle, period_bounds[a]):
+                        break  # t_comp only grows with hi
+                    new_latency = base_latency + t_comp
+                    if not _leq(new_latency, latency_bounds[a]):
+                        break
+                    assignment = Assignment(
+                        app=a, interval=(stage, hi), proc=u, speed=speed
+                    )
+                    trail.append(assignment)
+                    if hi == n - 1:
+                        # Close the application: output to Pout_a.
+                        bw_out = platform.bandwidth(u, OUT_ENDPOINT, a)
+                        t_out = app.output_size(hi) / bw_out
+                        last_cycle = model.combine(t_in, t_comp, t_out)
+                        final_latency = new_latency + t_out
+                        final_period = max(
+                            new_app_period, partial_cycle, last_cycle
+                        )
+                        if (
+                            _leq(last_cycle, period_bounds[a])
+                            and _leq(final_latency, latency_bounds[a])
+                        ):
+                            nxt_period_w = max(
+                                done_period_w, w_a * final_period
+                            )
+                            nxt_latency_w = max(
+                                done_latency_w, w_a * final_latency
+                            )
+                            if not (
+                                (
+                                    criterion is Criterion.PERIOD
+                                    and nxt_period_w >= best_objective
+                                )
+                                or (
+                                    criterion is Criterion.LATENCY
+                                    and nxt_latency_w >= best_objective
+                                )
+                            ):
+                                place_app(
+                                    a + 1,
+                                    0,
+                                    free & ~(1 << u),
+                                    None,
+                                    0.0,
+                                    0.0,
+                                    new_energy,
+                                    nxt_period_w,
+                                    nxt_latency_w,
+                                )
+                    else:
+                        prune = False
+                        if criterion is Criterion.PERIOD:
+                            lb = max(
+                                done_period_w,
+                                w_a * max(new_app_period, partial_cycle),
+                            )
+                            prune = lb >= best_objective
+                        elif criterion is Criterion.LATENCY:
+                            lb = max(done_latency_w, w_a * new_latency)
+                            prune = lb >= best_objective
+                        if not prune:
+                            place_app(
+                                a,
+                                hi + 1,
+                                free & ~(1 << u),
+                                _Pending(
+                                    proc=u,
+                                    t_in=t_in,
+                                    t_comp=t_comp,
+                                    out_size=app.output_size(hi),
+                                ),
+                                new_latency,
+                                max(new_app_period, partial_cycle),
+                                new_energy,
+                                done_period_w,
+                                done_latency_w,
+                            )
+                    trail.pop()
+
+    place_app(0, 0, (1 << p) - 1, None, 0.0, 0.0, 0.0, 0.0, 0.0)
+    if best_assignments is None:
+        raise InfeasibleProblemError(
+            f"exact_minimize: no mapping satisfies the thresholds "
+            f"({nodes} nodes explored)"
+        )
+    mapping = Mapping.from_assignments(best_assignments)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=best_objective,
+        values=values,
+        solver="branch-and-bound",
+        optimal=True,
+        stats={"nodes": float(nodes)},
+    )

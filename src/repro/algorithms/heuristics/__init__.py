@@ -1,0 +1,29 @@
+"""Polynomial-time heuristics for the NP-hard cells of Tables 1 and 2.
+
+The paper's conclusion names "polynomial-time heuristics to solve the
+tri-criteria optimization problem in a general framework" as the natural
+practical continuation; this package provides them, plus constructive and
+local-search heuristics for the NP-hard mono- and bi-criteria cells:
+
+* :mod:`greedy_interval` -- constructive interval/one-to-one mappings for
+  heterogeneous platforms (split-the-bottleneck greedy);
+* :mod:`local_search` -- hill climbing over a mapping neighborhood
+  (boundary shifts, splits, merges, processor swaps/moves, mode changes);
+* :mod:`annealing` -- simulated annealing over the same neighborhood;
+* :mod:`mode_scaling` -- energy-greedy mode downgrading under
+  period/latency thresholds (the tri-criteria "server problem").
+"""
+
+from .annealing import anneal
+from .greedy_interval import greedy_interval_period, greedy_one_to_one_period
+from .local_search import hill_climb, neighbors
+from .mode_scaling import greedy_mode_downgrade
+
+__all__ = [
+    "anneal",
+    "greedy_interval_period",
+    "greedy_mode_downgrade",
+    "greedy_one_to_one_period",
+    "hill_climb",
+    "neighbors",
+]

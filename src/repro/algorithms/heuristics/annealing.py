@@ -1,0 +1,90 @@
+"""Simulated annealing over the mapping neighborhood.
+
+A randomized escape from the local optima of :func:`hill_climb`: classical
+Metropolis acceptance with geometric cooling over the same move set
+(:func:`repro.algorithms.heuristics.local_search.neighbors`).  Fully
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ...core.mapping import Mapping
+from ...core.objectives import Thresholds
+from ...core.problem import ProblemInstance, Solution
+from ...core.types import Criterion
+from .local_search import neighbors, score
+
+
+def anneal(
+    problem: ProblemInstance,
+    start: Mapping,
+    criterion: Criterion,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    seed: int = 0,
+    n_iterations: int = 2000,
+    initial_temperature: Optional[float] = None,
+    cooling: float = 0.995,
+) -> Solution:
+    """Simulated annealing from ``start``.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed (``numpy.random.default_rng``); results are reproducible.
+    n_iterations:
+        Number of proposed moves.
+    initial_temperature:
+        Defaults to 10% of the starting score (a mild, scale-aware choice).
+    cooling:
+        Geometric cooling factor applied per iteration.
+    """
+    rng = np.random.default_rng(seed)
+    current = start
+    current_score = score(problem, current, criterion, thresholds)
+    best = current
+    best_score = current_score
+    temperature = (
+        initial_temperature
+        if initial_temperature is not None
+        else max(1e-9, 0.1 * current_score)
+    )
+    n_accepted = 0
+    for _ in range(n_iterations):
+        options = list(neighbors(problem, current))
+        if not options:
+            break
+        candidate = options[int(rng.integers(len(options)))]
+        s = score(problem, candidate, criterion, thresholds)
+        delta = s - current_score
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            current = candidate
+            current_score = s
+            n_accepted += 1
+            if s < best_score:
+                best = candidate
+                best_score = s
+        temperature *= cooling
+    values = problem.evaluate(best)
+    objective = {
+        Criterion.PERIOD: values.period,
+        Criterion.LATENCY: values.latency,
+        Criterion.ENERGY: values.energy,
+    }[criterion]
+    return Solution(
+        mapping=best,
+        objective=objective,
+        values=values,
+        solver="simulated-annealing",
+        optimal=False,
+        stats={
+            "n_accepted": float(n_accepted),
+            "final_temperature": temperature,
+            "score": best_score,
+        },
+    )

@@ -1,0 +1,191 @@
+"""Constructive greedy heuristics for heterogeneous platforms.
+
+*Interval rule* (:func:`greedy_interval_period`): start with every
+application whole on the fastest available processor, then repeatedly split
+the interval with the worst weighted cycle-time, trying every cut point and
+every free processor for the detached half, keeping the split that most
+reduces the global period.  Stops at a local optimum or when processors run
+out.  ``O(p * n_max^2 * p)`` overall -- polynomial.
+
+*One-to-one rule* (:func:`greedy_one_to_one_period`): stages sorted by
+decreasing weighted work are assigned one by one to the free processor
+minimizing the stage's (estimated) cycle-time.  Communication times are
+estimated with the incident links available at decision time.
+
+Both return ``Solution(optimal=False)``: they are the polynomial arm of the
+NP-hard benches, to be contrasted with :mod:`repro.algorithms.exact`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.evaluation import evaluate
+from ...core.exceptions import InfeasibleProblemError
+from ...core.mapping import Assignment, Mapping
+from ...core.problem import ProblemInstance, Solution
+from ...core.types import Criterion, IN_ENDPOINT, MappingRule, OUT_ENDPOINT
+
+
+def _initial_whole_app_mapping(problem: ProblemInstance) -> List[Assignment]:
+    """Each application whole on the fastest still-free processor (fastest
+    applications-by-load first, so heavy applications get fast processors)."""
+    order = sorted(
+        range(problem.n_apps),
+        key=lambda a: -problem.apps[a].weight * problem.apps[a].total_work,
+    )
+    by_speed = list(problem.platform.fastest_processors(problem.platform.n_processors))
+    assignments: List[Assignment] = []
+    for rank, a in enumerate(order):
+        u = by_speed[rank]
+        assignments.append(
+            Assignment(
+                app=a,
+                interval=(0, problem.apps[a].n_stages - 1),
+                proc=u,
+                speed=problem.platform.processor(u).max_speed,
+            )
+        )
+    return assignments
+
+
+def greedy_interval_period(problem: ProblemInstance) -> Solution:
+    """Split-the-bottleneck greedy for interval-mapping period minimization
+    on arbitrary platforms (all processors at full speed)."""
+    if problem.n_apps > problem.platform.n_processors:
+        raise InfeasibleProblemError(
+            "need at least one processor per application"
+        )
+    assignments = _initial_whole_app_mapping(problem)
+    mapping = Mapping.from_assignments(assignments)
+
+    def rank(values) -> Tuple[float, float]:
+        # Lexicographic score: the global weighted period first, then the
+        # sum of weighted per-application periods.  The tie-breaker lets the
+        # greedy keep splitting non-critical applications when several tie
+        # at the bottleneck (otherwise partition-like instances stall the
+        # search immediately).
+        total = sum(
+            problem.apps[a].weight * t for a, t in values.periods.items()
+        )
+        return (values.period, total)
+
+    best_values = problem.evaluate(mapping)
+    best_rank = rank(best_values)
+    n_rounds = 0
+    while True:
+        n_rounds += 1
+        used = set(mapping.enrolled_processors)
+        free = [u for u in range(problem.platform.n_processors) if u not in used]
+        if not free:
+            break
+        improved: Optional[Tuple[Tuple[float, float], Mapping]] = None
+        # Candidate splits: every splittable assignment, every cut, every
+        # free processor for the right half.
+        for victim in mapping.assignments:
+            lo, hi = victim.interval
+            if lo == hi:
+                continue
+            others = [x for x in mapping.assignments if x is not victim]
+            for cut in range(lo, hi):
+                for u in free:
+                    speed = problem.platform.processor(u).max_speed
+                    candidate = Mapping.from_assignments(
+                        others
+                        + [
+                            Assignment(
+                                app=victim.app,
+                                interval=(lo, cut),
+                                proc=victim.proc,
+                                speed=victim.speed,
+                            ),
+                            Assignment(
+                                app=victim.app,
+                                interval=(cut + 1, hi),
+                                proc=u,
+                                speed=speed,
+                            ),
+                        ]
+                    )
+                    candidate_rank = rank(problem.evaluate(candidate))
+                    if candidate_rank < best_rank and (
+                        improved is None or candidate_rank < improved[0]
+                    ):
+                        improved = (candidate_rank, candidate)
+        if improved is None:
+            break
+        mapping = improved[1]
+        best_values = problem.evaluate(mapping)
+        best_rank = rank(best_values)
+    return Solution(
+        mapping=mapping,
+        objective=best_values.period,
+        values=best_values,
+        solver="greedy-split-bottleneck",
+        optimal=False,
+        stats={"n_rounds": float(n_rounds)},
+    )
+
+
+def greedy_one_to_one_period(problem: ProblemInstance) -> Solution:
+    """List-scheduling greedy for one-to-one period minimization on
+    arbitrary platforms: heaviest stages first, each on the free processor
+    minimizing its estimated weighted cycle-time."""
+    apps = problem.apps
+    platform = problem.platform
+    N = problem.n_stages_total
+    if N > platform.n_processors:
+        raise InfeasibleProblemError(
+            "one-to-one mapping requires p >= N "
+            f"(p={platform.n_processors}, N={N})"
+        )
+    stages = [
+        (a, k) for a, app in enumerate(apps) for k in range(app.n_stages)
+    ]
+    stages.sort(key=lambda s: -apps[s[0]].weight * apps[s[0]].stages[s[1]].work)
+    placed: dict = {}
+    free = set(range(platform.n_processors))
+
+    def estimated_cycle(a: int, k: int, u: int) -> float:
+        # Neighbour processors may not be placed yet; their links are then
+        # estimated with the platform default bandwidth.
+        app = apps[a]
+        if k == 0:
+            bw_in = platform.bandwidth(IN_ENDPOINT, u, a)
+        elif (a, k - 1) in placed:
+            bw_in = platform.bandwidth(placed[(a, k - 1)], u, a)
+        else:
+            bw_in = platform.default_bandwidth
+        if k == app.n_stages - 1:
+            bw_out = platform.bandwidth(u, OUT_ENDPOINT, a)
+        elif (a, k + 1) in placed:
+            bw_out = platform.bandwidth(u, placed[(a, k + 1)], a)
+        else:
+            bw_out = platform.default_bandwidth
+        t_in = app.input_size(k) / bw_in
+        t_out = app.output_size(k) / bw_out
+        t_comp = app.stages[k].work / platform.processor(u).max_speed
+        return app.weight * problem.model.combine(t_in, t_comp, t_out)
+
+    for a, k in stages:
+        u_best = min(free, key=lambda u: (estimated_cycle(a, k, u), u))
+        placed[(a, k)] = u_best
+        free.remove(u_best)
+    mapping = Mapping.from_assignments(
+        Assignment(
+            app=a,
+            interval=(k, k),
+            proc=u,
+            speed=platform.processor(u).max_speed,
+        )
+        for (a, k), u in placed.items()
+    )
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.period,
+        values=values,
+        solver="greedy-one-to-one",
+        optimal=False,
+    )

@@ -1,0 +1,286 @@
+"""Local search over mappings: neighborhood and hill climbing.
+
+The neighborhood of a valid mapping contains every valid mapping obtained by
+one elementary move:
+
+* ``mode``: change the speed of one enrolled processor to an adjacent mode;
+* ``swap``: exchange the processors (with their speeds re-clamped to the
+  fastest mode of the new host when the old speed is unavailable) of two
+  assignments;
+* ``move``: relocate one assignment to a free processor;
+* ``shift``: move one stage across the boundary of two adjacent intervals
+  of the same application;
+* ``split``: cut one interval in two, enrolling a free processor;
+* ``merge``: fuse two adjacent intervals of the same application onto the
+  first one's processor, releasing the second processor.
+
+``split``/``merge``/``shift`` are disabled under the one-to-one rule.
+
+:func:`hill_climb` minimizes a criterion subject to thresholds with
+best-improvement descent over this neighborhood; infeasible neighbors are
+scored with a large penalty per violated threshold so the search can walk
+back into the feasible region.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ...core.mapping import Assignment, Mapping
+from ...core.objectives import Thresholds
+from ...core.problem import ProblemInstance, Solution
+from ...core.types import Criterion, MappingRule
+
+#: Penalty factor applied per unit of relative threshold violation.
+_PENALTY = 1e9
+
+
+def _clamp_speed(problem: ProblemInstance, proc: int, speed: float) -> float:
+    """The processor's own mode closest to ``speed`` from above (or its
+    fastest mode)."""
+    processor = problem.platform.processor(proc)
+    if processor.has_speed(speed):
+        return speed
+    at_least = processor.slowest_speed_at_least(speed)
+    return at_least if at_least is not None else processor.max_speed
+
+
+def neighbors(
+    problem: ProblemInstance, mapping: Mapping
+) -> Iterator[Mapping]:
+    """Yield all neighbors of a valid mapping (all of them valid)."""
+    assignments = list(mapping.assignments)
+    used = set(mapping.enrolled_processors)
+    free = [
+        u for u in range(problem.platform.n_processors) if u not in used
+    ]
+    interval_rule = problem.rule is MappingRule.INTERVAL
+
+    # mode moves
+    for idx, x in enumerate(assignments):
+        speeds = problem.platform.processor(x.proc).speeds
+        pos = min(
+            range(len(speeds)), key=lambda i: abs(speeds[i] - x.speed)
+        )
+        for new_pos in (pos - 1, pos + 1):
+            if 0 <= new_pos < len(speeds):
+                yield Mapping.from_assignments(
+                    assignments[:idx]
+                    + [
+                        Assignment(
+                            app=x.app,
+                            interval=x.interval,
+                            proc=x.proc,
+                            speed=speeds[new_pos],
+                        )
+                    ]
+                    + assignments[idx + 1 :]
+                )
+
+    # swap moves
+    for i in range(len(assignments)):
+        for j in range(i + 1, len(assignments)):
+            a, b = assignments[i], assignments[j]
+            new_a = Assignment(
+                app=a.app,
+                interval=a.interval,
+                proc=b.proc,
+                speed=_clamp_speed(problem, b.proc, a.speed),
+            )
+            new_b = Assignment(
+                app=b.app,
+                interval=b.interval,
+                proc=a.proc,
+                speed=_clamp_speed(problem, a.proc, b.speed),
+            )
+            rest = [
+                x for k, x in enumerate(assignments) if k not in (i, j)
+            ]
+            yield Mapping.from_assignments(rest + [new_a, new_b])
+
+    # move-to-free moves
+    for idx, x in enumerate(assignments):
+        for u in free:
+            yield Mapping.from_assignments(
+                assignments[:idx]
+                + [
+                    Assignment(
+                        app=x.app,
+                        interval=x.interval,
+                        proc=u,
+                        speed=_clamp_speed(problem, u, x.speed),
+                    )
+                ]
+                + assignments[idx + 1 :]
+            )
+
+    if not interval_rule:
+        return
+
+    # shift / merge moves over adjacent interval pairs
+    for a_idx in mapping.applications:
+        parts = mapping.for_app(a_idx)
+        for j in range(len(parts) - 1):
+            left, right = parts[j], parts[j + 1]
+            rest = [
+                x
+                for x in assignments
+                if x not in (left, right)
+            ]
+            # shift boundary left/right
+            l_lo, l_hi = left.interval
+            r_lo, r_hi = right.interval
+            if l_lo < l_hi:  # give left's last stage to right
+                yield Mapping.from_assignments(
+                    rest
+                    + [
+                        Assignment(
+                            app=a_idx,
+                            interval=(l_lo, l_hi - 1),
+                            proc=left.proc,
+                            speed=left.speed,
+                        ),
+                        Assignment(
+                            app=a_idx,
+                            interval=(l_hi, r_hi),
+                            proc=right.proc,
+                            speed=right.speed,
+                        ),
+                    ]
+                )
+            if r_lo < r_hi:  # give right's first stage to left
+                yield Mapping.from_assignments(
+                    rest
+                    + [
+                        Assignment(
+                            app=a_idx,
+                            interval=(l_lo, r_lo),
+                            proc=left.proc,
+                            speed=left.speed,
+                        ),
+                        Assignment(
+                            app=a_idx,
+                            interval=(r_lo + 1, r_hi),
+                            proc=right.proc,
+                            speed=right.speed,
+                        ),
+                    ]
+                )
+            # merge onto the left processor
+            yield Mapping.from_assignments(
+                rest
+                + [
+                    Assignment(
+                        app=a_idx,
+                        interval=(l_lo, r_hi),
+                        proc=left.proc,
+                        speed=left.speed,
+                    )
+                ]
+            )
+
+    # split moves
+    for idx, x in enumerate(assignments):
+        lo, hi = x.interval
+        if lo == hi or not free:
+            continue
+        rest = assignments[:idx] + assignments[idx + 1 :]
+        for cut in range(lo, hi):
+            for u in free:
+                yield Mapping.from_assignments(
+                    rest
+                    + [
+                        Assignment(
+                            app=x.app,
+                            interval=(lo, cut),
+                            proc=x.proc,
+                            speed=x.speed,
+                        ),
+                        Assignment(
+                            app=x.app,
+                            interval=(cut + 1, hi),
+                            proc=u,
+                            speed=problem.platform.processor(u).max_speed,
+                        ),
+                    ]
+                )
+
+
+def score(
+    problem: ProblemInstance,
+    mapping: Mapping,
+    criterion: Criterion,
+    thresholds: Thresholds,
+) -> float:
+    """Penalized objective: criterion value plus a large penalty per unit of
+    relative threshold violation (0 violation = plain objective)."""
+    values = problem.evaluate(mapping)
+    objective = {
+        Criterion.PERIOD: values.period,
+        Criterion.LATENCY: values.latency,
+        Criterion.ENERGY: values.energy,
+    }[criterion]
+    penalty = 0.0
+    for value, bound in (
+        (values.period, thresholds.period),
+        (values.latency, thresholds.latency),
+        (values.energy, thresholds.energy),
+    ):
+        if bound is not None and value > bound:
+            penalty += _PENALTY * (value / bound - 1.0) + _PENALTY
+    if thresholds.per_app_period is not None:
+        for a, t in values.periods.items():
+            bound = thresholds.per_app_period[a]
+            if t > bound:
+                penalty += _PENALTY * (t / bound - 1.0) + _PENALTY
+    if thresholds.per_app_latency is not None:
+        for a, l in values.latencies.items():
+            bound = thresholds.per_app_latency[a]
+            if l > bound:
+                penalty += _PENALTY * (l / bound - 1.0) + _PENALTY
+    return objective + penalty
+
+
+def hill_climb(
+    problem: ProblemInstance,
+    start: Mapping,
+    criterion: Criterion,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    max_iterations: int = 10_000,
+) -> Solution:
+    """Best-improvement descent from ``start`` over :func:`neighbors`.
+
+    Returns the local optimum reached (``optimal=False``).
+    """
+    current = start
+    current_score = score(problem, current, criterion, thresholds)
+    n_steps = 0
+    for _ in range(max_iterations):
+        best_neighbor: Optional[Mapping] = None
+        best_score = current_score
+        for candidate in neighbors(problem, current):
+            s = score(problem, candidate, criterion, thresholds)
+            if s < best_score - 1e-15:
+                best_score = s
+                best_neighbor = candidate
+        if best_neighbor is None:
+            break
+        current = best_neighbor
+        current_score = best_score
+        n_steps += 1
+    values = problem.evaluate(current)
+    objective = {
+        Criterion.PERIOD: values.period,
+        Criterion.LATENCY: values.latency,
+        Criterion.ENERGY: values.energy,
+    }[criterion]
+    return Solution(
+        mapping=current,
+        objective=objective,
+        values=values,
+        solver="hill-climb",
+        optimal=False,
+        stats={"n_steps": float(n_steps), "score": current_score},
+    )

@@ -1,0 +1,141 @@
+"""Energy-greedy mode downgrading (tri-criteria "server problem" heuristic).
+
+Given period and latency thresholds and a starting mapping that meets them
+with every processor at full speed, repeatedly apply the energy-saving move
+with the best gain that keeps all thresholds satisfied:
+
+* *downgrade*: step one enrolled processor down to its next slower mode;
+* *merge*: fuse two adjacent intervals of the same application onto one
+  processor, releasing the other (saves its static *and* dynamic energy).
+
+The loop stops when no move keeps the thresholds.  Each iteration removes a
+mode step or a processor, so the heuristic is polynomial:
+``O((p * m_max + N) ...)`` iterations, each scanning ``O(p + N)`` moves.
+
+This is the practical face of the NP-hard multi-modal tri-criteria problem
+(Theorems 26-27); the benches compare it against the exact solver on small
+instances and report its scalability on large ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from ...core.mapping import Assignment, Mapping
+from ...core.objectives import Thresholds
+from ...core.problem import ProblemInstance, Solution
+from ...core.types import Criterion, MappingRule
+
+
+def _meets(problem: ProblemInstance, mapping: Mapping, thresholds: Thresholds) -> bool:
+    values = problem.evaluate(mapping)
+    if not values.meets(
+        period=thresholds.period,
+        latency=thresholds.latency,
+        energy=thresholds.energy,
+    ):
+        return False
+    if thresholds.per_app_period is not None and any(
+        values.periods[a] > thresholds.per_app_period[a] * (1 + 1e-9)
+        for a in values.periods
+    ):
+        return False
+    if thresholds.per_app_latency is not None and any(
+        values.latencies[a] > thresholds.per_app_latency[a] * (1 + 1e-9)
+        for a in values.latencies
+    ):
+        return False
+    return True
+
+
+def _downgrade_moves(
+    problem: ProblemInstance, mapping: Mapping
+) -> List[Mapping]:
+    out: List[Mapping] = []
+    assignments = list(mapping.assignments)
+    for idx, x in enumerate(assignments):
+        speeds = problem.platform.processor(x.proc).speeds
+        slower = [s for s in speeds if s < x.speed]
+        if not slower:
+            continue
+        out.append(
+            Mapping.from_assignments(
+                assignments[:idx]
+                + [
+                    Assignment(
+                        app=x.app,
+                        interval=x.interval,
+                        proc=x.proc,
+                        speed=slower[-1],  # next mode down
+                    )
+                ]
+                + assignments[idx + 1 :]
+            )
+        )
+    return out
+
+
+def _merge_moves(problem: ProblemInstance, mapping: Mapping) -> List[Mapping]:
+    if problem.rule is not MappingRule.INTERVAL:
+        return []
+    out: List[Mapping] = []
+    assignments = list(mapping.assignments)
+    for a_idx in mapping.applications:
+        parts = mapping.for_app(a_idx)
+        for j in range(len(parts) - 1):
+            left, right = parts[j], parts[j + 1]
+            rest = [x for x in assignments if x not in (left, right)]
+            for host in (left, right):
+                out.append(
+                    Mapping.from_assignments(
+                        rest
+                        + [
+                            Assignment(
+                                app=a_idx,
+                                interval=(left.interval[0], right.interval[1]),
+                                proc=host.proc,
+                                speed=host.speed,
+                            )
+                        ]
+                    )
+                )
+    return out
+
+
+def greedy_mode_downgrade(
+    problem: ProblemInstance,
+    start: Mapping,
+    thresholds: Thresholds,
+) -> Solution:
+    """Greedily minimize energy from ``start`` under period/latency
+    thresholds; raises nothing when ``start`` itself violates them (the
+    returned solution simply keeps the violation -- callers should provide a
+    feasible start, e.g. a performance-optimal mapping at full speed)."""
+    current = start
+    current_energy = problem.evaluate(current).energy
+    n_moves = 0
+    while True:
+        best: Optional[Tuple[float, Mapping]] = None
+        for candidate in _downgrade_moves(problem, current) + _merge_moves(
+            problem, current
+        ):
+            if not _meets(problem, candidate, thresholds):
+                continue
+            e = problem.evaluate(candidate).energy
+            if e < current_energy and (best is None or e < best[0]):
+                best = (e, candidate)
+        if best is None:
+            break
+        current = best[1]
+        current_energy = best[0]
+        n_moves += 1
+    values = problem.evaluate(current)
+    return Solution(
+        mapping=current,
+        objective=values.energy,
+        values=values,
+        solver="greedy-mode-downgrade",
+        optimal=False,
+        stats={"n_moves": float(n_moves)},
+    )

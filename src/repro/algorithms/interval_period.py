@@ -1,0 +1,141 @@
+"""Single-application interval-mapping period oracle on identical processors.
+
+The multi-application algorithm of Theorem 3 (and its bi-/tri-criteria
+cousins of Theorems 16 and 24) consumes a *single-application oracle*: the
+optimal period ``T_a(q)`` achievable when mapping application ``a`` onto at
+most ``q`` identical processors of speed ``s`` with homogeneous links of
+bandwidth ``b``.  The paper takes that oracle from [Benoit & Robert 2008];
+we implement it as a dynamic program over stage prefixes:
+
+``T(i, q) = min( T(i, q-1),
+                 min_{0 <= j < i} max( T(j, q-1), cycle(stages j..i-1) ) )``
+
+where ``cycle`` is the interval cycle-time under the requested communication
+model.  ``T(i, q)`` is non-increasing in ``q`` (extra processors can always
+be left unused), which is exactly the monotonicity the greedy allocation of
+Algorithm 2 relies on.  Complexity ``O(n^2 q_max)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.evaluation import interval_cycle_time
+from ..core.types import CommunicationModel, Interval
+
+
+@dataclass(frozen=True)
+class SingleAppPeriodTable:
+    """The oracle values ``T_a(q)`` together with reconstruction pointers.
+
+    ``periods[q]`` is the optimal period using at most ``q`` processors
+    (index 0 is a ``math.inf`` sentinel: an application cannot run on zero
+    processors).  :meth:`reconstruct` rebuilds an optimal interval partition
+    for a given processor count.
+    """
+
+    app: Application
+    speed: float
+    bandwidth: float
+    model: CommunicationModel
+    periods: Tuple[float, ...]
+    #: ``parents[q][i]`` = start of the last interval in an optimal solution
+    #: covering the first ``i`` stages with at most ``q`` processors, or -1
+    #: when the optimum for ``(i, q)`` already uses at most ``q-1``.
+    parents: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def max_procs(self) -> int:
+        """The largest processor count tabulated."""
+        return len(self.periods) - 1
+
+    def period(self, q: int) -> float:
+        """Optimal period with at most ``q`` processors (clamped to the
+        table size: more processors than stages never help)."""
+        return self.periods[min(q, self.max_procs)]
+
+    def reconstruct(self, q: int) -> List[Interval]:
+        """An optimal interval partition for at most ``q`` processors."""
+        q = min(q, self.max_procs)
+        n = self.app.n_stages
+        if q < 1 or not math.isfinite(self.periods[q]):
+            raise ValueError(f"no feasible partition with {q} processors")
+        intervals: List[Interval] = []
+        i = n
+        while i > 0:
+            j = self.parents[q][i]
+            while j < 0:
+                # The optimum at (i, q) already uses fewer processors.
+                q -= 1
+                j = self.parents[q][i]
+            intervals.append((j, i - 1))
+            i = j
+            q -= 1
+        intervals.reverse()
+        return intervals
+
+
+def interval_cycle(
+    app: Application,
+    interval: Interval,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel,
+) -> float:
+    """Cycle-time of one interval under homogeneous links."""
+    return interval_cycle_time(app, interval, speed, bandwidth, bandwidth, model)
+
+
+def single_app_period_table(
+    app: Application,
+    max_procs: int,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> SingleAppPeriodTable:
+    """Tabulate ``T_a(q)`` for ``q = 1 .. min(max_procs, n)``.
+
+    More processors than stages are never useful for a single application,
+    so the table is clamped at ``n`` columns.
+    """
+    n = app.n_stages
+    q_max = max(1, min(max_procs, n))
+
+    # cycle[j][i] = cycle-time of the interval covering stages j .. i-1.
+    cycle = [[0.0] * (n + 1) for _ in range(n)]
+    for j in range(n):
+        for i in range(j + 1, n + 1):
+            cycle[j][i] = interval_cycle(app, (j, i - 1), speed, bandwidth, model)
+
+    inf = math.inf
+    # T[q][i]: optimal period of the first i stages with at most q procs.
+    prev = [0.0] + [inf] * n  # q = 0
+    periods: List[float] = [inf]
+    parents: List[Tuple[int, ...]] = [tuple([-1] * (n + 1))]
+    for q in range(1, q_max + 1):
+        cur = [0.0] + [inf] * n
+        par = [-1] * (n + 1)
+        for i in range(1, n + 1):
+            best = prev[i]  # "use at most q-1 processors" option
+            best_j = -1
+            for j in range(i):
+                value = max(prev[j], cycle[j][i])
+                if value < best:
+                    best = value
+                    best_j = j
+            cur[i] = best
+            par[i] = best_j
+        periods.append(cur[n])
+        parents.append(tuple(par))
+        prev = cur
+    return SingleAppPeriodTable(
+        app=app,
+        speed=speed,
+        bandwidth=bandwidth,
+        model=model,
+        periods=tuple(periods),
+        parents=tuple(parents),
+    )

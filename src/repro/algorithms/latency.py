@@ -1,0 +1,168 @@
+"""Latency minimization (Theorems 8 and 12).
+
+*One-to-one mappings on fully homogeneous platforms* (Theorem 8): all
+one-to-one mappings are equivalent (identical processors, identical links),
+so any canonical assignment is optimal.
+
+*Interval mappings on communication homogeneous platforms* (Theorem 12):
+with a single application, mapping the whole chain onto the fastest
+processor dominates every split (splitting adds communications and cannot
+speed up computation beyond the fastest processor).  With several concurrent
+applications, keep the ``A`` fastest processors and assign applications to
+processors one-to-one; the optimal value lies in the candidate set
+``{ W_a * (delta_0/b_a + sum_k w_k^a / s_u + delta_n/b_a) }`` and a greedy
+assignment identical in spirit to Algorithm 1 (processors from slowest to
+fastest, each taking any feasible free application) tests feasibility of a
+candidate.  Complexity ``O(A p log(A p))``.
+
+Latency does not depend on the communication model (Equation (5)), so both
+solvers apply to the overlap and no-overlap models alike.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..core.application import Application
+from ..core.evaluation import whole_app_latency_on_processor
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.mapping import Assignment, Mapping
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import MappingRule, PlatformClass
+from .binary_search import smallest_feasible
+from .one_to_one_period import _app_bandwidth, _require_comm_homogeneous
+
+
+def canonical_one_to_one_mapping(problem: ProblemInstance) -> Mapping:
+    """The canonical one-to-one mapping: stages in application order onto
+    processors ``0, 1, 2, ...`` at full speed.  On a fully homogeneous
+    platform every one-to-one mapping achieves the same criteria values, so
+    this mapping is optimal for latency (Theorem 8), and for any
+    period/latency combination (Theorem 14)."""
+    assignments: List[Assignment] = []
+    next_proc = 0
+    for a, app in enumerate(problem.apps):
+        for k in range(app.n_stages):
+            speed = problem.platform.processor(next_proc).max_speed
+            assignments.append(
+                Assignment(app=a, interval=(k, k), proc=next_proc, speed=speed)
+            )
+            next_proc += 1
+    return Mapping.from_assignments(assignments)
+
+
+def minimize_latency_one_to_one_fully_hom(problem: ProblemInstance) -> Solution:
+    """Theorem 8: one-to-one latency minimization on fully homogeneous
+    platforms -- all mappings are equivalent, return the canonical one."""
+    if problem.platform.platform_class is not PlatformClass.FULLY_HOMOGENEOUS:
+        raise SolverError(
+            "Theorem 8 requires a fully homogeneous platform "
+            "(the problem is NP-complete with heterogeneous processors, "
+            "Theorem 9)"
+        )
+    if problem.n_stages_total > problem.platform.n_processors:
+        raise InfeasibleProblemError(
+            "one-to-one mapping requires p >= N "
+            f"(p={problem.platform.n_processors}, N={problem.n_stages_total})"
+        )
+    mapping = canonical_one_to_one_mapping(problem)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.latency,
+        values=values,
+        solver="theorem8-canonical",
+        optimal=True,
+    )
+
+
+def weighted_whole_app_latency(
+    apps: Sequence[Application],
+    platform: Platform,
+    app_index: int,
+    proc: int,
+) -> float:
+    """``W_a * L_a`` when application ``a`` runs entirely on processor
+    ``proc`` at full speed (comm-homogeneous links)."""
+    app = apps[app_index]
+    bw = _app_bandwidth(platform, app_index)
+    return app.weight * whole_app_latency_on_processor(
+        app, platform.processor(proc).max_speed, bw, bw
+    )
+
+
+def greedy_app_assignment(
+    apps: Sequence[Application],
+    platform: Platform,
+    latency: float,
+) -> Optional[Mapping]:
+    """Feasibility test for a candidate latency: keep the ``A`` fastest
+    processors, scan them slowest first, give each any free application it
+    can run entirely within the candidate weighted latency."""
+    A = len(apps)
+    if A > platform.n_processors:
+        return None
+    fastest = platform.fastest_processors(A)
+    order = sorted(fastest, key=lambda u: (platform.processor(u).max_speed, u))
+    free = set(range(A))
+    chosen: Dict[int, int] = {}
+    for u in order:
+        picked: Optional[int] = None
+        for a in sorted(free):
+            if weighted_whole_app_latency(apps, platform, a, u) <= latency:
+                picked = a
+                break
+        if picked is None:
+            return None
+        free.remove(picked)
+        chosen[picked] = u
+    return Mapping.from_assignments(
+        Assignment(
+            app=a,
+            interval=(0, apps[a].n_stages - 1),
+            proc=u,
+            speed=platform.processor(u).max_speed,
+        )
+        for a, u in chosen.items()
+    )
+
+
+def latency_candidates(
+    apps: Sequence[Application], platform: Platform
+) -> List[float]:
+    """The candidate latency set of Theorem 12 (size ``A * p``)."""
+    return [
+        weighted_whole_app_latency(apps, platform, a, u)
+        for a in range(len(apps))
+        for u in range(platform.n_processors)
+    ]
+
+
+def minimize_latency_interval(problem: ProblemInstance) -> Solution:
+    """Theorem 12: optimal interval-mapping latency on communication
+    homogeneous platforms (one whole application per processor)."""
+    _require_comm_homogeneous(problem.platform, "Theorem 12")
+    candidates = latency_candidates(problem.apps, problem.platform)
+    result = smallest_feasible(
+        candidates,
+        lambda l: greedy_app_assignment(problem.apps, problem.platform, l),
+    )
+    if result.witness is None:
+        raise InfeasibleProblemError(
+            "greedy application assignment failed at every candidate latency"
+        )
+    mapping = result.witness
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.latency,
+        values=values,
+        solver="theorem12-binary-search-greedy",
+        optimal=True,
+        stats={
+            "n_candidates": float(len(set(candidates))),
+            "n_feasibility_tests": float(result.n_tests),
+        },
+    )

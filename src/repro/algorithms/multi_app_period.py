@@ -1,0 +1,111 @@
+"""Period minimization for interval mappings on fully homogeneous platforms
+(Theorem 3 = Algorithm 2 + the single-application DP oracle).
+
+All processors are identical, so only the *number* of processors granted to
+each application matters; the greedy allocation of Algorithm 2 distributes
+them optimally because the single-application optimal period ``T_a(q)`` is
+non-increasing in ``q``.  Without an energy criterion every enrolled
+processor runs its fastest mode.
+
+Complexity: each oracle table costs ``O(n_a^2 p)`` and the allocation
+performs ``p - A`` constant-time grants, for a total of ``O(n_max^2 A p)``
+-- polynomial, matching the paper's claim (the paper quotes ``O(n^3 p^2)``
+with its coarser oracle bound).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.mapping import Assignment, Mapping
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import MappingRule, PlatformClass
+from .interval_period import SingleAppPeriodTable, single_app_period_table
+from .processor_allocation import AllocationResult, allocate_processors
+
+
+def _require_fully_homogeneous(problem: ProblemInstance, solver: str) -> None:
+    if problem.platform.platform_class is not PlatformClass.FULLY_HOMOGENEOUS:
+        raise SolverError(
+            f"{solver} requires a fully homogeneous platform; "
+            "the problem is NP-complete beyond it (Theorems 4-7) -- "
+            "use the exact or heuristic solvers instead"
+        )
+
+
+def build_mapping_from_counts(
+    problem: ProblemInstance,
+    tables: Sequence[SingleAppPeriodTable],
+    counts: Sequence[int],
+) -> Mapping:
+    """Materialize a mapping from per-application processor counts by
+    reconstructing each application's optimal partition and assigning
+    processor indices ``0, 1, 2, ...`` in order (identical processors, so
+    the naming is irrelevant)."""
+    assignments: List[Assignment] = []
+    next_proc = 0
+    speed = problem.platform.common_speed_set()[-1]
+    for a, (table, q) in enumerate(zip(tables, counts)):
+        for interval in table.reconstruct(q):
+            assignments.append(
+                Assignment(app=a, interval=interval, proc=next_proc, speed=speed)
+            )
+            next_proc += 1
+    if next_proc > problem.platform.n_processors:
+        raise InfeasibleProblemError(
+            "reconstruction used more processors than available "
+            f"({next_proc} > {problem.platform.n_processors})"
+        )
+    return Mapping.from_assignments(assignments)
+
+
+def minimize_period_interval(problem: ProblemInstance) -> Solution:
+    """Theorem 3: optimal global weighted period for interval mappings on a
+    fully homogeneous platform, with any number of concurrent applications.
+
+    Raises
+    ------
+    SolverError
+        If the platform is not fully homogeneous.
+    InfeasibleProblemError
+        If there are fewer processors than applications.
+    """
+    _require_fully_homogeneous(problem, "Theorem 3")
+    platform = problem.platform
+    speed = platform.common_speed_set()[-1]
+    bandwidth = platform.default_bandwidth
+    p = platform.n_processors
+    A = problem.n_apps
+
+    max_per_app = p - (A - 1)  # every other application keeps >= 1 processor
+    tables = [
+        single_app_period_table(
+            app, max_per_app, speed, bandwidth, problem.model
+        )
+        for app in problem.apps
+    ]
+
+    def weighted_value(a: int, q: int) -> float:
+        return problem.apps[a].weight * tables[a].period(q)
+
+    allocation = allocate_processors(
+        A,
+        p,
+        weighted_value,
+        max_useful=[t.max_procs for t in tables],
+    )
+    mapping = build_mapping_from_counts(problem, tables, allocation.counts)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.period,
+        values=values,
+        solver="theorem3-allocation-dp",
+        optimal=True,
+        stats={
+            "n_grants": float(len(allocation.history)),
+            "n_procs_used": float(allocation.n_processors_used),
+        },
+    )

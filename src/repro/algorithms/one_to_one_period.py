@@ -1,0 +1,185 @@
+"""Period minimization for one-to-one mappings (Theorem 1, Algorithm 1).
+
+On *communication homogeneous* platforms (identical links within each
+application, possibly different-speed processors), a one-to-one mapping
+minimizing the global weighted period is found in polynomial time:
+
+1. the optimal period belongs to the candidate set
+   ``{ W_a * cycle(S_k^a on P_u) : a, k, u }`` because it equals the weighted
+   cycle-time of some processor executing some stage;
+2. binary search over the sorted candidates; each probe ``T`` is tested with
+   the *greedy assignment* procedure (Algorithm 1): keep the ``N`` fastest
+   processors, consider them from slowest to fastest, and give each any
+   still-free stage it can process within ``T``.
+
+The exchange argument of the paper shows the greedy test is exact, for both
+the overlap model (cycle = max of the three activity times) and the
+no-overlap model (cycle = their sum).
+
+The same module exposes the greedy assignment on its own, so the test suite
+can probe it directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.evaluation import stage_cycle_time
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.mapping import Assignment, Mapping
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import CommunicationModel, MappingRule
+from .binary_search import smallest_feasible
+
+#: Stage identifier: (application index, stage index).
+StageId = Tuple[int, int]
+
+
+def _require_comm_homogeneous(platform: Platform, solver: str) -> None:
+    if not (platform.has_homogeneous_links or platform.has_per_app_homogeneous_links):
+        raise SolverError(
+            f"{solver} requires communication-homogeneous links "
+            "(Theorem 1 does not hold on fully heterogeneous platforms; "
+            "use the exact or heuristic solvers instead)"
+        )
+
+
+def _app_bandwidth(platform: Platform, app_index: int) -> float:
+    """The per-application link bandwidth ``b_a`` of a comm-homogeneous
+    platform (falls back to the default bandwidth)."""
+    return platform.app_bandwidths.get(app_index, platform.default_bandwidth)
+
+
+def weighted_stage_cycle(
+    apps: Sequence[Application],
+    platform: Platform,
+    stage: StageId,
+    speed: float,
+    model: CommunicationModel,
+) -> float:
+    """``W_a * cycle-time`` of one stage on a processor at ``speed`` under
+    comm-homogeneous links -- the candidate values of Theorem 1."""
+    a, k = stage
+    app = apps[a]
+    bw = _app_bandwidth(platform, a)
+    return app.weight * stage_cycle_time(app, k, speed, bw, model)
+
+
+def greedy_assignment(
+    apps: Sequence[Application],
+    platform: Platform,
+    period: float,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> Optional[Mapping]:
+    """Algorithm 1: test whether a one-to-one mapping of weighted period at
+    most ``period`` exists; return one if so, ``None`` otherwise.
+
+    Keeps only the ``N`` fastest processors, scans them from slowest to
+    fastest, and assigns to each any free stage it can process within the
+    period (every processor runs its fastest mode: with no energy criterion,
+    faster can only help).
+    """
+    stages: List[StageId] = [
+        (a, k) for a, app in enumerate(apps) for k in range(app.n_stages)
+    ]
+    n = len(stages)
+    if n > platform.n_processors:
+        return None
+    fastest = platform.fastest_processors(n)
+    # Slowest-to-fastest among the N retained processors.
+    order = sorted(fastest, key=lambda u: (platform.processor(u).max_speed, u))
+    free = set(stages)
+    chosen: Dict[StageId, int] = {}
+    for u in order:
+        speed = platform.processor(u).max_speed
+        picked: Optional[StageId] = None
+        # The exchange argument of Theorem 1 shows *any* feasible free stage
+        # works; iterate in sorted order for determinism.
+        for stage in sorted(free):
+            if weighted_stage_cycle(apps, platform, stage, speed, model) <= period:
+                picked = stage
+                break
+        if picked is None:
+            return None
+        free.remove(picked)
+        chosen[picked] = u
+    return Mapping.from_assignments(
+        Assignment(
+            app=a,
+            interval=(k, k),
+            proc=u,
+            speed=platform.processor(u).max_speed,
+        )
+        for (a, k), u in chosen.items()
+    )
+
+
+def period_candidates(
+    apps: Sequence[Application],
+    platform: Platform,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> List[float]:
+    """The candidate period set of Theorem 1:
+    ``{ W_a * cycle(S_k^a at speed s_u) }`` over all stages and processors.
+    Size at most ``n_max * A * p``."""
+    out: List[float] = []
+    for a, app in enumerate(apps):
+        bw = _app_bandwidth(platform, a)
+        for k in range(app.n_stages):
+            for proc in platform.processors:
+                out.append(
+                    app.weight
+                    * stage_cycle_time(app, k, proc.max_speed, bw, model)
+                )
+    return out
+
+
+def minimize_period_one_to_one(problem: ProblemInstance) -> Solution:
+    """Theorem 1: optimal one-to-one period on comm-homogeneous platforms.
+
+    Complexity ``O((n_max A p)^2 log(n_max A p))``: the candidate set has
+    ``O(n_max A p)`` values, each greedy probe is ``O(N^2)``, and the binary
+    search performs ``O(log(n_max A p))`` probes.
+
+    Raises
+    ------
+    SolverError
+        If the platform links are heterogeneous (outside Theorem 1's domain).
+    InfeasibleProblemError
+        If ``p < N`` (no one-to-one mapping exists at all).
+    """
+    _require_comm_homogeneous(platform=problem.platform, solver="Theorem 1")
+    if problem.n_stages_total > problem.platform.n_processors:
+        raise InfeasibleProblemError(
+            "one-to-one mapping requires p >= N "
+            f"(p={problem.platform.n_processors}, N={problem.n_stages_total})"
+        )
+    candidates = period_candidates(problem.apps, problem.platform, problem.model)
+    result = smallest_feasible(
+        candidates,
+        lambda t: greedy_assignment(
+            problem.apps, problem.platform, t, problem.model
+        ),
+    )
+    if result.witness is None:
+        # Cannot happen: the largest candidate is always feasible (assign
+        # every stage to the fastest free processor).  Guarded for safety.
+        raise InfeasibleProblemError(
+            "greedy assignment failed even at the largest candidate period"
+        )
+    mapping = result.witness
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.period,
+        values=values,
+        solver="theorem1-binary-search-greedy",
+        optimal=True,
+        stats={
+            "n_candidates": float(len(set(candidates))),
+            "n_feasibility_tests": float(result.n_tests),
+        },
+    )

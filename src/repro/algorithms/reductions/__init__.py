@@ -1,0 +1,38 @@
+"""Executable NP-hardness reductions (the proofs of Sections 4-5 as code).
+
+Each module builds the problem-instance *gadget* used by one hardness proof,
+and provides the forward (source solution -> mapping) and backward (mapping
+-> source solution) transfers, so the test suite can check the reduction
+equivalence on solvable and unsolvable source instances:
+
+* :mod:`partition` -- 2-PARTITION and 3-PARTITION instances with
+  pseudo-polynomial / backtracking solvers and seeded generators;
+* :mod:`period_interval` -- Theorem 5 (period, interval mappings,
+  heterogeneous processors, homogeneous pipelines, no communication);
+* :mod:`latency_one_to_one` -- Theorem 9 (latency, one-to-one mappings,
+  same platform family);
+* :mod:`tricriteria` -- Theorems 26 and 27 (tri-criteria with multi-modal
+  processors on fully homogeneous platforms, one application, no
+  communication).
+"""
+
+from .latency_one_to_one import LatencyOneToOneReduction
+from .partition import (
+    ThreePartitionInstance,
+    TwoPartitionInstance,
+    random_three_partition_yes_instance,
+    random_two_partition_instance,
+)
+from .period_interval import PeriodIntervalReduction
+from .tricriteria import TriCriteriaIntervalReduction, TriCriteriaOneToOneReduction
+
+__all__ = [
+    "LatencyOneToOneReduction",
+    "PeriodIntervalReduction",
+    "ThreePartitionInstance",
+    "TriCriteriaIntervalReduction",
+    "TriCriteriaOneToOneReduction",
+    "TwoPartitionInstance",
+    "random_three_partition_yes_instance",
+    "random_two_partition_instance",
+]

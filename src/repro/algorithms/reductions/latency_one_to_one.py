@@ -1,0 +1,127 @@
+"""Theorem 9 reduction: 3-PARTITION -> one-to-one latency minimization with
+heterogeneous processors, homogeneous pipelines and no communication.
+
+Gadget: for a 3-PARTITION instance ``(a_1 .. a_3m, B)`` build
+
+* ``m`` identical applications of 3 unit-work stages with zero-size data;
+* ``p = 3m`` uni-modal processors with speeds ``1 / a_j``;
+
+and ask for a global latency of at most ``B``.  Stage ``i`` of application
+``j`` placed on the processor of speed ``1/a`` contributes exactly ``a`` to
+the application latency (no communications), so application latencies are
+the triple sums -- at most ``B`` for all applications exactly when the
+triples partition the values.
+
+Theorems 10 (priority weights) and 11 (max-stretch) reuse the gadget with
+``w = 1/W_a`` rescaling, exposed through the ``weights`` argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.application import Application
+from ...core.exceptions import InvalidMappingError
+from ...core.mapping import Assignment, Mapping
+from ...core.platform import Platform
+from ...core.problem import ProblemInstance
+from ...core.processor import Processor
+from ...core.types import CommunicationModel, MappingRule
+from .partition import ThreePartitionInstance
+
+
+@dataclass(frozen=True)
+class LatencyOneToOneReduction:
+    """The Theorem 9 gadget for one 3-PARTITION instance."""
+
+    source: ThreePartitionInstance
+    problem: ProblemInstance
+    #: The decision threshold: "is there a mapping of latency <= target?"
+    target_latency: float
+
+    @classmethod
+    def build(
+        cls,
+        source: ThreePartitionInstance,
+        *,
+        weights: Optional[Sequence[float]] = None,
+        model: CommunicationModel = CommunicationModel.OVERLAP,
+    ) -> "LatencyOneToOneReduction":
+        """Construct the gadget (Theorem 9; Theorem 10 with weights)."""
+        m = source.m
+        if weights is None:
+            weights = [1.0] * m
+        if len(weights) != m:
+            raise ValueError(f"need {m} weights, got {len(weights)}")
+        apps = tuple(
+            Application.homogeneous(
+                3,
+                work=1.0 / weights[j],
+                output_size=0.0,
+                input_data_size=0.0,
+                weight=weights[j],
+                name=f"pipeline-{j + 1}",
+            )
+            for j in range(m)
+        )
+        platform = Platform(
+            processors=tuple(
+                Processor(speeds=(1.0 / a,), name=f"P{j + 1}")
+                for j, a in enumerate(source.values)
+            ),
+            default_bandwidth=1.0,
+            name="theorem9-gadget",
+        )
+        problem = ProblemInstance(
+            apps=apps,
+            platform=platform,
+            rule=MappingRule.ONE_TO_ONE,
+            model=model,
+        )
+        return cls(
+            source=source, problem=problem, target_latency=float(source.bound)
+        )
+
+    # ------------------------------------------------------------------
+    def mapping_from_partition(
+        self, triples: Sequence[Sequence[int]]
+    ) -> Mapping:
+        """Forward transfer: the three stages of application ``j`` go to its
+        triple's processors (one each, any order)."""
+        assignments: List[Assignment] = []
+        for app_index, triple in enumerate(triples):
+            if len(triple) != 3:
+                raise InvalidMappingError(f"triple {triple} must have size 3")
+            for k, proc_index in enumerate(triple):
+                assignments.append(
+                    Assignment(
+                        app=app_index,
+                        interval=(k, k),
+                        proc=proc_index,
+                        speed=1.0 / self.source.values[proc_index],
+                    )
+                )
+        return Mapping.from_assignments(assignments)
+
+    def partition_from_mapping(
+        self, mapping: Mapping
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Backward transfer: the processors of each application form its
+        triple; validity is checked against the bound ``B``."""
+        groups: List[Tuple[int, ...]] = []
+        for a in range(self.source.m):
+            procs = tuple(sorted(x.proc for x in mapping.for_app(a)))
+            total = sum(self.source.values[u] for u in procs)
+            if len(procs) != 3 or total != self.source.bound:
+                raise InvalidMappingError(
+                    f"application {a}: processors {procs} sum to {total}, "
+                    f"expected a triple summing to {self.source.bound}"
+                )
+            groups.append(procs)
+        return tuple(groups)
+
+    def forward_value(self, triples: Sequence[Sequence[int]]) -> float:
+        """Weighted global latency of the forward-transferred mapping."""
+        mapping = self.mapping_from_partition(triples)
+        return self.problem.evaluate(mapping).latency

@@ -1,0 +1,202 @@
+"""2-PARTITION and 3-PARTITION source problems.
+
+The paper's hardness proofs reduce from:
+
+* **2-PARTITION** [Garey & Johnson]: given positive integers
+  ``a_1 .. a_n``, is there a subset ``I`` with
+  ``sum_{i in I} a_i = sum_{i not in I} a_i``?  (Theorems 26, 27.)
+* **3-PARTITION** (strongly NP-complete): given ``B`` and ``3m`` integers
+  with ``B/4 < a_i < B/2`` and ``sum a_i = m B``, can they be split into
+  ``m`` triples each summing to ``B``?  (Theorems 5-7, 9-11.)
+
+Both come with exact solvers (pseudo-polynomial subset-sum DP, respectively
+pruned backtracking) so the reduction tests can label source instances, and
+with seeded generators for yes- and unconstrained instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TwoPartitionInstance:
+    """A 2-PARTITION instance over strictly positive integers."""
+
+    values: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("2-PARTITION needs at least one value")
+        if any(v <= 0 or int(v) != v for v in self.values):
+            raise ValueError("2-PARTITION values must be positive integers")
+        object.__setattr__(self, "values", tuple(int(v) for v in self.values))
+
+    @property
+    def total(self) -> int:
+        """The sum ``S`` of all values."""
+        return sum(self.values)
+
+    def solve(self) -> Optional[FrozenSet[int]]:
+        """An index subset summing to ``S/2``, or ``None``.
+
+        Pseudo-polynomial subset-sum dynamic program, ``O(n S)``.
+        """
+        S = self.total
+        if S % 2 != 0:
+            return None
+        half = S // 2
+        # reach[t] = index (1-based) of a value last used to reach sum t.
+        reach: List[Optional[int]] = [None] * (half + 1)
+        reach[0] = 0
+        for idx, v in enumerate(self.values, start=1):
+            for t in range(half, v - 1, -1):
+                if reach[t] is None and reach[t - v] is not None and reach[t - v] < idx:
+                    reach[t] = idx
+        if reach[half] is None:
+            return None
+        subset = set()
+        t = half
+        while t > 0:
+            idx = reach[t]
+            assert idx is not None and idx > 0
+            subset.add(idx - 1)
+            t -= self.values[idx - 1]
+        return frozenset(subset)
+
+    def is_yes_instance(self) -> bool:
+        """True when a balanced partition exists."""
+        return self.solve() is not None
+
+    def check(self, subset: FrozenSet[int]) -> bool:
+        """Verify a claimed solution."""
+        inside = sum(self.values[i] for i in subset)
+        return 2 * inside == self.total
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A 3-PARTITION instance: ``3m`` values, target ``B`` per triple."""
+
+    values: Tuple[int, ...]
+    bound: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(int(v) for v in self.values))
+        if len(self.values) % 3 != 0 or not self.values:
+            raise ValueError("3-PARTITION needs 3m values")
+        if sum(self.values) != self.m * self.bound:
+            raise ValueError(
+                f"values must sum to m*B = {self.m * self.bound}, "
+                f"got {sum(self.values)}"
+            )
+        for v in self.values:
+            if not (self.bound / 4 < v < self.bound / 2):
+                raise ValueError(
+                    f"every value must lie strictly between B/4 and B/2 "
+                    f"(B={self.bound}, got {v})"
+                )
+
+    @property
+    def m(self) -> int:
+        """The number of triples."""
+        return len(self.values) // 3
+
+    def solve(self) -> Optional[Tuple[Tuple[int, int, int], ...]]:
+        """A partition into ``m`` index triples each summing to ``B``, or
+        ``None``.  Pruned backtracking (exact; intended for small ``m``)."""
+        m, B = self.m, self.bound
+        order = sorted(range(3 * m), key=lambda i: -self.values[i])
+        groups: List[List[int]] = [[] for _ in range(m)]
+        sums = [0] * m
+
+        def backtrack(pos: int) -> bool:
+            if pos == 3 * m:
+                return all(s == B for s in sums)
+            i = order[pos]
+            v = self.values[i]
+            seen_states = set()
+            for g in range(m):
+                state = (sums[g], len(groups[g]))
+                if state in seen_states:
+                    continue  # symmetric group
+                seen_states.add(state)
+                if len(groups[g]) >= 3 or sums[g] + v > B:
+                    continue
+                groups[g].append(i)
+                sums[g] += v
+                if backtrack(pos + 1):
+                    return True
+                groups[g].pop()
+                sums[g] -= v
+            return False
+
+        if backtrack(0):
+            return tuple(tuple(sorted(g)) for g in groups)  # type: ignore[misc]
+        return None
+
+    def is_yes_instance(self) -> bool:
+        """True when a valid triple partition exists."""
+        return self.solve() is not None
+
+    def check(self, triples: Sequence[Sequence[int]]) -> bool:
+        """Verify a claimed solution."""
+        flat = sorted(i for t in triples for i in t)
+        if flat != list(range(3 * self.m)):
+            return False
+        return all(
+            len(t) == 3 and sum(self.values[i] for i in t) == self.bound
+            for t in triples
+        )
+
+
+def random_two_partition_instance(
+    rng: np.random.Generator,
+    n: int,
+    max_value: int = 12,
+    *,
+    force_yes: bool = False,
+) -> TwoPartitionInstance:
+    """A random 2-PARTITION instance; with ``force_yes`` the last value is
+    adjusted so a balanced partition surely exists."""
+    values = [int(rng.integers(1, max_value + 1)) for _ in range(n)]
+    if force_yes:
+        # Split indices randomly and rebalance the lighter side.
+        half = list(rng.permutation(n))[: n // 2]
+        inside = sum(values[i] for i in half)
+        outside = sum(values) - inside
+        diff = abs(inside - outside)
+        if diff:
+            values.append(diff)
+    return TwoPartitionInstance(values=tuple(values))
+
+
+def random_three_partition_yes_instance(
+    rng: np.random.Generator,
+    m: int,
+    bound: int = 100,
+) -> ThreePartitionInstance:
+    """A solvable 3-PARTITION instance built triple by triple.
+
+    Each triple ``(a, b, c)`` sums to ``bound`` with every element strictly
+    between ``bound/4`` and ``bound/2`` (rejection sampling).
+    """
+    lo = bound // 4 + 1
+    hi = (bound - 1) // 2  # strictly below B/2 for integer values
+    values: List[int] = []
+    for _ in range(m):
+        while True:
+            a = int(rng.integers(lo, hi + 1))
+            b = int(rng.integers(lo, hi + 1))
+            c = bound - a - b
+            if lo <= c <= hi:
+                values.extend((a, b, c))
+                break
+    order = rng.permutation(len(values))
+    return ThreePartitionInstance(
+        values=tuple(values[i] for i in order), bound=bound
+    )

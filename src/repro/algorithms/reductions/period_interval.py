@@ -1,0 +1,147 @@
+"""Theorem 5 reduction: 3-PARTITION -> interval period minimization with
+heterogeneous processors, homogeneous pipelines and no communication.
+
+Gadget: for a 3-PARTITION instance ``(a_1 .. a_3m, B)`` build
+
+* ``m`` identical applications of ``B`` unit-work stages with zero-size
+  data (the ``special-app`` family);
+* ``p = 3m`` uni-modal processors with speeds ``a_1 .. a_3m``;
+
+and ask for a global period of at most 1.  A triple partition maps each
+application onto its triple's three processors (processor of speed ``a``
+hosting ``a`` consecutive stages, cycle-time exactly 1); conversely, a
+period-1 mapping saturates every processor (total work ``mB`` equals total
+speed), forcing exactly three processors per application with speeds
+summing to ``B`` -- a triple partition.
+
+The weighted variants of Theorems 6 (priority weights, ``w = 1/W_a``
+rescaling) and 7 (max-stretch) use the same gadget; the builder accepts
+arbitrary per-application weights and scales the stage works accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ...core.application import Application
+from ...core.exceptions import InvalidMappingError
+from ...core.mapping import Assignment, Mapping
+from ...core.platform import Platform
+from ...core.problem import ProblemInstance
+from ...core.processor import Processor
+from ...core.types import CommunicationModel, MappingRule
+from .partition import ThreePartitionInstance
+
+
+@dataclass(frozen=True)
+class PeriodIntervalReduction:
+    """The Theorem 5 gadget for one 3-PARTITION instance."""
+
+    source: ThreePartitionInstance
+    problem: ProblemInstance
+    #: The decision threshold: "is there a mapping of period <= target?"
+    target_period: float
+
+    @classmethod
+    def build(
+        cls,
+        source: ThreePartitionInstance,
+        *,
+        weights: Optional[Sequence[float]] = None,
+        model: CommunicationModel = CommunicationModel.OVERLAP,
+    ) -> "PeriodIntervalReduction":
+        """Construct the gadget.
+
+        Without ``weights`` this is exactly Theorem 5 (all ``W_a = 1``,
+        unit works, target period 1).  With weights it is Theorem 6: stage
+        works become ``1 / W_a`` and, after the rescaling argument, the
+        weighted decision threshold is still 1.
+        """
+        m, B = source.m, source.bound
+        if weights is None:
+            weights = [1.0] * m
+        if len(weights) != m:
+            raise ValueError(f"need {m} weights, got {len(weights)}")
+        apps = tuple(
+            Application.homogeneous(
+                B,
+                work=1.0 / weights[j],
+                output_size=0.0,
+                input_data_size=0.0,
+                weight=weights[j],
+                name=f"pipeline-{j + 1}",
+            )
+            for j in range(m)
+        )
+        platform = Platform(
+            processors=tuple(
+                Processor(speeds=(float(a),), name=f"P{j + 1}")
+                for j, a in enumerate(source.values)
+            ),
+            default_bandwidth=1.0,
+            name="theorem5-gadget",
+        )
+        problem = ProblemInstance(
+            apps=apps,
+            platform=platform,
+            rule=MappingRule.INTERVAL,
+            model=model,
+        )
+        return cls(source=source, problem=problem, target_period=1.0)
+
+    # ------------------------------------------------------------------
+    # Solution transfers
+    # ------------------------------------------------------------------
+    def mapping_from_partition(
+        self, triples: Sequence[Sequence[int]]
+    ) -> Mapping:
+        """Forward transfer: a triple partition becomes a period-1 mapping
+        (processor of speed ``a`` hosts ``a * w`` consecutive work units,
+        i.e. ``a`` stages in the unweighted gadget)."""
+        assignments: List[Assignment] = []
+        for app_index, triple in enumerate(triples):
+            start = 0
+            for proc_index in triple:
+                count = self.source.values[proc_index]
+                assignments.append(
+                    Assignment(
+                        app=app_index,
+                        interval=(start, start + count - 1),
+                        proc=proc_index,
+                        speed=float(self.source.values[proc_index]),
+                    )
+                )
+                start += count
+            if start != self.source.bound:
+                raise InvalidMappingError(
+                    f"triple {triple} does not cover the {self.source.bound} "
+                    "stages"
+                )
+        return Mapping.from_assignments(assignments)
+
+    def partition_from_mapping(
+        self, mapping: Mapping
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Backward transfer: read the triple partition off a period-1
+        mapping (the processors serving each application form its triple).
+
+        Raises :class:`InvalidMappingError` when the mapping does not
+        encode a partition (some group not summing to ``B``)."""
+        groups: List[Tuple[int, ...]] = []
+        for a in range(self.source.m):
+            procs = tuple(sorted(x.proc for x in mapping.for_app(a)))
+            total = sum(self.source.values[u] for u in procs)
+            if total != self.source.bound:
+                raise InvalidMappingError(
+                    f"application {a}: processor speeds sum to {total}, "
+                    f"expected {self.source.bound}"
+                )
+            groups.append(procs)
+        return tuple(groups)
+
+    def forward_value(self, triples: Sequence[Sequence[int]]) -> float:
+        """Weighted global period of the forward-transferred mapping
+        (must be exactly the target for valid partitions)."""
+        mapping = self.mapping_from_partition(triples)
+        return self.problem.evaluate(mapping).period

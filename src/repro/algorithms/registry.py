@@ -1,0 +1,223 @@
+"""Tables 1 and 2 of the paper encoded as data: the complexity of every
+(criteria, mapping rule, platform) cell, with the theorem establishing it
+and the library solver implementing the polynomial cells.
+
+The registry powers the auto-dispatching facade of
+:mod:`repro.algorithms` and the table-reproduction benches
+(``benchmarks/bench_table1_*`` / ``bench_table2_*``): every cell claimed
+polynomial must have a solver whose optimality the tests verify against
+brute force, and every cell claimed NP-complete must have a working
+reduction and an exact/heuristic solver pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance
+from ..core.types import Criterion, MappingRule, PlatformClass
+
+
+class Complexity(enum.Enum):
+    """Complexity status of a problem cell."""
+
+    POLYNOMIAL = "polynomial"
+    NP_COMPLETE = "NP-complete"
+    NP_HARD = "NP-hard"
+
+
+class PlatformCell(enum.Enum):
+    """The platform columns of Tables 1 and 2."""
+
+    #: Identical processors, identical links ("proc-hom / com-hom").
+    PROC_HOM = "proc-hom"
+    #: Heterogeneous processors, homogeneous pipelines, no communication.
+    SPECIAL_APP = "special-app"
+    #: Heterogeneous processors, homogeneous links ("proc-het / com-hom").
+    PROC_HET_COM_HOM = "proc-het com-hom"
+    #: Heterogeneous processors and links ("proc-het / com-het").
+    PROC_HET_COM_HET = "proc-het com-het"
+
+
+@dataclass(frozen=True)
+class ComplexityEntry:
+    """One cell of Table 1 or Table 2."""
+
+    criteria: Tuple[Criterion, ...]
+    rule: MappingRule
+    cell: PlatformCell
+    complexity: Complexity
+    theorem: str
+    solver: Optional[str] = None  # dotted name of the polynomial solver
+    notes: str = ""
+    #: Only meaningful for the tri-criteria rows: with uni-modal processors
+    #: the fully homogeneous cell is polynomial (Theorems 23-24).
+    multi_modal_only: bool = False
+
+
+_P = Criterion.PERIOD
+_L = Criterion.LATENCY
+_E = Criterion.ENERGY
+_O2O = MappingRule.ONE_TO_ONE
+_INT = MappingRule.INTERVAL
+
+#: Table 1 -- mono-criterion problems.
+TABLE1: Tuple[ComplexityEntry, ...] = (
+    # Period, one-to-one: polynomial up to comm-homogeneous links.
+    ComplexityEntry((_P,), _O2O, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 1", "repro.algorithms.minimize_period_one_to_one",
+                    "binary search + greedy assignment"),
+    ComplexityEntry((_P,), _O2O, PlatformCell.SPECIAL_APP, Complexity.POLYNOMIAL,
+                    "Theorem 1", "repro.algorithms.minimize_period_one_to_one"),
+    ComplexityEntry((_P,), _O2O, PlatformCell.PROC_HET_COM_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 1", "repro.algorithms.minimize_period_one_to_one"),
+    ComplexityEntry((_P,), _O2O, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 2", None, "already hard for one application [3]"),
+    # Period, interval.
+    ComplexityEntry((_P,), _INT, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 3", "repro.algorithms.minimize_period_interval",
+                    "dynamic programming + greedy allocation"),
+    ComplexityEntry((_P,), _INT, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorems 5-7", None,
+                    "polynomial for one application [4]; NP-complete with "
+                    "several (3-PARTITION) -- the (*) entry"),
+    ComplexityEntry((_P,), _INT, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 4", None, "already hard for one application [3]"),
+    ComplexityEntry((_P,), _INT, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 4", None),
+    # Latency, one-to-one.
+    ComplexityEntry((_L,), _O2O, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 8", "repro.algorithms.minimize_latency_one_to_one_fully_hom",
+                    "all mappings equivalent"),
+    ComplexityEntry((_L,), _O2O, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorems 9-11", None,
+                    "polynomial for one application [5]; NP-complete with "
+                    "several (3-PARTITION) -- the (*) entry"),
+    ComplexityEntry((_L,), _O2O, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 9", None),
+    ComplexityEntry((_L,), _O2O, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 9", None),
+    # Latency, interval: polynomial up to comm-homogeneous links.
+    ComplexityEntry((_L,), _INT, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 12", "repro.algorithms.minimize_latency_interval",
+                    "binary search + greedy assignment"),
+    ComplexityEntry((_L,), _INT, PlatformCell.SPECIAL_APP, Complexity.POLYNOMIAL,
+                    "Theorem 12", "repro.algorithms.minimize_latency_interval"),
+    ComplexityEntry((_L,), _INT, PlatformCell.PROC_HET_COM_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 12", "repro.algorithms.minimize_latency_interval"),
+    ComplexityEntry((_L,), _INT, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 13", None, "already hard for one application [5]"),
+)
+
+#: Table 2 -- multi-criteria problems (multi-modal processors).
+TABLE2: Tuple[ComplexityEntry, ...] = (
+    # Period/latency (both rules share the row).
+    ComplexityEntry((_P, _L), _O2O, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 14", "repro.algorithms.bicriteria_one_to_one_fully_hom"),
+    ComplexityEntry((_P, _L), _INT, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorems 15-16",
+                    "repro.algorithms.minimize_latency_given_period",
+                    "dynamic programming; dual by binary search"),
+    ComplexityEntry((_P, _L), _O2O, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorem 17", None),
+    ComplexityEntry((_P, _L), _INT, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorem 17", None),
+    ComplexityEntry((_P, _L), _O2O, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 17", None),
+    ComplexityEntry((_P, _L), _INT, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 17", None),
+    ComplexityEntry((_P, _L), _O2O, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 17", None),
+    ComplexityEntry((_P, _L), _INT, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 17", None),
+    # Period/energy, one-to-one: polynomial up to comm-homogeneous links.
+    ComplexityEntry((_P, _E), _O2O, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 19",
+                    "repro.algorithms.minimize_energy_given_period_one_to_one",
+                    "minimum weighted bipartite matching"),
+    ComplexityEntry((_P, _E), _O2O, PlatformCell.SPECIAL_APP, Complexity.POLYNOMIAL,
+                    "Theorem 19",
+                    "repro.algorithms.minimize_energy_given_period_one_to_one"),
+    ComplexityEntry((_P, _E), _O2O, PlatformCell.PROC_HET_COM_HOM, Complexity.POLYNOMIAL,
+                    "Theorem 19",
+                    "repro.algorithms.minimize_energy_given_period_one_to_one"),
+    ComplexityEntry((_P, _E), _O2O, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 20", None),
+    # Period/energy, interval.
+    ComplexityEntry((_P, _E), _INT, PlatformCell.PROC_HOM, Complexity.POLYNOMIAL,
+                    "Theorems 18, 21",
+                    "repro.algorithms.minimize_energy_given_period_interval",
+                    "dynamic programming"),
+    ComplexityEntry((_P, _E), _INT, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorem 22", None),
+    ComplexityEntry((_P, _E), _INT, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 22", None),
+    ComplexityEntry((_P, _E), _INT, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 22", None),
+    # Tri-criteria: NP-hard everywhere with multi-modal processors
+    # (Theorems 26-27), polynomial on proc-hom with uni-modal processors
+    # (Theorems 23-24).
+    ComplexityEntry((_P, _L, _E), _O2O, PlatformCell.PROC_HOM, Complexity.NP_HARD,
+                    "Theorem 26", None,
+                    "multi-modal; uni-modal is polynomial (Theorem 23)",
+                    multi_modal_only=True),
+    ComplexityEntry((_P, _L, _E), _INT, PlatformCell.PROC_HOM, Complexity.NP_HARD,
+                    "Theorem 27", None,
+                    "multi-modal; uni-modal is polynomial (Theorem 24)",
+                    multi_modal_only=True),
+    ComplexityEntry((_P, _L, _E), _O2O, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorem 25", None),
+    ComplexityEntry((_P, _L, _E), _INT, PlatformCell.SPECIAL_APP, Complexity.NP_COMPLETE,
+                    "Theorem 25", None),
+    ComplexityEntry((_P, _L, _E), _O2O, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 25", None),
+    ComplexityEntry((_P, _L, _E), _INT, PlatformCell.PROC_HET_COM_HOM, Complexity.NP_COMPLETE,
+                    "Theorem 25", None),
+    ComplexityEntry((_P, _L, _E), _O2O, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 25", None),
+    ComplexityEntry((_P, _L, _E), _INT, PlatformCell.PROC_HET_COM_HET, Complexity.NP_COMPLETE,
+                    "Theorem 25", None),
+)
+
+
+def classify_platform_cell(problem: ProblemInstance) -> PlatformCell:
+    """Map a problem instance onto its Table 1/Table 2 platform column."""
+    cls = problem.platform.platform_class
+    if cls is PlatformClass.FULLY_HOMOGENEOUS:
+        return PlatformCell.PROC_HOM
+    special = all(
+        app.is_homogeneous and not app.has_communication
+        for app in problem.apps
+    )
+    if cls is PlatformClass.COMM_HOMOGENEOUS:
+        return PlatformCell.SPECIAL_APP if special else PlatformCell.PROC_HET_COM_HOM
+    return PlatformCell.PROC_HET_COM_HET
+
+
+def lookup(
+    criteria: Sequence[Criterion],
+    rule: MappingRule,
+    cell: PlatformCell,
+) -> ComplexityEntry:
+    """The registry entry for a (criteria, rule, platform-cell) triple.
+
+    Criteria order is normalized; the period/latency row is shared between
+    the two rules in the paper's Table 2 but stored per rule here.
+    """
+    wanted = tuple(sorted(set(criteria), key=lambda c: c.value))
+    for table in (TABLE1, TABLE2):
+        for entry in table:
+            have = tuple(sorted(set(entry.criteria), key=lambda c: c.value))
+            if have == wanted and entry.rule is rule and entry.cell is cell:
+                return entry
+    raise KeyError(f"no registry entry for {criteria}, {rule}, {cell}")
+
+
+def expected_complexity(
+    problem: ProblemInstance, criteria: Sequence[Criterion]
+) -> ComplexityEntry:
+    """Registry entry matching a concrete problem instance."""
+    return lookup(criteria, problem.rule, classify_platform_cell(problem))

@@ -1,0 +1,286 @@
+"""Tri-criteria period/latency/energy optimization with *uni-modal*
+processors on fully homogeneous platforms (Theorems 23 and 24).
+
+With a single mode, every enrolled processor consumes the same energy
+``e0 = E_stat + s^alpha``, so an energy budget simply caps the number of
+enrolled processors at ``K = floor(E / e0)``.  The three threshold variants
+then reduce to the bi-criteria machinery of Theorem 15/16:
+
+* minimize period under latency bounds and an energy budget: Algorithm 2
+  restricted to ``K`` processors with the period-given-latency oracle;
+* minimize latency under period bounds and an energy budget: Algorithm 2
+  restricted to ``K`` processors with the latency-given-period oracle;
+* minimize energy under period and latency bounds: for each application,
+  find the least processor count meeting both bounds; the minimum energy is
+  ``e0 * sum_a q_a`` (or infeasible when ``sum_a q_a > p``).
+
+The one-to-one variant (Theorem 23) is trivial: all one-to-one mappings
+coincide on a fully homogeneous platform.
+
+With *multi-modal* processors the tri-criteria problem is NP-hard even for
+one application without communications (Theorems 26-27); the solvers below
+refuse multi-modal platforms and point to the exact/heuristic solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.mapping import Assignment, Mapping
+from ..core.objectives import Thresholds, meets_threshold
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import PlatformClass
+from .bicriteria_period_latency import (
+    LatencyTable,
+    single_app_latency_table,
+    single_app_min_period_given_latency,
+)
+from .latency import canonical_one_to_one_mapping
+from .processor_allocation import allocate_processors
+
+
+def _require_fully_hom_uni_modal(problem: ProblemInstance, solver: str) -> None:
+    if problem.platform.platform_class is not PlatformClass.FULLY_HOMOGENEOUS:
+        raise SolverError(
+            f"{solver} requires a fully homogeneous platform "
+            "(tri-criteria is NP-complete beyond it, Theorem 25)"
+        )
+    if not problem.platform.is_uni_modal:
+        raise SolverError(
+            f"{solver} requires uni-modal processors: with multiple modes "
+            "the tri-criteria problem is NP-hard even for a single "
+            "application (Theorems 26-27); use "
+            "repro.algorithms.exact or repro.algorithms.heuristics"
+        )
+
+
+def processor_budget_from_energy(
+    problem: ProblemInstance, energy_budget: Optional[float]
+) -> int:
+    """The largest processor count affordable within the energy budget:
+    ``K = min(p, floor(E / e0))`` with ``e0 = E_stat + s^alpha``."""
+    p = problem.platform.n_processors
+    if energy_budget is None:
+        return p
+    proc = problem.platform.processors[0]
+    e0 = problem.energy_model.processor_energy(proc, proc.speeds[0])
+    if e0 <= 0:
+        return p
+    # Tiny relative slack absorbs float round-off in E / e0.
+    k = int(math.floor(energy_budget / e0 * (1 + 1e-12)))
+    return min(p, k)
+
+
+def minimize_period_tri(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 24: minimize the global weighted period under per-application
+    latency bounds and a global energy budget (interval mappings)."""
+    _require_fully_hom_uni_modal(problem, "Theorem 24 (period | latency, energy)")
+    platform = problem.platform
+    speed = platform.common_speed_set()[0]
+    bandwidth = platform.default_bandwidth
+    A = problem.n_apps
+    K = processor_budget_from_energy(problem, thresholds.energy)
+    if K < A:
+        raise InfeasibleProblemError(
+            f"energy budget allows only {K} processors for {A} applications"
+        )
+    max_per_app = K - (A - 1)
+
+    cache = {}
+
+    def solve_app(a: int, q: int):
+        key = (a, min(q, problem.apps[a].n_stages))
+        if key not in cache:
+            cache[key] = single_app_min_period_given_latency(
+                problem.apps[a],
+                key[1],
+                speed,
+                bandwidth,
+                problem.model,
+                thresholds.latency_bound_for_app(problem.apps[a], a),
+            )
+        return cache[key]
+
+    def weighted_value(a: int, q: int) -> float:
+        return problem.apps[a].weight * solve_app(a, q)[0]
+
+    allocation = allocate_processors(
+        A,
+        K,
+        weighted_value,
+        max_useful=[min(app.n_stages, max_per_app) for app in problem.apps],
+    )
+    if not math.isfinite(allocation.objective):
+        raise InfeasibleProblemError(
+            "latency bounds unreachable within the energy budget"
+        )
+    mapping = _mapping_from_latency_tables(
+        problem,
+        [solve_app(a, allocation.counts[a])[1] for a in range(A)],
+        allocation.counts,
+        speed,
+    )
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.period,
+        values=values,
+        solver="theorem24-period",
+        optimal=True,
+        stats={"processor_budget": float(K)},
+    )
+
+
+def minimize_latency_tri(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 24: minimize the global weighted latency under per-application
+    period bounds and a global energy budget (interval mappings)."""
+    _require_fully_hom_uni_modal(problem, "Theorem 24 (latency | period, energy)")
+    platform = problem.platform
+    speed = platform.common_speed_set()[0]
+    bandwidth = platform.default_bandwidth
+    A = problem.n_apps
+    K = processor_budget_from_energy(problem, thresholds.energy)
+    if K < A:
+        raise InfeasibleProblemError(
+            f"energy budget allows only {K} processors for {A} applications"
+        )
+    max_per_app = K - (A - 1)
+
+    tables = [
+        single_app_latency_table(
+            app,
+            max_per_app,
+            speed,
+            bandwidth,
+            problem.model,
+            thresholds.period_bound_for_app(app, a),
+        )
+        for a, app in enumerate(problem.apps)
+    ]
+
+    def weighted_value(a: int, q: int) -> float:
+        return problem.apps[a].weight * tables[a].latency(q)
+
+    allocation = allocate_processors(
+        A, K, weighted_value, max_useful=[t.max_procs for t in tables]
+    )
+    if not math.isfinite(allocation.objective):
+        raise InfeasibleProblemError(
+            "period bounds unreachable within the energy budget"
+        )
+    mapping = _mapping_from_latency_tables(
+        problem, tables, allocation.counts, speed
+    )
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.latency,
+        values=values,
+        solver="theorem24-latency",
+        optimal=True,
+        stats={"processor_budget": float(K)},
+    )
+
+
+def minimize_energy_tri(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 24: minimize the energy under per-application period *and*
+    latency bounds (interval mappings): each application independently takes
+    the least processor count meeting both bounds."""
+    _require_fully_hom_uni_modal(problem, "Theorem 24 (energy | period, latency)")
+    platform = problem.platform
+    speed = platform.common_speed_set()[0]
+    bandwidth = platform.default_bandwidth
+    p, A = platform.n_processors, problem.n_apps
+
+    counts: List[int] = []
+    tables: List[LatencyTable] = []
+    for a, app in enumerate(problem.apps):
+        period_bound = thresholds.period_bound_for_app(app, a)
+        latency_bound = thresholds.latency_bound_for_app(app, a)
+        table = single_app_latency_table(
+            app, app.n_stages, speed, bandwidth, problem.model, period_bound
+        )
+        q_needed = None
+        for q in range(1, table.max_procs + 1):
+            if meets_threshold(table.latency(q), latency_bound):
+                q_needed = q
+                break
+        if q_needed is None:
+            raise InfeasibleProblemError(
+                f"application {a}: period and latency bounds are jointly "
+                "unreachable on this platform"
+            )
+        counts.append(q_needed)
+        tables.append(table)
+    if sum(counts) > p:
+        raise InfeasibleProblemError(
+            f"bounds need {sum(counts)} processors but only {p} are available"
+        )
+    mapping = _mapping_from_latency_tables(problem, tables, counts, speed)
+    values = problem.evaluate(mapping)
+    return Solution(
+        mapping=mapping,
+        objective=values.energy,
+        values=values,
+        solver="theorem24-energy",
+        optimal=True,
+        stats={"n_procs_used": float(sum(counts))},
+    )
+
+
+def tricriteria_one_to_one(
+    problem: ProblemInstance, thresholds: Thresholds
+) -> Solution:
+    """Theorem 23: one-to-one tri-criteria on fully homogeneous uni-modal
+    platforms -- the canonical mapping is the unique candidate (all
+    one-to-one mappings coincide); check it against all three thresholds."""
+    _require_fully_hom_uni_modal(problem, "Theorem 23")
+    if problem.n_stages_total > problem.platform.n_processors:
+        raise InfeasibleProblemError(
+            "one-to-one mapping requires p >= N "
+            f"(p={problem.platform.n_processors}, N={problem.n_stages_total})"
+        )
+    mapping = canonical_one_to_one_mapping(problem)
+    values = problem.evaluate(mapping)
+    if not values.meets(
+        period=thresholds.period,
+        latency=thresholds.latency,
+        energy=thresholds.energy,
+    ):
+        raise InfeasibleProblemError(
+            "the canonical one-to-one mapping violates the thresholds: "
+            f"period={values.period}, latency={values.latency}, "
+            f"energy={values.energy}"
+        )
+    return Solution(
+        mapping=mapping,
+        objective=values.energy,
+        values=values,
+        solver="theorem23-canonical",
+        optimal=True,
+    )
+
+
+def _mapping_from_latency_tables(
+    problem: ProblemInstance,
+    tables: Sequence[LatencyTable],
+    counts: Sequence[int],
+    speed: float,
+) -> Mapping:
+    assignments: List[Assignment] = []
+    next_proc = 0
+    for a, (table, q) in enumerate(zip(tables, counts)):
+        for interval in table.reconstruct(q):
+            assignments.append(
+                Assignment(app=a, interval=interval, proc=next_proc, speed=speed)
+            )
+            next_proc += 1
+    return Mapping.from_assignments(assignments)

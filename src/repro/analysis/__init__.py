@@ -1,0 +1,29 @@
+"""Analysis helpers: Pareto fronts, empirical complexity fits, tables.
+
+* :mod:`pareto` -- exact (exhaustive) and heuristic period/energy and
+  period/latency trade-off fronts, with dominance filtering;
+* :mod:`complexity` -- runtime scaling measurements and log-log power-law
+  fits for the Table 1/2 "polynomial" claims;
+* :mod:`tables` -- plain-text table rendering for the bench reports.
+"""
+
+from .complexity import fit_power_law, measure_scaling
+from .pareto import (
+    pareto_filter,
+    period_energy_front_exact,
+    period_energy_front_heuristic,
+)
+from .stretch import solo_optima, solo_optimum, stretch_problem
+from .tables import render_table
+
+__all__ = [
+    "fit_power_law",
+    "measure_scaling",
+    "pareto_filter",
+    "period_energy_front_exact",
+    "period_energy_front_heuristic",
+    "render_table",
+    "solo_optima",
+    "solo_optimum",
+    "stretch_problem",
+]

@@ -1,0 +1,82 @@
+"""Empirical complexity measurement: the reproduction arm of the paper's
+"polynomial" and "NP-complete" claims.
+
+For polynomial cells we measure solver runtime across instance sizes and
+fit a power law ``t ~ c * size^k`` by least squares in log-log space; the
+benches report the fitted exponent next to the theorem's bound.  For
+NP-hard cells the same machinery exhibits the exponential blowup of the
+exact solvers against the flat growth of the heuristics.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted power law ``time ~ coefficient * size^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"t ~ {self.coefficient:.3g} * n^{self.exponent:.2f} "
+            f"(R^2={self.r_squared:.3f})"
+        )
+
+
+def fit_power_law(
+    sizes: Sequence[float], times: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares fit of ``log t = k log n + log c``.
+
+    Non-positive samples are dropped (they carry no log-log information).
+    """
+    xs = [math.log(s) for s, t in zip(sizes, times) if s > 0 and t > 0]
+    ys = [math.log(t) for s, t in zip(sizes, times) if s > 0 and t > 0]
+    if len(xs) < 2:
+        raise ValueError("need at least two positive samples to fit")
+    k, logc = np.polyfit(xs, ys, 1)
+    predictions = [k * x + logc for x in xs]
+    ss_res = sum((y - p) ** 2 for y, p in zip(ys, predictions))
+    mean = sum(ys) / len(ys)
+    ss_tot = sum((y - mean) ** 2 for y in ys) or 1e-30
+    return PowerLawFit(
+        exponent=float(k),
+        coefficient=float(math.exp(logc)),
+        r_squared=float(1.0 - ss_res / ss_tot),
+    )
+
+
+def measure_scaling(
+    make_instance: Callable[[int], object],
+    solve: Callable[[object], object],
+    sizes: Sequence[int],
+    *,
+    repeats: int = 3,
+) -> Tuple[List[int], List[float]]:
+    """Median wall-clock runtime of ``solve(make_instance(size))`` per size.
+
+    The instance is built outside the timed region; the median over
+    ``repeats`` runs reduces scheduler noise (the guides' "no optimization
+    without measuring" discipline).
+    """
+    measured: List[float] = []
+    for size in sizes:
+        instance = make_instance(size)
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solve(instance)
+            samples.append(time.perf_counter() - t0)
+        samples.sort()
+        measured.append(samples[len(samples) // 2])
+    return list(sizes), measured

@@ -1,0 +1,149 @@
+"""Pareto trade-off fronts between period and energy.
+
+Section 2's worked example is exactly one point on the period/energy front
+(period <= 2 at energy 46, versus energy 136 at the optimal period 1 and
+energy 10 at period 14).  These helpers enumerate the whole front:
+
+* exactly, by sweeping the candidate period thresholds and solving the
+  minimum-energy problem at each (polynomial solvers on polynomial cells,
+  branch-and-bound elsewhere);
+* heuristically, with the greedy mode-downgrade heuristic, for instances
+  beyond exact reach.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.objectives import Thresholds
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import Criterion, MappingRule, PlatformClass
+
+
+def pareto_filter(
+    points: Sequence[Tuple[float, ...]],
+) -> List[Tuple[float, ...]]:
+    """The non-dominated subset (all coordinates minimized), sorted
+    lexicographically.  ``O(n^2 d)`` -- fine for front sizes here."""
+    out: List[Tuple[float, ...]] = []
+    for p in points:
+        dominated = False
+        for q in points:
+            if q == p:
+                continue
+            if all(qi <= pi for qi, pi in zip(q, p)) and any(
+                qi < pi for qi, pi in zip(q, p)
+            ):
+                dominated = True
+                break
+        if not dominated and p not in out:
+            out.append(p)
+    return sorted(out)
+
+
+def _min_energy_at_period(
+    problem: ProblemInstance, period_bound: float
+) -> Optional[Solution]:
+    """Cheapest mapping with weighted period <= bound, via the polynomial
+    solver when the cell allows it, branch-and-bound otherwise."""
+    from ..algorithms import (
+        minimize_energy_given_period_interval,
+        minimize_energy_given_period_one_to_one,
+    )
+    from ..algorithms.exact import exact_minimize
+
+    thresholds = Thresholds(period=period_bound)
+    try:
+        if (
+            problem.rule is MappingRule.ONE_TO_ONE
+            and problem.platform.platform_class
+            is not PlatformClass.FULLY_HETEROGENEOUS
+        ):
+            return minimize_energy_given_period_one_to_one(problem, thresholds)
+        if (
+            problem.rule is MappingRule.INTERVAL
+            and problem.platform.platform_class
+            is PlatformClass.FULLY_HOMOGENEOUS
+        ):
+            return minimize_energy_given_period_interval(problem, thresholds)
+        return exact_minimize(problem, Criterion.ENERGY, thresholds)
+    except InfeasibleProblemError:
+        return None
+
+
+def period_candidates_for_front(problem: ProblemInstance) -> List[float]:
+    """All achievable weighted per-interval cycle-times: a superset of the
+    periods at which the energy front can break."""
+    values = set()
+    for a, app in enumerate(problem.apps):
+        for u in range(problem.platform.n_processors):
+            for speed in problem.platform.processor(u).speeds:
+                for lo in range(app.n_stages):
+                    hi_range = (
+                        (lo,)
+                        if problem.rule is MappingRule.ONE_TO_ONE
+                        else range(lo, app.n_stages)
+                    )
+                    for hi in hi_range:
+                        # Communication terms bounded by the extreme
+                        # bandwidths; with homogeneous links this is exact.
+                        bw = problem.platform.app_bandwidths.get(
+                            a, problem.platform.default_bandwidth
+                        )
+                        t_in = app.input_size(lo) / bw
+                        t_out = app.output_size(hi) / bw
+                        t_comp = app.work_sum(lo, hi) / speed
+                        values.add(
+                            app.weight
+                            * problem.model.combine(t_in, t_comp, t_out)
+                        )
+    return sorted(v for v in values if math.isfinite(v) and v > 0)
+
+
+def period_energy_front_exact(
+    problem: ProblemInstance,
+    *,
+    max_points: int = 200,
+) -> List[Tuple[float, float]]:
+    """The exact period/energy Pareto front: sweep the candidate period
+    thresholds, solve min-energy at each, keep non-dominated
+    ``(period, energy)`` pairs (the *achieved* period is reported, not the
+    threshold)."""
+    candidates = period_candidates_for_front(problem)
+    if len(candidates) > max_points:
+        step = len(candidates) / max_points
+        candidates = [
+            candidates[int(i * step)] for i in range(max_points)
+        ] + [candidates[-1]]
+    points: List[Tuple[float, float]] = []
+    for bound in candidates:
+        solution = _min_energy_at_period(problem, bound)
+        if solution is None:
+            continue
+        points.append((solution.values.period, solution.values.energy))
+    return pareto_filter(points)
+
+
+def period_energy_front_heuristic(
+    problem: ProblemInstance,
+    start_solution: Solution,
+    *,
+    n_points: int = 20,
+) -> List[Tuple[float, float]]:
+    """A heuristic front: relax the period threshold geometrically from the
+    start solution's period and run greedy mode-downgrading at each level."""
+    from ..algorithms.heuristics import greedy_mode_downgrade
+
+    base = start_solution.values.period
+    points: List[Tuple[float, float]] = [
+        (start_solution.values.period, start_solution.values.energy)
+    ]
+    for i in range(1, n_points + 1):
+        bound = base * (1.0 + 0.35 * i)
+        sol = greedy_mode_downgrade(
+            problem, start_solution.mapping, Thresholds(period=bound)
+        )
+        points.append((sol.values.period, sol.values.energy))
+    return pareto_filter(points)

@@ -1,0 +1,97 @@
+"""Max-stretch objectives (Section 3.4, third weighting scheme).
+
+The paper's Equation (6) supports ``W_a = 1 / X*_a`` where ``X*_a`` is the
+criterion value application ``a`` would achieve *alone* on the platform;
+``max_a W_a X_a`` is then the maximum stretch (slowdown) [Bender et al.].
+
+This module computes the solo optima with the appropriate solver for the
+problem's cell -- the paper's polynomial algorithms where they apply,
+branch-and-bound otherwise -- and rebuilds the problem with stretch
+weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Tuple
+
+from ..core.exceptions import SolverError
+from ..core.objectives import stretch_weights, with_weights
+from ..core.problem import ProblemInstance
+from ..core.types import Criterion, MappingRule, PlatformClass
+
+
+def solo_optimum(
+    problem: ProblemInstance, app_index: int, criterion: Criterion
+) -> float:
+    """The optimal period or latency of one application alone on the
+    platform (unweighted), using the cheapest applicable solver."""
+    if criterion not in (Criterion.PERIOD, Criterion.LATENCY):
+        raise SolverError("solo optima are defined for period and latency")
+    solo_app = replace(problem.apps[app_index], weight=1.0)
+    solo = ProblemInstance(
+        apps=(solo_app,),
+        platform=problem.platform,
+        rule=problem.rule,
+        model=problem.model,
+        energy_model=problem.energy_model,
+    )
+    from ..algorithms import (
+        minimize_latency_interval,
+        minimize_latency_one_to_one_fully_hom,
+        minimize_period_interval,
+        minimize_period_one_to_one,
+    )
+    from ..algorithms.exact import exact_minimize
+
+    cls = problem.platform.platform_class
+    try:
+        if criterion is Criterion.PERIOD:
+            if problem.rule is MappingRule.ONE_TO_ONE:
+                if cls is not PlatformClass.FULLY_HETEROGENEOUS:
+                    return minimize_period_one_to_one(solo).objective
+            elif cls is PlatformClass.FULLY_HOMOGENEOUS:
+                return minimize_period_interval(solo).objective
+        else:
+            if problem.rule is MappingRule.ONE_TO_ONE:
+                if cls is PlatformClass.FULLY_HOMOGENEOUS:
+                    return minimize_latency_one_to_one_fully_hom(
+                        solo
+                    ).objective
+            elif cls is not PlatformClass.FULLY_HETEROGENEOUS:
+                return minimize_latency_interval(solo).objective
+    except SolverError:
+        pass
+    return exact_minimize(solo, criterion).objective
+
+
+def solo_optima(
+    problem: ProblemInstance, criterion: Criterion
+) -> Tuple[float, ...]:
+    """``X*_a`` for every application."""
+    return tuple(
+        solo_optimum(problem, a, criterion) for a in range(problem.n_apps)
+    )
+
+
+def stretch_problem(
+    problem: ProblemInstance, criterion: Criterion
+) -> Tuple[ProblemInstance, Tuple[float, ...]]:
+    """Rebuild the problem with max-stretch weights ``W_a = 1 / X*_a``.
+
+    Returns the reweighted problem and the solo optima; the weighted
+    objective of any solution on the returned problem is then exactly the
+    maximum stretch of the original one.
+    """
+    optima = solo_optima(problem, criterion)
+    apps = with_weights(problem.apps, stretch_weights(optima))
+    return (
+        ProblemInstance(
+            apps=apps,
+            platform=problem.platform,
+            rule=problem.rule,
+            model=problem.model,
+            energy_model=problem.energy_model,
+        ),
+        optima,
+    )

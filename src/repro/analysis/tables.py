@@ -1,0 +1,37 @@
+"""Plain-text table rendering for bench reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned, pipe-separated plain-text table.
+
+    Floats are formatted with 4 significant digits; everything else via
+    ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    grid: List[List[str]] = [list(map(str, headers))]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        grid.append([fmt(c) for c in row])
+    widths = [max(len(r[i]) for r in grid) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(grid):
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+        if idx == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)

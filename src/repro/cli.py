@@ -1,0 +1,342 @@
+"""Command-line interface: ``repro-pipelines``.
+
+Subcommands:
+
+* ``demo-example`` -- replay the paper's Section 2 motivating example,
+  printing the four worked mappings and their criteria;
+* ``tables`` -- print the complexity registry (Tables 1 and 2);
+* ``solve`` -- solve a random instance in a chosen cell and report the
+  mapping (a quick way to exercise the solvers);
+* ``simulate`` -- run the discrete-event simulator on the Section 2
+  example and compare measured vs analytic period/latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.tables import render_table
+from .core.types import (
+    CommunicationModel,
+    Criterion,
+    MappingRule,
+    PlatformClass,
+)
+
+
+def _cmd_demo_example(args: argparse.Namespace) -> int:
+    from .core.evaluation import evaluate
+    from .paper import (
+        FIGURE1_EXPECTED,
+        figure1_applications,
+        figure1_platform,
+        mapping_compromise_energy_46,
+        mapping_min_energy,
+        mapping_optimal_latency,
+        mapping_optimal_period,
+    )
+
+    apps = figure1_applications()
+    platform = figure1_platform()
+    rows = []
+    for name, mapping in (
+        ("optimal period (Eq. 1)", mapping_optimal_period()),
+        ("optimal latency (Eq. 2)", mapping_optimal_latency()),
+        ("minimal energy", mapping_min_energy()),
+        ("compromise (T <= 2)", mapping_compromise_energy_46()),
+    ):
+        v = evaluate(apps, platform, mapping)
+        rows.append((name, v.period, v.latency, v.energy))
+    print("Section 2 motivating example (Figure 1):")
+    print(render_table(["mapping", "period", "latency", "energy"], rows))
+    print(
+        "\npaper-reported numbers: period 1 (energy 136), latency 2.75, "
+        f"min energy {FIGURE1_EXPECTED['min_energy']:.0f} "
+        f"(period {FIGURE1_EXPECTED['min_energy_period']:.0f}), "
+        f"compromise period {FIGURE1_EXPECTED['compromise_period']:.0f} "
+        f"at energy {FIGURE1_EXPECTED['compromise_energy']:.0f}"
+    )
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .algorithms.registry import TABLE1, TABLE2
+
+    for label, table in (("Table 1", TABLE1), ("Table 2", TABLE2)):
+        rows = [
+            (
+                "/".join(c.value for c in e.criteria),
+                e.rule.value,
+                e.cell.value,
+                e.complexity.value,
+                e.theorem,
+            )
+            for e in table
+        ]
+        print(f"{label} (complexity of every cell):")
+        print(
+            render_table(
+                ["criteria", "rule", "platform", "complexity", "theorem"],
+                rows,
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .algorithms import minimize_latency, minimize_period
+    from .generators import small_random_problem
+
+    problem = small_random_problem(
+        args.seed,
+        platform_class=PlatformClass(args.platform),
+        rule=MappingRule(args.rule),
+        model=CommunicationModel(args.model),
+        n_apps=args.apps,
+    )
+    fn = minimize_period if args.criterion == "period" else minimize_latency
+    solution = fn(problem, method=args.method)
+    print(f"solver  : {solution.solver}")
+    print(f"optimal : {solution.optimal}")
+    print(f"objective ({args.criterion}): {solution.objective:.6g}")
+    rows = [
+        (x.app, f"[{x.interval[0]}, {x.interval[1]}]", x.proc, x.speed)
+        for x in solution.mapping.assignments
+    ]
+    print(render_table(["app", "stages", "processor", "speed"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .core.evaluation import application_latency, evaluate
+    from .paper import figure1_applications, figure1_platform, mapping_optimal_period
+    from .simulation import simulate
+
+    apps = figure1_applications()
+    platform = figure1_platform()
+    mapping = mapping_optimal_period()
+    model = CommunicationModel(args.model)
+    values = evaluate(apps, platform, mapping, model=model)
+    result = simulate(
+        apps, platform, mapping, args.datasets, model=model
+    )
+    rows = []
+    for a in sorted(result.completions):
+        rows.append(
+            (
+                apps[a].name,
+                values.periods[a],
+                result.measured_period(a),
+                application_latency(apps, platform, mapping, a),
+                result.measured_latency(a),
+            )
+        )
+    print(
+        f"simulated {args.datasets} data sets per application "
+        f"({model.value} model):"
+    )
+    print(
+        render_table(
+            [
+                "application",
+                "analytic period",
+                "measured period",
+                "analytic latency",
+                "measured latency",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .generators import small_random_problem
+    from .io import save_problem
+
+    problem = small_random_problem(
+        args.seed,
+        platform_class=PlatformClass(args.platform),
+        rule=MappingRule(args.rule),
+        model=CommunicationModel(args.model),
+        n_apps=args.apps,
+        n_modes=args.modes,
+    )
+    save_problem(problem, args.output)
+    print(
+        f"wrote {args.output}: {problem.n_apps} applications, "
+        f"{problem.n_stages_total} stages, "
+        f"{problem.platform.n_processors} processors "
+        f"({problem.platform_class.value}, {problem.rule.value}, "
+        f"{problem.model.value})"
+    )
+    return 0
+
+
+def _cmd_solve_file(args: argparse.Namespace) -> int:
+    from .algorithms.exact import exact_minimize
+    from .core.objectives import Thresholds
+    from .io import load_problem, mapping_to_dict
+
+    problem = load_problem(args.instance)
+    thresholds = Thresholds(
+        period=args.max_period, latency=args.max_latency, energy=args.max_energy
+    )
+    solution = exact_minimize(
+        problem, Criterion(args.criterion), thresholds
+    )
+    print(f"objective ({args.criterion}): {solution.objective:.6g}")
+    print(
+        f"period={solution.values.period:.6g} "
+        f"latency={solution.values.latency:.6g} "
+        f"energy={solution.values.energy:.6g}"
+    )
+    if args.output:
+        import json
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(mapping_to_dict(solution.mapping), indent=2)
+        )
+        print(f"mapping written to {args.output}")
+    return 0
+
+
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from .analysis import period_energy_front_exact
+    from .io import load_problem
+    from .paper import figure1_problem
+
+    problem = (
+        load_problem(args.instance) if args.instance else figure1_problem()
+    )
+    front = period_energy_front_exact(problem, max_points=args.points)
+    print(
+        render_table(["period", "energy"], [(t, e) for t, e in front])
+    )
+    print(f"({len(front)} non-dominated points)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-pipelines`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pipelines",
+        description=(
+            "Reproduction of 'Performance and energy optimization of "
+            "concurrent pipelined applications' (IPDPS 2010)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser(
+        "demo-example", help="replay the Section 2 motivating example"
+    ).set_defaults(func=_cmd_demo_example)
+
+    sub.add_parser(
+        "tables", help="print the complexity registry (Tables 1-2)"
+    ).set_defaults(func=_cmd_tables)
+
+    solve = sub.add_parser("solve", help="solve a random instance")
+    solve.add_argument("--criterion", choices=["period", "latency"], default="period")
+    solve.add_argument(
+        "--platform",
+        choices=[c.value for c in PlatformClass],
+        default=PlatformClass.FULLY_HOMOGENEOUS.value,
+    )
+    solve.add_argument(
+        "--rule",
+        choices=[r.value for r in MappingRule],
+        default=MappingRule.INTERVAL.value,
+    )
+    solve.add_argument(
+        "--model",
+        choices=[m.value for m in CommunicationModel],
+        default=CommunicationModel.OVERLAP.value,
+    )
+    solve.add_argument("--method", choices=["auto", "exact", "heuristic"], default="auto")
+    solve.add_argument("--apps", type=int, default=2)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.set_defaults(func=_cmd_solve)
+
+    sim = sub.add_parser(
+        "simulate", help="simulator vs analytic model on the example"
+    )
+    sim.add_argument("--datasets", type=int, default=200)
+    sim.add_argument(
+        "--model",
+        choices=[m.value for m in CommunicationModel],
+        default=CommunicationModel.OVERLAP.value,
+    )
+    sim.set_defaults(func=_cmd_simulate)
+
+    gen = sub.add_parser(
+        "generate", help="generate a random instance to a JSON file"
+    )
+    gen.add_argument("output", help="destination JSON file")
+    gen.add_argument(
+        "--platform",
+        choices=[c.value for c in PlatformClass],
+        default=PlatformClass.FULLY_HOMOGENEOUS.value,
+    )
+    gen.add_argument(
+        "--rule",
+        choices=[r.value for r in MappingRule],
+        default=MappingRule.INTERVAL.value,
+    )
+    gen.add_argument(
+        "--model",
+        choices=[m.value for m in CommunicationModel],
+        default=CommunicationModel.OVERLAP.value,
+    )
+    gen.add_argument("--apps", type=int, default=2)
+    gen.add_argument("--modes", type=int, default=2)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=_cmd_generate)
+
+    solve_file = sub.add_parser(
+        "solve-file", help="exactly solve an instance from a JSON file"
+    )
+    solve_file.add_argument("instance", help="instance JSON file")
+    solve_file.add_argument(
+        "--criterion",
+        choices=[c.value for c in Criterion],
+        default=Criterion.PERIOD.value,
+    )
+    solve_file.add_argument("--max-period", type=float, default=None)
+    solve_file.add_argument("--max-latency", type=float, default=None)
+    solve_file.add_argument("--max-energy", type=float, default=None)
+    solve_file.add_argument(
+        "--output", default=None, help="write the mapping JSON here"
+    )
+    solve_file.set_defaults(func=_cmd_solve_file)
+
+    pareto = sub.add_parser(
+        "pareto", help="exact period/energy Pareto front of an instance"
+    )
+    pareto.add_argument(
+        "--instance",
+        default=None,
+        help="instance JSON file (default: the paper's Figure 1)",
+    )
+    pareto.add_argument("--points", type=int, default=100)
+    pareto.set_defaults(func=_cmd_pareto)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,108 @@
+"""Core data model: applications, platforms, mappings, evaluation.
+
+This package implements the framework of Section 3 of the paper:
+
+* :mod:`repro.core.application` -- linear pipelined applications (§3.1);
+* :mod:`repro.core.processor` / :mod:`repro.core.platform` -- multi-modal
+  processors and the three platform classes (§3.2);
+* :mod:`repro.core.mapping` -- one-to-one and interval mappings (§3.3);
+* :mod:`repro.core.evaluation` -- period, latency (§3.4) and energy (§3.5);
+* :mod:`repro.core.objectives` -- weighted-max objectives and thresholds;
+* :mod:`repro.core.problem` -- problem instances and solver results.
+"""
+
+from .application import Application, Stage, total_stages, validate_applications
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from .evaluation import (
+    CriteriaValues,
+    IntervalCost,
+    application_latency,
+    application_period,
+    evaluate,
+    global_latency,
+    global_period,
+    interval_costs,
+    interval_cycle_time,
+    platform_energy,
+    stage_cycle_time,
+    whole_app_latency_on_processor,
+)
+from .exceptions import (
+    InfeasibleProblemError,
+    InvalidApplicationError,
+    InvalidMappingError,
+    InvalidPlatformError,
+    ReproError,
+    SolverError,
+)
+from .mapping import Assignment, Mapping, run_at_max_speed, run_at_min_speed
+from .objectives import (
+    THRESHOLD_RTOL,
+    Thresholds,
+    meets_threshold,
+    stretch_weights,
+    weighted_max,
+    with_weights,
+)
+from .platform import Platform
+from .problem import ProblemInstance, Solution
+from .processor import Processor, processors_from_speed_sets, uniform_processors
+from .types import (
+    CommunicationModel,
+    Criterion,
+    IN_ENDPOINT,
+    Interval,
+    MappingRule,
+    OUT_ENDPOINT,
+    PlatformClass,
+)
+
+__all__ = [
+    "Application",
+    "Assignment",
+    "CommunicationModel",
+    "CriteriaValues",
+    "Criterion",
+    "DEFAULT_ENERGY_MODEL",
+    "EnergyModel",
+    "IN_ENDPOINT",
+    "InfeasibleProblemError",
+    "Interval",
+    "IntervalCost",
+    "InvalidApplicationError",
+    "InvalidMappingError",
+    "InvalidPlatformError",
+    "Mapping",
+    "MappingRule",
+    "OUT_ENDPOINT",
+    "Platform",
+    "PlatformClass",
+    "ProblemInstance",
+    "Processor",
+    "ReproError",
+    "Solution",
+    "SolverError",
+    "Stage",
+    "THRESHOLD_RTOL",
+    "Thresholds",
+    "application_latency",
+    "application_period",
+    "evaluate",
+    "global_latency",
+    "global_period",
+    "interval_costs",
+    "interval_cycle_time",
+    "meets_threshold",
+    "platform_energy",
+    "processors_from_speed_sets",
+    "run_at_max_speed",
+    "run_at_min_speed",
+    "stage_cycle_time",
+    "stretch_weights",
+    "total_stages",
+    "uniform_processors",
+    "validate_applications",
+    "weighted_max",
+    "whole_app_latency_on_processor",
+    "with_weights",
+]

@@ -1,0 +1,294 @@
+"""Applicative framework of Section 3.1: linear pipelined applications.
+
+Each of the ``A`` independent applications is a linear chain of stages
+``S_1 .. S_n``; stage ``S_k`` has computation requirement ``w_k`` and emits an
+output of size ``delta_k`` to the next stage.  The first stage receives an
+input of size ``delta_0`` from the virtual input processor ``Pin_a`` and the
+last stage sends its result (size ``delta_n``) to ``Pout_a``.
+
+Indexing convention: the library uses 0-based stage indices everywhere.  The
+0-based stage ``i`` corresponds to the paper's ``S_{i+1}``; it *consumes* data
+of size :meth:`Application.input_size` ``(i)`` (the paper's ``delta_i``) and
+*produces* data of size ``stages[i].output_size`` (the paper's
+``delta_{i+1}``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .exceptions import InvalidApplicationError
+from .types import Interval
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A single pipeline stage.
+
+    Parameters
+    ----------
+    work:
+        The computation requirement ``w_k`` (number of operations).  A stage
+        running on a processor at speed ``s`` takes ``work / s`` time units.
+    output_size:
+        The size ``delta_k`` of the data emitted towards the next stage (or
+        towards ``Pout_a`` for the last stage).  A transfer of size ``X`` over
+        a link of bandwidth ``b`` takes ``X / b`` time units.
+    """
+
+    work: float
+    output_size: float
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise InvalidApplicationError(
+                f"stage work must be non-negative, got {self.work!r}"
+            )
+        if self.output_size < 0:
+            raise InvalidApplicationError(
+                f"stage output size must be non-negative, got {self.output_size!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Application:
+    """A linear chain application (Section 3.1, Figure 2).
+
+    Parameters
+    ----------
+    stages:
+        The ordered stages ``S_1 .. S_n`` of the chain.
+    input_data_size:
+        The size ``delta_0`` of the input read from ``Pin_a`` by the first
+        stage.
+    weight:
+        The strictly positive priority weight ``W_a`` of Equation (6).  The
+        global period/latency objective is ``max_a W_a * X_a``.  Use ``1.0``
+        (the default) for the plain maximum; use ``1 / X*_a`` for the
+        max-stretch objective.
+    name:
+        Optional human-readable identifier used in reports.
+    """
+
+    stages: Tuple[Stage, ...]
+    input_data_size: float = 0.0
+    weight: float = 1.0
+    name: str = ""
+    #: Cached prefix sums of stage works; ``_work_prefix[i]`` is the total
+    #: work of stages ``0 .. i-1``.  Computed eagerly in ``__post_init__``.
+    _work_prefix: Tuple[float, ...] = field(
+        default=(), repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.stages, tuple):
+            object.__setattr__(self, "stages", tuple(self.stages))
+        if len(self.stages) == 0:
+            raise InvalidApplicationError("an application needs at least one stage")
+        if self.input_data_size < 0:
+            raise InvalidApplicationError(
+                f"input data size must be non-negative, got {self.input_data_size!r}"
+            )
+        if not self.weight > 0:
+            raise InvalidApplicationError(
+                f"application weight must be strictly positive, got {self.weight!r}"
+            )
+        prefix = tuple(
+            itertools.accumulate((s.work for s in self.stages), initial=0.0)
+        )
+        object.__setattr__(self, "_work_prefix", prefix)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lists(
+        cls,
+        works: Sequence[float],
+        output_sizes: Sequence[float],
+        *,
+        input_data_size: float = 0.0,
+        weight: float = 1.0,
+        name: str = "",
+    ) -> "Application":
+        """Build an application from parallel lists of works and output sizes.
+
+        ``works[i]`` is the paper's ``w_{i+1}``; ``output_sizes[i]`` is
+        ``delta_{i+1}``.  Both lists must have the same length ``n``.
+        """
+        if len(works) != len(output_sizes):
+            raise InvalidApplicationError(
+                "works and output_sizes must have the same length "
+                f"({len(works)} != {len(output_sizes)})"
+            )
+        stages = tuple(
+            Stage(work=w, output_size=d) for w, d in zip(works, output_sizes)
+        )
+        return cls(
+            stages=stages,
+            input_data_size=input_data_size,
+            weight=weight,
+            name=name,
+        )
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_stages: int,
+        *,
+        work: float = 1.0,
+        output_size: float = 0.0,
+        input_data_size: float = 0.0,
+        weight: float = 1.0,
+        name: str = "",
+    ) -> "Application":
+        """Build a *homogeneous pipeline*: ``n`` identical stages.
+
+        This is the ``special-app`` family of Table 1/Table 2 (homogeneous
+        pipelines, typically used with zero communication costs), central to
+        the 3-PARTITION hardness proofs of Theorems 5-7 and 9-11.
+        """
+        if n_stages <= 0:
+            raise InvalidApplicationError(
+                f"n_stages must be positive, got {n_stages!r}"
+            )
+        return cls.from_lists(
+            [work] * n_stages,
+            [output_size] * n_stages,
+            input_data_size=input_data_size,
+            weight=weight,
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        """The number of stages ``n_a``."""
+        return len(self.stages)
+
+    @property
+    def total_work(self) -> float:
+        """The total computation requirement ``sum_k w_k``."""
+        return self._work_prefix[-1]
+
+    @property
+    def works(self) -> Tuple[float, ...]:
+        """The stage works ``(w_1, .., w_n)``."""
+        return tuple(s.work for s in self.stages)
+
+    @property
+    def output_sizes(self) -> Tuple[float, ...]:
+        """The stage output sizes ``(delta_1, .., delta_n)``."""
+        return tuple(s.output_size for s in self.stages)
+
+    def work_sum(self, lo: int, hi: int) -> float:
+        """Total work of the 0-based stage interval ``[lo, hi]`` (inclusive).
+
+        Uses cached prefix sums, so each query is O(1).
+        """
+        self._check_interval((lo, hi))
+        return self._work_prefix[hi + 1] - self._work_prefix[lo]
+
+    def input_size(self, i: int) -> float:
+        """Size of the data *consumed* by 0-based stage ``i``.
+
+        Equals the paper's ``delta_i``: the application input for ``i == 0``,
+        otherwise the output of the preceding stage.
+        """
+        if not 0 <= i < self.n_stages:
+            raise InvalidApplicationError(
+                f"stage index {i} out of range [0, {self.n_stages})"
+            )
+        if i == 0:
+            return self.input_data_size
+        return self.stages[i - 1].output_size
+
+    def output_size(self, i: int) -> float:
+        """Size of the data *produced* by 0-based stage ``i`` (paper's
+        ``delta_{i+1}``)."""
+        if not 0 <= i < self.n_stages:
+            raise InvalidApplicationError(
+                f"stage index {i} out of range [0, {self.n_stages})"
+            )
+        return self.stages[i].output_size
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when all stages are identical (the ``special-app`` shape)."""
+        first = self.stages[0]
+        return all(s == first for s in self.stages[1:])
+
+    @property
+    def has_communication(self) -> bool:
+        """True when any data size (input, inter-stage or output) is non-zero."""
+        if self.input_data_size > 0:
+            return True
+        return any(s.output_size > 0 for s in self.stages)
+
+    # ------------------------------------------------------------------
+    # Interval helpers
+    # ------------------------------------------------------------------
+    def _check_interval(self, interval: Interval) -> None:
+        lo, hi = interval
+        if not (0 <= lo <= hi < self.n_stages):
+            raise InvalidApplicationError(
+                f"invalid stage interval {interval!r} for {self.n_stages} stages"
+            )
+
+    def interval_input_size(self, interval: Interval) -> float:
+        """Size of the data entering interval ``[lo, hi]`` (paper ``delta_{d_j - 1}``)."""
+        self._check_interval(interval)
+        return self.input_size(interval[0])
+
+    def interval_output_size(self, interval: Interval) -> float:
+        """Size of the data leaving interval ``[lo, hi]`` (paper ``delta_{e_j}``)."""
+        self._check_interval(interval)
+        return self.output_size(interval[1])
+
+    def iter_interval_partitions(self) -> Iterator[Tuple[Interval, ...]]:
+        """Yield every partition of the stages into consecutive intervals.
+
+        There are ``2^(n-1)`` such partitions (one per subset of the ``n-1``
+        possible cut points).  Intended for brute-force validation on small
+        instances only.
+        """
+        n = self.n_stages
+        cut_points = range(1, n)
+        for r in range(0, n):
+            for cuts in itertools.combinations(cut_points, r):
+                bounds = [0, *cuts, n]
+                yield tuple(
+                    (bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)
+                )
+
+    def interval_partitions_into(self, m: int) -> Iterator[Tuple[Interval, ...]]:
+        """Yield every partition of the stages into exactly ``m`` intervals."""
+        n = self.n_stages
+        if not 1 <= m <= n:
+            return
+        for cuts in itertools.combinations(range(1, n), m - 1):
+            bounds = [0, *cuts, n]
+            yield tuple(
+                (bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)
+            )
+
+
+def total_stages(apps: Sequence[Application]) -> int:
+    """Total stage count ``N = sum_a n_a`` over a list of applications."""
+    return sum(app.n_stages for app in apps)
+
+
+def validate_applications(apps: Iterable[Application]) -> List[Application]:
+    """Materialize and sanity-check a collection of applications.
+
+    Returns the list form; raises :class:`InvalidApplicationError` when the
+    collection is empty.
+    """
+    result = list(apps)
+    if not result:
+        raise InvalidApplicationError("at least one application is required")
+    return result

@@ -1,0 +1,72 @@
+"""Energy model of Section 3.5.
+
+The platform energy is the sum over *enrolled* processors of
+``E(u) = E_stat(u) + E_dyn(s_u)`` with ``E_dyn(s) = s^alpha`` for a rational
+``alpha > 1``.  ``E(u)`` is an energy per time unit, which is why the paper
+only ever combines the energy criterion with the period (a pipelined,
+steady-state notion), never with latency alone.
+
+The motivating example (Section 2) uses ``alpha = 2`` and zero static energy;
+all results of the paper hold for arbitrary ``alpha > 1`` so the exponent is a
+model parameter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .exceptions import InvalidPlatformError
+from .processor import Processor
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """The dynamic-energy exponent ``alpha`` of ``E_dyn(s) = s^alpha``.
+
+    Parameters
+    ----------
+    alpha:
+        Exponent of the dynamic energy; must be ``> 1`` (faster speeds are
+        strictly less efficient energetically, Section 3.5).
+    """
+
+    alpha: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 1:
+            raise InvalidPlatformError(
+                f"energy exponent alpha must be > 1, got {self.alpha!r}"
+            )
+
+    def dynamic(self, speed: float) -> float:
+        """Dynamic energy per time unit at the given speed: ``s^alpha``."""
+        if speed < 0:
+            raise InvalidPlatformError(f"speed must be non-negative, got {speed!r}")
+        return speed**self.alpha
+
+    def processor_energy(self, processor: Processor, speed: float) -> float:
+        """Total per-time-unit energy of an enrolled processor running at
+        ``speed``: static part plus dynamic part."""
+        return processor.static_energy + self.dynamic(speed)
+
+    def cheapest_feasible_energy(
+        self, processor: Processor, required_speed: float
+    ) -> float:
+        """Energy of the slowest mode with speed ``>= required_speed``.
+
+        Returns ``math.inf`` when no mode is fast enough.  Because
+        ``E_dyn`` is increasing in ``s``, the slowest feasible mode is always
+        the cheapest feasible one -- the mode-selection argument underlying
+        Theorems 18, 19 and 21.
+        """
+        import math
+
+        speed = processor.slowest_speed_at_least(required_speed)
+        if speed is None:
+            return math.inf
+        return self.processor_energy(processor, speed)
+
+
+#: Default model (``alpha = 2``) used throughout the examples and benches,
+#: matching the motivating example of Section 2.
+DEFAULT_ENERGY_MODEL = EnergyModel(alpha=2.0)

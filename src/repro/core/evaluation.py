@@ -1,0 +1,320 @@
+"""Evaluation of mappings: period, latency and energy (Sections 3.4-3.5).
+
+For an application mapped as intervals ``I_1 .. I_m`` on processors
+``P_{al(d_1)} .. P_{al(d_m)}`` the criteria are:
+
+*Period, overlap model* (Equation (3))::
+
+    T = max_j max( delta_{d_j - 1} / b(al(d_{j-1}), al(d_j)),
+                   sum_{i in I_j} w_i / s_{al(d_j)},
+                   delta_{e_j} / b(al(d_j), al(e_j + 1)) )
+
+*Period, no-overlap model* (Equation (4)): the inner ``max`` is a sum.
+
+*Latency* (identical in both models, Equation (5))::
+
+    L = delta_0 / b(in, al(1))
+        + sum_j ( sum_{i in I_j} w_i / s_{al(d_j)}
+                  + delta_{e_j} / b(al(d_j), al(e_j + 1)) )
+
+*Energy* (Section 3.5): sum over enrolled processors of
+``E_stat(u) + s_u^alpha``.
+
+*Global objectives* (Equation (6)): ``max_a W_a * X_a`` where ``X_a`` is the
+per-application period or latency and ``W_a > 0`` the application weight.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .application import Application
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from .exceptions import InvalidMappingError
+from .mapping import Assignment, Mapping
+from .platform import Endpoint, Platform
+from .types import CommunicationModel, IN_ENDPOINT, OUT_ENDPOINT, Interval
+
+
+@dataclass(frozen=True)
+class IntervalCost:
+    """Cost breakdown for one assignment: the three activity times of the
+    processor hosting the interval."""
+
+    app: int
+    interval: Interval
+    proc: int
+    speed: float
+    #: Time of the incoming communication ``delta_{d_j - 1} / b``.
+    t_in: float
+    #: Computation time ``sum w_i / s``.
+    t_comp: float
+    #: Time of the outgoing communication ``delta_{e_j} / b``.
+    t_out: float
+
+    def cycle_time(self, model: CommunicationModel) -> float:
+        """Processor cycle-time under the given communication model."""
+        return model.combine(self.t_in, self.t_comp, self.t_out)
+
+
+def _ordered_app_assignments(
+    mapping: Mapping, app_index: int, app: Application
+) -> Tuple[Assignment, ...]:
+    parts = mapping.for_app(app_index)
+    if not parts:
+        raise InvalidMappingError(f"application {app_index} has no assignment")
+    return parts
+
+
+def interval_costs(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+) -> List[IntervalCost]:
+    """Per-assignment activity times for the whole mapping.
+
+    The incoming link of the first interval of each application is the
+    virtual ``Pin_a``; the outgoing link of the last interval is ``Pout_a``.
+    Intervals hosted next to each other on the chain communicate over the
+    direct link between their processors.
+    """
+    costs: List[IntervalCost] = []
+    for a_idx in mapping.applications:
+        app = apps[a_idx]
+        parts = _ordered_app_assignments(mapping, a_idx, app)
+        for j, part in enumerate(parts):
+            lo, hi = part.interval
+            src: Endpoint = IN_ENDPOINT if j == 0 else parts[j - 1].proc
+            dst: Endpoint = OUT_ENDPOINT if j == len(parts) - 1 else parts[j + 1].proc
+            in_size = app.interval_input_size(part.interval)
+            out_size = app.interval_output_size(part.interval)
+            t_in = in_size / platform.bandwidth(src, part.proc, a_idx)
+            t_out = out_size / platform.bandwidth(part.proc, dst, a_idx)
+            t_comp = app.work_sum(lo, hi) / part.speed
+            costs.append(
+                IntervalCost(
+                    app=a_idx,
+                    interval=part.interval,
+                    proc=part.proc,
+                    speed=part.speed,
+                    t_in=t_in,
+                    t_comp=t_comp,
+                    t_out=t_out,
+                )
+            )
+    return costs
+
+
+# ----------------------------------------------------------------------
+# Per-application criteria
+# ----------------------------------------------------------------------
+def application_period(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+    app_index: int,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> float:
+    """Period ``T_a`` of one application (Equations (3)/(4)), *unweighted*."""
+    app = apps[app_index]
+    parts = _ordered_app_assignments(mapping, app_index, app)
+    worst = 0.0
+    for j, part in enumerate(parts):
+        lo, hi = part.interval
+        src: Endpoint = IN_ENDPOINT if j == 0 else parts[j - 1].proc
+        dst: Endpoint = OUT_ENDPOINT if j == len(parts) - 1 else parts[j + 1].proc
+        t_in = app.interval_input_size(part.interval) / platform.bandwidth(
+            src, part.proc, app_index
+        )
+        t_out = app.interval_output_size(part.interval) / platform.bandwidth(
+            part.proc, dst, app_index
+        )
+        t_comp = app.work_sum(lo, hi) / part.speed
+        worst = max(worst, model.combine(t_in, t_comp, t_out))
+    return worst
+
+
+def application_latency(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+    app_index: int,
+) -> float:
+    """Latency ``L_a`` of one application (Equation (5)), *unweighted*.
+
+    Identical under both communication models: it follows one data set along
+    the chain, so the three activities of a processor are naturally
+    serialized for that data set.
+    """
+    app = apps[app_index]
+    parts = _ordered_app_assignments(mapping, app_index, app)
+    total = app.input_data_size / platform.bandwidth(
+        IN_ENDPOINT, parts[0].proc, app_index
+    )
+    for j, part in enumerate(parts):
+        lo, hi = part.interval
+        dst: Endpoint = OUT_ENDPOINT if j == len(parts) - 1 else parts[j + 1].proc
+        total += app.work_sum(lo, hi) / part.speed
+        total += app.interval_output_size(part.interval) / platform.bandwidth(
+            part.proc, dst, app_index
+        )
+    return total
+
+
+# ----------------------------------------------------------------------
+# Global criteria
+# ----------------------------------------------------------------------
+def global_period(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> float:
+    """Weighted global period ``max_a W_a * T_a`` (Equation (6))."""
+    return max(
+        apps[a].weight * application_period(apps, platform, mapping, a, model)
+        for a in mapping.applications
+    )
+
+
+def global_latency(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+) -> float:
+    """Weighted global latency ``max_a W_a * L_a`` (Equation (6))."""
+    return max(
+        apps[a].weight * application_latency(apps, platform, mapping, a)
+        for a in mapping.applications
+    )
+
+
+def platform_energy(
+    platform: Platform,
+    mapping: Mapping,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> float:
+    """Total per-time-unit energy of the enrolled processors
+    (Section 3.5): ``sum_u E_stat(u) + s_u^alpha``."""
+    total = 0.0
+    for u in mapping.enrolled_processors:
+        total += energy_model.processor_energy(
+            platform.processor(u), mapping.speed_of_proc(u)
+        )
+    return total
+
+
+@dataclass(frozen=True)
+class CriteriaValues:
+    """All criteria of a mapping, per application and globally."""
+
+    #: Unweighted per-application periods ``T_a`` keyed by application index.
+    periods: Dict[int, float]
+    #: Unweighted per-application latencies ``L_a``.
+    latencies: Dict[int, float]
+    #: Weighted global period ``max_a W_a * T_a``.
+    period: float
+    #: Weighted global latency ``max_a W_a * L_a``.
+    latency: float
+    #: Total platform energy (per time unit).
+    energy: float
+
+    def meets(
+        self,
+        *,
+        period: Optional[float] = None,
+        latency: Optional[float] = None,
+        energy: Optional[float] = None,
+        rtol: float = 1e-9,
+    ) -> bool:
+        """True when each given threshold is respected (within a tiny
+        relative tolerance, to absorb float round-off)."""
+
+        def ok(value: float, bound: Optional[float]) -> bool:
+            if bound is None:
+                return True
+            return value <= bound * (1 + rtol) + rtol
+
+        return (
+            ok(self.period, period)
+            and ok(self.latency, latency)
+            and ok(self.energy, energy)
+        )
+
+
+def evaluate(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+    *,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> CriteriaValues:
+    """Evaluate all criteria of a mapping in one pass."""
+    periods: Dict[int, float] = {}
+    latencies: Dict[int, float] = {}
+    for a in mapping.applications:
+        periods[a] = application_period(apps, platform, mapping, a, model)
+        latencies[a] = application_latency(apps, platform, mapping, a)
+    period = max(apps[a].weight * t for a, t in periods.items())
+    latency = max(apps[a].weight * l for a, l in latencies.items())
+    energy = platform_energy(platform, mapping, energy_model)
+    return CriteriaValues(
+        periods=periods,
+        latencies=latencies,
+        period=period,
+        latency=latency,
+        energy=energy,
+    )
+
+
+# ----------------------------------------------------------------------
+# Elementary cost helpers shared by the solvers
+# ----------------------------------------------------------------------
+def stage_cycle_time(
+    app: Application,
+    stage: int,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel,
+) -> float:
+    """Cycle-time of one stage alone on a processor at ``speed`` with
+    homogeneous links of the given ``bandwidth`` -- the candidate values of
+    Algorithm 1 (Theorem 1): ``max_or_sum(delta_{k-1}/b, w_k/s, delta_k/b)``.
+    """
+    t_in = app.input_size(stage) / bandwidth
+    t_out = app.output_size(stage) / bandwidth
+    return model.combine(t_in, app.stages[stage].work / speed, t_out)
+
+
+def interval_cycle_time(
+    app: Application,
+    interval: Interval,
+    speed: float,
+    bandwidth_in: float,
+    bandwidth_out: float,
+    model: CommunicationModel,
+) -> float:
+    """Cycle-time of an interval on a processor at ``speed`` with explicit
+    incoming / outgoing bandwidths."""
+    lo, hi = interval
+    t_in = app.interval_input_size(interval) / bandwidth_in
+    t_out = app.interval_output_size(interval) / bandwidth_out
+    return model.combine(t_in, app.work_sum(lo, hi) / speed, t_out)
+
+
+def whole_app_latency_on_processor(
+    app: Application,
+    speed: float,
+    bandwidth_in: float,
+    bandwidth_out: float,
+) -> float:
+    """Latency of mapping a whole application onto one processor:
+    ``delta_0 / b_in + sum w / s + delta_n / b_out`` (used by Theorem 12)."""
+    return (
+        app.input_data_size / bandwidth_in
+        + app.total_work / speed
+        + app.stages[-1].output_size / bandwidth_out
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class InvalidApplicationError(ReproError):
+    """An application description violates the model of Section 3.1
+    (e.g. empty stage list, negative computation requirement)."""
+
+
+class InvalidPlatformError(ReproError):
+    """A platform description violates the model of Section 3.2
+    (e.g. non-positive speed or bandwidth, empty speed set)."""
+
+
+class InvalidMappingError(ReproError):
+    """A mapping violates the rules of Section 3.3: stages not fully covered,
+    intervals overlapping, processor re-use across intervals or applications,
+    a speed outside the processor's mode set, or a shape not admitted by the
+    requested mapping rule."""
+
+
+class InfeasibleProblemError(ReproError):
+    """A constrained optimization problem admits no valid mapping
+    (e.g. fewer processors than stages under the one-to-one rule, or
+    thresholds that no mapping can meet)."""
+
+
+class SolverError(ReproError):
+    """A solver was invoked outside its domain of validity (e.g. a
+    fully-homogeneous-only algorithm applied to a heterogeneous platform)."""

@@ -1,0 +1,286 @@
+"""Mappings of stages onto processors (Section 3.3).
+
+A mapping is a set of :class:`Assignment` records, each placing one interval
+of consecutive stages of one application onto one processor running at one
+chosen speed.  The rules are:
+
+* the intervals assigned to each application partition its stages in order;
+* no processor is re-used, neither within an application nor across
+  applications (no processor sharing);
+* under the one-to-one rule, every interval contains a single stage;
+* the chosen speed must belong to the processor's mode set and stays fixed
+  for the whole execution.
+
+Once a valid interval mapping is fixed, scheduling is straightforward (each
+operation executes as soon as possible): the execution graph is acyclic and
+each processor has at most one incoming and one outgoing communication --
+this is the paper's key motivation for restricting to interval mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .application import Application
+from .exceptions import InvalidMappingError
+from .platform import Platform
+from .types import Interval, MappingRule
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One interval of one application placed on one processor.
+
+    Parameters
+    ----------
+    app:
+        0-based application index.
+    interval:
+        Inclusive 0-based stage interval ``(lo, hi)`` of that application.
+    proc:
+        0-based processor index.
+    speed:
+        The chosen execution speed (must be one of the processor's modes).
+    """
+
+    app: int
+    interval: Interval
+    proc: int
+    speed: float
+
+    def __post_init__(self) -> None:
+        lo, hi = self.interval
+        if lo > hi or lo < 0:
+            raise InvalidMappingError(f"invalid interval {self.interval!r}")
+        if self.app < 0:
+            raise InvalidMappingError(f"invalid application index {self.app!r}")
+        if self.proc < 0:
+            raise InvalidMappingError(f"invalid processor index {self.proc!r}")
+        if self.speed <= 0:
+            raise InvalidMappingError(f"speed must be positive, got {self.speed!r}")
+
+    @property
+    def n_stages(self) -> int:
+        """Number of stages in the interval."""
+        return self.interval[1] - self.interval[0] + 1
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """An immutable collection of assignments forming a (candidate) mapping.
+
+    The class stores assignments in a canonical order (by application, then
+    by interval start) and offers validation against a set of applications, a
+    platform and a mapping rule.  Construction itself performs only local
+    checks; use :meth:`validate` for the full structural rules.
+    """
+
+    assignments: Tuple[Assignment, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.assignments, key=lambda x: (x.app, x.interval[0]))
+        )
+        object.__setattr__(self, "assignments", ordered)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_assignments(cls, assignments: Iterable[Assignment]) -> "Mapping":
+        """Build a mapping from any iterable of assignments."""
+        return cls(assignments=tuple(assignments))
+
+    @classmethod
+    def single_app(
+        cls,
+        placements: Sequence[Tuple[Interval, int, float]],
+        *,
+        app: int = 0,
+    ) -> "Mapping":
+        """Build a mapping for one application from
+        ``(interval, processor, speed)`` triples."""
+        return cls.from_assignments(
+            Assignment(app=app, interval=iv, proc=u, speed=s)
+            for iv, u, s in placements
+        )
+
+    @classmethod
+    def one_to_one(
+        cls,
+        stage_to_proc: Dict[Tuple[int, int], int],
+        speeds: Optional[Dict[Tuple[int, int], float]] = None,
+        *,
+        platform: Optional[Platform] = None,
+    ) -> "Mapping":
+        """Build a one-to-one mapping from ``{(app, stage): proc}``.
+
+        ``speeds`` maps ``(app, stage)`` to the chosen speed; when omitted,
+        ``platform`` must be given and each processor runs at its maximum
+        speed (the right default for pure-performance problems).
+        """
+        assignments = []
+        for (a, k), u in dict(stage_to_proc).items():
+            if speeds is not None:
+                s = dict(speeds)[(a, k)]
+            elif platform is not None:
+                s = platform.processor(u).max_speed
+            else:
+                raise InvalidMappingError(
+                    "either speeds or platform must be provided"
+                )
+            assignments.append(
+                Assignment(app=a, interval=(k, k), proc=u, speed=s)
+            )
+        return cls.from_assignments(assignments)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self.assignments)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def enrolled_processors(self) -> Tuple[int, ...]:
+        """Sorted indices of all processors used by the mapping."""
+        return tuple(sorted({a.proc for a in self.assignments}))
+
+    @property
+    def applications(self) -> Tuple[int, ...]:
+        """Sorted indices of all applications covered by the mapping."""
+        return tuple(sorted({a.app for a in self.assignments}))
+
+    def for_app(self, app: int) -> Tuple[Assignment, ...]:
+        """The assignments of one application, ordered by interval start."""
+        return tuple(a for a in self.assignments if a.app == app)
+
+    def processor_of_stage(self, app: int, stage: int) -> int:
+        """The processor executing a given stage (the paper's ``al`` map)."""
+        for a in self.for_app(app):
+            lo, hi = a.interval
+            if lo <= stage <= hi:
+                return a.proc
+        raise InvalidMappingError(
+            f"stage ({app}, {stage}) is not covered by the mapping"
+        )
+
+    def speed_of_proc(self, proc: int) -> float:
+        """The speed chosen for an enrolled processor."""
+        for a in self.assignments:
+            if a.proc == proc:
+                return a.speed
+        raise InvalidMappingError(f"processor {proc} is not enrolled")
+
+    def with_speeds(self, proc_speeds: Dict[int, float]) -> "Mapping":
+        """A copy of the mapping with new speeds for some processors."""
+        table = dict(proc_speeds)
+        return Mapping.from_assignments(
+            replace(a, speed=table.get(a.proc, a.speed)) for a in self.assignments
+        )
+
+    def is_one_to_one(self) -> bool:
+        """True when every interval contains exactly one stage."""
+        return all(a.n_stages == 1 for a in self.assignments)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(
+        self,
+        apps: Sequence[Application],
+        platform: Platform,
+        rule: MappingRule = MappingRule.INTERVAL,
+    ) -> None:
+        """Check the full structural rules of Section 3.3.
+
+        Raises :class:`InvalidMappingError` on the first violation:
+        uncovered or overlapping stages, processor re-use, out-of-range
+        indices, speeds not in the processor's mode set, or interval shapes
+        not admitted by ``rule``.
+        """
+        if not self.assignments:
+            raise InvalidMappingError("empty mapping")
+        procs_seen: Dict[int, Assignment] = {}
+        by_app: Dict[int, List[Assignment]] = {}
+        for a in self.assignments:
+            if not 0 <= a.app < len(apps):
+                raise InvalidMappingError(f"unknown application index {a.app}")
+            if not 0 <= a.proc < platform.n_processors:
+                raise InvalidMappingError(f"unknown processor index {a.proc}")
+            if not rule.admits(a.interval):
+                raise InvalidMappingError(
+                    f"interval {a.interval} not admitted by rule {rule.value}"
+                )
+            if a.proc in procs_seen:
+                raise InvalidMappingError(
+                    f"processor {a.proc} assigned twice "
+                    f"({procs_seen[a.proc]} and {a})"
+                )
+            procs_seen[a.proc] = a
+            if not platform.processor(a.proc).has_speed(a.speed):
+                raise InvalidMappingError(
+                    f"speed {a.speed} is not a mode of processor {a.proc} "
+                    f"(modes: {platform.processor(a.proc).speeds})"
+                )
+            by_app.setdefault(a.app, []).append(a)
+        for app_index, app in enumerate(apps):
+            parts = sorted(
+                by_app.get(app_index, []), key=lambda x: x.interval[0]
+            )
+            if not parts:
+                raise InvalidMappingError(
+                    f"application {app_index} has no assigned stages"
+                )
+            expected = 0
+            for part in parts:
+                lo, hi = part.interval
+                if lo != expected:
+                    raise InvalidMappingError(
+                        f"application {app_index}: stages are not partitioned "
+                        f"into consecutive intervals (expected start {expected}, "
+                        f"got {lo})"
+                    )
+                if hi >= app.n_stages:
+                    raise InvalidMappingError(
+                        f"application {app_index}: interval {part.interval} "
+                        f"exceeds stage count {app.n_stages}"
+                    )
+                expected = hi + 1
+            if expected != app.n_stages:
+                raise InvalidMappingError(
+                    f"application {app_index}: stages {expected}.."
+                    f"{app.n_stages - 1} are not mapped"
+                )
+
+    def is_valid(
+        self,
+        apps: Sequence[Application],
+        platform: Platform,
+        rule: MappingRule = MappingRule.INTERVAL,
+    ) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(apps, platform, rule)
+        except InvalidMappingError:
+            return False
+        return True
+
+
+def run_at_max_speed(mapping: Mapping, platform: Platform) -> Mapping:
+    """Return a copy of the mapping with every enrolled processor at its
+    fastest mode (used by all pure-performance algorithms)."""
+    return mapping.with_speeds(
+        {u: platform.processor(u).max_speed for u in mapping.enrolled_processors}
+    )
+
+
+def run_at_min_speed(mapping: Mapping, platform: Platform) -> Mapping:
+    """Return a copy of the mapping with every enrolled processor at its
+    slowest mode (the energy-greedy extreme of Section 2)."""
+    return mapping.with_speeds(
+        {u: platform.processor(u).min_speed for u in mapping.enrolled_processors}
+    )

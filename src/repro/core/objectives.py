@@ -1,0 +1,122 @@
+"""Objective functions and thresholds (Section 3.4 and Section 5 intro).
+
+The paper advocates *multi-criteria with thresholds*: one criterion is
+optimized while a threshold is enforced on each of the others.  Fixing the
+energy yields the "laptop problem" (best schedule within an energy budget);
+fixing the performance yields the "server problem" (least energy achieving a
+required service level).
+
+Global performance objectives follow Equation (6): ``max_a W_a * X_a`` with
+three natural weight choices:
+
+* ``W_a = 1`` -- plain maximum over applications;
+* ``W_a`` = a priority ratio fixed by the platform manager;
+* ``W_a = 1 / X*_a`` with ``X*_a`` the value the application would achieve
+  alone on the platform -- then the objective is the *maximum stretch*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from .application import Application
+from .types import Criterion
+
+#: Relative tolerance used by threshold comparisons throughout the library.
+THRESHOLD_RTOL = 1e-9
+
+
+def weighted_max(values: Sequence[float], weights: Sequence[float]) -> float:
+    """``max_a W_a * X_a`` (Equation (6))."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    if not values:
+        raise ValueError("weighted_max of an empty sequence")
+    return max(w * x for w, x in zip(weights, values))
+
+
+def meets_threshold(value: float, bound: Optional[float]) -> bool:
+    """Threshold test ``value <= bound`` with a tiny relative tolerance.
+
+    ``bound is None`` means the criterion is unconstrained.
+    """
+    if bound is None:
+        return True
+    return value <= bound * (1 + THRESHOLD_RTOL) + THRESHOLD_RTOL
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Bounds on the non-optimized criteria of a multi-criteria problem.
+
+    ``period`` and ``latency`` may be global bounds on the weighted maximum
+    (Equation (6)) or per-application bound tables, as in Section 5's
+    "fixing the period or the latency means fixing a threshold on the period
+    or latency of each application".  ``energy`` is always a single global
+    bound.
+    """
+
+    period: Optional[float] = None
+    latency: Optional[float] = None
+    energy: Optional[float] = None
+    per_app_period: Optional[Tuple[float, ...]] = None
+    per_app_latency: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("period", "latency", "energy"):
+            v = getattr(self, field_name)
+            if v is not None and v < 0:
+                raise ValueError(f"threshold {field_name} must be >= 0, got {v!r}")
+        for field_name in ("per_app_period", "per_app_latency"):
+            v = getattr(self, field_name)
+            if v is not None:
+                object.__setattr__(self, field_name, tuple(v))
+
+    def period_bound_for_app(self, app: Application, app_index: int) -> float:
+        """Effective per-application period bound: the per-application entry
+        when provided, otherwise the global bound divided by ``W_a``
+        (since ``W_a * T_a <= period`` must hold)."""
+        if self.per_app_period is not None:
+            return self.per_app_period[app_index]
+        if self.period is None:
+            return math.inf
+        return self.period / app.weight
+
+    def latency_bound_for_app(self, app: Application, app_index: int) -> float:
+        """Effective per-application latency bound (same convention)."""
+        if self.per_app_latency is not None:
+            return self.per_app_latency[app_index]
+        if self.latency is None:
+            return math.inf
+        return self.latency / app.weight
+
+    def constrains(self, criterion: Criterion) -> bool:
+        """True when the given criterion carries any bound."""
+        if criterion is Criterion.PERIOD:
+            return self.period is not None or self.per_app_period is not None
+        if criterion is Criterion.LATENCY:
+            return self.latency is not None or self.per_app_latency is not None
+        return self.energy is not None
+
+
+def with_weights(
+    apps: Sequence[Application], weights: Sequence[float]
+) -> Tuple[Application, ...]:
+    """Return copies of the applications with new priority weights."""
+    if len(apps) != len(weights):
+        raise ValueError("apps and weights must have the same length")
+    return tuple(replace(app, weight=w) for app, w in zip(apps, weights))
+
+
+def stretch_weights(solo_values: Sequence[float]) -> Tuple[float, ...]:
+    """Weights ``W_a = 1 / X*_a`` turning Equation (6) into the maximum
+    stretch, given the solo-execution optima ``X*_a`` (computed by running
+    each application alone on the platform with the relevant solver)."""
+    weights = []
+    for x in solo_values:
+        if not x > 0:
+            raise ValueError(f"solo optimum must be positive, got {x!r}")
+        weights.append(1.0 / x)
+    return tuple(weights)

@@ -1,0 +1,313 @@
+"""Target execution platforms (Section 3.2).
+
+A platform is made of ``p`` fully interconnected multi-modal processors; the
+bidirectional link between ``P_u`` and ``P_v`` has bandwidth ``b_{u,v}``.  In
+addition, per-application virtual processors ``Pin_a`` / ``Pout_a`` hold the
+input data and collect the results; they are connected to every compute
+processor.
+
+Bandwidth resolution
+--------------------
+Communications always carry the data of a specific application, so the
+bandwidth query is :meth:`Platform.bandwidth` ``(src, dst, app)`` where the
+endpoints are either a 0-based processor index or the sentinels
+:data:`~repro.core.types.IN_ENDPOINT` / :data:`~repro.core.types.OUT_ENDPOINT`
+(resolving to ``Pin_app`` / ``Pout_app``).  Resolution order:
+
+1. an explicit per-link entry (``links`` for processor pairs, ``in_links`` /
+   ``out_links`` for the virtual endpoints);
+2. the application's bandwidth ``app_bandwidths[app]`` when provided --- this
+   models the *communication homogeneous* refinement used in Theorem 1
+   ("different-capacity links between the applications, but links of the same
+   capacity within an application");
+3. the platform-wide ``default_bandwidth``.
+
+Platform classes
+----------------
+:meth:`Platform.platform_class` classifies the instance into the paper's
+taxonomy: *fully homogeneous* (identical processors and one common link
+bandwidth), *communication homogeneous* (identical links, heterogeneous
+processors), *fully heterogeneous* (anything else).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from .exceptions import InvalidPlatformError
+from .processor import Processor, uniform_processors
+from .types import IN_ENDPOINT, OUT_ENDPOINT, PlatformClass
+
+#: An endpoint of a communication: a compute-processor index, or one of the
+#: sentinels ``"in"`` / ``"out"`` naming the current application's virtual
+#: input/output processor.
+Endpoint = Union[int, str]
+
+
+def _normalize_pair(u: int, v: int) -> Tuple[int, int]:
+    """Canonical (sorted) form of an unordered processor pair: links are
+    bidirectional with a single bandwidth ``b_{u,v}``."""
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A target execution platform.
+
+    Parameters
+    ----------
+    processors:
+        The ``p`` compute processors.
+    default_bandwidth:
+        Bandwidth used for every link without a more specific entry.
+    links:
+        Optional explicit bandwidths for processor pairs, keyed by unordered
+        pair ``(u, v)``.
+    in_links / out_links:
+        Optional explicit bandwidths for the virtual input/output links,
+        keyed by ``(app_index, processor_index)``.
+    app_bandwidths:
+        Optional per-application bandwidth (see module docstring).
+    name:
+        Optional identifier used in reports.
+    """
+
+    processors: Tuple[Processor, ...]
+    default_bandwidth: float = 1.0
+    links: Mapping[Tuple[int, int], float] = field(default_factory=dict)
+    in_links: Mapping[Tuple[int, int], float] = field(default_factory=dict)
+    out_links: Mapping[Tuple[int, int], float] = field(default_factory=dict)
+    app_bandwidths: Mapping[int, float] = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.processors, tuple):
+            object.__setattr__(self, "processors", tuple(self.processors))
+        if len(self.processors) == 0:
+            raise InvalidPlatformError("a platform needs at least one processor")
+        if self.default_bandwidth <= 0:
+            raise InvalidPlatformError(
+                f"default bandwidth must be positive, got {self.default_bandwidth!r}"
+            )
+        links = {_normalize_pair(*k): v for k, v in dict(self.links).items()}
+        object.__setattr__(self, "links", links)
+        object.__setattr__(self, "in_links", dict(self.in_links))
+        object.__setattr__(self, "out_links", dict(self.out_links))
+        object.__setattr__(self, "app_bandwidths", dict(self.app_bandwidths))
+        p = len(self.processors)
+        for (u, v), bw in links.items():
+            if not (0 <= u < p and 0 <= v < p):
+                raise InvalidPlatformError(f"link {u, v} references unknown processor")
+            if bw <= 0:
+                raise InvalidPlatformError(f"bandwidth of link {u, v} must be positive")
+        for table in (self.in_links, self.out_links):
+            for (a, u), bw in table.items():
+                if not 0 <= u < p:
+                    raise InvalidPlatformError(
+                        f"virtual link ({a}, {u}) references unknown processor"
+                    )
+                if bw <= 0:
+                    raise InvalidPlatformError(
+                        f"bandwidth of virtual link ({a}, {u}) must be positive"
+                    )
+        for a, bw in self.app_bandwidths.items():
+            if bw <= 0:
+                raise InvalidPlatformError(
+                    f"application bandwidth for app {a} must be positive"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors for the paper's platform classes
+    # ------------------------------------------------------------------
+    @classmethod
+    def fully_homogeneous(
+        cls,
+        n_processors: int,
+        speeds: Sequence[float],
+        *,
+        bandwidth: float = 1.0,
+        static_energy: float = 0.0,
+        name: str = "",
+    ) -> "Platform":
+        """Identical processors (one common speed set) and identical links."""
+        return cls(
+            processors=uniform_processors(
+                n_processors, speeds, static_energy=static_energy
+            ),
+            default_bandwidth=bandwidth,
+            name=name,
+        )
+
+    @classmethod
+    def comm_homogeneous(
+        cls,
+        speed_sets: Sequence[Sequence[float]],
+        *,
+        bandwidth: float = 1.0,
+        static_energies: Optional[Sequence[float]] = None,
+        app_bandwidths: Optional[Mapping[int, float]] = None,
+        name: str = "",
+    ) -> "Platform":
+        """Identical links, per-processor speed sets (networks of
+        workstations with a uniform LAN)."""
+        from .processor import processors_from_speed_sets
+
+        return cls(
+            processors=processors_from_speed_sets(
+                speed_sets, static_energies=static_energies
+            ),
+            default_bandwidth=bandwidth,
+            app_bandwidths=dict(app_bandwidths or {}),
+            name=name,
+        )
+
+    @classmethod
+    def fully_heterogeneous(
+        cls,
+        speed_sets: Sequence[Sequence[float]],
+        link_bandwidths: Mapping[Tuple[int, int], float],
+        *,
+        default_bandwidth: float = 1.0,
+        in_links: Optional[Mapping[Tuple[int, int], float]] = None,
+        out_links: Optional[Mapping[Tuple[int, int], float]] = None,
+        static_energies: Optional[Sequence[float]] = None,
+        name: str = "",
+    ) -> "Platform":
+        """Different-speed processors and different-capacity links
+        (hierarchical multi-cluster platforms)."""
+        from .processor import processors_from_speed_sets
+
+        return cls(
+            processors=processors_from_speed_sets(
+                speed_sets, static_energies=static_energies
+            ),
+            default_bandwidth=default_bandwidth,
+            links=dict(link_bandwidths),
+            in_links=dict(in_links or {}),
+            out_links=dict(out_links or {}),
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_processors(self) -> int:
+        """The processor count ``p``."""
+        return len(self.processors)
+
+    def processor(self, u: int) -> Processor:
+        """The processor ``P_u`` (0-based)."""
+        if not 0 <= u < self.n_processors:
+            raise InvalidPlatformError(
+                f"processor index {u} out of range [0, {self.n_processors})"
+            )
+        return self.processors[u]
+
+    def bandwidth(self, src: Endpoint, dst: Endpoint, app: int = 0) -> float:
+        """Bandwidth of the link carrying ``app``'s data from ``src`` to
+        ``dst``; see the module docstring for the resolution order."""
+        if src == IN_ENDPOINT:
+            if not isinstance(dst, int):
+                raise InvalidPlatformError(
+                    f"input link must target a compute processor, got {dst!r}"
+                )
+            specific = self.in_links.get((app, dst))
+        elif dst == OUT_ENDPOINT:
+            if not isinstance(src, int):
+                raise InvalidPlatformError(
+                    f"output link must originate at a compute processor, got {src!r}"
+                )
+            specific = self.out_links.get((app, src))
+        elif isinstance(src, int) and isinstance(dst, int):
+            specific = self.links.get(_normalize_pair(src, dst))
+        else:
+            raise InvalidPlatformError(f"invalid endpoints {src!r} -> {dst!r}")
+        if specific is not None:
+            return specific
+        app_bw = self.app_bandwidths.get(app)
+        if app_bw is not None:
+            return app_bw
+        return self.default_bandwidth
+
+    # ------------------------------------------------------------------
+    # Classification (paper taxonomy)
+    # ------------------------------------------------------------------
+    @property
+    def has_homogeneous_links(self) -> bool:
+        """True when every link (including virtual in/out links and
+        per-application overrides) has the platform-wide default bandwidth."""
+        tables = (self.links, self.in_links, self.out_links, self.app_bandwidths)
+        return all(
+            bw == self.default_bandwidth
+            for table in tables
+            for bw in table.values()
+        )
+
+    @property
+    def has_per_app_homogeneous_links(self) -> bool:
+        """True when link bandwidths may differ across applications but are
+        uniform within each application (the comm-homogeneous refinement of
+        Theorem 1)."""
+        if self.links or self.in_links or self.out_links:
+            return False
+        return True
+
+    @property
+    def has_identical_processors(self) -> bool:
+        """True when all processors share one speed set and static energy."""
+        first = self.processors[0]
+        return all(
+            p.speeds == first.speeds and p.static_energy == first.static_energy
+            for p in self.processors[1:]
+        )
+
+    @property
+    def is_uni_modal(self) -> bool:
+        """True when every processor has a single execution mode."""
+        return all(p.is_uni_modal for p in self.processors)
+
+    @property
+    def platform_class(self) -> PlatformClass:
+        """Classify the platform into the paper's taxonomy."""
+        if self.has_homogeneous_links and self.has_identical_processors:
+            return PlatformClass.FULLY_HOMOGENEOUS
+        if self.has_homogeneous_links or (
+            self.has_per_app_homogeneous_links and self.app_bandwidths
+        ):
+            return PlatformClass.COMM_HOMOGENEOUS
+        return PlatformClass.FULLY_HETEROGENEOUS
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def fastest_processors(self, count: int) -> Tuple[int, ...]:
+        """Indices of the ``count`` fastest processors (by maximum speed),
+        fastest first; ties broken by index for determinism."""
+        if count < 0 or count > self.n_processors:
+            raise InvalidPlatformError(
+                f"cannot select {count} processors out of {self.n_processors}"
+            )
+        order = sorted(
+            range(self.n_processors),
+            key=lambda u: (-self.processors[u].max_speed, u),
+        )
+        return tuple(order[:count])
+
+    def processors_slowest_first(self) -> Tuple[int, ...]:
+        """Indices sorted by increasing maximum speed (Algorithm 1 order)."""
+        return tuple(
+            sorted(range(self.n_processors), key=lambda u: (self.processors[u].max_speed, u))
+        )
+
+    def common_speed_set(self) -> Tuple[float, ...]:
+        """The shared speed set of a fully homogeneous platform.
+
+        Raises :class:`InvalidPlatformError` when processors differ.
+        """
+        if not self.has_identical_processors:
+            raise InvalidPlatformError(
+                "platform processors are not identical; no common speed set"
+            )
+        return self.processors[0].speeds

@@ -1,0 +1,124 @@
+"""Problem statements and solver results.
+
+A :class:`ProblemInstance` bundles everything the paper's problems share:
+the concurrent applications, the target platform, the mapping rule, the
+communication model and the energy model.  Solvers take a problem instance
+(plus criterion-specific thresholds) and return a :class:`Solution`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from .application import Application, total_stages, validate_applications
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from .evaluation import CriteriaValues, evaluate
+from .exceptions import InfeasibleProblemError
+from .mapping import Mapping
+from .platform import Platform
+from .types import CommunicationModel, MappingRule, PlatformClass
+
+
+@dataclass(frozen=True)
+class ProblemInstance:
+    """A multi-application mapping problem (Sections 3.1-3.5).
+
+    Parameters
+    ----------
+    apps:
+        The ``A`` concurrent applications.
+    platform:
+        The target platform.
+    rule:
+        Mapping rule: one-to-one or interval.
+    model:
+        Communication model: overlap or no-overlap.
+    energy_model:
+        Dynamic-energy exponent (Section 3.5).
+    """
+
+    apps: Tuple[Application, ...]
+    platform: Platform
+    rule: MappingRule = MappingRule.INTERVAL
+    model: CommunicationModel = CommunicationModel.OVERLAP
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL
+
+    def __post_init__(self) -> None:
+        apps = tuple(validate_applications(self.apps))
+        object.__setattr__(self, "apps", apps)
+        if self.rule is MappingRule.ONE_TO_ONE:
+            if total_stages(apps) > self.platform.n_processors:
+                raise InfeasibleProblemError(
+                    f"one-to-one rule needs p >= N: "
+                    f"p={self.platform.n_processors}, N={total_stages(apps)}"
+                )
+        if len(apps) > self.platform.n_processors:
+            raise InfeasibleProblemError(
+                f"no processor sharing: need at least one processor per "
+                f"application (A={len(apps)}, p={self.platform.n_processors})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_apps(self) -> int:
+        """The application count ``A``."""
+        return len(self.apps)
+
+    @property
+    def n_stages_total(self) -> int:
+        """The total stage count ``N``."""
+        return total_stages(self.apps)
+
+    @property
+    def platform_class(self) -> PlatformClass:
+        """The platform taxonomy cell this instance lives in."""
+        return self.platform.platform_class
+
+    def evaluate(self, mapping: Mapping) -> CriteriaValues:
+        """Evaluate all criteria of a mapping under this problem's models."""
+        return evaluate(
+            self.apps,
+            self.platform,
+            mapping,
+            model=self.model,
+            energy_model=self.energy_model,
+        )
+
+    def check_mapping(self, mapping: Mapping) -> None:
+        """Validate a mapping against this problem's rule; raises
+        :class:`~repro.core.exceptions.InvalidMappingError` on violation."""
+        mapping.validate(self.apps, self.platform, self.rule)
+
+
+@dataclass(frozen=True)
+class Solution:
+    """The output of a solver.
+
+    ``objective`` is the value of the optimized criterion; ``values`` holds
+    the full evaluation of the returned mapping.  ``optimal`` records whether
+    the solver guarantees optimality (exact algorithms and the paper's
+    polynomial algorithms) or not (heuristics).  ``stats`` carries solver
+    metadata (iterations, explored nodes, candidate count, ...).
+    """
+
+    mapping: Mapping
+    objective: float
+    values: CriteriaValues
+    solver: str
+    optimal: bool = True
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_feasible(self) -> bool:
+        """False only for sentinel 'no solution' records."""
+        return math.isfinite(self.objective)
+
+
+def infeasible_solution(solver: str, **stats: float) -> None:
+    """Raise the canonical infeasibility error for a named solver."""
+    raise InfeasibleProblemError(
+        f"{solver}: no valid mapping satisfies the constraints"
+        + (f" (stats: {stats})" if stats else "")
+    )

@@ -1,0 +1,151 @@
+"""Multi-modal processors (Section 3.2) and the energy model (Section 3.5).
+
+Every processor ``P_u`` carries a discrete set of speeds (modes)
+``S_u = {s_{u,1}, .., s_{u,m_u}}`` obtained by changing the processor
+frequency.  During the mapping process one speed is chosen per enrolled
+processor and stays fixed for the whole execution.
+
+The energy consumed (per time unit) by an enrolled processor is
+``E(u) = E_stat(u) + E_dyn(s_u)`` with ``E_dyn(s) = s^alpha`` for a rational
+``alpha > 1`` (``alpha = 2`` in the motivating example, after [Ishihara &
+Yasuura 1998]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .exceptions import InvalidPlatformError
+
+#: Relative tolerance used when matching a requested speed against a
+#: processor's discrete mode set (guards against float round-trips).
+_SPEED_MATCH_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Processor:
+    """A multi-modal processor.
+
+    Parameters
+    ----------
+    speeds:
+        The strictly positive mode speeds; stored sorted in increasing order.
+        A uni-modal processor has a single speed.
+    static_energy:
+        The static part ``E_stat(u)`` of the per-time-unit energy: the cost of
+        the processor being in service, independent of the chosen speed.
+    name:
+        Optional identifier used in reports.
+    """
+
+    speeds: Tuple[float, ...]
+    static_energy: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.speeds, tuple):
+            object.__setattr__(self, "speeds", tuple(self.speeds))
+        if len(self.speeds) == 0:
+            raise InvalidPlatformError("a processor needs at least one speed mode")
+        if any(s <= 0 for s in self.speeds):
+            raise InvalidPlatformError(
+                f"all speeds must be strictly positive, got {self.speeds!r}"
+            )
+        if self.static_energy < 0:
+            raise InvalidPlatformError(
+                f"static energy must be non-negative, got {self.static_energy!r}"
+            )
+        ordered = tuple(sorted(set(self.speeds)))
+        object.__setattr__(self, "speeds", ordered)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_modes(self) -> int:
+        """The number of distinct modes ``m_u``."""
+        return len(self.speeds)
+
+    @property
+    def is_uni_modal(self) -> bool:
+        """True when the processor has a single execution speed."""
+        return len(self.speeds) == 1
+
+    @property
+    def min_speed(self) -> float:
+        """The slowest (most energy-frugal) mode."""
+        return self.speeds[0]
+
+    @property
+    def max_speed(self) -> float:
+        """The fastest mode; used by all pure-performance algorithms, since
+        without an energy criterion processors always run flat out."""
+        return self.speeds[-1]
+
+    def has_speed(self, speed: float) -> bool:
+        """Return True when ``speed`` matches one of the modes (within a tiny
+        relative tolerance)."""
+        return any(
+            abs(speed - s) <= _SPEED_MATCH_RTOL * max(1.0, abs(s))
+            for s in self.speeds
+        )
+
+    def slowest_speed_at_least(self, required: float) -> Optional[float]:
+        """The slowest mode with speed ``>= required``, or None if even the
+        fastest mode is too slow.
+
+        This is the mode-selection primitive of the period/energy algorithms
+        (Theorems 18, 19): for a fixed period threshold, the cheapest feasible
+        mode is the slowest one that still meets the throughput requirement.
+        """
+        for s in self.speeds:
+            if s >= required:
+                return s
+        return None
+
+    def modes_at_least(self, required: float) -> Tuple[float, ...]:
+        """All modes with speed ``>= required``, slowest first."""
+        return tuple(s for s in self.speeds if s >= required)
+
+
+def uniform_processors(
+    count: int,
+    speeds: Sequence[float],
+    *,
+    static_energy: float = 0.0,
+    name_prefix: str = "P",
+) -> Tuple[Processor, ...]:
+    """Build ``count`` identical processors sharing a speed set.
+
+    This is the processor side of a *fully homogeneous* platform.
+    """
+    if count <= 0:
+        raise InvalidPlatformError(f"processor count must be positive, got {count}")
+    return tuple(
+        Processor(
+            speeds=tuple(speeds),
+            static_energy=static_energy,
+            name=f"{name_prefix}{u + 1}",
+        )
+        for u in range(count)
+    )
+
+
+def processors_from_speed_sets(
+    speed_sets: Iterable[Sequence[float]],
+    *,
+    static_energies: Optional[Sequence[float]] = None,
+    name_prefix: str = "P",
+) -> Tuple[Processor, ...]:
+    """Build processors from per-processor speed sets (comm-homogeneous /
+    fully heterogeneous platforms)."""
+    sets = [tuple(s) for s in speed_sets]
+    if static_energies is None:
+        static_energies = [0.0] * len(sets)
+    if len(static_energies) != len(sets):
+        raise InvalidPlatformError(
+            "static_energies must match the number of speed sets"
+        )
+    return tuple(
+        Processor(speeds=s, static_energy=e, name=f"{name_prefix}{u + 1}")
+        for u, (s, e) in enumerate(zip(sets, static_energies))
+    )

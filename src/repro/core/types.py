@@ -1,0 +1,98 @@
+"""Shared enumerations and type aliases for the pipelined-mapping framework.
+
+The paper (Benoit, Renaud-Goud, Robert, IPDPS 2010) classifies problems along
+three axes: the *mapping rule* (Section 3.3), the *communication model*
+(Section 3.2) and the *platform class* (Section 3.2).  This module defines the
+corresponding enumerations so that every solver, generator and benchmark can
+name the cell of Table 1 / Table 2 it addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+#: An interval of consecutive stage indices, inclusive of both endpoints,
+#: using 0-based stage numbering.  The paper's interval ``[d_j, e_j]`` with
+#: 1-based indices corresponds to ``(d_j - 1, e_j - 1)``.
+Interval = Tuple[int, int]
+
+
+class MappingRule(enum.Enum):
+    """Mapping strategies of Section 3.3.
+
+    * ``ONE_TO_ONE`` -- each application stage is allocated to a distinct
+      processor (requires ``p >= N``).
+    * ``INTERVAL`` -- each participating processor is assigned an interval of
+      consecutive stages of a single application.  One-to-one mappings are a
+      special case of interval mappings where every interval has length one.
+
+    Both rules forbid processor sharing or re-use across applications.
+    """
+
+    ONE_TO_ONE = "one-to-one"
+    INTERVAL = "interval"
+
+    def admits(self, interval: Interval) -> bool:
+        """Return ``True`` if an interval shape is allowed under this rule."""
+        lo, hi = interval
+        if self is MappingRule.ONE_TO_ONE:
+            return lo == hi
+        return lo <= hi
+
+
+class CommunicationModel(enum.Enum):
+    """Communication/computation orchestration models of Section 3.2.
+
+    * ``OVERLAP`` -- sends, receives and computations proceed in parallel
+      (multi-threaded communication libraries); the cycle-time of a processor
+      is the *maximum* of its three activity times (Equation (3)).
+    * ``NO_OVERLAP`` -- the three operations are serialized (single-threaded
+      programs); the cycle-time is their *sum* (Equation (4)).
+
+    Latency (Equation (5)) is identical under both models.
+    """
+
+    OVERLAP = "overlap"
+    NO_OVERLAP = "no-overlap"
+
+    def combine(self, t_in: float, t_comp: float, t_out: float) -> float:
+        """Combine the three activity times into a processor cycle-time."""
+        if self is CommunicationModel.OVERLAP:
+            return max(t_in, t_comp, t_out)
+        return t_in + t_comp + t_out
+
+
+class PlatformClass(enum.Enum):
+    """Platform taxonomy of Section 3.2, from least to most heterogeneous."""
+
+    #: Identical processors (common speed set) and identical links.
+    FULLY_HOMOGENEOUS = "fully-homogeneous"
+    #: Identical links but per-processor speed sets.
+    COMM_HOMOGENEOUS = "comm-homogeneous"
+    #: Different-speed processors and different-capacity links.
+    FULLY_HETEROGENEOUS = "fully-heterogeneous"
+
+    @property
+    def has_homogeneous_links(self) -> bool:
+        """True when all link bandwidths are forced equal."""
+        return self is not PlatformClass.FULLY_HETEROGENEOUS
+
+    @property
+    def has_identical_processors(self) -> bool:
+        """True when all processors share a common speed set."""
+        return self is PlatformClass.FULLY_HOMOGENEOUS
+
+
+class Criterion(enum.Enum):
+    """The three optimization criteria of the paper."""
+
+    PERIOD = "period"
+    LATENCY = "latency"
+    ENERGY = "energy"
+
+
+#: Sentinel endpoint names used by :meth:`repro.core.platform.Platform.bandwidth`
+#: for the per-application virtual input/output processors ``Pin_a``/``Pout_a``.
+IN_ENDPOINT = "in"
+OUT_ENDPOINT = "out"

@@ -1,0 +1,38 @@
+"""Extensions beyond the paper's core results.
+
+The paper's conclusion (Section 6) names two continuations; both are
+implemented here:
+
+* :mod:`replication` -- "a stage could be mapped onto several processors,
+  each in charge of different data sets, in order to improve the period, as
+  was investigated in [4]": round-robin replicated interval mappings, their
+  period/latency/energy evaluation, a replication-aware period DP, and
+  simulator support;
+* :mod:`general_mappings` -- the Section 3.3 argument that *general*
+  mappings (a processor may execute any set of stages) make even the
+  simplest mono-criterion problem NP-hard, "straightforward reduction from
+  2-partition": the reduction as an executable gadget plus exact solvers
+  for the general-mapping period problem.
+"""
+
+from .general_mappings import (
+    GeneralMappingPeriodReduction,
+    min_period_general_mapping,
+)
+from .replication import (
+    ReplicatedAssignment,
+    ReplicatedMapping,
+    evaluate_replicated,
+    replicated_period_table,
+    simulate_replicated,
+)
+
+__all__ = [
+    "GeneralMappingPeriodReduction",
+    "ReplicatedAssignment",
+    "ReplicatedMapping",
+    "evaluate_replicated",
+    "min_period_general_mapping",
+    "replicated_period_table",
+    "simulate_replicated",
+]

@@ -1,0 +1,164 @@
+"""General mappings and why the paper forbids them (Section 3.3).
+
+The paper restricts to one-to-one and interval mappings and justifies it
+theoretically: with *general* mappings (a processor may execute any set of
+stages, consecutive or not), even the simplest mono-criterion problem --
+period minimization for ONE application on homogeneous uni-modal processors
+with no communication -- is already NP-hard, by a "straightforward
+reduction from 2-partition".
+
+This module makes that argument executable:
+
+* :func:`min_period_general_mapping` -- exact solvers for the general-
+  mapping period problem without communications, where the period is simply
+  the maximum processor load divided by the speed (multiprocessor
+  scheduling / makespan): a pseudo-polynomial DP for two processors and a
+  branch-and-bound for more;
+* :class:`GeneralMappingPeriodReduction` -- the 2-PARTITION gadget: works
+  ``a_1..a_n`` on two unit-speed processors, target period ``S/2``;
+* :func:`best_interval_period_no_comm` -- the interval-rule optimum on the
+  same instance, to quantify what the interval restriction costs (for the
+  ablation bench): interval mappings can only cut the chain, general
+  mappings can balance arbitrary subsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.types import CommunicationModel
+from .replication import ReplicatedMapping  # noqa: F401  (re-export sibling)
+
+
+def _loads_from_assignment(
+    works: Sequence[float], assignment: Sequence[int], p: int
+) -> List[float]:
+    loads = [0.0] * p
+    for w, u in zip(works, assignment):
+        loads[u] += w
+    return loads
+
+
+def min_period_general_mapping(
+    works: Sequence[float],
+    n_processors: int,
+    speed: float = 1.0,
+) -> Tuple[float, Tuple[int, ...]]:
+    """Exact minimum period over *general* mappings, no communications.
+
+    The period is ``max_u (sum of works on P_u) / speed``; minimizing it is
+    multiprocessor scheduling (NP-hard).  Exact branch-and-bound with
+    largest-first ordering and symmetric-processor pruning; practical for a
+    few dozen stages.
+
+    Returns ``(period, stage_to_processor)``.
+    """
+    n = len(works)
+    if n == 0:
+        raise ValueError("need at least one stage")
+    if n_processors <= 0:
+        raise ValueError("need at least one processor")
+    order = sorted(range(n), key=lambda i: -works[i])
+    total = sum(works)
+    best_period = total / speed  # everything on one processor
+    best_assignment = [0] * n
+
+    loads = [0.0] * n_processors
+    current = [0] * n
+
+    def backtrack(pos: int) -> None:
+        nonlocal best_period, best_assignment
+        if pos == n:
+            period = max(loads) / speed
+            if period < best_period:
+                best_period = period
+                best_assignment = list(current)
+            return
+        i = order[pos]
+        w = works[i]
+        seen_loads = set()
+        for u in range(n_processors):
+            if loads[u] in seen_loads:
+                continue  # identical processors: symmetric branch
+            seen_loads.add(loads[u])
+            if (loads[u] + w) / speed >= best_period:
+                continue
+            loads[u] += w
+            current[i] = u
+            backtrack(pos + 1)
+            loads[u] -= w
+        # Lower-bound prune: remaining work cannot lift max below the mean.
+        return
+
+    backtrack(0)
+    return best_period, tuple(best_assignment)
+
+
+def best_interval_period_no_comm(
+    works: Sequence[float],
+    n_processors: int,
+    speed: float = 1.0,
+) -> float:
+    """The interval-rule optimum on the same instance (chain partition into
+    at most ``p`` consecutive pieces, minimize the largest piece), via the
+    polynomial DP -- the quantity general mappings are compared against."""
+    from ..algorithms.interval_period import single_app_period_table
+
+    app = Application.from_lists(
+        list(works), [0.0] * len(works), input_data_size=0.0
+    )
+    table = single_app_period_table(
+        app,
+        n_processors,
+        speed,
+        1.0,
+        CommunicationModel.OVERLAP,
+    )
+    return table.period(n_processors)
+
+
+@dataclass(frozen=True)
+class GeneralMappingPeriodReduction:
+    """The Section 3.3 gadget: 2-PARTITION -> general-mapping period.
+
+    Two identical unit-speed processors, one application whose stage works
+    are the 2-PARTITION values; a general mapping of period ``S/2`` exists
+    iff the values admit a balanced partition.
+    """
+
+    values: Tuple[int, ...]
+    target_period: float
+
+    @classmethod
+    def build(cls, values: Sequence[int]) -> "GeneralMappingPeriodReduction":
+        """Construct the gadget."""
+        vals = tuple(int(v) for v in values)
+        if not vals or any(v <= 0 for v in vals):
+            raise ValueError("2-PARTITION values must be positive integers")
+        return cls(values=vals, target_period=sum(vals) / 2.0)
+
+    def decide(self) -> bool:
+        """Is the target period reachable?  (Exact general-mapping solve.)"""
+        period, _ = min_period_general_mapping(self.values, 2)
+        return period <= self.target_period + 1e-9
+
+    def partition_from_assignment(
+        self, assignment: Sequence[int]
+    ) -> FrozenSet[int]:
+        """Backward transfer: the stages on processor 0."""
+        return frozenset(i for i, u in enumerate(assignment) if u == 0)
+
+    def assignment_from_partition(
+        self, subset: FrozenSet[int]
+    ) -> Tuple[int, ...]:
+        """Forward transfer: subset stages on processor 0, rest on 1."""
+        return tuple(0 if i in subset else 1 for i in range(len(self.values)))
+
+    def interval_rule_period(self) -> float:
+        """What the interval restriction achieves on the same instance
+        (>= the general optimum; the gap is the price of tractability)."""
+        return best_interval_period_no_comm(self.values, 2)

@@ -1,0 +1,383 @@
+"""Replicated interval mappings (the paper's future work, Section 6).
+
+"A stage could be mapped onto several processors, each in charge of
+different data sets, in order to improve the period, as was investigated
+in [4]" -- this module implements that extension for fully homogeneous
+platforms, in the round-robin discipline of [4] (Benoit & Robert,
+Algorithmica 2009):
+
+* an interval may be *replicated* on ``k`` processors; consecutive data
+  sets are dispatched to the replicas in round-robin order, so each replica
+  handles one data set out of ``k`` and the interval's contribution to the
+  period becomes ``cycle_time / k`` (the slowest replica paces the round
+  with heterogeneous modes: ``max_r cycle_r / k``);
+* the latency of a single data set is unchanged by replication (each data
+  set is processed by exactly one replica): the per-interval term uses the
+  slowest replica as a worst-case bound;
+* the energy grows with every enrolled replica -- replication is a
+  *performance-for-energy* trade, the exact opposite corner of the design
+  space from mode downgrading.
+
+The module provides validation, analytic evaluation, a replication-aware
+single-application period DP (which strictly generalizes
+:func:`repro.algorithms.interval_period.single_app_period_table`), and
+round-robin simulation support so the operational model can confirm the
+``cycle / k`` law.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from ..core.evaluation import CriteriaValues
+from ..core.exceptions import InvalidMappingError
+from ..core.platform import Platform
+from ..core.types import CommunicationModel, Interval
+
+
+@dataclass(frozen=True)
+class ReplicatedAssignment:
+    """One interval of one application on a *set* of replica processors."""
+
+    app: int
+    interval: Interval
+    procs: Tuple[int, ...]
+    speeds: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        lo, hi = self.interval
+        if lo > hi or lo < 0:
+            raise InvalidMappingError(f"invalid interval {self.interval!r}")
+        if len(self.procs) == 0:
+            raise InvalidMappingError("a replica set cannot be empty")
+        if len(set(self.procs)) != len(self.procs):
+            raise InvalidMappingError(f"duplicate replicas in {self.procs!r}")
+        if len(self.speeds) != len(self.procs):
+            raise InvalidMappingError("one speed per replica is required")
+        if any(s <= 0 for s in self.speeds):
+            raise InvalidMappingError("replica speeds must be positive")
+
+    @property
+    def n_replicas(self) -> int:
+        """The replication degree ``k``."""
+        return len(self.procs)
+
+
+@dataclass(frozen=True)
+class ReplicatedMapping:
+    """An interval mapping whose intervals may be replicated."""
+
+    assignments: Tuple[ReplicatedAssignment, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.assignments, key=lambda x: (x.app, x.interval[0]))
+        )
+        object.__setattr__(self, "assignments", ordered)
+
+    def for_app(self, app: int) -> Tuple[ReplicatedAssignment, ...]:
+        """The (ordered) replicated intervals of one application."""
+        return tuple(a for a in self.assignments if a.app == app)
+
+    @property
+    def applications(self) -> Tuple[int, ...]:
+        """Application indices covered by the mapping."""
+        return tuple(sorted({a.app for a in self.assignments}))
+
+    @property
+    def enrolled_processors(self) -> Tuple[int, ...]:
+        """All processors used by any replica."""
+        return tuple(
+            sorted({u for a in self.assignments for u in a.procs})
+        )
+
+    def validate(
+        self, apps: Sequence[Application], platform: Platform
+    ) -> None:
+        """Structural rules: per-application intervals partition the stages
+        in order; no processor is used twice; speeds are valid modes."""
+        if not self.assignments:
+            raise InvalidMappingError("empty replicated mapping")
+        seen: set = set()
+        for x in self.assignments:
+            if not 0 <= x.app < len(apps):
+                raise InvalidMappingError(f"unknown application {x.app}")
+            for u, s in zip(x.procs, x.speeds):
+                if not 0 <= u < platform.n_processors:
+                    raise InvalidMappingError(f"unknown processor {u}")
+                if u in seen:
+                    raise InvalidMappingError(
+                        f"processor {u} used by two replica sets"
+                    )
+                seen.add(u)
+                if not platform.processor(u).has_speed(s):
+                    raise InvalidMappingError(
+                        f"speed {s} is not a mode of processor {u}"
+                    )
+        for a, app in enumerate(apps):
+            expected = 0
+            for x in self.for_app(a):
+                lo, hi = x.interval
+                if lo != expected:
+                    raise InvalidMappingError(
+                        f"application {a}: intervals are not consecutive"
+                    )
+                if hi >= app.n_stages:
+                    raise InvalidMappingError(
+                        f"application {a}: interval {x.interval} out of range"
+                    )
+                expected = hi + 1
+            if expected != app.n_stages:
+                raise InvalidMappingError(
+                    f"application {a}: stages not fully covered"
+                )
+
+
+def _interval_terms(
+    app: Application,
+    interval: Interval,
+    speed: float,
+    bandwidth: float,
+) -> Tuple[float, float, float]:
+    lo, hi = interval
+    return (
+        app.interval_input_size(interval) / bandwidth,
+        app.work_sum(lo, hi) / speed,
+        app.interval_output_size(interval) / bandwidth,
+    )
+
+
+def evaluate_replicated(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: ReplicatedMapping,
+    *,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> CriteriaValues:
+    """Analytic criteria of a replicated mapping (homogeneous links).
+
+    Period per interval: ``max_r cycle_r / k`` (round-robin law of [4]).
+    Latency per interval: the slowest replica's compute plus the outgoing
+    communication (worst-case single data set).  Energy: every replica
+    counts.
+    """
+    bandwidth = platform.default_bandwidth
+    periods: Dict[int, float] = {}
+    latencies: Dict[int, float] = {}
+    for a in mapping.applications:
+        app = apps[a]
+        worst_cycle = 0.0
+        latency = app.input_data_size / bandwidth
+        for x in mapping.for_app(a):
+            k = x.n_replicas
+            slowest = min(x.speeds)
+            cycles = [
+                model.combine(*_interval_terms(app, x.interval, s, bandwidth))
+                for s in x.speeds
+            ]
+            worst_cycle = max(worst_cycle, max(cycles) / k)
+            t_in, t_comp, t_out = _interval_terms(
+                app, x.interval, slowest, bandwidth
+            )
+            latency += t_comp + t_out
+        periods[a] = worst_cycle
+        latencies[a] = latency
+    energy = 0.0
+    for x in mapping.assignments:
+        for u, s in zip(x.procs, x.speeds):
+            energy += energy_model.processor_energy(platform.processor(u), s)
+    period = max(apps[a].weight * t for a, t in periods.items())
+    latency = max(apps[a].weight * l for a, l in latencies.items())
+    return CriteriaValues(
+        periods=periods,
+        latencies=latencies,
+        period=period,
+        latency=latency,
+        energy=energy,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicatedPeriodTable:
+    """``T_a(q)`` allowing replication, with reconstruction."""
+
+    app: Application
+    speed: float
+    bandwidth: float
+    model: CommunicationModel
+    periods: Tuple[float, ...]
+    #: ``parents[q][i] = (j, k)``: last interval covers stages ``j..i-1``
+    #: with ``k`` replicas; ``(-1, 0)`` means "use fewer processors".
+    parents: Tuple[Tuple[Tuple[int, int], ...], ...]
+
+    @property
+    def max_procs(self) -> int:
+        """The largest processor count tabulated."""
+        return len(self.periods) - 1
+
+    def period(self, q: int) -> float:
+        """Optimal replicated period with at most ``q`` processors."""
+        return self.periods[min(q, self.max_procs)]
+
+    def reconstruct(self, q: int) -> List[Tuple[Interval, int]]:
+        """Optimal ``(interval, n_replicas)`` list for at most ``q``
+        processors."""
+        q = min(q, self.max_procs)
+        n = self.app.n_stages
+        if q < 1 or not math.isfinite(self.periods[q]):
+            raise InvalidMappingError(
+                f"no feasible replicated partition with {q} processors"
+            )
+        out: List[Tuple[Interval, int]] = []
+        i = n
+        while i > 0:
+            j, k = self.parents[q][i]
+            while j < 0:
+                q -= 1
+                j, k = self.parents[q][i]
+            out.append(((j, i - 1), k))
+            i = j
+            q -= k
+        out.reverse()
+        return out
+
+
+def replicated_period_table(
+    app: Application,
+    max_procs: int,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> ReplicatedPeriodTable:
+    """Single-application min-period DP with replication on identical
+    processors::
+
+        T(i, q) = min(T(i, q-1),
+                      min_{j < i, 1 <= k <= q} max(T(j, q-k),
+                                                   cycle(j..i-1) / k))
+
+    ``O(n^2 q^2)``.  With ``k = 1`` only, this reduces exactly to the
+    non-replicated DP (tested as an invariant).
+    """
+    from ..algorithms.interval_period import interval_cycle
+
+    n = app.n_stages
+    q_max = max(1, min(max_procs, 4 * n))  # > n can now help, but cap sanely
+    inf = math.inf
+
+    cycle = [[0.0] * (n + 1) for _ in range(n)]
+    for j in range(n):
+        for i in range(j + 1, n + 1):
+            cycle[j][i] = interval_cycle(
+                app, (j, i - 1), speed, bandwidth, model
+            )
+
+    # T[q][i]
+    tables: List[List[float]] = [[0.0] + [inf] * n]
+    parents: List[List[Tuple[int, int]]] = [[(-1, 0)] * (n + 1)]
+    for q in range(1, q_max + 1):
+        cur = list(tables[q - 1])
+        par = [(-1, 0)] * (n + 1)
+        for i in range(1, n + 1):
+            best = tables[q - 1][i]
+            best_choice = (-1, 0)
+            for j in range(i):
+                for k in range(1, q + 1):
+                    prior = tables[q - k][j]
+                    if not math.isfinite(prior):
+                        continue
+                    value = max(prior, cycle[j][i] / k)
+                    if value < best:
+                        best = value
+                        best_choice = (j, k)
+            cur[i] = best
+            par[i] = best_choice
+        tables.append(cur)
+        parents.append(par)
+    return ReplicatedPeriodTable(
+        app=app,
+        speed=speed,
+        bandwidth=bandwidth,
+        model=model,
+        periods=tuple(t[n] for t in tables),
+        parents=tuple(tuple(p) for p in parents),
+    )
+
+
+def simulate_replicated(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: ReplicatedMapping,
+    n_datasets: int,
+    *,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> Dict[int, List[float]]:
+    """Round-robin simulation of a replicated mapping.
+
+    Data set ``d`` of an application is processed, at every replicated
+    interval, by replica ``d mod k``; communications follow the data set to
+    its replica.  Returns per-application completion times; the steady-state
+    gap must match :func:`evaluate_replicated`'s period (tested).
+    """
+    if n_datasets <= 0:
+        raise ValueError("n_datasets must be positive")
+    bandwidth = platform.default_bandwidth
+    completions: Dict[int, List[float]] = {}
+    for a in mapping.applications:
+        app = apps[a]
+        parts = mapping.for_app(a)
+        free: Dict[Tuple, float] = {}
+        done: List[float] = []
+        for d in range(n_datasets):
+            t = 0.0
+            prev_proc: Optional[int] = None
+            for idx, x in enumerate(parts):
+                replica = d % x.n_replicas
+                u = x.procs[replica]
+                s = x.speeds[replica]
+                t_in, t_comp, t_out_ignored = _interval_terms(
+                    app, x.interval, s, bandwidth
+                )
+                # Incoming communication (from Pin or the previous replica).
+                comm_res: Tuple
+                if model is CommunicationModel.OVERLAP:
+                    comm_res = ("link", prev_proc, u)
+                    start = max(t, free.get(comm_res, 0.0))
+                    finish = start + t_in
+                    free[comm_res] = finish
+                else:
+                    res_in = [("cpu", u)]
+                    if prev_proc is not None:
+                        res_in.append(("cpu", prev_proc))
+                    start = max([t] + [free.get(r, 0.0) for r in res_in])
+                    finish = start + t_in
+                    for r in res_in:
+                        free[r] = finish
+                t = finish
+                # Computation on the replica.
+                start = max(t, free.get(("cpu", u), 0.0))
+                finish = start + t_comp
+                free[("cpu", u)] = finish
+                t = finish
+                prev_proc = u
+            # Final output communication.
+            out_size = app.stages[-1].output_size
+            t_out = out_size / bandwidth
+            if model is CommunicationModel.OVERLAP:
+                res = ("link", prev_proc, "out")
+                start = max(t, free.get(res, 0.0))
+                finish = start + t_out
+                free[res] = finish
+            else:
+                res = ("cpu", prev_proc)
+                start = max(t, free.get(res, 0.0))
+                finish = start + t_out
+                free[res] = finish
+            done.append(finish)
+        completions[a] = done
+    return completions

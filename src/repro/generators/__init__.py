@@ -1,0 +1,40 @@
+"""Seeded random instance generators for tests, benches and examples.
+
+* :mod:`applications` -- random pipelines, the homogeneous ``special-app``
+  family, and workload shapes mimicking the paper's motivating domains
+  (stream encoding, image processing);
+* :mod:`platforms` -- the three platform classes with DVFS-style speed
+  ladders;
+* :mod:`scenarios` -- named, fully-assembled problem instances reused by
+  the benches and examples.
+
+Every generator takes an explicit ``numpy.random.Generator`` (or an integer
+seed through :func:`rng_from`), keeping all experiments reproducible.
+"""
+
+from .applications import (
+    random_application,
+    random_applications,
+    special_app_family,
+    streaming_application,
+)
+from .platforms import (
+    dvfs_speed_ladder,
+    random_comm_homogeneous_platform,
+    random_fully_heterogeneous_platform,
+    random_fully_homogeneous_platform,
+)
+from .scenarios import rng_from, small_random_problem
+
+__all__ = [
+    "dvfs_speed_ladder",
+    "random_application",
+    "random_applications",
+    "random_comm_homogeneous_platform",
+    "random_fully_heterogeneous_platform",
+    "random_fully_homogeneous_platform",
+    "rng_from",
+    "small_random_problem",
+    "special_app_family",
+    "streaming_application",
+]

@@ -1,0 +1,131 @@
+"""Random application generators (Section 3.1 shapes)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.application import Application
+
+
+def random_application(
+    rng: np.random.Generator,
+    n_stages: int,
+    *,
+    work_range: Tuple[float, float] = (1.0, 10.0),
+    data_range: Tuple[float, float] = (0.0, 5.0),
+    weight: float = 1.0,
+    integer: bool = False,
+    name: str = "",
+) -> Application:
+    """A pipeline with works and data sizes drawn uniformly from the given
+    ranges (``integer=True`` rounds to integers, keeping works >= 1)."""
+    lo_w, hi_w = work_range
+    lo_d, hi_d = data_range
+    works = rng.uniform(lo_w, hi_w, size=n_stages)
+    datas = rng.uniform(lo_d, hi_d, size=n_stages + 1)
+    if integer:
+        works = np.maximum(1, np.rint(works))
+        datas = np.rint(datas)
+    return Application.from_lists(
+        works=[float(w) for w in works],
+        output_sizes=[float(d) for d in datas[1:]],
+        input_data_size=float(datas[0]),
+        weight=weight,
+        name=name or f"app-{rng.integers(10**6)}",
+    )
+
+
+def random_applications(
+    rng: np.random.Generator,
+    n_apps: int,
+    *,
+    stage_range: Tuple[int, int] = (2, 5),
+    work_range: Tuple[float, float] = (1.0, 10.0),
+    data_range: Tuple[float, float] = (0.0, 5.0),
+    weights: Optional[Sequence[float]] = None,
+    integer: bool = False,
+) -> Tuple[Application, ...]:
+    """A collection of independent random pipelines."""
+    if weights is None:
+        weights = [1.0] * n_apps
+    lo, hi = stage_range
+    return tuple(
+        random_application(
+            rng,
+            int(rng.integers(lo, hi + 1)),
+            work_range=work_range,
+            data_range=data_range,
+            weight=weights[a],
+            integer=integer,
+            name=f"app-{a + 1}",
+        )
+        for a in range(n_apps)
+    )
+
+
+def special_app_family(
+    n_apps: int,
+    n_stages: int,
+    *,
+    work: float = 1.0,
+    weights: Optional[Sequence[float]] = None,
+) -> Tuple[Application, ...]:
+    """The ``special-app`` family of Tables 1-2: identical homogeneous
+    pipelines with no communication (the 3-PARTITION gadget shape)."""
+    if weights is None:
+        weights = [1.0] * n_apps
+    return tuple(
+        Application.homogeneous(
+            n_stages,
+            work=work,
+            output_size=0.0,
+            input_data_size=0.0,
+            weight=weights[a],
+            name=f"pipeline-{a + 1}",
+        )
+        for a in range(n_apps)
+    )
+
+
+def streaming_application(
+    rng: np.random.Generator,
+    n_stages: int,
+    *,
+    profile: str = "encode",
+    weight: float = 1.0,
+    name: str = "",
+) -> Application:
+    """A pipeline shaped after the paper's motivating streaming domains.
+
+    Profiles:
+
+    * ``"encode"`` -- video/audio encoding: heavy middle stages (transform,
+      quantization), shrinking data sizes along the chain;
+    * ``"filter"`` -- image processing / DSP: near-uniform works, constant
+      frame size between stages;
+    * ``"analytics"`` -- heavy first stage (parse/decode) then light
+      reductions with sharply decreasing data.
+    """
+    k = np.arange(n_stages)
+    if profile == "encode":
+        works = 2.0 + 8.0 * np.exp(-0.5 * (k - n_stages / 2) ** 2 / max(1, n_stages / 3))
+        datas = np.linspace(8.0, 1.0, n_stages + 1)
+    elif profile == "filter":
+        works = np.full(n_stages, 5.0)
+        datas = np.full(n_stages + 1, 4.0)
+    elif profile == "analytics":
+        works = np.concatenate(([12.0], 3.0 * np.ones(n_stages - 1)))
+        datas = 8.0 * np.exp(-0.7 * np.arange(n_stages + 1))
+    else:
+        raise ValueError(f"unknown profile {profile!r}")
+    works = works * rng.uniform(0.85, 1.15, size=n_stages)
+    datas = datas * rng.uniform(0.85, 1.15, size=n_stages + 1)
+    return Application.from_lists(
+        works=[float(w) for w in works],
+        output_sizes=[float(d) for d in datas[1:]],
+        input_data_size=float(datas[0]),
+        weight=weight,
+        name=name or f"{profile}-{n_stages}",
+    )

@@ -1,0 +1,110 @@
+"""Random platform generators for the three platform classes (Section 3.2).
+
+Speed sets follow DVFS-style ladders: a base frequency scaled by a small set
+of multipliers, mimicking the discrete frequency steps of real processors
+(the multi-modal model the paper takes from DVFS practice [Hotta et al.]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.platform import Platform
+
+
+def dvfs_speed_ladder(
+    base: float,
+    n_modes: int,
+    *,
+    top_ratio: float = 2.0,
+) -> Tuple[float, ...]:
+    """A geometric ladder of ``n_modes`` speeds from ``base`` to
+    ``base * top_ratio`` (a single mode returns ``(base,)``)."""
+    if n_modes <= 0:
+        raise ValueError("n_modes must be positive")
+    if n_modes == 1:
+        return (base,)
+    ratios = np.geomspace(1.0, top_ratio, n_modes)
+    return tuple(float(base * r) for r in ratios)
+
+
+def random_fully_homogeneous_platform(
+    rng: np.random.Generator,
+    n_processors: int,
+    *,
+    n_modes: int = 1,
+    speed_range: Tuple[float, float] = (1.0, 4.0),
+    bandwidth_range: Tuple[float, float] = (1.0, 4.0),
+    static_energy: float = 0.0,
+) -> Platform:
+    """Identical processors (one random DVFS ladder) and identical links."""
+    base = float(rng.uniform(*speed_range))
+    return Platform.fully_homogeneous(
+        n_processors,
+        speeds=dvfs_speed_ladder(base, n_modes),
+        bandwidth=float(rng.uniform(*bandwidth_range)),
+        static_energy=static_energy,
+    )
+
+
+def random_comm_homogeneous_platform(
+    rng: np.random.Generator,
+    n_processors: int,
+    *,
+    n_modes: int = 1,
+    speed_range: Tuple[float, float] = (1.0, 4.0),
+    bandwidth_range: Tuple[float, float] = (1.0, 4.0),
+    static_energy: float = 0.0,
+) -> Platform:
+    """Heterogeneous processors (per-processor DVFS ladders), one link
+    bandwidth."""
+    speed_sets = [
+        dvfs_speed_ladder(float(rng.uniform(*speed_range)), n_modes)
+        for _ in range(n_processors)
+    ]
+    return Platform.comm_homogeneous(
+        speed_sets,
+        bandwidth=float(rng.uniform(*bandwidth_range)),
+        static_energies=[static_energy] * n_processors,
+    )
+
+
+def random_fully_heterogeneous_platform(
+    rng: np.random.Generator,
+    n_processors: int,
+    n_apps: int,
+    *,
+    n_modes: int = 1,
+    speed_range: Tuple[float, float] = (1.0, 4.0),
+    bandwidth_range: Tuple[float, float] = (0.5, 4.0),
+    static_energy: float = 0.0,
+) -> Platform:
+    """Heterogeneous processors and per-link bandwidths (including the
+    virtual input/output links of each application)."""
+    speed_sets = [
+        dvfs_speed_ladder(float(rng.uniform(*speed_range)), n_modes)
+        for _ in range(n_processors)
+    ]
+    links: Dict[Tuple[int, int], float] = {}
+    for u in range(n_processors):
+        for v in range(u + 1, n_processors):
+            links[(u, v)] = float(rng.uniform(*bandwidth_range))
+    in_links = {
+        (a, u): float(rng.uniform(*bandwidth_range))
+        for a in range(n_apps)
+        for u in range(n_processors)
+    }
+    out_links = {
+        (a, u): float(rng.uniform(*bandwidth_range))
+        for a in range(n_apps)
+        for u in range(n_processors)
+    }
+    return Platform.fully_heterogeneous(
+        speed_sets,
+        links,
+        in_links=in_links,
+        out_links=out_links,
+        static_energies=[static_energy] * n_processors,
+    )

@@ -1,0 +1,60 @@
+"""Named, fully-assembled scenarios shared by tests, benches and examples."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.problem import ProblemInstance
+from ..core.types import CommunicationModel, MappingRule, PlatformClass
+from .applications import random_applications
+from .platforms import (
+    random_comm_homogeneous_platform,
+    random_fully_heterogeneous_platform,
+    random_fully_homogeneous_platform,
+)
+
+
+def rng_from(seed: Union[int, np.random.Generator]) -> np.random.Generator:
+    """Coerce a seed or generator into a ``numpy.random.Generator``."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def small_random_problem(
+    seed: Union[int, np.random.Generator],
+    *,
+    platform_class: PlatformClass = PlatformClass.FULLY_HOMOGENEOUS,
+    rule: MappingRule = MappingRule.INTERVAL,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+    n_apps: int = 2,
+    n_procs: Optional[int] = None,
+    stage_range: tuple = (2, 4),
+    n_modes: int = 1,
+) -> ProblemInstance:
+    """A small random instance in the requested Table 1/2 cell, sized for
+    brute-force validation (total stages typically <= 8)."""
+    rng = rng_from(seed)
+    apps = random_applications(rng, n_apps, stage_range=stage_range)
+    total = sum(a.n_stages for a in apps)
+    if n_procs is None:
+        n_procs = total + int(rng.integers(0, 2))
+    if rule is MappingRule.ONE_TO_ONE:
+        n_procs = max(n_procs, total)
+    if platform_class is PlatformClass.FULLY_HOMOGENEOUS:
+        platform = random_fully_homogeneous_platform(
+            rng, n_procs, n_modes=n_modes
+        )
+    elif platform_class is PlatformClass.COMM_HOMOGENEOUS:
+        platform = random_comm_homogeneous_platform(
+            rng, n_procs, n_modes=n_modes
+        )
+    else:
+        platform = random_fully_heterogeneous_platform(
+            rng, n_procs, n_apps, n_modes=n_modes
+        )
+    return ProblemInstance(
+        apps=apps, platform=platform, rule=rule, model=model
+    )

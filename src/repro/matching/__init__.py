@@ -1,0 +1,13 @@
+"""Minimum-cost bipartite matching substrate.
+
+Theorem 19 reduces period/energy one-to-one mapping to a minimum weighted
+bipartite matching between stages and processors.  The paper invokes a
+matching algorithm as a black box; this package provides a from-scratch
+implementation (:func:`repro.matching.hungarian.solve_assignment`) used by
+:mod:`repro.algorithms.energy_matching` and cross-validated against
+``scipy.optimize.linear_sum_assignment`` in the test suite.
+"""
+
+from .hungarian import AssignmentResult, solve_assignment
+
+__all__ = ["AssignmentResult", "solve_assignment"]

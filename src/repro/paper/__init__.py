@@ -1,0 +1,24 @@
+"""Concrete artefacts from the paper: the Figure 1 instance and the worked
+mappings of the motivating example (Section 2)."""
+
+from .example import (
+    FIGURE1_EXPECTED,
+    figure1_applications,
+    figure1_platform,
+    figure1_problem,
+    mapping_compromise_energy_46,
+    mapping_min_energy,
+    mapping_optimal_latency,
+    mapping_optimal_period,
+)
+
+__all__ = [
+    "FIGURE1_EXPECTED",
+    "figure1_applications",
+    "figure1_platform",
+    "figure1_problem",
+    "mapping_compromise_energy_46",
+    "mapping_min_energy",
+    "mapping_optimal_latency",
+    "mapping_optimal_period",
+]

@@ -1,0 +1,152 @@
+"""The motivating example of Section 2 (Figure 1), reconstructed exactly.
+
+Two applications, three processors with two modes each, all bandwidths 1,
+energy exponent ``alpha = 2`` with zero static energy:
+
+* ``App1``: input size 1, three stages with works ``(3, 2, 1)``; the first
+  stage emits data of size 3; the final output has size 0.
+* ``App2``: input size 0, four stages with works ``(2, 6, 4, 2)``; the data
+  between stages 2 and 3 has size 1 (it is communicated in the
+  period-optimal mapping) and the final output has size 1.
+* Processors: ``P1`` modes ``(3, 6)``, ``P2`` modes ``(6, 8)``, ``P3`` modes
+  ``(1, 6)``.
+
+Two inter-stage data sizes are never exercised by any mapping discussed in
+the paper (App1 between stages 2-3, App2 between stages 1-2 and 3-4).  The
+text pins App2's stage-2 output to 1 via Equation (1); the remaining free
+sizes are chosen small enough (documented below) not to alter any of the
+reported numbers:
+
+* App1 ``delta_2 = 2`` (unused by all four worked mappings);
+* App2 ``delta_1 = 3`` (unused), ``delta_3 = 1`` (must be ``<= 2`` for the
+  energy-46 compromise mapping to keep a period of 2; the natural choice 1
+  matches the neighbouring sizes).
+
+Expected numbers reproduced by ``benchmarks/bench_fig1_example.py``:
+
+========================  =======  ========  =======
+mapping                    period   latency   energy
+========================  =======  ========  =======
+optimal period (Eq. 1)       1.0         --      136
+optimal latency (Eq. 2)       --       2.75       --
+minimal energy               14.0        --       10
+compromise (period <= 2)      2.0        --       46
+========================  =======  ========  =======
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.application import Application
+from ..core.energy import EnergyModel
+from ..core.mapping import Assignment, Mapping
+from ..core.platform import Platform
+from ..core.problem import ProblemInstance
+from ..core.processor import Processor
+from ..core.types import CommunicationModel, MappingRule
+
+#: The numbers the paper reports for the four worked mappings of Section 2.
+FIGURE1_EXPECTED: Dict[str, float] = {
+    "optimal_period": 1.0,
+    "optimal_period_energy": 136.0,  # 6^2 + 8^2 + 6^2
+    "optimal_latency": 2.75,
+    "min_energy": 10.0,  # 3^2 + 1^2
+    "min_energy_period": 14.0,
+    "compromise_period": 2.0,
+    "compromise_energy": 46.0,  # 3^2 + 6^2 + 1^2
+}
+
+
+def figure1_applications() -> Tuple[Application, Application]:
+    """The two applications of Figure 1 (see the module docstring for the
+    two documented free data sizes)."""
+    app1 = Application.from_lists(
+        works=[3.0, 2.0, 1.0],
+        output_sizes=[3.0, 2.0, 0.0],
+        input_data_size=1.0,
+        name="App1",
+    )
+    app2 = Application.from_lists(
+        works=[2.0, 6.0, 4.0, 2.0],
+        output_sizes=[3.0, 1.0, 1.0, 1.0],
+        input_data_size=0.0,
+        name="App2",
+    )
+    return app1, app2
+
+
+def figure1_platform() -> Platform:
+    """The three bi-modal processors of Figure 1, all links of bandwidth 1."""
+    return Platform(
+        processors=(
+            Processor(speeds=(3.0, 6.0), name="P1"),
+            Processor(speeds=(6.0, 8.0), name="P2"),
+            Processor(speeds=(1.0, 6.0), name="P3"),
+        ),
+        default_bandwidth=1.0,
+        name="figure-1",
+    )
+
+
+def figure1_problem(
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+) -> ProblemInstance:
+    """The full problem instance (interval rule, alpha = 2)."""
+    return ProblemInstance(
+        apps=figure1_applications(),
+        platform=figure1_platform(),
+        rule=MappingRule.INTERVAL,
+        model=model,
+        energy_model=EnergyModel(alpha=2.0),
+    )
+
+
+# Processor indices, 0-based: P1 = 0, P2 = 1, P3 = 2.
+_P1, _P2, _P3 = 0, 1, 2
+
+
+def mapping_optimal_period() -> Mapping:
+    """The period-1 mapping of Equation (1): App1 entirely on P3 (mode 6),
+    App2 stages 1-2 on P2 (mode 8) and stages 3-4 on P1 (mode 6)."""
+    return Mapping.from_assignments(
+        [
+            Assignment(app=0, interval=(0, 2), proc=_P3, speed=6.0),
+            Assignment(app=1, interval=(0, 1), proc=_P2, speed=8.0),
+            Assignment(app=1, interval=(2, 3), proc=_P1, speed=6.0),
+        ]
+    )
+
+
+def mapping_optimal_latency() -> Mapping:
+    """The latency-2.75 mapping of Equation (2): App1 whole on P1 (mode 6),
+    App2 whole on P2 (mode 8)."""
+    return Mapping.from_assignments(
+        [
+            Assignment(app=0, interval=(0, 2), proc=_P1, speed=6.0),
+            Assignment(app=1, interval=(0, 3), proc=_P2, speed=8.0),
+        ]
+    )
+
+
+def mapping_min_energy() -> Mapping:
+    """The energy-10 mapping: App1 whole on P1 in its lowest mode (3),
+    App2 whole on P3 in its lowest mode (1); the period degrades to 14."""
+    return Mapping.from_assignments(
+        [
+            Assignment(app=0, interval=(0, 2), proc=_P1, speed=3.0),
+            Assignment(app=1, interval=(0, 3), proc=_P3, speed=1.0),
+        ]
+    )
+
+
+def mapping_compromise_energy_46() -> Mapping:
+    """The period-2 / energy-46 compromise: every processor in its first
+    mode; App1 on P1 (3), App2 stages 1-3 on P2 (6) and stage 4 on P3 (1)."""
+    return Mapping.from_assignments(
+        [
+            Assignment(app=0, interval=(0, 2), proc=_P1, speed=3.0),
+            Assignment(app=1, interval=(0, 2), proc=_P2, speed=6.0),
+            Assignment(app=1, interval=(3, 3), proc=_P3, speed=1.0),
+        ]
+    )

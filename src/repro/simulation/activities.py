@@ -1,0 +1,113 @@
+"""Activity chains: the operational view of an interval mapping.
+
+For one application mapped as ``m`` intervals on processors
+``u_0 .. u_{m-1}``, each data set traverses ``2m + 1`` activities::
+
+    comm_0, comp_0, comm_1, comp_1, ..., comp_{m-1}, comm_m
+
+where ``comm_0`` brings the input from ``Pin_a``, ``comm_j`` (``0<j<m``)
+carries the data from interval ``j-1`` to interval ``j``, and ``comm_m``
+returns the result to ``Pout_a``.
+
+Resource footprints encode the communication model:
+
+* **overlap** -- a communication occupies only its link (each processor has
+  at most one incoming and one outgoing link under interval mappings, so
+  the one-port rule is honored structurally); a computation occupies its
+  CPU.  The three activities of a processor may thus overlap across
+  consecutive data sets.
+* **no-overlap** -- a communication additionally occupies the CPUs of both
+  endpoint processors (the virtual ``Pin_a`` / ``Pout_a`` are dedicated I/O
+  processors and never constrain), serializing receive / compute / send on
+  each processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.application import Application
+from ..core.mapping import Mapping
+from ..core.platform import Platform
+from ..core.types import CommunicationModel, IN_ENDPOINT, OUT_ENDPOINT
+
+#: A simulation resource: ``("cpu", proc)`` or ``("link", app, position)``.
+Resource = Tuple[str, int, int]
+
+
+def cpu(proc: int) -> Resource:
+    """The CPU resource of a processor."""
+    return ("cpu", proc, 0)
+
+
+def link(app: int, position: int) -> Resource:
+    """The link resource carrying application ``app``'s communication number
+    ``position`` (0 = input link, ``m`` = output link)."""
+    return ("link", app, position)
+
+
+@dataclass(frozen=True)
+class Activity:
+    """One activity of the chain: a communication or a computation."""
+
+    app: int
+    kind: str  # "comm" or "comp"
+    position: int
+    duration: float
+    resources: Tuple[Resource, ...]
+
+
+def build_activity_chain(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+    app_index: int,
+    model: CommunicationModel,
+) -> List[Activity]:
+    """The per-data-set activity chain of one application under a mapping."""
+    app = apps[app_index]
+    parts = mapping.for_app(app_index)
+    m = len(parts)
+    chain: List[Activity] = []
+    for j in range(m + 1):
+        # Communication j: between interval j-1 and interval j.
+        if j == 0:
+            size = app.input_data_size
+            bw = platform.bandwidth(IN_ENDPOINT, parts[0].proc, app_index)
+            endpoints = (parts[0].proc,)
+        elif j == m:
+            size = app.interval_output_size(parts[m - 1].interval)
+            bw = platform.bandwidth(parts[m - 1].proc, OUT_ENDPOINT, app_index)
+            endpoints = (parts[m - 1].proc,)
+        else:
+            size = app.interval_output_size(parts[j - 1].interval)
+            bw = platform.bandwidth(parts[j - 1].proc, parts[j].proc, app_index)
+            endpoints = (parts[j - 1].proc, parts[j].proc)
+        resources: Tuple[Resource, ...]
+        if model is CommunicationModel.OVERLAP:
+            resources = (link(app_index, j),)
+        else:
+            resources = tuple(cpu(u) for u in endpoints)
+        chain.append(
+            Activity(
+                app=app_index,
+                kind="comm",
+                position=j,
+                duration=size / bw,
+                resources=resources,
+            )
+        )
+        # Computation j (intervals are interleaved with communications).
+        if j < m:
+            lo, hi = parts[j].interval
+            chain.append(
+                Activity(
+                    app=app_index,
+                    kind="comp",
+                    position=j,
+                    duration=app.work_sum(lo, hi) / parts[j].speed,
+                    resources=(cpu(parts[j].proc),),
+                )
+            )
+    return chain

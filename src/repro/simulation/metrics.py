@@ -1,0 +1,40 @@
+"""Steady-state metrics extracted from simulation outputs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .activities import Resource
+from .trace import Trace
+
+
+def steady_state_period(
+    completions: Sequence[float], window: int = 0
+) -> float:
+    """Average inter-completion gap over the trailing ``window`` data sets
+    (default: the second half of the run)."""
+    if len(completions) < 2:
+        return 0.0
+    if window <= 0:
+        window = max(1, len(completions) // 2)
+    window = min(window, len(completions) - 1)
+    return (completions[-1] - completions[-1 - window]) / window
+
+
+def latencies_from_trace(
+    completions: Sequence[float], releases: Sequence[float]
+) -> List[float]:
+    """Per-data-set response times."""
+    if len(completions) != len(releases):
+        raise ValueError("completions and releases must have the same length")
+    return [c - r for c, r in zip(completions, releases)]
+
+
+def resource_utilization(trace: Trace, horizon: float = 0.0) -> Dict[Resource, float]:
+    """Fraction of the horizon each resource was busy (horizon defaults to
+    the trace makespan)."""
+    if horizon <= 0.0:
+        horizon = trace.makespan
+    if horizon <= 0.0:
+        return {}
+    return {res: busy / horizon for res, busy in trace.busy_time().items()}

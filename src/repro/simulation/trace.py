@@ -1,0 +1,66 @@
+"""Execution traces produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .activities import Resource
+
+
+@dataclass(frozen=True)
+class ActivityRecord:
+    """One executed activity instance."""
+
+    app: int
+    dataset: int
+    kind: str  # "comm" or "comp"
+    position: int
+    resources: Tuple[Resource, ...]
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time of the activity instance."""
+        return self.finish - self.start
+
+
+@dataclass
+class Trace:
+    """A flat, append-only record of executed activities."""
+
+    records: List[ActivityRecord] = field(default_factory=list)
+
+    def append(self, record: ActivityRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def __iter__(self) -> Iterator[ActivityRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def for_app(self, app: int) -> List[ActivityRecord]:
+        """Records of one application, in execution order."""
+        return [r for r in self.records if r.app == app]
+
+    def for_dataset(self, app: int, dataset: int) -> List[ActivityRecord]:
+        """Records of one data set of one application."""
+        return [
+            r for r in self.records if r.app == app and r.dataset == dataset
+        ]
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last activity."""
+        return max((r.finish for r in self.records), default=0.0)
+
+    def busy_time(self) -> Dict[Resource, float]:
+        """Total busy time per resource (for utilization reports)."""
+        busy: Dict[Resource, float] = {}
+        for r in self.records:
+            for res in r.resources:
+                busy[res] = busy.get(res, 0.0) + r.duration
+        return busy

@@ -1,0 +1,234 @@
+"""Tests for the bi-criteria period/latency machinery (Theorems 14-16)."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    InfeasibleProblemError,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    SolverError,
+    Thresholds,
+)
+from repro.algorithms import (
+    bicriteria_one_to_one_fully_hom,
+    minimize_latency_given_period,
+    minimize_period_given_latency,
+    single_app_latency_table,
+    single_app_min_period_given_latency,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.interval_period import interval_cycle
+from repro.generators import random_application, random_applications, rng_from
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+BOTH_MODELS = [OVERLAP, NO_OVERLAP]
+
+
+def brute_force_min_latency(app, q, speed, bw, model, period_bound):
+    """Reference: min latency over partitions into <= q intervals whose
+    every cycle meets the period bound."""
+    best = math.inf
+    for partition in app.iter_interval_partitions():
+        if len(partition) > q:
+            continue
+        if any(
+            interval_cycle(app, iv, speed, bw, model)
+            > period_bound * (1 + 1e-9)
+            for iv in partition
+        ):
+            continue
+        latency = app.input_data_size / bw
+        for lo, hi in partition:
+            latency += app.work_sum(lo, hi) / speed
+            latency += app.output_size(hi) / bw
+        best = min(best, latency)
+    return best
+
+
+class TestSingleAppLatencyDP:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed, model):
+        rng = rng_from(seed)
+        app = random_application(rng, int(rng.integers(1, 7)))
+        speed = float(rng.uniform(1, 4))
+        bw = float(rng.uniform(1, 3))
+        # Pick a period bound between the 1-proc and n-proc optima so the
+        # constraint actually bites.
+        from repro.algorithms import single_app_period_table
+
+        table_p = single_app_period_table(app, app.n_stages, speed, bw, model)
+        bound = 0.5 * (table_p.period(1) + table_p.period(app.n_stages))
+        table = single_app_latency_table(
+            app, app.n_stages, speed, bw, model, bound
+        )
+        for q in range(1, app.n_stages + 1):
+            expected = brute_force_min_latency(app, q, speed, bw, model, bound)
+            assert table.latency(q) == pytest.approx(expected), (seed, q)
+
+    def test_latency_non_increasing_in_q(self):
+        rng = rng_from(2)
+        app = random_application(rng, 6)
+        table = single_app_latency_table(app, 6, 2.0, 1.0, OVERLAP, 5.0)
+        values = [table.latency(q) for q in range(1, 7)]
+        finite = [v for v in values if math.isfinite(v)]
+        assert all(a >= b for a, b in zip(finite, finite[1:]))
+
+    def test_infeasible_bound(self):
+        app = Application.from_lists([10], [0])
+        table = single_app_latency_table(app, 1, 1.0, 1.0, OVERLAP, 0.5)
+        assert table.latency(1) == math.inf
+        with pytest.raises(InfeasibleProblemError):
+            table.reconstruct(1)
+
+    def test_reconstruction_meets_period_bound(self):
+        rng = rng_from(8)
+        app = random_application(rng, 5)
+        speed, bw, bound = 2.0, 1.0, 4.0
+        table = single_app_latency_table(app, 5, speed, bw, OVERLAP, bound)
+        for q in range(1, 6):
+            if not math.isfinite(table.latency(q)):
+                continue
+            for iv in table.reconstruct(q):
+                assert interval_cycle(app, iv, speed, bw, OVERLAP) <= bound * (
+                    1 + 1e-9
+                )
+
+
+class TestSingleAppPeriodGivenLatency:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dual_consistency(self, seed, model):
+        # min-period-given-latency followed by min-latency-given-that-period
+        # must round-trip.
+        rng = rng_from(seed + 20)
+        app = random_application(rng, int(rng.integers(2, 6)))
+        speed, bw = 2.0, 1.5
+        q = app.n_stages
+        loose_latency = app.input_data_size / bw + app.total_work / speed + sum(
+            app.output_sizes
+        ) / bw
+        period, witness = single_app_min_period_given_latency(
+            app, q, speed, bw, model, loose_latency * 1.5
+        )
+        assert math.isfinite(period)
+        assert witness is not None
+        table = single_app_latency_table(app, q, speed, bw, model, period)
+        assert table.latency(q) <= loose_latency * 1.5 * (1 + 1e-9)
+
+    def test_tight_latency_forces_whole_mapping(self):
+        # Latency bound = single-processor latency: only m=1 fits, so the
+        # optimal period is the single-interval cycle-time.
+        app = Application.from_lists([4, 4], [3, 1], input_data_size=1)
+        speed, bw = 2.0, 1.0
+        single_latency = 1.0 + 8.0 / 2.0 + 1.0
+        period, _ = single_app_min_period_given_latency(
+            app, 2, speed, bw, OVERLAP, single_latency
+        )
+        assert period == pytest.approx(max(1.0, 4.0, 1.0))
+
+    def test_infeasible_latency(self):
+        app = Application.from_lists([10], [0])
+        period, witness = single_app_min_period_given_latency(
+            app, 1, 1.0, 1.0, OVERLAP, 1.0
+        )
+        assert period == math.inf and witness is None
+
+
+class TestMultiAppTheorem16:
+    def make_problem(self, seed, model=OVERLAP, n_apps=2):
+        rng = rng_from(seed)
+        apps = random_applications(rng, n_apps, stage_range=(2, 3))
+        platform = Platform.fully_homogeneous(
+            5, speeds=[2.0], bandwidth=1.5
+        )
+        return ProblemInstance(apps=apps, platform=platform, model=model)
+
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_latency_given_period_matches_exact(self, seed, model):
+        problem = self.make_problem(seed, model=model)
+        # A period bound midway between loose and tight.
+        from repro.algorithms import minimize_period_interval
+
+        best_t = minimize_period_interval(problem).objective
+        bound = best_t * 1.6
+        thresholds = Thresholds(period=bound)
+        fast = minimize_latency_given_period(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.LATENCY, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+        assert fast.values.period <= bound * (1 + 1e-9)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_period_given_latency_matches_exact(self, seed):
+        problem = self.make_problem(seed + 40)
+        from repro.algorithms import minimize_latency_interval
+
+        # Comm-hom solver applies to fully-hom platforms too: use it to get
+        # a reference latency and relax it.
+        best_l = minimize_latency_interval(problem).objective
+        bound = best_l * 1.3
+        thresholds = Thresholds(latency=bound)
+        fast = minimize_period_given_latency(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.PERIOD, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+        assert fast.values.latency <= bound * (1 + 1e-9)
+
+    def test_infeasible_period_bound(self):
+        problem = self.make_problem(1)
+        with pytest.raises(InfeasibleProblemError):
+            minimize_latency_given_period(problem, Thresholds(period=1e-6))
+
+    def test_per_app_thresholds(self):
+        problem = self.make_problem(3)
+        from repro.algorithms import minimize_period_interval
+
+        base = minimize_period_interval(problem)
+        per_app = tuple(
+            base.values.periods[a] * 1.5 for a in range(problem.n_apps)
+        )
+        thresholds = Thresholds(per_app_period=per_app)
+        fast = minimize_latency_given_period(problem, thresholds)
+        for a in range(problem.n_apps):
+            assert fast.values.periods[a] <= per_app[a] * (1 + 1e-9)
+
+    def test_rejects_non_fully_homogeneous(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.comm_homogeneous([[1.0], [2.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with pytest.raises(SolverError):
+            minimize_latency_given_period(problem, Thresholds(period=10))
+
+
+class TestTheorem14OneToOne:
+    def test_canonical_when_feasible(self):
+        apps = (Application.from_lists([2, 2], [1, 1], input_data_size=1),)
+        platform = Platform.fully_homogeneous(3, speeds=[2.0])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        solution = bicriteria_one_to_one_fully_hom(
+            problem, Thresholds(period=10.0, latency=10.0)
+        )
+        exact = exact_minimize(
+            problem, Criterion.LATENCY, Thresholds(period=10.0)
+        )
+        assert solution.objective == pytest.approx(exact.objective)
+
+    def test_infeasible_thresholds(self):
+        apps = (Application.from_lists([2, 2], [1, 1]),)
+        platform = Platform.fully_homogeneous(2, speeds=[1.0])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        with pytest.raises(InfeasibleProblemError):
+            bicriteria_one_to_one_fully_hom(
+                problem, Thresholds(period=0.01)
+            )

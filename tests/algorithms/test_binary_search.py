@@ -1,0 +1,73 @@
+"""Unit tests for the candidate-set binary-search driver."""
+
+import math
+
+import pytest
+
+from repro.algorithms.binary_search import (
+    linear_smallest_feasible,
+    smallest_feasible,
+)
+
+
+def monotone_test(threshold):
+    """Feasible iff candidate >= threshold; witness is the candidate."""
+
+    def test(x):
+        return x if x >= threshold else None
+
+    return test
+
+
+class TestSmallestFeasible:
+    def test_finds_smallest(self):
+        r = smallest_feasible([5.0, 1.0, 3.0, 2.0], monotone_test(2.5))
+        assert r.value == 3.0
+        assert r.witness == 3.0
+        assert r.feasible
+
+    def test_all_feasible(self):
+        r = smallest_feasible([4.0, 2.0], monotone_test(0.0))
+        assert r.value == 2.0
+
+    def test_none_feasible(self):
+        r = smallest_feasible([1.0, 2.0], monotone_test(10.0))
+        assert not r.feasible
+        assert r.value == math.inf
+        assert r.witness is None
+
+    def test_empty_candidates(self):
+        r = smallest_feasible([], monotone_test(0.0))
+        assert not r.feasible
+
+    def test_non_finite_candidates_dropped(self):
+        r = smallest_feasible([math.inf, 2.0, math.nan], monotone_test(1.0))
+        assert r.value == 2.0
+
+    def test_duplicates_deduplicated(self):
+        probes = []
+
+        def test(x):
+            probes.append(x)
+            return x if x >= 2.0 else None
+
+        r = smallest_feasible([2.0] * 50 + [1.0] * 50, test)
+        assert r.value == 2.0
+        assert len(probes) <= 2  # log2(2 distinct values)
+
+    def test_logarithmic_probes(self):
+        candidates = list(range(1, 1025))
+        r = smallest_feasible(candidates, monotone_test(700))
+        assert r.value == 700
+        assert r.n_tests <= 11  # ceil(log2(1024)) + 1
+
+    def test_agrees_with_linear_scan(self):
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            candidates = sorted(rng.uniform(0, 10, size=13))
+            threshold = float(rng.uniform(0, 12))
+            b = smallest_feasible(candidates, monotone_test(threshold))
+            l = linear_smallest_feasible(candidates, monotone_test(threshold))
+            assert b.value == l.value

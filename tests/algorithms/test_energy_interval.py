@@ -1,0 +1,215 @@
+"""Tests for the period/energy interval DPs (Theorems 18 and 21)."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    EnergyModel,
+    InfeasibleProblemError,
+    Platform,
+    ProblemInstance,
+    SolverError,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_energy_given_period_interval,
+    minimize_period_interval,
+    single_app_energy_table,
+)
+from repro.algorithms.energy_interval import cheapest_feasible_speed
+from repro.algorithms.exact import brute_force_minimize, exact_minimize
+from repro.algorithms.interval_period import interval_cycle
+from repro.generators import random_application, random_applications, rng_from
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+BOTH_MODELS = [OVERLAP, NO_OVERLAP]
+EM = EnergyModel(alpha=2.0)
+
+
+def brute_force_min_energy(app, q, speeds, e_stat, bw, model, bound, em):
+    """Reference: min energy over partitions into <= q intervals and all
+    per-interval mode choices meeting the period bound."""
+    import itertools
+
+    best = math.inf
+    for partition in app.iter_interval_partitions():
+        if len(partition) > q:
+            continue
+        for choice in itertools.product(speeds, repeat=len(partition)):
+            if any(
+                interval_cycle(app, iv, s, bw, model) > bound * (1 + 1e-9)
+                for iv, s in zip(partition, choice)
+            ):
+                continue
+            energy = sum(e_stat + em.dynamic(s) for s in choice)
+            best = min(best, energy)
+    return best
+
+
+class TestCheapestFeasibleSpeed:
+    def test_picks_slowest_feasible(self):
+        app = Application.from_lists([4], [0])
+        s = cheapest_feasible_speed(app, (0, 0), [1.0, 2.0, 4.0], 1.0, OVERLAP, 2.1)
+        assert s == 2.0
+
+    def test_none_when_too_slow(self):
+        app = Application.from_lists([100], [0])
+        assert (
+            cheapest_feasible_speed(app, (0, 0), [1.0, 2.0], 1.0, OVERLAP, 1.0)
+            is None
+        )
+
+    def test_communication_floor(self):
+        # A fast mode cannot fix a communication-bound interval.
+        app = Application.from_lists([1], [50], input_data_size=0)
+        assert (
+            cheapest_feasible_speed(app, (0, 0), [9.0], 1.0, OVERLAP, 2.0)
+            is None
+        )
+
+
+class TestTheorem18SingleApp:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed, model):
+        rng = rng_from(seed)
+        app = random_application(rng, int(rng.integers(1, 6)))
+        speeds = (1.0, 2.0, 3.0)
+        e_stat, bw = 0.5, 1.5
+        # A bound that is feasible at top speed but not trivially loose.
+        top = max(
+            interval_cycle(app, (k, k), speeds[-1], bw, model)
+            for k in range(app.n_stages)
+        )
+        bound = top * 1.2
+        table = single_app_energy_table(
+            app, app.n_stages, speeds, e_stat, bw, model, bound, EM
+        )
+        for q in range(1, app.n_stages + 1):
+            expected = brute_force_min_energy(
+                app, q, speeds, e_stat, bw, model, bound, EM
+            )
+            assert table.energy(q) == pytest.approx(expected), (seed, q)
+
+    def test_reconstruction_consistent(self):
+        rng = rng_from(77)
+        app = random_application(rng, 5)
+        speeds = (1.0, 2.0, 4.0)
+        bound = 6.0
+        table = single_app_energy_table(
+            app, 5, speeds, 0.0, 1.0, OVERLAP, bound, EM
+        )
+        for q in range(1, 6):
+            if not math.isfinite(table.energy(q)):
+                continue
+            placements = table.reconstruct(q)
+            energy = sum(EM.dynamic(s) for _, s in placements)
+            assert energy == pytest.approx(table.energy(q))
+            for iv, s in placements:
+                assert interval_cycle(app, iv, s, 1.0, OVERLAP) <= bound * (
+                    1 + 1e-9
+                )
+
+    def test_energy_non_increasing_in_q(self):
+        # More allowed processors never increases the optimal energy
+        # (at-most semantics).
+        app = Application.from_lists([6, 6, 6], [0.5, 0.5, 0.5])
+        table = single_app_energy_table(
+            app, 3, (1.0, 2.0, 6.0), 0.0, 1.0, OVERLAP, 3.0, EM
+        )
+        values = [table.energy(q) for q in range(1, 4)]
+        finite = [v for v in values if math.isfinite(v)]
+        assert all(a >= b for a, b in zip(finite, finite[1:]))
+
+    def test_splitting_can_save_energy(self):
+        # One fast processor (energy 36) vs two slow ones (energy 2x4=8):
+        # under a bound of 3, splitting wins despite enrolling two procs.
+        app = Application.from_lists([6, 6], [0.0, 0.0])
+        table = single_app_energy_table(
+            app, 2, (2.0, 6.0), 0.0, 1.0, OVERLAP, 3.0, EM
+        )
+        assert table.energy(1) == pytest.approx(36.0)
+        assert table.energy(2) == pytest.approx(8.0)
+
+    def test_static_energy_discourages_splitting(self):
+        # Same shape, but a huge static cost makes one processor cheaper.
+        app = Application.from_lists([6, 6], [0.0, 0.0])
+        table = single_app_energy_table(
+            app, 2, (2.0, 6.0), 100.0, 1.0, OVERLAP, 3.0, EM
+        )
+        assert table.energy(2) == pytest.approx(136.0)  # one fast proc
+
+
+class TestTheorem21MultiApp:
+    def make_problem(self, seed, model=OVERLAP, n_apps=2, n_modes=3):
+        rng = rng_from(seed)
+        apps = random_applications(rng, n_apps, stage_range=(1, 3))
+        platform = Platform.fully_homogeneous(
+            4, speeds=[1.0, 2.0, 3.0][:n_modes], bandwidth=2.0
+        )
+        return ProblemInstance(
+            apps=apps, platform=platform, model=model, energy_model=EM
+        )
+
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exact(self, seed, model):
+        problem = self.make_problem(seed, model=model)
+        base = minimize_period_interval(problem).objective
+        thresholds = Thresholds(period=base * 1.5)
+        fast = minimize_energy_given_period_interval(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.ENERGY, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+        assert fast.values.period <= base * 1.5 * (1 + 1e-9)
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_matches_brute_force(self, seed):
+        problem = self.make_problem(seed + 30, n_modes=2)
+        base = minimize_period_interval(problem).objective
+        thresholds = Thresholds(period=base * 2.0)
+        fast = minimize_energy_given_period_interval(problem, thresholds)
+        brute = brute_force_minimize(problem, Criterion.ENERGY, thresholds)
+        assert fast.objective == pytest.approx(brute.objective)
+
+    def test_per_app_period_bounds(self):
+        problem = self.make_problem(5)
+        base = minimize_period_interval(problem)
+        per_app = tuple(
+            base.values.periods[a] * 2.0 for a in range(problem.n_apps)
+        )
+        thresholds = Thresholds(per_app_period=per_app)
+        fast = minimize_energy_given_period_interval(problem, thresholds)
+        for a in range(problem.n_apps):
+            assert fast.values.periods[a] <= per_app[a] * (1 + 1e-9)
+
+    def test_infeasible_bound(self):
+        problem = self.make_problem(2)
+        with pytest.raises(InfeasibleProblemError):
+            minimize_energy_given_period_interval(
+                problem, Thresholds(period=1e-9)
+            )
+
+    def test_rejects_non_fully_homogeneous(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.comm_homogeneous([[1.0], [2.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with pytest.raises(SolverError):
+            minimize_energy_given_period_interval(
+                problem, Thresholds(period=10)
+            )
+
+    def test_looser_bound_never_costs_more(self):
+        problem = self.make_problem(8)
+        base = minimize_period_interval(problem).objective
+        e_tight = minimize_energy_given_period_interval(
+            problem, Thresholds(period=base * 1.2)
+        ).objective
+        e_loose = minimize_energy_given_period_interval(
+            problem, Thresholds(period=base * 3.0)
+        ).objective
+        assert e_loose <= e_tight + 1e-9

@@ -1,0 +1,138 @@
+"""Tests for Theorem 19: period/energy one-to-one via bipartite matching."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    EnergyModel,
+    InfeasibleProblemError,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_energy_given_period_one_to_one,
+    minimize_period_one_to_one,
+)
+from repro.algorithms.energy_matching import build_cost_matrix, cheapest_stage_mode
+from repro.algorithms.exact import exact_minimize
+from repro.generators import random_applications, rng_from
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+BOTH_MODELS = [OVERLAP, NO_OVERLAP]
+EM = EnergyModel(alpha=2.0)
+
+
+def comm_hom_problem(seed, model=OVERLAP, n_modes=3):
+    rng = rng_from(seed)
+    apps = random_applications(rng, 2, stage_range=(1, 3))
+    total = sum(a.n_stages for a in apps)
+    speed_sets = [
+        sorted(float(rng.uniform(1, 4)) * m for m in [1.0, 1.5, 2.0][:n_modes])
+        for _ in range(total + 1)
+    ]
+    platform = Platform.comm_homogeneous(
+        speed_sets, bandwidth=float(rng.uniform(1, 3))
+    )
+    return ProblemInstance(
+        apps=apps,
+        platform=platform,
+        rule=MappingRule.ONE_TO_ONE,
+        model=model,
+        energy_model=EM,
+    )
+
+
+class TestCostMatrix:
+    def test_cheapest_stage_mode_picks_slowest_feasible(self):
+        apps = (Application.from_lists([4], [0]),)
+        platform = Platform.comm_homogeneous([[1.0, 2.0, 4.0]])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE,
+            energy_model=EM,
+        )
+        energy, speed = cheapest_stage_mode(
+            apps[0], 0, 0, platform, 0, 2.5, OVERLAP, EM
+        )
+        assert speed == 2.0 and energy == 4.0
+
+    def test_infeasible_is_inf(self):
+        apps = (Application.from_lists([100], [0]),)
+        platform = Platform.comm_homogeneous([[1.0]])
+        energy, speed = cheapest_stage_mode(
+            apps[0], 0, 0, platform, 0, 1.0, OVERLAP, EM
+        )
+        assert energy == math.inf and speed is None
+
+    def test_matrix_shape(self):
+        problem = comm_hom_problem(0)
+        stages, costs, speeds = build_cost_matrix(
+            problem, Thresholds(period=100.0)
+        )
+        assert len(stages) == problem.n_stages_total
+        assert all(
+            len(row) == problem.platform.n_processors for row in costs
+        )
+
+
+class TestTheorem19:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact(self, seed, model):
+        problem = comm_hom_problem(seed, model=model)
+        base = minimize_period_one_to_one(problem).objective
+        thresholds = Thresholds(period=base * 1.5)
+        fast = minimize_energy_given_period_one_to_one(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.ENERGY, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+        assert fast.values.period <= base * 1.5 * (1 + 1e-9)
+        problem.check_mapping(fast.mapping)
+
+    def test_uses_slowest_sufficient_modes(self):
+        # A loose period bound lets every processor idle in its lowest mode.
+        problem = comm_hom_problem(3)
+        thresholds = Thresholds(period=1e9)
+        solution = minimize_energy_given_period_one_to_one(problem, thresholds)
+        for x in solution.mapping.assignments:
+            assert x.speed == problem.platform.processor(x.proc).min_speed
+
+    def test_infeasible_bound(self):
+        problem = comm_hom_problem(4)
+        with pytest.raises(InfeasibleProblemError):
+            minimize_energy_given_period_one_to_one(
+                problem, Thresholds(period=1e-9)
+            )
+
+    def test_too_few_processors(self):
+        apps = (Application.from_lists([1, 1], [0, 0]),)
+        platform = Platform.comm_homogeneous([[1.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with pytest.raises(InfeasibleProblemError):
+            minimize_energy_given_period_one_to_one(
+                problem, Thresholds(period=10.0)
+            )
+
+    def test_per_app_thresholds(self):
+        problem = comm_hom_problem(6)
+        base = minimize_period_one_to_one(problem)
+        per_app = tuple(
+            base.values.periods[a] * 1.4 for a in range(problem.n_apps)
+        )
+        thresholds = Thresholds(per_app_period=per_app)
+        fast = minimize_energy_given_period_one_to_one(problem, thresholds)
+        for a in range(problem.n_apps):
+            assert fast.values.periods[a] <= per_app[a] * (1 + 1e-9)
+
+    def test_matching_cost_equals_energy(self):
+        problem = comm_hom_problem(7)
+        thresholds = Thresholds(period=1e6)
+        solution = minimize_energy_given_period_one_to_one(problem, thresholds)
+        assert solution.stats["matching_cost"] == pytest.approx(
+            solution.values.energy
+        )

@@ -1,0 +1,157 @@
+"""Cross-validation of the two exact solvers (brute force vs
+branch-and-bound) -- two independent implementations that must agree."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    InfeasibleProblemError,
+    MappingRule,
+    Platform,
+    PlatformClass,
+    ProblemInstance,
+    SolverError,
+    Thresholds,
+)
+from repro.algorithms.exact import (
+    brute_force_minimize,
+    exact_minimize,
+    iter_mappings,
+)
+from repro.generators import small_random_problem
+
+ALL_CELLS = [
+    PlatformClass.FULLY_HOMOGENEOUS,
+    PlatformClass.COMM_HOMOGENEOUS,
+    PlatformClass.FULLY_HETEROGENEOUS,
+]
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+BOTH_RULES = [MappingRule.ONE_TO_ONE, MappingRule.INTERVAL]
+
+
+class TestIterMappings:
+    def test_counts_single_app(self):
+        apps = (Application.from_lists([1, 1], [0, 0]),)
+        platform = Platform.fully_homogeneous(3, [1.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        mappings = list(iter_mappings(problem, max_speed_only=True))
+        # partitions: {(0,1)}, {(0,0),(1,1)} -> P(3,1) + P(3,2) = 3 + 6 = 9.
+        assert len(mappings) == 9
+
+    def test_counts_one_to_one(self):
+        apps = (Application.from_lists([1, 1], [0, 0]),)
+        platform = Platform.fully_homogeneous(3, [1.0])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        assert len(list(iter_mappings(problem, max_speed_only=True))) == 6
+
+    def test_speed_enumeration(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.fully_homogeneous(2, [1.0, 2.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with_speeds = list(iter_mappings(problem, max_speed_only=False))
+        only_max = list(iter_mappings(problem, max_speed_only=True))
+        assert len(with_speeds) == 2 * len(only_max)
+
+    def test_all_mappings_valid(self):
+        problem = small_random_problem(5, n_apps=2, stage_range=(1, 2))
+        for m in iter_mappings(problem, max_speed_only=True):
+            problem.check_mapping(m)
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("cell", ALL_CELLS)
+    @pytest.mark.parametrize("rule", BOTH_RULES)
+    @pytest.mark.parametrize("criterion", [Criterion.PERIOD, Criterion.LATENCY])
+    def test_period_latency_agree(self, cell, rule, criterion):
+        for seed in range(3):
+            problem = small_random_problem(
+                seed, platform_class=cell, rule=rule, stage_range=(1, 3)
+            )
+            bf = brute_force_minimize(problem, criterion)
+            bb = exact_minimize(problem, criterion)
+            assert bf.objective == pytest.approx(bb.objective), seed
+
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    def test_models_agree(self, model):
+        problem = small_random_problem(
+            11, model=model, stage_range=(1, 3)
+        )
+        bf = brute_force_minimize(problem, Criterion.PERIOD)
+        bb = exact_minimize(problem, Criterion.PERIOD)
+        assert bf.objective == pytest.approx(bb.objective)
+
+    def test_energy_with_modes_agree(self):
+        for seed in range(3):
+            problem = small_random_problem(
+                seed + 60,
+                n_modes=2,
+                stage_range=(1, 2),
+            )
+            base = brute_force_minimize(problem, Criterion.PERIOD)
+            thresholds = Thresholds(period=base.objective * 1.5)
+            bf = brute_force_minimize(problem, Criterion.ENERGY, thresholds)
+            bb = exact_minimize(problem, Criterion.ENERGY, thresholds)
+            assert bf.objective == pytest.approx(bb.objective), seed
+
+    def test_thresholded_period_agree(self):
+        problem = small_random_problem(21, stage_range=(2, 3))
+        loose_latency = brute_force_minimize(
+            problem, Criterion.LATENCY
+        ).objective
+        thresholds = Thresholds(latency=loose_latency * 1.2)
+        bf = brute_force_minimize(problem, Criterion.PERIOD, thresholds)
+        bb = exact_minimize(problem, Criterion.PERIOD, thresholds)
+        assert bf.objective == pytest.approx(bb.objective)
+
+
+class TestBranchAndBoundBehaviour:
+    def test_infeasible_thresholds(self):
+        problem = small_random_problem(31)
+        with pytest.raises(InfeasibleProblemError):
+            exact_minimize(
+                problem, Criterion.PERIOD, Thresholds(latency=1e-9)
+            )
+
+    def test_node_limit(self):
+        problem = small_random_problem(32, n_apps=2, stage_range=(3, 4))
+        with pytest.raises(SolverError, match="node limit"):
+            exact_minimize(problem, Criterion.PERIOD, node_limit=3)
+
+    def test_solution_is_valid_and_consistent(self):
+        problem = small_random_problem(33)
+        s = exact_minimize(problem, Criterion.PERIOD)
+        problem.check_mapping(s.mapping)
+        assert s.objective == pytest.approx(s.values.period)
+        assert s.stats["nodes"] >= 1
+
+    def test_symmetry_breaking_reduces_nodes(self):
+        problem = small_random_problem(
+            34, platform_class=PlatformClass.FULLY_HOMOGENEOUS
+        )
+        s = exact_minimize(problem, Criterion.PERIOD)
+        # With 6+ identical processors, full enumeration would explode;
+        # equivalence classes keep it tiny.
+        assert s.stats["nodes"] < 20000
+
+    def test_energy_criterion_defaults_to_mode_enumeration(self):
+        apps = (Application.from_lists([4], [0]),)
+        platform = Platform.fully_homogeneous(1, [1.0, 2.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        s = exact_minimize(problem, Criterion.ENERGY)
+        # Cheapest mode wins when no period bound applies.
+        assert s.objective == pytest.approx(1.0)
+
+    def test_fix_max_speed_override(self):
+        apps = (Application.from_lists([4], [0]),)
+        platform = Platform.fully_homogeneous(1, [1.0, 2.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        s = exact_minimize(
+            problem, Criterion.ENERGY, fix_max_speed=True
+        )
+        assert s.objective == pytest.approx(4.0)

@@ -1,0 +1,109 @@
+"""Tests for the single-application interval period DP (the Theorem 3
+oracle) against brute-force enumeration of partitions."""
+
+import itertools
+import math
+
+import pytest
+
+from repro import Application, CommunicationModel
+from repro.algorithms.interval_period import (
+    interval_cycle,
+    single_app_period_table,
+)
+from repro.generators import random_application, rng_from
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+
+def brute_force_best_period(app, q, speed, bandwidth, model):
+    """Minimum period over all partitions into at most q intervals."""
+    best = math.inf
+    for partition in app.iter_interval_partitions():
+        if len(partition) > q:
+            continue
+        period = max(
+            interval_cycle(app, iv, speed, bandwidth, model)
+            for iv in partition
+        )
+        best = min(best, period)
+    return best
+
+
+class TestSingleAppPeriodTable:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed, model):
+        rng = rng_from(seed)
+        app = random_application(rng, int(rng.integers(1, 7)))
+        speed = float(rng.uniform(1, 4))
+        bw = float(rng.uniform(1, 3))
+        table = single_app_period_table(app, app.n_stages, speed, bw, model)
+        for q in range(1, app.n_stages + 1):
+            expected = brute_force_best_period(app, q, speed, bw, model)
+            assert table.period(q) == pytest.approx(expected), (q, seed)
+
+    def test_non_increasing_in_q(self):
+        rng = rng_from(3)
+        app = random_application(rng, 6)
+        table = single_app_period_table(app, 6, 2.0, 1.0, CommunicationModel.OVERLAP)
+        periods = [table.period(q) for q in range(1, 7)]
+        assert all(a >= b for a, b in zip(periods, periods[1:]))
+
+    def test_more_procs_than_stages_clamped(self):
+        app = Application.from_lists([1, 2], [1, 1])
+        table = single_app_period_table(
+            app, 10, 1.0, 1.0, CommunicationModel.OVERLAP
+        )
+        assert table.max_procs == 2
+        assert table.period(10) == table.period(2)
+
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    def test_reconstruction_achieves_tabulated_period(self, model):
+        for seed in range(5):
+            rng = rng_from(100 + seed)
+            app = random_application(rng, int(rng.integers(2, 7)))
+            speed, bw = 2.0, 1.5
+            table = single_app_period_table(
+                app, app.n_stages, speed, bw, model
+            )
+            for q in range(1, table.max_procs + 1):
+                intervals = table.reconstruct(q)
+                assert len(intervals) <= q
+                # Consecutive and covering.
+                assert intervals[0][0] == 0
+                assert intervals[-1][1] == app.n_stages - 1
+                for (l1, h1), (l2, h2) in zip(intervals, intervals[1:]):
+                    assert l2 == h1 + 1
+                achieved = max(
+                    interval_cycle(app, iv, speed, bw, model)
+                    for iv in intervals
+                )
+                assert achieved == pytest.approx(table.period(q))
+
+    def test_single_stage(self):
+        app = Application.from_lists([5], [2], input_data_size=3)
+        table = single_app_period_table(
+            app, 1, 2.0, 1.0, CommunicationModel.OVERLAP
+        )
+        assert table.period(1) == pytest.approx(max(3.0, 2.5, 2.0))
+        assert table.reconstruct(1) == [(0, 0)]
+
+    def test_zero_proc_infeasible(self):
+        app = Application.from_lists([5], [2])
+        table = single_app_period_table(
+            app, 1, 1.0, 1.0, CommunicationModel.OVERLAP
+        )
+        assert table.periods[0] == math.inf
+        with pytest.raises(ValueError):
+            table.reconstruct(0)
+
+    def test_splitting_helps_compute_bound_cases(self):
+        # With heavy computation and light data, more processors strictly
+        # improve the period until the communication floor is hit.
+        app = Application.from_lists([10, 10], [0.1, 0.1])
+        table = single_app_period_table(
+            app, 2, 1.0, 1.0, CommunicationModel.OVERLAP
+        )
+        assert table.period(2) < table.period(1)
+        assert table.period(2) == pytest.approx(10.0)

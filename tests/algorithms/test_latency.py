@@ -1,0 +1,107 @@
+"""Tests for latency minimization (Theorems 8 and 12) against the exact
+solvers."""
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    SolverError,
+)
+from repro.algorithms import (
+    minimize_latency_interval,
+    minimize_latency_one_to_one_fully_hom,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.latency import latency_candidates
+from repro.generators import random_applications, rng_from
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+
+class TestTheorem8OneToOneFullyHom:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exact(self, seed):
+        rng = rng_from(seed)
+        apps = random_applications(rng, 2, stage_range=(1, 3))
+        total = sum(a.n_stages for a in apps)
+        platform = Platform.fully_homogeneous(total + 1, speeds=[2.0])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        fast = minimize_latency_one_to_one_fully_hom(problem)
+        exact = exact_minimize(problem, Criterion.LATENCY)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_rejects_heterogeneous_processors(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.comm_homogeneous([[1.0], [2.0]])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        with pytest.raises(SolverError):
+            minimize_latency_one_to_one_fully_hom(problem)
+
+
+class TestTheorem12IntervalCommHom:
+    def make_problem(self, seed, model=CommunicationModel.OVERLAP, weights=None):
+        rng = rng_from(seed)
+        apps = random_applications(
+            rng, 2, stage_range=(1, 3), weights=weights
+        )
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 5))] for _ in range(4)],
+            bandwidth=float(rng.uniform(1, 3)),
+        )
+        return ProblemInstance(apps=apps, platform=platform, model=model)
+
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact(self, seed, model):
+        problem = self.make_problem(seed, model=model)
+        fast = minimize_latency_interval(problem)
+        exact = exact_minimize(problem, Criterion.LATENCY)
+        assert fast.objective == pytest.approx(exact.objective)
+        problem.check_mapping(fast.mapping)
+
+    def test_whole_app_per_processor(self):
+        # Theorem 12's structure: one interval per application.
+        problem = self.make_problem(3)
+        solution = minimize_latency_interval(problem)
+        for a in range(problem.n_apps):
+            parts = solution.mapping.for_app(a)
+            assert len(parts) == 1
+            assert parts[0].interval == (0, problem.apps[a].n_stages - 1)
+
+    def test_weighted(self):
+        problem = self.make_problem(9, weights=[4.0, 1.0])
+        fast = minimize_latency_interval(problem)
+        exact = exact_minimize(problem, Criterion.LATENCY)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_optimum_is_a_candidate(self):
+        problem = self.make_problem(5)
+        solution = minimize_latency_interval(problem)
+        cands = latency_candidates(problem.apps, problem.platform)
+        assert any(abs(c - solution.objective) < 1e-9 for c in cands)
+
+    def test_single_app_takes_fastest_processor(self):
+        apps = (Application.from_lists([6, 6], [1, 1], input_data_size=1),)
+        platform = Platform.comm_homogeneous([[1.0], [4.0], [2.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        solution = minimize_latency_interval(problem)
+        assert solution.mapping.assignments[0].proc == 1  # speed-4 processor
+
+    def test_splitting_never_beats_whole_on_comm_hom(self):
+        # The Theorem 12 argument: verify on a concrete case that an exact
+        # search over all interval mappings agrees with the one-proc rule.
+        apps = (Application.from_lists([3, 5, 2], [2, 2, 2], input_data_size=2),)
+        platform = Platform.comm_homogeneous([[2.0], [3.0], [1.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        fast = minimize_latency_interval(problem)
+        exact = exact_minimize(problem, Criterion.LATENCY)
+        assert fast.objective == pytest.approx(exact.objective)

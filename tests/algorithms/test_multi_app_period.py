@@ -1,0 +1,104 @@
+"""Tests for Theorem 3: multi-application interval period minimization on
+fully homogeneous platforms, against the exact solvers."""
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    SolverError,
+)
+from repro.algorithms import minimize_period_interval
+from repro.algorithms.exact import brute_force_minimize, exact_minimize
+from repro.generators import random_applications, rng_from
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+
+def fully_hom_problem(seed, model=CommunicationModel.OVERLAP, n_apps=2):
+    rng = rng_from(seed)
+    apps = random_applications(rng, n_apps, stage_range=(1, 4))
+    total = sum(a.n_stages for a in apps)
+    platform = Platform.fully_homogeneous(
+        min(total + 1, 6),
+        speeds=[float(rng.uniform(1, 4))],
+        bandwidth=float(rng.uniform(1, 3)),
+    )
+    return ProblemInstance(apps=apps, platform=platform, model=model)
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact(self, seed, model):
+        problem = fully_hom_problem(seed, model=model)
+        fast = minimize_period_interval(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)
+        problem.check_mapping(fast.mapping)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_brute_force(self, seed):
+        problem = fully_hom_problem(seed + 50)
+        fast = minimize_period_interval(problem)
+        brute = brute_force_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(brute.objective)
+
+    def test_three_apps(self):
+        problem = fully_hom_problem(7, n_apps=3)
+        fast = minimize_period_interval(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_weighted(self):
+        rng = rng_from(13)
+        apps = random_applications(
+            rng, 2, stage_range=(2, 3), weights=[1.0, 5.0]
+        )
+        platform = Platform.fully_homogeneous(5, speeds=[2.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        fast = minimize_period_interval(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_heavier_weight_gets_processors(self):
+        # Two identical heavy apps, but app 1 carries weight 10: the greedy
+        # allocation must favour it.
+        apps = (
+            Application.homogeneous(4, work=4.0, weight=1.0),
+            Application.homogeneous(4, work=4.0, weight=10.0),
+        )
+        platform = Platform.fully_homogeneous(5, speeds=[1.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        solution = minimize_period_interval(problem)
+        by_app = {
+            a: len(solution.mapping.for_app(a))
+            for a in solution.mapping.applications
+        }
+        assert by_app[1] > by_app[0]
+
+    def test_rejects_non_fully_homogeneous(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.comm_homogeneous([[1.0], [2.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with pytest.raises(SolverError):
+            minimize_period_interval(problem)
+
+    def test_runs_at_max_speed(self):
+        # Without an energy criterion all processors run flat out.
+        apps = (Application.from_lists([4, 4], [1, 1]),)
+        platform = Platform.fully_homogeneous(3, speeds=[1.0, 3.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        solution = minimize_period_interval(problem)
+        assert all(x.speed == 3.0 for x in solution.mapping.assignments)
+
+    def test_single_app_single_proc(self):
+        apps = (Application.from_lists([2], [1], input_data_size=1),)
+        platform = Platform.fully_homogeneous(1, speeds=[2.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        solution = minimize_period_interval(problem)
+        assert solution.objective == pytest.approx(max(1.0, 1.0, 1.0))

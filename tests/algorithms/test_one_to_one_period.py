@@ -1,0 +1,161 @@
+"""Tests for Theorem 1: one-to-one period minimization (binary search +
+greedy assignment), validated against the exact solvers."""
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    InfeasibleProblemError,
+    MappingRule,
+    Platform,
+    PlatformClass,
+    ProblemInstance,
+    SolverError,
+)
+from repro.algorithms import minimize_period_one_to_one
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.one_to_one_period import (
+    greedy_assignment,
+    period_candidates,
+)
+from repro.generators import random_applications, rng_from
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+
+def comm_hom_problem(seed, model=CommunicationModel.OVERLAP, n_apps=2):
+    rng = rng_from(seed)
+    apps = random_applications(rng, n_apps, stage_range=(1, 3))
+    total = sum(a.n_stages for a in apps)
+    speed_sets = [[float(rng.uniform(1, 5))] for _ in range(total + 2)]
+    platform = Platform.comm_homogeneous(
+        speed_sets, bandwidth=float(rng.uniform(1, 3))
+    )
+    return ProblemInstance(
+        apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE, model=model
+    )
+
+
+class TestGreedyAssignment:
+    def test_returns_valid_mapping(self):
+        problem = comm_hom_problem(0)
+        mapping = greedy_assignment(
+            problem.apps, problem.platform, period=1e9
+        )
+        assert mapping is not None
+        mapping.validate(problem.apps, problem.platform, MappingRule.ONE_TO_ONE)
+
+    def test_respects_period(self):
+        problem = comm_hom_problem(1)
+        target = 5.0
+        mapping = greedy_assignment(problem.apps, problem.platform, target)
+        if mapping is not None:
+            assert problem.evaluate(mapping).period <= target * (1 + 1e-9)
+
+    def test_fails_below_optimum(self):
+        problem = comm_hom_problem(2)
+        optimum = minimize_period_one_to_one(problem).objective
+        assert (
+            greedy_assignment(
+                problem.apps, problem.platform, optimum * 0.999
+            )
+            is None
+        )
+
+    def test_infeasible_when_too_few_processors(self):
+        apps = (Application.from_lists([1, 1, 1], [0, 0, 0]),)
+        platform = Platform.comm_homogeneous([[1.0], [1.0]])
+        assert greedy_assignment(apps, platform, 1e9) is None
+
+
+class TestCandidateSet:
+    def test_size_bound(self):
+        problem = comm_hom_problem(3)
+        cands = period_candidates(problem.apps, problem.platform)
+        n_max = max(a.n_stages for a in problem.apps)
+        assert len(cands) <= n_max * problem.n_apps * problem.platform.n_processors
+
+    def test_optimum_is_a_candidate(self):
+        for seed in range(6):
+            problem = comm_hom_problem(seed)
+            solution = minimize_period_one_to_one(problem)
+            cands = period_candidates(
+                problem.apps, problem.platform, problem.model
+            )
+            assert any(
+                abs(c - solution.objective) < 1e-9 for c in cands
+            ), "Theorem 1: the optimal period must be a candidate value"
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_exact_solver(self, seed, model):
+        problem = comm_hom_problem(seed, model=model)
+        fast = minimize_period_one_to_one(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)
+        problem.check_mapping(fast.mapping)
+
+    def test_weighted_objective(self):
+        rng = rng_from(42)
+        apps = random_applications(
+            rng, 2, stage_range=(1, 2), weights=[1.0, 7.0]
+        )
+        total = sum(a.n_stages for a in apps)
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 4))] for _ in range(total + 1)]
+        )
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        fast = minimize_period_one_to_one(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_per_app_bandwidths(self):
+        # The Theorem 1 refinement: per-application link capacities.
+        rng = rng_from(11)
+        apps = random_applications(rng, 2, stage_range=(2, 2))
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 4))] for _ in range(5)],
+            app_bandwidths={0: 0.5, 1: 3.0},
+        )
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        fast = minimize_period_one_to_one(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_solution_metadata(self):
+        problem = comm_hom_problem(5)
+        s = minimize_period_one_to_one(problem)
+        assert s.optimal
+        assert s.solver == "theorem1-binary-search-greedy"
+        assert s.stats["n_feasibility_tests"] >= 1
+
+
+class TestDomainGuards:
+    def test_rejects_heterogeneous_links(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.fully_heterogeneous(
+            [[1.0], [2.0]], {(0, 1): 0.5}
+        )
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        with pytest.raises(SolverError):
+            minimize_period_one_to_one(problem)
+
+    def test_works_on_fully_homogeneous(self):
+        apps = (Application.from_lists([2, 3], [1, 1], input_data_size=1),)
+        platform = Platform.fully_homogeneous(3, [2.0])
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        fast = minimize_period_one_to_one(problem)
+        exact = exact_minimize(problem, Criterion.PERIOD)
+        assert fast.objective == pytest.approx(exact.objective)

@@ -1,0 +1,96 @@
+"""Tests for Algorithm 2 (greedy processor allocation)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro import InfeasibleProblemError
+from repro.algorithms.processor_allocation import allocate_processors
+
+
+def brute_force_allocation(n_apps, n_procs, value):
+    """Optimal max over all distributions (reference)."""
+    best = math.inf
+    for counts in itertools.product(
+        range(1, n_procs + 1), repeat=n_apps
+    ):
+        if sum(counts) > n_procs:
+            continue
+        best = min(best, max(value(a, q) for a, q in enumerate(counts)))
+    return best
+
+
+class TestAllocateProcessors:
+    def test_simple_balancing(self):
+        # Two identical applications, value = 12 / q.
+        result = allocate_processors(2, 6, lambda a, q: 12.0 / q)
+        assert result.counts == (3, 3)
+        assert result.objective == pytest.approx(4.0)
+
+    def test_weighted_imbalance(self):
+        # App 0 is 4x heavier; it should receive more processors.
+        values = {0: 40.0, 1: 10.0}
+        result = allocate_processors(2, 5, lambda a, q: values[a] / q)
+        assert result.counts[0] > result.counts[1]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_brute_force_on_random_tables(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n_apps = int(rng.integers(2, 4))
+        n_procs = int(rng.integers(n_apps, n_apps + 4))
+        # Random non-increasing value tables.
+        tables = []
+        for _ in range(n_apps):
+            steps = np.sort(rng.uniform(0.1, 10, size=n_procs))[::-1]
+            tables.append([float(x) for x in steps])
+
+        def value(a, q):
+            return tables[a][min(q, n_procs) - 1]
+
+        greedy = allocate_processors(n_apps, n_procs, value)
+        exact = brute_force_allocation(n_apps, n_procs, value)
+        assert greedy.objective == pytest.approx(exact)
+
+    def test_infeasible_values_attract_processors(self):
+        # App 0 infeasible until it has 3 processors.
+        def value(a, q):
+            if a == 0:
+                return math.inf if q < 3 else 1.0
+            return 2.0 / q
+
+        result = allocate_processors(2, 4, value)
+        assert result.counts[0] == 3
+        assert math.isfinite(result.objective)
+
+    def test_max_useful_caps(self):
+        calls = []
+
+        def value(a, q):
+            calls.append((a, q))
+            return 10.0 / q
+
+        result = allocate_processors(2, 10, value, max_useful=[2, 2])
+        assert result.counts == (2, 2)
+        assert result.n_processors_used == 4
+
+    def test_history_records_grants(self):
+        result = allocate_processors(2, 5, lambda a, q: 10.0 / q)
+        assert len(result.history) == 3
+        # The running objective is non-increasing.
+        objectives = [o for _, o in result.history]
+        assert all(x >= y for x, y in zip(objectives, objectives[1:]))
+
+    def test_too_few_processors(self):
+        with pytest.raises(InfeasibleProblemError):
+            allocate_processors(3, 2, lambda a, q: 1.0)
+
+    def test_no_apps(self):
+        with pytest.raises(InfeasibleProblemError):
+            allocate_processors(0, 2, lambda a, q: 1.0)
+
+    def test_max_useful_wrong_length(self):
+        with pytest.raises(ValueError):
+            allocate_processors(2, 4, lambda a, q: 1.0, max_useful=[1])

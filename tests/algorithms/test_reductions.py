@@ -1,0 +1,261 @@
+"""Tests for the NP-hardness reductions: the proofs of Theorems 5, 9, 26
+and 27 executed as code, both directions, on solvable and unsolvable
+source instances."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Criterion, InfeasibleProblemError, Thresholds
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.reductions import (
+    LatencyOneToOneReduction,
+    PeriodIntervalReduction,
+    ThreePartitionInstance,
+    TriCriteriaIntervalReduction,
+    TriCriteriaOneToOneReduction,
+    TwoPartitionInstance,
+    random_three_partition_yes_instance,
+    random_two_partition_instance,
+)
+
+
+class TestTwoPartition:
+    def test_yes_instance(self):
+        inst = TwoPartitionInstance(values=(3, 1, 1, 2, 2, 1))
+        subset = inst.solve()
+        assert subset is not None
+        assert inst.check(subset)
+
+    def test_odd_sum_is_no(self):
+        assert TwoPartitionInstance(values=(1, 2)).solve() is None
+
+    def test_structural_no_instance(self):
+        # 8 vs 1+1+1: no balanced split.
+        assert TwoPartitionInstance(values=(8, 1, 1, 1)).solve() is None
+
+    def test_generator_force_yes(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            inst = random_two_partition_instance(rng, 5, force_yes=True)
+            assert inst.is_yes_instance()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            TwoPartitionInstance(values=(0, 1))
+
+
+class TestThreePartition:
+    def test_yes_instance(self):
+        inst = ThreePartitionInstance(values=(26, 33, 41, 30, 30, 40), bound=100)
+        triples = inst.solve()
+        assert triples is not None
+        assert inst.check(triples)
+
+    def test_no_instance(self):
+        # Values obey the bounds and sum to 2B, but no partition exists:
+        # the only multisets from {5, 7} summing to 16 would need a 6.
+        inst = ThreePartitionInstance(
+            values=(5, 5, 5, 5, 5, 7), bound=16
+        )
+        assert inst.solve() is None
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ThreePartitionInstance(values=(10, 45, 45), bound=100)
+        with pytest.raises(ValueError):
+            ThreePartitionInstance(values=(26, 33, 42), bound=100)
+
+    def test_generator_yields_yes_instances(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            inst = random_three_partition_yes_instance(rng, m=3, bound=100)
+            assert inst.is_yes_instance()
+
+
+class TestTheorem5Reduction:
+    """Period / interval / heterogeneous processors / homogeneous pipelines."""
+
+    def test_forward_direction(self):
+        rng = np.random.default_rng(2)
+        source = random_three_partition_yes_instance(rng, m=2, bound=16)
+        red = PeriodIntervalReduction.build(source)
+        triples = source.solve()
+        mapping = red.mapping_from_partition(triples)
+        red.problem.check_mapping(mapping)
+        assert red.forward_value(triples) == pytest.approx(red.target_period)
+
+    def test_backward_direction(self):
+        rng = np.random.default_rng(3)
+        source = random_three_partition_yes_instance(rng, m=2, bound=16)
+        red = PeriodIntervalReduction.build(source)
+        exact = exact_minimize(red.problem, Criterion.PERIOD)
+        assert exact.objective == pytest.approx(red.target_period)
+        triples = red.partition_from_mapping(exact.mapping)
+        assert source.check(triples)
+
+    def test_no_instance_blocks_target(self):
+        source = ThreePartitionInstance(
+            values=(5, 5, 5, 5, 5, 7), bound=16
+        )
+        assert source.solve() is None
+        red = PeriodIntervalReduction.build(source)
+        exact = exact_minimize(red.problem, Criterion.PERIOD)
+        assert exact.objective > red.target_period * (1 + 1e-9)
+
+    def test_weighted_variant_theorem6(self):
+        rng = np.random.default_rng(4)
+        source = random_three_partition_yes_instance(rng, m=2, bound=16)
+        weights = [1.0, 2.5]
+        red = PeriodIntervalReduction.build(source, weights=weights)
+        triples = source.solve()
+        # After the w = 1/W_a rescaling the weighted period is still 1.
+        assert red.forward_value(triples) == pytest.approx(1.0)
+
+    def test_gadget_shape(self):
+        rng = np.random.default_rng(5)
+        source = random_three_partition_yes_instance(rng, m=2, bound=16)
+        red = PeriodIntervalReduction.build(source)
+        assert red.problem.n_apps == source.m
+        assert red.problem.platform.n_processors == 3 * source.m
+        assert all(
+            app.is_homogeneous and not app.has_communication
+            for app in red.problem.apps
+        )
+
+
+class TestTheorem9Reduction:
+    """Latency / one-to-one / heterogeneous processors."""
+
+    def test_forward_direction(self):
+        rng = np.random.default_rng(6)
+        source = random_three_partition_yes_instance(rng, m=2, bound=16)
+        red = LatencyOneToOneReduction.build(source)
+        triples = source.solve()
+        mapping = red.mapping_from_partition(triples)
+        red.problem.check_mapping(mapping)
+        assert red.forward_value(triples) == pytest.approx(red.target_latency)
+
+    def test_backward_direction(self):
+        rng = np.random.default_rng(7)
+        source = random_three_partition_yes_instance(rng, m=2, bound=16)
+        red = LatencyOneToOneReduction.build(source)
+        exact = exact_minimize(red.problem, Criterion.LATENCY)
+        assert exact.objective == pytest.approx(red.target_latency)
+        triples = red.partition_from_mapping(exact.mapping)
+        assert source.check(triples)
+
+    def test_no_instance_blocks_target(self):
+        source = ThreePartitionInstance(values=(5, 5, 5, 5, 5, 7), bound=16)
+        red = LatencyOneToOneReduction.build(source)
+        exact = exact_minimize(red.problem, Criterion.LATENCY)
+        assert exact.objective > red.target_latency * (1 + 1e-9)
+
+    def test_single_application_is_easy(self):
+        # The paper's (*) phenomenon: one application alone reaches the
+        # optimal latency trivially (3 fastest processors).
+        source = ThreePartitionInstance(values=(5, 6, 7), bound=18)
+        red = LatencyOneToOneReduction.build(source)
+        exact = exact_minimize(red.problem, Criterion.LATENCY)
+        assert exact.objective == pytest.approx(18.0)
+
+
+class TestTheorem26Reduction:
+    """Tri-criteria / one-to-one / multi-modal / fully homogeneous."""
+
+    @pytest.mark.parametrize(
+        "values", [(1, 2, 3), (1, 1, 2), (1, 1, 2, 2)]
+    )
+    def test_yes_instances(self, values):
+        source = TwoPartitionInstance(values=values)
+        assert source.is_yes_instance()
+        red = TriCriteriaOneToOneReduction.build(source)
+        subset = source.solve()
+        mapping = red.mapping_from_subset(subset)
+        red.problem.check_mapping(mapping)
+        v = red.problem.evaluate(mapping)
+        assert v.meets(
+            period=red.thresholds.period,
+            latency=red.thresholds.latency,
+            energy=red.thresholds.energy,
+        )
+        # Round-trip the subset.
+        assert red.subset_from_mapping(mapping) == subset
+
+    @pytest.mark.parametrize("values", [(1, 2), (3, 1, 1), (5, 1, 1, 1)])
+    def test_no_instances(self, values):
+        source = TwoPartitionInstance(values=values)
+        assert not source.is_yes_instance()
+        red = TriCriteriaOneToOneReduction.build(source)
+        with pytest.raises(InfeasibleProblemError):
+            exact_minimize(
+                red.problem,
+                Criterion.ENERGY,
+                red.thresholds,
+                fix_max_speed=False,
+            )
+
+    def test_exact_solver_recovers_partition(self):
+        source = TwoPartitionInstance(values=(1, 2, 3))
+        red = TriCriteriaOneToOneReduction.build(source)
+        solution = exact_minimize(
+            red.problem, Criterion.ENERGY, red.thresholds, fix_max_speed=False
+        )
+        subset = red.subset_from_mapping(solution.mapping)
+        assert source.check(subset)
+
+    def test_residual_bounds_hold(self):
+        # The numerically-chosen X must satisfy the proof's residual caps.
+        source = TwoPartitionInstance(values=(1, 2, 3))
+        red = TriCriteriaOneToOneReduction.build(source)
+        n = len(source.values)
+        K, X, alpha = red.scale, red.perturbation, red.alpha
+        for i in range(1, n + 1):
+            a_i = source.values[i - 1]
+            lo = K**i
+            hi = K**i + a_i * X / K ** (i * (alpha - 1))
+            w_i = K ** (i * (alpha + 1))
+            f_energy = (hi**alpha - lo**alpha) - alpha * a_i * X
+            f_latency = a_i * X - (w_i / lo - w_i / hi)
+            assert abs(f_energy) < X * alpha / (2 * n)
+            assert abs(f_latency) < X / (2 * n)
+
+
+class TestTheorem27Reduction:
+    """Tri-criteria / interval / big separator stages."""
+
+    def test_yes_instance(self):
+        source = TwoPartitionInstance(values=(1, 2, 3))
+        red = TriCriteriaIntervalReduction.build(source)
+        subset = source.solve()
+        mapping = red.mapping_from_subset(subset)
+        red.problem.check_mapping(mapping)
+        v = red.problem.evaluate(mapping)
+        assert v.meets(
+            period=red.thresholds.period,
+            latency=red.thresholds.latency,
+            energy=red.thresholds.energy,
+        )
+
+    def test_no_instance(self):
+        source = TwoPartitionInstance(values=(3, 1, 1))
+        red = TriCriteriaIntervalReduction.build(source)
+        with pytest.raises(InfeasibleProblemError):
+            exact_minimize(
+                red.problem,
+                Criterion.ENERGY,
+                red.thresholds,
+                fix_max_speed=False,
+            )
+
+    def test_gadget_shape(self):
+        source = TwoPartitionInstance(values=(1, 2, 3))
+        red = TriCriteriaIntervalReduction.build(source)
+        n = len(source.values)
+        app = red.problem.apps[0]
+        assert app.n_stages == 2 * n - 1
+        assert red.problem.platform.n_processors == 2 * n - 1
+        # Big stages dominate the small ones.
+        assert app.works[1] > app.works[0]
+        assert app.works[1] > app.works[2 * n - 2]

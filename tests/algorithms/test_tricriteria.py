@@ -1,0 +1,183 @@
+"""Tests for the uni-modal tri-criteria solvers (Theorems 23-24)."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    EnergyModel,
+    InfeasibleProblemError,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    SolverError,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_energy_tri,
+    minimize_latency_interval,
+    minimize_latency_tri,
+    minimize_period_interval,
+    minimize_period_tri,
+    tricriteria_one_to_one,
+)
+from repro.algorithms.exact import exact_minimize
+from repro.algorithms.tricriteria import processor_budget_from_energy
+from repro.generators import random_applications, rng_from
+
+EM = EnergyModel(alpha=2.0)
+
+
+def uni_modal_problem(seed, n_apps=2, speed=2.0, e_stat=0.0):
+    rng = rng_from(seed)
+    apps = random_applications(rng, n_apps, stage_range=(2, 3))
+    platform = Platform.fully_homogeneous(
+        5, speeds=[speed], bandwidth=1.5, static_energy=e_stat
+    )
+    return ProblemInstance(
+        apps=apps, platform=platform, energy_model=EM
+    )
+
+
+class TestProcessorBudget:
+    def test_budget_floor(self):
+        problem = uni_modal_problem(0, speed=2.0)
+        # e0 = 4 per processor; budget 13 -> 3 processors.
+        assert processor_budget_from_energy(problem, 13.0) == 3
+        assert processor_budget_from_energy(problem, 4.0) == 1
+
+    def test_budget_clamped_to_p(self):
+        problem = uni_modal_problem(0, speed=1.0)
+        assert processor_budget_from_energy(problem, 1e9) == 5
+
+    def test_no_budget_means_all(self):
+        problem = uni_modal_problem(0)
+        assert processor_budget_from_energy(problem, None) == 5
+
+    def test_static_energy_counts(self):
+        problem = uni_modal_problem(0, speed=2.0, e_stat=1.0)
+        # e0 = 5 per processor.
+        assert processor_budget_from_energy(problem, 12.0) == 2
+
+
+class TestMinimizePeriodTri:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exact(self, seed):
+        problem = uni_modal_problem(seed)
+        lat = minimize_latency_interval(problem).objective
+        e0 = EM.dynamic(2.0)
+        thresholds = Thresholds(latency=lat * 1.5, energy=4 * e0)
+        fast = minimize_period_tri(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.PERIOD, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+        assert fast.values.energy <= 4 * e0 * (1 + 1e-9)
+        assert fast.values.latency <= lat * 1.5 * (1 + 1e-9)
+
+    def test_energy_budget_restricts_processors(self):
+        problem = uni_modal_problem(2)
+        e0 = EM.dynamic(2.0)
+        loose = minimize_period_tri(
+            problem, Thresholds(latency=1e9, energy=5 * e0)
+        )
+        tight = minimize_period_tri(
+            problem, Thresholds(latency=1e9, energy=2 * e0)
+        )
+        assert len(tight.mapping.enrolled_processors) <= 2
+        assert tight.objective >= loose.objective - 1e-12
+
+    def test_budget_below_app_count_infeasible(self):
+        problem = uni_modal_problem(3)
+        with pytest.raises(InfeasibleProblemError):
+            minimize_period_tri(
+                problem, Thresholds(latency=1e9, energy=EM.dynamic(2.0))
+            )
+
+
+class TestMinimizeLatencyTri:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exact(self, seed):
+        problem = uni_modal_problem(seed + 10)
+        base = minimize_period_interval(problem).objective
+        e0 = EM.dynamic(2.0)
+        thresholds = Thresholds(period=base * 1.5, energy=4 * e0)
+        fast = minimize_latency_tri(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.LATENCY, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+
+
+class TestMinimizeEnergyTri:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_exact(self, seed):
+        problem = uni_modal_problem(seed + 20)
+        base_t = minimize_period_interval(problem).objective
+        base_l = minimize_latency_interval(problem).objective
+        thresholds = Thresholds(period=base_t * 1.4, latency=base_l * 1.4)
+        fast = minimize_energy_tri(problem, thresholds)
+        exact = exact_minimize(problem, Criterion.ENERGY, thresholds)
+        assert fast.objective == pytest.approx(exact.objective)
+
+    def test_energy_counts_enrolled_only(self):
+        problem = uni_modal_problem(4)
+        thresholds = Thresholds(period=1e9, latency=1e9)
+        fast = minimize_energy_tri(problem, thresholds)
+        # Loose bounds: one processor per application suffices.
+        assert len(fast.mapping.enrolled_processors) == problem.n_apps
+        assert fast.objective == pytest.approx(
+            problem.n_apps * EM.dynamic(2.0)
+        )
+
+    def test_jointly_unreachable_bounds(self):
+        problem = uni_modal_problem(5)
+        with pytest.raises(InfeasibleProblemError):
+            minimize_energy_tri(
+                problem, Thresholds(period=1e-9, latency=1e-9)
+            )
+
+
+class TestTricriteriaOneToOne:
+    def test_canonical_when_feasible(self):
+        apps = (Application.from_lists([2, 2], [1, 1]),)
+        platform = Platform.fully_homogeneous(2, speeds=[2.0])
+        problem = ProblemInstance(
+            apps=apps,
+            platform=platform,
+            rule=MappingRule.ONE_TO_ONE,
+            energy_model=EM,
+        )
+        solution = tricriteria_one_to_one(
+            problem, Thresholds(period=10, latency=10, energy=10)
+        )
+        assert solution.objective == pytest.approx(8.0)  # 2 procs x 4
+
+    def test_infeasible(self):
+        apps = (Application.from_lists([2, 2], [1, 1]),)
+        platform = Platform.fully_homogeneous(2, speeds=[2.0])
+        problem = ProblemInstance(
+            apps=apps,
+            platform=platform,
+            rule=MappingRule.ONE_TO_ONE,
+            energy_model=EM,
+        )
+        with pytest.raises(InfeasibleProblemError):
+            tricriteria_one_to_one(
+                problem, Thresholds(period=10, latency=10, energy=7.9)
+            )
+
+
+class TestDomainGuards:
+    def test_multi_modal_rejected(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.fully_homogeneous(2, speeds=[1.0, 2.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with pytest.raises(SolverError, match="NP-hard"):
+            minimize_period_tri(problem, Thresholds(latency=10, energy=10))
+
+    def test_heterogeneous_rejected(self):
+        apps = (Application.from_lists([1], [0]),)
+        platform = Platform.comm_homogeneous([[1.0], [2.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        with pytest.raises(SolverError):
+            minimize_latency_tri(problem, Thresholds(period=10, energy=10))

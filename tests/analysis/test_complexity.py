@@ -1,0 +1,74 @@
+"""Tests for the empirical complexity-fitting helpers."""
+
+import time
+
+import pytest
+
+from repro.analysis import fit_power_law, measure_scaling
+
+
+class TestFitPowerLaw:
+    def test_exact_quadratic(self):
+        sizes = [10, 20, 40, 80]
+        times = [s**2 * 1e-6 for s in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_exact_linear_with_coefficient(self):
+        sizes = [1, 2, 4, 8]
+        times = [3.0 * s for s in sizes]
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(1.0)
+        assert fit.coefficient == pytest.approx(3.0)
+
+    def test_noise_tolerated(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        sizes = [2**k for k in range(4, 12)]
+        times = [s**1.5 * float(rng.uniform(0.9, 1.1)) for s in sizes]
+        fit = fit_power_law(sizes, times)
+        assert 1.3 < fit.exponent < 1.7
+
+    def test_insufficient_samples(self):
+        with pytest.raises(ValueError):
+            fit_power_law([10], [1.0])
+
+    def test_non_positive_dropped(self):
+        fit = fit_power_law([1, 2, 4, 0], [1.0, 2.0, 4.0, 0.0])
+        assert fit.exponent == pytest.approx(1.0)
+
+
+class TestMeasureScaling:
+    def test_measures_each_size(self):
+        calls = []
+
+        def make(n):
+            return n
+
+        def solve(n):
+            calls.append(n)
+
+        sizes, times = measure_scaling(make, solve, [1, 2, 3], repeats=2)
+        assert sizes == [1, 2, 3]
+        assert len(times) == 3
+        assert calls == [1, 1, 2, 2, 3, 3]
+        assert all(t >= 0 for t in times)
+
+    def test_detects_growth(self):
+        def make(n):
+            return n
+
+        def solve(n):
+            # Busy loop proportional to n^2.
+            total = 0
+            for i in range(n * n):
+                total += i
+            return total
+
+        sizes, times = measure_scaling(
+            make, solve, [50, 100, 200, 400], repeats=3
+        )
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent > 1.0  # clearly super-linear

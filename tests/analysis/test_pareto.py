@@ -1,0 +1,80 @@
+"""Tests for the Pareto-front analysis tools."""
+
+import pytest
+
+from repro import Criterion, EnergyModel, Thresholds
+from repro.analysis import (
+    pareto_filter,
+    period_energy_front_exact,
+    period_energy_front_heuristic,
+)
+from repro.generators import small_random_problem
+from repro.paper import FIGURE1_EXPECTED, figure1_problem
+
+
+class TestParetoFilter:
+    def test_removes_dominated(self):
+        points = [(1.0, 5.0), (2.0, 2.0), (3.0, 3.0), (5.0, 1.0)]
+        front = pareto_filter(points)
+        assert (3.0, 3.0) not in front
+        assert front == [(1.0, 5.0), (2.0, 2.0), (5.0, 1.0)]
+
+    def test_deduplicates(self):
+        assert pareto_filter([(1.0, 1.0), (1.0, 1.0)]) == [(1.0, 1.0)]
+
+    def test_all_incomparable_kept(self):
+        points = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        assert pareto_filter(points) == points
+
+    def test_three_dimensions(self):
+        points = [(1.0, 1.0, 5.0), (1.0, 1.0, 4.0), (2.0, 0.5, 6.0)]
+        front = pareto_filter(points)
+        assert (1.0, 1.0, 5.0) not in front
+        assert len(front) == 2
+
+    def test_empty(self):
+        assert pareto_filter([]) == []
+
+
+class TestFigure1Front:
+    def test_front_contains_paper_trade_off_points(self):
+        """The Section 2 worked example is three points of the exact
+        period/energy Pareto front of the Figure 1 instance."""
+        problem = figure1_problem()
+        front = period_energy_front_exact(problem)
+        as_dict = {t: e for t, e in front}
+        # Period 1 at energy 136 (Equation (1) mapping).
+        assert as_dict.get(FIGURE1_EXPECTED["optimal_period"]) == pytest.approx(
+            FIGURE1_EXPECTED["optimal_period_energy"]
+        )
+        # Period 2 at energy 46 (the paper's compromise).
+        assert as_dict.get(
+            FIGURE1_EXPECTED["compromise_period"]
+        ) == pytest.approx(FIGURE1_EXPECTED["compromise_energy"])
+        # Period 14 at the global energy floor 10.
+        assert min(e for _, e in front) == pytest.approx(
+            FIGURE1_EXPECTED["min_energy"]
+        )
+
+    def test_front_is_monotone(self):
+        problem = figure1_problem()
+        front = period_energy_front_exact(problem)
+        # Sorted by period, energies must strictly decrease.
+        energies = [e for _, e in front]
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+
+class TestHeuristicFront:
+    def test_heuristic_front_dominated_by_exact(self):
+        problem = small_random_problem(4, n_modes=2, stage_range=(1, 3))
+        from repro.algorithms import minimize_period_interval
+
+        start = minimize_period_interval(problem)
+        heur = period_energy_front_heuristic(problem, start, n_points=8)
+        exact = period_energy_front_exact(problem)
+        # Every heuristic point is weakly dominated by some exact point.
+        for t_h, e_h in heur:
+            assert any(
+                t_e <= t_h * (1 + 1e-9) and e_e <= e_h * (1 + 1e-9)
+                for t_e, e_e in exact
+            )

@@ -1,0 +1,110 @@
+"""Tests for the max-stretch workflow (Section 3.4 / Theorems 7, 11)."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    Criterion,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+)
+from repro.algorithms import minimize_period_interval
+from repro.algorithms.exact import exact_minimize
+from repro.analysis import solo_optima, solo_optimum, stretch_problem
+from repro.generators import random_applications, rng_from
+
+
+@pytest.fixture
+def hom_problem():
+    rng = rng_from(4)
+    apps = random_applications(rng, 2, stage_range=(2, 3))
+    platform = Platform.fully_homogeneous(5, speeds=[2.0], bandwidth=1.5)
+    return ProblemInstance(apps=apps, platform=platform)
+
+
+class TestSoloOptima:
+    def test_solo_period_matches_single_app_solve(self, hom_problem):
+        for a in range(hom_problem.n_apps):
+            solo = ProblemInstance(
+                apps=(hom_problem.apps[a],),
+                platform=hom_problem.platform,
+            )
+            expected = exact_minimize(solo, Criterion.PERIOD).objective
+            got = solo_optimum(hom_problem, a, Criterion.PERIOD)
+            # Solo optimum is unweighted even if the app carries a weight.
+            assert got == pytest.approx(expected / hom_problem.apps[a].weight)
+
+    def test_solo_latency(self, hom_problem):
+        values = solo_optima(hom_problem, Criterion.LATENCY)
+        assert len(values) == 2
+        assert all(math.isfinite(v) and v > 0 for v in values)
+
+    def test_energy_rejected(self, hom_problem):
+        from repro import SolverError
+
+        with pytest.raises(SolverError):
+            solo_optimum(hom_problem, 0, Criterion.ENERGY)
+
+    def test_works_on_heterogeneous_platform(self):
+        rng = rng_from(9)
+        apps = random_applications(rng, 2, stage_range=(1, 2))
+        platform = Platform.comm_homogeneous([[1.0], [3.0], [2.0]])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        values = solo_optima(problem, Criterion.LATENCY)
+        assert all(math.isfinite(v) for v in values)
+
+    def test_one_to_one_rule(self):
+        rng = rng_from(10)
+        apps = random_applications(rng, 2, stage_range=(1, 2))
+        total = sum(a.n_stages for a in apps)
+        platform = Platform.comm_homogeneous(
+            [[float(rng.uniform(1, 3))] for _ in range(total + 1)]
+        )
+        problem = ProblemInstance(
+            apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+        )
+        values = solo_optima(problem, Criterion.PERIOD)
+        assert all(math.isfinite(v) for v in values)
+
+
+class TestStretchProblem:
+    def test_weights_are_inverse_optima(self, hom_problem):
+        stretched, optima = stretch_problem(hom_problem, Criterion.PERIOD)
+        for app, opt in zip(stretched.apps, optima):
+            assert app.weight == pytest.approx(1.0 / opt)
+
+    def test_stretch_at_least_one(self, hom_problem):
+        """Concurrent execution can never beat solo execution, so the
+        optimal max-stretch is >= 1."""
+        stretched, _ = stretch_problem(hom_problem, Criterion.PERIOD)
+        solution = minimize_period_interval(stretched)
+        assert solution.objective >= 1.0 - 1e-9
+
+    def test_stretch_objective_interpretation(self, hom_problem):
+        """The weighted objective equals max_a T_a / T*_a."""
+        stretched, optima = stretch_problem(hom_problem, Criterion.PERIOD)
+        solution = minimize_period_interval(stretched)
+        manual = max(
+            solution.values.periods[a] / optima[a]
+            for a in range(stretched.n_apps)
+        )
+        assert solution.objective == pytest.approx(manual)
+
+    def test_identical_apps_get_equal_stretch(self):
+        """Symmetric instance: both identical applications should see the
+        same slowdown under the stretch objective (Theorem 7's setting)."""
+        apps = (
+            Application.homogeneous(4, work=2.0),
+            Application.homogeneous(4, work=2.0),
+        )
+        platform = Platform.fully_homogeneous(4, speeds=[1.0])
+        problem = ProblemInstance(apps=apps, platform=platform)
+        stretched, optima = stretch_problem(problem, Criterion.PERIOD)
+        assert optima[0] == pytest.approx(optima[1])
+        solution = minimize_period_interval(stretched)
+        s0 = solution.values.periods[0] / optima[0]
+        s1 = solution.values.periods[1] / optima[1]
+        assert s0 == pytest.approx(s1)

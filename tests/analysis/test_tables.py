@@ -1,0 +1,26 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.analysis import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "bbb"], [[1, 2.0], ["xx", 3.14159]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a ")
+        assert "-+-" in lines[1]
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[3.141592653589793]])
+        assert "3.142" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["h1", "h2"], [])
+        assert "h1" in out and "h2" in out

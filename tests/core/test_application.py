@@ -1,0 +1,177 @@
+"""Unit tests for the applicative framework (Section 3.1)."""
+
+import pytest
+
+from repro import Application, InvalidApplicationError, Stage
+from repro.core.application import total_stages, validate_applications
+
+
+class TestStage:
+    def test_fields(self):
+        s = Stage(work=3.0, output_size=2.0)
+        assert s.work == 3.0
+        assert s.output_size == 2.0
+
+    def test_zero_work_allowed(self):
+        # A pure-forwarding stage is legal in the model.
+        assert Stage(work=0.0, output_size=1.0).work == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(work=-1.0, output_size=0.0)
+
+    def test_negative_output_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Stage(work=1.0, output_size=-0.5)
+
+
+class TestApplicationConstruction:
+    def test_from_lists(self):
+        app = Application.from_lists([1, 2, 3], [4, 5, 6], input_data_size=7)
+        assert app.n_stages == 3
+        assert app.works == (1, 2, 3)
+        assert app.output_sizes == (4, 5, 6)
+        assert app.input_data_size == 7
+
+    def test_from_lists_length_mismatch(self):
+        with pytest.raises(InvalidApplicationError):
+            Application.from_lists([1, 2], [3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Application(stages=())
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Application.from_lists([1], [0], weight=0.0)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(InvalidApplicationError):
+            Application.from_lists([1], [0], input_data_size=-1)
+
+    def test_homogeneous_builder(self):
+        app = Application.homogeneous(4, work=2.0)
+        assert app.n_stages == 4
+        assert app.is_homogeneous
+        assert not app.has_communication
+        assert app.total_work == 8.0
+
+    def test_homogeneous_rejects_zero_stages(self):
+        with pytest.raises(InvalidApplicationError):
+            Application.homogeneous(0)
+
+    def test_stages_coerced_to_tuple(self):
+        app = Application(stages=[Stage(1.0, 0.0)])
+        assert isinstance(app.stages, tuple)
+
+
+class TestApplicationAccessors:
+    @pytest.fixture
+    def app(self):
+        return Application.from_lists(
+            [3, 2, 1, 5], [10, 20, 30, 40], input_data_size=5
+        )
+
+    def test_total_work(self, app):
+        assert app.total_work == 11
+
+    def test_work_sum_prefix(self, app):
+        assert app.work_sum(0, 3) == 11
+        assert app.work_sum(1, 2) == 3
+        assert app.work_sum(2, 2) == 1
+
+    def test_work_sum_matches_naive(self, app):
+        for lo in range(4):
+            for hi in range(lo, 4):
+                naive = sum(app.works[lo : hi + 1])
+                assert app.work_sum(lo, hi) == pytest.approx(naive)
+
+    def test_work_sum_invalid_interval(self, app):
+        with pytest.raises(InvalidApplicationError):
+            app.work_sum(2, 1)
+        with pytest.raises(InvalidApplicationError):
+            app.work_sum(0, 4)
+
+    def test_input_size_chain(self, app):
+        # delta_0 = input; delta_i = output of stage i-1.
+        assert app.input_size(0) == 5
+        assert app.input_size(1) == 10
+        assert app.input_size(3) == 30
+
+    def test_output_size(self, app):
+        assert app.output_size(0) == 10
+        assert app.output_size(3) == 40
+
+    def test_input_size_out_of_range(self, app):
+        with pytest.raises(InvalidApplicationError):
+            app.input_size(4)
+        with pytest.raises(InvalidApplicationError):
+            app.input_size(-1)
+
+    def test_interval_io_sizes(self, app):
+        assert app.interval_input_size((0, 2)) == 5
+        assert app.interval_input_size((1, 3)) == 10
+        assert app.interval_output_size((0, 2)) == 30
+        assert app.interval_output_size((1, 3)) == 40
+
+    def test_has_communication(self):
+        silent = Application.from_lists([1, 1], [0, 0])
+        assert not silent.has_communication
+        assert Application.from_lists([1], [1]).has_communication
+        assert Application.from_lists(
+            [1], [0], input_data_size=1
+        ).has_communication
+
+
+class TestIntervalPartitions:
+    def test_count_is_two_to_n_minus_one(self):
+        app = Application.homogeneous(5)
+        partitions = list(app.iter_interval_partitions())
+        assert len(partitions) == 2 ** (5 - 1)
+
+    def test_partitions_are_valid(self):
+        app = Application.homogeneous(4)
+        for partition in app.iter_interval_partitions():
+            # Consecutive, covering, ordered intervals.
+            assert partition[0][0] == 0
+            assert partition[-1][1] == 3
+            for (lo1, hi1), (lo2, hi2) in zip(partition, partition[1:]):
+                assert lo2 == hi1 + 1
+                assert lo1 <= hi1 and lo2 <= hi2
+
+    def test_partitions_unique(self):
+        app = Application.homogeneous(5)
+        partitions = list(app.iter_interval_partitions())
+        assert len(set(partitions)) == len(partitions)
+
+    def test_partitions_into_m(self):
+        from math import comb
+
+        app = Application.homogeneous(6)
+        for m in range(1, 7):
+            parts = list(app.interval_partitions_into(m))
+            assert len(parts) == comb(5, m - 1)
+            assert all(len(p) == m for p in parts)
+
+    def test_partitions_into_invalid_m(self):
+        app = Application.homogeneous(3)
+        assert list(app.interval_partitions_into(0)) == []
+        assert list(app.interval_partitions_into(4)) == []
+
+    def test_single_stage(self):
+        app = Application.homogeneous(1)
+        assert list(app.iter_interval_partitions()) == [((0, 0),)]
+
+
+class TestHelpers:
+    def test_total_stages(self):
+        apps = [Application.homogeneous(2), Application.homogeneous(5)]
+        assert total_stages(apps) == 7
+
+    def test_validate_applications_empty(self):
+        with pytest.raises(InvalidApplicationError):
+            validate_applications([])
+
+    def test_validate_applications_passthrough(self):
+        apps = [Application.homogeneous(2)]
+        assert validate_applications(apps) == apps

@@ -1,0 +1,46 @@
+"""Unit tests for the energy model (Section 3.5)."""
+
+import math
+
+import pytest
+
+from repro import EnergyModel, InvalidPlatformError, Processor
+
+
+class TestEnergyModel:
+    def test_alpha_must_exceed_one(self):
+        with pytest.raises(InvalidPlatformError):
+            EnergyModel(alpha=1.0)
+        with pytest.raises(InvalidPlatformError):
+            EnergyModel(alpha=0.5)
+
+    def test_dynamic_square(self):
+        em = EnergyModel(alpha=2.0)
+        assert em.dynamic(3.0) == 9.0
+
+    def test_dynamic_arbitrary_alpha(self):
+        em = EnergyModel(alpha=2.5)
+        assert em.dynamic(4.0) == pytest.approx(4.0**2.5)
+
+    def test_dynamic_rejects_negative_speed(self):
+        with pytest.raises(InvalidPlatformError):
+            EnergyModel().dynamic(-1.0)
+
+    def test_processor_energy_includes_static(self):
+        em = EnergyModel(alpha=2.0)
+        p = Processor(speeds=(2.0,), static_energy=5.0)
+        assert em.processor_energy(p, 2.0) == 9.0
+
+    def test_faster_is_less_efficient(self):
+        # Energy per unit of work s^alpha / s = s^(alpha-1) grows with s.
+        em = EnergyModel(alpha=2.0)
+        slow, fast = 1.0, 4.0
+        assert em.dynamic(fast) / fast > em.dynamic(slow) / slow
+
+    def test_cheapest_feasible_energy(self):
+        em = EnergyModel(alpha=2.0)
+        p = Processor(speeds=(1.0, 2.0, 4.0), static_energy=1.0)
+        # Slowest mode >= 1.5 is 2.0.
+        assert em.cheapest_feasible_energy(p, 1.5) == 5.0
+        assert em.cheapest_feasible_energy(p, 0.1) == 2.0
+        assert em.cheapest_feasible_energy(p, 8.0) == math.inf

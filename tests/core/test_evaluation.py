@@ -1,0 +1,224 @@
+"""Unit tests for the cost model: Equations (3), (4), (5), (6) and the
+energy of Section 3.5 -- including the paper's worked numbers."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    Assignment,
+    CommunicationModel,
+    EnergyModel,
+    Mapping,
+    Platform,
+    evaluate,
+    global_latency,
+    global_period,
+    platform_energy,
+)
+from repro.core.evaluation import (
+    application_latency,
+    application_period,
+    interval_costs,
+    interval_cycle_time,
+    stage_cycle_time,
+    whole_app_latency_on_processor,
+)
+from repro.paper import (
+    FIGURE1_EXPECTED,
+    figure1_applications,
+    figure1_platform,
+    mapping_compromise_energy_46,
+    mapping_min_energy,
+    mapping_optimal_latency,
+    mapping_optimal_period,
+)
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+class TestFigure1Numbers:
+    """The Section 2 worked example, number for number."""
+
+    @pytest.fixture
+    def setting(self):
+        return figure1_applications(), figure1_platform()
+
+    def test_equation_1_period(self, setting):
+        apps, platform = setting
+        v = evaluate(apps, platform, mapping_optimal_period())
+        assert v.period == pytest.approx(FIGURE1_EXPECTED["optimal_period"])
+        assert v.energy == pytest.approx(
+            FIGURE1_EXPECTED["optimal_period_energy"]
+        )
+
+    def test_equation_1_per_processor_cycles_all_one(self, setting):
+        # "the cycle-time of each processor is exactly 1".
+        apps, platform = setting
+        costs = interval_costs(apps, platform, mapping_optimal_period())
+        for c in costs:
+            assert c.cycle_time(OVERLAP) == pytest.approx(1.0)
+
+    def test_equation_2_latency(self, setting):
+        apps, platform = setting
+        v = evaluate(apps, platform, mapping_optimal_latency())
+        assert v.latency == pytest.approx(FIGURE1_EXPECTED["optimal_latency"])
+
+    def test_min_energy_mapping(self, setting):
+        apps, platform = setting
+        v = evaluate(apps, platform, mapping_min_energy())
+        assert v.energy == pytest.approx(FIGURE1_EXPECTED["min_energy"])
+        assert v.period == pytest.approx(FIGURE1_EXPECTED["min_energy_period"])
+
+    def test_compromise_mapping(self, setting):
+        apps, platform = setting
+        v = evaluate(apps, platform, mapping_compromise_energy_46())
+        assert v.period == pytest.approx(FIGURE1_EXPECTED["compromise_period"])
+        assert v.energy == pytest.approx(FIGURE1_EXPECTED["compromise_energy"])
+
+
+class TestPeriodFormulas:
+    @pytest.fixture
+    def app(self):
+        return Application.from_lists([4, 6], [2, 8], input_data_size=3)
+
+    @pytest.fixture
+    def platform(self):
+        return Platform.fully_homogeneous(3, speeds=[2.0], bandwidth=1.0)
+
+    def test_single_interval_overlap(self, app, platform):
+        m = Mapping.single_app([((0, 1), 0, 2.0)])
+        # max(3/1, 10/2, 8/1) = 8
+        assert application_period([app], platform, m, 0, OVERLAP) == 8.0
+
+    def test_single_interval_no_overlap(self, app, platform):
+        m = Mapping.single_app([((0, 1), 0, 2.0)])
+        # 3 + 5 + 8 = 16
+        assert application_period([app], platform, m, 0, NO_OVERLAP) == 16.0
+
+    def test_split_intervals_overlap(self, app, platform):
+        m = Mapping.single_app([((0, 0), 0, 2.0), ((1, 1), 1, 2.0)])
+        # P0: max(3, 2, 2) = 3 ; P1: max(2, 3, 8) = 8.
+        assert application_period([app], platform, m, 0, OVERLAP) == 8.0
+
+    def test_split_intervals_no_overlap(self, app, platform):
+        m = Mapping.single_app([((0, 0), 0, 2.0), ((1, 1), 1, 2.0)])
+        # P0: 3 + 2 + 2 = 7 ; P1: 2 + 3 + 8 = 13.
+        assert application_period([app], platform, m, 0, NO_OVERLAP) == 13.0
+
+    def test_no_overlap_never_below_overlap(self, app, platform):
+        for m in (
+            Mapping.single_app([((0, 1), 0, 2.0)]),
+            Mapping.single_app([((0, 0), 0, 2.0), ((1, 1), 1, 2.0)]),
+        ):
+            t_o = application_period([app], platform, m, 0, OVERLAP)
+            t_n = application_period([app], platform, m, 0, NO_OVERLAP)
+            assert t_n >= t_o
+
+
+class TestLatencyFormula:
+    def test_latency_model_independent(self):
+        app = Application.from_lists([4, 6], [2, 8], input_data_size=3)
+        platform = Platform.fully_homogeneous(3, speeds=[2.0])
+        m = Mapping.single_app([((0, 0), 0, 2.0), ((1, 1), 1, 2.0)])
+        lat = application_latency([app], platform, m, 0)
+        # 3/1 + 4/2 + 2/1 + 6/2 + 8/1 = 3+2+2+3+8 = 18
+        assert lat == 18.0
+
+    def test_latency_counts_each_communication_once(self):
+        app = Application.from_lists([1, 1, 1], [5, 5, 5], input_data_size=5)
+        platform = Platform.fully_homogeneous(4, speeds=[1.0], bandwidth=5.0)
+        whole = Mapping.single_app([((0, 2), 0, 1.0)])
+        split = Mapping.single_app(
+            [((0, 0), 0, 1.0), ((1, 1), 1, 1.0), ((2, 2), 2, 1.0)]
+        )
+        # whole: 1 + 3 + 1 = 5 ; split adds two extra unit comms.
+        assert application_latency([app], platform, whole, 0) == 5.0
+        assert application_latency([app], platform, split, 0) == 7.0
+
+    def test_whole_app_helper_agrees(self):
+        app = Application.from_lists([4, 6], [2, 8], input_data_size=3)
+        platform = Platform.fully_homogeneous(1, speeds=[2.0], bandwidth=2.0)
+        m = Mapping.single_app([((0, 1), 0, 2.0)])
+        assert whole_app_latency_on_processor(
+            app, 2.0, 2.0, 2.0
+        ) == pytest.approx(application_latency([app], platform, m, 0))
+
+
+class TestWeightedObjectives:
+    def test_global_period_weighted(self):
+        apps = (
+            Application.from_lists([2], [0], weight=1.0),
+            Application.from_lists([2], [0], weight=10.0),
+        )
+        platform = Platform.fully_homogeneous(2, speeds=[1.0])
+        m = Mapping.from_assignments(
+            [
+                Assignment(app=0, interval=(0, 0), proc=0, speed=1.0),
+                Assignment(app=1, interval=(0, 0), proc=1, speed=1.0),
+            ]
+        )
+        # Both unweighted periods are 2; weights make app 1 dominate.
+        assert global_period(apps, platform, m) == 20.0
+        assert global_latency(apps, platform, m) == 20.0
+        v = evaluate(apps, platform, m)
+        assert v.periods == {0: 2.0, 1: 2.0}
+        assert v.period == 20.0
+
+
+class TestEnergy:
+    def test_energy_sums_enrolled_processors(self):
+        platform = Platform.fully_homogeneous(
+            3, speeds=[2.0, 3.0], static_energy=1.0
+        )
+        m = Mapping.from_assignments(
+            [
+                Assignment(app=0, interval=(0, 0), proc=0, speed=2.0),
+                Assignment(app=0, interval=(1, 1), proc=2, speed=3.0),
+            ]
+        )
+        # (1 + 4) + (1 + 9); processor 1 is not enrolled.
+        assert platform_energy(platform, m) == 15.0
+
+    def test_energy_exponent(self):
+        platform = Platform.fully_homogeneous(1, speeds=[2.0])
+        m = Mapping.single_app([((0, 0), 0, 2.0)])
+        e3 = platform_energy(platform, m, EnergyModel(alpha=3.0))
+        assert e3 == pytest.approx(8.0)
+
+    def test_meets_thresholds(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        v = evaluate(apps, platform, mapping_compromise_energy_46())
+        assert v.meets(period=2.0, energy=46.0)
+        assert v.meets(period=2.0 * (1 + 1e-12))  # tolerance absorbs round-off
+        assert not v.meets(period=1.9)
+        assert not v.meets(energy=45.0)
+        assert v.meets()  # no bounds
+
+
+class TestCostHelpers:
+    def test_stage_cycle_time(self):
+        app = Application.from_lists([6], [4], input_data_size=2)
+        assert stage_cycle_time(app, 0, 3.0, 2.0, OVERLAP) == 2.0
+        assert stage_cycle_time(app, 0, 3.0, 2.0, NO_OVERLAP) == pytest.approx(
+            1.0 + 2.0 + 2.0
+        )
+
+    def test_interval_cycle_time_distinct_bandwidths(self):
+        app = Application.from_lists([2, 2], [4, 8], input_data_size=2)
+        t = interval_cycle_time(app, (0, 1), 1.0, 2.0, 4.0, OVERLAP)
+        # max(2/2, 4/1, 8/4) = 4
+        assert t == 4.0
+
+    def test_interval_costs_structure(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        costs = interval_costs(apps, platform, mapping_optimal_period())
+        assert len(costs) == 3
+        by_app = {}
+        for c in costs:
+            by_app.setdefault(c.app, []).append(c)
+        assert len(by_app[0]) == 1 and len(by_app[1]) == 2

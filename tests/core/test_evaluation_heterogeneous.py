@@ -1,0 +1,130 @@
+"""Hand-computed evaluation checks on *fully heterogeneous* platforms: the
+formulas must pick the right link bandwidth for every communication
+(processor pair, per-application virtual input/output links)."""
+
+import pytest
+
+from repro import (
+    Application,
+    Assignment,
+    CommunicationModel,
+    Mapping,
+    Platform,
+    evaluate,
+)
+from repro.core.evaluation import application_latency, application_period
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+@pytest.fixture
+def het_setting():
+    """One 3-stage app split across processors 0 -> 2 -> 1 with distinct
+    bandwidths everywhere.
+
+    Data sizes: in 6, between stages 4 and 10, out 8.
+    Works: 12, 6, 9.  Speeds: P0=2, P1=3, P2=1 (uni-modal).
+    Links: (0,1)=4, (0,2)=2, (1,2)=5; Pin->P0 = 3; P1->Pout = 2.
+    """
+    app = Application.from_lists(
+        works=[12, 6, 9], output_sizes=[4, 10, 8], input_data_size=6
+    )
+    platform = Platform.fully_heterogeneous(
+        [[2.0], [3.0], [1.0]],
+        {(0, 1): 4.0, (0, 2): 2.0, (1, 2): 5.0},
+        default_bandwidth=1.0,
+        in_links={(0, 0): 3.0},
+        out_links={(0, 1): 2.0},
+    )
+    mapping = Mapping.from_assignments(
+        [
+            Assignment(app=0, interval=(0, 0), proc=0, speed=2.0),
+            Assignment(app=0, interval=(1, 1), proc=2, speed=1.0),
+            Assignment(app=0, interval=(2, 2), proc=1, speed=3.0),
+        ]
+    )
+    return app, platform, mapping
+
+
+class TestHeterogeneousPeriod:
+    def test_overlap_by_hand(self, het_setting):
+        app, platform, mapping = het_setting
+        # P0: in 6/3=2, comp 12/2=6, out 4/2=2        -> 6
+        # P2: in 4/2=2, comp 6/1=6, out 10/5=2        -> 6
+        # P1: in 10/5=2, comp 9/3=3, out 8/2=4        -> 4
+        t = application_period([app], platform, mapping, 0, OVERLAP)
+        assert t == pytest.approx(6.0)
+
+    def test_no_overlap_by_hand(self, het_setting):
+        app, platform, mapping = het_setting
+        # P0: 2+6+2=10 ; P2: 2+6+2=10 ; P1: 2+3+4=9.
+        t = application_period([app], platform, mapping, 0, NO_OVERLAP)
+        assert t == pytest.approx(10.0)
+
+    def test_latency_by_hand(self, het_setting):
+        app, platform, mapping = het_setting
+        # 6/3 + 12/2 + 4/2 + 6/1 + 10/5 + 9/3 + 8/2 = 2+6+2+6+2+3+4 = 25.
+        l = application_latency([app], platform, mapping, 0)
+        assert l == pytest.approx(25.0)
+
+    def test_simulator_agrees(self, het_setting):
+        from repro.simulation import simulate
+
+        app, platform, mapping = het_setting
+        for model in (OVERLAP, NO_OVERLAP):
+            result = simulate([app], platform, mapping, 200, model=model)
+            assert result.measured_period(0) == pytest.approx(
+                application_period([app], platform, mapping, 0, model)
+            )
+            assert result.measured_latency(0) == pytest.approx(25.0)
+
+
+class TestLinkSelection:
+    def test_swapping_processors_changes_period(self, het_setting):
+        """Placing the middle interval on P1 instead of P2 changes which
+        links are used; the evaluator must notice."""
+        app, platform, _ = het_setting
+        alt = Mapping.from_assignments(
+            [
+                Assignment(app=0, interval=(0, 0), proc=0, speed=2.0),
+                Assignment(app=0, interval=(1, 1), proc=1, speed=3.0),
+                Assignment(app=0, interval=(2, 2), proc=2, speed=1.0),
+            ]
+        )
+        # P1's out link to P2 has bandwidth 5; P2's out to Pout falls back
+        # to the default bandwidth 1 -> out time 8.
+        t = application_period([app], platform, alt, 0, OVERLAP)
+        # P2: in 10/5=2, comp 9/1=9, out 8/1=8 -> 9 dominates.
+        assert t == pytest.approx(9.0)
+
+    def test_default_bandwidth_fallback(self):
+        app = Application.from_lists([1], [2], input_data_size=2)
+        platform = Platform.fully_heterogeneous(
+            [[1.0], [1.0]], {(0, 1): 10.0}, default_bandwidth=0.5
+        )
+        mapping = Mapping.single_app([((0, 0), 0, 1.0)])
+        # Pin and Pout links are unspecified: default 0.5 -> 4 time units.
+        t = application_period([app], platform, mapping, 0, OVERLAP)
+        assert t == pytest.approx(4.0)
+
+    def test_per_app_bandwidth_used_between_stages(self):
+        apps = (
+            Application.from_lists([1, 1], [6, 0]),
+            Application.from_lists([1, 1], [6, 0]),
+        )
+        platform = Platform.comm_homogeneous(
+            [[1.0]] * 4, bandwidth=1.0, app_bandwidths={1: 3.0}
+        )
+        m = Mapping.from_assignments(
+            [
+                Assignment(app=0, interval=(0, 0), proc=0, speed=1.0),
+                Assignment(app=0, interval=(1, 1), proc=1, speed=1.0),
+                Assignment(app=1, interval=(0, 0), proc=2, speed=1.0),
+                Assignment(app=1, interval=(1, 1), proc=3, speed=1.0),
+            ]
+        )
+        v = evaluate(apps, platform, m)
+        # App 0 pays 6/1 on its inter-stage link, app 1 pays 6/3.
+        assert v.periods[0] == pytest.approx(6.0)
+        assert v.periods[1] == pytest.approx(2.0)

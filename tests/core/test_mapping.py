@@ -1,0 +1,189 @@
+"""Unit tests for mappings and their validation rules (Section 3.3)."""
+
+import pytest
+
+from repro import (
+    Application,
+    Assignment,
+    InvalidMappingError,
+    Mapping,
+    MappingRule,
+    Platform,
+)
+from repro.core.mapping import run_at_max_speed, run_at_min_speed
+
+
+@pytest.fixture
+def apps():
+    return (
+        Application.from_lists([1, 2, 3], [1, 1, 1]),
+        Application.from_lists([4, 5], [1, 1]),
+    )
+
+
+@pytest.fixture
+def platform():
+    return Platform.fully_homogeneous(6, speeds=[1.0, 2.0])
+
+
+def make_mapping(*triples):
+    return Mapping.from_assignments(
+        Assignment(app=a, interval=iv, proc=u, speed=s)
+        for a, iv, u, s in triples
+    )
+
+
+class TestAssignment:
+    def test_n_stages(self):
+        a = Assignment(app=0, interval=(1, 3), proc=0, speed=1.0)
+        assert a.n_stages == 3
+
+    def test_invalid_interval(self):
+        with pytest.raises(InvalidMappingError):
+            Assignment(app=0, interval=(2, 1), proc=0, speed=1.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(InvalidMappingError):
+            Assignment(app=0, interval=(0, 0), proc=0, speed=0.0)
+
+    def test_negative_indices(self):
+        with pytest.raises(InvalidMappingError):
+            Assignment(app=-1, interval=(0, 0), proc=0, speed=1.0)
+        with pytest.raises(InvalidMappingError):
+            Assignment(app=0, interval=(0, 0), proc=-2, speed=1.0)
+
+
+class TestMappingBasics:
+    def test_canonical_ordering(self):
+        m = make_mapping(
+            (1, (0, 1), 3, 1.0),
+            (0, (1, 2), 1, 1.0),
+            (0, (0, 0), 0, 1.0),
+        )
+        keys = [(a.app, a.interval[0]) for a in m.assignments]
+        assert keys == sorted(keys)
+
+    def test_enrolled_and_applications(self):
+        m = make_mapping((0, (0, 2), 4, 1.0), (1, (0, 1), 2, 1.0))
+        assert m.enrolled_processors == (2, 4)
+        assert m.applications == (0, 1)
+        assert len(m) == 2
+
+    def test_processor_of_stage(self):
+        m = make_mapping((0, (0, 1), 4, 1.0), (0, (2, 2), 2, 1.0))
+        assert m.processor_of_stage(0, 0) == 4
+        assert m.processor_of_stage(0, 1) == 4
+        assert m.processor_of_stage(0, 2) == 2
+        with pytest.raises(InvalidMappingError):
+            m.processor_of_stage(0, 3)
+
+    def test_speed_of_proc(self):
+        m = make_mapping((0, (0, 2), 1, 2.0))
+        assert m.speed_of_proc(1) == 2.0
+        with pytest.raises(InvalidMappingError):
+            m.speed_of_proc(0)
+
+    def test_with_speeds(self):
+        m = make_mapping((0, (0, 2), 1, 2.0), (1, (0, 1), 3, 2.0))
+        m2 = m.with_speeds({1: 1.0})
+        assert m2.speed_of_proc(1) == 1.0
+        assert m2.speed_of_proc(3) == 2.0
+
+    def test_is_one_to_one(self):
+        assert make_mapping((0, (0, 0), 0, 1.0), (0, (1, 1), 1, 1.0)).is_one_to_one()
+        assert not make_mapping((0, (0, 1), 0, 1.0)).is_one_to_one()
+
+    def test_one_to_one_builder(self, platform):
+        m = Mapping.one_to_one(
+            {(0, 0): 2, (0, 1): 5}, platform=platform
+        )
+        assert m.processor_of_stage(0, 0) == 2
+        assert m.speed_of_proc(2) == 2.0  # defaults to max speed
+
+    def test_one_to_one_builder_requires_speeds_or_platform(self):
+        with pytest.raises(InvalidMappingError):
+            Mapping.one_to_one({(0, 0): 1})
+
+
+class TestValidation:
+    def test_valid_interval_mapping(self, apps, platform):
+        m = make_mapping(
+            (0, (0, 1), 0, 2.0),
+            (0, (2, 2), 1, 1.0),
+            (1, (0, 1), 2, 2.0),
+        )
+        m.validate(apps, platform)  # must not raise
+        assert m.is_valid(apps, platform)
+
+    def test_empty_mapping(self, apps, platform):
+        with pytest.raises(InvalidMappingError):
+            Mapping.from_assignments([]).validate(apps, platform)
+
+    def test_missing_application(self, apps, platform):
+        m = make_mapping((0, (0, 2), 0, 1.0))
+        with pytest.raises(InvalidMappingError, match="application 1"):
+            m.validate(apps, platform)
+
+    def test_uncovered_stages(self, apps, platform):
+        m = make_mapping((0, (0, 1), 0, 1.0), (1, (0, 1), 1, 1.0))
+        with pytest.raises(InvalidMappingError, match="not mapped"):
+            m.validate(apps, platform)
+
+    def test_gap_between_intervals(self, apps, platform):
+        m = make_mapping(
+            (0, (0, 0), 0, 1.0),
+            (0, (2, 2), 1, 1.0),
+            (1, (0, 1), 2, 1.0),
+        )
+        with pytest.raises(InvalidMappingError, match="consecutive"):
+            m.validate(apps, platform)
+
+    def test_processor_reuse_within_app(self, apps, platform):
+        m = make_mapping(
+            (0, (0, 1), 0, 1.0),
+            (0, (2, 2), 0, 1.0),
+            (1, (0, 1), 1, 1.0),
+        )
+        with pytest.raises(InvalidMappingError, match="twice"):
+            m.validate(apps, platform)
+
+    def test_processor_reuse_across_apps(self, apps, platform):
+        m = make_mapping((0, (0, 2), 3, 1.0), (1, (0, 1), 3, 1.0))
+        with pytest.raises(InvalidMappingError, match="twice"):
+            m.validate(apps, platform)
+
+    def test_interval_beyond_stages(self, apps, platform):
+        m = make_mapping((0, (0, 3), 0, 1.0), (1, (0, 1), 1, 1.0))
+        with pytest.raises(InvalidMappingError):
+            m.validate(apps, platform)
+
+    def test_unknown_processor(self, apps, platform):
+        m = make_mapping((0, (0, 2), 17, 1.0), (1, (0, 1), 1, 1.0))
+        with pytest.raises(InvalidMappingError, match="unknown processor"):
+            m.validate(apps, platform)
+
+    def test_speed_not_a_mode(self, apps, platform):
+        m = make_mapping((0, (0, 2), 0, 1.5), (1, (0, 1), 1, 1.0))
+        with pytest.raises(InvalidMappingError, match="not a mode"):
+            m.validate(apps, platform)
+
+    def test_one_to_one_rule_rejects_intervals(self, apps, platform):
+        m = make_mapping(
+            (0, (0, 2), 0, 1.0),
+            (1, (0, 0), 1, 1.0),
+            (1, (1, 1), 2, 1.0),
+        )
+        with pytest.raises(InvalidMappingError, match="not admitted"):
+            m.validate(apps, platform, MappingRule.ONE_TO_ONE)
+
+
+class TestSpeedHelpers:
+    def test_run_at_max_speed(self, apps, platform):
+        m = make_mapping((0, (0, 2), 0, 1.0), (1, (0, 1), 1, 1.0))
+        m2 = run_at_max_speed(m, platform)
+        assert all(a.speed == 2.0 for a in m2.assignments)
+
+    def test_run_at_min_speed(self, apps, platform):
+        m = make_mapping((0, (0, 2), 0, 2.0), (1, (0, 1), 1, 2.0))
+        m2 = run_at_min_speed(m, platform)
+        assert all(a.speed == 1.0 for a in m2.assignments)

@@ -1,0 +1,99 @@
+"""Unit tests for objectives, weights and thresholds (Section 3.4, §5)."""
+
+import math
+
+import pytest
+
+from repro import Application, Thresholds
+from repro.core.objectives import (
+    meets_threshold,
+    stretch_weights,
+    weighted_max,
+    with_weights,
+)
+
+
+class TestWeightedMax:
+    def test_basic(self):
+        assert weighted_max([1.0, 2.0], [3.0, 1.0]) == 3.0
+
+    def test_plain_max_with_unit_weights(self):
+        assert weighted_max([4.0, 2.0, 3.0], [1.0, 1.0, 1.0]) == 4.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_max([1.0], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_max([], [])
+
+
+class TestMeetsThreshold:
+    def test_none_is_unconstrained(self):
+        assert meets_threshold(math.inf, None)
+
+    def test_tolerance(self):
+        assert meets_threshold(1.0 + 1e-12, 1.0)
+        assert not meets_threshold(1.001, 1.0)
+
+    def test_zero_bound(self):
+        assert meets_threshold(0.0, 0.0)
+
+
+class TestThresholds:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Thresholds(period=-1.0)
+
+    def test_per_app_bounds_override_global(self):
+        app = Application.from_lists([1], [0], weight=2.0)
+        th = Thresholds(period=10.0, per_app_period=(3.0,))
+        assert th.period_bound_for_app(app, 0) == 3.0
+
+    def test_global_bound_divided_by_weight(self):
+        # W_a * T_a <= bound  =>  T_a <= bound / W_a.
+        app = Application.from_lists([1], [0], weight=2.0)
+        th = Thresholds(period=10.0)
+        assert th.period_bound_for_app(app, 0) == 5.0
+        assert th.latency_bound_for_app(app, 0) == math.inf
+
+    def test_unbounded(self):
+        app = Application.from_lists([1], [0])
+        th = Thresholds()
+        assert th.period_bound_for_app(app, 0) == math.inf
+        assert th.latency_bound_for_app(app, 0) == math.inf
+
+    def test_constrains(self):
+        from repro import Criterion
+
+        th = Thresholds(period=1.0)
+        assert th.constrains(Criterion.PERIOD)
+        assert not th.constrains(Criterion.LATENCY)
+        assert not th.constrains(Criterion.ENERGY)
+        th2 = Thresholds(per_app_latency=(1.0,), energy=5.0)
+        assert th2.constrains(Criterion.LATENCY)
+        assert th2.constrains(Criterion.ENERGY)
+
+
+class TestWeightHelpers:
+    def test_with_weights(self):
+        apps = (
+            Application.from_lists([1], [0]),
+            Application.from_lists([2], [0]),
+        )
+        reweighted = with_weights(apps, [2.0, 3.0])
+        assert [a.weight for a in reweighted] == [2.0, 3.0]
+        # Originals untouched (immutability).
+        assert [a.weight for a in apps] == [1.0, 1.0]
+
+    def test_with_weights_mismatch(self):
+        with pytest.raises(ValueError):
+            with_weights((Application.from_lists([1], [0]),), [1.0, 2.0])
+
+    def test_stretch_weights(self):
+        assert stretch_weights([2.0, 4.0]) == (0.5, 0.25)
+
+    def test_stretch_weights_rejects_zero(self):
+        with pytest.raises(ValueError):
+            stretch_weights([0.0])

@@ -1,0 +1,152 @@
+"""Unit tests for platforms and their classification (Section 3.2)."""
+
+import pytest
+
+from repro import InvalidPlatformError, Platform, PlatformClass
+from repro.core.types import IN_ENDPOINT, OUT_ENDPOINT
+
+
+class TestConstruction:
+    def test_fully_homogeneous(self):
+        p = Platform.fully_homogeneous(4, speeds=[1.0, 2.0], bandwidth=3.0)
+        assert p.n_processors == 4
+        assert p.default_bandwidth == 3.0
+        assert p.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+        assert p.common_speed_set() == (1.0, 2.0)
+
+    def test_comm_homogeneous(self):
+        p = Platform.comm_homogeneous([[1.0], [2.0]], bandwidth=1.0)
+        assert p.platform_class is PlatformClass.COMM_HOMOGENEOUS
+        assert p.has_homogeneous_links
+
+    def test_fully_heterogeneous(self):
+        p = Platform.fully_heterogeneous(
+            [[1.0], [2.0]], {(0, 1): 5.0}, default_bandwidth=1.0
+        )
+        assert p.platform_class is PlatformClass.FULLY_HETEROGENEOUS
+        assert not p.has_homogeneous_links
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Platform(processors=())
+
+    def test_bad_bandwidth_rejected(self):
+        from repro.core.processor import uniform_processors
+
+        with pytest.raises(InvalidPlatformError):
+            Platform(
+                processors=uniform_processors(1, [1.0]), default_bandwidth=0.0
+            )
+
+    def test_bad_link_rejected(self):
+        from repro.core.processor import uniform_processors
+
+        with pytest.raises(InvalidPlatformError):
+            Platform(
+                processors=uniform_processors(2, [1.0]),
+                links={(0, 5): 1.0},
+            )
+        with pytest.raises(InvalidPlatformError):
+            Platform(
+                processors=uniform_processors(2, [1.0]),
+                links={(0, 1): -1.0},
+            )
+
+
+class TestBandwidthResolution:
+    def test_default(self):
+        p = Platform.fully_homogeneous(3, [1.0], bandwidth=2.0)
+        assert p.bandwidth(0, 1) == 2.0
+        assert p.bandwidth(IN_ENDPOINT, 0, app=1) == 2.0
+        assert p.bandwidth(0, OUT_ENDPOINT, app=0) == 2.0
+
+    def test_links_are_bidirectional(self):
+        p = Platform.fully_heterogeneous([[1.0], [1.0]], {(1, 0): 7.0})
+        assert p.bandwidth(0, 1) == 7.0
+        assert p.bandwidth(1, 0) == 7.0
+
+    def test_per_app_bandwidth(self):
+        p = Platform.comm_homogeneous(
+            [[1.0], [1.0]], bandwidth=1.0, app_bandwidths={1: 4.0}
+        )
+        assert p.bandwidth(0, 1, app=0) == 1.0
+        assert p.bandwidth(0, 1, app=1) == 4.0
+        assert p.bandwidth(IN_ENDPOINT, 0, app=1) == 4.0
+
+    def test_virtual_links(self):
+        p = Platform.fully_heterogeneous(
+            [[1.0], [1.0]],
+            {},
+            in_links={(0, 1): 9.0},
+            out_links={(0, 0): 3.0},
+        )
+        assert p.bandwidth(IN_ENDPOINT, 1, app=0) == 9.0
+        assert p.bandwidth(IN_ENDPOINT, 0, app=0) == 1.0  # fallback
+        assert p.bandwidth(0, OUT_ENDPOINT, app=0) == 3.0
+
+    def test_invalid_endpoints(self):
+        p = Platform.fully_homogeneous(2, [1.0])
+        with pytest.raises(InvalidPlatformError):
+            p.bandwidth(IN_ENDPOINT, OUT_ENDPOINT)
+        with pytest.raises(InvalidPlatformError):
+            p.bandwidth("bogus", 0)
+
+
+class TestClassification:
+    def test_identical_processors_detection(self):
+        p = Platform.comm_homogeneous([[1.0, 2.0], [1.0, 2.0]])
+        assert p.has_identical_processors
+        assert p.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+
+    def test_static_energy_breaks_identity(self):
+        from repro.core.processor import Processor
+
+        p = Platform(
+            processors=(
+                Processor(speeds=(1.0,), static_energy=0.0),
+                Processor(speeds=(1.0,), static_energy=1.0),
+            )
+        )
+        assert not p.has_identical_processors
+
+    def test_app_bandwidths_make_comm_homogeneous(self):
+        # Per-application (but within-app uniform) links: the Theorem 1
+        # refinement still counts as communication homogeneous.
+        p = Platform.comm_homogeneous(
+            [[1.0], [2.0]], bandwidth=1.0, app_bandwidths={0: 2.0}
+        )
+        assert p.platform_class is PlatformClass.COMM_HOMOGENEOUS
+
+    def test_uni_modal_flag(self):
+        assert Platform.fully_homogeneous(2, [1.0]).is_uni_modal
+        assert not Platform.fully_homogeneous(2, [1.0, 2.0]).is_uni_modal
+
+
+class TestSelectors:
+    def test_fastest_processors(self):
+        p = Platform.comm_homogeneous([[1.0], [5.0], [3.0]])
+        assert p.fastest_processors(2) == (1, 2)
+        assert p.fastest_processors(3) == (1, 2, 0)
+
+    def test_fastest_processors_tie_break_by_index(self):
+        p = Platform.comm_homogeneous([[2.0], [2.0], [1.0]])
+        assert p.fastest_processors(2) == (0, 1)
+
+    def test_fastest_out_of_range(self):
+        p = Platform.fully_homogeneous(2, [1.0])
+        with pytest.raises(InvalidPlatformError):
+            p.fastest_processors(3)
+
+    def test_slowest_first(self):
+        p = Platform.comm_homogeneous([[4.0], [1.0], [2.0]])
+        assert p.processors_slowest_first() == (1, 2, 0)
+
+    def test_common_speed_set_requires_identical(self):
+        p = Platform.comm_homogeneous([[1.0], [2.0]])
+        with pytest.raises(InvalidPlatformError):
+            p.common_speed_set()
+
+    def test_processor_out_of_range(self):
+        p = Platform.fully_homogeneous(2, [1.0])
+        with pytest.raises(InvalidPlatformError):
+            p.processor(2)

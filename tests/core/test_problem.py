@@ -1,0 +1,77 @@
+"""Unit tests for problem instances and solutions."""
+
+import math
+
+import pytest
+
+from repro import (
+    Application,
+    InfeasibleProblemError,
+    MappingRule,
+    Platform,
+    PlatformClass,
+    ProblemInstance,
+    Solution,
+)
+from repro.paper import figure1_problem, mapping_optimal_period
+
+
+class TestProblemInstance:
+    def test_counts(self, fig1_problem):
+        assert fig1_problem.n_apps == 2
+        assert fig1_problem.n_stages_total == 7
+
+    def test_platform_class(self, fig1_problem):
+        # Figure 1 has heterogeneous speed sets but homogeneous links.
+        assert fig1_problem.platform_class is PlatformClass.COMM_HOMOGENEOUS
+
+    def test_one_to_one_needs_enough_processors(self):
+        apps = (Application.from_lists([1, 1], [0, 0]),)
+        platform = Platform.fully_homogeneous(1, [1.0])
+        with pytest.raises(InfeasibleProblemError):
+            ProblemInstance(
+                apps=apps, platform=platform, rule=MappingRule.ONE_TO_ONE
+            )
+
+    def test_one_processor_per_app_minimum(self):
+        apps = (
+            Application.from_lists([1], [0]),
+            Application.from_lists([1], [0]),
+        )
+        platform = Platform.fully_homogeneous(1, [1.0])
+        with pytest.raises(InfeasibleProblemError):
+            ProblemInstance(apps=apps, platform=platform)
+
+    def test_evaluate_and_check(self, fig1_problem):
+        mapping = mapping_optimal_period()
+        fig1_problem.check_mapping(mapping)
+        v = fig1_problem.evaluate(mapping)
+        assert v.period == pytest.approx(1.0)
+
+    def test_no_overlap_problem(self):
+        from repro import CommunicationModel
+
+        problem = figure1_problem(CommunicationModel.NO_OVERLAP)
+        v = problem.evaluate(mapping_optimal_period())
+        # Serialization can only increase the period.
+        assert v.period >= 1.0
+
+
+class TestSolution:
+    def test_is_feasible(self, fig1_problem):
+        mapping = mapping_optimal_period()
+        values = fig1_problem.evaluate(mapping)
+        s = Solution(
+            mapping=mapping,
+            objective=values.period,
+            values=values,
+            solver="test",
+        )
+        assert s.is_feasible
+        s2 = Solution(
+            mapping=mapping,
+            objective=math.inf,
+            values=values,
+            solver="test",
+        )
+        assert not s2.is_feasible

@@ -1,0 +1,76 @@
+"""Unit tests for multi-modal processors (Section 3.2)."""
+
+import pytest
+
+from repro import InvalidPlatformError, Processor
+from repro.core.processor import processors_from_speed_sets, uniform_processors
+
+
+class TestProcessor:
+    def test_speeds_sorted_and_deduplicated(self):
+        p = Processor(speeds=(3.0, 1.0, 2.0, 1.0))
+        assert p.speeds == (1.0, 2.0, 3.0)
+
+    def test_min_max(self):
+        p = Processor(speeds=(2.0, 5.0))
+        assert p.min_speed == 2.0
+        assert p.max_speed == 5.0
+        assert p.n_modes == 2
+        assert not p.is_uni_modal
+
+    def test_uni_modal(self):
+        assert Processor(speeds=(4.0,)).is_uni_modal
+
+    def test_empty_speeds_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speeds=())
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speeds=(0.0, 1.0))
+        with pytest.raises(InvalidPlatformError):
+            Processor(speeds=(-1.0,))
+
+    def test_negative_static_energy_rejected(self):
+        with pytest.raises(InvalidPlatformError):
+            Processor(speeds=(1.0,), static_energy=-0.1)
+
+    def test_has_speed(self):
+        p = Processor(speeds=(1.0, 2.5))
+        assert p.has_speed(2.5)
+        assert p.has_speed(2.5 * (1 + 1e-12))  # tolerant matching
+        assert not p.has_speed(2.0)
+
+    def test_slowest_speed_at_least(self):
+        p = Processor(speeds=(1.0, 2.0, 4.0))
+        assert p.slowest_speed_at_least(0.5) == 1.0
+        assert p.slowest_speed_at_least(1.5) == 2.0
+        assert p.slowest_speed_at_least(4.0) == 4.0
+        assert p.slowest_speed_at_least(4.1) is None
+
+    def test_modes_at_least(self):
+        p = Processor(speeds=(1.0, 2.0, 4.0))
+        assert p.modes_at_least(1.5) == (2.0, 4.0)
+        assert p.modes_at_least(5.0) == ()
+
+
+class TestFactories:
+    def test_uniform_processors(self):
+        procs = uniform_processors(3, [1.0, 2.0], static_energy=0.5)
+        assert len(procs) == 3
+        assert all(p.speeds == (1.0, 2.0) for p in procs)
+        assert all(p.static_energy == 0.5 for p in procs)
+        assert procs[0].name == "P1" and procs[2].name == "P3"
+
+    def test_uniform_processors_zero_count(self):
+        with pytest.raises(InvalidPlatformError):
+            uniform_processors(0, [1.0])
+
+    def test_from_speed_sets(self):
+        procs = processors_from_speed_sets([[1.0], [2.0, 3.0]])
+        assert procs[0].speeds == (1.0,)
+        assert procs[1].speeds == (2.0, 3.0)
+
+    def test_from_speed_sets_static_mismatch(self):
+        with pytest.raises(InvalidPlatformError):
+            processors_from_speed_sets([[1.0]], static_energies=[1.0, 2.0])

@@ -1,0 +1,52 @@
+"""Unit tests for the shared enumerations."""
+
+import pytest
+
+from repro import CommunicationModel, Criterion, MappingRule, PlatformClass
+
+
+class TestMappingRule:
+    def test_one_to_one_admits_singletons_only(self):
+        rule = MappingRule.ONE_TO_ONE
+        assert rule.admits((3, 3))
+        assert not rule.admits((3, 4))
+
+    def test_interval_admits_ranges(self):
+        rule = MappingRule.INTERVAL
+        assert rule.admits((3, 3))
+        assert rule.admits((0, 5))
+        assert not rule.admits((5, 0))
+
+    def test_values(self):
+        assert MappingRule("one-to-one") is MappingRule.ONE_TO_ONE
+        assert MappingRule("interval") is MappingRule.INTERVAL
+
+
+class TestCommunicationModel:
+    def test_overlap_is_max(self):
+        assert CommunicationModel.OVERLAP.combine(1.0, 5.0, 3.0) == 5.0
+
+    def test_no_overlap_is_sum(self):
+        assert CommunicationModel.NO_OVERLAP.combine(1.0, 5.0, 3.0) == 9.0
+
+    def test_sum_dominates_max(self):
+        for triple in ((1.0, 2.0, 3.0), (0.0, 0.0, 0.0), (7.0, 1.0, 1.0)):
+            assert CommunicationModel.NO_OVERLAP.combine(
+                *triple
+            ) >= CommunicationModel.OVERLAP.combine(*triple)
+
+
+class TestPlatformClass:
+    def test_link_homogeneity_flags(self):
+        assert PlatformClass.FULLY_HOMOGENEOUS.has_homogeneous_links
+        assert PlatformClass.COMM_HOMOGENEOUS.has_homogeneous_links
+        assert not PlatformClass.FULLY_HETEROGENEOUS.has_homogeneous_links
+
+    def test_processor_identity_flags(self):
+        assert PlatformClass.FULLY_HOMOGENEOUS.has_identical_processors
+        assert not PlatformClass.COMM_HOMOGENEOUS.has_identical_processors
+
+
+class TestCriterion:
+    def test_all_three(self):
+        assert {c.value for c in Criterion} == {"period", "latency", "energy"}

@@ -1,0 +1,90 @@
+"""Tests for the general-mappings extension (the Section 3.3 argument)."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.extensions import (
+    GeneralMappingPeriodReduction,
+    min_period_general_mapping,
+)
+from repro.extensions.general_mappings import best_interval_period_no_comm
+
+
+def brute_force_makespan(works, p, speed=1.0):
+    best = math.inf
+    for assignment in itertools.product(range(p), repeat=len(works)):
+        loads = [0.0] * p
+        for w, u in zip(works, assignment):
+            loads[u] += w
+        best = min(best, max(loads) / speed)
+    return best
+
+
+class TestExactGeneralSolver:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        p = int(rng.integers(2, 4))
+        works = [float(rng.integers(1, 9)) for _ in range(n)]
+        fast, assignment = min_period_general_mapping(works, p)
+        slow = brute_force_makespan(works, p)
+        assert fast == pytest.approx(slow)
+        # The returned assignment achieves the reported period.
+        loads = [0.0] * p
+        for w, u in zip(works, assignment):
+            loads[u] += w
+        assert max(loads) == pytest.approx(fast)
+
+    def test_speed_scaling(self):
+        period, _ = min_period_general_mapping([4, 4], 2, speed=2.0)
+        assert period == pytest.approx(2.0)
+
+    def test_degenerate(self):
+        with pytest.raises(ValueError):
+            min_period_general_mapping([], 2)
+        with pytest.raises(ValueError):
+            min_period_general_mapping([1.0], 0)
+
+
+class TestSection33Reduction:
+    def test_yes_instance(self):
+        red = GeneralMappingPeriodReduction.build([3, 1, 1, 2, 2, 1])
+        assert red.decide()
+        period, assignment = min_period_general_mapping(red.values, 2)
+        subset = red.partition_from_assignment(assignment)
+        inside = sum(red.values[i] for i in subset)
+        assert 2 * inside == sum(red.values)
+
+    def test_no_instance(self):
+        # Odd total: no balanced split.
+        red = GeneralMappingPeriodReduction.build([2, 2, 1])
+        assert not red.decide()
+
+    def test_forward_transfer(self):
+        red = GeneralMappingPeriodReduction.build([1, 2, 3])
+        assignment = red.assignment_from_partition(frozenset({0, 1}))
+        loads = [0.0, 0.0]
+        for w, u in zip(red.values, assignment):
+            loads[u] += w
+        assert loads == [3.0, 3.0]
+
+    def test_interval_rule_gap(self):
+        """The price of the interval restriction: general mappings may group
+        non-adjacent stages ({2, 2} vs {3}), which no chain cut can."""
+        red = GeneralMappingPeriodReduction.build([2, 3, 2])
+        general, _ = min_period_general_mapping(red.values, 2)
+        interval = red.interval_rule_period()
+        assert general == pytest.approx(4.0)  # {2, 2} on one processor
+        assert interval == pytest.approx(5.0)  # best cut: [2 | 3, 2]
+        assert interval > general
+        # But the interval rule is what keeps the problem polynomial.
+
+    def test_gap_vanishes_on_uniform_chains(self):
+        red = GeneralMappingPeriodReduction.build([2, 2, 2, 2])
+        general, _ = min_period_general_mapping(red.values, 2)
+        assert red.interval_rule_period() == pytest.approx(general)

@@ -1,0 +1,184 @@
+"""Tests for the replication extension (the paper's future work, §6)."""
+
+import math
+
+import pytest
+
+from repro import Application, CommunicationModel, InvalidMappingError, Platform
+from repro.algorithms.interval_period import single_app_period_table
+from repro.extensions import (
+    ReplicatedAssignment,
+    ReplicatedMapping,
+    evaluate_replicated,
+    replicated_period_table,
+    simulate_replicated,
+)
+from repro.generators import random_application, rng_from
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+def rmap(*entries):
+    return ReplicatedMapping(
+        assignments=tuple(
+            ReplicatedAssignment(app=a, interval=iv, procs=ps, speeds=ss)
+            for a, iv, ps, ss in entries
+        )
+    )
+
+
+class TestReplicatedStructures:
+    def test_assignment_validation(self):
+        with pytest.raises(InvalidMappingError):
+            ReplicatedAssignment(app=0, interval=(1, 0), procs=(0,), speeds=(1.0,))
+        with pytest.raises(InvalidMappingError):
+            ReplicatedAssignment(app=0, interval=(0, 0), procs=(), speeds=())
+        with pytest.raises(InvalidMappingError):
+            ReplicatedAssignment(
+                app=0, interval=(0, 0), procs=(0, 0), speeds=(1.0, 1.0)
+            )
+        with pytest.raises(InvalidMappingError):
+            ReplicatedAssignment(
+                app=0, interval=(0, 0), procs=(0, 1), speeds=(1.0,)
+            )
+
+    def test_mapping_validation(self):
+        apps = (Application.from_lists([2, 2], [0, 0]),)
+        platform = Platform.fully_homogeneous(3, [1.0])
+        good = rmap((0, (0, 0), (0, 1), (1.0, 1.0)), (0, (1, 1), (2,), (1.0,)))
+        good.validate(apps, platform)
+        # Processor reuse across replica sets.
+        bad = rmap((0, (0, 0), (0, 1), (1.0, 1.0)), (0, (1, 1), (1,), (1.0,)))
+        with pytest.raises(InvalidMappingError):
+            bad.validate(apps, platform)
+        # Uncovered stage.
+        bad2 = rmap((0, (0, 0), (0,), (1.0,)))
+        with pytest.raises(InvalidMappingError):
+            bad2.validate(apps, platform)
+
+
+class TestCycleOverKLaw:
+    def test_two_replicas_halve_the_period(self):
+        app = Application.from_lists([8], [0], input_data_size=0)
+        platform = Platform.fully_homogeneous(2, [1.0])
+        solo = rmap((0, (0, 0), (0,), (1.0,)))
+        duo = rmap((0, (0, 0), (0, 1), (1.0, 1.0)))
+        v1 = evaluate_replicated([app], platform, solo)
+        v2 = evaluate_replicated([app], platform, duo)
+        assert v1.period == pytest.approx(8.0)
+        assert v2.period == pytest.approx(4.0)
+        # Latency is NOT improved by replication.
+        assert v2.latency == pytest.approx(v1.latency)
+        # Energy doubles (two enrolled replicas).
+        assert v2.energy == pytest.approx(2 * v1.energy)
+
+    def test_slowest_replica_paces(self):
+        app = Application.from_lists([12], [0])
+        platform = Platform.fully_homogeneous(2, [1.0, 3.0])
+        mixed = rmap((0, (0, 0), (0, 1), (1.0, 3.0)))
+        v = evaluate_replicated([app], platform, mixed)
+        # max(12/1, 12/3) / 2 = 6.
+        assert v.period == pytest.approx(6.0)
+
+    def test_degenerate_k1_matches_plain_evaluation(self):
+        from repro import Assignment, Mapping, evaluate
+
+        rng = rng_from(3)
+        app = random_application(rng, 4)
+        platform = Platform.fully_homogeneous(4, [2.0], bandwidth=1.5)
+        intervals = [(0, 1), (2, 3)]
+        plain = Mapping.from_assignments(
+            Assignment(app=0, interval=iv, proc=u, speed=2.0)
+            for u, iv in enumerate(intervals)
+        )
+        repl = rmap(*[(0, iv, (u,), (2.0,)) for u, iv in enumerate(intervals)])
+        for model in (OVERLAP, NO_OVERLAP):
+            v_plain = evaluate([app], platform, plain, model=model)
+            v_repl = evaluate_replicated(
+                [app], platform, repl, model=model
+            )
+            assert v_repl.period == pytest.approx(v_plain.period)
+            assert v_repl.latency == pytest.approx(v_plain.latency)
+            assert v_repl.energy == pytest.approx(v_plain.energy)
+
+
+class TestReplicatedPeriodDP:
+    def test_reduces_to_plain_dp_when_k1_suffices(self):
+        # With p <= n and communication floors, compare against plain DP:
+        # the replicated optimum can only be <= the plain optimum.
+        rng = rng_from(5)
+        app = random_application(rng, 5)
+        plain = single_app_period_table(app, 5, 2.0, 1.0, OVERLAP)
+        repl = replicated_period_table(app, 5, 2.0, 1.0, OVERLAP)
+        for q in range(1, 6):
+            assert repl.period(q) <= plain.period(q) + 1e-12
+
+    def test_replication_beats_intervals_on_heavy_stages(self):
+        # A single heavy stage cannot be split by the interval rule, but
+        # replication parallelizes it across data sets.
+        app = Application.from_lists([10.0], [0.0])
+        plain = single_app_period_table(app, 4, 1.0, 1.0, OVERLAP)
+        repl = replicated_period_table(app, 4, 1.0, 1.0, OVERLAP)
+        assert plain.period(4) == pytest.approx(10.0)
+        assert repl.period(4) == pytest.approx(2.5)  # 4 replicas
+
+    def test_reconstruction_consistent(self):
+        rng = rng_from(8)
+        app = random_application(rng, 4)
+        table = replicated_period_table(app, 6, 2.0, 1.0, OVERLAP)
+        for q in range(1, 7):
+            placements = table.reconstruct(q)
+            # Covering, consecutive, total replicas <= q.
+            assert placements[0][0][0] == 0
+            assert placements[-1][0][1] == app.n_stages - 1
+            assert sum(k for _, k in placements) <= q
+            from repro.algorithms.interval_period import interval_cycle
+
+            achieved = max(
+                interval_cycle(app, iv, 2.0, 1.0, OVERLAP) / k
+                for iv, k in placements
+            )
+            assert achieved == pytest.approx(table.period(q))
+
+    def test_monotone_in_q(self):
+        rng = rng_from(9)
+        app = random_application(rng, 4)
+        table = replicated_period_table(app, 8, 1.0, 1.0, OVERLAP)
+        values = [table.period(q) for q in range(1, 9)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestReplicatedSimulation:
+    @pytest.mark.parametrize("model", [OVERLAP, NO_OVERLAP])
+    def test_simulation_matches_analytic_period(self, model):
+        app = Application.from_lists([6, 9], [1, 1], input_data_size=1)
+        platform = Platform.fully_homogeneous(4, [1.0, 3.0], bandwidth=2.0)
+        mapping = rmap(
+            (0, (0, 0), (0,), (3.0,)),
+            (0, (1, 1), (1, 2, 3), (3.0, 3.0, 3.0)),
+        )
+        mapping.validate([app], platform)
+        v = evaluate_replicated([app], platform, mapping, model=model)
+        completions = simulate_replicated(
+            [app], platform, mapping, 300, model=model
+        )[0]
+        window = len(completions) // 2
+        measured = (completions[-1] - completions[-1 - window]) / window
+        assert measured == pytest.approx(v.periods[0], rel=1e-9)
+
+    def test_round_robin_interleaves_replicas(self):
+        app = Application.from_lists([4], [0])
+        platform = Platform.fully_homogeneous(2, [1.0])
+        mapping = rmap((0, (0, 0), (0, 1), (1.0, 1.0)))
+        completions = simulate_replicated([app], platform, mapping, 10)[0]
+        # Two replicas of a 4-unit stage: completions at 4,4,8,8,12,12...
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        assert gaps == pytest.approx([0, 4, 0, 4, 0, 4, 0, 4, 0])
+
+    def test_invalid_dataset_count(self):
+        app = Application.from_lists([1], [0])
+        platform = Platform.fully_homogeneous(1, [1.0])
+        mapping = rmap((0, (0, 0), (0,), (1.0,)))
+        with pytest.raises(ValueError):
+            simulate_replicated([app], platform, mapping, 0)

@@ -1,0 +1,130 @@
+"""Tests for the seeded instance generators."""
+
+import numpy as np
+import pytest
+
+from repro import MappingRule, PlatformClass
+from repro.generators import (
+    dvfs_speed_ladder,
+    random_application,
+    random_applications,
+    random_comm_homogeneous_platform,
+    random_fully_heterogeneous_platform,
+    random_fully_homogeneous_platform,
+    rng_from,
+    small_random_problem,
+    special_app_family,
+    streaming_application,
+)
+
+
+class TestRngFrom:
+    def test_int_seed(self):
+        assert isinstance(rng_from(3), np.random.Generator)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert rng_from(g) is g
+
+    def test_determinism(self):
+        a = random_application(rng_from(5), 4)
+        b = random_application(rng_from(5), 4)
+        assert a.works == b.works
+        assert a.output_sizes == b.output_sizes
+
+
+class TestApplications:
+    def test_random_application_shape(self, rng):
+        app = random_application(rng, 6, work_range=(2, 3), data_range=(0, 1))
+        assert app.n_stages == 6
+        assert all(2 <= w <= 3 for w in app.works)
+        assert all(0 <= d <= 1 for d in app.output_sizes)
+
+    def test_integer_mode(self, rng):
+        app = random_application(rng, 5, integer=True)
+        assert all(w == int(w) and w >= 1 for w in app.works)
+        assert all(d == int(d) for d in app.output_sizes)
+
+    def test_random_applications_weights(self, rng):
+        apps = random_applications(rng, 3, weights=[1.0, 2.0, 3.0])
+        assert [a.weight for a in apps] == [1.0, 2.0, 3.0]
+
+    def test_special_app_family(self):
+        apps = special_app_family(3, 4, work=2.0)
+        assert len(apps) == 3
+        for app in apps:
+            assert app.is_homogeneous
+            assert not app.has_communication
+            assert app.total_work == 8.0
+
+    @pytest.mark.parametrize("profile", ["encode", "filter", "analytics"])
+    def test_streaming_profiles(self, rng, profile):
+        app = streaming_application(rng, 6, profile=profile)
+        assert app.n_stages == 6
+        assert app.total_work > 0
+
+    def test_streaming_unknown_profile(self, rng):
+        with pytest.raises(ValueError):
+            streaming_application(rng, 4, profile="bogus")
+
+    def test_analytics_front_loaded(self, rng):
+        app = streaming_application(rng, 5, profile="analytics")
+        assert app.works[0] > max(app.works[1:])
+
+
+class TestPlatforms:
+    def test_dvfs_ladder(self):
+        ladder = dvfs_speed_ladder(2.0, 4, top_ratio=2.0)
+        assert len(ladder) == 4
+        assert ladder[0] == pytest.approx(2.0)
+        assert ladder[-1] == pytest.approx(4.0)
+        assert all(a < b for a, b in zip(ladder, ladder[1:]))
+
+    def test_dvfs_single_mode(self):
+        assert dvfs_speed_ladder(3.0, 1) == (3.0,)
+
+    def test_dvfs_invalid(self):
+        with pytest.raises(ValueError):
+            dvfs_speed_ladder(1.0, 0)
+
+    def test_fully_homogeneous(self, rng):
+        p = random_fully_homogeneous_platform(rng, 4, n_modes=3)
+        assert p.platform_class is PlatformClass.FULLY_HOMOGENEOUS
+        assert all(proc.n_modes == 3 for proc in p.processors)
+
+    def test_comm_homogeneous(self, rng):
+        p = random_comm_homogeneous_platform(rng, 5)
+        assert p.platform_class in (
+            PlatformClass.COMM_HOMOGENEOUS,
+            PlatformClass.FULLY_HOMOGENEOUS,  # rare identical draw
+        )
+        assert p.has_homogeneous_links
+
+    def test_fully_heterogeneous(self, rng):
+        p = random_fully_heterogeneous_platform(rng, 4, n_apps=2)
+        assert p.platform_class is PlatformClass.FULLY_HETEROGENEOUS
+        # All pairwise links defined.
+        assert len(p.links) == 6
+        assert len(p.in_links) == 8 and len(p.out_links) == 8
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("cls", list(PlatformClass))
+    def test_small_random_problem_cells(self, cls):
+        problem = small_random_problem(0, platform_class=cls)
+        assert problem.platform.platform_class in (
+            cls,
+            PlatformClass.FULLY_HOMOGENEOUS,
+        )
+
+    def test_one_to_one_gets_enough_processors(self):
+        for seed in range(5):
+            problem = small_random_problem(
+                seed, rule=MappingRule.ONE_TO_ONE, stage_range=(2, 4)
+            )
+            assert problem.platform.n_processors >= problem.n_stages_total
+
+    def test_determinism(self):
+        p1 = small_random_problem(9)
+        p2 = small_random_problem(9)
+        assert p1.apps == p2.apps

@@ -1,0 +1,124 @@
+"""Tests for the from-scratch Hungarian algorithm, validated against brute
+force and against ``scipy.optimize.linear_sum_assignment``."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.matching import solve_assignment
+from repro.matching.hungarian import brute_force_assignment
+
+
+class TestBasics:
+    def test_identity(self):
+        cost = [[0.0, 1.0], [1.0, 0.0]]
+        r = solve_assignment(cost)
+        assert r.row_to_col == (0, 1)
+        assert r.total_cost == 0.0
+
+    def test_crossing(self):
+        cost = [[10.0, 1.0], [1.0, 10.0]]
+        r = solve_assignment(cost)
+        assert r.row_to_col == (1, 0)
+        assert r.total_cost == 2.0
+
+    def test_rectangular(self):
+        cost = [[5.0, 1.0, 9.0]]
+        r = solve_assignment(cost)
+        assert r.row_to_col == (1,)
+        assert r.total_cost == 1.0
+
+    def test_empty(self):
+        r = solve_assignment([])
+        assert r.row_to_col == ()
+        assert r.total_cost == 0.0
+
+    def test_more_rows_than_cols_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment([[1.0], [1.0]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            solve_assignment([[1.0, 2.0], [1.0]])
+
+
+class TestForbiddenPairs:
+    def test_routes_around_inf(self):
+        inf = math.inf
+        cost = [[inf, 1.0], [1.0, inf]]
+        r = solve_assignment(cost)
+        assert r.row_to_col == (1, 0)
+
+    def test_infeasible_row(self):
+        inf = math.inf
+        assert solve_assignment([[inf, inf]]) is None
+
+    def test_infeasible_by_contention(self):
+        # Both rows can only use column 0.
+        inf = math.inf
+        cost = [[1.0, inf], [2.0, inf]]
+        assert solve_assignment(cost) is None
+
+    def test_forced_expensive_edge(self):
+        inf = math.inf
+        cost = [[inf, 5.0], [3.0, 4.0]]
+        r = solve_assignment(cost)
+        assert r.row_to_col == (1, 0)
+        assert r.total_cost == 8.0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_square(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        cost = rng.uniform(0, 10, size=(n, n)).tolist()
+        fast = solve_assignment(cost)
+        slow = brute_force_assignment(cost)
+        assert fast.total_cost == pytest.approx(slow.total_cost)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_rectangular(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(1, 5))
+        m = n + int(rng.integers(0, 4))
+        cost = rng.uniform(0, 10, size=(n, m)).tolist()
+        fast = solve_assignment(cost)
+        slow = brute_force_assignment(cost)
+        assert fast.total_cost == pytest.approx(slow.total_cost)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_forbidden(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(2, 5))
+        m = n + 1
+        cost = rng.uniform(0, 10, size=(n, m))
+        mask = rng.random(size=(n, m)) < 0.4
+        cost = np.where(mask, math.inf, cost).tolist()
+        fast = solve_assignment(cost)
+        slow = brute_force_assignment(cost)
+        if slow is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert fast.total_cost == pytest.approx(slow.total_cost)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_matrices(self, seed):
+        scipy_opt = pytest.importorskip("scipy.optimize")
+        rng = np.random.default_rng(300 + seed)
+        n = int(rng.integers(2, 30))
+        m = n + int(rng.integers(0, 10))
+        cost = rng.uniform(0, 100, size=(n, m))
+        fast = solve_assignment(cost.tolist())
+        rows, cols = scipy_opt.linear_sum_assignment(cost)
+        assert fast.total_cost == pytest.approx(float(cost[rows, cols].sum()))
+
+    def test_assignment_is_a_matching(self):
+        rng = np.random.default_rng(9)
+        cost = rng.uniform(0, 1, size=(20, 25)).tolist()
+        r = solve_assignment(cost)
+        assert len(set(r.row_to_col)) == 20

@@ -1,0 +1,103 @@
+"""Integration tests on the Section 2 motivating example: the library's
+solvers must *discover* the paper's worked optima, not merely verify them."""
+
+import pytest
+
+from repro import Criterion, Thresholds
+from repro.algorithms.exact import exact_minimize
+from repro.paper import (
+    FIGURE1_EXPECTED,
+    figure1_problem,
+    mapping_min_energy,
+    mapping_optimal_latency,
+    mapping_optimal_period,
+)
+
+
+class TestOptimaAreDiscovered:
+    def test_period_1_is_the_optimum(self):
+        problem = figure1_problem()
+        s = exact_minimize(problem, Criterion.PERIOD)
+        assert s.objective == pytest.approx(FIGURE1_EXPECTED["optimal_period"])
+
+    def test_latency_2_75_is_the_optimum(self):
+        problem = figure1_problem()
+        s = exact_minimize(problem, Criterion.LATENCY)
+        assert s.objective == pytest.approx(FIGURE1_EXPECTED["optimal_latency"])
+
+    def test_energy_10_is_the_optimum(self):
+        problem = figure1_problem()
+        s = exact_minimize(problem, Criterion.ENERGY)
+        assert s.objective == pytest.approx(FIGURE1_EXPECTED["min_energy"])
+
+    def test_energy_46_under_period_2(self):
+        problem = figure1_problem()
+        s = exact_minimize(
+            problem, Criterion.ENERGY, Thresholds(period=2.0)
+        )
+        assert s.objective == pytest.approx(
+            FIGURE1_EXPECTED["compromise_energy"]
+        )
+
+    def test_energy_136_under_period_1(self):
+        # At the optimal period there is no slack: the paper's 136 is the
+        # cheapest period-1 configuration.
+        problem = figure1_problem()
+        s = exact_minimize(
+            problem, Criterion.ENERGY, Thresholds(period=1.0)
+        )
+        assert s.objective == pytest.approx(
+            FIGURE1_EXPECTED["optimal_period_energy"]
+        )
+
+    def test_period_under_energy_10_budget(self):
+        # The paper's stated minimum-energy mapping (App1 on P1@3, App2 on
+        # P3@1) has period 14 -- but it is NOT the period-optimal mapping at
+        # that energy: swapping the applications (App1 on P3@1, App2 on
+        # P1@3) also costs 10 and achieves period 6.  The exact solver must
+        # find the better one (recorded in EXPERIMENTS.md).
+        problem = figure1_problem()
+        s = exact_minimize(
+            problem,
+            Criterion.PERIOD,
+            Thresholds(energy=FIGURE1_EXPECTED["min_energy"]),
+            fix_max_speed=False,
+        )
+        assert s.objective == pytest.approx(6.0)
+        assert s.objective < FIGURE1_EXPECTED["min_energy_period"]
+        # The paper's own mapping evaluates to the reported 14.
+        v = problem.evaluate(mapping_min_energy())
+        assert v.period == pytest.approx(
+            FIGURE1_EXPECTED["min_energy_period"]
+        )
+
+
+class TestPaperArgumentsHold:
+    def test_period_1_saturates_total_speed(self):
+        # The paper's optimality argument: total work (20) equals total top
+        # speed (20), so no mapping beats period 1.
+        problem = figure1_problem()
+        total_work = sum(app.total_work for app in problem.apps)
+        total_speed = sum(
+            p.max_speed for p in problem.platform.processors
+        )
+        assert total_work == total_speed == 20.0
+
+    def test_min_energy_uses_two_slowest_modes(self):
+        problem = figure1_problem()
+        mapping = mapping_min_energy()
+        speeds = sorted(x.speed for x in mapping.assignments)
+        assert speeds == [1.0, 3.0]  # P3 mode 1 and P1 mode 1
+
+    def test_latency_optimum_avoids_all_communication_splits(self):
+        mapping = mapping_optimal_latency()
+        assert all(len(mapping.for_app(a)) == 1 for a in (0, 1))
+
+    def test_no_overlap_period_worse_or_equal(self):
+        from repro import CommunicationModel
+
+        overlap = figure1_problem(CommunicationModel.OVERLAP)
+        serial = figure1_problem(CommunicationModel.NO_OVERLAP)
+        t_o = exact_minimize(overlap, Criterion.PERIOD).objective
+        t_n = exact_minimize(serial, Criterion.PERIOD).objective
+        assert t_n >= t_o

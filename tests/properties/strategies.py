@@ -1,0 +1,91 @@
+"""Shared hypothesis strategies for the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import Application, Assignment, Mapping, Platform
+
+#: Bounded positive floats that keep all arithmetic well-conditioned.
+works = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+datas = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+speeds = st.floats(min_value=0.5, max_value=10.0, allow_nan=False)
+bandwidths = st.floats(min_value=0.5, max_value=10.0, allow_nan=False)
+weights = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def applications(draw, max_stages: int = 5):
+    """A random well-formed application."""
+    n = draw(st.integers(min_value=1, max_value=max_stages))
+    return Application.from_lists(
+        works=draw(st.lists(works, min_size=n, max_size=n)),
+        output_sizes=draw(st.lists(datas, min_size=n, max_size=n)),
+        input_data_size=draw(datas),
+        weight=draw(weights),
+    )
+
+
+@st.composite
+def speed_sets(draw, max_modes: int = 3):
+    """A sorted set of 1..max_modes distinct positive speeds."""
+    modes = draw(
+        st.lists(speeds, min_size=1, max_size=max_modes, unique=True)
+    )
+    return tuple(sorted(modes))
+
+
+@st.composite
+def hom_platforms(draw, n_min: int = 1, n_max: int = 6):
+    """A fully homogeneous platform."""
+    n = draw(st.integers(min_value=n_min, max_value=n_max))
+    return Platform.fully_homogeneous(
+        n, speeds=draw(speed_sets()), bandwidth=draw(bandwidths)
+    )
+
+
+@st.composite
+def mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
+    """A (apps, platform, valid interval mapping) triple.
+
+    The mapping partitions each application at random cut points, places
+    intervals on distinct random processors and picks a random mode each.
+    """
+    n_apps = draw(st.integers(min_value=1, max_value=max_apps))
+    apps = tuple(draw(applications(max_stages)) for _ in range(n_apps))
+
+    # Random partition of each application.
+    partitions = []
+    total_intervals = 0
+    for app in apps:
+        cuts = sorted(
+            draw(
+                st.sets(
+                    st.integers(1, app.n_stages - 1),
+                    max_size=app.n_stages - 1,
+                )
+            )
+        ) if app.n_stages > 1 else []
+        bounds = [0, *cuts, app.n_stages]
+        intervals = [
+            (bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)
+        ]
+        partitions.append(intervals)
+        total_intervals += len(intervals)
+
+    n_procs = total_intervals + draw(st.integers(0, 2))
+    platform = Platform.fully_homogeneous(
+        n_procs, speeds=draw(speed_sets()), bandwidth=draw(bandwidths)
+    )
+    procs = draw(st.permutations(range(n_procs)))
+    assignments = []
+    idx = 0
+    for a, intervals in enumerate(partitions):
+        for iv in intervals:
+            u = procs[idx]
+            idx += 1
+            speed = draw(st.sampled_from(platform.processor(u).speeds))
+            assignments.append(
+                Assignment(app=a, interval=iv, proc=u, speed=speed)
+            )
+    return apps, platform, Mapping.from_assignments(assignments)

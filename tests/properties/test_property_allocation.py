@@ -1,0 +1,76 @@
+"""Property-based tests of Algorithm 2 (greedy processor allocation)."""
+
+import itertools
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.processor_allocation import allocate_processors
+
+
+@st.composite
+def value_tables(draw):
+    """Random non-increasing per-application value tables."""
+    n_apps = draw(st.integers(2, 4))
+    n_procs = draw(st.integers(n_apps, n_apps + 5))
+    tables = []
+    for _ in range(n_apps):
+        raw = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+                min_size=n_procs,
+                max_size=n_procs,
+            )
+        )
+        tables.append(sorted(raw, reverse=True))
+    return n_apps, n_procs, tables
+
+
+@given(value_tables())
+@settings(max_examples=60, deadline=None)
+def test_greedy_matches_exhaustive(setup):
+    """Algorithm 2's greedy distribution is optimal for any non-increasing
+    value tables (the Theorem 3 exchange argument)."""
+    n_apps, n_procs, tables = setup
+
+    def value(a, q):
+        return tables[a][min(q, n_procs) - 1]
+
+    greedy = allocate_processors(n_apps, n_procs, value)
+    best = math.inf
+    for counts in itertools.product(range(1, n_procs + 1), repeat=n_apps):
+        if sum(counts) > n_procs:
+            continue
+        best = min(best, max(value(a, q) for a, q in enumerate(counts)))
+    assert math.isclose(greedy.objective, best, rel_tol=1e-12)
+
+
+@given(value_tables())
+@settings(max_examples=60, deadline=None)
+def test_allocation_structure(setup):
+    n_apps, n_procs, tables = setup
+
+    def value(a, q):
+        return tables[a][min(q, n_procs) - 1]
+
+    result = allocate_processors(n_apps, n_procs, value)
+    assert len(result.counts) == n_apps
+    assert all(c >= 1 for c in result.counts)
+    assert sum(result.counts) <= n_procs
+    # Reported objective is consistent with the counts.
+    recomputed = max(value(a, q) for a, q in enumerate(result.counts))
+    assert math.isclose(result.objective, recomputed, rel_tol=1e-12)
+
+
+@given(value_tables(), st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_more_processors_never_hurt(setup, extra):
+    n_apps, n_procs, tables = setup
+
+    def value(a, q):
+        return tables[a][min(q, n_procs) - 1]
+
+    small = allocate_processors(n_apps, n_procs, value)
+    large = allocate_processors(n_apps, n_procs + extra, value)
+    assert large.objective <= small.objective + 1e-12

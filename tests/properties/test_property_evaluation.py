@@ -1,0 +1,119 @@
+"""Property-based tests of the cost model invariants (Sections 3.4-3.5)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CommunicationModel, EnergyModel, evaluate
+from repro.core.evaluation import application_latency, application_period
+from repro.core.mapping import run_at_max_speed, run_at_min_speed
+
+from .strategies import mapped_instances
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_mapping_is_valid_by_construction(instance):
+    apps, platform, mapping = instance
+    mapping.validate(apps, platform)
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_no_overlap_period_at_least_overlap(instance):
+    """Serializing the three activities can only lengthen the cycle."""
+    apps, platform, mapping = instance
+    for a in mapping.applications:
+        t_o = application_period(apps, platform, mapping, a, OVERLAP)
+        t_n = application_period(apps, platform, mapping, a, NO_OVERLAP)
+        assert t_n >= t_o - 1e-12
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_latency_at_least_period_overlap(instance):
+    """Under the overlap model the latency of an application is at least
+    its period (the bottleneck resource works the whole cycle on each data
+    set, and the latency sums every activity)."""
+    apps, platform, mapping = instance
+    for a in mapping.applications:
+        t = application_period(apps, platform, mapping, a, OVERLAP)
+        l = application_latency(apps, platform, mapping, a)
+        assert l >= t - 1e-9
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_latency_model_independent(instance):
+    apps, platform, mapping = instance
+    v_o = evaluate(apps, platform, mapping, model=OVERLAP)
+    v_n = evaluate(apps, platform, mapping, model=NO_OVERLAP)
+    assert v_o.latency == v_n.latency
+    assert v_o.latencies == v_n.latencies
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_faster_speeds_never_hurt_performance(instance):
+    """The paper's Section 2 observation: without an energy criterion,
+    running every processor at top speed can only improve period and
+    latency."""
+    apps, platform, mapping = instance
+    fast = run_at_max_speed(mapping, platform)
+    for model in (OVERLAP, NO_OVERLAP):
+        v = evaluate(apps, platform, mapping, model=model)
+        v_fast = evaluate(apps, platform, fast, model=model)
+        assert v_fast.period <= v.period + 1e-9
+        assert v_fast.latency <= v.latency + 1e-9
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_slower_speeds_never_cost_energy(instance):
+    apps, platform, mapping = instance
+    slow = run_at_min_speed(mapping, platform)
+    v = evaluate(apps, platform, mapping)
+    v_slow = evaluate(apps, platform, slow)
+    assert v_slow.energy <= v.energy + 1e-9
+
+
+@given(mapped_instances(), st.floats(min_value=1.1, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_energy_monotone_in_alpha_above_unit_speeds(instance, alpha):
+    """For speeds >= 1 the dynamic energy grows with alpha."""
+    apps, platform, mapping = instance
+    if any(x.speed < 1.0 for x in mapping.assignments):
+        return
+    e_low = evaluate(apps, platform, mapping, energy_model=EnergyModel(alpha=alpha)).energy
+    e_high = evaluate(
+        apps, platform, mapping, energy_model=EnergyModel(alpha=alpha + 0.5)
+    ).energy
+    assert e_high >= e_low - 1e-9
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_global_objectives_are_weighted_maxima(instance):
+    apps, platform, mapping = instance
+    v = evaluate(apps, platform, mapping)
+    expected_t = max(apps[a].weight * v.periods[a] for a in v.periods)
+    expected_l = max(apps[a].weight * v.latencies[a] for a in v.latencies)
+    assert v.period == expected_t
+    assert v.latency == expected_l
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_energy_is_sum_over_enrolled(instance):
+    apps, platform, mapping = instance
+    v = evaluate(apps, platform, mapping)
+    expected = sum(
+        platform.processor(u).static_energy
+        + mapping.speed_of_proc(u) ** 2.0
+        for u in mapping.enrolled_processors
+    )
+    assert math.isclose(v.energy, expected, rel_tol=1e-12)

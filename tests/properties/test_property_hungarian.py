@@ -1,0 +1,81 @@
+"""Property-based tests of the Hungarian matching substrate."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import solve_assignment
+from repro.matching.hungarian import brute_force_assignment
+
+finite_costs = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def cost_matrices(draw, max_n=4, max_extra=2, forbid_prob=0.0):
+    n = draw(st.integers(1, max_n))
+    m = n + draw(st.integers(0, max_extra))
+    rows = []
+    for _ in range(n):
+        row = draw(st.lists(finite_costs, min_size=m, max_size=m))
+        if forbid_prob > 0:
+            mask = draw(
+                st.lists(
+                    st.booleans(), min_size=m, max_size=m
+                )
+            )
+            row = [
+                math.inf if flag and draw(st.booleans()) else v
+                for v, flag in zip(row, mask)
+            ]
+        rows.append(row)
+    return rows
+
+
+@given(cost_matrices())
+@settings(max_examples=80, deadline=None)
+def test_matches_brute_force(cost):
+    fast = solve_assignment(cost)
+    slow = brute_force_assignment(cost)
+    assert fast is not None and slow is not None
+    assert math.isclose(fast.total_cost, slow.total_cost, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(cost_matrices(forbid_prob=0.5))
+@settings(max_examples=80, deadline=None)
+def test_matches_brute_force_with_forbidden(cost):
+    fast = solve_assignment(cost)
+    slow = brute_force_assignment(cost)
+    if slow is None:
+        assert fast is None
+    else:
+        assert fast is not None
+        assert math.isclose(
+            fast.total_cost, slow.total_cost, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+@given(cost_matrices())
+@settings(max_examples=60, deadline=None)
+def test_result_is_injective_and_cost_consistent(cost):
+    result = solve_assignment(cost)
+    assert result is not None
+    assert len(set(result.row_to_col)) == len(cost)
+    recomputed = sum(cost[i][j] for i, j in enumerate(result.row_to_col))
+    assert math.isclose(result.total_cost, recomputed, rel_tol=1e-12)
+
+
+@given(cost_matrices(), st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_scaling_invariance(cost, factor):
+    """Scaling all costs scales the optimum; the argmin is unchanged up to
+    ties."""
+    base = solve_assignment(cost)
+    scaled = solve_assignment(
+        [[c * factor for c in row] for row in cost]
+    )
+    assert base is not None and scaled is not None
+    assert math.isclose(
+        scaled.total_cost, base.total_cost * factor, rel_tol=1e-9, abs_tol=1e-9
+    )

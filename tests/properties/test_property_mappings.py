@@ -1,0 +1,116 @@
+"""Property-based structural invariants of mappings and their evaluation."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Assignment, CommunicationModel, Mapping, evaluate
+from repro.core.evaluation import application_period, interval_costs
+
+from .strategies import mapped_instances
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_enrolled_processors_bijective_with_assignments(instance):
+    """No processor sharing: one assignment <-> one enrolled processor."""
+    apps, platform, mapping = instance
+    assert len(mapping.enrolled_processors) == len(mapping.assignments)
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_period_is_max_of_interval_cycles(instance):
+    """The per-application period equals the max cycle-time over its
+    intervals (Eq. (3)/(4) decomposition exposed by interval_costs)."""
+    apps, platform, mapping = instance
+    costs = interval_costs(apps, platform, mapping)
+    for model in (OVERLAP, NO_OVERLAP):
+        for a in mapping.applications:
+            expected = max(
+                c.cycle_time(model) for c in costs if c.app == a
+            )
+            got = application_period(apps, platform, mapping, a, model)
+            assert math.isclose(got, expected, rel_tol=1e-12)
+
+
+@given(mapped_instances())
+@settings(max_examples=60, deadline=None)
+def test_latency_is_sum_of_costs(instance):
+    """Eq. (5): latency = input comm + sum over intervals of comp + out."""
+    apps, platform, mapping = instance
+    costs = interval_costs(apps, platform, mapping)
+    v = evaluate(apps, platform, mapping)
+    for a in mapping.applications:
+        app_costs = [c for c in costs if c.app == a]
+        expected = app_costs[0].t_in + sum(
+            c.t_comp + c.t_out for c in app_costs
+        )
+        assert math.isclose(v.latencies[a], expected, rel_tol=1e-12)
+
+
+@given(mapped_instances())
+@settings(max_examples=40, deadline=None)
+def test_merging_all_intervals_never_needs_more_processors(instance):
+    """Collapsing each application onto its first processor is always a
+    valid mapping (fewer resources, still covering)."""
+    apps, platform, mapping = instance
+    collapsed = []
+    for a in mapping.applications:
+        parts = mapping.for_app(a)
+        collapsed.append(
+            Assignment(
+                app=a,
+                interval=(0, apps[a].n_stages - 1),
+                proc=parts[0].proc,
+                speed=parts[0].speed,
+            )
+        )
+    merged = Mapping.from_assignments(collapsed)
+    merged.validate(apps, platform)
+    # Merging removes all internal communications: latency cannot suffer
+    # from extra transfer terms beyond the speed effect -- with the SAME
+    # speed on the merged processor, latency never increases when links
+    # are homogeneous and all interval speeds equal the first one.
+    if all(
+        all(x.speed == mapping.for_app(a)[0].speed for x in mapping.for_app(a))
+        for a in mapping.applications
+    ):
+        v_split = evaluate(apps, platform, mapping)
+        v_merged = evaluate(apps, platform, merged)
+        for a in mapping.applications:
+            assert v_merged.latencies[a] <= v_split.latencies[a] + 1e-9
+
+
+@given(mapped_instances(max_apps=1, max_stages=4))
+@settings(max_examples=40, deadline=None)
+def test_one_to_one_is_interval_special_case(instance):
+    """Slicing every interval into singleton intervals (when enough
+    processors exist) yields a valid one-to-one mapping whose latency obeys
+    Eq. (5) with every communication paid."""
+    apps, platform, mapping = instance
+    app = apps[0]
+    if platform.n_processors < app.n_stages:
+        return
+    singles = Mapping.from_assignments(
+        Assignment(
+            app=0,
+            interval=(k, k),
+            proc=k,
+            speed=platform.processor(k).speeds[0],
+        )
+        for k in range(app.n_stages)
+    )
+    singles.validate(apps[:1], platform)
+    assert singles.is_one_to_one()
+    v = evaluate(apps[:1], platform, singles)
+    bw = platform.default_bandwidth
+    speed = platform.processor(0).speeds[0]
+    expected = app.input_data_size / bw + sum(
+        s.work / speed + s.output_size / bw for s in app.stages
+    )
+    assert math.isclose(v.latencies[0], expected, rel_tol=1e-12)

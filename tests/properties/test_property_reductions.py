@@ -1,0 +1,121 @@
+"""Property-based tests of the hardness reductions and source problems."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.reductions import (
+    LatencyOneToOneReduction,
+    PeriodIntervalReduction,
+    ThreePartitionInstance,
+    TriCriteriaOneToOneReduction,
+    TwoPartitionInstance,
+)
+
+small_values = st.lists(
+    st.integers(min_value=1, max_value=12), min_size=1, max_size=10
+)
+
+
+@given(small_values)
+@settings(max_examples=80, deadline=None)
+def test_two_partition_solver_sound_and_complete(values):
+    """The subset-sum DP returns a valid certificate exactly when a brute
+    force over subsets finds one."""
+    import itertools
+
+    inst = TwoPartitionInstance(values=tuple(values))
+    subset = inst.solve()
+    brute = any(
+        2 * sum(values[i] for i in combo) == sum(values)
+        for r in range(len(values) + 1)
+        for combo in itertools.combinations(range(len(values)), r)
+    )
+    if subset is None:
+        assert not brute
+    else:
+        assert inst.check(subset)
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_three_partition_generator_and_solver(m, seed):
+    """Generated yes-instances are valid and the solver certifies them."""
+    rng = np.random.default_rng(seed)
+    from repro.algorithms.reductions import random_three_partition_yes_instance
+
+    inst = random_three_partition_yes_instance(rng, m=m, bound=40)
+    assert len(inst.values) == 3 * m
+    assert sum(inst.values) == m * 40
+    triples = inst.solve()
+    assert triples is not None
+    assert inst.check(triples)
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_theorem5_forward_transfer_is_tight(m, seed):
+    """On every yes-instance the forward-transferred mapping achieves the
+    target period exactly (each processor fully loaded)."""
+    rng = np.random.default_rng(seed)
+    from repro.algorithms.reductions import random_three_partition_yes_instance
+
+    source = random_three_partition_yes_instance(rng, m=m, bound=24)
+    red = PeriodIntervalReduction.build(source)
+    triples = source.solve()
+    assert triples is not None
+    mapping = red.mapping_from_partition(triples)
+    red.problem.check_mapping(mapping)
+    assert math.isclose(red.forward_value(triples), red.target_period)
+    # Backward transfer round-trips.
+    recovered = red.partition_from_mapping(mapping)
+    assert source.check(recovered)
+
+
+@given(st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_theorem9_forward_transfer_is_tight(m, seed):
+    rng = np.random.default_rng(seed)
+    from repro.algorithms.reductions import random_three_partition_yes_instance
+
+    source = random_three_partition_yes_instance(rng, m=m, bound=24)
+    red = LatencyOneToOneReduction.build(source)
+    triples = source.solve()
+    assert triples is not None
+    mapping = red.mapping_from_partition(triples)
+    red.problem.check_mapping(mapping)
+    assert math.isclose(red.forward_value(triples), red.target_latency)
+    recovered = red.partition_from_mapping(mapping)
+    assert source.check(recovered)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_theorem26_gadget_internal_consistency(values):
+    """For every buildable source: thresholds are ordered as the proof
+    requires (E° above E*, L° below L* = E*), residual caps hold, and the
+    forward transfer of a solution (when one exists) meets all thresholds."""
+    source = TwoPartitionInstance(values=tuple(values))
+    try:
+        red = TriCriteriaOneToOneReduction.build(source)
+    except ValueError:
+        assume(False)  # float precision refused the instance
+        return
+    assert red.thresholds.energy > red.base_energy
+    assert red.thresholds.latency < red.base_latency
+    assert red.thresholds.period == red.thresholds.latency
+    subset = source.solve()
+    if subset is not None:
+        mapping = red.mapping_from_subset(subset)
+        red.problem.check_mapping(mapping)
+        v = red.problem.evaluate(mapping)
+        assert v.meets(
+            period=red.thresholds.period,
+            latency=red.thresholds.latency,
+            energy=red.thresholds.energy,
+        )
+        assert red.subset_from_mapping(mapping) == subset

@@ -1,0 +1,73 @@
+"""Property-based validation of the simulator against the analytic model:
+for random instances and random valid mappings, the simulated steady state
+must reproduce Equations (3)/(4) and (5) exactly."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CommunicationModel
+from repro.core.evaluation import application_latency, application_period
+from repro.simulation import simulate
+
+from .strategies import mapped_instances
+
+MODELS = st.sampled_from(
+    [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+)
+
+
+@given(mapped_instances(), MODELS)
+@settings(max_examples=50, deadline=None)
+def test_simulated_period_matches_analytic(instance, model):
+    apps, platform, mapping = instance
+    result = simulate(apps, platform, mapping, 200, model=model)
+    for a in mapping.applications:
+        analytic = application_period(apps, platform, mapping, a, model)
+        measured = result.measured_period(a)
+        assert math.isclose(measured, analytic, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(mapped_instances(), MODELS)
+@settings(max_examples=50, deadline=None)
+def test_first_dataset_latency_matches_analytic(instance, model):
+    apps, platform, mapping = instance
+    result = simulate(apps, platform, mapping, 3, model=model)
+    for a in mapping.applications:
+        analytic = application_latency(apps, platform, mapping, a)
+        assert math.isclose(
+            result.measured_latency(a), analytic, rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+@given(mapped_instances(), MODELS)
+@settings(max_examples=30, deadline=None)
+def test_completions_strictly_ordered_and_gapped(instance, model):
+    """Completions are non-decreasing and, in steady state, spaced by at
+    least the bottleneck period (no resource can beat its own load)."""
+    apps, platform, mapping = instance
+    result = simulate(apps, platform, mapping, 100, model=model)
+    for a in mapping.applications:
+        comps = result.completions[a]
+        assert all(x <= y + 1e-12 for x, y in zip(comps, comps[1:]))
+        analytic = application_period(apps, platform, mapping, a, model)
+        # Average spacing can never beat the analytic period.
+        if len(comps) > 10 and analytic > 0:
+            avg = (comps[-1] - comps[9]) / (len(comps) - 10)
+            assert avg >= analytic * (1 - 1e-9)
+
+
+@given(mapped_instances())
+@settings(max_examples=20, deadline=None)
+def test_trace_resource_exclusivity(instance):
+    apps, platform, mapping = instance
+    result = simulate(apps, platform, mapping, 20, keep_trace=True)
+    by_resource = {}
+    for r in result.trace:
+        for res in r.resources:
+            by_resource.setdefault(res, []).append((r.start, r.finish))
+    for intervals in by_resource.values():
+        intervals.sort()
+        for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+            assert s2 >= f1 - 1e-9

@@ -1,0 +1,197 @@
+"""Property-based tests of the solvers: optimality against the exact
+branch-and-bound oracle on randomly generated small instances, plus
+structural invariants of the DP tables."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Application,
+    CommunicationModel,
+    Criterion,
+    MappingRule,
+    Platform,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms import (
+    minimize_latency_interval,
+    minimize_period_interval,
+    minimize_period_one_to_one,
+    single_app_energy_table,
+    single_app_latency_table,
+    single_app_period_table,
+)
+from repro.algorithms.exact import exact_minimize
+
+from .strategies import applications, bandwidths, speed_sets, speeds
+
+MODELS = st.sampled_from(
+    [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+)
+
+
+@given(
+    apps=st.lists(applications(max_stages=3), min_size=1, max_size=2),
+    speed=speeds,
+    bw=bandwidths,
+    model=MODELS,
+    extra=st.integers(0, 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_theorem3_is_optimal(apps, speed, bw, model, extra):
+    total = sum(a.n_stages for a in apps)
+    assume(total <= 6)
+    platform = Platform.fully_homogeneous(
+        min(total + extra, 6), speeds=[speed], bandwidth=bw
+    )
+    problem = ProblemInstance(
+        apps=tuple(apps), platform=platform, model=model
+    )
+    fast = minimize_period_interval(problem)
+    exact = exact_minimize(problem, Criterion.PERIOD)
+    assert math.isclose(fast.objective, exact.objective, rel_tol=1e-9)
+
+
+@given(
+    apps=st.lists(applications(max_stages=2), min_size=1, max_size=2),
+    sets=st.lists(speed_sets(max_modes=1), min_size=7, max_size=7),
+    bw=bandwidths,
+    model=MODELS,
+)
+@settings(max_examples=30, deadline=None)
+def test_theorem1_is_optimal(apps, sets, bw, model):
+    total = sum(a.n_stages for a in apps)
+    assume(total <= 4)
+    platform = Platform.comm_homogeneous(sets[: total + 1], bandwidth=bw)
+    problem = ProblemInstance(
+        apps=tuple(apps),
+        platform=platform,
+        rule=MappingRule.ONE_TO_ONE,
+        model=model,
+    )
+    fast = minimize_period_one_to_one(problem)
+    exact = exact_minimize(problem, Criterion.PERIOD)
+    assert math.isclose(fast.objective, exact.objective, rel_tol=1e-9)
+
+
+@given(
+    apps=st.lists(applications(max_stages=3), min_size=1, max_size=2),
+    sets=st.lists(speed_sets(max_modes=1), min_size=4, max_size=4),
+    bw=bandwidths,
+)
+@settings(max_examples=30, deadline=None)
+def test_theorem12_is_optimal(apps, sets, bw):
+    total = sum(a.n_stages for a in apps)
+    assume(total <= 6)
+    platform = Platform.comm_homogeneous(sets, bandwidth=bw)
+    problem = ProblemInstance(apps=tuple(apps), platform=platform)
+    fast = minimize_latency_interval(problem)
+    exact = exact_minimize(problem, Criterion.LATENCY)
+    assert math.isclose(fast.objective, exact.objective, rel_tol=1e-9)
+
+
+@given(
+    app=applications(max_stages=6),
+    speed=speeds,
+    bw=bandwidths,
+    model=MODELS,
+)
+@settings(max_examples=40, deadline=None)
+def test_period_table_monotone_and_reconstructible(app, speed, bw, model):
+    table = single_app_period_table(app, app.n_stages, speed, bw, model)
+    prev = math.inf
+    for q in range(1, table.max_procs + 1):
+        assert table.period(q) <= prev + 1e-12
+        prev = table.period(q)
+        intervals = table.reconstruct(q)
+        assert intervals[0][0] == 0
+        assert intervals[-1][1] == app.n_stages - 1
+        assert len(intervals) <= q
+
+
+@given(
+    app=applications(max_stages=5),
+    speed=speeds,
+    bw=bandwidths,
+    model=MODELS,
+    slack=st.floats(min_value=1.0, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_latency_table_consistent_with_period_table(
+    app, speed, bw, model, slack
+):
+    """With a period bound equal to the q-processor optimum (times slack),
+    the latency DP must be feasible at q and its mapping must meet the
+    bound."""
+    p_table = single_app_period_table(app, app.n_stages, speed, bw, model)
+    for q in (1, app.n_stages):
+        bound = p_table.period(q) * slack
+        l_table = single_app_latency_table(
+            app, q, speed, bw, model, bound
+        )
+        assert math.isfinite(l_table.latency(q))
+
+
+@given(
+    app=applications(max_stages=4),
+    modes=speed_sets(max_modes=3),
+    bw=bandwidths,
+    model=MODELS,
+)
+@settings(max_examples=40, deadline=None)
+def test_energy_table_monotone_in_period_bound(app, modes, bw, model):
+    """A looser period bound never increases the optimal energy."""
+    from repro import EnergyModel
+
+    em = EnergyModel(alpha=2.0)
+    p_table = single_app_period_table(
+        app, app.n_stages, modes[-1], bw, model
+    )
+    tight = p_table.period(app.n_stages)
+    assume(math.isfinite(tight) and tight > 0)
+    e_tight = single_app_energy_table(
+        app, app.n_stages, modes, 0.0, bw, model, tight, em
+    ).energy(app.n_stages)
+    e_loose = single_app_energy_table(
+        app, app.n_stages, modes, 0.0, bw, model, tight * 2, em
+    ).energy(app.n_stages)
+    assert e_loose <= e_tight + 1e-9
+
+
+@given(
+    app=applications(max_stages=3),
+    modes=speed_sets(max_modes=2),
+    bw=bandwidths,
+)
+@settings(max_examples=25, deadline=None)
+def test_theorem18_matches_exact(app, modes, bw):
+    from repro import EnergyModel
+
+    model = CommunicationModel.OVERLAP
+    em = EnergyModel(alpha=2.0)
+    p_table = single_app_period_table(app, app.n_stages, modes[-1], bw, model)
+    bound = p_table.period(app.n_stages) * 1.5
+    assume(math.isfinite(bound) and bound > 0)
+    platform = Platform.fully_homogeneous(
+        app.n_stages, speeds=modes, bandwidth=bw
+    )
+    problem = ProblemInstance(
+        apps=(app,), platform=platform, model=model, energy_model=em
+    )
+    table = single_app_energy_table(
+        app, app.n_stages, modes, 0.0, bw, model, bound, em
+    )
+    if not math.isfinite(table.energy(app.n_stages)):
+        return
+    # Per-app bound is on the unweighted period.
+    exact = exact_minimize(
+        problem,
+        Criterion.ENERGY,
+        Thresholds(per_app_period=(bound,)),
+    )
+    assert math.isclose(
+        table.energy(app.n_stages), exact.objective, rel_tol=1e-9
+    )

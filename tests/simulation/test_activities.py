@@ -1,0 +1,82 @@
+"""Unit tests for activity-chain construction."""
+
+import pytest
+
+from repro import (
+    Application,
+    Assignment,
+    CommunicationModel,
+    Mapping,
+    Platform,
+)
+from repro.simulation import build_activity_chain
+from repro.simulation.activities import cpu, link
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+
+
+@pytest.fixture
+def split_setting():
+    app = Application.from_lists([2, 4], [3, 5], input_data_size=1)
+    platform = Platform.fully_homogeneous(3, [2.0], bandwidth=2.0)
+    mapping = Mapping.from_assignments(
+        [
+            Assignment(app=0, interval=(0, 0), proc=1, speed=2.0),
+            Assignment(app=0, interval=(1, 1), proc=2, speed=2.0),
+        ]
+    )
+    return app, platform, mapping
+
+
+class TestChainStructure:
+    def test_alternating_kinds(self, split_setting):
+        app, platform, mapping = split_setting
+        chain = build_activity_chain([app], platform, mapping, 0, OVERLAP)
+        assert [x.kind for x in chain] == [
+            "comm", "comp", "comm", "comp", "comm",
+        ]
+
+    def test_durations(self, split_setting):
+        app, platform, mapping = split_setting
+        chain = build_activity_chain([app], platform, mapping, 0, OVERLAP)
+        # in 1/2, comp 2/2, mid 3/2, comp 4/2, out 5/2.
+        assert [x.duration for x in chain] == pytest.approx(
+            [0.5, 1.0, 1.5, 2.0, 2.5]
+        )
+
+    def test_overlap_resources(self, split_setting):
+        app, platform, mapping = split_setting
+        chain = build_activity_chain([app], platform, mapping, 0, OVERLAP)
+        assert chain[0].resources == (link(0, 0),)
+        assert chain[1].resources == (cpu(1),)
+        assert chain[2].resources == (link(0, 1),)
+        assert chain[3].resources == (cpu(2),)
+        assert chain[4].resources == (link(0, 2),)
+
+    def test_no_overlap_resources(self, split_setting):
+        app, platform, mapping = split_setting
+        chain = build_activity_chain([app], platform, mapping, 0, NO_OVERLAP)
+        # Input comm occupies only the receiving CPU (Pin is dedicated I/O).
+        assert chain[0].resources == (cpu(1),)
+        # The mid communication occupies both endpoint CPUs.
+        assert set(chain[2].resources) == {cpu(1), cpu(2)}
+        # Output comm occupies only the sender.
+        assert chain[4].resources == (cpu(2),)
+
+    def test_zero_size_communications_have_zero_duration(self):
+        app = Application.from_lists([2], [0], input_data_size=0)
+        platform = Platform.fully_homogeneous(1, [1.0])
+        mapping = Mapping.single_app([((0, 0), 0, 1.0)])
+        chain = build_activity_chain([app], platform, mapping, 0, OVERLAP)
+        assert chain[0].duration == 0.0
+        assert chain[2].duration == 0.0
+
+    def test_whole_app_single_interval(self):
+        app = Application.from_lists([2, 4], [3, 5], input_data_size=1)
+        platform = Platform.fully_homogeneous(1, [2.0])
+        mapping = Mapping.single_app([((0, 1), 0, 2.0)])
+        chain = build_activity_chain([app], platform, mapping, 0, OVERLAP)
+        assert len(chain) == 3
+        # Computation covers both stages: (2 + 4) / 2.
+        assert chain[1].duration == pytest.approx(3.0)

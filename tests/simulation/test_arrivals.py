@@ -1,0 +1,133 @@
+"""Tests for arrival schedules: spaced, explicit and Poisson arrivals.
+
+The analytic latency (Equation (5)) assumes an unloaded pipeline; under
+bursty arrivals queueing delays stack on top of it.  These tests pin the
+boundary: slow arrivals reproduce Eq. (5) exactly, saturation reproduces
+the period, and Poisson bursts can only increase latencies.
+"""
+
+import pytest
+
+from repro import CommunicationModel
+from repro.core.evaluation import application_latency, application_period
+from repro.paper import (
+    figure1_applications,
+    figure1_platform,
+    mapping_optimal_period,
+)
+from repro.simulation import poisson_releases, simulate
+
+
+@pytest.fixture
+def setting():
+    return figure1_applications(), figure1_platform(), mapping_optimal_period()
+
+
+class TestExplicitReleases:
+    def test_release_times_respected(self, setting):
+        apps, platform, mapping = setting
+        times = [0.0, 5.0, 20.0]
+        result = simulate(
+            apps, platform, mapping, 3, release_times=times
+        )
+        for a in result.releases:
+            assert result.releases[a] == times
+            for k in range(3):
+                assert result.completions[a][k] >= times[k]
+
+    def test_length_mismatch_rejected(self, setting):
+        apps, platform, mapping = setting
+        with pytest.raises(ValueError):
+            simulate(apps, platform, mapping, 3, release_times=[0.0])
+
+    def test_decreasing_rejected(self, setting):
+        apps, platform, mapping = setting
+        with pytest.raises(ValueError):
+            simulate(
+                apps, platform, mapping, 2, release_times=[5.0, 1.0]
+            )
+
+    def test_takes_precedence_over_release_period(self, setting):
+        apps, platform, mapping = setting
+        result = simulate(
+            apps,
+            platform,
+            mapping,
+            2,
+            release_period=100.0,
+            release_times=[0.0, 1.0],
+        )
+        assert result.releases[0] == [0.0, 1.0]
+
+
+class TestSlowArrivalsMatchEquation5(object):
+    def test_all_latencies_equal_analytic(self, setting):
+        apps, platform, mapping = setting
+        # Arrivals far slower than the period: no queueing at all.
+        result = simulate(
+            apps,
+            platform,
+            mapping,
+            20,
+            release_times=[100.0 * k for k in range(20)],
+        )
+        for a in result.completions:
+            expected = application_latency(apps, platform, mapping, a)
+            for k in range(20):
+                assert result.measured_latency(a, k) == pytest.approx(expected)
+
+
+class TestPoissonArrivals:
+    def test_schedule_properties(self):
+        times = poisson_releases(200, mean_interval=2.0, seed=3)
+        assert len(times) == 200
+        assert times[0] == 0.0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert 1.4 < mean < 2.6  # exponential with mean 2
+
+    def test_seeded(self):
+        assert poisson_releases(10, 1.0, seed=5) == poisson_releases(
+            10, 1.0, seed=5
+        )
+        assert poisson_releases(10, 1.0, seed=5) != poisson_releases(
+            10, 1.0, seed=6
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            poisson_releases(0, 1.0)
+        with pytest.raises(ValueError):
+            poisson_releases(5, 0.0)
+
+    def test_bursts_inflate_latency_beyond_equation5(self, setting):
+        """With mean inter-arrival equal to the period, bursts force
+        queueing: the mean observed latency strictly exceeds Eq. (5) while
+        the minimum still touches it (some data sets arrive into an idle
+        pipeline)."""
+        apps, platform, mapping = setting
+        times = poisson_releases(400, mean_interval=1.0, seed=7)
+        result = simulate(
+            apps, platform, mapping, 400, release_times=times
+        )
+        for a in result.completions:
+            analytic = application_latency(apps, platform, mapping, a)
+            observed = [
+                result.measured_latency(a, k) for k in range(400)
+            ]
+            assert min(observed) >= analytic - 1e-9
+            assert sum(observed) / len(observed) > analytic
+
+    def test_throughput_still_bounded_by_period(self, setting):
+        """However bursty, the completion rate cannot beat Eq. (3)."""
+        apps, platform, mapping = setting
+        times = poisson_releases(300, mean_interval=0.5, seed=9)
+        result = simulate(
+            apps, platform, mapping, 300, release_times=times
+        )
+        for a in result.completions:
+            analytic = application_period(
+                apps, platform, mapping, a, CommunicationModel.OVERLAP
+            )
+            assert result.measured_period(a) >= analytic * (1 - 1e-9)

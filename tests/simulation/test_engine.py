@@ -1,0 +1,171 @@
+"""Tests for the discrete-event simulator: the operational model must
+reproduce Equations (3), (4) and (5) exactly on deterministic runs."""
+
+import math
+
+import pytest
+
+from repro import CommunicationModel, Criterion, MappingRule
+from repro.core.evaluation import application_latency, application_period
+from repro.generators import small_random_problem
+from repro.paper import (
+    figure1_applications,
+    figure1_platform,
+    mapping_compromise_energy_46,
+    mapping_min_energy,
+    mapping_optimal_latency,
+    mapping_optimal_period,
+)
+from repro.simulation import build_activity_chain, simulate
+
+OVERLAP = CommunicationModel.OVERLAP
+NO_OVERLAP = CommunicationModel.NO_OVERLAP
+BOTH_MODELS = [OVERLAP, NO_OVERLAP]
+
+ALL_FIG1_MAPPINGS = [
+    mapping_optimal_period,
+    mapping_optimal_latency,
+    mapping_min_energy,
+    mapping_compromise_energy_46,
+]
+
+
+class TestActivityChains:
+    def test_chain_length(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        mapping = mapping_optimal_period()
+        # App2 is split in two intervals: 2 comps + 3 comms.
+        chain = build_activity_chain(apps, platform, mapping, 1, OVERLAP)
+        assert len(chain) == 5
+        kinds = [a.kind for a in chain]
+        assert kinds == ["comm", "comp", "comm", "comp", "comm"]
+
+    def test_durations_sum_to_latency(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        for make in ALL_FIG1_MAPPINGS:
+            mapping = make()
+            for a in mapping.applications:
+                chain = build_activity_chain(apps, platform, mapping, a, OVERLAP)
+                total = sum(x.duration for x in chain)
+                assert total == pytest.approx(
+                    application_latency(apps, platform, mapping, a)
+                )
+
+    def test_no_overlap_resources_are_cpus(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        mapping = mapping_optimal_period()
+        chain = build_activity_chain(apps, platform, mapping, 1, NO_OVERLAP)
+        comm_between = [
+            x for x in chain if x.kind == "comm" and x.position == 1
+        ][0]
+        assert len(comm_between.resources) == 2
+        assert all(r[0] == "cpu" for r in comm_between.resources)
+
+
+class TestSimulatorMatchesAnalyticModel:
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("make", ALL_FIG1_MAPPINGS)
+    def test_figure1_mappings(self, make, model):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        mapping = make()
+        result = simulate(apps, platform, mapping, 300, model=model)
+        for a in mapping.applications:
+            assert result.measured_period(a) == pytest.approx(
+                application_period(apps, platform, mapping, a, model)
+            )
+            assert result.measured_latency(a) == pytest.approx(
+                application_latency(apps, platform, mapping, a)
+            )
+
+    @pytest.mark.parametrize("model", BOTH_MODELS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed, model):
+        problem = small_random_problem(seed, model=model, stage_range=(1, 4))
+        from repro.algorithms.exact import exact_minimize
+
+        mapping = exact_minimize(problem, Criterion.PERIOD).mapping
+        result = simulate(
+            problem.apps, problem.platform, mapping, 300, model=model
+        )
+        for a in mapping.applications:
+            analytic = application_period(
+                problem.apps, problem.platform, mapping, a, model
+            )
+            assert result.measured_period(a) == pytest.approx(analytic), seed
+
+    def test_latency_under_spaced_arrivals(self):
+        # With arrivals slower than the period, every data set sees an empty
+        # pipeline: all latencies equal Equation (5).
+        apps = figure1_applications()
+        platform = figure1_platform()
+        mapping = mapping_optimal_period()
+        result = simulate(
+            apps, platform, mapping, 50, model=OVERLAP, release_period=10.0
+        )
+        for a in mapping.applications:
+            expected = application_latency(apps, platform, mapping, a)
+            for k in range(50):
+                assert result.measured_latency(a, k) == pytest.approx(expected)
+
+
+class TestSimulatorBehaviour:
+    def test_trace_recording(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        mapping = mapping_optimal_period()
+        result = simulate(
+            apps, platform, mapping, 10, keep_trace=True
+        )
+        assert result.trace is not None
+        # 10 datasets x (3 activities for app1 + 5 for app2).
+        assert len(result.trace) == 10 * (3 + 5)
+        # Resource exclusivity: no two records overlap on a resource.
+        by_resource = {}
+        for r in result.trace:
+            for res in r.resources:
+                by_resource.setdefault(res, []).append((r.start, r.finish))
+        for intervals in by_resource.values():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-12
+
+    def test_dataset_order_preserved(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        result = simulate(apps, platform, mapping_optimal_period(), 50)
+        for comps in result.completions.values():
+            assert all(a <= b for a, b in zip(comps, comps[1:]))
+
+    def test_jitter_is_seeded(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        m = mapping_optimal_period()
+        r1 = simulate(apps, platform, m, 50, jitter=0.2, seed=5)
+        r2 = simulate(apps, platform, m, 50, jitter=0.2, seed=5)
+        r3 = simulate(apps, platform, m, 50, jitter=0.2, seed=6)
+        assert r1.completions == r2.completions
+        assert r1.completions != r3.completions
+
+    def test_jitter_degrades_gracefully(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        m = mapping_optimal_period()
+        clean = simulate(apps, platform, m, 400)
+        noisy = simulate(apps, platform, m, 400, jitter=0.1, seed=3)
+        for a in m.applications:
+            ratio = noisy.measured_period(a) / clean.measured_period(a)
+            # Mild noise may slow the pipeline slightly, never catastrophically.
+            assert 0.9 <= ratio <= 1.3
+
+    def test_invalid_parameters(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        m = mapping_optimal_period()
+        with pytest.raises(ValueError):
+            simulate(apps, platform, m, 0)
+        with pytest.raises(ValueError):
+            simulate(apps, platform, m, 10, jitter=1.5)

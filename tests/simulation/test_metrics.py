@@ -1,0 +1,71 @@
+"""Tests for the steady-state metric extraction helpers."""
+
+import pytest
+
+from repro.simulation import (
+    latencies_from_trace,
+    resource_utilization,
+    simulate,
+    steady_state_period,
+)
+from repro.paper import (
+    figure1_applications,
+    figure1_platform,
+    mapping_optimal_period,
+)
+
+
+class TestSteadyStatePeriod:
+    def test_regular_completions(self):
+        completions = [3.0 + 2.0 * k for k in range(10)]
+        assert steady_state_period(completions) == pytest.approx(2.0)
+
+    def test_warmup_excluded(self):
+        # A slow start must not bias the steady-state estimate.
+        completions = [10.0] + [12.0 + 2.0 * k for k in range(20)]
+        assert steady_state_period(completions) == pytest.approx(2.0)
+
+    def test_window_override(self):
+        completions = [0.0, 1.0, 2.0, 10.0]
+        assert steady_state_period(completions, window=1) == pytest.approx(8.0)
+
+    def test_degenerate(self):
+        assert steady_state_period([5.0]) == 0.0
+        assert steady_state_period([]) == 0.0
+
+
+class TestLatencies:
+    def test_basic(self):
+        assert latencies_from_trace([5.0, 7.0], [1.0, 2.0]) == [4.0, 5.0]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            latencies_from_trace([1.0], [])
+
+
+class TestUtilization:
+    def test_bottleneck_is_saturated(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        mapping = mapping_optimal_period()
+        result = simulate(
+            apps, platform, mapping, 300, keep_trace=True
+        )
+        util = resource_utilization(result.trace)
+        # The period-1 mapping saturates every CPU ("no idle time").
+        cpu_utils = [u for res, u in util.items() if res[0] == "cpu"]
+        assert all(u > 0.95 for u in cpu_utils)
+
+    def test_bounded_by_one(self):
+        apps = figure1_applications()
+        platform = figure1_platform()
+        result = simulate(
+            apps, platform, mapping_optimal_period(), 100, keep_trace=True
+        )
+        util = resource_utilization(result.trace)
+        assert all(u <= 1.0 + 1e-9 for u in util.values())
+
+    def test_empty_trace(self):
+        from repro.simulation.trace import Trace
+
+        assert resource_utilization(Trace()) == {}

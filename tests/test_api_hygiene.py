@@ -1,0 +1,91 @@
+"""API hygiene meta-tests: every public item is documented and exported
+names actually exist (the library is meant as a usable open-source
+release, not research scratch)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.algorithms",
+    "repro.algorithms.exact",
+    "repro.algorithms.heuristics",
+    "repro.algorithms.reductions",
+    "repro.analysis",
+    "repro.extensions",
+    "repro.generators",
+    "repro.matching",
+    "repro.paper",
+    "repro.simulation",
+]
+
+
+def iter_all_modules():
+    seen = set()
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        yield module
+        seen.add(name)
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                full = f"{name}.{info.name}"
+                if full not in seen:
+                    seen.add(full)
+                    yield importlib.import_module(full)
+
+
+@pytest.mark.parametrize(
+    "module", list(iter_all_modules()), ids=lambda m: m.__name__
+)
+def test_module_docstrings(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_exist(package_name):
+    module = importlib.import_module(package_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    for name in exported:
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing {name}"
+
+
+def _public_callables(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if getattr(obj, "__module__", "").startswith("repro"):
+                yield name, obj
+
+
+@pytest.mark.parametrize(
+    "module", list(iter_all_modules()), ids=lambda m: m.__name__
+)
+def test_public_callables_documented(module):
+    undocumented = [
+        name
+        for name, obj in _public_callables(module)
+        if not inspect.getdoc(obj)
+    ]
+    assert not undocumented, (
+        f"{module.__name__}: undocumented public items: {undocumented}"
+    )
+
+
+def test_version_string():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_top_level_all_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

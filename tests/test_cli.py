@@ -1,0 +1,109 @@
+"""Tests for the ``repro-pipelines`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_demo_example(self, capsys):
+        assert main(["demo-example"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal period" in out
+        assert "136" in out and "2.75" in out and "46" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "NP-complete" in out and "polynomial" in out
+
+    def test_solve_default(self, capsys):
+        assert main(["solve", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "objective (period)" in out
+        assert "theorem3" in out
+
+    def test_solve_latency_heuristic(self, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    "--criterion",
+                    "latency",
+                    "--platform",
+                    "fully-heterogeneous",
+                    "--method",
+                    "heuristic",
+                    "--seed",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "optimal : False" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--datasets", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "measured period" in out
+
+    def test_simulate_no_overlap(self, capsys):
+        assert main(["simulate", "--model", "no-overlap"]) == 0
+
+    def test_generate_and_solve_file(self, capsys, tmp_path):
+        instance = tmp_path / "inst.json"
+        mapping = tmp_path / "map.json"
+        assert main(["generate", str(instance), "--seed", "4"]) == 0
+        assert instance.exists()
+        assert (
+            main(
+                [
+                    "solve-file",
+                    str(instance),
+                    "--criterion",
+                    "energy",
+                    "--max-period",
+                    "50",
+                    "--output",
+                    str(mapping),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "objective (energy)" in out
+        assert mapping.exists()
+        # The saved mapping round-trips and validates.
+        import json
+
+        from repro.io import load_problem, mapping_from_dict
+
+        problem = load_problem(instance)
+        m = mapping_from_dict(json.loads(mapping.read_text()))
+        problem.check_mapping(m)
+
+    def test_pareto_default_figure1(self, capsys):
+        assert main(["pareto"]) == 0
+        out = capsys.readouterr().out
+        assert "non-dominated" in out
+        assert "136" in out and "46" in out
+
+    def test_pareto_from_file(self, capsys, tmp_path):
+        instance = tmp_path / "inst.json"
+        assert main(["generate", str(instance), "--seed", "1", "--modes", "2"]) == 0
+        assert main(["pareto", "--instance", str(instance), "--points", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "non-dominated" in out

@@ -1,0 +1,121 @@
+"""Tests for the JSON serialization layer."""
+
+import json
+
+import pytest
+
+from repro import CommunicationModel, MappingRule
+from repro.generators import small_random_problem
+from repro.io import (
+    SCHEMA_VERSION,
+    SerializationError,
+    application_from_dict,
+    application_to_dict,
+    load_problem,
+    mapping_from_dict,
+    mapping_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+)
+from repro.paper import (
+    figure1_applications,
+    figure1_platform,
+    figure1_problem,
+    mapping_optimal_period,
+)
+
+
+class TestApplicationRoundTrip:
+    def test_round_trip(self):
+        for app in figure1_applications():
+            clone = application_from_dict(application_to_dict(app))
+            assert clone == app
+
+    def test_json_compatible(self):
+        payload = application_to_dict(figure1_applications()[0])
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_missing_field(self):
+        with pytest.raises(SerializationError):
+            application_from_dict({"works": [1.0]})
+
+
+class TestPlatformRoundTrip:
+    def test_round_trip_simple(self):
+        platform = figure1_platform()
+        clone = platform_from_dict(platform_to_dict(platform))
+        assert clone == platform
+
+    def test_round_trip_heterogeneous(self):
+        from repro.generators import (
+            random_fully_heterogeneous_platform,
+            rng_from,
+        )
+
+        platform = random_fully_heterogeneous_platform(rng_from(3), 4, 2)
+        clone = platform_from_dict(platform_to_dict(platform))
+        assert clone == platform
+        # Bandwidth resolution must be preserved exactly.
+        for u in range(4):
+            for v in range(u + 1, 4):
+                assert clone.bandwidth(u, v) == platform.bandwidth(u, v)
+
+
+class TestMappingRoundTrip:
+    def test_round_trip(self):
+        mapping = mapping_optimal_period()
+        clone = mapping_from_dict(mapping_to_dict(mapping))
+        assert clone == mapping
+
+
+class TestProblemRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_round_trip_random(self, seed):
+        from repro import PlatformClass
+
+        problem = small_random_problem(
+            seed,
+            platform_class=PlatformClass.FULLY_HETEROGENEOUS,
+            model=CommunicationModel.NO_OVERLAP,
+            n_modes=2,
+        )
+        clone = problem_from_dict(problem_to_dict(problem))
+        assert clone.apps == problem.apps
+        assert clone.platform == problem.platform
+        assert clone.rule is problem.rule
+        assert clone.model is problem.model
+        assert clone.energy_model == problem.energy_model
+
+    def test_solutions_identical_after_round_trip(self):
+        from repro import Criterion
+        from repro.algorithms.exact import exact_minimize
+
+        problem = figure1_problem()
+        clone = problem_from_dict(problem_to_dict(problem))
+        s1 = exact_minimize(problem, Criterion.PERIOD)
+        s2 = exact_minimize(clone, Criterion.PERIOD)
+        assert s1.objective == s2.objective
+        assert s1.mapping == s2.mapping
+
+    def test_schema_check(self):
+        payload = problem_to_dict(figure1_problem())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SerializationError):
+            problem_from_dict(payload)
+
+    def test_file_round_trip(self, tmp_path):
+        problem = figure1_problem()
+        path = tmp_path / "instance.json"
+        save_problem(problem, path)
+        clone = load_problem(path)
+        assert clone.apps == problem.apps
+        assert clone.platform == problem.platform
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_problem(path)
