@@ -1,0 +1,7 @@
+"""Compatibility shim: lets ``pip install -e .`` use the legacy editable
+path on environments whose setuptools predates PEP 660 / lacks ``wheel``.
+All metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

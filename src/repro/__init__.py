@@ -45,10 +45,12 @@ from .core import (
     Stage,
     Thresholds,
     evaluate,
+    evaluate_scalar,
     global_latency,
     global_period,
     platform_energy,
 )
+from .kernel import EvaluationContext
 
 __version__ = "1.0.0"
 
@@ -59,6 +61,7 @@ __all__ = [
     "CriteriaValues",
     "Criterion",
     "EnergyModel",
+    "EvaluationContext",
     "InfeasibleProblemError",
     "InvalidApplicationError",
     "InvalidMappingError",
@@ -76,6 +79,7 @@ __all__ = [
     "Thresholds",
     "__version__",
     "evaluate",
+    "evaluate_scalar",
     "global_latency",
     "global_period",
     "platform_energy",

@@ -31,14 +31,19 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.application import Application
 from ..core.exceptions import InfeasibleProblemError, SolverError
 from ..core.mapping import Assignment, Mapping
-from ..core.objectives import Thresholds, meets_threshold
+from ..core.objectives import Thresholds, meets_threshold, threshold_ceiling
 from ..core.problem import ProblemInstance, Solution
 from ..core.types import CommunicationModel, Interval, PlatformClass
+from ..kernel.vectorized import (
+    interval_cycle_matrix,
+    latency_segment_matrix,
+)
 from .binary_search import smallest_feasible
-from .interval_period import interval_cycle
 from .latency import canonical_one_to_one_mapping
 from .processor_allocation import allocate_processors
 
@@ -105,36 +110,29 @@ def single_app_latency_table(
     q_max = max(1, min(max_procs, n))
     inf = math.inf
 
-    allowed = [[False] * (n + 1) for _ in range(n)]
-    seg_cost = [[0.0] * (n + 1) for _ in range(n)]
-    for j in range(n):
-        for i in range(j + 1, n + 1):
-            cyc = interval_cycle(app, (j, i - 1), speed, bandwidth, model)
-            allowed[j][i] = meets_threshold(cyc, period_bound)
-            seg_cost[j][i] = (
-                app.work_sum(j, i - 1) / speed
-                + app.output_size(i - 1) / bandwidth
-            )
+    # Vectorized tables: interval cycle-times gate feasibility against the
+    # period bound, latency segments carry the Equation (5) contribution.
+    cycle = interval_cycle_matrix(app, speed, bandwidth, model)
+    threshold = threshold_ceiling(period_bound)
+    seg_cost = latency_segment_matrix(app, speed, bandwidth)
+    seg_cost = np.where(cycle <= threshold, seg_cost, inf)
 
-    prev = [app.input_data_size / bandwidth] + [inf] * n  # q = 0
+    prev = np.full(n + 1, inf)
+    prev[0] = app.input_data_size / bandwidth  # q = 0
     latencies: List[float] = [inf]
     parents: List[Tuple[int, ...]] = [tuple([-1] * (n + 1))]
     for q in range(1, q_max + 1):
-        cur = list(prev)  # "use at most q-1 processors" default
+        cur = prev.copy()  # "use at most q-1 processors" default
         par = [-1] * (n + 1)
         for i in range(1, n + 1):
-            best = prev[i]
-            best_j = -1
-            for j in range(i):
-                if not allowed[j][i] or not math.isfinite(prev[j]):
-                    continue
-                value = prev[j] + seg_cost[j][i]
-                if value < best:
-                    best = value
-                    best_j = j
-            cur[i] = best
-            par[i] = best_j
-        latencies.append(cur[n])
+            # Period-infeasible segments are +inf and never win the strict
+            # comparison; first argmin = scalar tie-breaking.
+            candidates = prev[:i] + seg_cost[:i, i]
+            j = int(np.argmin(candidates))
+            if candidates[j] < prev[i]:
+                cur[i] = candidates[j]
+                par[i] = j
+        latencies.append(float(cur[n]))
         parents.append(tuple(par))
         prev = cur
     return LatencyTable(
@@ -161,23 +159,17 @@ def single_app_period_candidates(
     ``{sum_{i..j} w / s}``.  No-overlap model: full interval cycle-times
     ``delta_{i-1}/b + sum w/s + delta_j/b``.
     """
+    from ..kernel.context import app_arrays
+
     n = app.n_stages
-    out: List[float] = []
+    prefix, delta = app_arrays(app)
+    upper = np.arange(1, n + 1)[None, :] > np.arange(n)[:, None]
     if model is CommunicationModel.OVERLAP:
-        out.append(app.input_data_size / bandwidth)
-        out.extend(app.output_size(i) / bandwidth for i in range(n))
-        for i in range(n):
-            for j in range(i, n):
-                out.append(app.work_sum(i, j) / speed)
-    else:
-        for i in range(n):
-            for j in range(i, n):
-                out.append(
-                    app.input_size(i) / bandwidth
-                    + app.work_sum(i, j) / speed
-                    + app.output_size(j) / bandwidth
-                )
-    return out
+        comms = delta / bandwidth
+        works = (prefix[None, 1:] - prefix[:n, None]) / speed
+        return [*comms.tolist(), *works[upper].tolist()]
+    cycles = interval_cycle_matrix(app, speed, bandwidth, model)
+    return cycles[:, 1:][upper].tolist()
 
 
 def single_app_min_period_given_latency(
@@ -235,10 +227,13 @@ def _mapping_from_tables(
 
 
 def minimize_latency_given_period(
-    problem: ProblemInstance, thresholds: Thresholds
+    problem: ProblemInstance, thresholds: Thresholds, *, context=None
 ) -> Solution:
     """Theorem 16: minimize the global weighted latency subject to a period
-    bound per application (or a global weighted period bound)."""
+    bound per application (or a global weighted period bound).
+
+    ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext` for the final evaluation."""
     _require_fully_homogeneous(problem, "Theorem 16 (latency | period)")
     platform = problem.platform
     speed = platform.common_speed_set()[-1]
@@ -269,7 +264,7 @@ def minimize_latency_given_period(
             "period thresholds unreachable even with all processors"
         )
     mapping = _mapping_from_tables(problem, tables, allocation.counts)
-    values = problem.evaluate(mapping)
+    values = problem.evaluation_context(context).evaluate(mapping)
     return Solution(
         mapping=mapping,
         objective=values.latency,
@@ -281,10 +276,13 @@ def minimize_latency_given_period(
 
 
 def minimize_period_given_latency(
-    problem: ProblemInstance, thresholds: Thresholds
+    problem: ProblemInstance, thresholds: Thresholds, *, context=None
 ) -> Solution:
     """Theorem 16 (dual): minimize the global weighted period subject to a
-    latency bound per application (or a global weighted latency bound)."""
+    latency bound per application (or a global weighted latency bound).
+
+    ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext` for the final evaluation."""
     _require_fully_homogeneous(problem, "Theorem 16 (period | latency)")
     platform = problem.platform
     speed = platform.common_speed_set()[-1]
@@ -326,7 +324,7 @@ def minimize_period_given_latency(
         assert witness is not None
         tables.append(witness)
     mapping = _mapping_from_tables(problem, tables, allocation.counts)
-    values = problem.evaluate(mapping)
+    values = problem.evaluation_context(context).evaluate(mapping)
     return Solution(
         mapping=mapping,
         objective=values.period,

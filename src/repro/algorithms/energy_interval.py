@@ -28,6 +28,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.application import Application
 from ..core.energy import EnergyModel
 from ..core.exceptions import InfeasibleProblemError, SolverError
@@ -35,6 +37,7 @@ from ..core.mapping import Assignment, Mapping
 from ..core.objectives import Thresholds, meets_threshold
 from ..core.problem import ProblemInstance, Solution
 from ..core.types import CommunicationModel, Interval, PlatformClass
+from ..kernel.vectorized import interval_energy_table
 from .interval_period import interval_cycle
 
 
@@ -119,38 +122,35 @@ def single_app_energy_table(
     n = app.n_stages
     q_max = max(1, min(max_procs, n))
     inf = math.inf
-    speeds_sorted = sorted(speed_set)
 
-    seg_energy = [[inf] * (n + 1) for _ in range(n)]
-    seg_speed = [[0.0] * (n + 1) for _ in range(n)]
-    for j in range(n):
-        for i in range(j + 1, n + 1):
-            s = cheapest_feasible_speed(
-                app, (j, i - 1), speeds_sorted, bandwidth, model, period_bound
-            )
-            if s is not None:
-                seg_speed[j][i] = s
-                seg_energy[j][i] = static_energy + energy_model.dynamic(s)
+    # Cheapest feasible mode of every interval, tabulated vectorized
+    # (+inf energy / 0.0 speed where even the fastest mode misses).
+    seg_energy, seg_speed = interval_energy_table(
+        app,
+        speed_set,
+        static_energy,
+        bandwidth,
+        model,
+        period_bound,
+        energy_model,
+    )
 
-    prev = [0.0] + [inf] * n  # q = 0
+    prev = np.full(n + 1, inf)
+    prev[0] = 0.0  # q = 0
     energies: List[float] = [inf]
     parents: List[Tuple[int, ...]] = [tuple([-1] * (n + 1))]
     for q in range(1, q_max + 1):
-        cur = list(prev)
+        cur = prev.copy()
         par = [-1] * (n + 1)
         for i in range(1, n + 1):
-            best = prev[i]
-            best_j = -1
-            for j in range(i):
-                if not math.isfinite(prev[j]) or not math.isfinite(seg_energy[j][i]):
-                    continue
-                value = prev[j] + seg_energy[j][i]
-                if value < best:
-                    best = value
-                    best_j = j
-            cur[i] = best
-            par[i] = best_j
-        energies.append(cur[n])
+            # Infeasible combinations are +inf and can never win the
+            # strict comparison; first argmin = scalar tie-breaking.
+            candidates = prev[:i] + seg_energy[:i, i]
+            j = int(np.argmin(candidates))
+            if candidates[j] < prev[i]:
+                cur[i] = candidates[j]
+                par[i] = j
+        energies.append(float(cur[n]))
         parents.append(tuple(par))
         prev = cur
     return EnergyTable(
@@ -158,7 +158,7 @@ def single_app_energy_table(
         period_bound=period_bound,
         energies=tuple(energies),
         parents=tuple(parents),
-        segment_speed=tuple(tuple(row) for row in seg_speed),
+        segment_speed=tuple(tuple(row) for row in seg_speed.tolist()),
     )
 
 
@@ -171,7 +171,7 @@ def _require_fully_homogeneous(problem: ProblemInstance, solver: str) -> None:
 
 
 def minimize_energy_given_period_interval(
-    problem: ProblemInstance, thresholds: Thresholds
+    problem: ProblemInstance, thresholds: Thresholds, *, context=None
 ) -> Solution:
     """Theorem 21: minimize the total energy of an interval mapping subject
     to a period bound per application, on a fully homogeneous platform.
@@ -180,6 +180,8 @@ def minimize_energy_given_period_interval(
     processor-budget DP over applications (``O(A p^2)`` after the per-app
     tables).  Every application must be mapped; ``InfeasibleProblemError``
     is raised when the bounds are unreachable with ``p`` processors.
+    ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext` for the final evaluation.
     """
     _require_fully_homogeneous(problem, "Theorem 21")
     platform = problem.platform
@@ -242,7 +244,7 @@ def minimize_energy_given_period_interval(
             )
             next_proc += 1
     mapping = Mapping.from_assignments(assignments)
-    values = problem.evaluate(mapping)
+    values = problem.evaluation_context(context).evaluate(mapping)
     return Solution(
         mapping=mapping,
         objective=values.energy,

@@ -17,7 +17,7 @@ from ...core.mapping import Mapping
 from ...core.objectives import Thresholds
 from ...core.problem import ProblemInstance, Solution
 from ...core.types import Criterion
-from .local_search import neighbors, score
+from .local_search import neighbors, score_values
 
 
 def anneal(
@@ -30,8 +30,12 @@ def anneal(
     n_iterations: int = 2000,
     initial_temperature: Optional[float] = None,
     cooling: float = 0.995,
+    context=None,
 ) -> Solution:
     """Simulated annealing from ``start``.
+
+    Proposals are scored through the shared vectorized kernel with
+    incremental delta-evaluation against the current state.
 
     Parameters
     ----------
@@ -43,11 +47,17 @@ def anneal(
         Defaults to 10% of the starting score (a mild, scale-aware choice).
     cooling:
         Geometric cooling factor applied per iteration.
+    context:
+        Optional prebuilt :class:`repro.kernel.EvaluationContext` to share
+        (defaults to the problem's cached one).
     """
+    ctx = problem.evaluation_context(context)
     rng = np.random.default_rng(seed)
     current = start
-    current_score = score(problem, current, criterion, thresholds)
+    current_values = ctx.evaluate(current)
+    current_score = score_values(current_values, criterion, thresholds)
     best = current
+    best_values = current_values
     best_score = current_score
     temperature = (
         initial_temperature
@@ -60,17 +70,20 @@ def anneal(
         if not options:
             break
         candidate = options[int(rng.integers(len(options)))]
-        s = score(problem, candidate, criterion, thresholds)
+        values = ctx.delta_evaluate(candidate, current, current_values)
+        s = score_values(values, criterion, thresholds)
         delta = s - current_score
         if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
             current = candidate
+            current_values = values
             current_score = s
             n_accepted += 1
             if s < best_score:
                 best = candidate
+                best_values = values
                 best_score = s
         temperature *= cooling
-    values = problem.evaluate(best)
+    values = best_values
     objective = {
         Criterion.PERIOD: values.period,
         Criterion.LATENCY: values.latency,

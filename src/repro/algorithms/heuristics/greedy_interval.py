@@ -50,13 +50,21 @@ def _initial_whole_app_mapping(problem: ProblemInstance) -> List[Assignment]:
     return assignments
 
 
-def greedy_interval_period(problem: ProblemInstance) -> Solution:
+def greedy_interval_period(
+    problem: ProblemInstance, *, context=None
+) -> Solution:
     """Split-the-bottleneck greedy for interval-mapping period minimization
-    on arbitrary platforms (all processors at full speed)."""
+    on arbitrary platforms (all processors at full speed).
+
+    Candidate splits are scored through the shared vectorized kernel with
+    incremental delta-evaluation (only the split application is
+    re-evaluated).  ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext`."""
     if problem.n_apps > problem.platform.n_processors:
         raise InfeasibleProblemError(
             "need at least one processor per application"
         )
+    ctx = problem.evaluation_context(context)
     assignments = _initial_whole_app_mapping(problem)
     mapping = Mapping.from_assignments(assignments)
 
@@ -71,7 +79,7 @@ def greedy_interval_period(problem: ProblemInstance) -> Solution:
         )
         return (values.period, total)
 
-    best_values = problem.evaluate(mapping)
+    best_values = ctx.evaluate(mapping)
     best_rank = rank(best_values)
     n_rounds = 0
     while True:
@@ -80,7 +88,7 @@ def greedy_interval_period(problem: ProblemInstance) -> Solution:
         free = [u for u in range(problem.platform.n_processors) if u not in used]
         if not free:
             break
-        improved: Optional[Tuple[Tuple[float, float], Mapping]] = None
+        improved: Optional[Tuple[Tuple[float, float], Mapping, object]] = None
         # Candidate splits: every splittable assignment, every cut, every
         # free processor for the right half.
         for victim in mapping.assignments:
@@ -108,15 +116,17 @@ def greedy_interval_period(problem: ProblemInstance) -> Solution:
                             ),
                         ]
                     )
-                    candidate_rank = rank(problem.evaluate(candidate))
+                    candidate_values = ctx.delta_evaluate(
+                        candidate, mapping, best_values
+                    )
+                    candidate_rank = rank(candidate_values)
                     if candidate_rank < best_rank and (
                         improved is None or candidate_rank < improved[0]
                     ):
-                        improved = (candidate_rank, candidate)
+                        improved = (candidate_rank, candidate, candidate_values)
         if improved is None:
             break
-        mapping = improved[1]
-        best_values = problem.evaluate(mapping)
+        _, mapping, best_values = improved
         best_rank = rank(best_values)
     return Solution(
         mapping=mapping,
@@ -128,10 +138,14 @@ def greedy_interval_period(problem: ProblemInstance) -> Solution:
     )
 
 
-def greedy_one_to_one_period(problem: ProblemInstance) -> Solution:
+def greedy_one_to_one_period(
+    problem: ProblemInstance, *, context=None
+) -> Solution:
     """List-scheduling greedy for one-to-one period minimization on
     arbitrary platforms: heaviest stages first, each on the free processor
-    minimizing its estimated weighted cycle-time."""
+    minimizing its estimated weighted cycle-time.  ``context`` optionally
+    shares a prebuilt :class:`repro.kernel.EvaluationContext` for the final
+    evaluation."""
     apps = problem.apps
     platform = problem.platform
     N = problem.n_stages_total
@@ -181,7 +195,7 @@ def greedy_one_to_one_period(problem: ProblemInstance) -> Solution:
         )
         for (a, k), u in placed.items()
     )
-    values = problem.evaluate(mapping)
+    values = problem.evaluation_context(context).evaluate(mapping)
     return Solution(
         mapping=mapping,
         objective=values.period,

@@ -212,10 +212,28 @@ def score(
     mapping: Mapping,
     criterion: Criterion,
     thresholds: Thresholds,
+    *,
+    context=None,
 ) -> float:
     """Penalized objective: criterion value plus a large penalty per unit of
-    relative threshold violation (0 violation = plain objective)."""
-    values = problem.evaluate(mapping)
+    relative threshold violation (0 violation = plain objective).
+
+    ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext` (defaults to the problem's
+    cached one)."""
+    values = problem.evaluation_context(context).evaluate(mapping)
+    return score_values(values, criterion, thresholds)
+
+
+def score_values(
+    values,
+    criterion: Criterion,
+    thresholds: Thresholds,
+) -> float:
+    """The penalized objective of already-computed
+    :class:`~repro.core.evaluation.CriteriaValues` -- the form used on the
+    hot path together with incremental
+    :meth:`~repro.kernel.EvaluationContext.delta_evaluate`."""
     objective = {
         Criterion.PERIOD: values.period,
         Criterion.LATENCY: values.latency,
@@ -249,28 +267,39 @@ def hill_climb(
     thresholds: Thresholds = Thresholds(),
     *,
     max_iterations: int = 10_000,
+    context=None,
 ) -> Solution:
     """Best-improvement descent from ``start`` over :func:`neighbors`.
 
-    Returns the local optimum reached (``optimal=False``).
+    Neighbors are scored through the shared vectorized kernel with
+    incremental delta-evaluation (only the application touched by a move is
+    re-evaluated).  ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext`.  Returns the local optimum
+    reached (``optimal=False``).
     """
+    ctx = problem.evaluation_context(context)
     current = start
-    current_score = score(problem, current, criterion, thresholds)
+    current_values = ctx.evaluate(current)
+    current_score = score_values(current_values, criterion, thresholds)
     n_steps = 0
     for _ in range(max_iterations):
         best_neighbor: Optional[Mapping] = None
+        best_values = None
         best_score = current_score
         for candidate in neighbors(problem, current):
-            s = score(problem, candidate, criterion, thresholds)
+            values = ctx.delta_evaluate(candidate, current, current_values)
+            s = score_values(values, criterion, thresholds)
             if s < best_score - 1e-15:
                 best_score = s
                 best_neighbor = candidate
+                best_values = values
         if best_neighbor is None:
             break
         current = best_neighbor
+        current_values = best_values
         current_score = best_score
         n_steps += 1
-    values = problem.evaluate(current)
+    values = current_values
     objective = {
         Criterion.PERIOD: values.period,
         Criterion.LATENCY: values.latency,

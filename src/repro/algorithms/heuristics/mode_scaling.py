@@ -28,8 +28,7 @@ from ...core.problem import ProblemInstance, Solution
 from ...core.types import Criterion, MappingRule
 
 
-def _meets(problem: ProblemInstance, mapping: Mapping, thresholds: Thresholds) -> bool:
-    values = problem.evaluate(mapping)
+def _values_meet(values, thresholds: Thresholds) -> bool:
     if not values.meets(
         period=thresholds.period,
         latency=thresholds.latency,
@@ -107,30 +106,37 @@ def greedy_mode_downgrade(
     problem: ProblemInstance,
     start: Mapping,
     thresholds: Thresholds,
+    *,
+    context=None,
 ) -> Solution:
     """Greedily minimize energy from ``start`` under period/latency
     thresholds; raises nothing when ``start`` itself violates them (the
     returned solution simply keeps the violation -- callers should provide a
-    feasible start, e.g. a performance-optimal mapping at full speed)."""
+    feasible start, e.g. a performance-optimal mapping at full speed).
+    Candidates are scored through the shared vectorized kernel with
+    incremental delta-evaluation; ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext`."""
+    ctx = problem.evaluation_context(context)
     current = start
-    current_energy = problem.evaluate(current).energy
+    current_values = ctx.evaluate(current)
     n_moves = 0
     while True:
-        best: Optional[Tuple[float, Mapping]] = None
+        best: Optional[Tuple[float, Mapping, object]] = None
         for candidate in _downgrade_moves(problem, current) + _merge_moves(
             problem, current
         ):
-            if not _meets(problem, candidate, thresholds):
+            values = ctx.delta_evaluate(candidate, current, current_values)
+            if not _values_meet(values, thresholds):
                 continue
-            e = problem.evaluate(candidate).energy
-            if e < current_energy and (best is None or e < best[0]):
-                best = (e, candidate)
+            e = values.energy
+            if e < current_values.energy and (best is None or e < best[0]):
+                best = (e, candidate, values)
         if best is None:
             break
         current = best[1]
-        current_energy = best[0]
+        current_values = best[2]
         n_moves += 1
-    values = problem.evaluate(current)
+    values = current_values
     return Solution(
         mapping=current,
         objective=values.energy,

@@ -22,9 +22,12 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..core.application import Application
 from ..core.evaluation import interval_cycle_time
 from ..core.types import CommunicationModel, Interval
+from ..kernel.vectorized import interval_cycle_matrix
 
 
 @dataclass(frozen=True)
@@ -104,31 +107,31 @@ def single_app_period_table(
     n = app.n_stages
     q_max = max(1, min(max_procs, n))
 
-    # cycle[j][i] = cycle-time of the interval covering stages j .. i-1.
-    cycle = [[0.0] * (n + 1) for _ in range(n)]
-    for j in range(n):
-        for i in range(j + 1, n + 1):
-            cycle[j][i] = interval_cycle(app, (j, i - 1), speed, bandwidth, model)
+    # cycle[j, i] = cycle-time of the interval covering stages j .. i-1,
+    # tabulated in one vectorized pass (+inf on the unusable triangle).
+    cycle = interval_cycle_matrix(app, speed, bandwidth, model)
 
     inf = math.inf
     # T[q][i]: optimal period of the first i stages with at most q procs.
-    prev = [0.0] + [inf] * n  # q = 0
+    prev = np.full(n + 1, inf)
+    prev[0] = 0.0  # q = 0
     periods: List[float] = [inf]
     parents: List[Tuple[int, ...]] = [tuple([-1] * (n + 1))]
     for q in range(1, q_max + 1):
-        cur = [0.0] + [inf] * n
+        cur = np.empty(n + 1)
+        cur[0] = 0.0
         par = [-1] * (n + 1)
         for i in range(1, n + 1):
-            best = prev[i]  # "use at most q-1 processors" option
-            best_j = -1
-            for j in range(i):
-                value = max(prev[j], cycle[j][i])
-                if value < best:
-                    best = value
-                    best_j = j
-            cur[i] = best
-            par[i] = best_j
-        periods.append(cur[n])
+            # Candidate j: last interval covers stages j .. i-1.  Taking
+            # the first argmin reproduces the scalar loop's tie-breaking.
+            candidates = np.maximum(prev[:i], cycle[:i, i])
+            j = int(np.argmin(candidates))
+            if candidates[j] < prev[i]:  # beats "use at most q-1 procs"
+                cur[i] = candidates[j]
+                par[i] = j
+            else:
+                cur[i] = prev[i]
+        periods.append(float(cur[n]))
         parents.append(tuple(par))
         prev = cur
     return SingleAppPeriodTable(

@@ -61,9 +61,15 @@ def build_mapping_from_counts(
     return Mapping.from_assignments(assignments)
 
 
-def minimize_period_interval(problem: ProblemInstance) -> Solution:
+def minimize_period_interval(
+    problem: ProblemInstance, *, context=None
+) -> Solution:
     """Theorem 3: optimal global weighted period for interval mappings on a
     fully homogeneous platform, with any number of concurrent applications.
+
+    ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext` for the final evaluation
+    (defaults to the problem's cached context).
 
     Raises
     ------
@@ -97,7 +103,7 @@ def minimize_period_interval(problem: ProblemInstance) -> Solution:
         max_useful=[t.max_procs for t in tables],
     )
     mapping = build_mapping_from_counts(problem, tables, allocation.counts)
-    values = problem.evaluate(mapping)
+    values = problem.evaluation_context(context).evaluate(mapping)
     return Solution(
         mapping=mapping,
         objective=values.period,

@@ -13,13 +13,15 @@ energy 10 at period 14).  These helpers enumerate the whole front:
 
 from __future__ import annotations
 
-import math
 from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.exceptions import InfeasibleProblemError, SolverError
 from ..core.objectives import Thresholds
 from ..core.problem import ProblemInstance, Solution
 from ..core.types import Criterion, MappingRule, PlatformClass
+from ..kernel.vectorized import interval_cycle_matrix, weighted_cycle_candidates
 
 
 def pareto_filter(
@@ -44,7 +46,7 @@ def pareto_filter(
 
 
 def _min_energy_at_period(
-    problem: ProblemInstance, period_bound: float
+    problem: ProblemInstance, period_bound: float, context=None
 ) -> Optional[Solution]:
     """Cheapest mapping with weighted period <= bound, via the polynomial
     solver when the cell allows it, branch-and-bound otherwise."""
@@ -67,7 +69,9 @@ def _min_energy_at_period(
             and problem.platform.platform_class
             is PlatformClass.FULLY_HOMOGENEOUS
         ):
-            return minimize_energy_given_period_interval(problem, thresholds)
+            return minimize_energy_given_period_interval(
+                problem, thresholds, context=context
+            )
         return exact_minimize(problem, Criterion.ENERGY, thresholds)
     except InfeasibleProblemError:
         return None
@@ -75,42 +79,53 @@ def _min_energy_at_period(
 
 def period_candidates_for_front(problem: ProblemInstance) -> List[float]:
     """All achievable weighted per-interval cycle-times: a superset of the
-    periods at which the energy front can break."""
-    values = set()
+    periods at which the energy front can break.
+
+    Tabulated through the vectorized kernel: one cycle-time matrix per
+    (application, distinct speed) pair instead of a four-deep Python loop.
+    """
+    one_to_one = problem.rule is MappingRule.ONE_TO_ONE
+    speeds = sorted(
+        {
+            s
+            for u in range(problem.platform.n_processors)
+            for s in problem.platform.processor(u).speeds
+        }
+    )
+    chunks: List[np.ndarray] = []
     for a, app in enumerate(problem.apps):
-        for u in range(problem.platform.n_processors):
-            for speed in problem.platform.processor(u).speeds:
-                for lo in range(app.n_stages):
-                    hi_range = (
-                        (lo,)
-                        if problem.rule is MappingRule.ONE_TO_ONE
-                        else range(lo, app.n_stages)
-                    )
-                    for hi in hi_range:
-                        # Communication terms bounded by the extreme
-                        # bandwidths; with homogeneous links this is exact.
-                        bw = problem.platform.app_bandwidths.get(
-                            a, problem.platform.default_bandwidth
-                        )
-                        t_in = app.input_size(lo) / bw
-                        t_out = app.output_size(hi) / bw
-                        t_comp = app.work_sum(lo, hi) / speed
-                        values.add(
-                            app.weight
-                            * problem.model.combine(t_in, t_comp, t_out)
-                        )
-    return sorted(v for v in values if math.isfinite(v) and v > 0)
+        # Communication terms bounded by the extreme bandwidths; with
+        # homogeneous links this is exact.
+        bw = problem.platform.app_bandwidths.get(
+            a, problem.platform.default_bandwidth
+        )
+        if one_to_one:
+            # Single-stage intervals only: the offset-1 diagonal of the
+            # kernel's cycle-time matrix (one combine implementation).
+            n = app.n_stages
+            stages = np.arange(n)
+            for s in speeds:
+                cycle = interval_cycle_matrix(app, s, bw, problem.model)
+                chunks.append(app.weight * cycle[stages, stages + 1])
+        else:
+            chunks.append(
+                weighted_cycle_candidates(app, speeds, bw, problem.model)
+            )
+    values = np.unique(np.concatenate(chunks))
+    return values[np.isfinite(values) & (values > 0)].tolist()
 
 
 def period_energy_front_exact(
     problem: ProblemInstance,
     *,
     max_points: int = 200,
+    context=None,
 ) -> List[Tuple[float, float]]:
     """The exact period/energy Pareto front: sweep the candidate period
     thresholds, solve min-energy at each, keep non-dominated
     ``(period, energy)`` pairs (the *achieved* period is reported, not the
-    threshold)."""
+    threshold).  ``context`` optionally shares a prebuilt
+    :class:`repro.kernel.EvaluationContext` across the sweep."""
     candidates = period_candidates_for_front(problem)
     if len(candidates) > max_points:
         step = len(candidates) / max_points
@@ -119,7 +134,7 @@ def period_energy_front_exact(
         ] + [candidates[-1]]
     points: List[Tuple[float, float]] = []
     for bound in candidates:
-        solution = _min_energy_at_period(problem, bound)
+        solution = _min_energy_at_period(problem, bound, context=context)
         if solution is None:
             continue
         points.append((solution.values.period, solution.values.energy))

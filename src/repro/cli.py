@@ -8,7 +8,10 @@ Subcommands:
 * ``solve`` -- solve a random instance in a chosen cell and report the
   mapping (a quick way to exercise the solvers);
 * ``simulate`` -- run the discrete-event simulator on the Section 2
-  example and compare measured vs analytic period/latency.
+  example and compare measured vs analytic period/latency;
+* ``solve-batch`` -- generate a fleet of random instances across registry
+  cells and solve them through :mod:`repro.service`, optionally over a
+  process pool, reporting per-instance timing.
 """
 
 from __future__ import annotations
@@ -222,6 +225,76 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_solve_batch(args: argparse.Namespace) -> int:
+    from .algorithms.registry import classify_platform_cell
+    from .generators import small_random_problem
+    from .service import solve_batch
+
+    platform_classes = (
+        list(PlatformClass)
+        if args.platform == "all"
+        else [PlatformClass(args.platform)]
+    )
+    rules = (
+        list(MappingRule) if args.rule == "all" else [MappingRule(args.rule)]
+    )
+    combos = [(c, r) for c in platform_classes for r in rules]
+    problems = []
+    for i in range(args.count):
+        cls, rule = combos[i % len(combos)]
+        problems.append(
+            small_random_problem(
+                args.seed + i,
+                platform_class=cls,
+                rule=rule,
+                model=CommunicationModel(args.model),
+                n_apps=args.apps,
+                n_modes=args.modes,
+            )
+        )
+    result = solve_batch(
+        problems,
+        objective=args.criterion,
+        method=args.method,
+        workers=args.workers,
+    )
+    rows = []
+    cells = set()
+    for item in result.items:
+        problem = problems[item.index]
+        cell = classify_platform_cell(problem)
+        cells.add(cell)
+        rows.append(
+            (
+                item.index,
+                cell.value,
+                problem.rule.value,
+                item.solution.solver if item.solution else "-",
+                item.status,
+                f"{item.objective:.6g}" if item.status == "ok" else "-",
+                f"{item.wall_time * 1000:.2f}",
+            )
+        )
+    if not args.quiet:
+        print(
+            render_table(
+                [
+                    "#",
+                    "cell",
+                    "rule",
+                    "solver",
+                    "status",
+                    args.criterion,
+                    "time (ms)",
+                ],
+                rows,
+            )
+        )
+    print(result.summary())
+    print(f"registry cells covered: {len(cells)}")
+    return 0 if result.n_failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-pipelines`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -317,6 +390,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the mapping JSON here"
     )
     solve_file.set_defaults(func=_cmd_solve_file)
+
+    batch = sub.add_parser(
+        "solve-batch",
+        help="generate and solve a fleet of random instances "
+        "(optionally over a process pool)",
+    )
+    batch.add_argument(
+        "--count", type=int, default=100, help="number of instances"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: sequential)",
+    )
+    batch.add_argument(
+        "--criterion", choices=["period", "latency"], default="period"
+    )
+    batch.add_argument(
+        "--method",
+        choices=["registry", "auto", "exact", "heuristic"],
+        default="registry",
+        help="registry = polynomial solver when the cell allows, "
+        "heuristic otherwise",
+    )
+    batch.add_argument(
+        "--platform",
+        choices=["all", *(c.value for c in PlatformClass)],
+        default="all",
+        help="platform class of the generated instances "
+        "(all = cycle through every class)",
+    )
+    batch.add_argument(
+        "--rule",
+        choices=["all", *(r.value for r in MappingRule)],
+        default=MappingRule.INTERVAL.value,
+    )
+    batch.add_argument(
+        "--model",
+        choices=[m.value for m in CommunicationModel],
+        default=CommunicationModel.OVERLAP.value,
+    )
+    batch.add_argument("--apps", type=int, default=2)
+    batch.add_argument("--modes", type=int, default=2)
+    batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the summary, not the per-instance table",
+    )
+    batch.set_defaults(func=_cmd_solve_batch)
 
     pareto = sub.add_parser(
         "pareto", help="exact period/energy Pareto front of an instance"

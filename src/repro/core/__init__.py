@@ -19,6 +19,7 @@ from .evaluation import (
     application_latency,
     application_period,
     evaluate,
+    evaluate_scalar,
     global_latency,
     global_period,
     interval_costs,
@@ -88,6 +89,7 @@ __all__ = [
     "application_latency",
     "application_period",
     "evaluate",
+    "evaluate_scalar",
     "global_latency",
     "global_period",
     "interval_costs",

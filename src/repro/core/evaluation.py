@@ -26,9 +26,11 @@ per-application period or latency and ``W_a > 0`` the application weight.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..kernel import EvaluationContext
 
 from .application import Application
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
@@ -251,8 +253,38 @@ def evaluate(
     *,
     model: CommunicationModel = CommunicationModel.OVERLAP,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    context: Optional["EvaluationContext"] = None,
 ) -> CriteriaValues:
-    """Evaluate all criteria of a mapping in one pass."""
+    """Evaluate all criteria of a mapping in one pass.
+
+    Delegates to the vectorized kernel
+    (:class:`repro.kernel.EvaluationContext`); pass a prebuilt ``context``
+    to amortize its precomputed arrays over many evaluations (its models
+    then take precedence over the ``model``/``energy_model`` arguments).
+    The scalar reference implementation is :func:`evaluate_scalar`.
+    """
+    if context is None:
+        from ..kernel import EvaluationContext
+
+        context = EvaluationContext(
+            apps, platform, model=model, energy_model=energy_model
+        )
+    return context.evaluate(mapping)
+
+
+def evaluate_scalar(
+    apps: Sequence[Application],
+    platform: Platform,
+    mapping: Mapping,
+    *,
+    model: CommunicationModel = CommunicationModel.OVERLAP,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> CriteriaValues:
+    """Scalar (pure-Python) reference evaluation of all criteria.
+
+    Kept as the ground truth the vectorized kernel is property-tested
+    against, and as the baseline of ``benchmarks/bench_kernel_speedup.py``.
+    """
     periods: Dict[int, float] = {}
     latencies: Dict[int, float] = {}
     for a in mapping.applications:

@@ -37,6 +37,14 @@ def weighted_max(values: Sequence[float], weights: Sequence[float]) -> float:
     return max(w * x for w, x in zip(weights, values))
 
 
+def threshold_ceiling(bound: float) -> float:
+    """The largest value accepted by :func:`meets_threshold` for ``bound``:
+    ``bound * (1 + rtol) + rtol``.  Shared by the scalar test below and the
+    vectorized feasibility gates of :mod:`repro.kernel`, which must stay
+    bit-identical to it."""
+    return bound * (1 + THRESHOLD_RTOL) + THRESHOLD_RTOL
+
+
 def meets_threshold(value: float, bound: Optional[float]) -> bool:
     """Threshold test ``value <= bound`` with a tiny relative tolerance.
 
@@ -44,7 +52,7 @@ def meets_threshold(value: float, bound: Optional[float]) -> bool:
     """
     if bound is None:
         return True
-    return value <= bound * (1 + THRESHOLD_RTOL) + THRESHOLD_RTOL
+    return value <= threshold_ceiling(bound)
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from .application import Application, total_stages, validate_applications
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
-from .evaluation import CriteriaValues, evaluate
+from .evaluation import CriteriaValues
 from .exceptions import InfeasibleProblemError
 from .mapping import Mapping
 from .platform import Platform
@@ -76,15 +76,44 @@ class ProblemInstance:
         """The platform taxonomy cell this instance lives in."""
         return self.platform.platform_class
 
+    def evaluation_context(self, context=None):
+        """The problem's shared vectorized evaluation kernel context
+        (:class:`repro.kernel.EvaluationContext`), built lazily on first
+        use and cached for the lifetime of the instance.
+
+        When a caller passes its own prebuilt ``context`` (the solvers'
+        optional sharing parameter), it is returned instead -- this is
+        the single place the "explicit context wins over the cached one"
+        rule lives.  A context built for different applications or a
+        different platform is rejected: evaluating through it would
+        silently produce criteria for the wrong problem."""
+        if context is not None:
+            if context.apps != self.apps or context.platform != self.platform:
+                raise ValueError(
+                    "shared EvaluationContext was built for a different "
+                    "problem (its apps/platform do not match)"
+                )
+            return context
+        context = self.__dict__.get("_eval_context")
+        if context is None:
+            from ..kernel import EvaluationContext
+
+            context = EvaluationContext.for_problem(self)
+            object.__setattr__(self, "_eval_context", context)
+        return context
+
+    def __getstate__(self):
+        """Pickle support: drop the cached kernel context (it holds
+        O(p^2) bandwidth tables the receiving process rebuilds lazily),
+        keeping process-pool job payloads small."""
+        state = self.__dict__.copy()
+        state.pop("_eval_context", None)
+        return state
+
     def evaluate(self, mapping: Mapping) -> CriteriaValues:
-        """Evaluate all criteria of a mapping under this problem's models."""
-        return evaluate(
-            self.apps,
-            self.platform,
-            mapping,
-            model=self.model,
-            energy_model=self.energy_model,
-        )
+        """Evaluate all criteria of a mapping under this problem's models
+        (delegates to the cached :meth:`evaluation_context`)."""
+        return self.evaluation_context().evaluate(mapping)
 
     def check_mapping(self, mapping: Mapping) -> None:
         """Validate a mapping against this problem's rule; raises

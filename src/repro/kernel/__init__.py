@@ -1,0 +1,36 @@
+"""Vectorized evaluation kernel (NumPy-backed).
+
+Every solver and heuristic in the library bottoms out in the same three
+criteria formulas (Equations (3)-(6)): interval cycle-times, chain
+latencies and enrolled-processor energies.  This package centralizes them
+as a data-parallel *cost-model kernel*:
+
+* :class:`EvaluationContext` -- precomputed per-application prefix-sum work
+  arrays, data-size vectors and bandwidth tables for one ``(apps,
+  platform)`` pair, with O(1) ``work_sum`` / interval-size lookups, a
+  vectorized :meth:`~EvaluationContext.evaluate` over whole mappings, and
+  incremental :meth:`~EvaluationContext.delta_evaluate` after local moves;
+* :mod:`repro.kernel.vectorized` -- whole-table builders (interval
+  cycle-time matrices, latency segment costs, cheapest-feasible-mode energy
+  tables) consumed by the dynamic-programming solvers.
+
+The scalar reference implementations live in :mod:`repro.core.evaluation`
+(``evaluate_scalar`` and friends); property tests assert the two paths
+agree to within 1e-9 relative tolerance on random instances.
+"""
+
+from .context import EvaluationContext
+from .vectorized import (
+    interval_cycle_matrix,
+    interval_energy_table,
+    latency_segment_matrix,
+    weighted_cycle_candidates,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "interval_cycle_matrix",
+    "interval_energy_table",
+    "latency_segment_matrix",
+    "weighted_cycle_candidates",
+]

@@ -1,0 +1,425 @@
+"""The shared evaluation context: precomputed arrays for one problem.
+
+An :class:`EvaluationContext` binds one ``(apps, platform)`` pair and
+precomputes everything the criteria formulas (Equations (3)-(6)) need:
+
+* per-application prefix sums of stage works (O(1) ``work_sum``);
+* per-application data-size vectors ``delta_0 .. delta_n`` (O(1) interval
+  input/output sizes);
+* per-application bandwidth tables resolved once against the platform's
+  link dictionaries (virtual in/out links and the full processor-pair
+  matrix), so mapping evaluation never touches a Python dict.
+
+On top of those it offers :meth:`evaluate` (whole-mapping criteria in a
+handful of NumPy operations) and :meth:`delta_evaluate` (criteria after a
+local move, recomputing only the applications whose assignments changed --
+the hot path of hill climbing and simulated annealing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from ..core.evaluation import CriteriaValues
+from ..core.exceptions import InvalidApplicationError, InvalidMappingError
+from ..core.mapping import Mapping
+from ..core.platform import Platform
+from ..core.types import CommunicationModel, Interval
+
+__all__ = ["EvaluationContext", "app_arrays", "mapping_columns"]
+
+
+def app_arrays(app: Application) -> Tuple[np.ndarray, np.ndarray]:
+    """The NumPy form of one application: ``(prefix, delta)``.
+
+    ``prefix`` has shape ``(n + 1,)`` with ``prefix[i]`` the total work of
+    stages ``0 .. i-1``; ``delta`` has shape ``(n + 1,)`` with ``delta[i]``
+    the size of the data consumed by stage ``i`` (``delta[n]`` is the final
+    output size).  The arrays are memoized on the application instance, so
+    every context, solver and table builder shares one copy.
+    """
+    cached = getattr(app, "_kernel_arrays", None)
+    if cached is not None:
+        return cached
+    prefix = np.asarray(app._work_prefix, dtype=np.float64)
+    delta = np.empty(app.n_stages + 1, dtype=np.float64)
+    delta[0] = app.input_data_size
+    for i, stage in enumerate(app.stages):
+        delta[i + 1] = stage.output_size
+    prefix.setflags(write=False)
+    delta.setflags(write=False)
+    arrays = (prefix, delta)
+    object.__setattr__(app, "_kernel_arrays", arrays)
+    return arrays
+
+
+class _MappingColumns:
+    """Column-oriented view of a mapping's assignments.
+
+    Built once per (immutable) :class:`~repro.core.mapping.Mapping` and
+    cached on the instance: ``rows`` is the ``(m, 5)`` matrix of
+    ``(app, lo, hi, proc, speed)`` rows in canonical order, the remaining
+    attributes are typed column views, and ``slices`` maps each
+    application index to its contiguous row range.
+    """
+
+    __slots__ = ("rows", "lo", "hi", "proc", "speed", "slices")
+
+    def __init__(self, mapping: Mapping) -> None:
+        assignments = mapping.assignments
+        m = len(assignments)
+        rows = np.array(
+            [
+                [x.app, x.interval[0], x.interval[1], x.proc, x.speed]
+                for x in assignments
+            ],
+            dtype=np.float64,
+        ).reshape(m, 5)
+        if m == 0:
+            self.rows = rows
+            self.lo = self.hi = self.proc = rows[:, 0].astype(np.intp)
+            self.speed = rows[:, 0]
+            self.slices = {}
+            return
+        app_col = rows[:, 0].astype(np.intp)
+        self.rows = rows
+        self.lo = rows[:, 1].astype(np.intp)
+        self.hi = rows[:, 2].astype(np.intp)
+        self.proc = rows[:, 3].astype(np.intp)
+        self.speed = rows[:, 4]
+        # Assignments are canonically sorted by (app, lo): each app is a
+        # contiguous block of rows.
+        breaks = np.flatnonzero(app_col[1:] != app_col[:-1]) + 1
+        starts = [0, *breaks.tolist()]
+        ends = [*breaks.tolist(), m]
+        self.slices: Dict[int, slice] = {
+            int(app_col[s]): slice(s, e) for s, e in zip(starts, ends)
+        }
+
+
+def mapping_columns(mapping: Mapping) -> _MappingColumns:
+    """The cached column view of a mapping (built on first access)."""
+    columns = mapping.__dict__.get("_kernel_columns")
+    if columns is None:
+        columns = _MappingColumns(mapping)
+        object.__setattr__(mapping, "_kernel_columns", columns)
+    return columns
+
+
+class EvaluationContext:
+    """Vectorized criteria evaluation for one ``(apps, platform)`` pair.
+
+    Parameters
+    ----------
+    apps:
+        The concurrent applications (same indexing as everywhere else).
+    platform:
+        The target platform.
+    model:
+        Communication model used by :meth:`evaluate` (Equations (3)/(4)).
+    energy_model:
+        Energy exponent used by :meth:`evaluate` (Section 3.5).
+    """
+
+    __slots__ = (
+        "apps",
+        "platform",
+        "model",
+        "energy_model",
+        "_prefix",
+        "_delta",
+        "_static",
+        "_alpha",
+        "_bw_in",
+        "_bw_out",
+        "_bw_link",
+    )
+
+    def __init__(
+        self,
+        apps: Sequence[Application],
+        platform: Platform,
+        *,
+        model: CommunicationModel = CommunicationModel.OVERLAP,
+        energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    ) -> None:
+        self.apps: Tuple[Application, ...] = tuple(apps)
+        self.platform = platform
+        self.model = model
+        self.energy_model = energy_model
+        arrays = [app_arrays(app) for app in self.apps]
+        self._prefix = [a[0] for a in arrays]
+        self._delta = [a[1] for a in arrays]
+        self._static = np.array(
+            [proc.static_energy for proc in platform.processors]
+        )
+        self._alpha = energy_model.alpha
+        # Bandwidth tables are built lazily per application: the full
+        # processor-pair matrix is O(p^2) and many workloads only ever
+        # touch a few applications.
+        self._bw_in: Dict[int, np.ndarray] = {}
+        self._bw_out: Dict[int, np.ndarray] = {}
+        self._bw_link: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_problem(cls, problem) -> "EvaluationContext":
+        """The context matching a :class:`~repro.core.problem.ProblemInstance`
+        (same applications, platform, communication and energy models)."""
+        return cls(
+            problem.apps,
+            problem.platform,
+            model=problem.model,
+            energy_model=problem.energy_model,
+        )
+
+    # ------------------------------------------------------------------
+    # O(1) scalar lookups
+    # ------------------------------------------------------------------
+    def work_sum(self, app_index: int, lo: int, hi: int) -> float:
+        """Total work of stages ``lo .. hi`` (inclusive) of one application."""
+        prefix = self._prefix[app_index]
+        if not 0 <= lo <= hi < len(prefix) - 1:
+            raise InvalidApplicationError(
+                f"invalid stage interval {(lo, hi)!r} for "
+                f"{len(prefix) - 1} stages"
+            )
+        return float(prefix[hi + 1] - prefix[lo])
+
+    def interval_input_size(self, app_index: int, interval: Interval) -> float:
+        """Size of the data entering interval ``[lo, hi]`` (``delta_{lo}``)."""
+        lo, hi = interval
+        self._check_interval(app_index, lo, hi)
+        return float(self._delta[app_index][lo])
+
+    def interval_output_size(self, app_index: int, interval: Interval) -> float:
+        """Size of the data leaving interval ``[lo, hi]`` (``delta_{hi+1}``)."""
+        lo, hi = interval
+        self._check_interval(app_index, lo, hi)
+        return float(self._delta[app_index][hi + 1])
+
+    def _check_interval(self, app_index: int, lo: int, hi: int) -> None:
+        n = len(self._prefix[app_index]) - 1
+        if not 0 <= lo <= hi < n:
+            raise InvalidApplicationError(
+                f"invalid stage interval {(lo, hi)!r} for {n} stages"
+            )
+
+    # ------------------------------------------------------------------
+    # Bandwidth tables
+    # ------------------------------------------------------------------
+    def input_bandwidths(self, app_index: int) -> np.ndarray:
+        """``bw[u]`` = bandwidth of the virtual link ``Pin_a -> P_u``."""
+        table = self._bw_in.get(app_index)
+        if table is None:
+            platform = self.platform
+            base = platform.app_bandwidths.get(
+                app_index, platform.default_bandwidth
+            )
+            table = np.full(platform.n_processors, float(base))
+            for (a, u), bw in platform.in_links.items():
+                if a == app_index:
+                    table[u] = bw
+            table.setflags(write=False)
+            self._bw_in[app_index] = table
+        return table
+
+    def output_bandwidths(self, app_index: int) -> np.ndarray:
+        """``bw[u]`` = bandwidth of the virtual link ``P_u -> Pout_a``."""
+        table = self._bw_out.get(app_index)
+        if table is None:
+            platform = self.platform
+            base = platform.app_bandwidths.get(
+                app_index, platform.default_bandwidth
+            )
+            table = np.full(platform.n_processors, float(base))
+            for (a, u), bw in platform.out_links.items():
+                if a == app_index:
+                    table[u] = bw
+            table.setflags(write=False)
+            self._bw_out[app_index] = table
+        return table
+
+    def link_bandwidths(self, app_index: int) -> np.ndarray:
+        """``bw[u, v]`` = bandwidth of the link ``P_u -- P_v`` carrying the
+        application's data (symmetric; the diagonal is the default).
+
+        Applications without an ``app_bandwidths`` override all share one
+        default-based table (cached under key ``None``) instead of each
+        materializing an identical O(p^2) matrix.
+        """
+        platform = self.platform
+        key = (
+            app_index if app_index in platform.app_bandwidths else None
+        )
+        table = self._bw_link.get(key)
+        if table is None:
+            p = platform.n_processors
+            base = platform.app_bandwidths.get(
+                app_index, platform.default_bandwidth
+            )
+            table = np.full((p, p), float(base))
+            for (u, v), bw in platform.links.items():
+                table[u, v] = bw
+                table[v, u] = bw
+            table.setflags(write=False)
+            self._bw_link[key] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Whole-mapping evaluation
+    # ------------------------------------------------------------------
+    def _app_criteria(
+        self,
+        app_index: int,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        proc: np.ndarray,
+        speed: np.ndarray,
+    ) -> Tuple[float, float]:
+        """Unweighted ``(period, latency)`` of one application's ordered
+        assignment chain (Equations (3)/(4) and (5)), given the column
+        views of its assignments."""
+        m = len(lo)
+        if m == 0:
+            raise InvalidMappingError(
+                f"application {app_index} has no assignment"
+            )
+        prefix = self._prefix[app_index]
+        delta = self._delta[app_index]
+        n = len(prefix) - 1
+        if int(hi.max()) >= n:
+            raise InvalidApplicationError(
+                f"interval exceeds the {n} stages of application {app_index}"
+            )
+
+        t_comp = (prefix[hi + 1] - prefix[lo]) / speed
+        bw_chain = (
+            self.link_bandwidths(app_index)[proc[:-1], proc[1:]]
+            if m > 1
+            else None
+        )
+        bw_in = np.empty(m)
+        bw_in[0] = self.input_bandwidths(app_index)[proc[0]]
+        bw_out = np.empty(m)
+        bw_out[-1] = self.output_bandwidths(app_index)[proc[-1]]
+        if m > 1:
+            bw_in[1:] = bw_chain
+            bw_out[:-1] = bw_chain
+        t_in = delta[lo] / bw_in
+        t_out = delta[hi + 1] / bw_out
+        if self.model is CommunicationModel.OVERLAP:
+            cycles = np.maximum(np.maximum(t_in, t_comp), t_out)
+        else:
+            cycles = t_in + t_comp + t_out
+        period = float(cycles.max())
+        latency = float(
+            self.apps[app_index].input_data_size / bw_in[0]
+            + t_comp.sum()
+            + t_out.sum()
+        )
+        return period, latency
+
+    def _columns_energy(self, columns: _MappingColumns) -> float:
+        """Energy of a mapping from its column view."""
+        # Valid mappings never share processors; for robustness on invalid
+        # candidates, count each processor once at its first (canonical
+        # order) assignment -- matching the scalar `platform_energy`.
+        uniq, first = np.unique(columns.proc, return_index=True)
+        return float(
+            (self._static[uniq] + columns.speed[first] ** self._alpha).sum()
+        )
+
+    def mapping_energy(self, mapping: Mapping) -> float:
+        """Total per-time-unit energy of the enrolled processors
+        (Section 3.5): ``sum_u E_stat(u) + s_u^alpha``."""
+        return self._columns_energy(mapping_columns(mapping))
+
+    def evaluate(self, mapping: Mapping) -> CriteriaValues:
+        """All criteria of a mapping in one vectorized pass; numerically
+        equivalent to the scalar
+        :func:`repro.core.evaluation.evaluate_scalar`."""
+        columns = mapping_columns(mapping)
+        periods: Dict[int, float] = {}
+        latencies: Dict[int, float] = {}
+        for a, rows in columns.slices.items():
+            periods[a], latencies[a] = self._app_criteria(
+                a,
+                columns.lo[rows],
+                columns.hi[rows],
+                columns.proc[rows],
+                columns.speed[rows],
+            )
+        period = max(self.apps[a].weight * t for a, t in periods.items())
+        latency = max(self.apps[a].weight * l for a, l in latencies.items())
+        return CriteriaValues(
+            periods=periods,
+            latencies=latencies,
+            period=period,
+            latency=latency,
+            energy=self._columns_energy(columns),
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation
+    # ------------------------------------------------------------------
+    def delta_evaluate(
+        self,
+        mapping: Mapping,
+        base_mapping: Mapping,
+        base_values: CriteriaValues,
+    ) -> CriteriaValues:
+        """Criteria of ``mapping`` given a previously evaluated neighbor.
+
+        Only the applications whose assignment rows differ from
+        ``base_mapping`` are re-evaluated (period and latency); the energy
+        is recomputed vectorized over the whole mapping (it is O(m) and has
+        no per-application structure worth diffing).  The result is
+        bit-identical to a fresh :meth:`evaluate` call.
+        """
+        columns = mapping_columns(mapping)
+        base_columns = mapping_columns(base_mapping)
+        periods: Dict[int, float] = {}
+        latencies: Dict[int, float] = {}
+        for a, rows in columns.slices.items():
+            base_rows = base_columns.slices.get(a)
+            if (
+                base_rows is not None
+                and a in base_values.periods
+                and np.array_equal(
+                    columns.rows[rows], base_columns.rows[base_rows]
+                )
+            ):
+                periods[a] = base_values.periods[a]
+                latencies[a] = base_values.latencies[a]
+            else:
+                periods[a], latencies[a] = self._app_criteria(
+                    a,
+                    columns.lo[rows],
+                    columns.hi[rows],
+                    columns.proc[rows],
+                    columns.speed[rows],
+                )
+        period = max(self.apps[a].weight * t for a, t in periods.items())
+        latency = max(self.apps[a].weight * l for a, l in latencies.items())
+        return CriteriaValues(
+            periods=periods,
+            latencies=latencies,
+            period=period,
+            latency=latency,
+            energy=self._columns_energy(columns),
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"EvaluationContext({len(self.apps)} apps, "
+            f"{self.platform.n_processors} processors, "
+            f"{self.model.value})"
+        )

@@ -1,0 +1,144 @@
+"""Whole-table builders for the dynamic-programming solvers.
+
+The single-application DPs of Theorems 3, 15/16 and 18/21 all start by
+tabulating a quantity over every stage interval ``[j, i-1]`` (cycle-time,
+latency segment cost, cheapest feasible energy).  Built stage by stage in
+Python these tables are the dominant ``O(n^2)`` cost of each solver call;
+here they are produced as single NumPy broadcasts over the prefix-sum and
+data-size arrays of :func:`repro.kernel.context.app_arrays`.
+
+Index convention (shared with the DP loops): tables have shape
+``(n, n + 1)`` and entry ``[j, i]`` describes stages ``j .. i-1``; the
+triangle ``i <= j`` is filled with ``+inf`` so an accidental read can never
+look like a valid candidate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.energy import EnergyModel
+from ..core.objectives import threshold_ceiling
+from ..core.types import CommunicationModel
+from .context import app_arrays
+
+__all__ = [
+    "interval_cycle_matrix",
+    "interval_energy_table",
+    "latency_segment_matrix",
+    "weighted_cycle_candidates",
+]
+
+
+def _invalid_mask(n: int) -> np.ndarray:
+    """Boolean mask of the unusable ``i <= j`` triangle of a table."""
+    return np.arange(n + 1)[None, :] <= np.arange(n)[:, None]
+
+
+def interval_cycle_matrix(
+    app: Application,
+    speed: float,
+    bandwidth: float,
+    model: CommunicationModel,
+) -> np.ndarray:
+    """Cycle-times of every interval at one speed with homogeneous links.
+
+    ``C[j, i]`` is the cycle-time of stages ``j .. i-1`` on a processor at
+    ``speed`` with incoming/outgoing links of ``bandwidth`` -- exactly
+    :func:`repro.algorithms.interval_period.interval_cycle` evaluated over
+    the whole table at once.
+    """
+    prefix, delta = app_arrays(app)
+    n = app.n_stages
+    t_comp = (prefix[None, :] - prefix[:n, None]) / speed
+    t_in = (delta[:n] / bandwidth)[:, None]
+    t_out = (delta / bandwidth)[None, :]
+    if model is CommunicationModel.OVERLAP:
+        table = np.maximum(np.maximum(t_in, t_comp), t_out)
+    else:
+        table = t_in + t_comp + t_out
+    table[_invalid_mask(n)] = math.inf
+    return table
+
+
+def latency_segment_matrix(
+    app: Application, speed: float, bandwidth: float
+) -> np.ndarray:
+    """Latency contribution of every interval (Equation (5) summand).
+
+    ``S[j, i] = sum_{k in j..i-1} w_k / speed + delta_i / bandwidth`` --
+    the term added per interval by the Theorem 15 latency DP.
+    """
+    prefix, delta = app_arrays(app)
+    n = app.n_stages
+    table = (prefix[None, :] - prefix[:n, None]) / speed + (
+        delta / bandwidth
+    )[None, :]
+    table[_invalid_mask(n)] = math.inf
+    return table
+
+
+def interval_energy_table(
+    app: Application,
+    speed_set: Sequence[float],
+    static_energy: float,
+    bandwidth: float,
+    model: CommunicationModel,
+    period_bound: float,
+    energy_model: EnergyModel,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cheapest feasible mode and energy of every interval (Theorem 18).
+
+    Returns ``(energy, speed)`` tables of shape ``(n, n + 1)``: for each
+    interval the *slowest* mode whose cycle-time meets ``period_bound``
+    (dynamic energy increases with speed, so slowest feasible = cheapest
+    feasible), with ``energy = E_stat + s^alpha``; infeasible intervals get
+    ``energy = inf`` and ``speed = 0``.
+    """
+    n = app.n_stages
+    threshold = threshold_ceiling(period_bound)
+    energy = np.full((n, n + 1), math.inf)
+    chosen = np.zeros((n, n + 1))
+    unset = np.ones((n, n + 1), dtype=bool)
+    for s in sorted(speed_set):
+        cycle = interval_cycle_matrix(app, s, bandwidth, model)
+        take = unset & (cycle <= threshold)
+        if take.any():
+            chosen[take] = s
+            energy[take] = static_energy + energy_model.dynamic(s)
+            unset &= ~take
+            if not unset[~_invalid_mask(n)].any():
+                break
+    energy[_invalid_mask(n)] = math.inf
+    chosen[_invalid_mask(n)] = 0.0
+    return energy, chosen
+
+
+def weighted_cycle_candidates(
+    app: Application,
+    speeds: Sequence[float],
+    bandwidth: float,
+    model: CommunicationModel,
+    *,
+    weight: Optional[float] = None,
+) -> np.ndarray:
+    """All weighted interval cycle-times of one application.
+
+    For each speed in ``speeds`` and each interval ``[lo, hi]`` this is
+    ``W_a * combine(delta_lo / b, work(lo, hi) / s, delta_{hi+1} / b)`` --
+    the candidate-period superset swept by the Pareto-front and binary
+    search drivers.  Returns a sorted, deduplicated 1-D array of the
+    finite, strictly positive values.
+    """
+    n = app.n_stages
+    w = app.weight if weight is None else weight
+    chunks = []
+    for s in speeds:
+        cycle = interval_cycle_matrix(app, s, bandwidth, model)
+        chunks.append(cycle[~_invalid_mask(n)])
+    values = w * np.unique(np.concatenate(chunks))
+    return values[np.isfinite(values) & (values > 0)]

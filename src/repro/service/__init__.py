@@ -1,0 +1,40 @@
+"""Batch solve service: many instances, one API, optional process pool.
+
+The ROADMAP's north star is a system that serves *many* mapping problems
+fast, not one at a time.  This package provides that serving layer:
+
+* :func:`solve_one` -- registry-aware dispatch of a single
+  :class:`~repro.core.problem.ProblemInstance` (polynomial solver on
+  polynomial cells, heuristic or exact elsewhere);
+* :func:`solve_batch` -- fan a sequence of instances out over a
+  ``concurrent.futures`` process pool (or solve sequentially), collecting
+  per-instance :class:`BatchItem` records with timing and status;
+* the ``repro-pipelines solve-batch`` CLI subcommand built on top.
+
+Quickstart::
+
+    from repro.generators import small_random_problem
+    from repro.service import solve_batch
+
+    problems = [small_random_problem(seed) for seed in range(100)]
+    result = solve_batch(problems, objective="period", workers=4)
+    print(result.summary())
+    for item in result.items:
+        print(item.index, item.status, item.wall_time, item.objective)
+"""
+
+from .batch import (
+    BatchItem,
+    BatchResult,
+    dispatch_method,
+    solve_batch,
+    solve_one,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "dispatch_method",
+    "solve_batch",
+    "solve_one",
+]

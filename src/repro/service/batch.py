@@ -1,0 +1,305 @@
+"""The batch-solve engine behind :mod:`repro.service`.
+
+Design notes
+------------
+* Dispatch goes through the complexity registry
+  (:mod:`repro.algorithms.registry`): an instance sitting in a cell that
+  Tables 1-2 claim polynomial is solved by the paper's polynomial
+  algorithm; NP-hard cells fall back to the requested ``method``
+  (``"heuristic"`` by default, ``"exact"`` for branch-and-bound).
+* Parallelism uses a *process* pool: the solvers are pure CPU-bound
+  Python/NumPy, so threads would serialize on the GIL.  Problems and
+  solutions are plain picklable dataclasses, which keeps the fan-out
+  boilerplate-free.  ``workers=None`` or ``workers<=1`` solves inline.
+* Failures never poison a batch: each instance yields a
+  :class:`BatchItem` whose ``status`` is ``"ok"``, ``"infeasible"``
+  (:class:`~repro.core.exceptions.InfeasibleProblemError`) or ``"error"``
+  (anything else, with the message preserved), plus its wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import InfeasibleProblemError
+from ..core.objectives import Thresholds
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import Criterion
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "dispatch_method",
+    "solve_batch",
+    "solve_one",
+]
+
+#: Objectives accepted by :func:`solve_one` / :func:`solve_batch`.
+_OBJECTIVES = ("period", "latency", "energy")
+
+
+def dispatch_method(problem: ProblemInstance, objective: str) -> str:
+    """The concrete method the registry prescribes for an instance.
+
+    Returns ``"auto"`` when the instance's Table 1/2 cell is polynomial
+    for the given objective (the paper's algorithm applies), otherwise
+    ``"heuristic"``.  The energy objective is period-constrained
+    (Theorems 18-21), so its cell is looked up with both criteria.
+    """
+    from ..algorithms.registry import (
+        Complexity,
+        classify_platform_cell,
+        lookup,
+    )
+
+    criteria: Tuple[Criterion, ...]
+    if objective == "energy":
+        criteria = (Criterion.PERIOD, Criterion.ENERGY)
+    else:
+        criteria = (Criterion(objective),)
+    try:
+        entry = lookup(criteria, problem.rule, classify_platform_cell(problem))
+    except KeyError:
+        return "heuristic"
+    if entry.complexity is Complexity.POLYNOMIAL and entry.solver:
+        return "auto"
+    return "heuristic"
+
+
+def _solve_energy(
+    problem: ProblemInstance, method: str, thresholds: Thresholds
+) -> Solution:
+    """Energy minimization under a period bound, per the registry cell."""
+    from .. import algorithms
+    from ..core.types import MappingRule
+
+    if method == "exact":
+        return algorithms.exact.exact_minimize(
+            problem, Criterion.ENERGY, thresholds
+        )
+    if method == "heuristic":
+        start = (
+            algorithms.heuristics.greedy_one_to_one_period(problem)
+            if problem.rule is MappingRule.ONE_TO_ONE
+            else algorithms.heuristics.greedy_interval_period(problem)
+        )
+        return algorithms.heuristics.greedy_mode_downgrade(
+            problem, start.mapping, thresholds
+        )
+    if problem.rule is MappingRule.ONE_TO_ONE:
+        return algorithms.minimize_energy_given_period_one_to_one(
+            problem, thresholds
+        )
+    return algorithms.minimize_energy_given_period_interval(
+        problem, thresholds
+    )
+
+
+def solve_one(
+    problem: ProblemInstance,
+    objective: str = "period",
+    method: str = "registry",
+    thresholds: Optional[Thresholds] = None,
+) -> Solution:
+    """Solve a single instance.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    objective:
+        ``"period"``, ``"latency"`` or ``"energy"`` (energy requires a
+        period bound in ``thresholds``).
+    method:
+        ``"registry"`` (default) consults :func:`dispatch_method` and uses
+        the polynomial solver when the cell allows it, the heuristics
+        otherwise; ``"auto"``, ``"exact"`` and ``"heuristic"`` force the
+        corresponding :mod:`repro.algorithms` path.
+    thresholds:
+        Optional bounds on the non-optimized criteria (required for the
+        energy objective: Section 3.5's energy is only meaningful under a
+        period constraint).
+    """
+    from .. import algorithms
+
+    if objective not in _OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of {_OBJECTIVES}"
+        )
+    if method == "registry":
+        method = dispatch_method(problem, objective)
+    if objective == "energy":
+        if thresholds is None or not thresholds.constrains(Criterion.PERIOD):
+            raise ValueError(
+                "the energy objective requires a period threshold "
+                "(the paper's 'server problem', Theorems 18-21)"
+            )
+        return _solve_energy(problem, method, thresholds)
+    fn = (
+        algorithms.minimize_period
+        if objective == "period"
+        else algorithms.minimize_latency
+    )
+    return fn(problem, method=method)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Outcome of one instance inside a batch.
+
+    ``status`` is ``"ok"`` (``solution`` is set), ``"infeasible"`` (no
+    mapping satisfies the constraints) or ``"error"`` (``error`` holds the
+    exception message).  ``wall_time`` is the per-instance solve time in
+    seconds, measured in the worker that ran it.
+    """
+
+    index: int
+    status: str
+    wall_time: float
+    solution: Optional[Solution] = None
+    error: Optional[str] = None
+
+    @property
+    def objective(self) -> float:
+        """The solved objective value (``math.inf`` when not solved)."""
+        if self.solution is None:
+            return math.inf
+        return self.solution.objective
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a whole :func:`solve_batch` call."""
+
+    items: Tuple[BatchItem, ...]
+    objective: str
+    workers: int
+    #: End-to-end wall-clock of the batch (seconds), including pool setup.
+    total_time: float
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def n_ok(self) -> int:
+        """Number of successfully solved instances."""
+        return sum(1 for x in self.items if x.status == "ok")
+
+    @property
+    def n_failed(self) -> int:
+        """Number of instances that errored (not merely infeasible)."""
+        return sum(1 for x in self.items if x.status == "error")
+
+    @property
+    def solve_time(self) -> float:
+        """Total per-instance solve time (sum over workers; with ``w``
+        workers a perfectly parallel batch has ``total_time ~=
+        solve_time / w``)."""
+        return sum(x.wall_time for x in self.items)
+
+    def summary(self) -> str:
+        """One-line, human-readable description of the batch outcome."""
+        return (
+            f"{self.n_ok}/{len(self.items)} ok "
+            f"({self.n_failed} errors) objective={self.objective} "
+            f"workers={self.workers} wall={self.total_time:.3f}s "
+            f"cpu={self.solve_time:.3f}s"
+        )
+
+
+def _solve_indexed(
+    args: Tuple[int, ProblemInstance, str, str, Optional[Thresholds]],
+) -> BatchItem:
+    """Worker-side wrapper: solve one indexed instance, catching failures
+    into the item's status instead of crashing the pool."""
+    index, problem, objective, method, thresholds = args
+    t0 = time.perf_counter()
+    try:
+        solution = solve_one(
+            problem, objective=objective, method=method, thresholds=thresholds
+        )
+        return BatchItem(
+            index=index,
+            status="ok",
+            wall_time=time.perf_counter() - t0,
+            solution=solution,
+        )
+    except InfeasibleProblemError as exc:
+        return BatchItem(
+            index=index,
+            status="infeasible",
+            wall_time=time.perf_counter() - t0,
+            error=str(exc),
+        )
+    except Exception as exc:  # contained: one bad instance, one error item
+        return BatchItem(
+            index=index,
+            status="error",
+            wall_time=time.perf_counter() - t0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def solve_batch(
+    problems: Sequence[ProblemInstance],
+    objective: str = "period",
+    method: str = "registry",
+    *,
+    workers: Optional[int] = None,
+    thresholds: Optional[Thresholds] = None,
+    chunksize: int = 1,
+) -> BatchResult:
+    """Solve many instances, optionally fanning out over a process pool.
+
+    Parameters
+    ----------
+    problems:
+        The instances; results keep their order (``items[i].index == i``).
+    objective / method / thresholds:
+        Per-instance solve parameters, as in :func:`solve_one`.
+    workers:
+        ``None`` or ``<= 1`` solves sequentially in-process; ``n >= 2``
+        uses a ``ProcessPoolExecutor`` with ``n`` workers.
+    chunksize:
+        Work-unit granularity handed to ``Executor.map`` (raise it for
+        very large batches of very small instances).
+
+    Returns
+    -------
+    BatchResult
+        Per-instance :class:`BatchItem` records plus batch-level timing.
+    """
+    if objective not in _OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; expected one of {_OBJECTIVES}"
+        )
+    jobs = [
+        (i, problem, objective, method, thresholds)
+        for i, problem in enumerate(problems)
+    ]
+    n_workers = 0 if workers is None else int(workers)
+    t0 = time.perf_counter()
+    if n_workers <= 1:
+        items: List[BatchItem] = [_solve_indexed(job) for job in jobs]
+        effective_workers = 1
+    else:
+        effective_workers = min(n_workers, max(1, len(jobs)))
+        with ProcessPoolExecutor(max_workers=effective_workers) as pool:
+            items = list(pool.map(_solve_indexed, jobs, chunksize=chunksize))
+    total = time.perf_counter() - t0
+    solve_time = sum(x.wall_time for x in items)
+    return BatchResult(
+        items=tuple(items),
+        objective=objective,
+        workers=effective_workers,
+        total_time=total,
+        stats={
+            "n_instances": float(len(items)),
+            "solve_time": solve_time,
+            "parallel_efficiency": (
+                solve_time / (total * effective_workers) if total > 0 else 0.0
+            ),
+        },
+    )

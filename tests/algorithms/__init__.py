@@ -1,0 +1,1 @@
+"""Test package marker (keeps relative imports like tests.properties.strategies importable)."""

@@ -1,0 +1,160 @@
+"""Property tests: the vectorized kernel agrees with the scalar reference.
+
+The equivalence contract of ``repro/kernel``: for every valid mapping, on
+every platform class and under both communication models,
+
+* ``EvaluationContext.evaluate`` == ``evaluate_scalar`` (within 1e-9 rtol);
+* ``EvaluationContext.delta_evaluate`` after any local-search move equals a
+  full re-evaluation of the moved-to mapping.
+"""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CommunicationModel, EvaluationContext, ProblemInstance
+from repro.algorithms.heuristics import neighbors
+from repro.core.evaluation import evaluate_scalar
+from repro.kernel import interval_cycle_matrix, latency_segment_matrix
+from repro.algorithms.interval_period import interval_cycle
+
+from ..properties.strategies import het_mapped_instances, mapped_instances
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+RTOL = 1e-9
+
+
+def assert_values_close(scalar, kernel):
+    """Component-wise comparison of two CriteriaValues at 1e-9 rtol."""
+    assert kernel.periods.keys() == scalar.periods.keys()
+    for a in scalar.periods:
+        assert kernel.periods[a] == pytest.approx(scalar.periods[a], rel=RTOL)
+        assert kernel.latencies[a] == pytest.approx(
+            scalar.latencies[a], rel=RTOL
+        )
+    assert kernel.period == pytest.approx(scalar.period, rel=RTOL)
+    assert kernel.latency == pytest.approx(scalar.latency, rel=RTOL)
+    assert kernel.energy == pytest.approx(scalar.energy, rel=RTOL)
+
+
+@given(mapped_instances(), st.sampled_from(BOTH_MODELS))
+@settings(max_examples=80, deadline=None)
+def test_kernel_matches_scalar_homogeneous(instance, model):
+    """Kernel == scalar on fully homogeneous platforms, both models."""
+    apps, platform, mapping = instance
+    scalar = evaluate_scalar(apps, platform, mapping, model=model)
+    kernel = EvaluationContext(apps, platform, model=model).evaluate(mapping)
+    assert_values_close(scalar, kernel)
+
+
+@given(het_mapped_instances(), st.sampled_from(BOTH_MODELS))
+@settings(max_examples=80, deadline=None)
+def test_kernel_matches_scalar_heterogeneous(instance, model):
+    """Kernel == scalar through every bandwidth-resolution path (explicit
+    links, virtual in/out links, per-app bandwidths, default)."""
+    apps, platform, mapping = instance
+    scalar = evaluate_scalar(apps, platform, mapping, model=model)
+    kernel = EvaluationContext(apps, platform, model=model).evaluate(mapping)
+    assert_values_close(scalar, kernel)
+
+
+@given(mapped_instances(max_apps=2, max_stages=4), st.sampled_from(BOTH_MODELS))
+@settings(max_examples=40, deadline=None)
+def test_delta_evaluate_matches_full(instance, model):
+    """delta_evaluate after one local-search move == full re-evaluation."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform, model=model)
+    ctx = EvaluationContext.for_problem(problem)
+    base_values = ctx.evaluate(mapping)
+    for candidate in itertools.islice(neighbors(problem, mapping), 25):
+        full = ctx.evaluate(candidate)
+        delta = ctx.delta_evaluate(candidate, mapping, base_values)
+        assert delta.periods == full.periods
+        assert delta.latencies == full.latencies
+        assert delta.period == full.period
+        assert delta.latency == full.latency
+        assert delta.energy == full.energy
+
+
+@given(mapped_instances(max_apps=2, max_stages=4), st.sampled_from(BOTH_MODELS))
+@settings(max_examples=20, deadline=None)
+def test_delta_evaluate_along_random_walk(instance, model):
+    """delta_evaluate stays exact when chained move after move."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform, model=model)
+    ctx = EvaluationContext.for_problem(problem)
+    current = mapping
+    values = ctx.evaluate(current)
+    for step in range(5):
+        options = list(itertools.islice(neighbors(problem, current), 10))
+        if not options:
+            break
+        candidate = options[step % len(options)]
+        values = ctx.delta_evaluate(candidate, current, values)
+        current = candidate
+        fresh = ctx.evaluate(current)
+        assert values.period == fresh.period
+        assert values.latency == fresh.latency
+        assert values.energy == fresh.energy
+
+
+@given(
+    mapped_instances(max_apps=1, max_stages=5),
+    st.sampled_from(BOTH_MODELS),
+)
+@settings(max_examples=40, deadline=None)
+def test_cycle_matrix_matches_scalar_cycles(instance, model):
+    """interval_cycle_matrix[j, i] == interval_cycle(stages j..i-1)."""
+    apps, platform, _ = instance
+    app = apps[0]
+    speed = platform.processor(0).max_speed
+    bandwidth = platform.default_bandwidth
+    table = interval_cycle_matrix(app, speed, bandwidth, model)
+    n = app.n_stages
+    for j in range(n):
+        for i in range(n + 1):
+            if i <= j:
+                assert math.isinf(table[j, i])
+            else:
+                expected = interval_cycle(
+                    app, (j, i - 1), speed, bandwidth, model
+                )
+                assert table[j, i] == pytest.approx(expected, rel=RTOL)
+
+
+@given(mapped_instances(max_apps=1, max_stages=5))
+@settings(max_examples=40, deadline=None)
+def test_latency_segments_match_scalar(instance):
+    """latency_segment_matrix[j, i] == work(j..i-1)/s + delta_i/b."""
+    apps, platform, _ = instance
+    app = apps[0]
+    speed = platform.processor(0).max_speed
+    bandwidth = platform.default_bandwidth
+    table = latency_segment_matrix(app, speed, bandwidth)
+    n = app.n_stages
+    for j in range(n):
+        for i in range(j + 1, n + 1):
+            expected = (
+                app.work_sum(j, i - 1) / speed
+                + app.output_size(i - 1) / bandwidth
+            )
+            assert table[j, i] == pytest.approx(expected, rel=RTOL)
+
+
+def test_context_o1_lookups(fig1_apps, fig1_platform):
+    """work_sum / interval sizes agree with the Application accessors."""
+    ctx = EvaluationContext(fig1_apps, fig1_platform)
+    for a, app in enumerate(fig1_apps):
+        for lo in range(app.n_stages):
+            for hi in range(lo, app.n_stages):
+                assert ctx.work_sum(a, lo, hi) == app.work_sum(lo, hi)
+                assert ctx.interval_input_size(
+                    a, (lo, hi)
+                ) == app.interval_input_size((lo, hi))
+                assert ctx.interval_output_size(
+                    a, (lo, hi)
+                ) == app.interval_output_size((lo, hi))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro import Application, Assignment, Mapping, Platform
+from repro.core import processors_from_speed_sets
 
 #: Bounded positive floats that keep all arithmetic well-conditioned.
 works = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
@@ -45,18 +46,9 @@ def hom_platforms(draw, n_min: int = 1, n_max: int = 6):
 
 
 @st.composite
-def mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
-    """A (apps, platform, valid interval mapping) triple.
-
-    The mapping partitions each application at random cut points, places
-    intervals on distinct random processors and picks a random mode each.
-    """
-    n_apps = draw(st.integers(min_value=1, max_value=max_apps))
-    apps = tuple(draw(applications(max_stages)) for _ in range(n_apps))
-
-    # Random partition of each application.
+def _random_partitions(draw, apps):
+    """Random interval partition of each application's stages."""
     partitions = []
-    total_intervals = 0
     for app in apps:
         cuts = sorted(
             draw(
@@ -67,16 +59,15 @@ def mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
             )
         ) if app.n_stages > 1 else []
         bounds = [0, *cuts, app.n_stages]
-        intervals = [
-            (bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)
-        ]
-        partitions.append(intervals)
-        total_intervals += len(intervals)
+        partitions.append(
+            [(bounds[i], bounds[i + 1] - 1) for i in range(len(bounds) - 1)]
+        )
+    return partitions
 
-    n_procs = total_intervals + draw(st.integers(0, 2))
-    platform = Platform.fully_homogeneous(
-        n_procs, speeds=draw(speed_sets()), bandwidth=draw(bandwidths)
-    )
+
+def _place(draw, apps, platform, partitions):
+    """Place the partitions on distinct random processors, random modes."""
+    n_procs = platform.n_processors
     procs = draw(st.permutations(range(n_procs)))
     assignments = []
     idx = 0
@@ -88,4 +79,72 @@ def mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
             assignments.append(
                 Assignment(app=a, interval=iv, proc=u, speed=speed)
             )
-    return apps, platform, Mapping.from_assignments(assignments)
+    return Mapping.from_assignments(assignments)
+
+
+@st.composite
+def mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
+    """A (apps, platform, valid interval mapping) triple.
+
+    The mapping partitions each application at random cut points, places
+    intervals on distinct random processors and picks a random mode each.
+    """
+    n_apps = draw(st.integers(min_value=1, max_value=max_apps))
+    apps = tuple(draw(applications(max_stages)) for _ in range(n_apps))
+    partitions = draw(_random_partitions(apps))
+    total_intervals = sum(len(p) for p in partitions)
+    n_procs = total_intervals + draw(st.integers(0, 2))
+    platform = Platform.fully_homogeneous(
+        n_procs, speeds=draw(speed_sets()), bandwidth=draw(bandwidths)
+    )
+    return apps, platform, _place(draw, apps, platform, partitions)
+
+
+@st.composite
+def het_mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
+    """Like :func:`mapped_instances` on a fully heterogeneous platform.
+
+    Exercises every bandwidth-resolution path: explicit processor-pair
+    links, per-application virtual in/out links, per-application
+    bandwidths and the platform default.
+    """
+    n_apps = draw(st.integers(min_value=1, max_value=max_apps))
+    apps = tuple(draw(applications(max_stages)) for _ in range(n_apps))
+    partitions = draw(_random_partitions(apps))
+    total_intervals = sum(len(p) for p in partitions)
+    n_procs = total_intervals + draw(st.integers(0, 2))
+
+    speed_set_list = [draw(speed_sets()) for _ in range(n_procs)]
+    pairs = [(u, v) for u in range(n_procs) for v in range(u + 1, n_procs)]
+    links = {
+        pair: draw(bandwidths)
+        for pair in draw(
+            st.lists(st.sampled_from(pairs), unique=True, max_size=4)
+        )
+    } if pairs else {}
+    in_links = {
+        (a, u): draw(bandwidths)
+        for a in range(n_apps)
+        for u in range(n_procs)
+        if draw(st.booleans())
+    }
+    out_links = {
+        (a, u): draw(bandwidths)
+        for a in range(n_apps)
+        for u in range(n_procs)
+        if draw(st.booleans())
+    }
+    app_bandwidths = {
+        a: draw(bandwidths)
+        for a in range(n_apps)
+        if draw(st.booleans())
+    }
+    platform = Platform(
+        processors=processors_from_speed_sets(speed_set_list),
+        default_bandwidth=draw(bandwidths),
+        links=links,
+        in_links=in_links,
+        out_links=out_links,
+        app_bandwidths=app_bandwidths,
+    )
+    return apps, platform, _place(draw, apps, platform, partitions)

@@ -1,0 +1,151 @@
+"""Tests for the batch solve service (``repro.service``)."""
+
+import math
+
+import pytest
+
+from repro import MappingRule, PlatformClass, Thresholds
+from repro.generators import small_random_problem
+from repro.service import (
+    BatchItem,
+    dispatch_method,
+    solve_batch,
+    solve_one,
+)
+
+ALL_CLASSES = list(PlatformClass)
+
+
+def _problems(count, *, rule=MappingRule.INTERVAL, n_modes=1):
+    return [
+        small_random_problem(
+            seed,
+            platform_class=ALL_CLASSES[seed % len(ALL_CLASSES)],
+            rule=rule,
+            n_modes=n_modes,
+        )
+        for seed in range(count)
+    ]
+
+
+class TestDispatch:
+    def test_polynomial_cell_uses_auto(self):
+        problem = small_random_problem(
+            0, platform_class=PlatformClass.FULLY_HOMOGENEOUS
+        )
+        assert dispatch_method(problem, "period") == "auto"
+        assert dispatch_method(problem, "latency") == "auto"
+        assert dispatch_method(problem, "energy") == "auto"
+
+    def test_np_hard_cell_uses_heuristic(self):
+        problem = small_random_problem(
+            0, platform_class=PlatformClass.FULLY_HETEROGENEOUS
+        )
+        assert dispatch_method(problem, "period") == "heuristic"
+        assert dispatch_method(problem, "energy") == "heuristic"
+
+
+class TestSolveOne:
+    def test_matches_registry_dispatch(self):
+        problem = small_random_problem(
+            3, platform_class=PlatformClass.FULLY_HOMOGENEOUS
+        )
+        solution = solve_one(problem, "period")
+        assert solution.optimal
+        assert math.isfinite(solution.objective)
+
+    def test_heuristic_on_hard_cell(self):
+        problem = small_random_problem(
+            4, platform_class=PlatformClass.FULLY_HETEROGENEOUS
+        )
+        solution = solve_one(problem, "period")
+        assert not solution.optimal
+        assert math.isfinite(solution.objective)
+
+    def test_energy_requires_period_threshold(self):
+        problem = small_random_problem(
+            5, platform_class=PlatformClass.FULLY_HOMOGENEOUS
+        )
+        with pytest.raises(ValueError, match="period threshold"):
+            solve_one(problem, "energy")
+
+    def test_energy_with_threshold(self):
+        problem = small_random_problem(
+            6, platform_class=PlatformClass.FULLY_HOMOGENEOUS, n_modes=2
+        )
+        period = solve_one(problem, "period").objective
+        solution = solve_one(
+            problem, "energy", thresholds=Thresholds(period=2 * period)
+        )
+        assert math.isfinite(solution.objective)
+        assert solution.values.period <= 2 * period * (1 + 1e-9)
+
+    def test_unknown_objective(self):
+        problem = small_random_problem(0)
+        with pytest.raises(ValueError, match="unknown objective"):
+            solve_one(problem, "throughput")
+
+
+class TestSolveBatch:
+    def test_sequential_covers_cells_in_order(self):
+        problems = _problems(9)
+        result = solve_batch(problems, objective="period")
+        assert len(result.items) == 9
+        assert [x.index for x in result.items] == list(range(9))
+        assert result.n_ok == 9
+        assert result.n_failed == 0
+        assert all(x.wall_time >= 0 for x in result.items)
+        # sequential run matches solve_one instance by instance
+        for item in result.items:
+            direct = solve_one(problems[item.index], "period")
+            assert item.solution.objective == pytest.approx(direct.objective)
+
+    def test_pooled_matches_sequential(self):
+        problems = _problems(6)
+        sequential = solve_batch(problems, objective="period", workers=None)
+        pooled = solve_batch(problems, objective="period", workers=2)
+        assert pooled.workers == 2
+        assert pooled.n_ok == sequential.n_ok == 6
+        for seq_item, pool_item in zip(sequential.items, pooled.items):
+            assert seq_item.index == pool_item.index
+            assert pool_item.solution.objective == pytest.approx(
+                seq_item.solution.objective
+            )
+
+    def test_failures_are_contained(self):
+        problems = _problems(4)
+        # method="auto" raises SolverError on NP-hard cells: those items
+        # must come back status="error" without poisoning the batch.
+        result = solve_batch(problems, objective="period", method="auto")
+        assert len(result.items) == 4
+        statuses = {x.status for x in result.items}
+        assert "ok" in statuses and "error" in statuses
+        for item in result.items:
+            if item.status == "error":
+                assert item.solution is None
+                assert item.error
+                assert math.isinf(item.objective)
+
+    def test_summary_mentions_counts(self):
+        result = solve_batch(_problems(3), objective="latency")
+        text = result.summary()
+        assert "3/3 ok" in text
+        assert "objective=latency" in text
+
+    def test_stats_recorded(self):
+        result = solve_batch(_problems(3))
+        assert result.stats["n_instances"] == 3.0
+        assert result.total_time > 0
+        assert result.solve_time == pytest.approx(
+            sum(x.wall_time for x in result.items)
+        )
+
+    def test_unknown_objective_rejected_before_solving(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            solve_batch(_problems(1), objective="stretch")
+
+
+class TestBatchItem:
+    def test_objective_of_unsolved_is_inf(self):
+        item = BatchItem(index=0, status="error", wall_time=0.0, error="boom")
+        assert math.isinf(item.objective)

@@ -20,8 +20,10 @@ PACKAGES = [
     "repro.analysis",
     "repro.extensions",
     "repro.generators",
+    "repro.kernel",
     "repro.matching",
     "repro.paper",
+    "repro.service",
     "repro.simulation",
 ]
 

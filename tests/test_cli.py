@@ -95,6 +95,32 @@ class TestCommands:
         m = mapping_from_dict(json.loads(mapping.read_text()))
         problem.check_mapping(m)
 
+    def test_solve_batch_sequential(self, capsys):
+        assert main(["solve-batch", "--count", "9", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 ok" in out
+        assert "registry cells covered: 3" in out
+        assert "time (ms)" in out  # per-instance timing column
+
+    def test_solve_batch_pooled_quiet(self, capsys):
+        assert (
+            main(
+                [
+                    "solve-batch",
+                    "--count",
+                    "6",
+                    "--workers",
+                    "2",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "6/6 ok" in out
+        assert "workers=2" in out
+        assert "time (ms)" not in out
+
     def test_pareto_default_figure1(self, capsys):
         assert main(["pareto"]) == 0
         out = capsys.readouterr().out
