@@ -1,0 +1,107 @@
+"""Campaign-engine benchmark: cold run vs cache-resumed rerun.
+
+Run as a script to (re)record the performance baseline::
+
+    PYTHONPATH=src python benchmarks/bench_campaign.py [output.json]
+
+It writes ``BENCH_campaign.json`` next to this file with:
+
+* ``cold_run_s`` -- wall-clock of a full campaign (2 platform classes x
+  2 communication models x seeds, 2 solver configurations) on an empty
+  cache;
+* ``warm_run_s`` -- wall-clock of the identical rerun, which must be
+  served entirely from the content-addressed results cache;
+* ``resume_run_s`` -- wall-clock after deleting half the cache entries,
+  measuring the partial-recompute path interrupted campaigns take;
+* ``warm_speedup`` -- ``cold / warm``; the acceptance bar (asserted when
+  run as a script) is a warm rerun with **zero** re-solves and >= 5x
+  speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import ResultsCache, load_spec, run_campaign
+
+SPEC = {
+    "name": "bench-campaign",
+    "scenarios": {
+        "platforms": ["fully-homogeneous", "comm-homogeneous"],
+        "models": ["overlap", "no-overlap"],
+        "rules": ["interval"],
+        "apps": [2],
+        "modes": [2],
+        "seeds": 8,
+    },
+    "solvers": [
+        {"name": "registry", "objective": "period"},
+        {"name": "greedy", "objective": "period", "method": "heuristic"},
+    ],
+}
+
+
+def run(output: Path) -> dict:
+    spec = load_spec(SPEC)
+    with tempfile.TemporaryDirectory() as tmp:
+        t0 = time.perf_counter()
+        cold = run_campaign(spec, tmp)
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm = run_campaign(spec, tmp)
+        warm_s = time.perf_counter() - t0
+
+        # Simulate an interrupted campaign: drop half the entries.
+        cache = ResultsCache(tmp)
+        keys = list(cache.keys())
+        for key in keys[: len(keys) // 2]:
+            cache.path(key).unlink()
+        t0 = time.perf_counter()
+        resumed = run_campaign(spec, tmp)
+        resume_s = time.perf_counter() - t0
+
+    payload = {
+        "bench": "campaign",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "n_cells": cold.n_cells,
+        "cold_run_s": round(cold_s, 4),
+        "warm_run_s": round(warm_s, 4),
+        "resume_run_s": round(resume_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "cold_solved": cold.n_solved,
+        "warm_solved": warm.n_solved,
+        "resume_solved": resumed.n_solved,
+        "resume_cached": resumed.n_cached,
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> int:
+    output = (
+        Path(sys.argv[1])
+        if len(sys.argv) > 1
+        else Path(__file__).parent / "BENCH_campaign.json"
+    )
+    payload = run(output)
+    assert payload["warm_solved"] == 0, "warm rerun must be pure cache hits"
+    assert payload["resume_solved"] == payload["n_cells"] - payload["resume_cached"], (
+        "resume must recompute exactly the missing cells"
+    )
+    assert payload["warm_speedup"] and payload["warm_speedup"] >= 5, (
+        f"warm rerun speedup {payload['warm_speedup']} below 5x"
+    )
+    print(f"ok: warm rerun {payload['warm_speedup']}x faster, zero re-solves")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,9 +4,18 @@
   period/latency trade-off fronts, with dominance filtering;
 * :mod:`complexity` -- runtime scaling measurements and log-log power-law
   fits for the Table 1/2 "polynomial" claims;
-* :mod:`tables` -- plain-text table rendering for the bench reports.
+* :mod:`tables` -- plain-text table rendering for the bench reports;
+* :mod:`campaigns` -- aggregation, solver-vs-solver ratios and
+  Pareto-front quality grading over campaign results
+  (:mod:`repro.experiments`).
 """
 
+from .campaigns import (
+    campaign_table,
+    front_quality,
+    heuristic_front_quality,
+    solver_ratio_table,
+)
 from .complexity import fit_power_law, measure_scaling
 from .pareto import (
     pareto_filter,
@@ -17,9 +26,13 @@ from .stretch import solo_optima, solo_optimum, stretch_problem
 from .tables import render_table
 
 __all__ = [
+    "campaign_table",
     "fit_power_law",
+    "front_quality",
+    "heuristic_front_quality",
     "measure_scaling",
     "pareto_filter",
+    "solver_ratio_table",
     "period_energy_front_exact",
     "period_energy_front_heuristic",
     "render_table",

@@ -1,0 +1,284 @@
+"""Comparison and reporting over campaign results.
+
+Consumes the :class:`~repro.experiments.CellRecord` lists produced by
+:func:`repro.experiments.run_campaign` / ``load_records`` and reduces
+them to the three artifacts an experiment section needs:
+
+* :func:`campaign_table` -- per-cell aggregates (counts, mean objective,
+  mean solve time) grouped by any subset of scenario/solver axes;
+* :func:`solver_ratio_table` -- paired solver-vs-baseline objective
+  ratios (geometric mean, win/tie/loss counts) over the scenarios both
+  solved;
+* :func:`front_quality` / :func:`heuristic_front_quality` -- quality of
+  an approximate period/energy Pareto front against the exact front of
+  :func:`repro.analysis.period_energy_front_exact` (coverage plus
+  relative energy excess).
+
+All functions are pure: they never touch the cache or solve anything
+(except :func:`heuristic_front_quality`, which computes the two fronts
+it compares).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.problem import ProblemInstance
+from .pareto import (
+    pareto_filter,
+    period_energy_front_exact,
+    period_energy_front_heuristic,
+)
+
+__all__ = [
+    "campaign_table",
+    "front_quality",
+    "heuristic_front_quality",
+    "solver_ratio_table",
+]
+
+#: Scenario/solver axes usable as grouping keys in :func:`campaign_table`.
+GROUP_KEYS = ("platform", "model", "rule", "apps", "modes", "solver", "objective")
+
+
+def _group_value(record, key: str):
+    if key == "solver":
+        return record.solver.name
+    if key == "objective":
+        return record.solver.objective
+    return record.scenario.axes()[key]
+
+
+def campaign_table(
+    records: Sequence,
+    by: Sequence[str] = ("platform", "model", "solver"),
+) -> Tuple[List[str], List[Tuple]]:
+    """Aggregate campaign records into a per-group table.
+
+    Parameters
+    ----------
+    records:
+        :class:`~repro.experiments.CellRecord` sequence (from
+        ``run_campaign(...).records`` or ``load_records``).
+    by:
+        Grouping axes, any subset of ``("platform", "model", "rule",
+        "apps", "modes", "solver", "objective")``.
+
+    Returns
+    -------
+    (headers, rows)
+        Ready for :func:`repro.analysis.render_table`.  Each row holds
+        the group values followed by cell count, ok count, cached count,
+        mean objective over the ok cells (``"-"`` when none) and mean
+        per-cell solve time in milliseconds.
+
+    Raises
+    ------
+    ValueError
+        On an unknown grouping key.
+    """
+    unknown = sorted(set(by) - set(GROUP_KEYS))
+    if unknown:
+        raise ValueError(f"unknown group key(s) {unknown}; allowed: {list(GROUP_KEYS)}")
+    groups: Dict[Tuple, List] = {}
+    for record in records:
+        groups.setdefault(tuple(_group_value(record, k) for k in by), []).append(record)
+
+    def sort_key(key: Tuple) -> Tuple:
+        # Numbers sort numerically, strings lexicographically; the type
+        # tag keeps mixed tuples comparable.
+        return tuple(
+            (0, v, "") if isinstance(v, (int, float)) else (1, 0, str(v))
+            for v in key
+        )
+
+    rows = []
+    for group_key in sorted(groups, key=sort_key):
+        members = groups[group_key]
+        ok = [r for r in members if r.ok]
+        mean_obj = (
+            f"{sum(r.objective for r in ok) / len(ok):.6g}" if ok else "-"
+        )
+        mean_ms = sum(r.wall_time for r in members) / len(members) * 1000
+        rows.append(
+            (
+                *group_key,
+                len(members),
+                len(ok),
+                sum(1 for r in members if r.cached),
+                mean_obj,
+                f"{mean_ms:.2f}",
+            )
+        )
+    headers = [*by, "cells", "ok", "cached", "mean objective", "mean ms"]
+    return headers, rows
+
+
+def solver_ratio_table(
+    records: Sequence,
+    baseline: Optional[str] = None,
+) -> Tuple[List[str], List[Tuple]]:
+    """Paired objective ratios of every solver against a baseline.
+
+    For each scenario both solvers completed (``status == "ok"``), the
+    ratio ``other / baseline`` of the achieved objective is taken;
+    ratios below 1 mean the other solver found a better (smaller)
+    objective.  Scenarios where either side failed are skipped, so the
+    comparison is always paired.
+
+    Parameters
+    ----------
+    records:
+        Campaign records covering at least two solver configurations.
+    baseline:
+        Solver name to compare against; defaults to the first solver
+        encountered in ``records``.
+
+    Returns
+    -------
+    (headers, rows)
+        One row per non-baseline solver: paired scenario count,
+        geometric-mean ratio, and win/tie/loss counts versus the
+        baseline (a *win* is a strictly smaller objective).
+
+    Raises
+    ------
+    ValueError
+        When the baseline name does not occur in ``records``.
+    """
+    by_solver: Dict[str, Dict] = {}
+    for record in records:
+        by_solver.setdefault(record.solver.name, {})[record.scenario] = record
+    if not by_solver:
+        return (["solver", "paired", "geomean ratio", "wins", "ties", "losses"], [])
+    if baseline is None:
+        baseline = next(iter(by_solver))
+    if baseline not in by_solver:
+        raise ValueError(
+            f"baseline solver {baseline!r} not in records "
+            f"(have: {sorted(by_solver)})"
+        )
+    base = by_solver[baseline]
+    rows = []
+    for name, cells in by_solver.items():
+        if name == baseline:
+            continue
+        ratios = []
+        wins = ties = losses = 0
+        for scenario, record in cells.items():
+            other = base.get(scenario)
+            if other is None or not record.ok or not other.ok:
+                continue
+            if other.objective == 0:
+                continue
+            ratio = record.objective / other.objective
+            ratios.append(ratio)
+            if math.isclose(record.objective, other.objective, rel_tol=1e-9):
+                ties += 1
+            elif record.objective < other.objective:
+                wins += 1
+            else:
+                losses += 1
+        geomean = (
+            f"{math.exp(sum(math.log(r) for r in ratios) / len(ratios)):.4f}"
+            if ratios
+            else "-"
+        )
+        rows.append((name, len(ratios), geomean, wins, ties, losses))
+    headers = ["solver", "paired", f"geomean vs {baseline}", "wins", "ties", "losses"]
+    return headers, rows
+
+
+def front_quality(
+    exact: Sequence[Tuple[float, float]],
+    approx: Sequence[Tuple[float, float]],
+) -> Dict[str, float]:
+    """Quality metrics of an approximate period/energy front.
+
+    Parameters
+    ----------
+    exact:
+        The reference non-dominated ``(period, energy)`` points
+        (e.g. from :func:`repro.analysis.period_energy_front_exact`).
+    approx:
+        The approximate front to grade.
+
+    Returns
+    -------
+    dict
+        ``n_exact`` / ``n_approx`` point counts; ``coverage`` -- the
+        fraction of approximate points that survive dominance filtering
+        against the union (1.0 means every approximate point lies on the
+        true front); ``mean_excess`` / ``max_excess`` -- relative energy
+        excess of the approximation at each exact period threshold
+        (0.0 means the approximation matches the optimum wherever it is
+        feasible); ``reachable`` -- fraction of exact thresholds at
+        which the approximation has any feasible point.
+    """
+    exact = pareto_filter(list(exact))
+    approx_list = list(approx)
+    if not approx_list or not exact:
+        return {
+            "n_exact": float(len(exact)),
+            "n_approx": float(len(approx_list)),
+            "coverage": 0.0,
+            "reachable": 0.0,
+            "mean_excess": math.inf,
+            "max_excess": math.inf,
+        }
+    union = pareto_filter(exact + approx_list)
+    on_front = sum(1 for p in approx_list if p in union)
+    excesses = []
+    reachable = 0
+    for period_star, energy_star in exact:
+        feasible = [e for t, e in approx_list if t <= period_star * (1 + 1e-9)]
+        if not feasible:
+            continue
+        reachable += 1
+        if energy_star > 0:
+            excesses.append((min(feasible) - energy_star) / energy_star)
+    return {
+        "n_exact": float(len(exact)),
+        "n_approx": float(len(approx_list)),
+        "coverage": on_front / len(approx_list),
+        "reachable": reachable / len(exact),
+        "mean_excess": sum(excesses) / len(excesses) if excesses else 0.0,
+        "max_excess": max(excesses) if excesses else 0.0,
+    }
+
+
+def heuristic_front_quality(
+    problem: ProblemInstance,
+    *,
+    max_points: int = 50,
+    n_points: int = 20,
+) -> Dict[str, float]:
+    """Grade the heuristic period/energy front of one instance.
+
+    Computes the exact front
+    (:func:`repro.analysis.period_energy_front_exact`), seeds the
+    heuristic front from the registry-dispatched period solution
+    (:func:`repro.service.solve_one`), and compares the two with
+    :func:`front_quality`.
+
+    Parameters
+    ----------
+    problem:
+        The instance to analyze (small enough for the exact sweep).
+    max_points:
+        Cap on exact-front period candidates.
+    n_points:
+        Heuristic front resolution.
+
+    Returns
+    -------
+    dict
+        The :func:`front_quality` metrics.
+    """
+    from ..service import solve_one
+
+    exact = period_energy_front_exact(problem, max_points=max_points)
+    start = solve_one(problem, objective="period")
+    approx = period_energy_front_heuristic(problem, start, n_points=n_points)
+    return front_quality(exact, approx)

@@ -11,7 +11,11 @@ Subcommands:
   example and compare measured vs analytic period/latency;
 * ``solve-batch`` -- generate a fleet of random instances across registry
   cells and solve them through :mod:`repro.service`, optionally over a
-  process pool, reporting per-instance timing.
+  process pool, reporting per-instance timing;
+* ``campaign`` -- declarative experiment campaigns
+  (:mod:`repro.experiments`): ``run`` executes a YAML/JSON spec's missing
+  cells through the resumable results cache, ``status`` reports cache
+  coverage, ``report`` renders aggregate and solver-comparison tables.
 """
 
 from __future__ import annotations
@@ -295,6 +299,126 @@ def _cmd_solve_batch(args: argparse.Namespace) -> int:
     return 0 if result.n_failed == 0 else 1
 
 
+def _campaign_dir(args: argparse.Namespace, spec) -> str:
+    """The campaign's cache directory (``--dir`` or ``campaigns/<name>``)."""
+    from pathlib import Path
+
+    return args.dir if args.dir else str(Path("campaigns") / spec.name)
+
+
+def _load_campaign_spec(args: argparse.Namespace):
+    """Load and validate the spec file, exiting with code 2 on errors."""
+    from .experiments import CampaignSpecError, load_spec
+
+    try:
+        return load_spec(args.spec)
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .experiments import run_campaign
+
+    spec = _load_campaign_spec(args)
+    directory = _campaign_dir(args, spec)
+    result = run_campaign(
+        spec, directory, workers=args.workers, force=args.force
+    )
+    if not args.quiet:
+        rows = [
+            (
+                r.scenario.label,
+                r.solver.name,
+                "cache" if r.cached else (r.algorithm or "-"),
+                r.status,
+                f"{r.objective:.6g}" if r.ok else "-",
+                f"{r.wall_time * 1000:.2f}",
+            )
+            for r in result.records
+        ]
+        print(
+            render_table(
+                ["scenario", "solver", "via", "status", "objective", "time (ms)"],
+                rows,
+            )
+        )
+    print(result.summary())
+    print(f"results cache: {directory}")
+    return 0 if result.n_failed == 0 else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .experiments import campaign_status
+
+    spec = _load_campaign_spec(args)
+    status = campaign_status(spec, _campaign_dir(args, spec))
+    rows = [
+        (name, done, total, total - done)
+        for name, (done, total) in status.per_solver.items()
+    ]
+    print(render_table(["solver", "done", "total", "missing"], rows))
+    print(status.summary())
+    return 0 if status.complete else 1
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .analysis.campaigns import campaign_table, solver_ratio_table
+    from .experiments import load_records
+
+    spec = _load_campaign_spec(args)
+    directory = _campaign_dir(args, spec)
+    records = load_records(spec, directory)
+    if not records:
+        print(
+            "no cached results yet; run `repro-pipelines campaign run` first",
+            file=sys.stderr,
+        )
+        return 1
+    by = tuple(k.strip() for k in args.by.split(",") if k.strip())
+    try:
+        headers, rows = campaign_table(records, by=by)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"campaign {spec.name!r} aggregates (grouped by {', '.join(by)}):")
+    print(render_table(headers, rows))
+    if len(spec.solvers) > 1:
+        try:
+            headers, rows = solver_ratio_table(records, baseline=args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print("\npaired solver comparison (objective ratios, <1 = better):")
+        print(render_table(headers, rows))
+    if args.front > 0:
+        from .analysis.campaigns import heuristic_front_quality
+
+        print("\nheuristic period/energy front quality vs exact front:")
+        quality_rows = []
+        for scenario in spec.scenarios()[: args.front]:
+            metrics = heuristic_front_quality(scenario.problem())
+            quality_rows.append(
+                (
+                    scenario.label,
+                    int(metrics["n_exact"]),
+                    int(metrics["n_approx"]),
+                    f"{metrics['coverage']:.2f}",
+                    f"{metrics['mean_excess']:.3f}",
+                )
+            )
+        print(
+            render_table(
+                ["scenario", "exact pts", "approx pts", "coverage", "mean excess"],
+                quality_rows,
+            )
+        )
+    n_missing = spec.n_cells - len(records)
+    if n_missing:
+        print(f"\nwarning: {n_missing} cells not yet computed")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-pipelines`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -452,6 +576,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pareto.add_argument("--points", type=int, default=100)
     pareto.set_defaults(func=_cmd_pareto)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns with a resumable results cache",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", help="campaign spec file (YAML or JSON)")
+        p.add_argument(
+            "--dir",
+            default=None,
+            help="results-cache directory (default: campaigns/<spec name>)",
+        )
+
+    run = campaign_sub.add_parser(
+        "run", help="execute the campaign's missing cells (cached cells are reused)"
+    )
+    _add_campaign_common(run)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: sequential)",
+    )
+    run.add_argument(
+        "--force",
+        action="store_true",
+        help="re-solve every cell, overwriting cached entries",
+    )
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the summary, not the per-cell table",
+    )
+    run.set_defaults(func=_cmd_campaign_run)
+
+    status = campaign_sub.add_parser(
+        "status", help="cache coverage of the campaign (no solving)"
+    )
+    _add_campaign_common(status)
+    status.set_defaults(func=_cmd_campaign_status)
+
+    report = campaign_sub.add_parser(
+        "report", help="aggregate tables and solver comparisons from the cache"
+    )
+    _add_campaign_common(report)
+    report.add_argument(
+        "--by",
+        default="platform,model,solver",
+        help="comma-separated grouping axes "
+        "(platform, model, rule, apps, modes, solver, objective)",
+    )
+    report.add_argument(
+        "--baseline",
+        default=None,
+        help="solver name to use as the ratio baseline "
+        "(default: first solver in the spec)",
+    )
+    report.add_argument(
+        "--front",
+        type=int,
+        default=0,
+        help="also grade the heuristic period/energy front on the first "
+        "N scenarios (0 = off)",
+    )
+    report.set_defaults(func=_cmd_campaign_report)
     return parser
 
 

@@ -1,0 +1,75 @@
+"""Experiment campaigns: declarative sweeps with a resumable results cache.
+
+The paper's experimental section is a *regime*, not a single run: every
+(platform class, communication model, objective) cell of Tables 1-2 gets
+swept across instance sizes and seeds.  This package makes such sweeps
+declarative and restartable:
+
+* :mod:`repro.experiments.spec` -- :class:`CampaignSpec`, a validated
+  scenario grid x solver-configuration product loadable from YAML, JSON
+  or a plain dict;
+* :mod:`repro.experiments.cache` -- :class:`ResultsCache`, a
+  content-addressed on-disk store keyed by (instance hash, solver
+  config hash) with atomic writes;
+* :mod:`repro.experiments.runner` -- :func:`run_campaign` /
+  :func:`campaign_status` / :func:`load_records`, executing the missing
+  cells through :func:`repro.service.solve_batch` and resuming
+  interrupted campaigns for free.
+
+Quickstart::
+
+    from repro.experiments import load_spec, run_campaign
+
+    spec = load_spec("examples/campaign_small.yaml")
+    result = run_campaign(spec, "campaigns/small", workers=4)
+    print(result.summary())         # N cells, k cached + m solved ...
+    rerun = run_campaign(spec, "campaigns/small")
+    assert rerun.n_solved == 0      # second run is pure cache hits
+
+The ``repro-pipelines campaign`` CLI subcommand (``run`` / ``status`` /
+``report``) wraps the same functions.
+"""
+
+from .cache import (
+    ResultsCache,
+    cell_key,
+    combine_digests,
+    instance_digest,
+    solver_digest,
+)
+from .runner import (
+    CampaignResult,
+    CampaignStatus,
+    CellRecord,
+    campaign_status,
+    load_records,
+    run_campaign,
+)
+from .spec import (
+    CampaignSpec,
+    CampaignSpecError,
+    Scenario,
+    ScenarioGrid,
+    SolverSpec,
+    load_spec,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "CampaignStatus",
+    "CellRecord",
+    "ResultsCache",
+    "Scenario",
+    "ScenarioGrid",
+    "SolverSpec",
+    "campaign_status",
+    "cell_key",
+    "combine_digests",
+    "instance_digest",
+    "load_records",
+    "load_spec",
+    "run_campaign",
+    "solver_digest",
+]

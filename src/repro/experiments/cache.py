@@ -1,0 +1,204 @@
+"""Content-addressed on-disk results cache.
+
+Each campaign cell — one (problem instance, solver configuration) pair —
+is keyed by the SHA-256 digest of its canonical JSON serialization, so
+the cache key depends only on *content*: the same instance solved with
+the same configuration hits the same entry no matter which campaign,
+process or machine produced it.  Entries are single JSON files under
+``<root>/<key[:2]>/<key>.json``, written atomically (temp file +
+``os.replace``) so a campaign killed mid-write never leaves a corrupt
+entry behind — the interrupted cell is simply missing and is recomputed
+on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..core.problem import ProblemInstance
+from ..io import problem_to_dict
+
+__all__ = [
+    "ResultsCache",
+    "cell_key",
+    "combine_digests",
+    "instance_digest",
+    "solver_digest",
+]
+
+
+def _canonical(payload: Dict[str, Any]) -> str:
+    """Deterministic JSON rendering (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def instance_digest(problem: ProblemInstance) -> str:
+    """Content hash of a problem instance.
+
+    Parameters
+    ----------
+    problem:
+        The instance to fingerprint.
+
+    Returns
+    -------
+    str
+        SHA-256 hex digest of the instance's canonical JSON form
+        (:func:`repro.io.problem_to_dict` with sorted keys), so equal
+        instances hash equal regardless of how they were constructed.
+    """
+    return hashlib.sha256(_canonical(problem_to_dict(problem)).encode()).hexdigest()
+
+
+def solver_digest(solver_payload: Dict[str, Any]) -> str:
+    """Content hash of a solver configuration dict.
+
+    Parameters
+    ----------
+    solver_payload:
+        JSON-friendly solver configuration
+        (:meth:`repro.experiments.SolverSpec.to_dict`).  The ``name``
+        field is excluded: renaming a configuration must not invalidate
+        its cached results.
+
+    Returns
+    -------
+    str
+        SHA-256 hex digest of the canonical payload.
+    """
+    payload = {k: v for k, v in solver_payload.items() if k != "name"}
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def combine_digests(instance: str, solver: str) -> str:
+    """Combine an instance digest and a solver digest into one cell key.
+
+    This is the single definition of the key-composition format; both
+    :func:`cell_key` and the campaign runner (which precomputes the two
+    digests to share them across cells) go through it.
+
+    Parameters
+    ----------
+    instance:
+        Hex digest from :func:`instance_digest`.
+    solver:
+        Hex digest from :func:`solver_digest`.
+
+    Returns
+    -------
+    str
+        SHA-256 hex digest of ``"<instance>:<solver>"``.
+    """
+    return hashlib.sha256(f"{instance}:{solver}".encode()).hexdigest()
+
+
+def cell_key(problem: ProblemInstance, solver_payload: Dict[str, Any]) -> str:
+    """Cache key of one campaign cell.
+
+    Parameters
+    ----------
+    problem:
+        The cell's problem instance.
+    solver_payload:
+        The cell's solver configuration dict.
+
+    Returns
+    -------
+    str
+        SHA-256 hex digest combining :func:`instance_digest` and
+        :func:`solver_digest` via :func:`combine_digests`.
+    """
+    return combine_digests(
+        instance_digest(problem), solver_digest(solver_payload)
+    )
+
+
+class ResultsCache:
+    """A directory of content-addressed solve results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created on first write.  Safe to share between
+        campaigns — keys are content hashes, so distinct cells never
+        collide and identical cells deduplicate.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """Filesystem location of a key's entry (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Fetch a cached record.
+
+        Parameters
+        ----------
+        key:
+            Cell key from :func:`cell_key`.
+
+        Returns
+        -------
+        dict or None
+            The stored record, or ``None`` on a miss.  A corrupt entry
+            (truncated by a crash predating atomic writes, or hand
+            edited) is treated as a miss and removed so it gets
+            recomputed rather than poisoning reports.
+        """
+        path = self.path(key)
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        """Store a record atomically.
+
+        Parameters
+        ----------
+        key:
+            Cell key from :func:`cell_key`.
+        record:
+            JSON-serializable result record.  Written to a temp file in
+            the destination directory, then moved into place with
+            ``os.replace`` — readers never observe a partial entry.
+        """
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all stored cell keys."""
+        if not self.root.exists():
+            return
+        for entry in sorted(self.root.glob("*/*.json")):
+            yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

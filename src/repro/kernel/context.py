@@ -36,11 +36,21 @@ __all__ = ["EvaluationContext", "app_arrays", "mapping_columns"]
 def app_arrays(app: Application) -> Tuple[np.ndarray, np.ndarray]:
     """The NumPy form of one application: ``(prefix, delta)``.
 
-    ``prefix`` has shape ``(n + 1,)`` with ``prefix[i]`` the total work of
-    stages ``0 .. i-1``; ``delta`` has shape ``(n + 1,)`` with ``delta[i]``
-    the size of the data consumed by stage ``i`` (``delta[n]`` is the final
-    output size).  The arrays are memoized on the application instance, so
-    every context, solver and table builder shares one copy.
+    The arrays are memoized on the application instance, so every
+    context, solver and table builder shares one copy.
+
+    Parameters
+    ----------
+    app:
+        The application to convert.
+
+    Returns
+    -------
+    (prefix, delta) : tuple of numpy.ndarray
+        ``prefix`` has shape ``(n + 1,)`` with ``prefix[i]`` the total
+        work of stages ``0 .. i-1``; ``delta`` has shape ``(n + 1,)``
+        with ``delta[i]`` the size of the data consumed by stage ``i``
+        (``delta[n]`` is the final output size).  Both are read-only.
     """
     cached = getattr(app, "_kernel_arrays", None)
     if cached is not None:
@@ -170,8 +180,19 @@ class EvaluationContext:
     # ------------------------------------------------------------------
     @classmethod
     def for_problem(cls, problem) -> "EvaluationContext":
-        """The context matching a :class:`~repro.core.problem.ProblemInstance`
-        (same applications, platform, communication and energy models)."""
+        """Build the context matching a problem instance.
+
+        Parameters
+        ----------
+        problem:
+            A :class:`~repro.core.problem.ProblemInstance`; its
+            applications, platform, communication model and energy model
+            are adopted unchanged.
+
+        Returns
+        -------
+        EvaluationContext
+        """
         return cls(
             problem.apps,
             problem.platform,
@@ -183,7 +204,25 @@ class EvaluationContext:
     # O(1) scalar lookups
     # ------------------------------------------------------------------
     def work_sum(self, app_index: int, lo: int, hi: int) -> float:
-        """Total work of stages ``lo .. hi`` (inclusive) of one application."""
+        """Total work of stages ``lo .. hi`` (inclusive) of one application.
+
+        Parameters
+        ----------
+        app_index:
+            Index of the application.
+        lo, hi:
+            Inclusive 0-based stage interval bounds.
+
+        Returns
+        -------
+        float
+            ``sum_{k=lo..hi} w_k``, in O(1) via the prefix sums.
+
+        Raises
+        ------
+        InvalidApplicationError
+            When the interval is out of range.
+        """
         prefix = self._prefix[app_index]
         if not 0 <= lo <= hi < len(prefix) - 1:
             raise InvalidApplicationError(
@@ -337,14 +376,36 @@ class EvaluationContext:
         )
 
     def mapping_energy(self, mapping: Mapping) -> float:
-        """Total per-time-unit energy of the enrolled processors
-        (Section 3.5): ``sum_u E_stat(u) + s_u^alpha``."""
+        """Total per-time-unit energy of the enrolled processors.
+
+        Parameters
+        ----------
+        mapping:
+            The mapping whose processors are enrolled.
+
+        Returns
+        -------
+        float
+            ``sum_u E_stat(u) + s_u^alpha`` over the distinct enrolled
+            processors (Section 3.5).
+        """
         return self._columns_energy(mapping_columns(mapping))
 
     def evaluate(self, mapping: Mapping) -> CriteriaValues:
-        """All criteria of a mapping in one vectorized pass; numerically
-        equivalent to the scalar
-        :func:`repro.core.evaluation.evaluate_scalar`."""
+        """All criteria of a mapping in one vectorized pass.
+
+        Parameters
+        ----------
+        mapping:
+            The mapping to evaluate (all applications must be assigned).
+
+        Returns
+        -------
+        CriteriaValues
+            Per-application periods/latencies plus the weighted global
+            period, latency and total energy; numerically equivalent to
+            the scalar :func:`repro.core.evaluation.evaluate_scalar`.
+        """
         columns = mapping_columns(mapping)
         periods: Dict[int, float] = {}
         latencies: Dict[int, float] = {}
@@ -380,8 +441,22 @@ class EvaluationContext:
         Only the applications whose assignment rows differ from
         ``base_mapping`` are re-evaluated (period and latency); the energy
         is recomputed vectorized over the whole mapping (it is O(m) and has
-        no per-application structure worth diffing).  The result is
-        bit-identical to a fresh :meth:`evaluate` call.
+        no per-application structure worth diffing).
+
+        Parameters
+        ----------
+        mapping:
+            The new mapping (after a local move).
+        base_mapping:
+            The previously evaluated neighbor.
+        base_values:
+            The criteria of ``base_mapping``.
+
+        Returns
+        -------
+        CriteriaValues
+            Bit-identical to a fresh :meth:`evaluate` call on
+            ``mapping``.
         """
         columns = mapping_columns(mapping)
         base_columns = mapping_columns(base_mapping)

@@ -51,6 +51,25 @@ def interval_cycle_matrix(
     ``speed`` with incoming/outgoing links of ``bandwidth`` -- exactly
     :func:`repro.algorithms.interval_period.interval_cycle` evaluated over
     the whole table at once.
+
+    Parameters
+    ----------
+    app:
+        The application whose intervals are tabulated.
+    speed:
+        Processor speed ``s`` (all intervals evaluated at this mode).
+    bandwidth:
+        Bandwidth of every incoming/outgoing link.
+    model:
+        Communication model: ``OVERLAP`` takes the max of the three
+        activity times (Equation (3)), ``NO_OVERLAP`` their sum
+        (Equation (4)).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, n + 1)`` table; the invalid ``i <= j`` triangle is
+        ``+inf``.
     """
     prefix, delta = app_arrays(app)
     n = app.n_stages
@@ -72,6 +91,21 @@ def latency_segment_matrix(
 
     ``S[j, i] = sum_{k in j..i-1} w_k / speed + delta_i / bandwidth`` --
     the term added per interval by the Theorem 15 latency DP.
+
+    Parameters
+    ----------
+    app:
+        The application whose intervals are tabulated.
+    speed:
+        Processor speed used for the computation term.
+    bandwidth:
+        Bandwidth of the outgoing link (the ``delta_i`` transfer).
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, n + 1)`` table; the invalid ``i <= j`` triangle is
+        ``+inf``.
     """
     prefix, delta = app_arrays(app)
     n = app.n_stages
@@ -93,11 +127,33 @@ def interval_energy_table(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Cheapest feasible mode and energy of every interval (Theorem 18).
 
-    Returns ``(energy, speed)`` tables of shape ``(n, n + 1)``: for each
-    interval the *slowest* mode whose cycle-time meets ``period_bound``
-    (dynamic energy increases with speed, so slowest feasible = cheapest
-    feasible), with ``energy = E_stat + s^alpha``; infeasible intervals get
-    ``energy = inf`` and ``speed = 0``.
+    For each interval the *slowest* mode whose cycle-time meets
+    ``period_bound`` is selected (dynamic energy increases with speed, so
+    slowest feasible = cheapest feasible), with
+    ``energy = E_stat + s^alpha``.
+
+    Parameters
+    ----------
+    app:
+        The application whose intervals are tabulated.
+    speed_set:
+        The processor's available speeds (DVFS modes).
+    static_energy:
+        Static energy ``E_stat`` of the processor.
+    bandwidth:
+        Bandwidth of every incoming/outgoing link.
+    model:
+        Communication model used for the feasibility cycle-times.
+    period_bound:
+        Period threshold each interval must meet.
+    energy_model:
+        Dynamic-energy exponent (Section 3.5).
+
+    Returns
+    -------
+    (energy, speed) : tuple of numpy.ndarray
+        Two shape ``(n, n + 1)`` tables; infeasible intervals get
+        ``energy = inf`` and ``speed = 0``.
     """
     n = app.n_stages
     threshold = threshold_ceiling(period_bound)
@@ -131,8 +187,26 @@ def weighted_cycle_candidates(
     For each speed in ``speeds`` and each interval ``[lo, hi]`` this is
     ``W_a * combine(delta_lo / b, work(lo, hi) / s, delta_{hi+1} / b)`` --
     the candidate-period superset swept by the Pareto-front and binary
-    search drivers.  Returns a sorted, deduplicated 1-D array of the
-    finite, strictly positive values.
+    search drivers.
+
+    Parameters
+    ----------
+    app:
+        The application whose intervals are enumerated.
+    speeds:
+        Speeds to tabulate (typically the union of platform modes).
+    bandwidth:
+        Bandwidth of every link.
+    model:
+        Communication model combining the three activity times.
+    weight:
+        Priority weight ``W_a``; defaults to the application's own.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted, deduplicated 1-D array of the finite, strictly positive
+        weighted cycle-times.
     """
     n = app.n_stages
     w = app.weight if weight is None else weight

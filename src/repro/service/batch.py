@@ -45,10 +45,20 @@ _OBJECTIVES = ("period", "latency", "energy")
 def dispatch_method(problem: ProblemInstance, objective: str) -> str:
     """The concrete method the registry prescribes for an instance.
 
-    Returns ``"auto"`` when the instance's Table 1/2 cell is polynomial
-    for the given objective (the paper's algorithm applies), otherwise
-    ``"heuristic"``.  The energy objective is period-constrained
-    (Theorems 18-21), so its cell is looked up with both criteria.
+    Parameters
+    ----------
+    problem:
+        The instance whose Table 1/2 cell is classified.
+    objective:
+        ``"period"``, ``"latency"`` or ``"energy"``.  The energy
+        objective is period-constrained (Theorems 18-21), so its cell is
+        looked up with both criteria.
+
+    Returns
+    -------
+    str
+        ``"auto"`` when the cell is polynomial for the given objective
+        (the paper's algorithm applies), otherwise ``"heuristic"``.
     """
     from ..algorithms.registry import (
         Complexity,
@@ -123,6 +133,19 @@ def solve_one(
         Optional bounds on the non-optimized criteria (required for the
         energy objective: Section 3.5's energy is only meaningful under a
         period constraint).
+
+    Returns
+    -------
+    Solution
+        The solver's mapping, objective value and full criteria.
+
+    Raises
+    ------
+    ValueError
+        On an unknown objective, or an energy objective without a
+        period threshold.
+    InfeasibleProblemError
+        When no mapping satisfies the constraints.
     """
     from .. import algorithms
 

@@ -1,0 +1,130 @@
+"""Campaign reporting layer (``repro.analysis.campaigns``)."""
+
+import pytest
+
+from repro.analysis import (
+    campaign_table,
+    front_quality,
+    heuristic_front_quality,
+    solver_ratio_table,
+)
+from repro.experiments import CampaignSpec, run_campaign
+from repro.generators import small_random_problem
+
+
+@pytest.fixture(scope="module")
+def records(tmp_path_factory):
+    spec = CampaignSpec.from_dict(
+        {
+            "name": "analysis-sweep",
+            "scenarios": {
+                "platforms": ["fully-homogeneous", "comm-homogeneous"],
+                "models": ["overlap", "no-overlap"],
+                "seeds": 2,
+            },
+            "solvers": [
+                {"name": "registry", "objective": "period"},
+                {"name": "greedy", "objective": "period", "method": "heuristic"},
+            ],
+        }
+    )
+    return run_campaign(spec, tmp_path_factory.mktemp("cache")).records
+
+
+class TestCampaignTable:
+    def test_default_grouping(self, records):
+        headers, rows = campaign_table(records)
+        assert headers[:3] == ["platform", "model", "solver"]
+        assert len(rows) == 2 * 2 * 2  # platforms x models x solvers
+        # each group holds one cell per seed
+        assert all(row[3] == 2 for row in rows)
+
+    def test_group_by_solver_only(self, records):
+        headers, rows = campaign_table(records, by=("solver",))
+        assert [r[0] for r in rows] == ["greedy", "registry"]
+        assert all(row[1] == 8 for row in rows)
+
+    def test_numeric_axes_sort_numerically(self):
+        import types
+
+        def fake_record(apps):
+            scenario = types.SimpleNamespace(axes=lambda: {"apps": apps})
+            return types.SimpleNamespace(
+                scenario=scenario,
+                solver=types.SimpleNamespace(name="s", objective="period"),
+                ok=True,
+                objective=1.0,
+                wall_time=0.0,
+                cached=False,
+            )
+
+        _, rows = campaign_table(
+            [fake_record(2), fake_record(10), fake_record(3)], by=("apps",)
+        )
+        assert [r[0] for r in rows] == [2, 3, 10]  # not ["10", "2", "3"]
+
+    def test_unknown_key_raises(self, records):
+        with pytest.raises(ValueError, match="unknown group key"):
+            campaign_table(records, by=("flavor",))
+
+
+class TestSolverRatios:
+    def test_paired_counts(self, records):
+        headers, rows = solver_ratio_table(records, baseline="registry")
+        assert headers[2] == "geomean vs registry"
+        (row,) = rows
+        assert row[0] == "greedy"
+        assert row[1] == 8  # all scenarios paired
+        assert row[3] + row[4] + row[5] == 8  # wins + ties + losses
+
+    def test_heuristic_never_beats_optimal_period(self, records):
+        # registry dispatch is optimal on these polynomial cells, so the
+        # heuristic's paired ratio is >= 1 (no wins against the optimum).
+        _, rows = solver_ratio_table(records, baseline="registry")
+        (row,) = rows
+        assert row[3] == 0  # wins
+        assert float(row[2]) >= 1.0
+
+    def test_unknown_baseline(self, records):
+        with pytest.raises(ValueError, match="not in records"):
+            solver_ratio_table(records, baseline="nope")
+
+    def test_empty_records(self):
+        _, rows = solver_ratio_table([])
+        assert rows == []
+
+
+class TestFrontQuality:
+    def test_identical_fronts_are_perfect(self):
+        front = [(1.0, 10.0), (2.0, 5.0), (4.0, 2.0)]
+        metrics = front_quality(front, front)
+        assert metrics["coverage"] == 1.0
+        assert metrics["reachable"] == 1.0
+        assert metrics["mean_excess"] == pytest.approx(0.0)
+        assert metrics["max_excess"] == pytest.approx(0.0)
+
+    def test_worse_front_has_positive_excess(self):
+        exact = [(1.0, 10.0), (2.0, 5.0)]
+        approx = [(1.0, 12.0), (2.0, 6.0)]
+        metrics = front_quality(exact, approx)
+        assert metrics["coverage"] == 0.0  # both points dominated
+        assert metrics["mean_excess"] == pytest.approx((0.2 + 0.2) / 2)
+
+    def test_partial_reachability(self):
+        exact = [(1.0, 10.0), (2.0, 5.0)]
+        approx = [(2.0, 5.0)]  # nothing feasible at period 1
+        metrics = front_quality(exact, approx)
+        assert metrics["reachable"] == 0.5
+        assert metrics["coverage"] == 1.0
+
+    def test_empty_approx(self):
+        metrics = front_quality([(1.0, 1.0)], [])
+        assert metrics["coverage"] == 0.0
+        assert metrics["mean_excess"] == float("inf")
+
+    def test_heuristic_front_quality_end_to_end(self):
+        problem = small_random_problem(0, n_modes=2)
+        metrics = heuristic_front_quality(problem, max_points=30, n_points=10)
+        assert 0.0 <= metrics["coverage"] <= 1.0
+        assert metrics["n_exact"] >= 1
+        assert metrics["mean_excess"] >= 0.0

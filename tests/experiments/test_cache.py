@@ -1,0 +1,103 @@
+"""Content-addressed results cache (``repro.experiments.cache``)."""
+
+from repro.experiments import (
+    ResultsCache,
+    cell_key,
+    combine_digests,
+    instance_digest,
+    solver_digest,
+)
+from repro.generators import small_random_problem
+
+
+class TestDigests:
+    def test_equal_instances_hash_equal(self):
+        assert instance_digest(small_random_problem(1)) == instance_digest(
+            small_random_problem(1)
+        )
+
+    def test_different_instances_hash_different(self):
+        assert instance_digest(small_random_problem(1)) != instance_digest(
+            small_random_problem(2)
+        )
+
+    def test_solver_digest_ignores_name(self):
+        a = {"name": "fast", "objective": "period", "method": "auto"}
+        b = {"name": "renamed", "objective": "period", "method": "auto"}
+        c = {"name": "fast", "objective": "latency", "method": "auto"}
+        assert solver_digest(a) == solver_digest(b)
+        assert solver_digest(a) != solver_digest(c)
+
+    def test_cell_key_is_combine_of_the_two_digests(self):
+        # The runner precomputes the digests and combines them itself;
+        # this pins the two paths to the same key format.
+        problem = small_random_problem(1)
+        solver = {"name": "a", "objective": "period"}
+        assert cell_key(problem, solver) == combine_digests(
+            instance_digest(problem), solver_digest(solver)
+        )
+
+    def test_cell_key_depends_on_both_parts(self):
+        p1, p2 = small_random_problem(1), small_random_problem(2)
+        s1 = {"name": "a", "objective": "period"}
+        s2 = {"name": "a", "objective": "latency"}
+        keys = {
+            cell_key(p1, s1),
+            cell_key(p1, s2),
+            cell_key(p2, s1),
+            cell_key(p2, s2),
+        }
+        assert len(keys) == 4
+
+
+class TestResultsCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert "0" * 64 not in cache
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "ab" + "0" * 62
+        record = {"status": "ok", "objective": 1.5}
+        cache.put(key, record)
+        assert key in cache
+        assert cache.get(key) == record
+        assert list(cache.keys()) == [key]
+        assert len(cache) == 1
+
+    def test_two_level_fanout(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put(key, {})
+        assert cache.path(key) == tmp_path / "cd" / f"{key}.json"
+        assert cache.path(key).exists()
+
+    def test_overwrite(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "ef" + "2" * 62
+        cache.put(key, {"v": 1})
+        cache.put(key, {"v": 2})
+        assert cache.get(key) == {"v": 2}
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "aa" + "3" * 62
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"truncated": ')  # simulates a pre-atomic crash
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:02d}" + "4" * 62, {"i": i})
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_empty_cache_iterates_nothing(self, tmp_path):
+        cache = ResultsCache(tmp_path / "never-created")
+        assert list(cache.keys()) == []
+        assert len(cache) == 0

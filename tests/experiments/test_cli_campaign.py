@@ -1,0 +1,181 @@
+"""End-to-end ``repro-pipelines campaign`` CLI tests.
+
+Covers the acceptance criterion: the shipped example spec (2 platform
+classes x 2 communication models x 2 solvers) runs end-to-end through
+``campaign run``, and an immediate rerun completes from cache with zero
+re-solves.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLE_SPEC = REPO_ROOT / "examples" / "campaign_small.yaml"
+
+
+@pytest.fixture
+def spec_file(tmp_path):
+    """A JSON copy of the example grid (works without PyYAML)."""
+    payload = {
+        "name": "cli-sweep",
+        "scenarios": {
+            "platforms": ["fully-homogeneous", "comm-homogeneous"],
+            "models": ["overlap", "no-overlap"],
+            "seeds": 2,
+        },
+        "solvers": [
+            {"name": "registry", "objective": "period"},
+            {"name": "greedy", "objective": "period", "method": "heuristic"},
+        ],
+    }
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCampaignRun:
+    def test_run_then_rerun_zero_resolves(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["campaign", "run", str(spec_file), "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached + 16 solved" in out
+        assert "16 ok" in out
+
+        assert main(["campaign", "run", str(spec_file), "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "16 cached + 0 solved" in out
+
+    def test_example_yaml_spec_end_to_end(self, tmp_path, capsys):
+        pytest.importorskip("yaml")
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(
+                ["campaign", "run", str(EXAMPLE_SPEC), "--dir", cache_dir, "--quiet"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 cached + 24 solved" in out
+        assert (
+            main(
+                ["campaign", "run", str(EXAMPLE_SPEC), "--dir", cache_dir, "--quiet"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "24 cached + 0 solved" in out  # zero re-solves
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(SystemExit) as err:
+            main(["campaign", "run", str(bad)])
+        assert err.value.code == 2
+        assert "scenarios" in capsys.readouterr().err
+
+
+class TestCampaignStatus:
+    def test_status_before_and_after(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["campaign", "status", str(spec_file), "--dir", cache_dir]) == 1
+        out = capsys.readouterr().out
+        assert "0/16" in out
+        main(["campaign", "run", str(spec_file), "--dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "status", str(spec_file), "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "16/16" in out and "0 missing" in out
+
+
+class TestCampaignReport:
+    def test_report_tables(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["campaign", "run", str(spec_file), "--dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "report", str(spec_file), "--dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "aggregates" in out
+        assert "mean objective" in out
+        assert "geomean vs registry" in out  # paired solver comparison
+
+    def test_report_custom_grouping_and_baseline(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["campaign", "run", str(spec_file), "--dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "campaign",
+                    "report",
+                    str(spec_file),
+                    "--dir",
+                    cache_dir,
+                    "--by",
+                    "solver",
+                    "--baseline",
+                    "greedy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "geomean vs greedy" in out
+
+    def test_report_unknown_group_key(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["campaign", "run", str(spec_file), "--dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "campaign",
+                    "report",
+                    str(spec_file),
+                    "--dir",
+                    cache_dir,
+                    "--by",
+                    "flavor",
+                ]
+            )
+            == 2
+        )
+        assert "unknown group key" in capsys.readouterr().err
+
+    def test_report_unknown_baseline_exits_2(self, spec_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["campaign", "run", str(spec_file), "--dir", cache_dir, "--quiet"])
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "campaign",
+                    "report",
+                    str(spec_file),
+                    "--dir",
+                    cache_dir,
+                    "--baseline",
+                    "typo",
+                ]
+            )
+            == 2
+        )
+        assert "not in records" in capsys.readouterr().err
+
+    def test_report_without_results(self, spec_file, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "report",
+                    str(spec_file),
+                    "--dir",
+                    str(tmp_path / "empty"),
+                ]
+            )
+            == 1
+        )
+        assert "no cached results" in capsys.readouterr().err

@@ -1,0 +1,222 @@
+"""Campaign execution, caching and resume (``repro.experiments.runner``)."""
+
+import math
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.experiments import (
+    CampaignSpec,
+    ResultsCache,
+    campaign_status,
+    load_records,
+    run_campaign,
+)
+
+
+def make_spec(seeds=2, solvers=None):
+    return CampaignSpec.from_dict(
+        {
+            "name": "test-sweep",
+            "scenarios": {
+                "platforms": ["fully-homogeneous", "comm-homogeneous"],
+                "models": ["overlap", "no-overlap"],
+                "seeds": seeds,
+            },
+            "solvers": solvers
+            or [
+                {"name": "registry", "objective": "period"},
+                {"name": "greedy", "objective": "period", "method": "heuristic"},
+            ],
+        }
+    )
+
+
+class TestRunAndCacheHits:
+    def test_cold_run_solves_everything(self, tmp_path):
+        spec = make_spec()
+        result = run_campaign(spec, tmp_path)
+        assert result.n_cells == spec.n_cells == 16
+        assert result.n_solved == 16 and result.n_cached == 0
+        assert result.n_ok == 16
+        assert all(math.isfinite(r.objective) for r in result.records)
+
+    def test_warm_rerun_is_pure_cache_hits(self, tmp_path):
+        spec = make_spec()
+        run_campaign(spec, tmp_path)
+        rerun = run_campaign(spec, tmp_path)
+        assert rerun.n_solved == 0
+        assert rerun.n_cached == spec.n_cells
+        assert rerun.n_ok == spec.n_cells
+
+    def test_cached_results_match_fresh_ones(self, tmp_path):
+        spec = make_spec()
+        cold = run_campaign(spec, tmp_path)
+        warm = run_campaign(spec, tmp_path)
+        for a, b in zip(cold.records, warm.records):
+            assert a.key == b.key
+            assert a.objective == pytest.approx(b.objective)
+            assert a.values == pytest.approx(b.values)
+
+    def test_force_resolves_everything(self, tmp_path):
+        spec = make_spec()
+        run_campaign(spec, tmp_path)
+        forced = run_campaign(spec, tmp_path, force=True)
+        assert forced.n_solved == spec.n_cells
+        assert forced.n_cached == 0
+
+    def test_records_in_deterministic_spec_order(self, tmp_path):
+        spec = make_spec()
+        result = run_campaign(spec, tmp_path)
+        expected = [(sc, sv) for sv in spec.solvers for sc in spec.scenarios()]
+        got = [(r.scenario, r.solver) for r in result.records]
+        assert got == expected
+
+
+class TestResume:
+    def test_extending_the_spec_reuses_existing_cells(self, tmp_path):
+        small = make_spec(seeds=1)
+        run_campaign(small, tmp_path)
+        extended = make_spec(seeds=2)
+        result = run_campaign(extended, tmp_path)
+        # seeds=1 cells (8) are cached; only the seed-1 cells compute.
+        assert result.n_cached == small.n_cells
+        assert result.n_solved == extended.n_cells - small.n_cells
+
+    def test_half_deleted_cache_recomputes_only_missing(self, tmp_path):
+        spec = make_spec()
+        run_campaign(spec, tmp_path)
+        cache = ResultsCache(tmp_path)
+        keys = list(cache.keys())
+        removed = keys[::2]
+        for key in removed:
+            cache.path(key).unlink()
+        result = run_campaign(spec, tmp_path)
+        assert result.n_solved == len(removed)
+        assert result.n_cached == spec.n_cells - len(removed)
+
+    def test_kill_mid_campaign_then_rerun(self, tmp_path, monkeypatch):
+        """Interrupt the run between solver batches; the rerun must
+        recompute exactly the cells the interrupted run never reached."""
+        spec = make_spec()
+        real_solve_batch = runner_module.solve_batch
+        calls = {"n": 0}
+
+        def interrupting(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:  # second solver config: simulate the kill
+                raise KeyboardInterrupt
+            return real_solve_batch(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "solve_batch", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, tmp_path)
+        monkeypatch.setattr(runner_module, "solve_batch", real_solve_batch)
+
+        status = campaign_status(spec, tmp_path)
+        assert 0 < status.n_done < spec.n_cells  # partial progress persisted
+        result = run_campaign(spec, tmp_path)
+        assert result.n_cached == status.n_done
+        assert result.n_solved == spec.n_cells - status.n_done
+        assert campaign_status(spec, tmp_path).complete
+
+    def test_kill_mid_solver_batch_keeps_finished_chunks(
+        self, tmp_path, monkeypatch
+    ):
+        """Results are flushed to the cache in bounded chunks, so a kill
+        inside one solver's work still preserves its finished chunks."""
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "chunked",
+                "scenarios": {
+                    "platforms": ["fully-homogeneous"],
+                    "seeds": 20,  # > one 16-cell chunk for a single solver
+                },
+                "solvers": [{"name": "registry", "objective": "period"}],
+            }
+        )
+        real_solve_batch = runner_module.solve_batch
+        calls = {"n": 0}
+
+        def interrupting(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:  # kill during the second chunk
+                raise KeyboardInterrupt
+            return real_solve_batch(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "solve_batch", interrupting)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, tmp_path)
+        monkeypatch.setattr(runner_module, "solve_batch", real_solve_batch)
+
+        status = campaign_status(spec, tmp_path)
+        assert status.n_done == 16  # exactly the first chunk survived
+        result = run_campaign(spec, tmp_path)
+        assert result.n_cached == 16 and result.n_solved == 4
+
+    def test_solve_count_matches_misses_exactly(self, tmp_path, monkeypatch):
+        spec = make_spec()
+        run_campaign(spec, tmp_path)
+        cache = ResultsCache(tmp_path)
+        victim = next(iter(cache.keys()))
+        cache.path(victim).unlink()
+
+        solved_problems = []
+        real_solve_batch = runner_module.solve_batch
+
+        def counting(problems, *args, **kwargs):
+            solved_problems.extend(problems)
+            return real_solve_batch(problems, *args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "solve_batch", counting)
+        result = run_campaign(spec, tmp_path)
+        assert len(solved_problems) == 1
+        assert result.n_solved == 1
+
+
+class TestStatusAndRecords:
+    def test_status_lifecycle(self, tmp_path):
+        spec = make_spec()
+        before = campaign_status(spec, tmp_path)
+        assert before.n_done == 0
+        assert before.n_missing == spec.n_cells
+        assert not before.complete
+        assert before.per_solver == {"registry": (0, 8), "greedy": (0, 8)}
+        run_campaign(spec, tmp_path)
+        after = campaign_status(spec, tmp_path)
+        assert after.complete
+        assert after.per_solver == {"registry": (8, 8), "greedy": (8, 8)}
+        assert "16/16" in after.summary()
+
+    def test_load_records_partial(self, tmp_path):
+        spec = make_spec()
+        run_campaign(spec, tmp_path)
+        cache = ResultsCache(tmp_path)
+        keys = list(cache.keys())
+        cache.path(keys[0]).unlink()
+        records = load_records(spec, tmp_path)
+        assert len(records) == spec.n_cells - 1
+        assert all(r.cached for r in records)
+
+    def test_summary_mentions_counts(self, tmp_path):
+        spec = make_spec()
+        result = run_campaign(spec, tmp_path)
+        summary = result.summary()
+        assert "16 cells" in summary and "16 solved" in summary
+
+
+class TestEnergyObjective:
+    def test_energy_solver_runs_under_period_bound(self, tmp_path):
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "energy-sweep",
+                "scenarios": {"platforms": ["fully-homogeneous"], "seeds": 2},
+                "solvers": [
+                    {"name": "server", "objective": "energy", "max_period": 100.0}
+                ],
+            }
+        )
+        result = run_campaign(spec, tmp_path)
+        assert result.n_ok == result.n_cells == 2
+        for record in result.records:
+            assert record.values["period"] <= 100.0 * (1 + 1e-9)

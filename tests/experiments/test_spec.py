@@ -1,0 +1,189 @@
+"""Campaign spec parsing and validation (``repro.experiments.spec``)."""
+
+import json
+
+import pytest
+
+from repro.core.types import CommunicationModel, MappingRule, PlatformClass
+from repro.experiments import (
+    CampaignSpec,
+    CampaignSpecError,
+    ScenarioGrid,
+    SolverSpec,
+    load_spec,
+)
+
+MINIMAL = {
+    "name": "mini",
+    "scenarios": {"platforms": ["fully-homogeneous"]},
+    "solvers": [{"name": "registry"}],
+}
+
+
+def spec_dict(**overrides):
+    payload = {
+        "name": "sweep",
+        "scenarios": {
+            "platforms": ["fully-homogeneous", "comm-homogeneous"],
+            "models": ["overlap", "no-overlap"],
+            "seeds": 2,
+        },
+        "solvers": [
+            {"name": "registry", "objective": "period"},
+            {"name": "greedy", "objective": "period", "method": "heuristic"},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestParsing:
+    def test_minimal_defaults(self):
+        spec = CampaignSpec.from_dict(MINIMAL)
+        assert spec.name == "mini"
+        assert spec.grid.models == (CommunicationModel.OVERLAP,)
+        assert spec.grid.rules == (MappingRule.INTERVAL,)
+        assert spec.grid.apps == (2,)
+        assert spec.grid.seeds == (0,)
+        assert spec.solvers[0].objective == "period"
+        assert spec.solvers[0].method == "registry"
+        assert spec.n_cells == 1
+
+    def test_cross_product_counts(self):
+        spec = CampaignSpec.from_dict(spec_dict())
+        assert len(spec.grid) == 2 * 2 * 2
+        assert spec.n_cells == 8 * 2
+        assert len(spec.scenarios()) == 8
+        assert len(spec.cells()) == 16
+
+    def test_seeds_explicit_list(self):
+        payload = spec_dict()
+        payload["scenarios"]["seeds"] = [3, 7]
+        spec = CampaignSpec.from_dict(payload)
+        assert spec.grid.seeds == (3, 7)
+
+    def test_scenario_order_deterministic(self):
+        spec = CampaignSpec.from_dict(spec_dict())
+        assert spec.scenarios() == spec.scenarios()
+
+    def test_to_dict_round_trip(self):
+        spec = CampaignSpec.from_dict(spec_dict())
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_scenario_problem_is_deterministic(self):
+        scenario = CampaignSpec.from_dict(spec_dict()).scenarios()[0]
+        from repro.io import problem_to_dict
+
+        assert problem_to_dict(scenario.problem()) == problem_to_dict(
+            scenario.problem()
+        )
+
+    def test_solver_thresholds(self):
+        solver = SolverSpec.from_dict(
+            {"name": "e", "objective": "energy", "max_period": 5}
+        )
+        thresholds = solver.thresholds()
+        assert thresholds is not None and thresholds.period == 5.0
+        assert SolverSpec.from_dict({"name": "p"}).thresholds() is None
+
+
+class TestValidationErrors:
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (lambda d: d.pop("name"), "name"),
+            (lambda d: d.pop("scenarios"), "scenarios"),
+            (lambda d: d.pop("solvers"), "solvers"),
+            (lambda d: d.update(extra=1), "unknown key"),
+            (lambda d: d.update(solvers=[]), "must not be empty"),
+            (lambda d: d["scenarios"].update(platforms=[]), "must not be empty"),
+            (lambda d: d["scenarios"].update(platforms=["mars"]), "invalid value"),
+            (lambda d: d["scenarios"].update(bogus=[1]), "unknown key"),
+            (lambda d: d["scenarios"].update(seeds=0), ">= 1"),
+            (lambda d: d["scenarios"].update(apps=["two"]), "ints"),
+            (lambda d: d["scenarios"].update(stage_range=[4, 2]), "stage_range"),
+            (lambda d: d["scenarios"].update(models="overlap"), "must be a list"),
+        ],
+    )
+    def test_malformed_spec(self, mutate, fragment):
+        payload = spec_dict()
+        mutate(payload)
+        with pytest.raises(CampaignSpecError) as err:
+            CampaignSpec.from_dict(payload)
+        assert fragment in str(err.value)
+
+    @pytest.mark.parametrize(
+        "solver, fragment",
+        [
+            ({}, "name"),
+            ({"name": ""}, "name"),
+            ({"name": "x", "objective": "speed"}, "unknown objective"),
+            ({"name": "x", "method": "magic"}, "unknown method"),
+            ({"name": "x", "objective": "energy"}, "max_period"),
+            ({"name": "x", "max_period": -1}, "positive"),
+            ({"name": "x", "max_period": "soon"}, "number"),
+            ({"name": "x", "surprise": 1}, "unknown key"),
+        ],
+    )
+    def test_malformed_solver(self, solver, fragment):
+        with pytest.raises(CampaignSpecError) as err:
+            SolverSpec.from_dict(solver)
+        assert fragment in str(err.value)
+
+    def test_duplicate_solver_names(self):
+        payload = spec_dict()
+        payload["solvers"] = [{"name": "same"}, {"name": "same"}]
+        with pytest.raises(CampaignSpecError, match="duplicate"):
+            CampaignSpec.from_dict(payload)
+
+    def test_non_mapping_root(self):
+        with pytest.raises(CampaignSpecError, match="mapping"):
+            CampaignSpec.from_dict(["not", "a", "dict"])  # type: ignore[arg-type]
+
+    def test_grid_requires_platforms(self):
+        with pytest.raises(CampaignSpecError, match="platforms"):
+            ScenarioGrid.from_dict({})
+
+
+class TestLoadSpec:
+    def test_dict_passthrough(self):
+        assert load_spec(MINIMAL).name == "mini"
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec_dict()))
+        assert load_spec(path).n_cells == 16
+
+    def test_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "spec.yaml"
+        path.write_text(yaml.safe_dump(spec_dict()))
+        assert load_spec(path).n_cells == 16
+
+    def test_example_spec_parses(self):
+        pytest.importorskip("yaml")
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "campaign_small.yaml"
+        spec = load_spec(example)
+        assert len(spec.grid.platforms) >= 2
+        assert len(spec.grid.models) >= 2
+        assert len(spec.solvers) >= 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CampaignSpecError, match="not found"):
+            load_spec(tmp_path / "nope.yaml")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignSpecError, match="invalid JSON"):
+            load_spec(path)
+
+    def test_platform_enum_values_used_in_docs_exist(self):
+        # The spec format documented in docs/campaigns.md names these.
+        assert {p.value for p in PlatformClass} >= {
+            "fully-homogeneous",
+            "comm-homogeneous",
+        }
