@@ -1,0 +1,178 @@
+"""Strategy-portfolio benchmark: racing beats every single heuristic.
+
+Run as a script to (re)record the performance baseline::
+
+    PYTHONPATH=src python benchmarks/bench_strategy_portfolio.py [output.json] [--tiny]
+
+It solves a mixed NP-hard campaign grid (heterogeneous platform cells,
+where Tables 1-2 offer no polynomial algorithm) with each atomic
+heuristic — ``greedy``, ``local_search``, ``annealing`` — and with the
+composite ``portfolio(greedy,local_search,annealing)``, every solve
+under the *same* per-solve budget (wall-clock deadline + evaluation cap,
+seeded so the run is reproducible).  It writes ``BENCH_strategies.json``
+next to this file with, per strategy: the geometric-mean period
+objective, win counts, metered evaluations, budget-exhaustion counts and
+mean wall time.
+
+The acceptance bar (asserted when run as a script) is that the
+portfolio's geomean objective is no worse than the best single member's
+— i.e. racing under a split budget still dominates committing to any one
+heuristic — and strictly better on at least one instance.
+
+``--tiny`` shrinks the grid and budget for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform as _platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.types import MappingRule, PlatformClass
+from repro.generators import small_random_problem
+from repro.service import solve_batch
+from repro.strategies import SolveBudget
+
+MEMBERS = ("greedy", "local_search", "annealing")
+PORTFOLIO = f"portfolio({','.join(MEMBERS)})"
+
+
+def build_grid(tiny: bool):
+    """Mixed NP-hard instances: heterogeneous cells under both rules."""
+    seeds = range(4) if tiny else range(12)
+    combos = [
+        (PlatformClass.FULLY_HETEROGENEOUS, MappingRule.INTERVAL),
+        (PlatformClass.COMM_HOMOGENEOUS, MappingRule.INTERVAL),
+        (PlatformClass.FULLY_HETEROGENEOUS, MappingRule.ONE_TO_ONE),
+    ]
+    problems = []
+    for seed in seeds:
+        for platform_class, rule in combos:
+            problems.append(
+                small_random_problem(
+                    seed,
+                    platform_class=platform_class,
+                    rule=rule,
+                    n_apps=2,
+                    n_modes=2,
+                )
+            )
+    return problems
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run(output: Path, tiny: bool = False) -> dict:
+    problems = build_grid(tiny)
+    # The evaluation cap binds first (reproducible results even on slow
+    # CI machines); the wall-clock deadline is the safety net that keeps
+    # any one solve from stalling the bench.
+    budget = SolveBudget(
+        time_limit=5.0 if tiny else 10.0,
+        max_evaluations=2000 if tiny else 6000,
+        seed=0,
+    )
+    per_strategy = {}
+    objectives = {}
+    for spec in (*MEMBERS, PORTFOLIO):
+        t0 = time.perf_counter()
+        batch = solve_batch(
+            problems, objective="period", strategy=spec, budget=budget
+        )
+        wall = time.perf_counter() - t0
+        assert batch.n_ok == len(problems), (
+            f"{spec}: {batch.n_failed} failures on the bench grid"
+        )
+        objectives[spec] = [item.objective for item in batch.items]
+        telemetries = [item.telemetry for item in batch.items]
+        per_strategy[spec] = {
+            "geomean_period": round(geomean(objectives[spec]), 6),
+            "mean_ms": round(wall / len(problems) * 1000, 3),
+            "evaluations": sum(t.evaluations for t in telemetries),
+            "budget_exhausted": sum(
+                1 for t in telemetries if t.budget_exhausted
+            ),
+        }
+
+    best_member = min(MEMBERS, key=lambda s: per_strategy[s]["geomean_period"])
+    wins = {
+        spec: sum(
+            1
+            for i, value in enumerate(objectives[spec])
+            if value
+            <= min(objectives[other][i] for other in (*MEMBERS, PORTFOLIO))
+            * (1 + 1e-12)
+        )
+        for spec in (*MEMBERS, PORTFOLIO)
+    }
+    strict_improvements = sum(
+        1
+        for i in range(len(problems))
+        if objectives[PORTFOLIO][i]
+        < objectives[best_member][i] * (1 - 1e-12)
+    )
+    payload = {
+        "bench": "strategy-portfolio",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "tiny": tiny,
+        "n_instances": len(problems),
+        "budget": budget.to_dict(),
+        "strategies": per_strategy,
+        "wins": wins,
+        "best_single_member": best_member,
+        "best_single_geomean": per_strategy[best_member]["geomean_period"],
+        "portfolio_geomean": per_strategy[PORTFOLIO]["geomean_period"],
+        "portfolio_improvement_pct": round(
+            (
+                1
+                - per_strategy[PORTFOLIO]["geomean_period"]
+                / per_strategy[best_member]["geomean_period"]
+            )
+            * 100,
+            3,
+        ),
+        "strict_improvements": strict_improvements,
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> int:
+    argv = [a for a in sys.argv[1:]]
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).parent / "BENCH_strategies.json"
+    )
+    payload = run(output, tiny=tiny)
+    assert payload["portfolio_geomean"] <= payload["best_single_geomean"] * (
+        1 + 1e-9
+    ), (
+        f"portfolio geomean {payload['portfolio_geomean']} worse than best "
+        f"single member {payload['best_single_member']} "
+        f"({payload['best_single_geomean']})"
+    )
+    assert payload["strict_improvements"] >= 1, (
+        "portfolio never strictly beat the best single member"
+    )
+    print(
+        f"ok: portfolio geomean {payload['portfolio_geomean']} vs best "
+        f"single ({payload['best_single_member']}) "
+        f"{payload['best_single_geomean']} "
+        f"({payload['portfolio_improvement_pct']}% better, "
+        f"{payload['strict_improvements']} strict per-instance wins)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

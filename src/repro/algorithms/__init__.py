@@ -72,24 +72,31 @@ from .tricriteria import (
 )
 
 
-def minimize_period(problem: ProblemInstance, method: str = "auto") -> Solution:
+def minimize_period(
+    problem: ProblemInstance, method: str = "auto", *, budget=None
+) -> Solution:
     """Minimize the global weighted period.
 
     ``method="auto"`` dispatches to the paper's polynomial algorithm when
     the instance sits in a polynomial cell (Theorems 1, 3) and raises
     :class:`~repro.core.exceptions.SolverError` otherwise;
     ``method="exact"`` forces branch-and-bound; ``method="heuristic"``
-    runs the constructive greedy followed by hill climbing.
+    runs the constructive greedy followed by hill climbing.  ``budget``
+    optionally passes a cooperative budget meter (see
+    :class:`repro.strategies.SolveBudget`) into the exact/heuristic
+    loops; the polynomial algorithms ignore it.
     """
     if method == "exact":
-        return exact.exact_minimize(problem, Criterion.PERIOD)
+        return exact.exact_minimize(problem, Criterion.PERIOD, budget=budget)
     if method == "heuristic":
         start = (
             heuristics.greedy_one_to_one_period(problem)
             if problem.rule is MappingRule.ONE_TO_ONE
-            else heuristics.greedy_interval_period(problem)
+            else heuristics.greedy_interval_period(problem, budget=budget)
         )
-        return heuristics.hill_climb(problem, start.mapping, Criterion.PERIOD)
+        return heuristics.hill_climb(
+            problem, start.mapping, Criterion.PERIOD, budget=budget
+        )
     if method != "auto":
         raise ValueError(f"unknown method {method!r}")
     if problem.rule is MappingRule.ONE_TO_ONE:
@@ -97,18 +104,22 @@ def minimize_period(problem: ProblemInstance, method: str = "auto") -> Solution:
     return minimize_period_interval(problem)
 
 
-def minimize_latency(problem: ProblemInstance, method: str = "auto") -> Solution:
+def minimize_latency(
+    problem: ProblemInstance, method: str = "auto", *, budget=None
+) -> Solution:
     """Minimize the global weighted latency (same dispatching contract as
     :func:`minimize_period`; polynomial cells are Theorems 8 and 12)."""
     if method == "exact":
-        return exact.exact_minimize(problem, Criterion.LATENCY)
+        return exact.exact_minimize(problem, Criterion.LATENCY, budget=budget)
     if method == "heuristic":
         start = (
             heuristics.greedy_one_to_one_period(problem)
             if problem.rule is MappingRule.ONE_TO_ONE
-            else heuristics.greedy_interval_period(problem)
+            else heuristics.greedy_interval_period(problem, budget=budget)
         )
-        return heuristics.hill_climb(problem, start.mapping, Criterion.LATENCY)
+        return heuristics.hill_climb(
+            problem, start.mapping, Criterion.LATENCY, budget=budget
+        )
     if method != "auto":
         raise ValueError(f"unknown method {method!r}")
     if problem.rule is MappingRule.ONE_TO_ONE:

@@ -64,6 +64,10 @@ def _leq(value: float, bound: float) -> bool:
     return value <= bound * (1 + THRESHOLD_RTOL) + THRESHOLD_RTOL
 
 
+class _BudgetStop(Exception):
+    """Internal signal: the cooperative budget ran out mid-search."""
+
+
 def exact_minimize(
     problem: ProblemInstance,
     criterion: Criterion,
@@ -71,6 +75,7 @@ def exact_minimize(
     *,
     fix_max_speed: Optional[bool] = None,
     node_limit: int = 20_000_000,
+    budget=None,
 ) -> Solution:
     """Exact optimum of one criterion under thresholds on the others.
 
@@ -88,11 +93,21 @@ def exact_minimize(
         exactly when energy plays no role.
     node_limit:
         Safety cap on explored nodes; :class:`SolverError` when exceeded.
+    budget:
+        Optional cooperative budget meter (see
+        :class:`repro.strategies.SolveBudget`) ticked once per search
+        node.  On exhaustion the incumbent is returned with
+        ``optimal=False`` (it is only a feasible bound, not a proven
+        optimum); :class:`SolverError` when the budget runs out before
+        any feasible mapping was found.
 
     Raises
     ------
     InfeasibleProblemError
         When no mapping satisfies the thresholds.
+    SolverError
+        When ``node_limit`` is exceeded, or the budget ran out with no
+        incumbent.
     """
     apps = problem.apps
     platform = problem.platform
@@ -160,6 +175,8 @@ def exact_minimize(
             raise SolverError(
                 f"exact_minimize: node limit {node_limit} exceeded"
             )
+        if budget is not None and not budget.tick():
+            raise _BudgetStop
         if a == A:
             objective = {
                 Criterion.PERIOD: done_period_w,
@@ -295,7 +312,16 @@ def exact_minimize(
                             )
                     trail.pop()
 
-    place_app(0, 0, (1 << p) - 1, None, 0.0, 0.0, 0.0, 0.0, 0.0)
+    exhausted = False
+    try:
+        place_app(0, 0, (1 << p) - 1, None, 0.0, 0.0, 0.0, 0.0, 0.0)
+    except _BudgetStop:
+        exhausted = True
+        if best_assignments is None:
+            raise SolverError(
+                f"exact_minimize: budget exhausted after {nodes} nodes "
+                "with no feasible mapping found"
+            ) from None
     if best_assignments is None:
         raise InfeasibleProblemError(
             f"exact_minimize: no mapping satisfies the thresholds "
@@ -308,6 +334,6 @@ def exact_minimize(
         objective=best_objective,
         values=values,
         solver="branch-and-bound",
-        optimal=True,
-        stats={"nodes": float(nodes)},
+        optimal=not exhausted,
+        stats={"nodes": float(nodes), "budget_exhausted": float(exhausted)},
     )

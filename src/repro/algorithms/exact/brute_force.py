@@ -16,7 +16,7 @@ import math
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ...core.evaluation import evaluate
-from ...core.exceptions import InfeasibleProblemError
+from ...core.exceptions import InfeasibleProblemError, SolverError
 from ...core.mapping import Assignment, Mapping
 from ...core.objectives import Thresholds
 from ...core.problem import ProblemInstance, Solution
@@ -87,13 +87,18 @@ def brute_force_minimize(
     thresholds: Thresholds = Thresholds(),
     *,
     max_speed_only: Optional[bool] = None,
+    budget=None,
 ) -> Solution:
     """Exhaustively find an optimal mapping for one criterion under
     thresholds on the others.
 
     ``max_speed_only`` defaults to ``True`` exactly when the energy plays no
     role (neither the criterion nor a threshold), mirroring the paper's
-    observation that processors then always run flat out.
+    observation that processors then always run flat out.  ``budget``
+    optionally passes a cooperative budget meter (see
+    :class:`repro.strategies.SolveBudget`) ticked once per enumerated
+    mapping; on exhaustion the best mapping seen so far is returned with
+    ``optimal=False``.
     """
     if max_speed_only is None:
         max_speed_only = (
@@ -101,7 +106,11 @@ def brute_force_minimize(
         )
     best: Optional[Tuple[float, Mapping]] = None
     n_seen = 0
+    exhausted = False
     for mapping in iter_mappings(problem, max_speed_only=max_speed_only):
+        if budget is not None and not budget.tick():
+            exhausted = True
+            break
         n_seen += 1
         values = problem.evaluate(mapping)
         if not values.meets(
@@ -128,6 +137,12 @@ def brute_force_minimize(
         if best is None or objective < best[0]:
             best = (objective, mapping)
     if best is None:
+        if exhausted:
+            # Not proven infeasible: the enumeration was cut short.
+            raise SolverError(
+                f"brute force: budget exhausted after {n_seen} mappings "
+                "with no feasible mapping found"
+            )
         raise InfeasibleProblemError(
             f"brute force: no valid mapping meets the thresholds "
             f"({n_seen} mappings enumerated)"
@@ -139,6 +154,6 @@ def brute_force_minimize(
         objective=best[0],
         values=values,
         solver="brute-force",
-        optimal=True,
-        stats={"n_mappings": float(n_seen)},
+        optimal=not exhausted,
+        stats={"n_mappings": float(n_seen), "budget_exhausted": float(exhausted)},
     )

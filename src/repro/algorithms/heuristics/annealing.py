@@ -31,6 +31,7 @@ def anneal(
     initial_temperature: Optional[float] = None,
     cooling: float = 0.995,
     context=None,
+    budget=None,
 ) -> Solution:
     """Simulated annealing from ``start``.
 
@@ -50,6 +51,10 @@ def anneal(
     context:
         Optional prebuilt :class:`repro.kernel.EvaluationContext` to share
         (defaults to the problem's cached one).
+    budget:
+        Optional cooperative budget meter (see
+        :class:`repro.strategies.SolveBudget`) ticked once per proposed
+        move; on exhaustion the best mapping found so far is returned.
     """
     ctx = problem.evaluation_context(context)
     rng = np.random.default_rng(seed)
@@ -65,7 +70,11 @@ def anneal(
         else max(1e-9, 0.1 * current_score)
     )
     n_accepted = 0
+    exhausted = False
     for _ in range(n_iterations):
+        if budget is not None and not budget.tick():
+            exhausted = True
+            break
         options = list(neighbors(problem, current))
         if not options:
             break
@@ -99,5 +108,6 @@ def anneal(
             "n_accepted": float(n_accepted),
             "final_temperature": temperature,
             "score": best_score,
+            "budget_exhausted": float(exhausted),
         },
     )

@@ -51,7 +51,7 @@ def _initial_whole_app_mapping(problem: ProblemInstance) -> List[Assignment]:
 
 
 def greedy_interval_period(
-    problem: ProblemInstance, *, context=None
+    problem: ProblemInstance, *, context=None, budget=None
 ) -> Solution:
     """Split-the-bottleneck greedy for interval-mapping period minimization
     on arbitrary platforms (all processors at full speed).
@@ -59,7 +59,10 @@ def greedy_interval_period(
     Candidate splits are scored through the shared vectorized kernel with
     incremental delta-evaluation (only the split application is
     re-evaluated).  ``context`` optionally shares a prebuilt
-    :class:`repro.kernel.EvaluationContext`."""
+    :class:`repro.kernel.EvaluationContext`.  ``budget`` optionally passes
+    a cooperative budget meter (see :class:`repro.strategies.SolveBudget`)
+    ticked once per scored split; on exhaustion the best mapping found so
+    far is returned (always a valid whole-application mapping)."""
     if problem.n_apps > problem.platform.n_processors:
         raise InfeasibleProblemError(
             "need at least one processor per application"
@@ -82,7 +85,8 @@ def greedy_interval_period(
     best_values = ctx.evaluate(mapping)
     best_rank = rank(best_values)
     n_rounds = 0
-    while True:
+    exhausted = False
+    while not exhausted:
         n_rounds += 1
         used = set(mapping.enrolled_processors)
         free = [u for u in range(problem.platform.n_processors) if u not in used]
@@ -92,12 +96,19 @@ def greedy_interval_period(
         # Candidate splits: every splittable assignment, every cut, every
         # free processor for the right half.
         for victim in mapping.assignments:
+            if exhausted:
+                break
             lo, hi = victim.interval
             if lo == hi:
                 continue
             others = [x for x in mapping.assignments if x is not victim]
             for cut in range(lo, hi):
+                if exhausted:
+                    break
                 for u in free:
+                    if budget is not None and not budget.tick():
+                        exhausted = True
+                        break
                     speed = problem.platform.processor(u).max_speed
                     candidate = Mapping.from_assignments(
                         others
@@ -134,7 +145,10 @@ def greedy_interval_period(
         values=best_values,
         solver="greedy-split-bottleneck",
         optimal=False,
-        stats={"n_rounds": float(n_rounds)},
+        stats={
+            "n_rounds": float(n_rounds),
+            "budget_exhausted": float(exhausted),
+        },
     )
 
 

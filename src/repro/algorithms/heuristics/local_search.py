@@ -268,25 +268,33 @@ def hill_climb(
     *,
     max_iterations: int = 10_000,
     context=None,
+    budget=None,
 ) -> Solution:
     """Best-improvement descent from ``start`` over :func:`neighbors`.
 
     Neighbors are scored through the shared vectorized kernel with
     incremental delta-evaluation (only the application touched by a move is
     re-evaluated).  ``context`` optionally shares a prebuilt
-    :class:`repro.kernel.EvaluationContext`.  Returns the local optimum
-    reached (``optimal=False``).
+    :class:`repro.kernel.EvaluationContext`.  ``budget`` optionally passes
+    a cooperative budget meter (see :class:`repro.strategies.SolveBudget`)
+    ticked once per scored neighbor; on exhaustion the best mapping found
+    so far is returned.  Returns the local optimum reached
+    (``optimal=False``).
     """
     ctx = problem.evaluation_context(context)
     current = start
     current_values = ctx.evaluate(current)
     current_score = score_values(current_values, criterion, thresholds)
     n_steps = 0
+    exhausted = False
     for _ in range(max_iterations):
         best_neighbor: Optional[Mapping] = None
         best_values = None
         best_score = current_score
         for candidate in neighbors(problem, current):
+            if budget is not None and not budget.tick():
+                exhausted = True
+                break
             values = ctx.delta_evaluate(candidate, current, current_values)
             s = score_values(values, criterion, thresholds)
             if s < best_score - 1e-15:
@@ -299,6 +307,8 @@ def hill_climb(
         current_values = best_values
         current_score = best_score
         n_steps += 1
+        if exhausted:
+            break
     values = current_values
     objective = {
         Criterion.PERIOD: values.period,
@@ -311,5 +321,9 @@ def hill_climb(
         values=values,
         solver="hill-climb",
         optimal=False,
-        stats={"n_steps": float(n_steps), "score": current_score},
+        stats={
+            "n_steps": float(n_steps),
+            "score": current_score,
+            "budget_exhausted": float(exhausted),
+        },
     )

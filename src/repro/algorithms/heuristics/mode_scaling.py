@@ -108,6 +108,7 @@ def greedy_mode_downgrade(
     thresholds: Thresholds,
     *,
     context=None,
+    budget=None,
 ) -> Solution:
     """Greedily minimize energy from ``start`` under period/latency
     thresholds; raises nothing when ``start`` itself violates them (the
@@ -115,16 +116,23 @@ def greedy_mode_downgrade(
     feasible start, e.g. a performance-optimal mapping at full speed).
     Candidates are scored through the shared vectorized kernel with
     incremental delta-evaluation; ``context`` optionally shares a prebuilt
-    :class:`repro.kernel.EvaluationContext`."""
+    :class:`repro.kernel.EvaluationContext`.  ``budget`` optionally passes
+    a cooperative budget meter (see :class:`repro.strategies.SolveBudget`)
+    ticked once per scored candidate; on exhaustion the best mapping found
+    so far is returned."""
     ctx = problem.evaluation_context(context)
     current = start
     current_values = ctx.evaluate(current)
     n_moves = 0
-    while True:
+    exhausted = False
+    while not exhausted:
         best: Optional[Tuple[float, Mapping, object]] = None
         for candidate in _downgrade_moves(problem, current) + _merge_moves(
             problem, current
         ):
+            if budget is not None and not budget.tick():
+                exhausted = True
+                break
             values = ctx.delta_evaluate(candidate, current, current_values)
             if not _values_meet(values, thresholds):
                 continue
@@ -143,5 +151,8 @@ def greedy_mode_downgrade(
         values=values,
         solver="greedy-mode-downgrade",
         optimal=False,
-        stats={"n_moves": float(n_moves)},
+        stats={
+            "n_moves": float(n_moves),
+            "budget_exhausted": float(exhausted),
+        },
     )

@@ -15,6 +15,7 @@ from .campaigns import (
     front_quality,
     heuristic_front_quality,
     solver_ratio_table,
+    strategy_telemetry_table,
 )
 from .complexity import fit_power_law, measure_scaling
 from .pareto import (
@@ -33,6 +34,7 @@ __all__ = [
     "measure_scaling",
     "pareto_filter",
     "solver_ratio_table",
+    "strategy_telemetry_table",
     "period_energy_front_exact",
     "period_energy_front_heuristic",
     "render_table",

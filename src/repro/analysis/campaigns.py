@@ -9,6 +9,9 @@ them to the three artifacts an experiment section needs:
 * :func:`solver_ratio_table` -- paired solver-vs-baseline objective
   ratios (geometric mean, win/tie/loss counts) over the scenarios both
   solved;
+* :func:`strategy_telemetry_table` -- per-solver budget consumption
+  (evaluations, budget-exhaustion rate, wall time) aggregated from the
+  :class:`~repro.strategies.SolveTelemetry` records the cache persists;
 * :func:`front_quality` / :func:`heuristic_front_quality` -- quality of
   an approximate period/energy Pareto front against the exact front of
   :func:`repro.analysis.period_energy_front_exact` (coverage plus
@@ -36,6 +39,7 @@ __all__ = [
     "front_quality",
     "heuristic_front_quality",
     "solver_ratio_table",
+    "strategy_telemetry_table",
 ]
 
 #: Scenario/solver axes usable as grouping keys in :func:`campaign_table`.
@@ -187,6 +191,62 @@ def solver_ratio_table(
         )
         rows.append((name, len(ratios), geomean, wins, ties, losses))
     headers = ["solver", "paired", f"geomean vs {baseline}", "wins", "ties", "losses"]
+    return headers, rows
+
+
+def strategy_telemetry_table(
+    records: Sequence,
+) -> Tuple[List[str], List[Tuple]]:
+    """Aggregate the per-solve telemetry of campaign records.
+
+    Groups the records that carry a
+    :class:`~repro.strategies.SolveTelemetry` by solver name and reduces
+    each group to its budget-consumption profile.  Records written
+    before the strategy layer (no telemetry) are skipped.
+
+    Parameters
+    ----------
+    records:
+        :class:`~repro.experiments.CellRecord` sequence.
+
+    Returns
+    -------
+    (headers, rows)
+        One row per solver: the strategy spec that ran, cell count,
+        total and mean evaluations, how many solves exhausted their
+        budget, and the mean wall time in milliseconds.  Empty when no
+        record carries telemetry.
+    """
+    groups: Dict[str, List] = {}
+    for record in records:
+        if record.telemetry is not None:
+            groups.setdefault(record.solver.name, []).append(record.telemetry)
+    rows = []
+    for name in sorted(groups):
+        telemetries = groups[name]
+        total_evals = sum(t.evaluations for t in telemetries)
+        n_exhausted = sum(1 for t in telemetries if t.budget_exhausted)
+        mean_ms = sum(t.wall_time for t in telemetries) / len(telemetries) * 1000
+        rows.append(
+            (
+                name,
+                telemetries[0].strategy,
+                len(telemetries),
+                total_evals,
+                f"{total_evals / len(telemetries):.0f}",
+                n_exhausted,
+                f"{mean_ms:.2f}",
+            )
+        )
+    headers = [
+        "solver",
+        "strategy",
+        "cells",
+        "evaluations",
+        "mean evals",
+        "exhausted",
+        "mean ms",
+    ]
     return headers, rows
 
 

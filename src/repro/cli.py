@@ -12,10 +12,18 @@ Subcommands:
 * ``solve-batch`` -- generate a fleet of random instances across registry
   cells and solve them through :mod:`repro.service`, optionally over a
   process pool, reporting per-instance timing;
+* ``strategies`` -- the solver-strategy registry
+  (:mod:`repro.strategies`): ``list`` enumerates every registered
+  strategy with its declared capabilities;
 * ``campaign`` -- declarative experiment campaigns
   (:mod:`repro.experiments`): ``run`` executes a YAML/JSON spec's missing
   cells through the resumable results cache, ``status`` reports cache
-  coverage, ``report`` renders aggregate and solver-comparison tables.
+  coverage, ``report`` renders aggregate, solver-comparison and
+  telemetry tables.
+
+``solve-batch`` and ``campaign run`` accept ``--strategy`` (a registered
+name or a composite spec like ``portfolio(greedy,annealing)``) plus the
+budget flags ``--time-limit`` / ``--max-evals`` / ``--solver-seed``.
 """
 
 from __future__ import annotations
@@ -229,6 +237,84 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _budget_from_args(args: argparse.Namespace):
+    """A :class:`repro.strategies.SolveBudget` from the budget flags
+    (``None`` when no flag was given)."""
+    from .strategies import SolveBudget
+
+    if (
+        args.time_limit is None
+        and args.max_evals is None
+        and args.solver_seed is None
+    ):
+        return None
+    return SolveBudget(
+        time_limit=args.time_limit,
+        max_evaluations=args.max_evals,
+        seed=args.solver_seed,
+    )
+
+
+def _add_budget_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="per-solve wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--max-evals",
+        type=int,
+        default=None,
+        help="per-solve cap on candidate evaluations / search nodes",
+    )
+    parser.add_argument(
+        "--solver-seed",
+        type=int,
+        default=None,
+        help="RNG seed for the stochastic heuristics (reproducible runs)",
+    )
+
+
+def _cmd_strategies_list(args: argparse.Namespace) -> int:
+    from .strategies import list_strategies
+
+    rows = []
+    for s in list_strategies():
+        d = s.describe()
+        rows.append(
+            (
+                d["name"],
+                d["kind"],
+                ",".join(d["objectives"]),
+                "any" if d["rules"] is None else ",".join(d["rules"]),
+                "any" if d["cells"] is None else ",".join(d["cells"]),
+                "yes" if d["needs_thresholds"] else "no",
+                d["summary"],
+            )
+        )
+    print(
+        render_table(
+            [
+                "strategy",
+                "kind",
+                "objectives",
+                "rules",
+                "cells",
+                "thresholds",
+                "summary",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\n{len(rows)} registered strategies; compose them with "
+        "portfolio(a,b,...) and fallback(a,b,...), e.g. "
+        "--strategy 'portfolio(greedy,local_search,annealing)'"
+    )
+    return 0
+
+
 def _cmd_solve_batch(args: argparse.Namespace) -> int:
     from .algorithms.registry import classify_platform_cell
     from .generators import small_random_problem
@@ -261,6 +347,8 @@ def _cmd_solve_batch(args: argparse.Namespace) -> int:
         objective=args.criterion,
         method=args.method,
         workers=args.workers,
+        strategy=args.strategy,
+        budget=_budget_from_args(args),
     )
     rows = []
     cells = set()
@@ -296,6 +384,16 @@ def _cmd_solve_batch(args: argparse.Namespace) -> int:
         )
     print(result.summary())
     print(f"registry cells covered: {len(cells)}")
+    if args.strategy:
+        with_telemetry = [x for x in result.items if x.telemetry is not None]
+        evaluations = sum(x.telemetry.evaluations for x in with_telemetry)
+        n_exhausted = sum(
+            1 for x in with_telemetry if x.telemetry.budget_exhausted
+        )
+        print(
+            f"strategy={args.strategy} evaluations={evaluations} "
+            f"budget-exhausted={n_exhausted}/{len(result.items)}"
+        )
     return 0 if result.n_failed == 0 else 1
 
 
@@ -317,10 +415,47 @@ def _load_campaign_spec(args: argparse.Namespace):
         raise SystemExit(2) from exc
 
 
+def _apply_solver_overrides(args: argparse.Namespace, spec):
+    """Apply ``--strategy`` / budget flags to every solver entry of the
+    spec.  Overrides change the solver configurations, hence the cache
+    keys: overridden runs populate their own cells."""
+    import dataclasses
+
+    from .strategies import SolveBudget, StrategyError, parse_strategy
+
+    budget = _budget_from_args(args)
+    if args.strategy is None and budget is None:
+        return spec
+    if args.strategy is not None:
+        try:
+            parse_strategy(args.strategy)
+        except StrategyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+    solvers = []
+    for solver in spec.solvers:
+        changes = {}
+        if args.strategy is not None:
+            changes["strategy"] = args.strategy
+        if budget is not None:
+            base = solver.budget.to_dict() if solver.budget else {}
+            base.update(budget.to_dict())
+            changes["budget"] = SolveBudget.from_dict(base)
+        # overrides never touch objective/max_period, so the spec's
+        # energy-requires-max_period validation still holds
+        solvers.append(dataclasses.replace(solver, **changes))
+    print(
+        "note: --strategy/budget overrides change the solver "
+        "configurations and therefore the cache keys",
+        file=sys.stderr,
+    )
+    return dataclasses.replace(spec, solvers=tuple(solvers))
+
+
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .experiments import run_campaign
 
-    spec = _load_campaign_spec(args)
+    spec = _apply_solver_overrides(args, _load_campaign_spec(args))
     directory = _campaign_dir(args, spec)
     result = run_campaign(
         spec, directory, workers=args.workers, force=args.force
@@ -390,6 +525,12 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         print("\npaired solver comparison (objective ratios, <1 = better):")
+        print(render_table(headers, rows))
+    from .analysis.campaigns import strategy_telemetry_table
+
+    headers, rows = strategy_telemetry_table(records)
+    if rows:
+        print("\nper-solver telemetry (budget consumption):")
         print(render_table(headers, rows))
     if args.front > 0:
         from .analysis.campaigns import heuristic_front_quality
@@ -560,11 +701,29 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--modes", type=int, default=2)
     batch.add_argument("--seed", type=int, default=0)
     batch.add_argument(
+        "--strategy",
+        default=None,
+        help="solver strategy name or composite spec, e.g. "
+        "'portfolio(greedy,local_search,annealing)' "
+        "(overrides --method; see `strategies list`)",
+    )
+    _add_budget_flags(batch)
+    batch.add_argument(
         "--quiet",
         action="store_true",
         help="only print the summary, not the per-instance table",
     )
     batch.set_defaults(func=_cmd_solve_batch)
+
+    strategies = sub.add_parser(
+        "strategies", help="the solver-strategy registry"
+    )
+    strategies_sub = strategies.add_subparsers(
+        dest="strategies_command", required=True
+    )
+    strategies_sub.add_parser(
+        "list", help="enumerate registered strategies and their capabilities"
+    ).set_defaults(func=_cmd_strategies_list)
 
     pareto = sub.add_parser(
         "pareto", help="exact period/energy Pareto front of an instance"
@@ -606,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-solve every cell, overwriting cached entries",
     )
+    run.add_argument(
+        "--strategy",
+        default=None,
+        help="override every solver entry with this strategy spec "
+        "(changes the cache keys)",
+    )
+    _add_budget_flags(run)
     run.add_argument(
         "--quiet",
         action="store_true",

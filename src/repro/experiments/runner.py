@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..io import mapping_to_dict
 from ..service import solve_batch
+from ..strategies import SolveTelemetry
 from .cache import ResultsCache, combine_digests, instance_digest, solver_digest
 from .spec import CampaignSpec, Scenario, SolverSpec
 
@@ -31,8 +32,9 @@ __all__ = [
     "run_campaign",
 ]
 
-#: Version stamp written into every cache record.
-RECORD_SCHEMA = 1
+#: Version stamp written into every cache record.  Schema 2 added the
+#: ``telemetry`` field; schema-1 entries simply read back without it.
+RECORD_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,10 @@ class CellRecord:
     algorithm: Optional[str] = None
     optimal: Optional[bool] = None
     error: Optional[str] = None
+    #: Structured per-solve telemetry (strategy spec, evaluations, budget
+    #: consumption, portfolio member outcomes); ``None`` for records
+    #: written before the strategy layer existed.
+    telemetry: Optional[SolveTelemetry] = None
 
     @property
     def ok(self) -> bool:
@@ -163,6 +169,7 @@ def _record_from_payload(
     scenario: Scenario, solver: SolverSpec, key: str, payload: Dict[str, Any], cached: bool
 ) -> CellRecord:
     objective = payload.get("objective")
+    telemetry = payload.get("telemetry")
     return CellRecord(
         scenario=scenario,
         solver=solver,
@@ -175,6 +182,9 @@ def _record_from_payload(
         algorithm=payload.get("algorithm"),
         optimal=payload.get("optimal"),
         error=payload.get("error"),
+        telemetry=(
+            None if telemetry is None else SolveTelemetry.from_dict(telemetry)
+        ),
     )
 
 
@@ -235,6 +245,8 @@ def run_campaign(
                 method=solver.method,
                 workers=workers,
                 thresholds=solver.thresholds(),
+                strategy=solver.strategy,
+                budget=solver.budget,
             )
             effective_workers = max(effective_workers, batch.workers)
             for item in batch.items:
@@ -251,6 +263,11 @@ def run_campaign(
                     "error": item.error,
                     "scenario": scenario.axes(),
                     "solver_spec": cell_solver.to_dict(),
+                    "telemetry": (
+                        None
+                        if item.telemetry is None
+                        else item.telemetry.to_dict()
+                    ),
                 }
                 if item.solution is not None:
                     payload.update(

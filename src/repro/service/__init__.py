@@ -3,12 +3,15 @@
 The ROADMAP's north star is a system that serves *many* mapping problems
 fast, not one at a time.  This package provides that serving layer:
 
-* :func:`solve_one` -- registry-aware dispatch of a single
-  :class:`~repro.core.problem.ProblemInstance` (polynomial solver on
-  polynomial cells, heuristic or exact elsewhere);
+* :func:`solve_one` -- strategy-aware dispatch of a single
+  :class:`~repro.core.problem.ProblemInstance`: the legacy ``method=``
+  strings alias the registered strategies of :mod:`repro.strategies`,
+  and ``strategy=``/``budget=`` accept any registered name or composite
+  spec (``"portfolio(greedy,annealing)"``) with a per-solve budget;
 * :func:`solve_batch` -- fan a sequence of instances out over a
-  ``concurrent.futures`` process pool (or solve sequentially), collecting
-  per-instance :class:`BatchItem` records with timing and status;
+  ``concurrent.futures`` process pool (or solve sequentially) with
+  auto-sized chunking, collecting per-instance :class:`BatchItem`
+  records with timing, status and telemetry;
 * the ``repro-pipelines solve-batch`` CLI subcommand built on top.
 
 Quickstart::

@@ -2,19 +2,24 @@
 
 Design notes
 ------------
-* Dispatch goes through the complexity registry
-  (:mod:`repro.algorithms.registry`): an instance sitting in a cell that
-  Tables 1-2 claim polynomial is solved by the paper's polynomial
-  algorithm; NP-hard cells fall back to the requested ``method``
-  (``"heuristic"`` by default, ``"exact"`` for branch-and-bound).
+* Dispatch goes through the solver-strategy layer
+  (:mod:`repro.strategies`): the legacy ``method`` strings
+  (``"registry"|"auto"|"exact"|"heuristic"``) are thin aliases of the
+  registered strategies of the same name, and ``strategy=`` accepts any
+  registered name or composite spec
+  (``"portfolio(greedy,local_search,annealing)"``) plus an optional
+  per-solve :class:`~repro.strategies.SolveBudget`.
 * Parallelism uses a *process* pool: the solvers are pure CPU-bound
   Python/NumPy, so threads would serialize on the GIL.  Problems and
   solutions are plain picklable dataclasses, which keeps the fan-out
   boilerplate-free.  ``workers=None`` or ``workers<=1`` solves inline.
+  Strategies cross the pool as their spec strings and are re-resolved
+  worker-side.
 * Failures never poison a batch: each instance yields a
   :class:`BatchItem` whose ``status`` is ``"ok"``, ``"infeasible"``
   (:class:`~repro.core.exceptions.InfeasibleProblemError`) or ``"error"``
-  (anything else, with the message preserved), plus its wall-clock time.
+  (anything else, with the message preserved), plus its wall-clock time
+  and a :class:`~repro.strategies.SolveTelemetry` record.
 """
 
 from __future__ import annotations
@@ -23,12 +28,21 @@ import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.exceptions import InfeasibleProblemError
 from ..core.objectives import Thresholds
 from ..core.problem import ProblemInstance, Solution
 from ..core.types import Criterion
+from ..strategies import (
+    BudgetMeter,
+    SolveBudget,
+    SolveTelemetry,
+    SolverStrategy,
+    dispatch_method,
+    parse_strategy,
+    solve_via_method,
+)
 
 __all__ = [
     "BatchItem",
@@ -41,72 +55,8 @@ __all__ = [
 #: Objectives accepted by :func:`solve_one` / :func:`solve_batch`.
 _OBJECTIVES = ("period", "latency", "energy")
 
-
-def dispatch_method(problem: ProblemInstance, objective: str) -> str:
-    """The concrete method the registry prescribes for an instance.
-
-    Parameters
-    ----------
-    problem:
-        The instance whose Table 1/2 cell is classified.
-    objective:
-        ``"period"``, ``"latency"`` or ``"energy"``.  The energy
-        objective is period-constrained (Theorems 18-21), so its cell is
-        looked up with both criteria.
-
-    Returns
-    -------
-    str
-        ``"auto"`` when the cell is polynomial for the given objective
-        (the paper's algorithm applies), otherwise ``"heuristic"``.
-    """
-    from ..algorithms.registry import (
-        Complexity,
-        classify_platform_cell,
-        lookup,
-    )
-
-    criteria: Tuple[Criterion, ...]
-    if objective == "energy":
-        criteria = (Criterion.PERIOD, Criterion.ENERGY)
-    else:
-        criteria = (Criterion(objective),)
-    try:
-        entry = lookup(criteria, problem.rule, classify_platform_cell(problem))
-    except KeyError:
-        return "heuristic"
-    if entry.complexity is Complexity.POLYNOMIAL and entry.solver:
-        return "auto"
-    return "heuristic"
-
-
-def _solve_energy(
-    problem: ProblemInstance, method: str, thresholds: Thresholds
-) -> Solution:
-    """Energy minimization under a period bound, per the registry cell."""
-    from .. import algorithms
-    from ..core.types import MappingRule
-
-    if method == "exact":
-        return algorithms.exact.exact_minimize(
-            problem, Criterion.ENERGY, thresholds
-        )
-    if method == "heuristic":
-        start = (
-            algorithms.heuristics.greedy_one_to_one_period(problem)
-            if problem.rule is MappingRule.ONE_TO_ONE
-            else algorithms.heuristics.greedy_interval_period(problem)
-        )
-        return algorithms.heuristics.greedy_mode_downgrade(
-            problem, start.mapping, thresholds
-        )
-    if problem.rule is MappingRule.ONE_TO_ONE:
-        return algorithms.minimize_energy_given_period_one_to_one(
-            problem, thresholds
-        )
-    return algorithms.minimize_energy_given_period_interval(
-        problem, thresholds
-    )
+#: One strategy spec (string or instance) or a legacy ``method`` string.
+StrategyLike = Union[str, SolverStrategy]
 
 
 def solve_one(
@@ -114,6 +64,9 @@ def solve_one(
     objective: str = "period",
     method: str = "registry",
     thresholds: Optional[Thresholds] = None,
+    *,
+    strategy: Optional[StrategyLike] = None,
+    budget: Optional[SolveBudget] = None,
 ) -> Solution:
     """Solve a single instance.
 
@@ -128,11 +81,20 @@ def solve_one(
         ``"registry"`` (default) consults :func:`dispatch_method` and uses
         the polynomial solver when the cell allows it, the heuristics
         otherwise; ``"auto"``, ``"exact"`` and ``"heuristic"`` force the
-        corresponding :mod:`repro.algorithms` path.
+        corresponding :mod:`repro.algorithms` path.  Ignored when
+        ``strategy`` is given.
     thresholds:
         Optional bounds on the non-optimized criteria (required for the
         energy objective: Section 3.5's energy is only meaningful under a
         period constraint).
+    strategy:
+        A registered strategy name, a composite spec string
+        (``"portfolio(greedy,annealing)"``) or a
+        :class:`~repro.strategies.SolverStrategy` instance; overrides
+        ``method``.
+    budget:
+        Per-solve :class:`~repro.strategies.SolveBudget` enforced
+        cooperatively inside the heuristic/exact loops.
 
     Returns
     -------
@@ -146,28 +108,21 @@ def solve_one(
         period threshold.
     InfeasibleProblemError
         When no mapping satisfies the constraints.
+    StrategyError
+        When a strategy spec cannot be resolved or the strategy failed
+        outside its declared capabilities.
     """
-    from .. import algorithms
-
     if objective not in _OBJECTIVES:
         raise ValueError(
             f"unknown objective {objective!r}; expected one of {_OBJECTIVES}"
         )
-    if method == "registry":
-        method = dispatch_method(problem, objective)
-    if objective == "energy":
-        if thresholds is None or not thresholds.constrains(Criterion.PERIOD):
-            raise ValueError(
-                "the energy objective requires a period threshold "
-                "(the paper's 'server problem', Theorems 18-21)"
-            )
-        return _solve_energy(problem, method, thresholds)
-    fn = (
-        algorithms.minimize_period
-        if objective == "period"
-        else algorithms.minimize_latency
-    )
-    return fn(problem, method=method)
+    if strategy is not None:
+        result = parse_strategy(strategy).run(
+            problem, objective, thresholds=thresholds, budget=budget
+        )
+        return result.raise_for_status()
+    meter = budget.meter() if budget is not None else None
+    return solve_via_method(problem, objective, method, thresholds, meter)
 
 
 @dataclass(frozen=True)
@@ -177,7 +132,9 @@ class BatchItem:
     ``status`` is ``"ok"`` (``solution`` is set), ``"infeasible"`` (no
     mapping satisfies the constraints) or ``"error"`` (``error`` holds the
     exception message).  ``wall_time`` is the per-instance solve time in
-    seconds, measured in the worker that ran it.
+    seconds, measured in the worker that ran it.  ``telemetry`` carries
+    the structured :class:`~repro.strategies.SolveTelemetry` record
+    (strategy spec, budget consumption, per-member portfolio outcomes).
     """
 
     index: int
@@ -185,6 +142,7 @@ class BatchItem:
     wall_time: float
     solution: Optional[Solution] = None
     error: Optional[str] = None
+    telemetry: Optional[SolveTelemetry] = None
 
     @property
     def objective(self) -> float:
@@ -233,36 +191,75 @@ class BatchResult:
 
 
 def _solve_indexed(
-    args: Tuple[int, ProblemInstance, str, str, Optional[Thresholds]],
+    args: Tuple[
+        int,
+        ProblemInstance,
+        str,
+        str,
+        Optional[Thresholds],
+        Optional[StrategyLike],
+        Optional[SolveBudget],
+    ],
 ) -> BatchItem:
     """Worker-side wrapper: solve one indexed instance, catching failures
     into the item's status instead of crashing the pool."""
-    index, problem, objective, method, thresholds = args
-    t0 = time.perf_counter()
-    try:
-        solution = solve_one(
-            problem, objective=objective, method=method, thresholds=thresholds
+    index, problem, objective, method, thresholds, strategy, budget = args
+    if strategy is not None:
+        t0 = time.perf_counter()
+        result = parse_strategy(strategy).run(
+            problem, objective, thresholds=thresholds, budget=budget
         )
         return BatchItem(
             index=index,
-            status="ok",
+            status=result.status,
             wall_time=time.perf_counter() - t0,
-            solution=solution,
+            solution=result.solution,
+            error=result.telemetry.error,
+            telemetry=result.telemetry,
+        )
+    meter = BudgetMeter(budget)
+    t0 = time.perf_counter()
+    solution: Optional[Solution] = None
+    status = "ok"
+    error: Optional[str] = None
+    try:
+        # The meter is threaded into the solver loops only when a budget
+        # was requested, keeping the legacy hot path overhead-free.
+        solution = solve_via_method(
+            problem,
+            objective,
+            method,
+            thresholds,
+            meter if budget is not None else None,
         )
     except InfeasibleProblemError as exc:
-        return BatchItem(
-            index=index,
-            status="infeasible",
-            wall_time=time.perf_counter() - t0,
-            error=str(exc),
-        )
+        status, error = "infeasible", str(exc)
     except Exception as exc:  # contained: one bad instance, one error item
-        return BatchItem(
-            index=index,
-            status="error",
-            wall_time=time.perf_counter() - t0,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+        status, error = "error", f"{type(exc).__name__}: {exc}"
+    wall = time.perf_counter() - t0
+    return BatchItem(
+        index=index,
+        status=status,
+        wall_time=wall,
+        solution=solution,
+        error=error,
+        telemetry=SolveTelemetry(
+            strategy=method,
+            status=status,
+            wall_time=wall,
+            evaluations=meter.n_evaluations,
+            budget_exhausted=meter.exhausted,
+            objective=None if solution is None else solution.objective,
+            error=error,
+        ),
+    )
+
+
+def _auto_chunksize(n_jobs: int, workers: int) -> int:
+    """Default work-unit granularity: ~4 chunks per worker, so large
+    batches of tiny instances stop paying per-item IPC overhead while
+    stragglers still rebalance."""
+    return max(1, n_jobs // (4 * workers))
 
 
 def solve_batch(
@@ -272,7 +269,9 @@ def solve_batch(
     *,
     workers: Optional[int] = None,
     thresholds: Optional[Thresholds] = None,
-    chunksize: int = 1,
+    chunksize: Optional[int] = None,
+    strategy: Optional[StrategyLike] = None,
+    budget: Optional[SolveBudget] = None,
 ) -> BatchResult:
     """Solve many instances, optionally fanning out over a process pool.
 
@@ -280,14 +279,16 @@ def solve_batch(
     ----------
     problems:
         The instances; results keep their order (``items[i].index == i``).
-    objective / method / thresholds:
-        Per-instance solve parameters, as in :func:`solve_one`.
+    objective / method / thresholds / strategy / budget:
+        Per-instance solve parameters, as in :func:`solve_one`.  The
+        budget applies *per solve*, not to the whole batch.
     workers:
         ``None`` or ``<= 1`` solves sequentially in-process; ``n >= 2``
         uses a ``ProcessPoolExecutor`` with ``n`` workers.
     chunksize:
-        Work-unit granularity handed to ``Executor.map`` (raise it for
-        very large batches of very small instances).
+        Work-unit granularity handed to ``Executor.map``.  ``None``
+        (default) auto-sizes to ``max(1, len(problems) // (4 *
+        workers))``; pass an explicit value to override.
 
     Returns
     -------
@@ -298,8 +299,10 @@ def solve_batch(
         raise ValueError(
             f"unknown objective {objective!r}; expected one of {_OBJECTIVES}"
         )
+    if strategy is not None and isinstance(strategy, str):
+        parse_strategy(strategy)  # fail fast on a bad spec, pre-pool
     jobs = [
-        (i, problem, objective, method, thresholds)
+        (i, problem, objective, method, thresholds, strategy, budget)
         for i, problem in enumerate(problems)
     ]
     n_workers = 0 if workers is None else int(workers)
@@ -309,8 +312,15 @@ def solve_batch(
         effective_workers = 1
     else:
         effective_workers = min(n_workers, max(1, len(jobs)))
+        effective_chunksize = (
+            chunksize
+            if chunksize is not None
+            else _auto_chunksize(len(jobs), effective_workers)
+        )
         with ProcessPoolExecutor(max_workers=effective_workers) as pool:
-            items = list(pool.map(_solve_indexed, jobs, chunksize=chunksize))
+            items = list(
+                pool.map(_solve_indexed, jobs, chunksize=effective_chunksize)
+            )
     total = time.perf_counter() - t0
     solve_time = sum(x.wall_time for x in items)
     return BatchResult(

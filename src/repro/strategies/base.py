@@ -1,0 +1,250 @@
+"""The :class:`SolverStrategy` protocol and its execution harness.
+
+A *strategy* is a named, introspectable solve pipeline: it declares
+what it can handle (:class:`Capabilities`) and implements
+:meth:`SolverStrategy.solve`.  The shared :meth:`SolverStrategy.run`
+harness adds everything around the solve that every caller needs —
+capability pre-checks, budget metering, failure containment and
+:class:`~repro.strategies.telemetry.SolveTelemetry` — so concrete
+strategies stay a few lines each.  Composite strategies
+(:mod:`repro.strategies.composite`) override :meth:`run` wholesale to
+orchestrate their members.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from ..core.exceptions import InfeasibleProblemError, ReproError
+from ..core.objectives import Thresholds
+from ..core.problem import ProblemInstance, Solution
+from ..core.types import Criterion, MappingRule
+from .budget import BudgetMeter, SolveBudget
+from .telemetry import SolveTelemetry
+
+__all__ = [
+    "Capabilities",
+    "FunctionStrategy",
+    "SolverStrategy",
+    "StrategyError",
+    "StrategyResult",
+]
+
+#: Objectives a strategy may declare.
+OBJECTIVES = ("period", "latency", "energy")
+
+
+class StrategyError(ReproError):
+    """A strategy was requested outside its declared capabilities, or a
+    strategy spec could not be resolved."""
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a strategy declares it can handle.
+
+    ``rules``/``cells`` of ``None`` mean "any"; ``cells`` entries are
+    :class:`repro.algorithms.registry.PlatformCell` values (stored as
+    their string values to keep the dataclass JSON-friendly).
+    """
+
+    objectives: Tuple[str, ...] = OBJECTIVES
+    rules: Optional[Tuple[MappingRule, ...]] = None
+    cells: Optional[Tuple[str, ...]] = None
+    needs_thresholds: bool = False
+    deterministic: bool = True
+    kind: str = "heuristic"
+
+    def why_unsupported(
+        self,
+        problem: ProblemInstance,
+        objective: str,
+        thresholds: Optional[Thresholds],
+    ) -> Optional[str]:
+        """The reason this request is outside the declared capabilities
+        (``None`` when it is supported)."""
+        if objective not in self.objectives:
+            return (
+                f"objective {objective!r} not supported "
+                f"(supports {list(self.objectives)})"
+            )
+        if self.rules is not None and problem.rule not in self.rules:
+            return (
+                f"mapping rule {problem.rule.value!r} not supported "
+                f"(supports {[r.value for r in self.rules]})"
+            )
+        if self.cells is not None:
+            from ..algorithms.registry import classify_platform_cell
+
+            cell = classify_platform_cell(problem).value
+            if cell not in self.cells:
+                return (
+                    f"platform cell {cell!r} not supported "
+                    f"(supports {list(self.cells)})"
+                )
+        if self.needs_thresholds and (
+            thresholds is None or not thresholds.constrains(Criterion.PERIOD)
+        ):
+            return "requires a period threshold (the paper's 'server problem')"
+        return None
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Outcome of one :meth:`SolverStrategy.run` call: the solution when
+    one was found, plus the full telemetry either way."""
+
+    solution: Optional[Solution]
+    telemetry: SolveTelemetry
+
+    @property
+    def ok(self) -> bool:
+        """True when a solution was produced."""
+        return self.solution is not None
+
+    @property
+    def status(self) -> str:
+        """The run status (mirrors ``telemetry.status``)."""
+        return self.telemetry.status
+
+    def raise_for_status(self) -> Solution:
+        """The solution, or the failure re-raised as the canonical
+        exception (:class:`InfeasibleProblemError` for infeasible cells,
+        :class:`StrategyError` otherwise)."""
+        if self.solution is not None:
+            return self.solution
+        message = self.telemetry.error or self.telemetry.status
+        if self.telemetry.status == "infeasible":
+            raise InfeasibleProblemError(message)
+        raise StrategyError(
+            f"strategy {self.telemetry.strategy!r} failed: {message}"
+        )
+
+
+class SolverStrategy(abc.ABC):
+    """A named solve pipeline with declared capabilities.
+
+    Concrete strategies implement :meth:`solve`; callers go through
+    :meth:`run`, which wraps the solve in capability checks, budget
+    metering, failure containment and telemetry.
+    """
+
+    name: str
+    capabilities: Capabilities
+    summary: str = ""
+
+    @property
+    def spec(self) -> str:
+        """The parseable spec string that reconstructs this strategy
+        (:func:`repro.strategies.parse_strategy` round-trips it)."""
+        return self.name
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        problem: ProblemInstance,
+        objective: str,
+        thresholds: Optional[Thresholds],
+        meter: BudgetMeter,
+    ) -> Solution:
+        """Solve one instance; raise on failure.  ``meter`` is always a
+        live :class:`BudgetMeter` (unlimited when no budget was set)."""
+
+    def run(
+        self,
+        problem: ProblemInstance,
+        objective: str = "period",
+        thresholds: Optional[Thresholds] = None,
+        budget: Optional[SolveBudget] = None,
+        meter: Optional[BudgetMeter] = None,
+    ) -> StrategyResult:
+        """Execute the strategy with containment and telemetry.
+
+        Parameters
+        ----------
+        problem / objective / thresholds:
+            The solve request.
+        budget:
+            Declarative budget; a fresh meter is started from it.
+        meter:
+            A running meter to share instead (composites pass slices of
+            their own budget this way); wins over ``budget``.
+
+        Returns
+        -------
+        StrategyResult
+            Never raises on solver failure: infeasibility and errors
+            come back as the telemetry's ``status``.
+        """
+        if meter is None:
+            meter = BudgetMeter(budget)
+        t0 = time.perf_counter()
+        evals0 = meter.n_evaluations
+        solution: Optional[Solution] = None
+        status = "ok"
+        error: Optional[str] = None
+        reason = self.capabilities.why_unsupported(problem, objective, thresholds)
+        if reason is not None:
+            status, error = "error", f"strategy {self.name!r}: {reason}"
+        else:
+            try:
+                solution = self.solve(problem, objective, thresholds, meter)
+            except InfeasibleProblemError as exc:
+                status, error = "infeasible", str(exc)
+            except Exception as exc:  # contained: reported via telemetry
+                status, error = "error", f"{type(exc).__name__}: {exc}"
+        return StrategyResult(
+            solution=solution,
+            telemetry=SolveTelemetry(
+                strategy=self.spec,
+                status=status,
+                wall_time=time.perf_counter() - t0,
+                evaluations=meter.n_evaluations - evals0,
+                budget_exhausted=meter.exhausted,
+                objective=None if solution is None else solution.objective,
+                error=error,
+            ),
+        )
+
+    def describe(self) -> dict:
+        """Introspection record used by ``repro-pipelines strategies
+        list`` and the docs registry table."""
+        caps = self.capabilities
+        return {
+            "name": self.name,
+            "kind": caps.kind,
+            "objectives": list(caps.objectives),
+            "rules": None if caps.rules is None else [r.value for r in caps.rules],
+            "cells": None if caps.cells is None else list(caps.cells),
+            "needs_thresholds": caps.needs_thresholds,
+            "deterministic": caps.deterministic,
+            "summary": self.summary,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionStrategy(SolverStrategy):
+    """A strategy defined by a plain solve function — what the
+    :func:`repro.strategies.registry.strategy` decorator produces."""
+
+    name: str
+    fn: Callable[
+        [ProblemInstance, str, Optional[Thresholds], BudgetMeter], Solution
+    ]
+    capabilities: Capabilities = field(default_factory=Capabilities)
+    summary: str = ""
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        objective: str,
+        thresholds: Optional[Thresholds],
+        meter: BudgetMeter,
+    ) -> Solution:
+        return self.fn(problem, objective, thresholds, meter)

@@ -1,0 +1,111 @@
+"""Decorator-based strategy registry.
+
+Strategies register under a unique name::
+
+    @strategy(
+        "greedy",
+        capabilities=Capabilities(objectives=("period", "latency")),
+        summary="constructive split-the-bottleneck greedy",
+    )
+    def _greedy(problem, objective, thresholds, meter):
+        ...
+
+and are then addressable everywhere a strategy is accepted: the
+service layer (``solve_one(strategy="greedy")``), campaign solver
+entries (``strategy: greedy``), composite specs
+(``portfolio(greedy,annealing)``) and the CLI
+(``repro-pipelines strategies list``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Capabilities, FunctionStrategy, SolverStrategy, StrategyError
+
+__all__ = [
+    "get_strategy",
+    "list_strategies",
+    "register",
+    "strategy",
+    "strategy_names",
+]
+
+_REGISTRY: Dict[str, SolverStrategy] = {}
+
+#: Names reserved for the composite constructors of
+#: :mod:`repro.strategies.composite`; atomic strategies cannot take them.
+_RESERVED = ("portfolio", "fallback")
+
+
+def register(instance: SolverStrategy) -> SolverStrategy:
+    """Register a ready-made strategy instance under its ``name``.
+
+    Raises
+    ------
+    StrategyError
+        On a duplicate or reserved name.
+    """
+    name = instance.name
+    if not name or not name.isidentifier():
+        raise StrategyError(
+            f"strategy name must be a Python identifier, got {name!r}"
+        )
+    if name in _RESERVED:
+        raise StrategyError(
+            f"strategy name {name!r} is reserved for composite specs"
+        )
+    if name in _REGISTRY:
+        raise StrategyError(f"strategy {name!r} is already registered")
+    _REGISTRY[name] = instance
+    return instance
+
+
+def strategy(
+    name: str,
+    *,
+    capabilities: Capabilities,
+    summary: str = "",
+) -> Callable:
+    """Decorator: register a solve function as a named strategy.
+
+    The decorated function keeps working as a plain function; the
+    registered :class:`~repro.strategies.base.FunctionStrategy` wraps it.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        register(
+            FunctionStrategy(
+                name=name, fn=fn, capabilities=capabilities, summary=summary
+            )
+        )
+        return fn
+
+    return decorator
+
+
+def get_strategy(name: str) -> SolverStrategy:
+    """Look up a registered strategy by name.
+
+    Raises
+    ------
+    StrategyError
+        On an unknown name; the message lists the known ones.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise StrategyError(
+            f"unknown strategy {name!r}; known: {strategy_names()} "
+            "(or a composite spec like 'portfolio(greedy,annealing)')"
+        ) from None
+
+
+def strategy_names() -> List[str]:
+    """All registered strategy names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def list_strategies() -> List[SolverStrategy]:
+    """All registered strategies, sorted by name."""
+    return [_REGISTRY[name] for name in strategy_names()]

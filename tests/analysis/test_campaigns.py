@@ -128,3 +128,45 @@ class TestFrontQuality:
         assert 0.0 <= metrics["coverage"] <= 1.0
         assert metrics["n_exact"] >= 1
         assert metrics["mean_excess"] >= 0.0
+
+
+class TestStrategyTelemetryTable:
+    def test_aggregates_budget_consumption(self, tmp_path):
+        from repro.analysis import strategy_telemetry_table
+
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "telemetry-sweep",
+                "scenarios": {"platforms": ["fully-heterogeneous"], "seeds": 2},
+                "solvers": [
+                    {"name": "plain", "objective": "period", "method": "heuristic"},
+                    {
+                        "name": "racer",
+                        "objective": "period",
+                        "strategy": "portfolio(greedy,annealing)",
+                        "budget": {"max_evaluations": 500, "seed": 0},
+                    },
+                ],
+            }
+        )
+        result = run_campaign(spec, tmp_path)
+        headers, rows = strategy_telemetry_table(result.records)
+        assert headers[:3] == ["solver", "strategy", "cells"]
+        by_name = {row[0]: row for row in rows}
+        assert set(by_name) == {"plain", "racer"}
+        racer = by_name["racer"]
+        assert racer[1] == "portfolio(greedy,annealing)"
+        assert racer[2] == 2  # cells
+        assert racer[3] > 0  # total evaluations metered
+        # the budgeted racer hits its 500-evaluation cap on both cells
+        assert racer[5] == 2
+
+    def test_records_without_telemetry_skipped(self):
+        from repro.analysis import strategy_telemetry_table
+
+        class FakeRecord:
+            telemetry = None
+            solver = None
+
+        headers, rows = strategy_telemetry_table([FakeRecord(), FakeRecord()])
+        assert rows == []

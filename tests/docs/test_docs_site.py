@@ -136,6 +136,39 @@ class TestPageIntegrity:
         assert (REPO_ROOT / "examples" / "campaign_small.yaml").is_file()
 
 
+class TestExampleSpec:
+    """The shipped example spec must validate and demonstrate the
+    named-strategy solver entry the campaign docs describe."""
+
+    def load_example(self):
+        from repro.experiments import load_spec
+
+        return load_spec(REPO_ROOT / "examples" / "campaign_small.yaml")
+
+    def test_example_spec_validates(self):
+        spec = self.load_example()
+        assert spec.name == "small-sweep"
+        assert spec.n_cells == len(spec.grid) * len(spec.solvers)
+
+    def test_example_spec_has_a_named_strategy_entry(self):
+        from repro.strategies import parse_strategy
+
+        spec = self.load_example()
+        strategy_entries = [s for s in spec.solvers if s.strategy is not None]
+        assert strategy_entries, "example spec must show a strategy: entry"
+        solver = strategy_entries[0]
+        assert parse_strategy(solver.strategy).spec == solver.strategy
+        # a bounded, seeded budget keeps the example deterministic
+        assert solver.budget is not None
+        assert solver.budget.max_evaluations is not None
+        assert solver.budget.seed is not None
+
+    def test_docs_show_the_strategy_entry(self):
+        campaigns_page = (DOCS_DIR / "campaigns.md").read_text()
+        assert "strategy:" in campaigns_page
+        assert "budget:" in campaigns_page
+
+
 @pytest.mark.skipif(
     importlib.util.find_spec("mkdocs") is None,
     reason="mkdocs not installed (CI runs the real strict build)",

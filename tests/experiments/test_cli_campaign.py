@@ -59,7 +59,7 @@ class TestCampaignRun:
             == 0
         )
         out = capsys.readouterr().out
-        assert "0 cached + 24 solved" in out
+        assert "0 cached + 36 solved" in out
         assert (
             main(
                 ["campaign", "run", str(EXAMPLE_SPEC), "--dir", cache_dir, "--quiet"]
@@ -67,7 +67,7 @@ class TestCampaignRun:
             == 0
         )
         out = capsys.readouterr().out
-        assert "24 cached + 0 solved" in out  # zero re-solves
+        assert "36 cached + 0 solved" in out  # zero re-solves
 
     def test_invalid_spec_exits_2(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"

@@ -220,3 +220,89 @@ class TestEnergyObjective:
         assert result.n_ok == result.n_cells == 2
         for record in result.records:
             assert record.values["period"] <= 100.0 * (1 + 1e-9)
+
+
+def make_strategy_spec(seed=7):
+    """A campaign whose solver is a budgeted, seeded portfolio (the
+    stochastic annealing member makes determinism non-trivial)."""
+    return CampaignSpec.from_dict(
+        {
+            "name": "strategy-sweep",
+            "scenarios": {
+                "platforms": ["fully-heterogeneous"],
+                "seeds": 3,
+            },
+            "solvers": [
+                {
+                    "name": "racer",
+                    "objective": "period",
+                    "strategy": "portfolio(greedy,local_search,annealing)",
+                    "budget": {"max_evaluations": 2000, "seed": seed},
+                },
+            ],
+        }
+    )
+
+
+class TestStrategySolvers:
+    def test_telemetry_persisted_and_reloaded(self, tmp_path):
+        spec = make_strategy_spec()
+        fresh = run_campaign(spec, tmp_path)
+        assert fresh.n_ok == fresh.n_cells == 3
+        for record in fresh.records:
+            assert record.telemetry is not None
+            assert record.telemetry.strategy == (
+                "portfolio(greedy,local_search,annealing)"
+            )
+            assert len(record.telemetry.members) == 3
+        cached = run_campaign(spec, tmp_path)
+        assert cached.n_solved == 0
+        for a, b in zip(fresh.records, cached.records):
+            assert b.telemetry is not None
+            assert b.telemetry.to_dict() == a.telemetry.to_dict()
+
+    def test_identical_specs_reproduce_identical_results(self, tmp_path):
+        """Satellite: deterministic seeds thread from the budget down to
+        the numpy Generator, so two fresh runs of the same spec agree."""
+        spec = make_strategy_spec()
+        first = run_campaign(spec, tmp_path / "a")
+        second = run_campaign(spec, tmp_path / "b")
+        assert [r.objective for r in first.records] == [
+            r.objective for r in second.records
+        ]
+
+        def member_outcomes(record):  # wall_time varies; results must not
+            return [
+                (m.strategy, m.status, m.objective, m.evaluations)
+                for m in record.telemetry.members
+            ]
+
+        assert [member_outcomes(r) for r in first.records] == [
+            member_outcomes(r) for r in second.records
+        ]
+
+    def test_budget_change_changes_cache_key(self, tmp_path):
+        run_campaign(make_strategy_spec(seed=7), tmp_path)
+        rerun = run_campaign(make_strategy_spec(seed=8), tmp_path)
+        assert rerun.n_solved == rerun.n_cells  # different digest, no hits
+
+    def test_legacy_method_records_carry_telemetry(self, tmp_path):
+        spec = make_spec()
+        result = run_campaign(spec, tmp_path)
+        for record in result.records:
+            assert record.telemetry is not None
+            assert record.telemetry.strategy in ("registry", "heuristic")
+
+    def test_pre_strategy_cache_entries_still_load(self, tmp_path):
+        """Schema-1 records (no telemetry field) read back as None."""
+        spec = make_spec(seeds=1)
+        run_campaign(spec, tmp_path)
+        cache = ResultsCache(tmp_path)
+        for key in cache.keys():
+            payload = cache.get(key)
+            payload.pop("telemetry", None)
+            payload["schema"] = 1
+            cache.put(key, payload)
+        records = load_records(spec, tmp_path)
+        assert len(records) == spec.n_cells
+        assert all(r.telemetry is None for r in records)

@@ -146,6 +146,89 @@ class TestValidationErrors:
             ScenarioGrid.from_dict({})
 
 
+class TestStrategyAndBudgetKeys:
+    def solver(self, **entry):
+        entry.setdefault("name", "s")
+        return SolverSpec.from_dict(entry)
+
+    def test_strategy_entry_parses(self):
+        solver = self.solver(strategy="portfolio(greedy,local_search)")
+        assert solver.strategy == "portfolio(greedy,local_search)"
+        assert solver.budget is None
+
+    def test_budget_entry_parses(self):
+        solver = self.solver(
+            strategy="annealing",
+            budget={"time_limit": 0.5, "max_evaluations": 100, "seed": 3},
+        )
+        assert solver.budget.time_limit == 0.5
+        assert solver.budget.max_evaluations == 100
+        assert solver.budget.seed == 3
+
+    def test_round_trip(self):
+        solver = self.solver(
+            strategy="portfolio(greedy,annealing)",
+            budget={"max_evaluations": 500, "seed": 1},
+        )
+        assert SolverSpec.from_dict(solver.to_dict()) == solver
+
+    def test_method_and_strategy_both_rejected(self):
+        with pytest.raises(CampaignSpecError, match="not both"):
+            self.solver(method="heuristic", strategy="annealing")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(CampaignSpecError, match="invalid strategy"):
+            self.solver(strategy="quantum_annealing")
+
+    def test_malformed_composite_rejected(self):
+        with pytest.raises(CampaignSpecError, match="invalid strategy"):
+            self.solver(strategy="portfolio(greedy")
+
+    def test_empty_strategy_rejected(self):
+        with pytest.raises(CampaignSpecError, match="non-empty"):
+            self.solver(strategy="")
+
+    @pytest.mark.parametrize(
+        "budget",
+        [
+            {"time_limit": -1},
+            {"max_evaluations": 0},
+            {"seed": "x"},
+            {"nonsense": 1},
+            "fast",
+        ],
+    )
+    def test_bad_budgets_rejected(self, budget):
+        with pytest.raises(CampaignSpecError, match="invalid budget"):
+            self.solver(strategy="greedy", budget=budget)
+
+    def test_legacy_entries_unchanged(self):
+        """Old method-only entries keep the same dict form (and hence
+        the same cache digests)."""
+        solver = self.solver(objective="period", method="heuristic")
+        assert solver.to_dict() == {
+            "name": "s",
+            "objective": "period",
+            "method": "heuristic",
+        }
+
+    def test_campaign_with_strategy_solver(self):
+        payload = spec_dict(
+            solvers=[
+                {"name": "registry", "objective": "period"},
+                {
+                    "name": "racer",
+                    "objective": "period",
+                    "strategy": "portfolio(greedy,local_search)",
+                    "budget": {"max_evaluations": 1000, "seed": 0},
+                },
+            ]
+        )
+        spec = CampaignSpec.from_dict(payload)
+        assert spec.solvers[1].strategy == "portfolio(greedy,local_search)"
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+
 class TestLoadSpec:
     def test_dict_passthrough(self):
         assert load_spec(MINIMAL).name == "mini"

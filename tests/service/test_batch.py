@@ -12,6 +12,8 @@ from repro.service import (
     solve_batch,
     solve_one,
 )
+from repro.service.batch import _auto_chunksize
+from repro.strategies import SolveBudget
 
 ALL_CLASSES = list(PlatformClass)
 
@@ -149,3 +151,118 @@ class TestBatchItem:
     def test_objective_of_unsolved_is_inf(self):
         item = BatchItem(index=0, status="error", wall_time=0.0, error="boom")
         assert math.isinf(item.objective)
+
+
+class TestFailurePaths:
+    """Unknown parameters and per-item failures stay contained."""
+
+    def test_unknown_method_becomes_error_items(self):
+        result = solve_batch(_problems(2), method="simplex")
+        assert result.n_failed == 2
+        for item in result.items:
+            assert item.status == "error"
+            assert "unknown method" in item.error
+            assert item.solution is None
+
+    def test_unknown_objective_in_solve_one(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            solve_one(_problems(1)[0], "throughput")
+
+    def test_energy_without_period_threshold_is_error_item(self):
+        result = solve_batch(_problems(2), objective="energy")
+        assert result.n_failed == 2
+        assert all("period threshold" in x.error for x in result.items)
+
+    def test_error_items_do_not_poison_pooled_batch(self):
+        # method="auto" raises SolverError on NP-hard cells; the pooled
+        # run must interleave errors and successes item by item.
+        problems = _problems(6)
+        pooled = solve_batch(
+            problems, objective="period", method="auto", workers=2
+        )
+        sequential = solve_batch(problems, objective="period", method="auto")
+        assert len(pooled.items) == 6
+        statuses = [x.status for x in pooled.items]
+        assert "ok" in statuses and "error" in statuses
+        assert statuses == [x.status for x in sequential.items]
+        for item in pooled.items:
+            if item.status == "ok":
+                assert math.isfinite(item.objective)
+            else:
+                assert item.solution is None and item.error
+
+    def test_parallel_efficiency_on_sequential_path(self):
+        result = solve_batch(_problems(4), workers=None)
+        assert result.workers == 1
+        stats = result.stats
+        assert 0.0 < stats["parallel_efficiency"] <= 1.0 + 1e-9
+        assert stats["parallel_efficiency"] == pytest.approx(
+            result.solve_time / result.total_time
+        )
+
+    def test_infeasible_status_distinct_from_error(self):
+        problem = _problems(1)[0]
+        result = solve_batch(
+            [problem],
+            objective="energy",
+            thresholds=Thresholds(period=1e-12),
+        )
+        assert result.items[0].status == "infeasible"
+        assert result.n_failed == 0  # infeasible is not an error
+
+
+class TestChunking:
+    def test_auto_chunksize_formula(self):
+        assert _auto_chunksize(1000, 4) == 62  # 1000 // 16
+        assert _auto_chunksize(3, 4) == 1  # never below 1
+        assert _auto_chunksize(0, 8) == 1
+
+    def test_auto_and_explicit_chunksize_agree_on_results(self):
+        problems = _problems(8)
+        auto = solve_batch(problems, workers=2)  # chunksize=None -> auto
+        explicit = solve_batch(problems, workers=2, chunksize=1)
+        assert auto.n_ok == explicit.n_ok == 8
+        for a, b in zip(auto.items, explicit.items):
+            assert a.objective == pytest.approx(b.objective)
+
+
+class TestTelemetry:
+    def test_method_path_records_method_as_strategy(self):
+        result = solve_batch(_problems(2), method="heuristic")
+        for item in result.items:
+            assert item.telemetry is not None
+            assert item.telemetry.strategy == "heuristic"
+            assert item.telemetry.status == item.status
+
+    def test_budgeted_method_path_counts_evaluations(self):
+        problems = [
+            small_random_problem(
+                s, platform_class=PlatformClass.FULLY_HETEROGENEOUS
+            )
+            for s in range(2)
+        ]
+        result = solve_batch(
+            problems,
+            method="heuristic",
+            budget=SolveBudget(max_evaluations=50),
+        )
+        for item in result.items:
+            assert item.telemetry.evaluations == 50
+            assert item.telemetry.budget_exhausted
+
+    def test_strategy_path_records_spec_and_members(self):
+        problems = [
+            small_random_problem(
+                s, platform_class=PlatformClass.FULLY_HETEROGENEOUS
+            )
+            for s in range(2)
+        ]
+        result = solve_batch(
+            problems,
+            strategy="portfolio(greedy,local_search)",
+            budget=SolveBudget(max_evaluations=2000, seed=0),
+        )
+        assert result.n_ok == 2
+        for item in result.items:
+            assert item.telemetry.strategy == "portfolio(greedy,local_search)"
+            assert len(item.telemetry.members) == 2

@@ -133,3 +133,134 @@ class TestCommands:
         assert main(["pareto", "--instance", str(instance), "--points", "20"]) == 0
         out = capsys.readouterr().out
         assert "non-dominated" in out
+
+
+class TestStrategiesCli:
+    def test_list_enumerates_at_least_ten_with_capabilities(self, capsys):
+        assert main(["strategies", "list"]) == 0
+        out = capsys.readouterr().out
+        # header + separator + >= 10 strategy rows
+        rows = [
+            line
+            for line in out.splitlines()
+            if " | " in line and not line.startswith("strategy")
+            and not set(line) <= {"-", "+", " ", "|"}
+        ]
+        assert len(rows) >= 10
+        assert "objectives" in out and "thresholds" in out
+        for name in ("registry", "heuristic", "annealing", "mode_scaling"):
+            assert name in out
+
+    def test_solve_batch_with_strategy_and_budget(self, capsys):
+        assert (
+            main(
+                [
+                    "solve-batch",
+                    "--count",
+                    "4",
+                    "--platform",
+                    "fully-heterogeneous",
+                    "--strategy",
+                    "portfolio(greedy,local_search)",
+                    "--max-evals",
+                    "500",
+                    "--solver-seed",
+                    "3",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4/4 ok" in out
+        assert "strategy=portfolio(greedy,local_search)" in out
+        assert "budget-exhausted=" in out
+
+    def test_solve_batch_rejects_bad_strategy(self, capsys):
+        from repro.strategies import StrategyError
+
+        with pytest.raises(StrategyError):
+            main(
+                [
+                    "solve-batch",
+                    "--count",
+                    "1",
+                    "--strategy",
+                    "portfolio(",
+                    "--quiet",
+                ]
+            )
+
+    def test_campaign_run_strategy_override(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "override-sweep",
+                    "scenarios": {
+                        "platforms": ["fully-heterogeneous"],
+                        "seeds": 2,
+                    },
+                    "solvers": [{"name": "base", "objective": "period"}],
+                }
+            )
+        )
+        cache = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(spec),
+                    "--dir",
+                    cache,
+                    "--strategy",
+                    "portfolio(greedy,local_search)",
+                    "--max-evals",
+                    "500",
+                    "--solver-seed",
+                    "0",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "cache keys" in err  # the override notice
+        # the overridden run populated its own cells; a plain run solves anew
+        assert main(["campaign", "run", str(spec), "--dir", cache, "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cached + 2 solved" in out
+
+    def test_campaign_report_includes_telemetry_table(self, tmp_path, capsys):
+        import json
+
+        spec = tmp_path / "spec.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "name": "telemetry-report",
+                    "scenarios": {
+                        "platforms": ["fully-heterogeneous"],
+                        "seeds": 2,
+                    },
+                    "solvers": [
+                        {
+                            "name": "racer",
+                            "objective": "period",
+                            "strategy": "portfolio(greedy,annealing)",
+                            "budget": {"max_evaluations": 400, "seed": 0},
+                        }
+                    ],
+                }
+            )
+        )
+        cache = str(tmp_path / "cache")
+        main(["campaign", "run", str(spec), "--dir", cache, "--quiet"])
+        capsys.readouterr()
+        assert main(["campaign", "report", str(spec), "--dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "per-solver telemetry" in out
+        assert "portfolio(greedy,annealing)" in out
