@@ -1,0 +1,189 @@
+"""Neighborhood-engine benchmark: batched vs scalar hill climbing.
+
+Run as a script to (re)record the performance baseline::
+
+    PYTHONPATH=src python benchmarks/bench_neighborhood.py [output.json] [--tiny]
+
+It builds a grid of 100-stage / 20-processor NP-hard instances (two
+50-stage applications on fully heterogeneous and comm-homogeneous
+multi-modal platforms), runs :func:`repro.algorithms.heuristics.hill_climb`
+from the same greedy start with both neighborhood engines --
+``"scalar"`` (the seed's one-``Mapping``-at-a-time loop with
+delta-evaluation) and ``"batched"`` (array-native candidate generation +
+one ``evaluate_many`` kernel call per step) -- and writes
+``BENCH_neighborhood.json`` next to this file.
+
+Asserted when run as a script:
+
+* both engines return **byte-identical** solutions (same mapping, same
+  objective, same stats) on every instance;
+* the geometric-mean speedup of the batched engine is **>= 4x**
+  (``--tiny`` relaxes the bar to >= 1.5x for the CI smoke grid).
+
+The JSON also records a ``guard`` block (reference-instance wall-clock
+plus a machine-calibration time) consumed by
+``tests/perf/test_hill_climb_guard.py``, which fails when hill climbing
+on the reference instance regresses to more than 1.5x the recorded
+batched wall-clock (after rescaling by the calibration ratio).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform as _platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.heuristics import greedy_interval_period, hill_climb
+from repro.core.problem import ProblemInstance
+from repro.core.types import Criterion
+from repro.generators import random_applications, rng_from
+from repro.generators.platforms import (
+    random_comm_homogeneous_platform,
+    random_fully_heterogeneous_platform,
+)
+
+#: Hill-climbing steps per instance: enough to amortize the greedy start
+#: while keeping the scalar baseline affordable.
+MAX_ITERATIONS = 8
+
+#: The instance replayed by the wall-clock guard test.
+GUARD_SEED = 0
+
+
+def build_instance(seed: int, *, tiny: bool = False) -> ProblemInstance:
+    """One bench instance: 2 x 50 stages on 20 processors (2 x 10 stages
+    on 8 processors under ``--tiny``), NP-hard heterogeneous cells."""
+    rng = rng_from(seed)
+    stages = 10 if tiny else 50
+    procs = 8 if tiny else 20
+    apps = random_applications(rng, 2, stage_range=(stages, stages))
+    if seed % 2 == 0:
+        platform = random_fully_heterogeneous_platform(
+            rng, procs, 2, n_modes=2
+        )
+    else:
+        platform = random_comm_homogeneous_platform(rng, procs, n_modes=2)
+    return ProblemInstance(apps=apps, platform=platform)
+
+
+def calibrate() -> float:
+    """A fixed NumPy + Python workload timing the machine, recorded next
+    to the guard wall-clock so the guard test can rescale the recorded
+    baseline to the executing machine's speed."""
+    rng = np.random.default_rng(0)
+    data = rng.random((400, 400))
+    t0 = time.perf_counter()
+    acc = 0.0
+    for _ in range(12):
+        acc += float(np.linalg.norm(data @ data.T)) % 97.0
+        acc += sum((data[0] * i).sum() for i in range(10))
+    elapsed = time.perf_counter() - t0
+    assert math.isfinite(acc)
+    return elapsed
+
+
+def geomean(values) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run(output: Path, tiny: bool = False) -> dict:
+    seeds = range(2) if tiny else range(6)
+    instances = []
+    per_instance = []
+    identical = True
+    guard = None
+    for seed in seeds:
+        problem = build_instance(seed, tiny=tiny)
+        start = greedy_interval_period(problem).mapping
+        timings = {}
+        solutions = {}
+        for engine in ("scalar", "batched"):
+            t0 = time.perf_counter()
+            solutions[engine] = hill_climb(
+                problem,
+                start,
+                Criterion.PERIOD,
+                max_iterations=MAX_ITERATIONS,
+                engine=engine,
+            )
+            timings[engine] = time.perf_counter() - t0
+        same = (
+            solutions["scalar"].mapping == solutions["batched"].mapping
+            and solutions["scalar"].objective
+            == solutions["batched"].objective
+            and solutions["scalar"].values == solutions["batched"].values
+            and solutions["scalar"].stats == solutions["batched"].stats
+        )
+        identical = identical and same
+        record = {
+            "seed": seed,
+            "n_stages": problem.n_stages_total,
+            "n_processors": problem.platform.n_processors,
+            "scalar_seconds": round(timings["scalar"], 6),
+            "batched_seconds": round(timings["batched"], 6),
+            "speedup": round(timings["scalar"] / timings["batched"], 3),
+            "objective": solutions["batched"].objective,
+            "n_steps": solutions["batched"].stats["n_steps"],
+            "identical_solutions": same,
+        }
+        per_instance.append(record)
+        instances.append(problem)
+        if seed == GUARD_SEED:
+            guard = {
+                "seed": seed,
+                "batched_seconds": timings["batched"],
+                "calibration_seconds": calibrate(),
+                "max_iterations": MAX_ITERATIONS,
+                "tiny": tiny,
+            }
+    speedup = geomean([r["speedup"] for r in per_instance])
+    payload = {
+        "bench": "neighborhood-engine",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "tiny": tiny,
+        "n_instances": len(per_instance),
+        "max_iterations": MAX_ITERATIONS,
+        "instances": per_instance,
+        "geomean_speedup": round(speedup, 3),
+        "identical_solutions": identical,
+        "guard": guard,
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> int:
+    argv = list(sys.argv[1:])
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).parent / "BENCH_neighborhood.json"
+    )
+    payload = run(output, tiny=tiny)
+    assert payload["identical_solutions"], (
+        "batched and scalar hill_climb returned different solutions"
+    )
+    bar = 1.5 if tiny else 4.0
+    assert payload["geomean_speedup"] >= bar, (
+        f"geomean speedup {payload['geomean_speedup']}x below the "
+        f"{bar}x acceptance bar"
+    )
+    print(
+        f"ok: batched neighborhood engine {payload['geomean_speedup']}x "
+        f"geomean speedup over the scalar path "
+        f"({payload['n_instances']} instances, byte-identical solutions)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

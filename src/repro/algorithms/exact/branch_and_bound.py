@@ -35,9 +35,11 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ...core.exceptions import InfeasibleProblemError, SolverError
 from ...core.mapping import Assignment, Mapping
-from ...core.objectives import THRESHOLD_RTOL, Thresholds
+from ...core.objectives import THRESHOLD_RTOL, Thresholds, threshold_ceiling
 from ...core.problem import ProblemInstance, Solution
 from ...core.types import (
     CommunicationModel,
@@ -46,6 +48,12 @@ from ...core.types import (
     MappingRule,
     OUT_ENDPOINT,
 )
+from ...kernel.context import app_arrays
+
+#: Minimum number of interval-end children per ``(processor, mode)``
+#: branch before the feasibility screen switches from the scalar loop to
+#: one vectorized pass (below this the NumPy call overhead dominates).
+_VECTOR_HI_MIN = 8
 
 
 @dataclass
@@ -126,6 +134,11 @@ def exact_minimize(
     latency_bounds = [
         thresholds.latency_bound_for_app(app, a) for a, app in enumerate(apps)
     ]
+    # Precomputed `_leq` right-hand sides and prefix-sum work arrays for
+    # the batched child screen (bit-identical to the scalar checks).
+    period_ceils = [threshold_ceiling(b) for b in period_bounds]
+    latency_ceils = [threshold_ceiling(b) for b in latency_bounds]
+    work_prefixes = [app_arrays(app)[0] for app in apps]
     energy_bound = thresholds.energy if thresholds.energy is not None else math.inf
 
     proc_speeds: List[Tuple[float, ...]] = [
@@ -157,6 +170,58 @@ def exact_minimize(
     nodes = 0
 
     trail: List[Assignment] = []
+
+    def admissible_children(
+        a: int,
+        stage: int,
+        hi_options: Tuple[int, ...],
+        speed: float,
+        t_in: float,
+        base_latency: float,
+    ):
+        """The ``(hi, t_comp, partial_cycle, new_latency)`` children
+        passing the period/latency screens, in ascending ``hi`` order.
+
+        Both screens are monotone in ``hi`` (``t_comp`` only grows), so
+        the admitted set is the prefix up to the first violation.  Large
+        fan-outs are screened in one vectorized pass over the prefix-sum
+        work array instead of one Python arithmetic chain per child;
+        the two paths produce bit-identical floats, so pruning -- and
+        hence the explored tree and the returned optimum -- is unchanged.
+        """
+        if len(hi_options) >= _VECTOR_HI_MIN:
+            prefix = work_prefixes[a]
+            his = np.asarray(hi_options, dtype=np.intp)
+            t_comps = (prefix[his + 1] - prefix[stage]) / speed
+            if model is CommunicationModel.OVERLAP:
+                partials = np.maximum(t_in, t_comps)
+            else:
+                partials = (t_in + t_comps) + 0.0
+            latencies = base_latency + t_comps
+            ok = (partials <= period_ceils[a]) & (
+                latencies <= latency_ceils[a]
+            )
+            limit = len(hi_options) if bool(ok.all()) else int(np.argmax(~ok))
+            return list(
+                zip(
+                    hi_options[:limit],
+                    t_comps[:limit].tolist(),
+                    partials[:limit].tolist(),
+                    latencies[:limit].tolist(),
+                )
+            )
+        children = []
+        app = apps[a]
+        for hi in hi_options:
+            t_comp = app.work_sum(stage, hi) / speed
+            partial_cycle = model.combine(t_in, t_comp, 0.0)
+            if not _leq(partial_cycle, period_bounds[a]):
+                break  # t_comp only grows with hi
+            new_latency = base_latency + t_comp
+            if not _leq(new_latency, latency_bounds[a]):
+                break
+            children.append((hi, t_comp, partial_cycle, new_latency))
+        return children
 
     def place_app(
         a: int,
@@ -230,14 +295,11 @@ def exact_minimize(
                     continue
                 if criterion is Criterion.ENERGY and new_energy >= best_objective:
                     continue
-                for hi in hi_options:
-                    t_comp = app.work_sum(stage, hi) / speed
-                    partial_cycle = model.combine(t_in, t_comp, 0.0)
-                    if not _leq(partial_cycle, period_bounds[a]):
-                        break  # t_comp only grows with hi
-                    new_latency = base_latency + t_comp
-                    if not _leq(new_latency, latency_bounds[a]):
-                        break
+                for hi, t_comp, partial_cycle, new_latency in (
+                    admissible_children(
+                        a, stage, hi_options, speed, t_in, base_latency
+                    )
+                ):
                     assignment = Assignment(
                         app=a, interval=(stage, hi), proc=u, speed=speed
                     )

@@ -16,7 +16,13 @@ local-search heuristics for the NP-hard mono- and bi-criteria cells:
 
 from .annealing import anneal
 from .greedy_interval import greedy_interval_period, greedy_one_to_one_period
-from .local_search import hill_climb, neighbors, score, score_values
+from .local_search import (
+    hill_climb,
+    neighbors,
+    score,
+    score_many,
+    score_values,
+)
 from .mode_scaling import greedy_mode_downgrade
 
 __all__ = [
@@ -27,5 +33,6 @@ __all__ = [
     "hill_climb",
     "neighbors",
     "score",
+    "score_many",
     "score_values",
 ]

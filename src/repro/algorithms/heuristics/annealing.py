@@ -17,7 +17,8 @@ from ...core.mapping import Mapping
 from ...core.objectives import Thresholds
 from ...core.problem import ProblemInstance, Solution
 from ...core.types import Criterion
-from .local_search import neighbors, score_values
+from ...kernel import generate_neighborhood
+from .local_search import _resolve_engine, neighbors, score_values
 
 
 def anneal(
@@ -32,11 +33,22 @@ def anneal(
     cooling: float = 0.995,
     context=None,
     budget=None,
+    engine: Optional[str] = None,
 ) -> Solution:
     """Simulated annealing from ``start``.
 
-    Proposals are scored through the shared vectorized kernel with
-    incremental delta-evaluation against the current state.
+    With the default ``"batched"`` engine each proposal is drawn from
+    the array-native neighborhood
+    (:func:`repro.kernel.generate_neighborhood`): the candidate set
+    exists only as stacked column arrays, the sampled candidate is
+    scored through a one-candidate
+    :meth:`~repro.kernel.EvaluationContext.evaluate_many` slice, and a
+    ``Mapping`` is materialized only on acceptance.  The ``"scalar"``
+    engine materializes the whole neighborhood per proposal (the
+    original loop).  Both engines draw identical candidate sequences
+    from identical seeds and return byte-identical solutions (both tick
+    the budget once per proposal, so unlike ``hill_climb`` the parity
+    holds under wall-clock deadlines too).
 
     Parameters
     ----------
@@ -54,8 +66,13 @@ def anneal(
     budget:
         Optional cooperative budget meter (see
         :class:`repro.strategies.SolveBudget`) ticked once per proposed
-        move; on exhaustion the best mapping found so far is returned.
+        move (one proposal = one scored candidate = one evaluation); on
+        exhaustion the best mapping found so far is returned.
+    engine:
+        ``"batched"``, ``"scalar"`` or ``None`` for the module default
+        (:data:`repro.algorithms.heuristics.local_search.DEFAULT_ENGINE`).
     """
+    batched = _resolve_engine(engine) == "batched"
     ctx = problem.evaluation_context(context)
     rng = np.random.default_rng(seed)
     current = start
@@ -75,14 +92,25 @@ def anneal(
         if budget is not None and not budget.tick():
             exhausted = True
             break
-        options = list(neighbors(problem, current))
-        if not options:
-            break
-        candidate = options[int(rng.integers(len(options)))]
-        values = ctx.delta_evaluate(candidate, current, current_values)
+        if batched:
+            batch = generate_neighborhood(problem, current)
+            if len(batch) == 0:
+                break
+            index = int(rng.integers(len(batch)))
+            proposal = batch.single(index)
+            values = ctx.evaluate_many(proposal).select(0)
+            candidate = None  # materialized only on acceptance
+        else:
+            options = list(neighbors(problem, current))
+            if not options:
+                break
+            candidate = options[int(rng.integers(len(options)))]
+            values = ctx.delta_evaluate(candidate, current, current_values)
         s = score_values(values, criterion, thresholds)
         delta = s - current_score
         if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            if candidate is None:
+                candidate = proposal.materialize(0)
             current = candidate
             current_values = values
             current_score = s

@@ -20,30 +20,66 @@ one elementary move:
 best-improvement descent over this neighborhood; infeasible neighbors are
 scored with a large penalty per violated threshold so the search can walk
 back into the feasible region.
+
+Two engines drive the descent.  The default ``"batched"`` engine
+generates the whole neighborhood as stacked column arrays
+(:func:`repro.kernel.generate_neighborhood`), scores it in one
+vectorized kernel call
+(:meth:`~repro.kernel.EvaluationContext.evaluate_many` +
+:func:`score_many`) and materializes only the accepted candidate.  The
+``"scalar"`` engine is the original one-``Mapping``-at-a-time loop, kept
+as the equivalence reference and benchmark baseline: both engines return
+byte-identical solutions for identical inputs -- unbudgeted or under an
+evaluation cap (asserted by
+``tests/kernel/test_neighborhood_property.py`` and
+``benchmarks/bench_neighborhood.py``).  Under a wall-clock
+``time_limit`` the batched engine checks the deadline once per
+neighborhood batch instead of once per candidate, so where the clock
+runs out mid-scan the two engines may part by up to one batch of
+evaluations (one descent step).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional
+
+import numpy as np
 
 from ...core.mapping import Assignment, Mapping
 from ...core.objectives import Thresholds
 from ...core.problem import ProblemInstance, Solution
 from ...core.types import Criterion, MappingRule
+from ...kernel import generate_neighborhood
+from ...kernel.neighborhood import clamp_speed
 
 #: Penalty factor applied per unit of relative threshold violation.
 _PENALTY = 1e9
 
+#: Neighborhood engine used when ``hill_climb``/``anneal`` receive
+#: ``engine=None``: ``"batched"`` (array-native, the default) or
+#: ``"scalar"`` (the reference loop).  Module-level so test harnesses can
+#: flip whole strategy stacks (portfolios, the service layer) onto the
+#: scalar path without threading a parameter through every layer.
+DEFAULT_ENGINE = "batched"
+
+_ENGINES = ("batched", "scalar")
+
+
+def _resolve_engine(engine: Optional[str]) -> str:
+    name = DEFAULT_ENGINE if engine is None else engine
+    if name not in _ENGINES:
+        raise ValueError(
+            f"unknown neighborhood engine {name!r}; expected one of {_ENGINES}"
+        )
+    return name
+
 
 def _clamp_speed(problem: ProblemInstance, proc: int, speed: float) -> float:
     """The processor's own mode closest to ``speed`` from above (or its
-    fastest mode)."""
-    processor = problem.platform.processor(proc)
-    if processor.has_speed(speed):
-        return speed
-    at_least = processor.slowest_speed_at_least(speed)
-    return at_least if at_least is not None else processor.max_speed
+    fastest mode) -- delegates to the kernel's
+    :func:`~repro.kernel.neighborhood.clamp_speed`, the single source of
+    truth shared with the batched generator."""
+    return clamp_speed(problem.platform, proc, speed)
 
 
 def neighbors(
@@ -260,6 +296,91 @@ def score_values(
     return objective + penalty
 
 
+def score_many(
+    values,
+    criterion: Criterion,
+    thresholds: Thresholds,
+) -> np.ndarray:
+    """Vectorized :func:`score_values` over a whole candidate batch.
+
+    Parameters
+    ----------
+    values:
+        A :class:`~repro.kernel.BatchCriteria` (criteria vectors of
+        ``N`` candidates).
+    criterion:
+        The optimized criterion.
+    thresholds:
+        Bounds on the other criteria.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(N,)`` penalized scores; entry ``i`` is bit-identical to
+        ``score_values(values.select(i), ...)`` (the penalty terms
+        accumulate in the same order as the scalar loop).
+    """
+    objective = {
+        Criterion.PERIOD: values.period,
+        Criterion.LATENCY: values.latency,
+        Criterion.ENERGY: values.energy,
+    }[criterion]
+    penalty = np.zeros(len(objective))
+    for value, bound in (
+        (values.period, thresholds.period),
+        (values.latency, thresholds.latency),
+        (values.energy, thresholds.energy),
+    ):
+        if bound is not None:
+            mask = value > bound
+            if mask.any():
+                penalty[mask] = penalty[mask] + (
+                    _PENALTY * (value[mask] / bound - 1.0) + _PENALTY
+                )
+    for table, bounds in (
+        (values.periods, thresholds.per_app_period),
+        (values.latencies, thresholds.per_app_latency),
+    ):
+        if bounds is None:
+            continue
+        for a in range(table.shape[1]):
+            bound = bounds[a]
+            column = table[:, a]
+            mask = column > bound
+            if mask.any():
+                penalty[mask] = penalty[mask] + (
+                    _PENALTY * (column[mask] / bound - 1.0) + _PENALTY
+                )
+    return objective + penalty
+
+
+def _solution(
+    mapping: Mapping,
+    values,
+    score: float,
+    criterion: Criterion,
+    n_steps: int,
+    exhausted: bool,
+) -> Solution:
+    objective = {
+        Criterion.PERIOD: values.period,
+        Criterion.LATENCY: values.latency,
+        Criterion.ENERGY: values.energy,
+    }[criterion]
+    return Solution(
+        mapping=mapping,
+        objective=objective,
+        values=values,
+        solver="hill-climb",
+        optimal=False,
+        stats={
+            "n_steps": float(n_steps),
+            "score": score,
+            "budget_exhausted": float(exhausted),
+        },
+    )
+
+
 def hill_climb(
     problem: ProblemInstance,
     start: Mapping,
@@ -269,18 +390,98 @@ def hill_climb(
     max_iterations: int = 10_000,
     context=None,
     budget=None,
+    engine: Optional[str] = None,
 ) -> Solution:
     """Best-improvement descent from ``start`` over :func:`neighbors`.
 
-    Neighbors are scored through the shared vectorized kernel with
-    incremental delta-evaluation (only the application touched by a move is
-    re-evaluated).  ``context`` optionally shares a prebuilt
+    With the default ``"batched"`` engine each step generates the whole
+    neighborhood as stacked column arrays, scores it in one vectorized
+    kernel call and materializes only the accepted candidate; the
+    ``"scalar"`` engine walks the same neighborhood one ``Mapping`` at a
+    time through incremental delta-evaluation.  Both engines visit
+    candidates in the same order with the same tie-breaking and return
+    byte-identical solutions, except under a wall-clock ``time_limit``
+    hit mid-scan, where the batched engine's per-batch deadline check
+    may let it finish (and act on) one neighborhood scan the scalar
+    engine would have abandoned.
+
+    ``context`` optionally shares a prebuilt
     :class:`repro.kernel.EvaluationContext`.  ``budget`` optionally passes
     a cooperative budget meter (see :class:`repro.strategies.SolveBudget`)
-    ticked once per scored neighbor; on exhaustion the best mapping found
-    so far is returned.  Returns the local optimum reached
+    charged one evaluation per scored neighbor -- a batch of ``N``
+    candidates counts as ``N`` evaluations, truncated to the evaluations
+    remaining under the cap; on exhaustion the best mapping found so far
+    is returned.  ``engine=None`` uses the module default
+    (:data:`DEFAULT_ENGINE`).  Returns the local optimum reached
     (``optimal=False``).
     """
+    if _resolve_engine(engine) == "scalar":
+        return _hill_climb_scalar(
+            problem,
+            start,
+            criterion,
+            thresholds,
+            max_iterations=max_iterations,
+            context=context,
+            budget=budget,
+        )
+    ctx = problem.evaluation_context(context)
+    current = start
+    current_values = ctx.evaluate(current)
+    current_score = score_values(current_values, criterion, thresholds)
+    n_steps = 0
+    exhausted = False
+    for _ in range(max_iterations):
+        batch = generate_neighborhood(problem, current)
+        n_candidates = len(batch)
+        granted = (
+            n_candidates
+            if budget is None
+            else budget.reserve(n_candidates)
+        )
+        if granted < n_candidates:
+            exhausted = True
+        if granted == 0:
+            break
+        scan = batch.truncate(granted)
+        values = ctx.evaluate_many(scan)
+        scores = score_many(values, criterion, thresholds)
+        # Replay the scalar engine's sequential best-improvement rule
+        # (first strict improvement by more than 1e-15 wins ties) over
+        # the score vector, so the accepted candidate is identical.
+        best_index: Optional[int] = None
+        best_score = current_score
+        for i, s in enumerate(scores.tolist()):
+            if s < best_score - 1e-15:
+                best_score = s
+                best_index = i
+        if best_index is None:
+            break
+        current = scan.materialize(best_index)
+        current_values = values.select(best_index)
+        current_score = best_score
+        n_steps += 1
+        if exhausted:
+            break
+    return _solution(
+        current, current_values, current_score, criterion, n_steps, exhausted
+    )
+
+
+def _hill_climb_scalar(
+    problem: ProblemInstance,
+    start: Mapping,
+    criterion: Criterion,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    max_iterations: int = 10_000,
+    context=None,
+    budget=None,
+) -> Solution:
+    """The reference scalar engine of :func:`hill_climb`: one candidate
+    ``Mapping`` at a time, scored through incremental
+    :meth:`~repro.kernel.EvaluationContext.delta_evaluate`, the budget
+    ticked once per scored neighbor."""
     ctx = problem.evaluation_context(context)
     current = start
     current_values = ctx.evaluate(current)
@@ -309,21 +510,6 @@ def hill_climb(
         n_steps += 1
         if exhausted:
             break
-    values = current_values
-    objective = {
-        Criterion.PERIOD: values.period,
-        Criterion.LATENCY: values.latency,
-        Criterion.ENERGY: values.energy,
-    }[criterion]
-    return Solution(
-        mapping=current,
-        objective=objective,
-        values=values,
-        solver="hill-climb",
-        optimal=False,
-        stats={
-            "n_steps": float(n_steps),
-            "score": current_score,
-            "budget_exhausted": float(exhausted),
-        },
+    return _solution(
+        current, current_values, current_score, criterion, n_steps, exhausted
     )

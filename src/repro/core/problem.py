@@ -86,7 +86,12 @@ class ProblemInstance:
         the single place the "explicit context wins over the cached one"
         rule lives.  A context built for different applications or a
         different platform is rejected: evaluating through it would
-        silently produce criteria for the wrong problem."""
+        silently produce criteria for the wrong problem.
+
+        Memoization lives in
+        :meth:`repro.kernel.EvaluationContext.for_problem`, so direct
+        ``for_problem`` callers and this accessor share one context per
+        instance."""
         if context is not None:
             if context.apps != self.apps or context.platform != self.platform:
                 raise ValueError(
@@ -94,13 +99,12 @@ class ProblemInstance:
                     "problem (its apps/platform do not match)"
                 )
             return context
-        context = self.__dict__.get("_eval_context")
-        if context is None:
-            from ..kernel import EvaluationContext
+        cached = self.__dict__.get("_eval_context")
+        if cached is not None:
+            return cached
+        from ..kernel import EvaluationContext
 
-            context = EvaluationContext.for_problem(self)
-            object.__setattr__(self, "_eval_context", context)
-        return context
+        return EvaluationContext.for_problem(self)
 
     def __getstate__(self):
         """Pickle support: drop the cached kernel context (it holds

@@ -7,9 +7,17 @@ as a data-parallel *cost-model kernel*:
 
 * :class:`EvaluationContext` -- precomputed per-application prefix-sum work
   arrays, data-size vectors and bandwidth tables for one ``(apps,
-  platform)`` pair, with O(1) ``work_sum`` / interval-size lookups, a
-  vectorized :meth:`~EvaluationContext.evaluate` over whole mappings, and
-  incremental :meth:`~EvaluationContext.delta_evaluate` after local moves;
+  platform)`` pair (memoized per problem instance via
+  :meth:`~EvaluationContext.for_problem`), with O(1) ``work_sum`` /
+  interval-size lookups, a vectorized
+  :meth:`~EvaluationContext.evaluate` over whole mappings, incremental
+  :meth:`~EvaluationContext.delta_evaluate` after local moves, and
+  batched :meth:`~EvaluationContext.evaluate_many` over stacked
+  candidate arrays;
+* :mod:`repro.kernel.neighborhood` -- the array-native neighborhood
+  engine: the whole local-search move set of a mapping generated as one
+  :class:`CandidateBatch` of column arrays (scored wholesale by
+  ``evaluate_many``), in the scalar generator's enumeration order;
 * :mod:`repro.kernel.vectorized` -- whole-table builders (interval
   cycle-time matrices, latency segment costs, cheapest-feasible-mode energy
   tables) consumed by the dynamic-programming solvers.
@@ -19,7 +27,8 @@ The scalar reference implementations live in :mod:`repro.core.evaluation`
 agree to within 1e-9 relative tolerance on random instances.
 """
 
-from .context import EvaluationContext
+from .context import BatchCriteria, EvaluationContext
+from .neighborhood import CandidateBatch, generate_neighborhood
 from .vectorized import (
     interval_cycle_matrix,
     interval_energy_table,
@@ -28,7 +37,10 @@ from .vectorized import (
 )
 
 __all__ = [
+    "BatchCriteria",
+    "CandidateBatch",
     "EvaluationContext",
+    "generate_neighborhood",
     "interval_cycle_matrix",
     "interval_energy_table",
     "latency_segment_matrix",

@@ -18,7 +18,9 @@ the hot path of hill climbing and simulated annealing).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -30,7 +32,116 @@ from ..core.mapping import Mapping
 from ..core.platform import Platform
 from ..core.types import CommunicationModel, Interval
 
-__all__ = ["EvaluationContext", "app_arrays", "mapping_columns"]
+__all__ = [
+    "BatchCriteria",
+    "EvaluationContext",
+    "app_arrays",
+    "mapping_columns",
+    "segment_sums",
+]
+
+
+def _seq_sum(values: np.ndarray) -> float:
+    """Strict left-to-right sequential sum, starting from ``0.0``.
+
+    The kernel's summation primitive: NumPy's ``ndarray.sum`` uses
+    pairwise summation, whose rounding depends on the segment length, so
+    a batched engine summing many chains at once could never reproduce
+    it bit-for-bit.  Sequential accumulation is reproducible from both
+    the scalar and the batched side (see :func:`segment_sums`) and
+    matches the pure-Python reference ``evaluate_scalar``, which also
+    accumulates left to right.
+    """
+    total = 0.0
+    for v in values.tolist():
+        total += v
+    return total
+
+
+def segment_sums(
+    values: np.ndarray, seg_ids: np.ndarray, seg_pos: np.ndarray, n_segs: int
+) -> np.ndarray:
+    """Per-segment strict-sequential sums, vectorized across segments.
+
+    Parameters
+    ----------
+    values:
+        Flat array of the summands.
+    seg_ids:
+        Segment index of each summand.
+    seg_pos:
+        0-based position of each summand inside its segment.
+    n_segs:
+        Number of segments.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n_segs,)`` array where entry ``k`` is the left-to-right
+        sequential sum (``0.0 + v_0 + v_1 + ...``) of segment ``k`` --
+        bit-identical to :func:`_seq_sum` over each segment.  Segments
+        shorter than the longest one are padded with ``+0.0``, which is
+        exact for the non-negative activity times and energies summed
+        here.
+    """
+    if len(values) == 0:
+        return np.zeros(n_segs)
+    width = int(seg_pos.max()) + 1
+    padded = np.zeros((n_segs, width))
+    padded[seg_ids, seg_pos] = values
+    totals = np.zeros(n_segs)
+    for j in range(width):
+        totals += padded[:, j]
+    return totals
+
+
+#: ``for_problem`` fallback memo for problems that refuse attribute
+#: writes: ``id(problem) -> (weakref, context)``, evicted by a
+#: ``weakref.finalize`` when the problem dies (the weakref also guards
+#: against id reuse).
+_CONTEXT_CACHE: Dict[int, Tuple["weakref.ref", "EvaluationContext"]] = {}
+
+
+@dataclass(frozen=True)
+class BatchCriteria:
+    """Criteria of ``N`` candidate mappings, as column vectors.
+
+    The batched counterpart of
+    :class:`~repro.core.evaluation.CriteriaValues`, produced by
+    :meth:`EvaluationContext.evaluate_many`: per-candidate arrays instead
+    of scalars, with the per-application values as ``(N, A)`` matrices
+    (column ``a`` = application ``a``).  Entry ``i`` is bit-identical to
+    ``EvaluationContext.evaluate`` of the ``i``-th candidate.
+    """
+
+    #: Unweighted per-application periods, shape ``(N, A)``.
+    periods: np.ndarray
+    #: Unweighted per-application latencies, shape ``(N, A)``.
+    latencies: np.ndarray
+    #: Weighted global periods ``max_a W_a * T_a``, shape ``(N,)``.
+    period: np.ndarray
+    #: Weighted global latencies, shape ``(N,)``.
+    latency: np.ndarray
+    #: Total platform energies, shape ``(N,)``.
+    energy: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.period)
+
+    def select(self, i: int) -> CriteriaValues:
+        """The scalar :class:`~repro.core.evaluation.CriteriaValues` of
+        candidate ``i`` (bit-identical to a fresh ``evaluate`` call)."""
+        return CriteriaValues(
+            periods={
+                a: float(t) for a, t in enumerate(self.periods[i])
+            },
+            latencies={
+                a: float(v) for a, v in enumerate(self.latencies[i])
+            },
+            period=float(self.period[i]),
+            latency=float(self.latency[i]),
+            energy=float(self.energy[i]),
+        )
 
 
 def app_arrays(app: Application) -> Tuple[np.ndarray, np.ndarray]:
@@ -147,6 +258,7 @@ class EvaluationContext:
         "_bw_in",
         "_bw_out",
         "_bw_link",
+        "_batch",
     )
 
     def __init__(
@@ -174,13 +286,23 @@ class EvaluationContext:
         self._bw_in: Dict[int, np.ndarray] = {}
         self._bw_out: Dict[int, np.ndarray] = {}
         self._bw_link: Dict[int, np.ndarray] = {}
+        # Flattened per-application tables for evaluate_many, built on
+        # first batched call (they materialize every bandwidth table).
+        self._batch: Dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
     def for_problem(cls, problem) -> "EvaluationContext":
-        """Build the context matching a problem instance.
+        """The context matching a problem instance, memoized per instance.
+
+        Repeated calls with the same ``problem`` object return the same
+        context instead of rebuilding the prefix-sum and bandwidth
+        tables: the context is stored on the instance itself (the
+        primary, O(1) path) and in a weakref-evicted module cache for
+        objects that refuse attribute writes.  Lifetime is tied to the
+        problem either way -- dropping the problem drops its tables.
 
         Parameters
         ----------
@@ -193,12 +315,32 @@ class EvaluationContext:
         -------
         EvaluationContext
         """
-        return cls(
+        attrs = getattr(problem, "__dict__", None)
+        if attrs is not None:
+            cached = attrs.get("_eval_context")
+            if cached is not None:
+                return cached
+        key = id(problem)
+        entry = _CONTEXT_CACHE.get(key)
+        if entry is not None and entry[0]() is problem:
+            return entry[1]
+        context = cls(
             problem.apps,
             problem.platform,
             model=problem.model,
             energy_model=problem.energy_model,
         )
+        try:
+            object.__setattr__(problem, "_eval_context", context)
+        except (AttributeError, TypeError):
+            pass
+        try:
+            ref = weakref.ref(problem)
+        except TypeError:
+            return context
+        _CONTEXT_CACHE[key] = (ref, context)
+        weakref.finalize(problem, _CONTEXT_CACHE.pop, key, None)
+        return context
 
     # ------------------------------------------------------------------
     # O(1) scalar lookups
@@ -358,10 +500,10 @@ class EvaluationContext:
         else:
             cycles = t_in + t_comp + t_out
         period = float(cycles.max())
-        latency = float(
+        latency = (
             self.apps[app_index].input_data_size / bw_in[0]
-            + t_comp.sum()
-            + t_out.sum()
+            + _seq_sum(t_comp)
+            + _seq_sum(t_out)
         )
         return period, latency
 
@@ -371,8 +513,8 @@ class EvaluationContext:
         # candidates, count each processor once at its first (canonical
         # order) assignment -- matching the scalar `platform_energy`.
         uniq, first = np.unique(columns.proc, return_index=True)
-        return float(
-            (self._static[uniq] + columns.speed[first] ** self._alpha).sum()
+        return _seq_sum(
+            self._static[uniq] + columns.speed[first] ** self._alpha
         )
 
     def mapping_energy(self, mapping: Mapping) -> float:
@@ -489,6 +631,191 @@ class EvaluationContext:
             period=period,
             latency=latency,
             energy=self._columns_energy(columns),
+        )
+
+    # ------------------------------------------------------------------
+    # Batched evaluation
+    # ------------------------------------------------------------------
+    def _batch_tables(self) -> Dict[str, np.ndarray]:
+        """Concatenated per-application tables backing evaluate_many."""
+        tables = self._batch
+        if tables:
+            return tables
+        n_apps = len(self.apps)
+        prefix_lens = [len(p) for p in self._prefix]
+        delta_lens = [len(d) for d in self._delta]
+        tables["prefix"] = np.concatenate(self._prefix)
+        tables["delta"] = np.concatenate(self._delta)
+        tables["prefix_off"] = np.concatenate(
+            ([0], np.cumsum(prefix_lens)[:-1])
+        )
+        tables["delta_off"] = np.concatenate(
+            ([0], np.cumsum(delta_lens)[:-1])
+        )
+        tables["n_stages"] = np.array(
+            [app.n_stages for app in self.apps], dtype=np.intp
+        )
+        tables["weights"] = np.array([app.weight for app in self.apps])
+        tables["input_sizes"] = np.array(
+            [app.input_data_size for app in self.apps]
+        )
+        tables["bw_in"] = np.stack(
+            [self.input_bandwidths(a) for a in range(n_apps)]
+        )
+        tables["bw_out"] = np.stack(
+            [self.output_bandwidths(a) for a in range(n_apps)]
+        )
+        # Link tables are shared between apps without per-app overrides;
+        # dedupe by identity so the stack stays small.
+        links: List[np.ndarray] = []
+        table_of: Dict[int, int] = {}
+        tid = np.empty(n_apps, dtype=np.intp)
+        for a in range(n_apps):
+            table = self.link_bandwidths(a)
+            index = table_of.setdefault(id(table), len(links))
+            if index == len(links):
+                links.append(table)
+            tid[a] = index
+        tables["bw_link"] = np.stack(links)
+        tables["bw_link_tid"] = tid
+        return tables
+
+    def evaluate_many(self, batch) -> BatchCriteria:
+        """All criteria of ``N`` candidate mappings in one kernel pass.
+
+        The batched counterpart of :meth:`evaluate`, scoring a whole
+        neighborhood (or any candidate set) without materializing a
+        single :class:`~repro.core.mapping.Mapping`.
+
+        Parameters
+        ----------
+        batch:
+            Any object exposing the stacked column arrays of a candidate
+            batch (duck-typed; canonically a
+            :class:`repro.kernel.neighborhood.CandidateBatch`):
+            ``app`` / ``lo`` / ``hi`` / ``proc`` (integer row arrays),
+            ``speed`` (float row array) and ``starts`` (the ``N + 1``
+            row offsets delimiting the candidates).  Rows must be in the
+            canonical ``(app, lo)`` order within each candidate, every
+            candidate must cover every application, and -- as for any
+            valid mapping -- use each processor at most once.
+
+        Returns
+        -------
+        BatchCriteria
+            Per-candidate criteria vectors; entry ``i`` is bit-identical
+            to :meth:`evaluate` on the materialized ``i``-th candidate.
+
+        Raises
+        ------
+        InvalidMappingError
+            When a candidate does not cover every application as one
+            contiguous chain block.
+        InvalidApplicationError
+            When an interval exceeds its application's stage count.
+        """
+        app = np.asarray(batch.app, dtype=np.intp)
+        lo = np.asarray(batch.lo, dtype=np.intp)
+        hi = np.asarray(batch.hi, dtype=np.intp)
+        proc = np.asarray(batch.proc, dtype=np.intp)
+        speed = np.asarray(batch.speed, dtype=np.float64)
+        starts = np.asarray(batch.starts, dtype=np.intp)
+        n_cands = len(starts) - 1
+        n_apps = len(self.apps)
+        n_rows = len(app)
+        if n_cands == 0:
+            empty = np.empty(0)
+            return BatchCriteria(
+                periods=np.empty((0, n_apps)),
+                latencies=np.empty((0, n_apps)),
+                period=empty,
+                latency=empty,
+                energy=empty,
+            )
+        tables = self._batch_tables()
+        if np.any(hi >= tables["n_stages"][app]):
+            raise InvalidApplicationError(
+                "evaluate_many: interval exceeds its application's stages"
+            )
+
+        cand = np.repeat(np.arange(n_cands), np.diff(starts))
+        is_first = np.empty(n_rows, dtype=bool)
+        is_first[0] = True
+        is_first[1:] = (cand[1:] != cand[:-1]) | (app[1:] != app[:-1])
+        chain_starts = np.flatnonzero(is_first)
+        if len(chain_starts) != n_cands * n_apps or not np.array_equal(
+            app[chain_starts],
+            np.tile(np.arange(n_apps, dtype=np.intp), n_cands),
+        ):
+            raise InvalidMappingError(
+                "evaluate_many: every candidate must cover every "
+                "application as one contiguous, app-ordered chain block"
+            )
+
+        poff = tables["prefix_off"][app]
+        doff = tables["delta_off"][app]
+        t_comp = (
+            tables["prefix"][poff + hi + 1] - tables["prefix"][poff + lo]
+        ) / speed
+
+        # Incoming bandwidth of each row: the virtual input link for the
+        # first interval of each chain, the inter-processor link from
+        # the previous interval otherwise.
+        bw_in = np.empty(n_rows)
+        if n_rows > 1:
+            bw_in[1:] = tables["bw_link"][
+                tables["bw_link_tid"][app[1:]], proc[:-1], proc[1:]
+            ]
+        bw_in[chain_starts] = tables["bw_in"][
+            app[chain_starts], proc[chain_starts]
+        ]
+        t_in = tables["delta"][doff + lo] / bw_in
+
+        # Outgoing bandwidth: the next row's incoming link, except for
+        # the last interval of each chain (virtual output link).
+        is_last = np.empty(n_rows, dtype=bool)
+        is_last[:-1] = is_first[1:]
+        is_last[-1] = True
+        bw_out = np.empty(n_rows)
+        bw_out[:-1] = bw_in[1:]
+        last_rows = np.flatnonzero(is_last)
+        bw_out[last_rows] = tables["bw_out"][app[last_rows], proc[last_rows]]
+        t_out = tables["delta"][doff + hi + 1] / bw_out
+
+        if self.model is CommunicationModel.OVERLAP:
+            cycles = np.maximum(np.maximum(t_in, t_comp), t_out)
+        else:
+            cycles = t_in + t_comp + t_out
+
+        n_chains = n_cands * n_apps
+        chain_lens = np.diff(np.append(chain_starts, n_rows))
+        chain_ids = np.repeat(np.arange(n_chains), chain_lens)
+        chain_pos = np.arange(n_rows) - chain_starts[chain_ids]
+        periods = np.maximum.reduceat(cycles, chain_starts).reshape(
+            n_cands, n_apps
+        )
+        latencies = (
+            tables["input_sizes"][app[chain_starts]] / bw_in[chain_starts]
+            + segment_sums(t_comp, chain_ids, chain_pos, n_chains)
+            + segment_sums(t_out, chain_ids, chain_pos, n_chains)
+        ).reshape(n_cands, n_apps)
+
+        # Energy: rows re-ordered by ascending processor inside each
+        # candidate so the sequential sum matches the scalar path, which
+        # iterates `np.unique(proc)` (ascending) -- exact because valid
+        # candidates use each processor once.
+        order = np.lexsort((proc, cand))
+        e_rows = self._static[proc[order]] + speed[order] ** self._alpha
+        cand_pos = np.arange(n_rows) - starts[cand[order]]
+        energy = segment_sums(e_rows, cand[order], cand_pos, n_cands)
+
+        weights = tables["weights"]
+        return BatchCriteria(
+            periods=periods,
+            latencies=latencies,
+            period=np.max(periods * weights, axis=1),
+            latency=np.max(latencies * weights, axis=1),
+            energy=energy,
         )
 
     # ------------------------------------------------------------------

@@ -15,6 +15,15 @@ Design notes
   boilerplate-free.  ``workers=None`` or ``workers<=1`` solves inline.
   Strategies cross the pool as their spec strings and are re-resolved
   worker-side.
+* The shared solve configuration (objective, method, thresholds,
+  strategy spec, budget) is shipped *once per worker* through the
+  ``ProcessPoolExecutor`` initializer instead of being re-pickled into
+  every job; job payloads carry only ``(index, problem)``.  When every
+  job solves the *same* instance (the repeat-solve pattern,
+  ``solve_batch([problem] * n)``), the instance itself moves into the
+  initializer too -- each worker receives it once, prebuilds its
+  :class:`~repro.kernel.EvaluationContext` eagerly, and the jobs shrink
+  to a bare index.
 * Failures never poison a batch: each instance yields a
   :class:`BatchItem` whose ``status`` is ``"ok"``, ``"infeasible"``
   (:class:`~repro.core.exceptions.InfeasibleProblemError`) or ``"error"``
@@ -190,20 +199,54 @@ class BatchResult:
         )
 
 
+#: Per-worker solve configuration, installed once by :func:`_init_worker`
+#: (via the pool initializer) instead of travelling inside every job.
+_WORKER_CONFIG: Dict[str, object] = {}
+
+
+def _init_worker(config: Dict[str, object]) -> None:
+    """Pool initializer: install the shared solve configuration and,
+    when all jobs target one instance, prebuild its evaluation context
+    so every solve in this worker starts from warm kernel tables."""
+    _WORKER_CONFIG.clear()
+    _WORKER_CONFIG.update(config)
+    shared = config.get("problem")
+    if shared is not None:
+        shared.evaluation_context()
+
+
 def _solve_indexed(
-    args: Tuple[
-        int,
-        ProblemInstance,
-        str,
-        str,
-        Optional[Thresholds],
-        Optional[StrategyLike],
-        Optional[SolveBudget],
-    ],
+    args: Tuple[int, Optional[ProblemInstance]],
 ) -> BatchItem:
-    """Worker-side wrapper: solve one indexed instance, catching failures
-    into the item's status instead of crashing the pool."""
-    index, problem, objective, method, thresholds, strategy, budget = args
+    """Worker-side wrapper around :func:`_solve_job`: job payloads carry
+    only ``(index, problem)`` -- or ``(index, None)`` when the instance
+    was shipped through the initializer."""
+    index, problem = args
+    config = _WORKER_CONFIG
+    if problem is None:
+        problem = config["problem"]
+    return _solve_job(
+        index,
+        problem,
+        config["objective"],
+        config["method"],
+        config["thresholds"],
+        config["strategy"],
+        config["budget"],
+    )
+
+
+def _solve_job(
+    index: int,
+    problem: ProblemInstance,
+    objective: str,
+    method: str,
+    thresholds: Optional[Thresholds],
+    strategy: Optional[StrategyLike],
+    budget: Optional[SolveBudget],
+) -> BatchItem:
+    """Solve one indexed instance, catching failures into the item's
+    status instead of crashing the pool."""
     if strategy is not None:
         t0 = time.perf_counter()
         result = parse_strategy(strategy).run(
@@ -301,23 +344,48 @@ def solve_batch(
         )
     if strategy is not None and isinstance(strategy, str):
         parse_strategy(strategy)  # fail fast on a bad spec, pre-pool
-    jobs = [
-        (i, problem, objective, method, thresholds, strategy, budget)
-        for i, problem in enumerate(problems)
-    ]
+    problems = list(problems)
+    # Repeat-solve pattern: one instance solved many times travels to
+    # each worker once (initializer) instead of once per job.
+    shared = (
+        problems[0]
+        if problems and all(p is problems[0] for p in problems[1:])
+        else None
+    )
     n_workers = 0 if workers is None else int(workers)
     t0 = time.perf_counter()
     if n_workers <= 1:
-        items: List[BatchItem] = [_solve_indexed(job) for job in jobs]
+        items: List[BatchItem] = [
+            _solve_job(
+                i, problem, objective, method, thresholds, strategy, budget
+            )
+            for i, problem in enumerate(problems)
+        ]
         effective_workers = 1
     else:
+        config: Dict[str, object] = {
+            "objective": objective,
+            "method": method,
+            "thresholds": thresholds,
+            "strategy": strategy,
+            "budget": budget,
+            "problem": shared,
+        }
+        jobs = [
+            (i, None if shared is not None else problem)
+            for i, problem in enumerate(problems)
+        ]
         effective_workers = min(n_workers, max(1, len(jobs)))
         effective_chunksize = (
             chunksize
             if chunksize is not None
             else _auto_chunksize(len(jobs), effective_workers)
         )
-        with ProcessPoolExecutor(max_workers=effective_workers) as pool:
+        with ProcessPoolExecutor(
+            max_workers=effective_workers,
+            initializer=_init_worker,
+            initargs=(config,),
+        ) as pool:
             items = list(
                 pool.map(_solve_indexed, jobs, chunksize=effective_chunksize)
             )

@@ -169,6 +169,39 @@ class BudgetMeter:
             return False
         return True
 
+    def reserve(self, n: int) -> int:
+        """Claim up to ``n`` candidate evaluations for a batched scan.
+
+        The batch counterpart of ``n`` consecutive :meth:`tick` calls:
+        a batch of ``N`` candidates counts as ``N`` evaluations against
+        :attr:`SolveBudget.max_evaluations`, truncated to whatever the
+        cap still allows.  Returns the granted count (0 when the budget
+        is already exhausted); granting *fewer* than requested marks the
+        meter exhausted, exactly as the first tick past the cap would.
+        Evaluation-cap accounting is therefore *exact* against the
+        tick-by-tick path.  The deadline is checked before granting and
+        once per batch rather than once per candidate, so under a
+        ``time_limit`` the overshoot -- and any divergence from the
+        scalar path -- is bounded by one batch.
+        """
+        if n <= 0 or self._exhausted:
+            return 0
+        if self._deadline is not None and time.perf_counter() >= self._deadline:
+            self._exhausted = True
+            return 0
+        cap = self.budget.max_evaluations
+        granted = n
+        if cap is not None:
+            granted = min(n, cap - self.n_evaluations)
+            if granted < n:
+                self._exhausted = True
+            if granted <= 0:
+                return 0
+        self.n_evaluations += granted
+        if self._deadline is not None and time.perf_counter() >= self._deadline:
+            self._exhausted = True
+        return granted
+
     def charge(self, n: int) -> None:
         """Account for ``n`` evaluations already performed elsewhere (a
         member strategy's own meter); unlike :meth:`tick` the count is

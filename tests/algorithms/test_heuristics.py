@@ -119,6 +119,70 @@ class TestHillClimb:
         assert refined.objective <= 2.0 * exact.objective + 1e-9
 
 
+class TestNeighborhoodEngines:
+    """The batched engine is a drop-in for the scalar reference."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hill_climb_engines_byte_identical(self, seed):
+        problem = small_random_problem(
+            seed + 70, platform_class=HET, n_modes=2, stage_range=(2, 4)
+        )
+        start = greedy_interval_period(problem)
+        batched = hill_climb(problem, start.mapping, Criterion.PERIOD)
+        scalar = hill_climb(
+            problem, start.mapping, Criterion.PERIOD, engine="scalar"
+        )
+        assert batched.mapping == scalar.mapping
+        assert batched.objective == scalar.objective
+        assert batched.values == scalar.values
+        assert batched.stats == scalar.stats
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_anneal_engines_byte_identical(self, seed):
+        problem = small_random_problem(
+            seed + 80, platform_class=HET, n_modes=2
+        )
+        start = greedy_interval_period(problem)
+        runs = {
+            engine: anneal(
+                problem,
+                start.mapping,
+                Criterion.PERIOD,
+                seed=3,
+                n_iterations=120,
+                engine=engine,
+            )
+            for engine in ("batched", "scalar")
+        }
+        assert runs["batched"].mapping == runs["scalar"].mapping
+        assert runs["batched"].objective == runs["scalar"].objective
+        assert runs["batched"].stats == runs["scalar"].stats
+
+    def test_one_to_one_engines_byte_identical(self):
+        problem = small_random_problem(
+            90,
+            platform_class=HET,
+            rule=MappingRule.ONE_TO_ONE,
+            n_modes=2,
+            stage_range=(1, 2),
+        )
+        start = greedy_one_to_one_period(problem)
+        batched = hill_climb(problem, start.mapping, Criterion.PERIOD)
+        scalar = hill_climb(
+            problem, start.mapping, Criterion.PERIOD, engine="scalar"
+        )
+        assert batched.mapping == scalar.mapping
+        assert batched.stats == scalar.stats
+
+    def test_unknown_engine_rejected(self):
+        problem = small_random_problem(91)
+        start = greedy_interval_period(problem)
+        with pytest.raises(ValueError, match="unknown neighborhood engine"):
+            hill_climb(
+                problem, start.mapping, Criterion.PERIOD, engine="simd"
+            )
+
+
 class TestAnnealing:
     def test_deterministic_given_seed(self):
         problem = small_random_problem(41, n_modes=2)

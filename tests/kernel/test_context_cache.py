@@ -1,0 +1,81 @@
+"""Tests for the per-problem memoization of ``EvaluationContext``."""
+
+import gc
+
+from repro import EvaluationContext
+from repro.generators import small_random_problem
+from repro.kernel.context import _CONTEXT_CACHE
+
+
+class TestForProblemCache:
+    def test_repeated_calls_hit_the_cache(self):
+        problem = small_random_problem(0)
+        first = EvaluationContext.for_problem(problem)
+        assert EvaluationContext.for_problem(problem) is first
+
+    def test_evaluation_context_shares_the_same_instance(self):
+        problem = small_random_problem(1)
+        assert (
+            problem.evaluation_context()
+            is EvaluationContext.for_problem(problem)
+        )
+        assert problem.evaluation_context() is problem.evaluation_context()
+
+    def test_distinct_problems_get_distinct_contexts(self):
+        a = small_random_problem(2)
+        b = small_random_problem(3)
+        assert (
+            EvaluationContext.for_problem(a)
+            is not EvaluationContext.for_problem(b)
+        )
+
+    def test_explicit_context_still_wins(self):
+        problem = small_random_problem(4)
+        explicit = EvaluationContext(
+            problem.apps,
+            problem.platform,
+            model=problem.model,
+            energy_model=problem.energy_model,
+        )
+        assert problem.evaluation_context(explicit) is explicit
+
+    def test_cache_entry_dies_with_the_problem(self):
+        problem = small_random_problem(5)
+        EvaluationContext.for_problem(problem)
+        key = id(problem)
+        assert key in _CONTEXT_CACHE
+        del problem
+        gc.collect()
+        assert key not in _CONTEXT_CACHE
+
+    def test_pickle_roundtrip_does_not_carry_the_context(self):
+        import pickle
+
+        problem = small_random_problem(6)
+        problem.evaluation_context()
+        clone = pickle.loads(pickle.dumps(problem))
+        assert "_eval_context" not in clone.__dict__
+        # ... and the clone builds (and memoizes) its own.
+        assert clone.evaluation_context() is clone.evaluation_context()
+        assert clone.evaluation_context() is not problem.evaluation_context()
+
+    def test_score_reuses_one_context(self, monkeypatch):
+        """Repeated score() calls stop rebuilding the kernel tables."""
+        from repro.algorithms.heuristics import greedy_interval_period
+        from repro.algorithms.heuristics.local_search import score
+        from repro.core.types import Criterion
+        from repro.core.objectives import Thresholds
+
+        problem = small_random_problem(7)
+        builds = []
+        original = EvaluationContext.__init__
+
+        def counting(self, *args, **kwargs):
+            builds.append(1)
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(EvaluationContext, "__init__", counting)
+        mapping = greedy_interval_period(problem).mapping
+        for _ in range(5):
+            score(problem, mapping, Criterion.PERIOD, Thresholds())
+        assert sum(builds) <= 1

@@ -1,0 +1,189 @@
+"""Property tests: the array-native neighborhood engine is equivalent to
+the scalar generator + delta-evaluation path.
+
+The contract of ``repro.kernel.neighborhood`` + ``evaluate_many``: for
+every valid mapping, under both mapping rules, both communication models
+and every platform class,
+
+* :func:`~repro.kernel.generate_neighborhood` enumerates exactly the
+  candidates of :func:`repro.algorithms.heuristics.neighbors`, in the
+  same order (candidate ``i`` materializes to the ``i``-th scalar
+  neighbor);
+* :meth:`~repro.kernel.EvaluationContext.evaluate_many` over the batch
+  is element-wise equal (within 1e-9 -- in fact bit-identical) to
+  per-neighbor ``delta_evaluate``;
+* :func:`~repro.algorithms.heuristics.local_search.score_many` matches
+  per-candidate ``score_values``;
+* the two :func:`~repro.algorithms.heuristics.hill_climb` engines return
+  identical solutions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CommunicationModel,
+    Criterion,
+    EvaluationContext,
+    MappingRule,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms.heuristics import hill_climb, neighbors
+from repro.algorithms.heuristics.local_search import score_many, score_values
+from repro.kernel import generate_neighborhood
+
+from ..properties.strategies import (
+    het_mapped_instances,
+    mapped_instances,
+    one_to_one_mapped_instances,
+)
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+
+RTOL = 1e-9
+
+
+def assert_batch_matches_scalar(problem, mapping):
+    """The batched neighborhood scores exactly like the scalar path."""
+    ctx = problem.evaluation_context()
+    base_values = ctx.evaluate(mapping)
+    scalar = list(neighbors(problem, mapping))
+    batch = generate_neighborhood(problem, mapping)
+    assert len(batch) == len(scalar)
+    values = ctx.evaluate_many(batch)
+    assert len(values) == len(scalar)
+    for i, candidate in enumerate(scalar):
+        reference = ctx.delta_evaluate(candidate, mapping, base_values)
+        got = values.select(i)
+        assert got.period == pytest.approx(reference.period, rel=RTOL)
+        assert got.latency == pytest.approx(reference.latency, rel=RTOL)
+        assert got.energy == pytest.approx(reference.energy, rel=RTOL)
+        for a in reference.periods:
+            assert got.periods[a] == pytest.approx(
+                reference.periods[a], rel=RTOL
+            )
+            assert got.latencies[a] == pytest.approx(
+                reference.latencies[a], rel=RTOL
+            )
+        # The engines are in fact bit-identical, which is what makes
+        # batched hill climbing reproduce the scalar walk exactly.
+        assert got.period == reference.period
+        assert got.latency == reference.latency
+        assert got.energy == reference.energy
+        assert batch.materialize(i) == candidate
+
+
+@given(mapped_instances(max_apps=2, max_stages=4), st.sampled_from(BOTH_MODELS))
+@settings(max_examples=40, deadline=None)
+def test_batch_matches_scalar_interval_homogeneous(instance, model):
+    """INTERVAL rule, fully homogeneous platforms, both models."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform, model=model)
+    assert_batch_matches_scalar(problem, mapping)
+
+
+@given(
+    het_mapped_instances(max_apps=2, max_stages=4),
+    st.sampled_from(BOTH_MODELS),
+)
+@settings(max_examples=40, deadline=None)
+def test_batch_matches_scalar_interval_heterogeneous(instance, model):
+    """INTERVAL rule through every bandwidth-resolution path."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform, model=model)
+    assert_batch_matches_scalar(problem, mapping)
+
+
+@given(
+    one_to_one_mapped_instances(max_apps=2, max_stages=4),
+    st.sampled_from(BOTH_MODELS),
+)
+@settings(max_examples=40, deadline=None)
+def test_batch_matches_scalar_one_to_one(instance, model):
+    """ONE_TO_ONE rule: shift/split/merge disabled, same equivalence."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(
+        apps=apps,
+        platform=platform,
+        rule=MappingRule.ONE_TO_ONE,
+        model=model,
+    )
+    for candidate in generate_neighborhood(problem, mapping).kinds:
+        assert candidate <= 2  # mode / swap / move only
+    assert_batch_matches_scalar(problem, mapping)
+
+
+@given(mapped_instances(max_apps=2, max_stages=4))
+@settings(max_examples=25, deadline=None)
+def test_score_many_matches_score_values(instance):
+    """Vectorized scoring replicates the scalar penalty accumulation."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform)
+    ctx = problem.evaluation_context()
+    base = ctx.evaluate(mapping)
+    thresholds = Thresholds(
+        period=base.period * 0.9,
+        latency=base.latency * 1.1,
+        energy=base.energy,
+        per_app_period=tuple(
+            base.periods[a] * 0.95 for a in sorted(base.periods)
+        ),
+        per_app_latency=tuple(
+            base.latencies[a] * 1.05 for a in sorted(base.latencies)
+        ),
+    )
+    batch = generate_neighborhood(problem, mapping)
+    if len(batch) == 0:
+        return
+    values = ctx.evaluate_many(batch)
+    for criterion in Criterion:
+        scores = score_many(values, criterion, thresholds)
+        for i in range(len(batch)):
+            assert scores[i] == score_values(
+                values.select(i), criterion, thresholds
+            )
+
+
+@given(
+    mapped_instances(max_apps=2, max_stages=3),
+    st.sampled_from([Criterion.PERIOD, Criterion.LATENCY, Criterion.ENERGY]),
+)
+@settings(max_examples=15, deadline=None)
+def test_hill_climb_engines_identical(instance, criterion):
+    """Batched and scalar hill climbing return identical solutions."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform)
+    solutions = {
+        engine: hill_climb(
+            problem,
+            mapping,
+            criterion,
+            max_iterations=4,
+            engine=engine,
+        )
+        for engine in ("batched", "scalar")
+    }
+    assert solutions["batched"].mapping == solutions["scalar"].mapping
+    assert solutions["batched"].objective == solutions["scalar"].objective
+    assert solutions["batched"].values == solutions["scalar"].values
+    assert solutions["batched"].stats == solutions["scalar"].stats
+
+
+def test_empty_batch_evaluates_to_empty_vectors(fig1_apps, fig1_platform):
+    """A zero-candidate batch round-trips through evaluate_many."""
+    import numpy as np
+
+    class EmptyBatch:
+        app = np.empty(0, dtype=np.intp)
+        lo = np.empty(0, dtype=np.intp)
+        hi = np.empty(0, dtype=np.intp)
+        proc = np.empty(0, dtype=np.intp)
+        speed = np.empty(0)
+        starts = np.zeros(1, dtype=np.intp)
+
+    ctx = EvaluationContext(fig1_apps, fig1_platform)
+    values = ctx.evaluate_many(EmptyBatch())
+    assert len(values) == 0
+    assert values.period.shape == (0,)

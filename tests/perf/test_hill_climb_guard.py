@@ -1,0 +1,83 @@
+"""Wall-clock regression guard for the batched neighborhood engine.
+
+``benchmarks/BENCH_neighborhood.json`` records, next to the speedup
+table, a ``guard`` block: the batched hill-climb wall-clock on a fixed
+reference instance plus a machine-calibration time (a fixed NumPy +
+Python workload).  This test replays the reference instance and fails
+when the batched engine has regressed to more than 1.5x the recorded
+wall-clock -- after rescaling the recorded baseline by the calibration
+ratio, so a slower CI machine moves the bar instead of tripping it.
+
+Skipped when the baseline JSON has not been recorded.
+"""
+
+import importlib.util
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.heuristics import greedy_interval_period, hill_climb
+from repro.core.types import Criterion
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BASELINE = BENCH_DIR / "BENCH_neighborhood.json"
+
+#: Allowed regression over the (rescaled) recorded batched wall-clock.
+MAX_REGRESSION = 1.5
+
+#: Noise floor: never fail on differences below this many seconds.
+ABSOLUTE_FLOOR = 0.05
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_neighborhood", BENCH_DIR / "bench_neighborhood.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.skipif(
+    not BASELINE.exists(),
+    reason="BENCH_neighborhood.json baseline not recorded",
+)
+def test_hill_climb_has_not_regressed_past_recorded_baseline():
+    payload = json.loads(BASELINE.read_text())
+    guard = payload["guard"]
+    bench = load_bench_module()
+
+    problem = bench.build_instance(guard["seed"], tiny=guard["tiny"])
+    start = greedy_interval_period(problem).mapping
+    # Rescale the recorded baseline to this machine's speed.
+    calibration = bench.calibrate()
+    scale = calibration / guard["calibration_seconds"]
+
+    # Warm the kernel tables, then keep the best of three runs so a
+    # scheduler hiccup cannot fail the guard.
+    best = float("inf")
+    for attempt in range(4):
+        t0 = time.perf_counter()
+        solution = hill_climb(
+            problem,
+            start,
+            Criterion.PERIOD,
+            max_iterations=guard["max_iterations"],
+            engine="batched",
+        )
+        elapsed = time.perf_counter() - t0
+        if attempt > 0:  # attempt 0 is the warm-up
+            best = min(best, elapsed)
+    assert solution.stats["n_steps"] >= 1
+
+    allowed = max(
+        MAX_REGRESSION * guard["batched_seconds"] * scale,
+        ABSOLUTE_FLOOR,
+    )
+    assert best <= allowed, (
+        f"batched hill_climb took {best:.3f}s on the reference instance; "
+        f"recorded baseline {guard['batched_seconds']:.3f}s "
+        f"(calibration scale {scale:.2f}) allows at most {allowed:.3f}s"
+    )

@@ -101,6 +101,26 @@ def mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
 
 
 @st.composite
+def one_to_one_mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
+    """A (apps, platform, valid one-to-one mapping) triple.
+
+    Every interval is a single stage (the one-to-one rule), placed on
+    distinct random processors at random modes.
+    """
+    n_apps = draw(st.integers(min_value=1, max_value=max_apps))
+    apps = tuple(draw(applications(max_stages)) for _ in range(n_apps))
+    partitions = [
+        [(k, k) for k in range(app.n_stages)] for app in apps
+    ]
+    total_intervals = sum(len(p) for p in partitions)
+    n_procs = total_intervals + draw(st.integers(0, 2))
+    platform = Platform.fully_homogeneous(
+        n_procs, speeds=draw(speed_sets()), bandwidth=draw(bandwidths)
+    )
+    return apps, platform, _place(draw, apps, platform, partitions)
+
+
+@st.composite
 def het_mapped_instances(draw, max_apps: int = 2, max_stages: int = 4):
     """Like :func:`mapped_instances` on a fully heterogeneous platform.
 

@@ -147,6 +147,66 @@ class TestSolveBatch:
             solve_batch(_problems(1), objective="stretch")
 
 
+class TestSharedInstanceFastPath:
+    """``solve_batch([problem] * n)`` ships the instance once per worker
+    through the pool initializer instead of once per job."""
+
+    def test_repeat_solve_matches_distinct_jobs(self):
+        problem = small_random_problem(
+            7, platform_class=PlatformClass.FULLY_HETEROGENEOUS
+        )
+        repeated = solve_batch([problem] * 6, objective="period", workers=2)
+        assert repeated.n_ok == 6
+        reference = solve_one(problem, "period").objective
+        for item in repeated.items:
+            assert item.solution.objective == pytest.approx(reference)
+
+    def test_initializer_prebuilds_the_context(self):
+        from repro.service.batch import _WORKER_CONFIG, _init_worker
+
+        problem = small_random_problem(8)
+        _init_worker(
+            {
+                "objective": "period",
+                "method": "registry",
+                "thresholds": None,
+                "strategy": None,
+                "budget": None,
+                "problem": problem,
+            }
+        )
+        try:
+            assert "_eval_context" in problem.__dict__
+            assert _WORKER_CONFIG["problem"] is problem
+        finally:
+            _WORKER_CONFIG.clear()
+
+    def test_shared_jobs_resolve_the_initializer_problem(self):
+        from repro.service.batch import (
+            _WORKER_CONFIG,
+            _init_worker,
+            _solve_indexed,
+        )
+
+        problem = small_random_problem(9)
+        _init_worker(
+            {
+                "objective": "period",
+                "method": "registry",
+                "thresholds": None,
+                "strategy": None,
+                "budget": None,
+                "problem": problem,
+            }
+        )
+        try:
+            item = _solve_indexed((3, None))
+            assert item.index == 3
+            assert item.status == "ok"
+        finally:
+            _WORKER_CONFIG.clear()
+
+
 class TestBatchItem:
     def test_objective_of_unsolved_is_inf(self):
         item = BatchItem(index=0, status="error", wall_time=0.0, error="boom")
