@@ -1,0 +1,136 @@
+"""Solve-service daemon benchmark: jobs/sec and warm-cache hit latency.
+
+Run as a script to (re)record the performance baseline::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [output.json] [--tiny]
+
+It starts the daemon in-process (``ServerThread``), drives it over real
+HTTP with :class:`repro.client.SolveClient` and writes
+``BENCH_server.json`` next to this file with:
+
+* ``cold_jobs_per_sec`` -- throughput of a fleet of *distinct*
+  instances submitted at once and drained (submit + queue + solve +
+  fetch, everything over HTTP);
+* ``warm_jobs_per_sec`` -- throughput of resubmitting the *same* fleet:
+  every job must be answered from the content-addressed cache with zero
+  additional solver evaluations;
+* ``warm_hit_latency_ms`` -- mean per-job latency of a sequential
+  submit→result round trip on warm cache (the interactive case);
+* ``warm_speedup`` -- warm vs cold throughput; the asserted bars are
+  **zero** warm-pass solves and ``warm_speedup >= 2``.
+
+``--tiny`` shrinks the fleet for CI smoke runs (same assertions).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+import time
+from pathlib import Path
+
+from repro.client import SolveClient
+from repro.generators import small_random_problem
+from repro.server import ServerThread
+from repro.strategies import SolveBudget
+
+
+def run(output: Path, *, tiny: bool = False) -> dict:
+    n_jobs = 8 if tiny else 40
+    concurrency = 2 if tiny else 4
+    problems = [small_random_problem(7000 + i) for i in range(n_jobs)]
+    solver_kwargs = dict(
+        strategy="greedy",
+        budget=SolveBudget(max_evaluations=500_000, seed=0),
+    )
+
+    with ServerThread(executor="thread", concurrency=concurrency) as server:
+        client = SolveClient(server.url, timeout=60.0)
+
+        t0 = time.perf_counter()
+        ids = client.submit_many(problems, **solver_kwargs)
+        cold_results = list(client.iter_results(ids, timeout=600))
+        cold_s = time.perf_counter() - t0
+        metrics_cold = client.metrics()
+
+        t0 = time.perf_counter()
+        ids = client.submit_many(problems, **solver_kwargs)
+        warm_results = list(client.iter_results(ids, timeout=600))
+        warm_s = time.perf_counter() - t0
+        metrics_warm = client.metrics()
+
+        # Interactive warm-hit latency: sequential submit→result loops.
+        latencies = []
+        for problem in problems[: min(10, n_jobs)]:
+            t0 = time.perf_counter()
+            result = client.solve(problem, timeout=60, **solver_kwargs)
+            latencies.append(time.perf_counter() - t0)
+            assert result.source == "cache"
+
+    n_ok_cold = sum(1 for r in cold_results if r.ok)
+    n_ok_warm = sum(1 for r in warm_results if r.ok)
+    warm_sources = {r.source for r in warm_results}
+    payload = {
+        "bench": "server",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "tiny": tiny,
+        "n_jobs": n_jobs,
+        "concurrency": concurrency,
+        "cold_run_s": round(cold_s, 4),
+        "warm_run_s": round(warm_s, 4),
+        "cold_jobs_per_sec": round(n_jobs / cold_s, 2),
+        "warm_jobs_per_sec": round(n_jobs / warm_s, 2),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "warm_hit_latency_ms": round(
+            1000 * sum(latencies) / len(latencies), 3
+        ),
+        "cold_ok": n_ok_cold,
+        "warm_ok": n_ok_warm,
+        "warm_sources": sorted(s for s in warm_sources if s),
+        "solved_after_cold": metrics_cold["jobs"]["solved"],
+        "solved_after_warm": metrics_warm["jobs"]["solved"],
+        "evaluations_after_cold": metrics_cold["solver"]["evaluations"],
+        "evaluations_after_warm": metrics_warm["solver"]["evaluations"],
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> int:
+    argv = [a for a in sys.argv[1:]]
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).parent / "BENCH_server.json"
+    )
+    payload = run(output, tiny=tiny)
+    assert payload["cold_ok"] == payload["n_jobs"], "cold pass must solve all"
+    assert payload["warm_ok"] == payload["n_jobs"], "warm pass must serve all"
+    assert payload["solved_after_warm"] == payload["solved_after_cold"], (
+        "warm pass must not re-solve anything"
+    )
+    assert (
+        payload["evaluations_after_warm"] == payload["evaluations_after_cold"]
+    ), "warm pass must add zero solver evaluations"
+    assert payload["warm_sources"] == ["cache"], (
+        f"warm jobs must come from the cache, got {payload['warm_sources']}"
+    )
+    assert payload["warm_speedup"] and payload["warm_speedup"] >= 2, (
+        f"warm speedup {payload['warm_speedup']} below 2x"
+    )
+    print(
+        f"ok: {payload['cold_jobs_per_sec']} cold jobs/s, "
+        f"{payload['warm_jobs_per_sec']} warm jobs/s "
+        f"({payload['warm_speedup']}x), "
+        f"warm hit latency {payload['warm_hit_latency_ms']} ms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

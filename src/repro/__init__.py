@@ -52,7 +52,21 @@ from .core import (
 )
 from .kernel import EvaluationContext
 
-__version__ = "1.0.0"
+
+def _resolve_version() -> str:
+    """The installed distribution's version (single-sourced from
+    ``pyproject.toml`` via package metadata), with a fallback for
+    source-tree runs (``PYTHONPATH=src``) where the distribution is not
+    installed."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-pipelines")
+    except PackageNotFoundError:
+        return "1.0.0+src"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "Application",

@@ -19,11 +19,18 @@ Subcommands:
   (:mod:`repro.experiments`): ``run`` executes a YAML/JSON spec's missing
   cells through the resumable results cache, ``status`` reports cache
   coverage, ``report`` renders aggregate, solver-comparison and
-  telemetry tables.
+  telemetry tables;
+* ``serve`` -- run the solve-service daemon (:mod:`repro.server`): an
+  HTTP API over a priority job queue with content-addressed dedup
+  against the results cache;
+* ``submit`` / ``jobs`` / ``job-result`` -- client verbs
+  (:class:`repro.client.SolveClient`) targeting a running daemon:
+  submit instance files, list jobs, fetch a result.
 
-``solve-batch`` and ``campaign run`` accept ``--strategy`` (a registered
-name or a composite spec like ``portfolio(greedy,annealing)``) plus the
-budget flags ``--time-limit`` / ``--max-evals`` / ``--solver-seed``.
+``solve-batch``, ``campaign run`` and ``submit`` accept ``--strategy``
+(a registered name or a composite spec like
+``portfolio(greedy,annealing)``) plus the budget flags ``--time-limit``
+/ ``--max-evals`` / ``--solver-seed``.
 """
 
 from __future__ import annotations
@@ -560,6 +567,175 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import run_server
+
+    run_server(
+        host=args.host,
+        port=args.port,
+        cache=args.cache_dir,
+        concurrency=args.concurrency,
+        executor=args.executor,
+        max_jobs_retained=args.max_jobs,
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .client import ClientError, JobFailedError, SolveClient
+    from .io import load_problem
+
+    client = SolveClient(args.url)
+    budget = _budget_from_args(args)
+    solver_kwargs = dict(
+        objective=args.objective,
+        strategy=args.strategy,
+        method=None if args.strategy else args.method,
+        budget=budget,
+        max_period=args.max_period,
+        max_latency=args.max_latency,
+        max_energy=args.max_energy,
+    )
+    try:
+        views = [
+            client.submit(
+                load_problem(instance),
+                priority=args.priority,
+                **solver_kwargs,
+            )
+            for instance in args.instances
+        ]
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for instance, view in zip(args.instances, views):
+        print(f"{view['id']}  {view['state']:9s}  {instance}")
+    if not args.wait:
+        return 0
+    exit_code = 0
+    try:
+        for result in client.iter_results(
+            [v["id"] for v in views], timeout=args.wait_timeout
+        ):
+            if result.ok:
+                assert result.solution is not None
+                print(
+                    f"{result.job_id}  ok         "
+                    f"{args.objective}={result.solution.objective:.6g} "
+                    f"via={result.source}"
+                )
+            else:
+                print(
+                    f"{result.job_id}  {result.status:9s}  "
+                    f"{result.error or ''}"
+                )
+                # Infeasible is a correct verdict, not a failure (same
+                # contract as solve-batch and job-result).
+                if result.status != "infeasible":
+                    exit_code = 1
+    except (TimeoutError, JobFailedError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return exit_code
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    from .client import ClientError, SolveClient
+
+    client = SolveClient(args.url)
+    try:
+        if args.metrics:
+            metrics = client.metrics()
+            queue, jobs, solver = (
+                metrics["queue"],
+                metrics["jobs"],
+                metrics["solver"],
+            )
+            print(
+                f"queue: depth={queue['depth']} running={queue['running']} "
+                f"concurrency={queue['concurrency']}"
+            )
+            print(
+                " ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+            )
+            print(
+                f"solver: evaluations={solver['evaluations']} "
+                f"solve_time={solver['solve_time_s']:.3f}s"
+            )
+            return 0
+        jobs = client.jobs(state=args.state, limit=args.limit)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        (
+            j["id"],
+            j["state"],
+            j["status"] or "-",
+            j["source"] or "-",
+            (
+                f"{j['objective']:.6g}"
+                if j["objective"] is not None
+                else "-"
+            ),
+            j["request"]["solver"].get(
+                "strategy", j["request"]["solver"].get("method", "-")
+            ),
+        )
+        for j in jobs
+    ]
+    print(
+        render_table(
+            ["id", "state", "status", "via", "objective", "solver"], rows
+        )
+    )
+    print(f"{len(rows)} job(s)")
+    return 0
+
+
+def _cmd_job_result(args: argparse.Namespace) -> int:
+    from .client import ClientError, SolveClient
+
+    client = SolveClient(args.url)
+    try:
+        result = client.result(args.job_id)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"job     : {result.job_id}")
+    print(f"status  : {result.status} (via {result.source})")
+    if result.solution is not None:
+        solution = result.solution
+        print(f"solver  : {solution.solver}")
+        print(f"optimal : {solution.optimal}")
+        print(f"objective: {solution.objective:.6g}")
+        print(
+            f"period={solution.values.period:.6g} "
+            f"latency={solution.values.latency:.6g} "
+            f"energy={solution.values.energy:.6g}"
+        )
+        if args.output:
+            import json
+
+            from pathlib import Path
+
+            from .io import mapping_to_dict
+
+            Path(args.output).write_text(
+                json.dumps(mapping_to_dict(solution.mapping), indent=2)
+            )
+            print(f"mapping written to {args.output}")
+    elif result.error:
+        print(f"error   : {result.error}")
+    if result.telemetry is not None:
+        t = result.telemetry
+        print(
+            f"telemetry: strategy={t.strategy} evaluations={t.evaluations} "
+            f"budget_exhausted={t.budget_exhausted}"
+        )
+    return 0 if result.status in ("ok", "infeasible") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-pipelines`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -809,6 +985,114 @@ def build_parser() -> argparse.ArgumentParser:
         "N scenarios (0 = off)",
     )
     report.set_defaults(func=_cmd_campaign_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the solve-service daemon (HTTP API + priority job queue)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="results-cache directory for content-addressed dedup "
+        "(default: in-memory only; share a campaign's cache dir to reuse "
+        "its solved cells)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="jobs solved at once (process-pool size)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["process", "thread"],
+        default="process",
+        help="process = real parallelism (default); thread = lightweight, "
+        "for tiny instances and tests",
+    )
+    serve.add_argument(
+        "--max-jobs",
+        type=int,
+        default=4096,
+        help="finished jobs retained for status/result queries",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    def _add_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--url",
+            default="http://127.0.0.1:8787",
+            help="base URL of the running daemon",
+        )
+
+    submit = sub.add_parser(
+        "submit", help="submit instance JSON file(s) to a running daemon"
+    )
+    submit.add_argument(
+        "instances", nargs="+", help="instance JSON file(s) (see `generate`)"
+    )
+    _add_url(submit)
+    submit.add_argument(
+        "--objective", choices=["period", "latency", "energy"], default="period"
+    )
+    submit.add_argument(
+        "--method",
+        choices=["registry", "auto", "exact", "heuristic"],
+        default="registry",
+    )
+    submit.add_argument(
+        "--strategy",
+        default=None,
+        help="solver strategy name or composite spec (overrides --method)",
+    )
+    _add_budget_flags(submit)
+    submit.add_argument("--max-period", type=float, default=None)
+    submit.add_argument("--max-latency", type=float, default=None)
+    submit.add_argument("--max-energy", type=float, default=None)
+    submit.add_argument(
+        "--priority", type=int, default=0, help="larger runs earlier"
+    )
+    submit.add_argument(
+        "--wait", action="store_true", help="block until results are in"
+    )
+    submit.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=300.0,
+        help="overall --wait deadline in seconds",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list jobs (or --metrics) of a running daemon"
+    )
+    _add_url(jobs)
+    jobs.add_argument(
+        "--state",
+        choices=["queued", "running", "done", "cancelled"],
+        default=None,
+    )
+    jobs.add_argument("--limit", type=int, default=None)
+    jobs.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print queue/job/solver counters instead of the job table",
+    )
+    jobs.set_defaults(func=_cmd_jobs)
+
+    job_result = sub.add_parser(
+        "job-result", help="fetch a finished job's result from a daemon"
+    )
+    job_result.add_argument("job_id")
+    _add_url(job_result)
+    job_result.add_argument(
+        "--output", default=None, help="write the mapping JSON here"
+    )
+    job_result.set_defaults(func=_cmd_job_result)
     return parser
 
 

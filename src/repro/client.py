@@ -1,0 +1,392 @@
+"""HTTP client for the solve-service daemon (:mod:`repro.server`).
+
+:class:`SolveClient` is a small, dependency-free (``urllib``) client:
+submit instances, poll job status, wait for results, stream a fleet of
+jobs as they finish.  Transient transport failures retry with
+exponential backoff — and because the daemon deduplicates submissions by
+content (instance + solver configuration), retrying a submit is
+*idempotent*: a duplicate simply coalesces onto the original job's cell.
+
+Quickstart::
+
+    from repro.client import SolveClient
+
+    client = SolveClient("http://127.0.0.1:8787")
+    result = client.solve(problem, objective="period",
+                          strategy="portfolio(greedy,local_search)")
+    print(result.solution.objective, result.source)
+
+    job_ids = client.submit_many(problems, objective="latency")
+    for result in client.iter_results(job_ids):
+        print(result.job_id, result.status)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from .core.exceptions import ReproError
+from .core.problem import ProblemInstance, Solution
+from .io import problem_to_dict, solution_from_dict
+from .strategies import SolveBudget, SolveTelemetry
+
+__all__ = [
+    "ClientError",
+    "JobFailedError",
+    "RemoteResult",
+    "ServerUnavailableError",
+    "SolveClient",
+]
+
+
+class ClientError(ReproError):
+    """Base error of the solve client."""
+
+
+class ServerUnavailableError(ClientError):
+    """The daemon could not be reached (after retries)."""
+
+
+class JobFailedError(ClientError):
+    """A job finished with ``status="error"`` or was cancelled."""
+
+    def __init__(self, message: str, payload: Optional[Dict[str, Any]] = None):
+        super().__init__(message)
+        self.payload = payload or {}
+
+
+@dataclass(frozen=True)
+class RemoteResult:
+    """Decoded outcome of one remote job.
+
+    ``status`` is the solve status (``"ok"`` / ``"infeasible"`` /
+    ``"error"``); ``source`` records how the daemon produced it
+    (``"solved"``, ``"cache"`` or ``"coalesced"``).  ``raw`` keeps the
+    full wire payload for anything not decoded here.
+    """
+
+    job_id: str
+    status: str
+    source: Optional[str]
+    wall_time: float
+    solution: Optional[Solution] = None
+    telemetry: Optional[SolveTelemetry] = None
+    error: Optional[str] = None
+    raw: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job solved successfully."""
+        return self.status == "ok"
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RemoteResult":
+        """Decode a ``GET /v1/jobs/{id}/result`` payload."""
+        telemetry_raw = payload.get("telemetry")
+        solution_raw = payload.get("solution")
+        return cls(
+            job_id=str(payload.get("id", "")),
+            status=str(payload.get("status") or payload.get("state") or ""),
+            source=payload.get("source"),
+            wall_time=float(payload.get("wall_time") or 0.0),
+            solution=(
+                None if solution_raw is None else solution_from_dict(solution_raw)
+            ),
+            telemetry=(
+                None
+                if telemetry_raw is None
+                else SolveTelemetry.from_dict(telemetry_raw)
+            ),
+            error=payload.get("error"),
+            raw=payload,
+        )
+
+
+class SolveClient:
+    """Client for a running solve-service daemon.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the daemon (no trailing slash needed).
+    timeout:
+        Per-request socket timeout in seconds.
+    retries:
+        Transport-level retries per request (connection refused/reset,
+        HTTP 5xx).  Safe for submissions too: the daemon's
+        content-addressed dedup coalesces an accidental duplicate.
+    backoff:
+        Initial retry delay, doubled per attempt up to ``max_backoff``.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.2,
+        max_backoff: float = 2.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        body = None if payload is None else json.dumps(payload).encode()
+        delay = self.backoff
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return json.loads(response.read().decode() or "{}")
+            except urllib.error.HTTPError as exc:
+                detail = self._error_detail(exc)
+                if exc.code >= 500 and attempt < self.retries:
+                    last_exc = exc
+                else:
+                    raise ClientError(
+                        f"{method} {path} failed with HTTP {exc.code}: {detail}"
+                    ) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+                last_exc = exc
+            if attempt < self.retries:
+                time.sleep(delay)
+                delay = min(delay * 2, self.max_backoff)
+        raise ServerUnavailableError(
+            f"{method} {url} unreachable after {self.retries + 1} attempts: "
+            f"{last_exc}"
+        )
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            return json.loads(exc.read().decode()).get("error", str(exc))
+        except Exception:
+            return str(exc)
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """Daemon liveness, version and concurrency."""
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """Queue/job/solver counters (``GET /v1/metrics``)."""
+        return self._request("GET", "/v1/metrics")
+
+    def submit(
+        self,
+        problem: ProblemInstance,
+        *,
+        objective: str = "period",
+        method: Optional[str] = None,
+        strategy: Optional[str] = None,
+        budget: Union[SolveBudget, Dict[str, Any], None] = None,
+        max_period: Optional[float] = None,
+        max_latency: Optional[float] = None,
+        max_energy: Optional[float] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit one job; returns the job view (``"id"``, ``"state"``).
+
+        ``method`` and ``strategy`` are mutually exclusive, exactly as
+        in campaign solver entries; omitting both uses the registry
+        dispatch.
+        """
+        solver: Dict[str, Any] = {"objective": objective}
+        if strategy is not None:
+            solver["strategy"] = strategy
+        elif method is not None:
+            solver["method"] = method
+        if budget is not None:
+            solver["budget"] = (
+                budget.to_dict() if isinstance(budget, SolveBudget) else budget
+            )
+        for key, value in (
+            ("max_period", max_period),
+            ("max_latency", max_latency),
+            ("max_energy", max_energy),
+        ):
+            if value is not None:
+                solver[key] = value
+        return self._request(
+            "POST",
+            "/v1/jobs",
+            {
+                "problem": problem_to_dict(problem),
+                "solver": solver,
+                "priority": priority,
+            },
+        )
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Status view of one job."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(
+        self, *, state: Optional[str] = None, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """List retained jobs, newest first."""
+        query = []
+        if state is not None:
+            query.append(f"state={state}")
+        if limit is not None:
+            query.append(f"limit={limit}")
+        suffix = f"?{'&'.join(query)}" if query else ""
+        return self._request("GET", f"/v1/jobs{suffix}")["jobs"]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; ``True`` when it was still cancellable."""
+        return bool(
+            self._request("DELETE", f"/v1/jobs/{job_id}").get("cancelled")
+        )
+
+    def result(self, job_id: str) -> RemoteResult:
+        """Fetch and decode the result of a *finished* job."""
+        return RemoteResult.from_payload(
+            self._request("GET", f"/v1/jobs/{job_id}/result")
+        )
+
+    # ------------------------------------------------------------------
+    # waiting / convenience
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: Optional[float] = 60.0,
+        poll_interval: float = 0.02,
+        max_poll_interval: float = 0.5,
+    ) -> RemoteResult:
+        """Poll until the job finishes, then return its decoded result.
+
+        Polling backs off from ``poll_interval`` to
+        ``max_poll_interval``.  Raises :class:`JobFailedError` when the
+        job was cancelled, ``TimeoutError`` past ``timeout``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll_interval
+        while True:
+            view = self.job(job_id)
+            if view["state"] in ("done", "cancelled"):
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not finished within {timeout}s "
+                    f"(state={view['state']})"
+                )
+            time.sleep(delay)
+            delay = min(delay * 1.5, max_poll_interval)
+        if view["state"] == "cancelled":
+            raise JobFailedError(f"job {job_id} was cancelled", view)
+        return self.result(job_id)
+
+    def solve(
+        self,
+        problem: ProblemInstance,
+        *,
+        timeout: Optional[float] = 60.0,
+        priority: int = 0,
+        **solver_kwargs: Any,
+    ) -> RemoteResult:
+        """Submit one job and wait for its result.
+
+        Raises :class:`JobFailedError` on an errored job; infeasible
+        outcomes are returned (``result.status == "infeasible"``), like
+        the batch service's item statuses.
+        """
+        view = self.submit(problem, priority=priority, **solver_kwargs)
+        result = self.wait(view["id"], timeout=timeout)
+        if result.status == "error":
+            raise JobFailedError(
+                f"job {result.job_id} failed: {result.error}", result.raw
+            )
+        return result
+
+    def submit_many(
+        self,
+        problems: Sequence[ProblemInstance],
+        *,
+        priority: int = 0,
+        **solver_kwargs: Any,
+    ) -> List[str]:
+        """Submit a fleet of jobs; returns their ids in order."""
+        return [
+            self.submit(p, priority=priority, **solver_kwargs)["id"]
+            for p in problems
+        ]
+
+    def iter_results(
+        self,
+        job_ids: Sequence[str],
+        *,
+        timeout: Optional[float] = 300.0,
+        poll_interval: float = 0.02,
+        max_poll_interval: float = 0.5,
+    ) -> Iterator[RemoteResult]:
+        """Yield each job's result as it finishes (completion order).
+
+        Cancelled jobs yield a ``status="cancelled"`` result rather than
+        raising, so one cancelled job does not abort iteration over a
+        fleet.
+        """
+        pending = list(job_ids)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll_interval
+        while pending:
+            still_pending = []
+            progressed = False
+            for job_id in pending:
+                view = self.job(job_id)
+                if view["state"] == "done":
+                    progressed = True
+                    yield self.result(job_id)
+                elif view["state"] == "cancelled":
+                    progressed = True
+                    yield RemoteResult(
+                        job_id=job_id,
+                        status="cancelled",
+                        source=None,
+                        wall_time=0.0,
+                        raw=view,
+                    )
+                else:
+                    still_pending.append(job_id)
+            pending = still_pending
+            if not pending:
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{len(pending)} job(s) not finished within {timeout}s"
+                )
+            if progressed:
+                delay = poll_interval
+            else:
+                time.sleep(delay)
+                delay = min(delay * 1.5, max_poll_interval)

@@ -14,9 +14,9 @@ on the next run.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
@@ -167,31 +167,56 @@ class ResultsCache:
                 pass
             return None
 
+    #: Per-process monotonic counter making concurrent tmp names unique
+    #: even when one process writes the same key twice back-to-back.
+    _put_counter = itertools.count()
+
     def put(self, key: str, record: Dict[str, Any]) -> None:
-        """Store a record atomically.
+        """Store a record atomically; safe under concurrent writers.
 
         Parameters
         ----------
         key:
             Cell key from :func:`cell_key`.
         record:
-            JSON-serializable result record.  Written to a temp file in
-            the destination directory, then moved into place with
-            ``os.replace`` — readers never observe a partial entry.
+            JSON-serializable result record.  The full payload is
+            rendered first, written to a writer-private temp file in the
+            destination directory (name derived from the key, the
+            writer's PID and a per-process counter, opened with
+            ``O_CREAT | O_EXCL`` so two writers can never share a temp
+            file), then moved into place with ``os.replace`` — readers
+            and racing same-key writers never observe a partial entry;
+            the last ``replace`` wins whole.
         """
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
+        payload = json.dumps(record, sort_keys=True)
+        # A stale tmp from a crashed writer with a recycled PID could
+        # collide on O_EXCL; advancing the counter sidesteps it.
+        for _attempt in range(8):
+            tmp = path.parent / (
+                f".{key[:16]}.{os.getpid()}.{next(self._put_counter)}.tmp"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                fd = os.open(
+                    tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                continue
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return
+        raise OSError(
+            f"could not allocate an exclusive temp file for cache key {key}"
+        )
 
     def keys(self) -> Iterator[str]:
         """Iterate over all stored cell keys."""

@@ -7,7 +7,13 @@ object, so experiments can be archived, shared and replayed:
 * :func:`platform_to_dict` / :func:`platform_from_dict`
 * :func:`mapping_to_dict` / :func:`mapping_from_dict`
 * :func:`problem_to_dict` / :func:`problem_from_dict`
+* :func:`solution_to_dict` / :func:`solution_from_dict`
 * :func:`save_problem` / :func:`load_problem` (JSON files)
+
+Solution payloads carry the mapping, the full criteria values and —
+optionally — the structured :class:`~repro.strategies.SolveTelemetry`
+record of the solve that produced them; they are the result wire format
+of the solve-service daemon (:mod:`repro.server`).
 
 The schema is versioned (``schema`` field); loaders reject unknown
 versions instead of guessing.
@@ -17,14 +23,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from .core.application import Application, Stage
 from .core.energy import EnergyModel
+from .core.evaluation import CriteriaValues
 from .core.exceptions import ReproError
 from .core.mapping import Assignment, Mapping
 from .core.platform import Platform
-from .core.problem import ProblemInstance
+from .core.problem import ProblemInstance, Solution
 from .core.processor import Processor
 from .core.types import CommunicationModel, MappingRule
 
@@ -179,6 +186,92 @@ def problem_from_dict(payload: Dict[str, Any]) -> ProblemInstance:
         rule=MappingRule(payload.get("rule", "interval")),
         model=CommunicationModel(payload.get("model", "overlap")),
         energy_model=EnergyModel(alpha=payload.get("energy_alpha", 2.0)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Solutions
+# ----------------------------------------------------------------------
+def solution_to_dict(
+    solution: Solution, telemetry: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Serialize a solver :class:`~repro.core.problem.Solution`.
+
+    Parameters
+    ----------
+    solution:
+        The solution to serialize (mapping, objective, full criteria,
+        solver name, optimality flag, stats).
+    telemetry:
+        Optional per-solve telemetry to embed — either a
+        :class:`~repro.strategies.SolveTelemetry` (anything with a
+        ``to_dict()``) or an already-JSON-friendly dict.  Kept opaque
+        here so :mod:`repro.io` stays below the strategy layer;
+        :func:`solution_from_dict` hands it back verbatim under the
+        ``"telemetry"`` key for the caller to decode.
+
+    Returns
+    -------
+    dict
+        JSON-friendly payload; the result wire format of the solve
+        service (:mod:`repro.server`).
+    """
+    values = solution.values
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "mapping": mapping_to_dict(solution.mapping),
+        "objective": solution.objective,
+        "values": {
+            "period": values.period,
+            "latency": values.latency,
+            "energy": values.energy,
+            # JSON objects key by string; keys are restored to ints on load.
+            "periods": {str(k): v for k, v in sorted(values.periods.items())},
+            "latencies": {
+                str(k): v for k, v in sorted(values.latencies.items())
+            },
+        },
+        "solver": solution.solver,
+        "optimal": solution.optimal,
+        "stats": dict(solution.stats),
+    }
+    if telemetry is not None:
+        payload["telemetry"] = (
+            telemetry.to_dict() if hasattr(telemetry, "to_dict") else telemetry
+        )
+    return payload
+
+
+def solution_from_dict(payload: Dict[str, Any]) -> Solution:
+    """Deserialize a :class:`~repro.core.problem.Solution` (schema-checked).
+
+    The optional ``"telemetry"`` sub-payload is *not* consumed here (a
+    :class:`~repro.core.problem.Solution` has no telemetry field); decode
+    it with :meth:`repro.strategies.SolveTelemetry.from_dict` if needed.
+    """
+    schema = payload.get("schema", None)
+    if schema != SCHEMA_VERSION:
+        raise SerializationError(
+            f"unsupported schema version {schema!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    values_raw = _require(payload, "values")
+    values = CriteriaValues(
+        periods={int(k): float(v) for k, v in values_raw.get("periods", {}).items()},
+        latencies={
+            int(k): float(v) for k, v in values_raw.get("latencies", {}).items()
+        },
+        period=float(_require(values_raw, "period")),
+        latency=float(_require(values_raw, "latency")),
+        energy=float(_require(values_raw, "energy")),
+    )
+    return Solution(
+        mapping=mapping_from_dict(_require(payload, "mapping")),
+        objective=float(_require(payload, "objective")),
+        values=values,
+        solver=payload.get("solver", ""),
+        optimal=bool(payload.get("optimal", False)),
+        stats=dict(payload.get("stats", {})),
     )
 
 

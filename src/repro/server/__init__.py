@@ -1,0 +1,70 @@
+"""Solve-service daemon: a persistent HTTP front end over the solvers.
+
+One-shot CLI and batch runs re-pay pool startup and re-solve repeated
+instances; this package turns the solve pipeline into a *service*: a
+long-lived asyncio daemon with
+
+* an HTTP API (stdlib only) — ``POST /v1/jobs``, ``GET /v1/jobs/{id}``,
+  ``GET /v1/jobs/{id}/result``, ``GET /v1/metrics``, ``GET /v1/healthz``
+  (:mod:`repro.server.http`);
+* a priority job queue with configurable concurrency executing through
+  :func:`repro.service.solve_batch` (:mod:`repro.server.service`);
+* content-addressed dedup against the campaign results cache
+  (:func:`repro.experiments.cell_key`): identical submissions — queued,
+  running or previously solved — coalesce to one solve and are answered
+  with zero extra evaluations (:mod:`repro.server.jobs`);
+* the :mod:`repro.io`-based wire format (:mod:`repro.server.protocol`).
+
+Quickstart::
+
+    # daemon:  repro-pipelines serve --port 8787 --cache-dir cache/
+    from repro.client import SolveClient
+
+    client = SolveClient("http://127.0.0.1:8787")
+    result = client.solve(problem, objective="period")
+    print(result.solution.objective, result.source)   # "solved" | "cache"
+
+Embedding (tests, benchmarks)::
+
+    from repro.server import ServerThread
+
+    with ServerThread(cache=tmp_dir, concurrency=2) as server:
+        client = SolveClient(server.url)
+        ...
+"""
+
+from .http import ServerThread, SolveServer, run_server, serve
+from .jobs import JobOutcome, JobRecord, JobState, new_job_id
+from .protocol import (
+    ProtocolError,
+    job_to_dict,
+    parse_job_payload,
+    result_to_dict,
+)
+from .service import (
+    MemoryCache,
+    ServiceClosedError,
+    SolveService,
+    UnknownJobError,
+    solve_cell,
+)
+
+__all__ = [
+    "JobOutcome",
+    "JobRecord",
+    "JobState",
+    "MemoryCache",
+    "ProtocolError",
+    "ServerThread",
+    "ServiceClosedError",
+    "SolveServer",
+    "SolveService",
+    "UnknownJobError",
+    "job_to_dict",
+    "new_job_id",
+    "parse_job_payload",
+    "result_to_dict",
+    "run_server",
+    "serve",
+    "solve_cell",
+]

@@ -1,0 +1,429 @@
+"""Stdlib-only asyncio HTTP front end of the solve service.
+
+A deliberately small HTTP/1.1 implementation on ``asyncio.start_server``
+(no web framework — the repo's no-new-runtime-deps rule applies to the
+daemon too): one request per connection, JSON in, JSON out.
+
+Routes
+------
+=======  ============================  =======================================
+Method   Path                          Meaning
+=======  ============================  =======================================
+POST     ``/v1/jobs``                  submit a job (``202``; ``200`` when
+                                       served from cache immediately)
+GET      ``/v1/jobs``                  list retained jobs (``?state=&limit=``)
+GET      ``/v1/jobs/{id}``             job status + telemetry
+GET      ``/v1/jobs/{id}/result``      solution payload of a finished job
+DELETE   ``/v1/jobs/{id}``             cancel a queued job
+GET      ``/v1/metrics``               queue/job/solver counters
+GET      ``/v1/healthz``               liveness + version
+=======  ============================  =======================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .. import __version__
+from .jobs import JobState
+from .protocol import (
+    ProtocolError,
+    job_to_dict,
+    parse_job_payload,
+    result_to_dict,
+)
+from .service import ServiceClosedError, SolveService, UnknownJobError
+
+__all__ = ["ServerThread", "SolveServer", "serve", "run_server"]
+
+#: Largest accepted request body (a problem payload is a few KB; this is
+#: headroom, not a promise).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_STATUS_PHRASES = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Internal: abort the request with a status + JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _response(status: int, payload: Dict[str, Any]) -> bytes:
+    body = json.dumps(payload).encode()
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {phrase}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode() + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request into (method, target, headers, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise _HttpError(400, "empty request")
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise _HttpError(400, "malformed request line") from None
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) > 100:
+            raise _HttpError(400, "too many headers")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise _HttpError(400, "malformed header") from None
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+class SolveServer:
+    """The HTTP server wrapping one :class:`SolveService`."""
+
+    def __init__(
+        self,
+        service: SolveService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8787,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Start the queue workers and bind the listening socket.
+
+        With ``port=0`` the OS assigns an ephemeral port, reflected in
+        :attr:`port` afterwards.
+        """
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self, *, drain_queue: bool = False) -> None:
+        """Stop accepting connections and shut the queue down
+        gracefully (see :meth:`SolveService.shutdown`)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.shutdown(drain_queue=drain_queue)
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, _headers, body = await _read_request(reader)
+                status, payload = self._route(method, target, body)
+            except _HttpError as exc:
+                status, payload = exc.status, {"error": exc.message}
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # never leak a traceback to the socket
+                status, payload = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+            writer.write(_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        split = urlsplit(target)
+        parts = [p for p in split.path.split("/") if p]
+        query = parse_qs(split.query)
+        if parts[:1] != ["v1"]:
+            raise _HttpError(404, f"unknown path {split.path!r}")
+        rest = parts[1:]
+        if rest == ["healthz"]:
+            self._expect(method, "GET")
+            return 200, self._healthz()
+        if rest == ["metrics"]:
+            self._expect(method, "GET")
+            return 200, self.service.metrics()
+        if rest == ["jobs"]:
+            if method == "POST":
+                return self._submit(body)
+            self._expect(method, "GET")
+            return 200, self._list_jobs(query)
+        if len(rest) == 2 and rest[0] == "jobs":
+            job_id = rest[1]
+            if method == "DELETE":
+                return self._cancel(job_id)
+            self._expect(method, "GET")
+            return 200, job_to_dict(self._job(job_id))
+        if len(rest) == 3 and rest[:1] == ["jobs"] and rest[2] == "result":
+            self._expect(method, "GET")
+            return self._result(rest[1])
+        raise _HttpError(404, f"unknown path {split.path!r}")
+
+    @staticmethod
+    def _expect(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"method {method} not allowed here")
+
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_s": self.service.uptime,
+            "concurrency": self.service.concurrency,
+        }
+
+    def _job(self, job_id: str):
+        try:
+            return self.service.job(job_id)
+        except UnknownJobError as exc:
+            raise _HttpError(404, str(exc)) from None
+
+    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        try:
+            problem, solver, priority = parse_job_payload(payload)
+        except ProtocolError as exc:
+            raise _HttpError(400, str(exc)) from None
+        try:
+            job = self.service.submit(problem, solver, priority=priority)
+        except ServiceClosedError as exc:
+            raise _HttpError(503, str(exc)) from None
+        # 200 when the cache answered instantly, 202 while work is pending.
+        return (200 if job.state.finished else 202), job_to_dict(job)
+
+    def _list_jobs(self, query: Dict[str, Any]) -> Dict[str, Any]:
+        state: Optional[JobState] = None
+        if "state" in query:
+            try:
+                state = JobState(query["state"][0])
+            except ValueError:
+                raise _HttpError(
+                    400,
+                    f"unknown state {query['state'][0]!r}; expected one of "
+                    f"{[s.value for s in JobState]}",
+                ) from None
+        limit = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"][0])
+            except ValueError:
+                raise _HttpError(400, "'limit' must be an int") from None
+        jobs = self.service.jobs(state=state, limit=limit)
+        return {"jobs": [job_to_dict(j) for j in jobs], "count": len(jobs)}
+
+    def _cancel(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = self._job(job_id)
+        cancelled = self.service.cancel(job_id)
+        return 200, {
+            "id": job.id,
+            "cancelled": cancelled,
+            "state": job.state.value,
+        }
+
+    def _result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        job = self._job(job_id)
+        payload = result_to_dict(job)
+        if payload is None:
+            raise _HttpError(
+                409, f"job {job_id} is {job.state.value}, not finished"
+            )
+        return 200, payload
+
+
+async def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    service: Optional[SolveService] = None,
+    **service_kwargs: Any,
+) -> SolveServer:
+    """Build, start and return a :class:`SolveServer`.
+
+    Extra keyword arguments construct the :class:`SolveService`
+    (``cache=``, ``concurrency=``, ``executor=``, ``runner=``) when one
+    is not passed in ready-made.
+    """
+    if service is None:
+        service = SolveService(**service_kwargs)
+    server = SolveServer(service, host=host, port=port)
+    await server.start()
+    return server
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    **kwargs: Any,
+) -> None:
+    """Blocking entry point used by ``repro-pipelines serve``: run until
+    SIGINT/SIGTERM (or Ctrl-C), then drain in-flight work and exit.
+
+    Signal handlers are installed explicitly on the loop: a daemon
+    started in the background of a shell script inherits ``SIG_IGN``
+    for SIGINT (and asyncio only overrides the *default* handler), and
+    process supervisors stop services with SIGTERM — both must still
+    shut down gracefully.
+    """
+    import signal
+
+    async def _main() -> None:
+        server = await serve(host=host, port=port, **kwargs)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread / unsupported platform
+        print(
+            f"repro-pipelines solve service v{__version__} "
+            f"listening on {server.url} "
+            f"(concurrency={server.service.concurrency})",
+            flush=True,
+        )
+        try:
+            await stop.wait()
+            print("shutting down (draining in-flight work)", flush=True)
+        finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
+            await server.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - handler fallback path
+        print("shutting down", flush=True)
+
+
+class ServerThread:
+    """Host a :class:`SolveServer` on a background thread.
+
+    The thread runs its own event loop; :meth:`start` blocks until the
+    socket is bound (so :attr:`url` is valid), :meth:`stop` drains
+    in-flight work and joins the thread.  Usable as a context manager —
+    this is how the test suite and :mod:`benchmarks.bench_server` embed
+    a live daemon in-process.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **serve_kwargs: Any,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._serve_kwargs = serve_kwargs
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[SolveServer] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server."""
+        assert self.server is not None, "server not started"
+        return self.server.url
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        """Launch the thread and wait for the socket to be bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="solve-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server thread did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown (draining in-flight work) and join."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.server = await serve(
+                host=self._host, port=self._port, **self._serve_kwargs
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.close()

@@ -1,0 +1,547 @@
+"""The asynchronous solve queue behind the daemon's HTTP API.
+
+Design notes
+------------
+* **One cell, many jobs.**  Submissions are content-addressed with the
+  campaign cache key (:func:`repro.experiments.cell_key`), so identical
+  (instance, solver) submissions — whether queued, running or already
+  solved — collapse onto one *cell*.  The solver runs once per cell;
+  every attached job is resolved from that single outcome, and a
+  submission whose key is already in the results cache completes
+  immediately without touching the queue.
+* **Priority queue, FIFO ties.**  Cells wait in a binary heap ordered
+  by ``(-priority, submission sequence)``: larger ``priority`` runs
+  first, equal priorities run in submission order.  A coalescing
+  submission with a higher priority bumps its cell (lazy re-push; stale
+  heap entries are skipped on pop).
+* **Execution reuses the batch service.**  Each cell is handed to an
+  executor (a process pool by default — solving is CPU-bound Python)
+  that runs :func:`repro.service.solve_batch` on the single instance,
+  so strategies, budgets and telemetry behave exactly as in batch and
+  campaign runs.  The cache record written afterwards is
+  campaign-compatible: a later ``repro-pipelines campaign run`` over
+  the same cells reuses daemon-solved results and vice versa.
+* **Graceful shutdown.**  :meth:`SolveService.shutdown` stops intake,
+  cancels still-queued cells (unless asked to drain them) and waits for
+  in-flight solves to finish and resolve their jobs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..core.exceptions import ReproError
+from ..core.problem import ProblemInstance
+from ..experiments.cache import ResultsCache, cell_key
+from ..experiments.runner import RECORD_SCHEMA
+from ..experiments.spec import SolverSpec
+from ..io import solution_to_dict
+from ..service import solve_batch
+from .jobs import JobOutcome, JobRecord, JobState, new_job_id
+
+__all__ = [
+    "MemoryCache",
+    "ServiceClosedError",
+    "SolveService",
+    "UnknownJobError",
+    "solve_cell",
+]
+
+
+class ServiceClosedError(ReproError):
+    """Raised when submitting to a service that is shutting down."""
+
+
+class UnknownJobError(ReproError):
+    """Raised when a job id is not known to the service."""
+
+
+def solve_cell(problem: ProblemInstance, solver: SolverSpec):
+    """Solve one cell through the batch service (executor-side).
+
+    Module-level (hence picklable) so it crosses a
+    ``ProcessPoolExecutor`` boundary; returns the single
+    :class:`repro.service.BatchItem`, which carries status, solution,
+    wall-clock and telemetry.
+    """
+    batch = solve_batch(
+        [problem],
+        objective=solver.objective,
+        thresholds=solver.thresholds(),
+        method=solver.method,
+        strategy=solver.strategy,
+        budget=solver.budget,
+        workers=None,
+    )
+    return batch.items[0]
+
+
+class MemoryCache:
+    """Dict-backed stand-in for :class:`~repro.experiments.ResultsCache`.
+
+    Used when the daemon runs without a cache directory: dedup against
+    previously solved cells still works for the lifetime of the
+    process, it just is not persistent or shared.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[str, Any]] = {}
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._entries.get(key)
+
+    def put(self, key: str, record: Dict[str, Any]) -> None:
+        self._entries[key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class _Cell:
+    """One unit of solving work, shared by all coalesced jobs."""
+
+    key: str
+    problem: ProblemInstance
+    solver: SolverSpec
+    priority: int
+    seq: int
+    state: JobState = JobState.QUEUED
+    jobs: List[JobRecord] = field(default_factory=list)
+    #: Bumped on every (re-)push; heap entries carrying an older id are
+    #: stale and skipped on pop (lazy deletion).
+    entry_id: int = 0
+
+
+def _make_executor(executor: Union[str, Executor], concurrency: int) -> Tuple[Executor, bool]:
+    """Resolve the ``executor`` parameter to an instance + owned flag."""
+    if isinstance(executor, str):
+        if executor == "process":
+            return ProcessPoolExecutor(max_workers=concurrency), True
+        if executor == "thread":
+            return ThreadPoolExecutor(max_workers=concurrency), True
+        raise ValueError(
+            f"unknown executor {executor!r}; expected 'process', 'thread' "
+            "or an Executor instance"
+        )
+    return executor, False
+
+
+class SolveService:
+    """Priority job queue with cache-backed dedup and coalescing.
+
+    Parameters
+    ----------
+    cache:
+        A :class:`~repro.experiments.ResultsCache`, a directory path for
+        one, or ``None`` for an in-process :class:`MemoryCache`.
+        Submissions whose cell key is present complete instantly.
+    concurrency:
+        Number of cells solved at once (also the default executor
+        size).
+    executor:
+        ``"process"`` (default; real parallelism for CPU-bound solves),
+        ``"thread"`` (cheap, used in tests), or a ready-made
+        ``concurrent.futures.Executor``.
+    runner:
+        The callable executed per cell, ``(problem, solver) ->
+        BatchItem``-like.  Defaults to :func:`solve_cell`; tests inject
+        counting or blocking stubs here.
+    max_jobs_retained:
+        Finished jobs kept for status/result queries; the oldest are
+        evicted beyond this.
+
+    All public methods must be called from the event-loop thread (the
+    HTTP handlers do); no internal locking is performed.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Union[ResultsCache, MemoryCache, str, Path, None] = None,
+        concurrency: int = 2,
+        executor: Union[str, Executor] = "process",
+        runner: Optional[Callable[[ProblemInstance, SolverSpec], Any]] = None,
+        max_jobs_retained: int = 4096,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if isinstance(cache, (str, Path)):
+            cache = ResultsCache(cache)
+        self.cache = cache if cache is not None else MemoryCache()
+        self.concurrency = concurrency
+        self._executor, self._owns_executor = _make_executor(
+            executor, concurrency
+        )
+        self._runner = runner if runner is not None else solve_cell
+        self._max_jobs_retained = max_jobs_retained
+
+        self._jobs: Dict[str, JobRecord] = {}
+        self._job_order: List[str] = []
+        self._inflight: Dict[str, _Cell] = {}
+        self._heap: List[Tuple[int, int, int, _Cell]] = []
+        self._seq = 0
+        self._cond: Optional[asyncio.Condition] = None
+        self._workers: List[asyncio.Task] = []
+        self._running_cells = 0
+        self._closing = False
+        self._started_at = time.time()
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "solved": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "cancelled": 0,
+            "errors": 0,
+            "infeasible": 0,
+        }
+        self._evaluations_total = 0
+        self._solve_time_total = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._workers:
+            return
+        self._cond = asyncio.Condition()
+        self._closing = False
+        self._started_at = time.time()
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"solve-worker-{i}")
+            for i in range(self.concurrency)
+        ]
+
+    async def shutdown(self, *, drain_queue: bool = False) -> None:
+        """Stop the service gracefully.
+
+        In-flight cells always run to completion and resolve their jobs
+        (*draining*).  Still-queued cells are cancelled unless
+        ``drain_queue=True``, in which case the whole queue is worked
+        off first.  New submissions are rejected from the first call on.
+        """
+        self._closing = True
+        if self._cond is None:
+            self._shutdown_executor()
+            return
+        async with self._cond:
+            if not drain_queue:
+                for cell in list(self._inflight.values()):
+                    if cell.state is JobState.QUEUED:
+                        self._cancel_cell(cell)
+                self._heap.clear()
+            self._cond.notify_all()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        self._shutdown_executor()
+
+    def _shutdown_executor(self) -> None:
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    @property
+    def uptime(self) -> float:
+        """Seconds since :meth:`start` (or construction)."""
+        return time.time() - self._started_at
+
+    # ------------------------------------------------------------------
+    # submission / queries
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        problem: ProblemInstance,
+        solver: SolverSpec,
+        *,
+        priority: int = 0,
+    ) -> JobRecord:
+        """Submit one (instance, solver) job.
+
+        Returns the job record, which may already be ``DONE`` (cache
+        hit).  Identical submissions of an in-flight cell coalesce onto
+        it — the solver runs once for all of them.
+        """
+        if self._closing:
+            raise ServiceClosedError("service is shutting down")
+        key = cell_key(problem, solver.to_dict())
+        job = JobRecord(
+            id=new_job_id(),
+            key=key,
+            priority=priority,
+            problem=problem,
+            solver=solver,
+        )
+        self._remember(job)
+        self._counters["submitted"] += 1
+
+        cell = self._inflight.get(key)
+        if cell is not None and not cell.state.finished:
+            cell.jobs.append(job)
+            self._counters["coalesced"] += 1
+            if priority > cell.priority and cell.state is JobState.QUEUED:
+                cell.priority = priority
+                self._push_cell(cell)
+            if cell.state is JobState.RUNNING:
+                job.mark_running(cell.jobs[0].started_at)
+            return job
+
+        payload = self.cache.get(key)
+        if payload is not None and payload.get("status") in ("ok", "infeasible"):
+            outcome = JobOutcome.from_cache_payload(payload)
+            job.resolve(outcome, source="cache")
+            self._counters["cache_hits"] += 1
+            self._count_completion(outcome)
+            return job
+
+        cell = _Cell(
+            key=key,
+            problem=problem,
+            solver=solver,
+            priority=priority,
+            seq=self._next_seq(),
+            jobs=[job],
+        )
+        self._inflight[key] = cell
+        self._push_cell(cell)
+        return job
+
+    def job(self, job_id: str) -> JobRecord:
+        """Look up a job record by id."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"unknown job id {job_id!r}") from None
+
+    def jobs(
+        self, *, state: Optional[JobState] = None, limit: Optional[int] = None
+    ) -> List[JobRecord]:
+        """All retained jobs, newest first, optionally filtered."""
+        out: List[JobRecord] = []
+        for job_id in reversed(self._job_order):
+            if limit is not None and len(out) >= limit:
+                break
+            job = self._jobs[job_id]
+            if state is not None and job.state is not state:
+                continue
+            out.append(job)
+        return out
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job.
+
+        Returns ``True`` when the job was still queued and is now
+        cancelled; ``False`` for running or finished jobs (in-flight
+        work is never aborted mid-solve).  When the last job of a
+        queued cell is cancelled the cell itself leaves the queue.
+        """
+        job = self.job(job_id)
+        if job.state is not JobState.QUEUED:
+            return False
+        cell = self._inflight.get(job.key)
+        job.cancel()
+        self._counters["cancelled"] += 1
+        if cell is not None and job in cell.jobs:
+            cell.jobs.remove(job)
+            if not cell.jobs and cell.state is JobState.QUEUED:
+                cell.state = JobState.CANCELLED
+                del self._inflight[cell.key]
+        return True
+
+    async def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> JobRecord:
+        """Wait until a job reaches a terminal state (poll-free for the
+        caller; the service itself polls its own loop cheaply)."""
+        job = self.job(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not job.state.finished:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise asyncio.TimeoutError(
+                    f"job {job_id} not finished within {timeout}s"
+                )
+            await asyncio.sleep(0.005)
+        return job
+
+    def metrics(self) -> Dict[str, Any]:
+        """Counters and gauges for ``GET /v1/metrics``."""
+        return {
+            "version": __version__,
+            "uptime_s": self.uptime,
+            "queue": {
+                "depth": sum(
+                    1
+                    for c in self._inflight.values()
+                    if c.state is JobState.QUEUED
+                ),
+                "running": self._running_cells,
+                "concurrency": self.concurrency,
+            },
+            "jobs": dict(self._counters),
+            "solver": {
+                "evaluations": self._evaluations_total,
+                "solve_time_s": self._solve_time_total,
+            },
+            "cache": {"entries": len(self.cache)}
+            if hasattr(self.cache, "__len__")
+            else {},
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _remember(self, job: JobRecord) -> None:
+        self._jobs[job.id] = job
+        self._job_order.append(job.id)
+        while len(self._job_order) > self._max_jobs_retained:
+            oldest = self._job_order[0]
+            if not self._jobs[oldest].state.finished:
+                break  # never evict live jobs
+            self._job_order.pop(0)
+            del self._jobs[oldest]
+
+    def _push_cell(self, cell: _Cell) -> None:
+        cell.entry_id += 1
+        heapq.heappush(
+            self._heap, (-cell.priority, cell.seq, cell.entry_id, cell)
+        )
+        if self._cond is not None:
+            cond = self._cond
+
+            async def _notify() -> None:
+                async with cond:
+                    cond.notify()
+
+            try:
+                asyncio.get_running_loop()
+            except RuntimeError:
+                return  # no loop yet; workers will see the heap on start
+            asyncio.ensure_future(_notify())
+
+    def _cancel_cell(self, cell: _Cell) -> None:
+        cell.state = JobState.CANCELLED
+        for job in cell.jobs:
+            if not job.state.finished:
+                job.cancel()
+                self._counters["cancelled"] += 1
+        self._inflight.pop(cell.key, None)
+
+    async def _next_cell(self) -> Optional[_Cell]:
+        assert self._cond is not None
+        async with self._cond:
+            while True:
+                while self._heap:
+                    _, _, entry_id, cell = heapq.heappop(self._heap)
+                    if (
+                        cell.state is JobState.QUEUED
+                        and entry_id == cell.entry_id
+                    ):
+                        cell.state = JobState.RUNNING
+                        self._running_cells += 1
+                        return cell
+                if self._closing:
+                    return None
+                await self._cond.wait()
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            cell = await self._next_cell()
+            if cell is None:
+                return
+            now = time.time()
+            for job in cell.jobs:
+                job.mark_running(now)
+            t0 = time.perf_counter()
+            try:
+                item = await loop.run_in_executor(
+                    self._executor, self._runner, cell.problem, cell.solver
+                )
+                outcome = JobOutcome.from_batch_item(item)
+            except Exception as exc:  # contained: one bad cell, one error
+                outcome = JobOutcome(
+                    status="error",
+                    wall_time=time.perf_counter() - t0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            self._finish_cell(cell, outcome)
+
+    def _finish_cell(self, cell: _Cell, outcome: JobOutcome) -> None:
+        cell.state = JobState.DONE
+        self._running_cells -= 1
+        self._inflight.pop(cell.key, None)
+        if outcome.status in ("ok", "infeasible"):
+            # Deterministic outcomes persist; transient errors do not,
+            # so a resubmission after a crash re-solves the cell.
+            self.cache.put(cell.key, self._cache_record(cell, outcome))
+        self._counters["solved"] += 1
+        self._solve_time_total += outcome.wall_time
+        if outcome.telemetry is not None:
+            self._evaluations_total += outcome.telemetry.evaluations
+        for i, job in enumerate(cell.jobs):
+            if job.state.finished:
+                continue
+            job.resolve(outcome, source="solved" if i == 0 else "coalesced")
+            self._count_completion(outcome)
+
+    def _count_completion(self, outcome: JobOutcome) -> None:
+        self._counters["completed"] += 1
+        if outcome.status == "error":
+            self._counters["errors"] += 1
+        elif outcome.status == "infeasible":
+            self._counters["infeasible"] += 1
+
+    def _cache_record(
+        self, cell: _Cell, outcome: JobOutcome
+    ) -> Dict[str, Any]:
+        """A campaign-compatible cache record, plus the full solution
+        payload the daemon serves back (per-application criteria
+        included)."""
+        from ..io import mapping_to_dict
+
+        record: Dict[str, Any] = {
+            "schema": RECORD_SCHEMA,
+            "status": outcome.status,
+            "wall_time": outcome.wall_time,
+            "objective": None,
+            "values": None,
+            "algorithm": None,
+            "optimal": None,
+            "error": outcome.error,
+            "solver_spec": cell.solver.to_dict(),
+            "telemetry": (
+                None
+                if outcome.telemetry is None
+                else outcome.telemetry.to_dict()
+            ),
+        }
+        if outcome.solution is not None:
+            record.update(
+                objective=outcome.solution.objective,
+                values={
+                    "period": outcome.solution.values.period,
+                    "latency": outcome.solution.values.latency,
+                    "energy": outcome.solution.values.energy,
+                },
+                algorithm=outcome.solution.solver,
+                optimal=outcome.solution.optimal,
+                mapping=mapping_to_dict(outcome.solution.mapping),
+                solution=solution_to_dict(
+                    outcome.solution, telemetry=outcome.telemetry
+                ),
+            )
+        return record

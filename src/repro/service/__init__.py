@@ -14,6 +14,11 @@ fast, not one at a time.  This package provides that serving layer:
   records with timing, status and telemetry;
 * the ``repro-pipelines solve-batch`` CLI subcommand built on top.
 
+For a *persistent* front end — an HTTP daemon whose priority job queue
+executes each job through this package and deduplicates identical
+submissions against the campaign results cache — see
+:mod:`repro.server` and its client :mod:`repro.client`.
+
 Quickstart::
 
     from repro.generators import small_random_problem

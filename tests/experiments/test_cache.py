@@ -101,3 +101,68 @@ class TestResultsCache:
         cache = ResultsCache(tmp_path / "never-created")
         assert list(cache.keys()) == []
         assert len(cache) == 0
+
+
+def _hammer_put(args):
+    """Concurrent-writer worker: repeatedly write distinct records under
+    one shared key (module-level so it crosses the process pool)."""
+    root, key, writer, n = args
+    cache = ResultsCache(root)
+    for i in range(n):
+        cache.put(key, {"writer": writer, "i": i, "pad": "x" * 512})
+    return writer
+
+
+class TestConcurrentWriters:
+    KEY = "ab" + "5" * 62
+
+    def test_same_key_puts_from_many_processes_never_corrupt(self, tmp_path):
+        """Regression: racing same-key writers must never leave a
+        corrupt/partial entry — every read during and after the storm
+        parses and equals one of the written records."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        cache = ResultsCache(tmp_path)
+        writers = 4
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            futures = [
+                pool.submit(_hammer_put, (str(tmp_path), self.KEY, w, 25))
+                for w in range(writers)
+            ]
+            # Read continuously until every writer has finished, so the
+            # probes genuinely overlap the write storm.
+            while not all(f.done() for f in futures):
+                record = cache.get(self.KEY)
+                if record is not None:
+                    assert set(record) == {"writer", "i", "pad"}
+            assert sorted(f.result() for f in futures) == list(range(writers))
+        final = cache.get(self.KEY)
+        assert final is not None and final["writer"] in range(writers)
+        # The O_EXCL per-writer temp names never collide into leftovers.
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_same_key_puts_from_many_threads(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultsCache(tmp_path)
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(
+                pool.map(
+                    lambda w: _hammer_put((str(tmp_path), self.KEY, w, 25)),
+                    range(8),
+                )
+            )
+        assert cache.get(self.KEY) is not None
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_interrupted_write_leaves_no_entry(self, tmp_path):
+        class Unserializable:
+            pass
+
+        import pytest as _pytest
+
+        cache = ResultsCache(tmp_path)
+        with _pytest.raises(TypeError):
+            cache.put(self.KEY, {"bad": Unserializable()})
+        assert cache.get(self.KEY) is None
+        assert list(tmp_path.rglob("*.tmp")) == []

@@ -1,0 +1,116 @@
+"""End-to-end acceptance of the solve-service daemon.
+
+The scenario from the issue: start the daemon, submit 20 distinct
+instances plus 1 duplicate over HTTP; every job returns ``status="ok"``
+with telemetry, and the duplicate is served from cache/coalescing with
+*zero additional solver evaluations*.
+"""
+
+import pytest
+
+from repro.client import SolveClient
+from repro.experiments import ResultsCache, cell_key
+from repro.generators import small_random_problem
+from repro.server import ServerThread
+from repro.strategies import SolveBudget
+
+
+N_DISTINCT = 20
+
+
+@pytest.fixture(scope="module")
+def stack(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("daemon-cache")
+    with ServerThread(
+        executor="thread", concurrency=4, cache=str(cache_dir)
+    ) as server:
+        yield server, SolveClient(server.url, timeout=30.0), cache_dir
+
+
+class TestTwentyPlusOneDuplicate:
+    def test_twenty_distinct_plus_duplicate(self, stack):
+        server, client, cache_dir = stack
+        problems = [small_random_problem(1000 + i) for i in range(N_DISTINCT)]
+        # A metered strategy so "zero additional evaluations" is a real
+        # assertion, not vacuously true.
+        solver_kwargs = dict(
+            strategy="greedy",
+            budget=SolveBudget(max_evaluations=200_000, seed=0),
+        )
+
+        ids = client.submit_many(problems, **solver_kwargs)
+        # The duplicate goes in while the fleet may still be in flight:
+        # it must coalesce onto the live cell or hit the cache — never
+        # trigger a 21st solve.
+        dup_view = client.submit(problems[0], **solver_kwargs)
+
+        results = {r.job_id: r for r in client.iter_results(ids, timeout=300)}
+        dup_result = client.wait(dup_view["id"], timeout=300)
+
+        assert len(results) == N_DISTINCT
+        for result in results.values():
+            assert result.status == "ok"
+            assert result.telemetry is not None
+            assert result.telemetry.evaluations > 0
+            assert result.solution.objective > 0
+
+        assert dup_result.status == "ok"
+        assert dup_result.source in ("cache", "coalesced")
+        assert dup_result.telemetry is not None
+        assert (
+            dup_result.solution.objective
+            == results[ids[0]].solution.objective
+        )
+
+        metrics = client.metrics()
+        # 21 submissions, exactly 20 solves: the duplicate added zero.
+        assert metrics["jobs"]["submitted"] == N_DISTINCT + 1
+        assert metrics["jobs"]["solved"] == N_DISTINCT
+        assert metrics["jobs"]["completed"] == N_DISTINCT + 1
+        assert (
+            metrics["jobs"]["cache_hits"] + metrics["jobs"]["coalesced"] == 1
+        )
+        # Zero additional solver evaluations for the duplicate: the
+        # total equals the sum over the 20 distinct solves.
+        assert metrics["solver"]["evaluations"] == sum(
+            r.telemetry.evaluations for r in results.values()
+        )
+
+    def test_cache_is_shared_with_campaign_tooling(self, stack):
+        """The daemon's on-disk records live in the same
+        content-addressed cache campaigns use: keys match
+        :func:`repro.experiments.cell_key` and entries parse."""
+        server, client, cache_dir = stack
+        problem = small_random_problem(1000)
+        solver_payload = {
+            "name": "request",
+            "objective": "period",
+            "strategy": "greedy",
+            "budget": {"max_evaluations": 200_000, "seed": 0},
+        }
+        key = cell_key(problem, solver_payload)
+        record = ResultsCache(cache_dir).get(key)
+        assert record is not None
+        assert record["status"] == "ok"
+        assert record["telemetry"]["strategy"] == "greedy"
+        assert record["mapping"]["assignments"]
+
+    def test_daemon_restart_serves_from_persistent_cache(self, stack):
+        """A fresh daemon on the same cache directory answers previously
+        solved cells without re-solving."""
+        _server, _client, cache_dir = stack
+        with ServerThread(
+            executor="thread", concurrency=2, cache=str(cache_dir)
+        ) as second:
+            client = SolveClient(second.url, timeout=30.0)
+            result = client.solve(
+                small_random_problem(1000),
+                strategy="greedy",
+                budget=SolveBudget(max_evaluations=200_000, seed=0),
+                timeout=60,
+            )
+            assert result.status == "ok"
+            assert result.source == "cache"
+            metrics = client.metrics()
+            assert metrics["jobs"]["solved"] == 0
+            assert metrics["jobs"]["cache_hits"] == 1

@@ -1,0 +1,132 @@
+"""The Python client (:mod:`repro.client`) against a live daemon."""
+
+import pytest
+
+from repro.client import (
+    ClientError,
+    JobFailedError,
+    RemoteResult,
+    ServerUnavailableError,
+    SolveClient,
+)
+from repro.core.problem import Solution
+from repro.generators import small_random_problem
+from repro.server import ServerThread
+from repro.strategies import SolveBudget, SolveTelemetry
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(executor="thread", concurrency=2) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    return SolveClient(server.url, timeout=10.0)
+
+
+class TestEndpoints:
+    def test_healthz_and_metrics(self, client):
+        assert client.healthz()["status"] == "ok"
+        assert "jobs" in client.metrics()
+
+    def test_solve_round_trip_decodes_solution(self, client):
+        result = client.solve(small_random_problem(200), timeout=60)
+        assert result.ok
+        assert isinstance(result.solution, Solution)
+        assert result.solution.objective > 0
+        # Per-application criteria survive the wire format.
+        assert result.solution.values.periods
+        assert isinstance(result.telemetry, SolveTelemetry)
+        assert result.source in ("solved", "cache", "coalesced")
+
+    def test_resolve_is_served_from_cache(self, client):
+        problem = small_random_problem(201)
+        first = client.solve(problem, timeout=60)
+        second = client.solve(problem, timeout=60)
+        assert second.source == "cache"
+        assert second.solution.objective == first.solution.objective
+
+    def test_submit_with_strategy_and_budget(self, client):
+        result = client.solve(
+            small_random_problem(202),
+            strategy="greedy",
+            budget=SolveBudget(max_evaluations=50000, seed=1),
+            timeout=60,
+        )
+        assert result.ok
+        assert result.telemetry.strategy == "greedy"
+        assert result.telemetry.evaluations > 0
+
+    def test_submit_many_iter_results(self, client):
+        problems = [small_random_problem(210 + i) for i in range(4)]
+        ids = client.submit_many(problems, objective="latency")
+        assert len(ids) == len(set(ids)) == 4
+        seen = {r.job_id: r for r in client.iter_results(ids, timeout=120)}
+        assert set(seen) == set(ids)
+        assert all(r.ok for r in seen.values())
+
+    def test_jobs_listing(self, client):
+        client.solve(small_random_problem(220), timeout=60)
+        jobs = client.jobs(state="done", limit=3)
+        assert jobs and all(j["state"] == "done" for j in jobs)
+
+    def test_server_side_validation_raises_client_error(self, client):
+        with pytest.raises(ClientError, match="objective"):
+            client.submit(small_random_problem(221), objective="bogus")
+
+    def test_wait_timeout(self, client, server):
+        view = client.submit(small_random_problem(222))
+        try:
+            # A zero deadline can only be met if the job raced to
+            # completion before the first poll.
+            result = client.wait(view["id"], timeout=0.0)
+        except TimeoutError as exc:
+            assert "not finished" in str(exc)
+            result = client.wait(view["id"], timeout=60)
+        assert result.ok
+
+    def test_cancel_unknown_job(self, client):
+        with pytest.raises(ClientError):
+            client.cancel("jxxx")
+
+
+class TestRetries:
+    def test_unreachable_server_raises_after_retries(self):
+        client = SolveClient(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            timeout=0.2,
+            retries=1,
+            backoff=0.01,
+        )
+        with pytest.raises(ServerUnavailableError, match="2 attempts"):
+            client.healthz()
+
+    def test_http_errors_are_not_retried(self, client):
+        # 4xx surfaces immediately with the server's message.
+        with pytest.raises(ClientError, match="unknown job"):
+            client.job("jxxx")
+
+
+class TestRemoteResultDecoding:
+    def test_minimal_payload(self):
+        result = RemoteResult.from_payload(
+            {"id": "j1", "status": "infeasible", "wall_time": 0.5}
+        )
+        assert result.job_id == "j1"
+        assert not result.ok
+        assert result.solution is None
+        assert result.telemetry is None
+
+    def test_cancelled_wait_raises_job_failed(self, client, server):
+        # Saturate the queue so a submission is still cancellable.
+        ids = client.submit_many(
+            [small_random_problem(230 + i) for i in range(6)]
+        )
+        victim = ids[-1]
+        if client.cancel(victim):
+            with pytest.raises(JobFailedError, match="cancelled"):
+                client.wait(victim, timeout=60)
+        for result in client.iter_results(ids, timeout=120):
+            assert result.status in ("ok", "infeasible", "cancelled")

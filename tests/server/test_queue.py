@@ -1,0 +1,423 @@
+"""Queue semantics of :class:`repro.server.SolveService`.
+
+Everything here runs with a ``"thread"`` executor and (mostly) stub
+runners, so the tests exercise ordering, coalescing, cancellation and
+shutdown — not the solvers themselves.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.experiments.spec import SolverSpec
+from repro.generators import small_random_problem
+from repro.server import (
+    JobState,
+    ServiceClosedError,
+    SolveService,
+    UnknownJobError,
+    solve_cell,
+)
+SPEC = SolverSpec(name="t")
+
+
+def problem(seed=0):
+    return small_random_problem(seed)
+
+
+# One real solved item, reused by every stub runner (solving is not
+# under test here).
+_REAL_ITEM = solve_cell(problem(0), SPEC)
+
+
+class CountingRunner:
+    """Picklable-free stub runner: records call order, optionally blocks."""
+
+    def __init__(self, gate: threading.Event = None):
+        self.calls = []
+        self.gate = gate
+        self.started = threading.Event()
+
+    def __call__(self, prob, solver):
+        self.calls.append((prob, solver))
+        self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(10), "runner gate never opened"
+        return _REAL_ITEM
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _drain(service):
+    await service.shutdown(drain_queue=True)
+
+
+class TestPriorityOrdering:
+    def test_higher_priority_runs_first_ties_fifo(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            # Submitted before start so the initial order is unambiguous.
+            jobs = [
+                service.submit(problem(seed), SPEC, priority=prio)
+                for seed, prio in [(1, 0), (2, 5), (3, 1), (4, 5)]
+            ]
+            await service.start()
+            await _drain(service)
+            assert all(j.state is JobState.DONE for j in jobs)
+            return [p for p, _ in runner.calls]
+
+        executed = run(scenario())
+        # priority 5 first (seeds 2 then 4, FIFO tie), then 1, then 0.
+        assert executed == [problem(2), problem(4), problem(3), problem(1)]
+
+    def test_coalesced_higher_priority_bumps_the_cell(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            low = service.submit(problem(1), SPEC, priority=0)
+            other = service.submit(problem(2), SPEC, priority=1)
+            bump = service.submit(problem(1), SPEC, priority=10)
+            await service.start()
+            await _drain(service)
+            assert low.state is JobState.DONE
+            assert bump.state is JobState.DONE
+            assert other.state is JobState.DONE
+            return [p for p, _ in runner.calls]
+
+        executed = run(scenario())
+        # The duplicate's priority 10 pulls seed-1 ahead of seed-2, and
+        # the cell still solves only once.
+        assert executed == [problem(1), problem(2)]
+
+
+class TestCoalescing:
+    def test_duplicate_submission_solves_once(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            first = service.submit(problem(7), SPEC)
+            dup = service.submit(problem(7), SPEC)
+            assert dup.key == first.key
+            await service.start()
+            await _drain(service)
+            return service, runner, first, dup
+
+        service, runner, first, dup = run(scenario())
+        assert len(runner.calls) == 1, "identical cells must solve once"
+        assert first.state is JobState.DONE and dup.state is JobState.DONE
+        assert first.source == "solved"
+        assert dup.source == "coalesced"
+        # Both jobs share the exact same outcome object.
+        assert dup.outcome is first.outcome
+        assert dup.outcome.solution.objective == pytest.approx(
+            first.outcome.solution.objective
+        )
+        m = service.metrics()
+        assert m["jobs"]["solved"] == 1
+        assert m["jobs"]["coalesced"] == 1
+        assert m["jobs"]["completed"] == 2
+
+    def test_coalescing_onto_a_running_cell(self):
+        async def scenario():
+            gate = threading.Event()
+            runner = CountingRunner(gate)
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            await service.start()
+            first = service.submit(problem(7), SPEC)
+            while first.state is not JobState.RUNNING:
+                await asyncio.sleep(0.005)
+            dup = service.submit(problem(7), SPEC)
+            assert dup.state is JobState.RUNNING  # riding along
+            gate.set()
+            await service.wait(dup.id, timeout=10)
+            await service.shutdown()
+            return runner, first, dup
+
+        runner, first, dup = run(scenario())
+        assert len(runner.calls) == 1
+        assert first.source == "solved" and dup.source == "coalesced"
+
+    def test_cache_hit_completes_without_queueing(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            await service.start()
+            first = service.submit(problem(9), SPEC)
+            await service.wait(first.id, timeout=10)
+            n_calls = len(runner.calls)
+            hit = service.submit(problem(9), SPEC)
+            # Born DONE: no queueing, no solving, telemetry preserved.
+            assert hit.state is JobState.DONE
+            assert hit.source == "cache"
+            assert len(runner.calls) == n_calls
+            assert hit.outcome.solution is not None
+            assert hit.outcome.telemetry is not None
+            await service.shutdown()
+            return service
+
+        service = run(scenario())
+        m = service.metrics()
+        assert m["jobs"]["cache_hits"] == 1
+        assert m["jobs"]["solved"] == 1
+
+    def test_distinct_solver_configs_do_not_coalesce(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            a = service.submit(problem(3), SolverSpec(name="a"))
+            b = service.submit(
+                problem(3), SolverSpec(name="b", objective="latency")
+            )
+            assert a.key != b.key
+            await service.start()
+            await _drain(service)
+            return runner
+
+        runner = run(scenario())
+        assert len(runner.calls) == 2
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        async def scenario():
+            gate = threading.Event()
+            runner = CountingRunner(gate)
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            await service.start()
+            blocker = service.submit(problem(1), SPEC)
+            while not runner.started.is_set():
+                await asyncio.sleep(0.005)
+            victim = service.submit(problem(2), SPEC)
+            assert service.cancel(victim.id) is True
+            assert victim.state is JobState.CANCELLED
+            gate.set()
+            await service.wait(blocker.id, timeout=10)
+            await service.shutdown()
+            return runner, victim, service
+
+        runner, victim, service = run(scenario())
+        # The cancelled cell never reached the runner.
+        assert [p for p, _ in runner.calls] == [problem(1)]
+        assert service.metrics()["jobs"]["cancelled"] == 1
+
+    def test_cancel_running_or_done_job_is_refused(self):
+        async def scenario():
+            gate = threading.Event()
+            runner = CountingRunner(gate)
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            await service.start()
+            job = service.submit(problem(1), SPEC)
+            while job.state is not JobState.RUNNING:
+                await asyncio.sleep(0.005)
+            assert service.cancel(job.id) is False
+            gate.set()
+            await service.wait(job.id, timeout=10)
+            assert service.cancel(job.id) is False
+            await service.shutdown()
+            return job
+
+        job = run(scenario())
+        assert job.state is JobState.DONE
+
+    def test_cancel_one_of_two_coalesced_jobs_keeps_the_cell(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            keep = service.submit(problem(5), SPEC)
+            drop = service.submit(problem(5), SPEC)
+            assert service.cancel(drop.id) is True
+            await service.start()
+            await _drain(service)
+            return runner, keep, drop
+
+        runner, keep, drop = run(scenario())
+        assert len(runner.calls) == 1
+        assert keep.state is JobState.DONE
+        assert drop.state is JobState.CANCELLED
+
+    def test_cancelling_every_job_of_a_cell_removes_it(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            only = service.submit(problem(5), SPEC)
+            assert service.cancel(only.id) is True
+            await service.start()
+            await _drain(service)
+            return runner
+
+        runner = run(scenario())
+        assert runner.calls == []
+
+    def test_unknown_job_id_raises(self):
+        service = SolveService(executor="thread", concurrency=1)
+        with pytest.raises(UnknownJobError):
+            service.job("nope")
+        with pytest.raises(UnknownJobError):
+            service.cancel("nope")
+
+
+class TestShutdown:
+    def test_graceful_shutdown_drains_in_flight_and_cancels_queued(self):
+        async def scenario():
+            gate = threading.Event()
+            runner = CountingRunner(gate)
+            service = SolveService(
+                executor="thread", concurrency=1, runner=runner
+            )
+            await service.start()
+            running = service.submit(problem(1), SPEC)
+            while not runner.started.is_set():
+                await asyncio.sleep(0.005)
+            queued = service.submit(problem(2), SPEC)
+            shutdown = asyncio.ensure_future(service.shutdown())
+            await asyncio.sleep(0.02)
+            with pytest.raises(ServiceClosedError):
+                service.submit(problem(3), SPEC)
+            gate.set()
+            await shutdown
+            return runner, running, queued
+
+        runner, running, queued = run(scenario())
+        # In-flight work drained to a real result ...
+        assert running.state is JobState.DONE
+        assert running.outcome.status == "ok"
+        # ... while the queued cell was cancelled, not solved.
+        assert queued.state is JobState.CANCELLED
+        assert [p for p, _ in runner.calls] == [problem(1)]
+
+    def test_shutdown_with_drain_queue_solves_everything(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread", concurrency=2, runner=runner
+            )
+            jobs = [service.submit(problem(s), SPEC) for s in range(4)]
+            await service.start()
+            await service.shutdown(drain_queue=True)
+            return jobs
+
+        jobs = run(scenario())
+        assert all(j.state is JobState.DONE for j in jobs)
+
+    def test_shutdown_before_start_is_safe(self):
+        run(SolveService(executor="thread").shutdown())
+
+
+class TestFailureContainment:
+    def test_runner_exception_becomes_an_error_outcome(self):
+        def exploding(prob, solver):
+            raise RuntimeError("boom")
+
+        async def scenario():
+            service = SolveService(
+                executor="thread", concurrency=1, runner=exploding
+            )
+            job = service.submit(problem(1), SPEC)
+            await service.start()
+            await service.wait(job.id, timeout=10)
+            # Errors are not cached: a resubmission re-solves the cell.
+            retry = service.submit(problem(1), SPEC)
+            assert retry.source != "cache"
+            await service.shutdown()
+            return job, service
+
+        job, service = run(scenario())
+        assert job.state is JobState.DONE
+        assert job.outcome.status == "error"
+        assert "boom" in job.outcome.error
+        assert service.metrics()["jobs"]["errors"] >= 1
+
+    def test_concurrency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SolveService(concurrency=0, executor="thread")
+        with pytest.raises(ValueError):
+            SolveService(executor="bogus")
+
+
+class TestJobRetention:
+    def test_finished_jobs_are_evicted_beyond_the_cap(self):
+        async def scenario():
+            runner = CountingRunner()
+            service = SolveService(
+                executor="thread",
+                concurrency=1,
+                runner=runner,
+                max_jobs_retained=3,
+            )
+            await service.start()
+            ids = []
+            for s in range(6):
+                job = service.submit(problem(s), SPEC)
+                ids.append(job.id)
+                await service.wait(job.id, timeout=10)
+            await service.shutdown()
+            return service, ids
+
+        service, ids = run(scenario())
+        assert len(service.jobs()) == 3
+        assert service.jobs(limit=0) == []
+        assert len(service.jobs(limit=2)) == 2
+        with pytest.raises(UnknownJobError):
+            service.job(ids[0])
+        # Newest first.
+        assert [j.id for j in service.jobs()] == list(reversed(ids[-3:]))
+
+
+class TestRealRunner:
+    def test_default_runner_solves_and_meters_evaluations(self):
+        async def scenario():
+            service = SolveService(executor="thread", concurrency=1)
+            job = service.submit(
+                problem(11),
+                SolverSpec(name="g", strategy="greedy"),
+            )
+            await service.start()
+            await service.wait(job.id, timeout=60)
+            await service.shutdown()
+            return job, service
+
+        job, service = run(scenario())
+        assert job.outcome.status == "ok"
+        assert job.outcome.telemetry.evaluations > 0
+        m = service.metrics()
+        assert m["solver"]["evaluations"] == job.outcome.telemetry.evaluations
+
+    def test_wall_time_and_uptime_accounting(self):
+        async def scenario():
+            service = SolveService(executor="thread", concurrency=1)
+            job = service.submit(problem(1), SPEC)
+            await service.start()
+            await service.wait(job.id, timeout=60)
+            await service.shutdown()
+            return job, service
+
+        job, service = run(scenario())
+        assert job.finished_at >= job.started_at >= job.submitted_at
+        assert job.outcome.wall_time > 0
+        assert service.metrics()["uptime_s"] >= 0
+        assert time.time() >= job.finished_at - 1

@@ -264,3 +264,102 @@ class TestStrategiesCli:
         out = capsys.readouterr().out
         assert "per-solver telemetry" in out
         assert "portfolio(greedy,annealing)" in out
+
+
+class TestServerCli:
+    """The daemon-facing verbs (submit / jobs / job-result) against a
+    live in-process server."""
+
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.server import ServerThread
+
+        with ServerThread(executor="thread", concurrency=2) as handle:
+            yield handle
+
+    @pytest.fixture()
+    def instance_file(self, tmp_path):
+        path = tmp_path / "instance.json"
+        assert main(["generate", str(path), "--seed", "42"]) == 0
+        return str(path)
+
+    def test_submit_wait_and_fetch_result(
+        self, server, instance_file, tmp_path, capsys
+    ):
+        assert (
+            main(
+                [
+                    "submit",
+                    instance_file,
+                    "--url",
+                    server.url,
+                    "--wait",
+                    "--strategy",
+                    "greedy",
+                    "--max-evals",
+                    "100000",
+                    "--solver-seed",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ok" in out and "period=" in out
+        job_id = out.split()[0]
+
+        mapping_path = tmp_path / "mapping.json"
+        assert (
+            main(
+                [
+                    "job-result",
+                    job_id,
+                    "--url",
+                    server.url,
+                    "--output",
+                    str(mapping_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "status  : ok" in out
+        assert "telemetry: strategy=greedy" in out
+        assert mapping_path.exists()
+
+        assert main(["jobs", "--url", server.url, "--state", "done"]) == 0
+        out = capsys.readouterr().out
+        assert job_id in out
+
+    def test_duplicate_submit_reports_cache(self, server, instance_file, capsys):
+        args = ["submit", instance_file, "--url", server.url, "--wait"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "via=cache" in capsys.readouterr().out
+
+    def test_jobs_metrics(self, server, capsys):
+        assert main(["jobs", "--url", server.url, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "queue:" in out and "solver:" in out
+
+    def test_unreachable_server_exits_2(self, instance_file, capsys):
+        assert (
+            main(
+                ["submit", instance_file, "--url", "http://127.0.0.1:9"]
+            )
+            == 2
+        )
+        assert "error" in capsys.readouterr().err
+        assert main(["jobs", "--url", "http://127.0.0.1:9"]) == 2
+        capsys.readouterr()
+        assert (
+            main(["job-result", "jxxx", "--url", "http://127.0.0.1:9"]) == 2
+        )
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8787
+        assert args.concurrency == 2
+        assert args.executor == "process"
+        assert args.cache_dir is None

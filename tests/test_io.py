@@ -119,3 +119,73 @@ class TestProblemRoundTrip:
         path.write_text("{not json")
         with pytest.raises(SerializationError):
             load_problem(path)
+
+
+class TestSolutionRoundTrip:
+    def solved(self):
+        from repro.service import solve_one
+
+        problem = small_random_problem(5)
+        return solve_one(problem, strategy="greedy")
+
+    def test_round_trip(self):
+        from repro.io import solution_from_dict, solution_to_dict
+
+        solution = self.solved()
+        clone = solution_from_dict(solution_to_dict(solution))
+        assert clone.mapping == solution.mapping
+        assert clone.objective == solution.objective
+        assert clone.values == solution.values
+        assert clone.solver == solution.solver
+        assert clone.optimal == solution.optimal
+
+    def test_json_compatible_and_per_app_criteria(self):
+        import json as json_mod
+
+        from repro.io import solution_from_dict, solution_to_dict
+
+        solution = self.solved()
+        payload = solution_to_dict(solution)
+        wired = json_mod.loads(json_mod.dumps(payload))
+        clone = solution_from_dict(wired)
+        # JSON stringifies the per-application dict keys; loading
+        # restores them to ints.
+        assert clone.values.periods == solution.values.periods
+        assert clone.values.latencies == solution.values.latencies
+
+    def test_telemetry_payload_is_embedded_not_consumed(self):
+        from repro.io import solution_from_dict, solution_to_dict
+        from repro.strategies import SolveTelemetry
+
+        solution = self.solved()
+        telemetry = SolveTelemetry(
+            strategy="greedy", status="ok", wall_time=0.1, evaluations=7
+        )
+        payload = solution_to_dict(solution, telemetry=telemetry)
+        assert payload["telemetry"]["evaluations"] == 7
+        # A plain dict works too (the daemon passes decoded JSON).
+        assert (
+            solution_to_dict(solution, telemetry=telemetry.to_dict())[
+                "telemetry"
+            ]
+            == payload["telemetry"]
+        )
+        clone = solution_from_dict(payload)
+        assert clone.objective == solution.objective
+        assert SolveTelemetry.from_dict(payload["telemetry"]) == telemetry
+
+    def test_schema_check(self):
+        from repro.io import solution_from_dict, solution_to_dict
+
+        payload = solution_to_dict(self.solved())
+        payload["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(SerializationError):
+            solution_from_dict(payload)
+
+    def test_missing_values_rejected(self):
+        from repro.io import solution_from_dict, solution_to_dict
+
+        payload = solution_to_dict(self.solved())
+        del payload["values"]
+        with pytest.raises(SerializationError):
+            solution_from_dict(payload)
