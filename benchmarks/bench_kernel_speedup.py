@@ -103,16 +103,17 @@ def bench_evaluate() -> Dict[str, Dict[str, float]]:
     return out
 
 
-def bench_batch(
-    count: int = 100, workers: int = 4
-) -> Dict[str, float]:
+def bench_batch(count: int = 100, workers: int = 4) -> Dict[str, object]:
     """Sequential vs pooled solve_batch on random instances across cells.
 
     Instances are sized so one solve takes tens of milliseconds (heuristic
     search on the NP-hard cells) -- large enough for the process pool to
     amortize its startup, small enough to keep the bench under a minute.
-    ``pool_speedup`` is only meaningful on multi-core machines (the JSON
-    records ``cpu_count`` so the trajectory can be interpreted).
+    The pooled pass runs through the work-stealing pool with the
+    shared-memory transport (``transport="auto"``; the JSON records what
+    it resolved to).  ``pool_speedup`` is only meaningful on multi-core
+    machines — see the ``caveats`` field and ``cpu_count`` in the JSON,
+    and :mod:`benchmarks.bench_parallel` for the full scaling curve.
     """
     workers = max(2, min(workers, os.cpu_count() or 1))
     classes = list(PlatformClass)
@@ -128,7 +129,9 @@ def bench_batch(
         for seed in range(count)
     ]
     sequential = solve_batch(problems, objective="period", workers=None)
-    pooled = solve_batch(problems, objective="period", workers=workers)
+    pooled = solve_batch(
+        problems, objective="period", workers=workers, transport="auto"
+    )
     assert sequential.n_failed == 0 and pooled.n_failed == 0
     return {
         "count": float(count),
@@ -138,6 +141,8 @@ def bench_batch(
         "pool_speedup": sequential.total_time / pooled.total_time,
         "n_ok_sequential": float(sequential.n_ok),
         "n_ok_pooled": float(pooled.n_ok),
+        "transport": pooled.transport,
+        "bytes_pickled_per_job": pooled.stats.get("bytes_pickled_per_job"),
     }
 
 
@@ -145,11 +150,22 @@ def main(output: str = "") -> int:
     """Run both benches, print the numbers, write ``BENCH_kernel.json``."""
     evaluate_series = bench_evaluate()
     batch_series = bench_batch()
+    cpu_count = os.cpu_count() or 1
+    caveats = []
+    if cpu_count < int(batch_series["workers"]):
+        caveats.append(
+            f"pool_speedup was measured with {int(batch_series['workers'])} "
+            f"workers on a {cpu_count}-CPU machine: values near (or below) "
+            "1.0x reflect the runner's core count, not a regression. "
+            "Re-run on a multi-core machine before comparing; "
+            "benchmarks/bench_parallel.py records the full scaling curve."
+        )
     record = {
         "instance": {"n_stages": N_STAGES, "n_processors": N_PROCS},
         "python": sys.version.split()[0],
         "machine": _platform.machine(),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "caveats": caveats,
         "evaluate": evaluate_series,
         "solve_batch": batch_series,
     }

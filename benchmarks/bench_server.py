@@ -17,7 +17,11 @@ HTTP with :class:`repro.client.SolveClient` and writes
 * ``warm_hit_latency_ms`` -- mean per-job latency of a sequential
   submit→result round trip on warm cache (the interactive case);
 * ``warm_speedup`` -- warm vs cold throughput; the asserted bars are
-  **zero** warm-pass solves and ``warm_speedup >= 2``.
+  **zero** warm-pass solves and ``warm_speedup >= 2``;
+* ``cache_lookup_disk_us`` / ``cache_lookup_memo_us`` -- mean
+  :meth:`ResultsCache.get` latency with the in-process LRU memo
+  disabled vs enabled, over the record files the daemon run just
+  produced (the memo skips the JSON re-parse on every warm dedup hit).
 
 ``--tiny`` shrinks the fleet for CI smoke runs (same assertions).
 """
@@ -27,13 +31,45 @@ from __future__ import annotations
 import json
 import platform as _platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.client import SolveClient
+from repro.experiments.cache import ResultsCache
 from repro.generators import small_random_problem
 from repro.server import ServerThread
 from repro.strategies import SolveBudget
+
+
+def _bench_cache_lookups(cache_dir: str, *, tiny: bool) -> dict:
+    """Mean ``get`` latency over a populated cache dir, memo off vs on."""
+    keys = list(ResultsCache(cache_dir).keys())
+    assert keys, "daemon run left no cache entries to benchmark"
+    n_lookups = 200 if tiny else 2000
+
+    disk = ResultsCache(cache_dir, memo_entries=0)
+    t0 = time.perf_counter()
+    for i in range(n_lookups):
+        disk.get(keys[i % len(keys)])
+    disk_s = time.perf_counter() - t0
+
+    memo = ResultsCache(cache_dir)
+    for key in keys:  # prime the memo once (the daemon's steady state)
+        memo.get(key)
+    t0 = time.perf_counter()
+    for i in range(n_lookups):
+        memo.get(keys[i % len(keys)])
+    memo_s = time.perf_counter() - t0
+
+    assert memo.memo_hits >= n_lookups, "primed lookups must hit the memo"
+    return {
+        "cache_entries": len(keys),
+        "cache_lookups": n_lookups,
+        "cache_lookup_disk_us": round(1e6 * disk_s / n_lookups, 2),
+        "cache_lookup_memo_us": round(1e6 * memo_s / n_lookups, 2),
+        "cache_memo_speedup": round(disk_s / memo_s, 2) if memo_s > 0 else None,
+    }
 
 
 def run(output: Path, *, tiny: bool = False) -> dict:
@@ -45,28 +81,33 @@ def run(output: Path, *, tiny: bool = False) -> dict:
         budget=SolveBudget(max_evaluations=500_000, seed=0),
     )
 
-    with ServerThread(executor="thread", concurrency=concurrency) as server:
-        client = SolveClient(server.url, timeout=60.0)
+    with tempfile.TemporaryDirectory(prefix="bench-server-cache-") as tmp:
+        with ServerThread(
+            executor="thread", concurrency=concurrency, cache=tmp
+        ) as server:
+            client = SolveClient(server.url, timeout=60.0)
 
-        t0 = time.perf_counter()
-        ids = client.submit_many(problems, **solver_kwargs)
-        cold_results = list(client.iter_results(ids, timeout=600))
-        cold_s = time.perf_counter() - t0
-        metrics_cold = client.metrics()
-
-        t0 = time.perf_counter()
-        ids = client.submit_many(problems, **solver_kwargs)
-        warm_results = list(client.iter_results(ids, timeout=600))
-        warm_s = time.perf_counter() - t0
-        metrics_warm = client.metrics()
-
-        # Interactive warm-hit latency: sequential submit→result loops.
-        latencies = []
-        for problem in problems[: min(10, n_jobs)]:
             t0 = time.perf_counter()
-            result = client.solve(problem, timeout=60, **solver_kwargs)
-            latencies.append(time.perf_counter() - t0)
-            assert result.source == "cache"
+            ids = client.submit_many(problems, **solver_kwargs)
+            cold_results = list(client.iter_results(ids, timeout=600))
+            cold_s = time.perf_counter() - t0
+            metrics_cold = client.metrics()
+
+            t0 = time.perf_counter()
+            ids = client.submit_many(problems, **solver_kwargs)
+            warm_results = list(client.iter_results(ids, timeout=600))
+            warm_s = time.perf_counter() - t0
+            metrics_warm = client.metrics()
+
+            # Interactive warm-hit latency: sequential submit→result loops.
+            latencies = []
+            for problem in problems[: min(10, n_jobs)]:
+                t0 = time.perf_counter()
+                result = client.solve(problem, timeout=60, **solver_kwargs)
+                latencies.append(time.perf_counter() - t0)
+                assert result.source == "cache"
+
+        cache_stats = _bench_cache_lookups(tmp, tiny=tiny)
 
     n_ok_cold = sum(1 for r in cold_results if r.ok)
     n_ok_warm = sum(1 for r in warm_results if r.ok)
@@ -93,6 +134,7 @@ def run(output: Path, *, tiny: bool = False) -> dict:
         "solved_after_warm": metrics_warm["jobs"]["solved"],
         "evaluations_after_cold": metrics_cold["solver"]["evaluations"],
         "evaluations_after_warm": metrics_warm["solver"]["evaluations"],
+        **cache_stats,
     }
     output.write_text(json.dumps(payload, indent=2))
     print(json.dumps(payload, indent=2))
@@ -123,11 +165,16 @@ def main() -> int:
     assert payload["warm_speedup"] and payload["warm_speedup"] >= 2, (
         f"warm speedup {payload['warm_speedup']} below 2x"
     )
+    assert (
+        payload["cache_lookup_memo_us"] <= payload["cache_lookup_disk_us"]
+    ), "memoized cache lookups must not be slower than disk lookups"
     print(
         f"ok: {payload['cold_jobs_per_sec']} cold jobs/s, "
         f"{payload['warm_jobs_per_sec']} warm jobs/s "
         f"({payload['warm_speedup']}x), "
-        f"warm hit latency {payload['warm_hit_latency_ms']} ms"
+        f"warm hit latency {payload['warm_hit_latency_ms']} ms, "
+        f"cache get {payload['cache_lookup_disk_us']} us disk / "
+        f"{payload['cache_lookup_memo_us']} us memo"
     )
     return 0
 

@@ -356,6 +356,7 @@ def _cmd_solve_batch(args: argparse.Namespace) -> int:
         workers=args.workers,
         strategy=args.strategy,
         budget=_budget_from_args(args),
+        transport=args.transport,
     )
     rows = []
     cells = set()
@@ -577,6 +578,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         executor=args.executor,
         max_jobs_retained=args.max_jobs,
+        max_queue_depth=args.max_queue_depth,
+        transport=args.transport,
     )
     return 0
 
@@ -885,6 +888,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_budget_flags(batch)
     batch.add_argument(
+        "--transport",
+        choices=["auto", "shm", "pickle"],
+        default="auto",
+        help="pooled instance transport: shm = zero-copy shared memory, "
+        "pickle = per-job serialization, auto = shm for large batches "
+        "(ignored without --workers)",
+    )
+    batch.add_argument(
         "--quiet",
         action="store_true",
         help="only print the summary, not the per-instance table",
@@ -1019,6 +1030,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="finished jobs retained for status/result queries",
+    )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bound on queued cells before new submissions are shed "
+        "with HTTP 429 + Retry-After (default: unbounded)",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=["auto", "shm", "pickle"],
+        default="auto",
+        help="instance transport used by the daemon's solve runner",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -35,6 +35,11 @@ from .core.problem import ProblemInstance, Solution
 from .io import problem_to_dict, solution_from_dict
 from .strategies import SolveBudget, SolveTelemetry
 
+#: Upper bound on a single honored ``Retry-After`` sleep; a daemon
+#: estimate beyond this is treated as "come back much later", not an
+#: instruction to block the caller for minutes.
+_RETRY_AFTER_CAP = 30.0
+
 __all__ = [
     "ClientError",
     "JobFailedError",
@@ -118,10 +123,13 @@ class SolveClient:
         Per-request socket timeout in seconds.
     retries:
         Transport-level retries per request (connection refused/reset,
-        HTTP 5xx).  Safe for submissions too: the daemon's
-        content-addressed dedup coalesces an accidental duplicate.
+        HTTP 5xx, and 429 load-shedding).  Safe for submissions too:
+        the daemon's content-addressed dedup coalesces an accidental
+        duplicate.
     backoff:
         Initial retry delay, doubled per attempt up to ``max_backoff``.
+        A ``429`` response's ``Retry-After`` hint overrides the
+        exponential delay for that attempt (capped at 30s).
     """
 
     def __init__(
@@ -165,6 +173,13 @@ class SolveClient:
                 ) as response:
                     return json.loads(response.read().decode() or "{}")
             except urllib.error.HTTPError as exc:
+                if exc.code == 429 and attempt < self.retries:
+                    # Shed by the daemon's bounded queue: honor its
+                    # Retry-After hint instead of the exponential delay,
+                    # then resubmit (dedup makes the retry idempotent).
+                    last_exc = exc
+                    time.sleep(min(self._retry_after(exc), _RETRY_AFTER_CAP))
+                    continue
                 detail = self._error_detail(exc)
                 if exc.code >= 500 and attempt < self.retries:
                     last_exc = exc
@@ -188,6 +203,21 @@ class SolveClient:
             return json.loads(exc.read().decode()).get("error", str(exc))
         except Exception:
             return str(exc)
+
+    def _retry_after(self, exc: urllib.error.HTTPError) -> float:
+        """Extract the daemon's wait hint from a 429: the JSON body's
+        float ``retry_after`` when present, else the integer-seconds
+        ``Retry-After`` header, else the configured backoff."""
+        try:
+            payload = json.loads(exc.read().decode() or "{}")
+            if payload.get("retry_after") is not None:
+                return max(0.0, float(payload["retry_after"]))
+        except Exception:
+            pass
+        try:
+            return max(0.0, float(exc.headers.get("Retry-After")))
+        except (AttributeError, TypeError, ValueError):
+            return self.backoff
 
     # ------------------------------------------------------------------
     # endpoints

@@ -9,6 +9,13 @@ process or machine produced it.  Entries are single JSON files under
 ``os.replace``) so a campaign killed mid-write never leaves a corrupt
 entry behind — the interrupted cell is simply missing and is recomputed
 on the next run.
+
+Reads go through a small in-process LRU memo: a warm daemon serving the
+same cells repeatedly (the dedup path hits ``get`` on every submission)
+would otherwise re-read and re-parse the same JSON file every time.
+Memoized records are shared by reference — callers treat cache records
+as read-only by contract (the runner and the daemon only ever ``.get``
+fields out of them).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import hashlib
 import itertools
 import json
 import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
@@ -127,17 +135,39 @@ class ResultsCache:
         Cache directory; created on first write.  Safe to share between
         campaigns — keys are content hashes, so distinct cells never
         collide and identical cells deduplicate.
+    memo_entries:
+        Capacity of the in-process LRU memo over parsed records
+        (default 128; ``0`` disables memoization).  Entries are content
+        addressed and immutable on disk, so the only staleness the memo
+        can introduce is against *external* writers of the same key —
+        which by construction write the identical record.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], *, memo_entries: int = 128
+    ) -> None:
         self.root = Path(root)
+        self.memo_entries = memo_entries
+        self._memo: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        #: Monotonic counters: memo hits vs. disk reads, exposed so the
+        #: daemon benchmark can show what the memo saves.
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     def path(self, key: str) -> Path:
         """Filesystem location of a key's entry (two-level fan-out)."""
         return self.root / key[:2] / f"{key}.json"
 
     def __contains__(self, key: str) -> bool:
-        return self.path(key).exists()
+        return key in self._memo or self.path(key).exists()
+
+    def _memoize(self, key: str, record: Dict[str, Any]) -> None:
+        if self.memo_entries <= 0:
+            return
+        self._memo[key] = record
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.memo_entries:
+            self._memo.popitem(last=False)
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Fetch a cached record.
@@ -150,14 +180,23 @@ class ResultsCache:
         Returns
         -------
         dict or None
-            The stored record, or ``None`` on a miss.  A corrupt entry
-            (truncated by a crash predating atomic writes, or hand
-            edited) is treated as a miss and removed so it gets
-            recomputed rather than poisoning reports.
+            The stored record, or ``None`` on a miss.  Repeat lookups
+            are answered from the in-process LRU memo without touching
+            the filesystem; the returned dict is shared and must be
+            treated as read-only.  A corrupt entry (truncated by a
+            crash predating atomic writes, or hand edited) is treated
+            as a miss and removed so it gets recomputed rather than
+            poisoning reports.
         """
+        memoized = self._memo.get(key)
+        if memoized is not None:
+            self._memo.move_to_end(key)
+            self.memo_hits += 1
+            return memoized
+        self.memo_misses += 1
         path = self.path(key)
         try:
-            return json.loads(path.read_text())
+            record = json.loads(path.read_text())
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, OSError):
@@ -166,6 +205,8 @@ class ResultsCache:
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
             return None
+        self._memoize(key, record)
+        return record
 
     #: Per-process monotonic counter making concurrent tmp names unique
     #: even when one process writes the same key twice back-to-back.
@@ -213,6 +254,7 @@ class ResultsCache:
                 except OSError:
                     pass
                 raise
+            self._memoize(key, record)
             return
         raise OSError(
             f"could not allocate an exclusive temp file for cache key {key}"

@@ -27,7 +27,7 @@ The scalar reference implementations live in :mod:`repro.core.evaluation`
 agree to within 1e-9 relative tolerance on random instances.
 """
 
-from .context import BatchCriteria, EvaluationContext
+from .context import BatchCriteria, EvaluationContext, attach_kernel_arrays
 from .neighborhood import CandidateBatch, generate_neighborhood
 from .vectorized import (
     interval_cycle_matrix,
@@ -40,6 +40,7 @@ __all__ = [
     "BatchCriteria",
     "CandidateBatch",
     "EvaluationContext",
+    "attach_kernel_arrays",
     "generate_neighborhood",
     "interval_cycle_matrix",
     "interval_energy_table",

@@ -44,6 +44,7 @@ from .protocol import (
 from .service import (
     MemoryCache,
     ServiceClosedError,
+    ServiceOverloadedError,
     SolveService,
     UnknownJobError,
     solve_cell,
@@ -57,6 +58,7 @@ __all__ = [
     "ProtocolError",
     "ServerThread",
     "ServiceClosedError",
+    "ServiceOverloadedError",
     "SolveServer",
     "SolveService",
     "UnknownJobError",

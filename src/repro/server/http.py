@@ -10,7 +10,9 @@ Routes
 Method   Path                          Meaning
 =======  ============================  =======================================
 POST     ``/v1/jobs``                  submit a job (``202``; ``200`` when
-                                       served from cache immediately)
+                                       served from cache immediately; ``429``
+                                       + ``Retry-After`` when the bounded
+                                       queue sheds the submission)
 GET      ``/v1/jobs``                  list retained jobs (``?state=&limit=``)
 GET      ``/v1/jobs/{id}``             job status + telemetry
 GET      ``/v1/jobs/{id}/result``      solution payload of a finished job
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -36,7 +39,12 @@ from .protocol import (
     parse_job_payload,
     result_to_dict,
 )
-from .service import ServiceClosedError, SolveService, UnknownJobError
+from .service import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveService,
+    UnknownJobError,
+)
 
 __all__ = ["ServerThread", "SolveServer", "serve", "run_server"]
 
@@ -52,27 +60,46 @@ _STATUS_PHRASES = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 
 class _HttpError(Exception):
-    """Internal: abort the request with a status + JSON error body."""
+    """Internal: abort the request with a status + JSON error body
+    (plus optional extra response headers, e.g. ``Retry-After``)."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers or {}
+        self.extra = extra or {}
 
 
-def _response(status: int, payload: Dict[str, Any]) -> bytes:
+def _response(
+    status: int,
+    payload: Dict[str, Any],
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     body = json.dumps(payload).encode()
     phrase = _STATUS_PHRASES.get(status, "Unknown")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n"
         f"\r\n"
     )
@@ -158,15 +185,20 @@ class SolveServer:
             try:
                 method, target, _headers, body = await _read_request(reader)
                 status, payload = self._route(method, target, body)
+                headers: Dict[str, str] = {}
             except _HttpError as exc:
-                status, payload = exc.status, {"error": exc.message}
+                status, payload, headers = (
+                    exc.status,
+                    {"error": exc.message, **exc.extra},
+                    exc.headers,
+                )
             except (asyncio.IncompleteReadError, ConnectionError):
                 return
             except Exception as exc:  # never leak a traceback to the socket
-                status, payload = 500, {
+                status, payload, headers = 500, {
                     "error": f"{type(exc).__name__}: {exc}"
-                }
-            writer.write(_response(status, payload))
+                }, {}
+            writer.write(_response(status, payload, headers))
             await writer.drain()
         except (ConnectionError, BrokenPipeError):  # client went away
             pass
@@ -240,6 +272,18 @@ class SolveServer:
             job = self.service.submit(problem, solver, priority=priority)
         except ServiceClosedError as exc:
             raise _HttpError(503, str(exc)) from None
+        except ServiceOverloadedError as exc:
+            # Shed: nothing was queued.  The header carries the
+            # integer-seconds form (HTTP delta-seconds); the JSON body
+            # keeps the precise float for richer clients.
+            raise _HttpError(
+                429,
+                str(exc),
+                headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
+                extra={"retry_after": exc.retry_after},
+            ) from None
         # 200 when the cache answered instantly, 202 while work is pending.
         return (200 if job.state.finished else 202), job_to_dict(job)
 

@@ -21,6 +21,13 @@ Design notes
   campaign runs.  The cache record written afterwards is
   campaign-compatible: a later ``repro-pipelines campaign run`` over
   the same cells reuses daemon-solved results and vice versa.
+* **Bounded queue, explicit shedding.**  With ``max_queue_depth`` set,
+  a submission that would *grow* the queue beyond the bound is rejected
+  up front with :class:`ServiceOverloadedError` (HTTP 429 + a
+  ``Retry-After`` hint derived from observed solve times) — before any
+  job record exists, so an accepted job is never dropped.  Coalescing
+  and cache-hit submissions are always admitted: they complete without
+  adding queue work.
 * **Graceful shutdown.**  :meth:`SolveService.shutdown` stops intake,
   cancels still-queued cells (unless asked to drain them) and waits for
   in-flight solves to finish and resolve their jobs.
@@ -29,6 +36,7 @@ Design notes
 from __future__ import annotations
 
 import asyncio
+import functools
 import heapq
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -49,6 +57,7 @@ from .jobs import JobOutcome, JobRecord, JobState, new_job_id
 __all__ = [
     "MemoryCache",
     "ServiceClosedError",
+    "ServiceOverloadedError",
     "SolveService",
     "UnknownJobError",
     "solve_cell",
@@ -63,13 +72,31 @@ class UnknownJobError(ReproError):
     """Raised when a job id is not known to the service."""
 
 
-def solve_cell(problem: ProblemInstance, solver: SolverSpec):
+class ServiceOverloadedError(ReproError):
+    """Raised when a submission is shed by the bounded queue.
+
+    ``retry_after`` is the service's own estimate (seconds) of when
+    capacity frees up — surfaced as the HTTP ``Retry-After`` header.
+    The submission was rejected *before* a job record was created;
+    nothing about it is retained server-side.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+def solve_cell(
+    problem: ProblemInstance, solver: SolverSpec, transport: str = "auto"
+):
     """Solve one cell through the batch service (executor-side).
 
     Module-level (hence picklable) so it crosses a
     ``ProcessPoolExecutor`` boundary; returns the single
     :class:`repro.service.BatchItem`, which carries status, solution,
-    wall-clock and telemetry.
+    wall-clock and telemetry.  ``transport`` is threaded through to
+    :func:`repro.service.solve_batch` (it only engages when a runner
+    fans a cell out over workers; single-instance cells solve inline).
     """
     batch = solve_batch(
         [problem],
@@ -79,6 +106,7 @@ def solve_cell(problem: ProblemInstance, solver: SolverSpec):
         strategy=solver.strategy,
         budget=solver.budget,
         workers=None,
+        transport=transport,
     )
     return batch.items[0]
 
@@ -160,6 +188,17 @@ class SolveService:
     max_jobs_retained:
         Finished jobs kept for status/result queries; the oldest are
         evicted beyond this.
+    max_queue_depth:
+        Bound on *queued* (not running) cells.  ``None`` (default)
+        queues unboundedly; with a bound, a submission that would grow
+        the queue past it raises :class:`ServiceOverloadedError` (the
+        HTTP layer maps this to ``429`` + ``Retry-After``).  Coalescing
+        and cache-hit submissions are exempt — they add no queue work.
+    transport:
+        Instance transport handed to the default :func:`solve_cell`
+        runner (``"auto"``/``"shm"``/``"pickle"``, see
+        :func:`repro.service.solve_batch`); reported in
+        :meth:`metrics`.  Ignored for custom runners.
 
     All public methods must be called from the event-loop thread (the
     HTTP handlers do); no internal locking is performed.
@@ -173,17 +212,29 @@ class SolveService:
         executor: Union[str, Executor] = "process",
         runner: Optional[Callable[[ProblemInstance, SolverSpec], Any]] = None,
         max_jobs_retained: int = 4096,
+        max_queue_depth: Optional[int] = None,
+        transport: str = "auto",
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
+            )
         if isinstance(cache, (str, Path)):
             cache = ResultsCache(cache)
         self.cache = cache if cache is not None else MemoryCache()
         self.concurrency = concurrency
+        self.max_queue_depth = max_queue_depth
+        self.transport = transport
         self._executor, self._owns_executor = _make_executor(
             executor, concurrency
         )
-        self._runner = runner if runner is not None else solve_cell
+        self._runner = (
+            runner
+            if runner is not None
+            else functools.partial(solve_cell, transport=transport)
+        )
         self._max_jobs_retained = max_jobs_retained
 
         self._jobs: Dict[str, JobRecord] = {}
@@ -205,6 +256,7 @@ class SolveService:
             "cancelled": 0,
             "errors": 0,
             "infeasible": 0,
+            "shed": 0,
         }
         self._evaluations_total = 0
         self._solve_time_total = 0.0
@@ -271,22 +323,25 @@ class SolveService:
         Returns the job record, which may already be ``DONE`` (cache
         hit).  Identical submissions of an in-flight cell coalesce onto
         it — the solver runs once for all of them.
+
+        Raises
+        ------
+        ServiceClosedError
+            When the service is shutting down.
+        ServiceOverloadedError
+            When ``max_queue_depth`` is set and the submission would
+            grow the queue past it.  The check runs *before* the job
+            record is created: once ``submit`` returns a record, that
+            job is never dropped.  Coalescing and cache-hit submissions
+            are admitted even at full depth (they add no queue work).
         """
         if self._closing:
             raise ServiceClosedError("service is shutting down")
         key = cell_key(problem, solver.to_dict())
-        job = JobRecord(
-            id=new_job_id(),
-            key=key,
-            priority=priority,
-            problem=problem,
-            solver=solver,
-        )
-        self._remember(job)
-        self._counters["submitted"] += 1
 
         cell = self._inflight.get(key)
         if cell is not None and not cell.state.finished:
+            job = self._accept(key, problem, solver, priority)
             cell.jobs.append(job)
             self._counters["coalesced"] += 1
             if priority > cell.priority and cell.state is JobState.QUEUED:
@@ -298,12 +353,25 @@ class SolveService:
 
         payload = self.cache.get(key)
         if payload is not None and payload.get("status") in ("ok", "infeasible"):
+            job = self._accept(key, problem, solver, priority)
             outcome = JobOutcome.from_cache_payload(payload)
             job.resolve(outcome, source="cache")
             self._counters["cache_hits"] += 1
             self._count_completion(outcome)
             return job
 
+        if (
+            self.max_queue_depth is not None
+            and self.queue_depth >= self.max_queue_depth
+        ):
+            self._counters["shed"] += 1
+            raise ServiceOverloadedError(
+                f"queue is full ({self.queue_depth}/{self.max_queue_depth} "
+                "cells queued); retry later",
+                retry_after=self._retry_after_hint(),
+            )
+
+        job = self._accept(key, problem, solver, priority)
         cell = _Cell(
             key=key,
             problem=problem,
@@ -315,6 +383,44 @@ class SolveService:
         self._inflight[key] = cell
         self._push_cell(cell)
         return job
+
+    def _accept(
+        self,
+        key: str,
+        problem: ProblemInstance,
+        solver: SolverSpec,
+        priority: int,
+    ) -> JobRecord:
+        """Create and retain the job record for an *admitted* submission
+        (everything after this point completes, one way or another)."""
+        job = JobRecord(
+            id=new_job_id(),
+            key=key,
+            priority=priority,
+            problem=problem,
+            solver=solver,
+        )
+        self._remember(job)
+        self._counters["submitted"] += 1
+        return job
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of cells waiting in the queue (excluding running)."""
+        return sum(
+            1
+            for c in self._inflight.values()
+            if c.state is JobState.QUEUED
+        )
+
+    def _retry_after_hint(self) -> float:
+        """Estimate (seconds) until queue capacity frees up: observed
+        mean solve time x queued cells / concurrency, floored at 0.1s
+        (1.0s mean is assumed before any cell has been solved)."""
+        solved = self._counters["solved"]
+        mean = (self._solve_time_total / solved) if solved else 1.0
+        depth = max(1, self.queue_depth)
+        return max(0.1, round(mean * depth / self.concurrency, 2))
 
     def job(self, job_id: str) -> JobRecord:
         """Look up a job record by id."""
@@ -379,14 +485,13 @@ class SolveService:
             "version": __version__,
             "uptime_s": self.uptime,
             "queue": {
-                "depth": sum(
-                    1
-                    for c in self._inflight.values()
-                    if c.state is JobState.QUEUED
-                ),
+                "depth": self.queue_depth,
                 "running": self._running_cells,
                 "concurrency": self.concurrency,
+                "max_depth": self.max_queue_depth,
+                "shed": self._counters["shed"],
             },
+            "transport": self.transport,
             "jobs": dict(self._counters),
             "solver": {
                 "evaluations": self._evaluations_total,

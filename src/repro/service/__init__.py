@@ -9,9 +9,15 @@ fast, not one at a time.  This package provides that serving layer:
   and ``strategy=``/``budget=`` accept any registered name or composite
   spec (``"portfolio(greedy,annealing)"``) with a per-solve budget;
 * :func:`solve_batch` -- fan a sequence of instances out over a
-  ``concurrent.futures`` process pool (or solve sequentially) with
-  auto-sized chunking, collecting per-instance :class:`BatchItem`
-  records with timing, status and telemetry;
+  work-stealing process pool (or solve sequentially) with auto-sized
+  chunking, collecting per-instance :class:`BatchItem` records with
+  timing, status and telemetry;
+* :mod:`repro.service.transport` -- the zero-copy instance transport:
+  one ``multiprocessing.shared_memory`` segment per batch, NumPy views
+  worker-side, selected via ``solve_batch(...,
+  transport="shm"|"pickle"|"auto")`` with a pickle fallback;
+* :mod:`repro.service.pool` -- the shared-queue work-stealing executor
+  with deterministic result ordering and worker-crash containment;
 * the ``repro-pipelines solve-batch`` CLI subcommand built on top.
 
 For a *persistent* front end — an HTTP daemon whose priority job queue
@@ -38,11 +44,24 @@ from .batch import (
     solve_batch,
     solve_one,
 )
+from .pool import PoolStats, run_work_stealing
+from .transport import (
+    ShmBatch,
+    ShmReader,
+    resolve_transport,
+    shm_available,
+)
 
 __all__ = [
     "BatchItem",
     "BatchResult",
+    "PoolStats",
+    "ShmBatch",
+    "ShmReader",
     "dispatch_method",
+    "resolve_transport",
+    "run_work_stealing",
+    "shm_available",
     "solve_batch",
     "solve_one",
 ]

@@ -15,15 +15,28 @@ Design notes
   boilerplate-free.  ``workers=None`` or ``workers<=1`` solves inline.
   Strategies cross the pool as their spec strings and are re-resolved
   worker-side.
+* Execution is *work-stealing* (:mod:`repro.service.pool`): job chunks
+  sit on one shared queue and workers pull whenever they run dry, so a
+  straggler instance no longer serializes the tail the way a static
+  ``Executor.map`` partition did.  Result ordering stays deterministic
+  (re-ordered by index in the parent) and worker death is contained to
+  ``status="error"`` items for the lost indices.
+* Instance payloads cross the pool through a pluggable *transport*
+  (:mod:`repro.service.transport`): ``transport="shm"`` packs every
+  instance's numeric arrays into one ``multiprocessing.shared_memory``
+  segment per batch and workers rebuild NumPy views without copying;
+  ``"pickle"`` is the classic per-job pickle; ``"auto"`` (default)
+  picks shm when available and worthwhile.  Both transports produce
+  byte-identical solutions.
 * The shared solve configuration (objective, method, thresholds,
-  strategy spec, budget) is shipped *once per worker* through the
-  ``ProcessPoolExecutor`` initializer instead of being re-pickled into
-  every job; job payloads carry only ``(index, problem)``.  When every
-  job solves the *same* instance (the repeat-solve pattern,
-  ``solve_batch([problem] * n)``), the instance itself moves into the
-  initializer too -- each worker receives it once, prebuilds its
-  :class:`~repro.kernel.EvaluationContext` eagerly, and the jobs shrink
-  to a bare index.
+  strategy spec, budget — plus the shm descriptors under the shm
+  transport) is shipped *once per worker* instead of being re-pickled
+  into every job; job payloads carry only ``(index, problem)`` — or a
+  bare index under shm.  When every job solves the *same* instance (the
+  repeat-solve pattern, ``solve_batch([problem] * n)``), the instance
+  itself moves into the per-worker config too -- each worker receives
+  it once, prebuilds its :class:`~repro.kernel.EvaluationContext`
+  eagerly, and the jobs shrink to a bare index.
 * Failures never poison a batch: each instance yields a
   :class:`BatchItem` whose ``status`` is ``"ok"``, ``"infeasible"``
   (:class:`~repro.core.exceptions.InfeasibleProblemError`) or ``"error"``
@@ -35,7 +48,6 @@ from __future__ import annotations
 
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -52,6 +64,8 @@ from ..strategies import (
     parse_strategy,
     solve_via_method,
 )
+from .pool import run_work_stealing
+from .transport import ShmBatch, resolve_transport
 
 __all__ = [
     "BatchItem",
@@ -171,6 +185,10 @@ class BatchResult:
     #: End-to-end wall-clock of the batch (seconds), including pool setup.
     total_time: float
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Effective instance transport: ``"inline"`` (sequential),
+    #: ``"pickle"`` or ``"shm"`` — the *resolved* value, after any
+    #: ``"auto"`` selection or shared-memory fallback.
+    transport: str = "inline"
 
     @property
     def n_ok(self) -> int:
@@ -194,8 +212,8 @@ class BatchResult:
         return (
             f"{self.n_ok}/{len(self.items)} ok "
             f"({self.n_failed} errors) objective={self.objective} "
-            f"workers={self.workers} wall={self.total_time:.3f}s "
-            f"cpu={self.solve_time:.3f}s"
+            f"workers={self.workers} transport={self.transport} "
+            f"wall={self.total_time:.3f}s cpu={self.solve_time:.3f}s"
         )
 
 
@@ -315,28 +333,42 @@ def solve_batch(
     chunksize: Optional[int] = None,
     strategy: Optional[StrategyLike] = None,
     budget: Optional[SolveBudget] = None,
+    transport: str = "auto",
 ) -> BatchResult:
     """Solve many instances, optionally fanning out over a process pool.
 
     Parameters
     ----------
     problems:
-        The instances; results keep their order (``items[i].index == i``).
+        The instances; results keep their order (``items[i].index == i``)
+        regardless of which worker solved what.
     objective / method / thresholds / strategy / budget:
         Per-instance solve parameters, as in :func:`solve_one`.  The
         budget applies *per solve*, not to the whole batch.
     workers:
         ``None`` or ``<= 1`` solves sequentially in-process; ``n >= 2``
-        uses a ``ProcessPoolExecutor`` with ``n`` workers.
+        fans out over ``n`` work-stealing worker processes
+        (:mod:`repro.service.pool`).
     chunksize:
-        Work-unit granularity handed to ``Executor.map``.  ``None``
+        Work-unit granularity: jobs per task-queue entry.  ``None``
         (default) auto-sizes to ``max(1, len(problems) // (4 *
-        workers))``; pass an explicit value to override.
+        workers))``; pass an explicit value to override (``1`` =
+        per-job stealing, maximal balance, maximal queue traffic).
+    transport:
+        How instance payloads reach the workers — ``"shm"`` (one
+        shared-memory segment per batch, zero-copy NumPy views
+        worker-side), ``"pickle"`` (per-job pickling) or ``"auto"``
+        (default: shm when available and the batch payload clears
+        :data:`~repro.service.transport.SHM_AUTO_MIN_BYTES`).  ``"shm"``
+        degrades to ``"pickle"`` when shared memory is unavailable; the
+        resolved value is reported on ``BatchResult.transport``.  Both
+        transports produce byte-identical solutions.
 
     Returns
     -------
     BatchResult
-        Per-instance :class:`BatchItem` records plus batch-level timing.
+        Per-instance :class:`BatchItem` records plus batch-level timing
+        and transport accounting (``stats["bytes_pickled_per_job"]``).
     """
     if objective not in _OBJECTIVES:
         raise ValueError(
@@ -354,6 +386,7 @@ def solve_batch(
     )
     n_workers = 0 if workers is None else int(workers)
     t0 = time.perf_counter()
+    extra_stats: Dict[str, float] = {}
     if n_workers <= 1:
         items: List[BatchItem] = [
             _solve_job(
@@ -362,7 +395,9 @@ def solve_batch(
             for i, problem in enumerate(problems)
         ]
         effective_workers = 1
+        effective_transport = "inline"
     else:
+        effective_transport = resolve_transport(transport, problems, shared)
         config: Dict[str, object] = {
             "objective": objective,
             "method": method,
@@ -371,24 +406,56 @@ def solve_batch(
             "budget": budget,
             "problem": shared,
         }
-        jobs = [
-            (i, None if shared is not None else problem)
-            for i, problem in enumerate(problems)
-        ]
-        effective_workers = min(n_workers, max(1, len(jobs)))
-        effective_chunksize = (
-            chunksize
-            if chunksize is not None
-            else _auto_chunksize(len(jobs), effective_workers)
-        )
-        with ProcessPoolExecutor(
-            max_workers=effective_workers,
-            initializer=_init_worker,
-            initargs=(config,),
-        ) as pool:
-            items = list(
-                pool.map(_solve_indexed, jobs, chunksize=effective_chunksize)
+        shm_batch = None
+        if effective_transport == "shm":
+            try:
+                shm_batch = ShmBatch.pack(problems)
+            except Exception:
+                # Allocation failed (full /dev/shm, exotic platform):
+                # the documented degradation is per-job pickling.
+                effective_transport = "pickle"
+            else:
+                config["shm_descriptors"] = shm_batch.descriptors
+        try:
+            jobs = [
+                (
+                    i,
+                    problem
+                    if shared is None and effective_transport != "shm"
+                    else None,
+                )
+                for i, problem in enumerate(problems)
+            ]
+            effective_workers = min(n_workers, max(1, len(jobs)))
+            effective_chunksize = (
+                chunksize
+                if chunksize is not None
+                else _auto_chunksize(len(jobs), effective_workers)
             )
+            items, pool_stats = run_work_stealing(
+                jobs,
+                config,
+                effective_workers,
+                effective_chunksize,
+                shm_name=None if shm_batch is None else shm_batch.name,
+            )
+        finally:
+            # One finally covers normal completion, worker crashes and
+            # KeyboardInterrupt: the parent owns the segment and always
+            # unlinks it.
+            if shm_batch is not None:
+                shm_batch.close_and_unlink()
+        extra_stats = {
+            "bytes_job_payload": float(pool_stats.bytes_jobs),
+            "bytes_pickled_per_job": (
+                pool_stats.bytes_jobs / len(jobs) if jobs else 0.0
+            ),
+            "bytes_worker_config": float(pool_stats.bytes_config),
+            "n_chunks": float(pool_stats.n_chunks),
+            "n_crashed_workers": float(pool_stats.n_crashed),
+        }
+        if shm_batch is not None:
+            extra_stats["bytes_shm_segment"] = float(shm_batch.nbytes)
     total = time.perf_counter() - t0
     solve_time = sum(x.wall_time for x in items)
     return BatchResult(
@@ -402,5 +469,7 @@ def solve_batch(
             "parallel_efficiency": (
                 solve_time / (total * effective_workers) if total > 0 else 0.0
             ),
+            **extra_stats,
         },
+        transport=effective_transport,
     )

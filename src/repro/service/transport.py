@@ -1,0 +1,277 @@
+"""Zero-copy instance transfer over ``multiprocessing.shared_memory``.
+
+The process-pool solve path used to re-pickle every
+:class:`~repro.core.problem.ProblemInstance` into its job payload; on
+batches of anything but trivial instances the serialization cost ate the
+parallelism (``BENCH_kernel.json`` recorded ~1.0x pool speedup).  This
+module moves the numeric payload out of the job pipe:
+
+* :class:`ShmBatch` (parent side) packs the array form of *every*
+  instance of a batch (:func:`repro.io.problem_to_arrays`) into **one**
+  shared-memory segment, created once per batch.  The per-instance
+  *descriptors* — a small meta dict plus ``(offset, length)`` spans into
+  the segment — ship once per worker inside the worker config; job
+  payloads shrink to a bare index.
+* :class:`ShmReader` (worker side) attaches the segment once and
+  reconstructs instances as NumPy *views* over the shared buffer; the
+  stage payloads are handed to the evaluation kernel uncopied
+  (:func:`repro.kernel.context.attach_kernel_arrays`).
+
+Lifecycle: the parent owns the segment and unlinks it in a ``finally``
+around the pool run, so normal completion, a worker crash and a
+``KeyboardInterrupt`` all clean up ``/dev/shm``.  Workers unregister
+their attachment from the ``resource_tracker`` (they never own the
+segment), avoiding both double-unlink races and leaked-segment warnings
+at worker exit.
+
+Transport selection lives in :func:`resolve_transport`: ``"auto"`` uses
+shared memory when the platform supports it and the batch payload is
+large enough to matter, and falls back to per-job pickling otherwise —
+the two transports produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.problem import ProblemInstance
+from ..io import problem_from_arrays, problem_to_arrays
+
+__all__ = [
+    "SHM_AUTO_MIN_BYTES",
+    "SHM_NAME_PREFIX",
+    "ShmBatch",
+    "ShmReader",
+    "batch_payload_bytes",
+    "resolve_transport",
+    "shm_available",
+]
+
+#: Prefix of every segment this module creates; the test suite's
+#: leak-check fixture scans ``/dev/shm`` for it.
+SHM_NAME_PREFIX = "repro-shm-"
+
+#: ``transport="auto"`` threshold: batches whose numeric payload is
+#: smaller than this ship as plain pickles (a segment + attach round trip
+#: is not worth a few hundred bytes).
+SHM_AUTO_MIN_BYTES = 2048
+
+#: Valid values of the ``transport=`` seam.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+_shm_probe: Optional[bool] = None
+
+
+def shm_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` works here (probed once).
+
+    Creates and immediately unlinks a tiny segment on first call; any
+    failure (missing ``/dev/shm``, sandboxed platform, unsupported OS)
+    marks shared memory unavailable and ``"auto"`` falls back to pickle.
+    """
+    global _shm_probe
+    if _shm_probe is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(
+                name=f"{SHM_NAME_PREFIX}probe-{os.getpid()}-{secrets.token_hex(2)}",
+                create=True,
+                size=16,
+            )
+            probe.close()
+            probe.unlink()
+            _shm_probe = True
+        except Exception:
+            _shm_probe = False
+    return _shm_probe
+
+
+def batch_payload_bytes(problems: Sequence[ProblemInstance]) -> int:
+    """Total numeric payload of a batch, in bytes (float64 elements x 8)."""
+    total = 0
+    for problem in problems:
+        _meta, arrays = problem_to_arrays(problem)
+        total += sum(a.size for a in arrays) * 8
+    return total
+
+
+def resolve_transport(
+    transport: str,
+    problems: Sequence[ProblemInstance],
+    shared: Optional[ProblemInstance],
+) -> str:
+    """Resolve the ``transport=`` parameter to ``"shm"`` or ``"pickle"``.
+
+    Parameters
+    ----------
+    transport:
+        ``"auto"``, ``"shm"`` or ``"pickle"``.
+    problems:
+        The batch (used by the ``"auto"`` size threshold).
+    shared:
+        The repeat-solve shared instance, if all jobs target one object.
+        Shared-instance batches always use the pickle-once initializer
+        path — the instance already ships only once per worker, so a
+        segment buys nothing.
+
+    Returns
+    -------
+    str
+        The effective transport.  ``"shm"`` requests degrade to
+        ``"pickle"`` when shared memory is unavailable (the documented
+        fallback) — callers can read the effective value off
+        ``BatchResult.transport``.
+
+    Raises
+    ------
+    ValueError
+        On an unknown ``transport`` value.
+    """
+    if transport not in TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; expected one of {TRANSPORTS}"
+        )
+    if shared is not None:
+        return "pickle"
+    if transport == "pickle":
+        return "pickle"
+    if not shm_available():
+        return "pickle"
+    if transport == "shm":
+        return "shm"
+    return (
+        "shm"
+        if batch_payload_bytes(problems) >= SHM_AUTO_MIN_BYTES
+        else "pickle"
+    )
+
+
+class ShmBatch:
+    """Parent-side handle of one batch's shared segment.
+
+    Build with :meth:`pack`; hand :attr:`name` and :attr:`descriptors`
+    to the workers; call :meth:`close_and_unlink` in a ``finally`` once
+    the pool has drained (or died).
+    """
+
+    def __init__(self, shm, descriptors: List[Dict[str, Any]]) -> None:
+        self._shm = shm
+        self.descriptors = descriptors
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size actually written (descriptor spans, not the
+        page-rounded segment size)."""
+        return sum(
+            length * 8
+            for d in self.descriptors
+            for _offset, length in d["spans"]
+        )
+
+    @classmethod
+    def pack(cls, problems: Sequence[ProblemInstance]) -> "ShmBatch":
+        """Copy every instance's numeric payload into one fresh segment.
+
+        Returns the handle; raises whatever ``shared_memory`` raises
+        when the platform cannot allocate (callers on the ``"auto"``
+        path degrade to pickle).
+        """
+        from multiprocessing import shared_memory
+
+        encoded: List[Tuple[Dict[str, Any], List[np.ndarray]]] = [
+            problem_to_arrays(p) for p in problems
+        ]
+        total = sum(a.size for _m, arrays in encoded for a in arrays)
+        shm = shared_memory.SharedMemory(
+            name=f"{SHM_NAME_PREFIX}{os.getpid()}-{secrets.token_hex(4)}",
+            create=True,
+            size=max(total * 8, 8),
+        )
+        try:
+            buf = np.ndarray((total,), dtype=np.float64, buffer=shm.buf)
+            descriptors: List[Dict[str, Any]] = []
+            offset = 0
+            for meta, arrays in encoded:
+                spans: List[Tuple[int, int]] = []
+                for array in arrays:
+                    n = array.size
+                    buf[offset : offset + n] = array
+                    spans.append((offset, n))
+                    offset += n
+                descriptors.append({"meta": meta, "spans": spans})
+            del buf  # drop the memoryview before any close()
+        except BaseException:
+            shm.close()
+            try:
+                shm.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            raise
+        return cls(shm, descriptors)
+
+    def close_and_unlink(self) -> None:
+        """Release the parent's mapping and remove the segment
+        (idempotent; a missing segment is not an error)."""
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmReader:
+    """Worker-side attachment to a batch segment.
+
+    One per worker process, created at worker start; :meth:`decode`
+    turns a descriptor into a :class:`ProblemInstance` whose stage
+    payloads are views over the shared buffer, pre-attached to the
+    evaluation kernel.
+    """
+
+    def __init__(self, name: str) -> None:
+        from multiprocessing import shared_memory
+
+        # Attaching re-registers the name with the (fork-shared)
+        # resource tracker; that is an idempotent set-add, and the
+        # parent's unlink unregisters it exactly once — no worker-side
+        # unregister, which would race the parent and other workers.
+        self._shm = shared_memory.SharedMemory(name=name)
+        self._buf = np.ndarray(
+            (self._shm.size // 8,), dtype=np.float64, buffer=self._shm.buf
+        )
+
+    def decode(self, descriptor: Dict[str, Any]) -> ProblemInstance:
+        """Reconstruct one instance from its descriptor (zero-copy for
+        the kernel-facing arrays)."""
+        arrays = [
+            self._buf[offset : offset + length]
+            for offset, length in descriptor["spans"]
+        ]
+        return problem_from_arrays(
+            descriptor["meta"], arrays, attach_kernel_views=True
+        )
+
+    def close(self) -> None:
+        """Detach from the segment (never unlinks — the parent owns it).
+
+        Only safe once every instance decoded from this reader is dead;
+        the worker calls it on exit, after its last result is out.
+        """
+        self._buf = None
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -55,3 +57,28 @@ def two_small_apps():
 def hom_platform():
     """A 5-processor fully homogeneous bi-modal platform."""
     return Platform.fully_homogeneous(5, speeds=[1.0, 2.0], bandwidth=2.0)
+
+
+def _shm_entries():
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # platform without POSIX shm visibility
+        return None
+    return {p.name for p in shm_dir.glob("repro-shm-*")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_shm_segments():
+    """Fail any test that leaks a ``repro-shm-*`` shared-memory segment.
+
+    The zero-copy transport promises its per-batch segments are
+    unlinked on normal completion, worker crashes and interrupts; this
+    fixture makes the whole suite enforce that promise (pre-existing
+    entries from outside the test are tolerated, new ones are not).
+    """
+    before = _shm_entries()
+    yield
+    if before is None:
+        return
+    after = _shm_entries()
+    leaked = after - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

@@ -103,6 +103,67 @@ class TestResultsCache:
         assert len(cache) == 0
 
 
+class TestMemoLRU:
+    def test_hit_avoids_disk_read(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "ab" + "6" * 62
+        cache.put(key, {"v": 1})  # put memoizes
+        cache.path(key).unlink()  # remove the disk entry entirely
+        assert cache.get(key) == {"v": 1}  # still answered by the memo
+        assert cache.memo_hits == 1
+        assert cache.memo_misses == 0
+
+    def test_get_populates_memo(self, tmp_path):
+        key = "ab" + "7" * 62
+        ResultsCache(tmp_path).put(key, {"v": 2})
+        cache = ResultsCache(tmp_path)  # fresh instance, cold memo
+        assert cache.get(key) == {"v": 2}
+        assert (cache.memo_hits, cache.memo_misses) == (0, 1)
+        assert cache.get(key) == {"v": 2}
+        assert (cache.memo_hits, cache.memo_misses) == (1, 1)
+
+    def test_contains_consults_memo(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "ab" + "8" * 62
+        cache.put(key, {"v": 3})
+        cache.path(key).unlink()
+        assert key in cache
+
+    def test_lru_eviction_at_capacity(self, tmp_path):
+        cache = ResultsCache(tmp_path, memo_entries=2)
+        keys = [f"{i:02d}" + "9" * 62 for i in range(3)]
+        for i, key in enumerate(keys[:2]):
+            cache.put(key, {"i": i})
+        cache.get(keys[0])  # refresh key 0: key 1 becomes LRU
+        cache.put(keys[2], {"i": 2})  # evicts key 1
+        assert keys[1] not in cache._memo
+        assert keys[0] in cache._memo and keys[2] in cache._memo
+        # The evicted key still resolves from disk (memo miss).
+        misses = cache.memo_misses
+        assert cache.get(keys[1]) == {"i": 1}
+        assert cache.memo_misses == misses + 1
+
+    def test_memo_entries_zero_disables(self, tmp_path):
+        cache = ResultsCache(tmp_path, memo_entries=0)
+        key = "ab" + "a" * 62
+        cache.put(key, {"v": 4})
+        assert cache._memo == {}
+        assert cache.get(key) == {"v": 4}
+        assert cache.memo_hits == 0
+        assert cache.memo_misses == 1
+        cache.path(key).unlink()
+        assert cache.get(key) is None  # nothing cached in-process
+
+    def test_corrupt_entry_not_memoized(self, tmp_path):
+        cache = ResultsCache(tmp_path)
+        key = "aa" + "b" * 62
+        path = cache.path(key)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"truncated": ')
+        assert cache.get(key) is None
+        assert key not in cache._memo
+
+
 def _hammer_put(args):
     """Concurrent-writer worker: repeatedly write distinct records under
     one shared key (module-level so it crosses the process pool)."""

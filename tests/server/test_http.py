@@ -70,8 +70,17 @@ class TestHealthAndMetrics:
     def test_metrics_shape(self, server):
         status, payload = request(server, "GET", "/v1/metrics")
         assert status == 200
-        assert set(payload["queue"]) == {"depth", "running", "concurrency"}
+        assert set(payload["queue"]) == {
+            "depth",
+            "running",
+            "concurrency",
+            "max_depth",
+            "shed",
+        }
+        assert payload["queue"]["max_depth"] is None  # unbounded default
+        assert payload["transport"] in ("auto", "shm", "pickle")
         assert "submitted" in payload["jobs"]
+        assert "shed" in payload["jobs"]
         assert "evaluations" in payload["solver"]
 
 

@@ -1,0 +1,310 @@
+"""Tests of the zero-copy transport and the work-stealing pool.
+
+Covers the ISSUE's acceptance bars directly: the array codec
+round-trips every platform class and rule, solutions are byte-identical
+across ``transport="shm"`` and ``transport="pickle"``, result ordering
+is deterministic under work-stealing, shm segments never outlive their
+batch (normal completion, worker crash, interrupts — see also the
+autouse leak fixture in ``tests/conftest.py``), and a crashed worker is
+contained to error items for the indices it held.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import CommunicationModel, MappingRule, PlatformClass
+from repro.generators import small_random_problem
+from repro.io import (
+    SerializationError,
+    problem_from_arrays,
+    problem_to_arrays,
+    problem_to_dict,
+)
+from repro.service import solve_batch, solve_one
+from repro.service.pool import run_work_stealing
+from repro.service.transport import (
+    SHM_AUTO_MIN_BYTES,
+    ShmBatch,
+    ShmReader,
+    batch_payload_bytes,
+    resolve_transport,
+    shm_available,
+)
+
+needs_shm = pytest.mark.skipif(
+    not shm_available(), reason="POSIX shared memory unavailable"
+)
+
+ALL_CLASSES = list(PlatformClass)
+ALL_RULES = [MappingRule.ONE_TO_ONE, MappingRule.INTERVAL]
+
+
+def _shm_entries():
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return set()
+    return {p.name for p in shm_dir.glob("repro-shm-*")}
+
+
+def _solve_config(**overrides):
+    config = {
+        "objective": "period",
+        "method": "registry",
+        "thresholds": None,
+        "strategy": None,
+        "budget": None,
+        "problem": None,
+    }
+    config.update(overrides)
+    return config
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize("platform_class", ALL_CLASSES)
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_round_trip_all_classes_and_rules(self, platform_class, rule):
+        problem = small_random_problem(
+            7, platform_class=platform_class, rule=rule, n_apps=2
+        )
+        meta, arrays = problem_to_arrays(problem)
+        rebuilt = problem_from_arrays(meta, arrays)
+        # Dict form is the canonical content fingerprint (it feeds the
+        # cache key): identical dicts mean identical instances.
+        assert problem_to_dict(rebuilt) == problem_to_dict(problem)
+
+    @pytest.mark.parametrize(
+        "model", [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+    )
+    def test_round_trip_preserves_evaluation(self, model, fig1_problem):
+        problem = fig1_problem
+        problem = type(problem)(
+            apps=problem.apps, platform=problem.platform, model=model
+        )
+        rebuilt = problem_from_arrays(*problem_to_arrays(problem))
+        solution = solve_one(problem, "period")
+        # The solved mapping must evaluate bit-identically on the
+        # rebuilt instance's kernel context.
+        values = rebuilt.evaluation_context().evaluate(solution.mapping)
+        assert (values.period, values.latency, values.energy) == (
+            solution.values.period,
+            solution.values.latency,
+            solution.values.energy,
+        )
+
+    def test_kernel_views_attached(self):
+        problem = small_random_problem(11, n_apps=2)
+        meta, arrays = problem_to_arrays(problem)
+        rebuilt = problem_from_arrays(meta, arrays, attach_kernel_views=True)
+        for app in rebuilt.apps:
+            attached = getattr(app, "_kernel_arrays", None)
+            assert attached is not None
+            prefix, delta = attached
+            assert not prefix.flags.writeable
+            assert not delta.flags.writeable
+            assert prefix.shape == (app.n_stages + 1,)
+
+    def test_array_count_mismatch_raises(self):
+        problem = small_random_problem(1)
+        meta, arrays = problem_to_arrays(problem)
+        with pytest.raises(SerializationError):
+            problem_from_arrays(meta, arrays[:-1])
+
+    def test_schema_mismatch_raises(self):
+        problem = small_random_problem(1)
+        meta, arrays = problem_to_arrays(problem)
+        meta = dict(meta, schema="bogus-schema")
+        with pytest.raises(SerializationError):
+            problem_from_arrays(meta, arrays)
+
+
+class TestResolveTransport:
+    def test_unknown_value_raises(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            resolve_transport("carrier-pigeon", [], None)
+
+    def test_explicit_pickle_wins(self):
+        problems = [small_random_problem(0)]
+        assert resolve_transport("pickle", problems, None) == "pickle"
+
+    def test_shared_instance_uses_pickle_once_path(self):
+        problem = small_random_problem(0)
+        assert resolve_transport("shm", [problem] * 4, problem) == "pickle"
+        assert resolve_transport("auto", [problem] * 4, problem) == "pickle"
+
+    @needs_shm
+    def test_auto_uses_shm_above_threshold(self):
+        problems = [small_random_problem(seed, n_apps=2) for seed in range(8)]
+        assert batch_payload_bytes(problems) >= SHM_AUTO_MIN_BYTES
+        assert resolve_transport("auto", problems, None) == "shm"
+
+    @needs_shm
+    def test_auto_uses_pickle_below_threshold(self):
+        problems = [small_random_problem(0)]
+        if batch_payload_bytes(problems) < SHM_AUTO_MIN_BYTES:
+            assert resolve_transport("auto", problems, None) == "pickle"
+
+
+@needs_shm
+class TestShmLifecycle:
+    def test_pack_read_unlink(self):
+        problems = [small_random_problem(seed, n_apps=2) for seed in range(3)]
+        batch = ShmBatch.pack(problems)
+        try:
+            assert batch.name in _shm_entries()
+            assert len(batch.descriptors) == 3
+            reader = ShmReader(batch.name)
+            for problem, descriptor in zip(problems, batch.descriptors):
+                decoded = reader.decode(descriptor)
+                assert problem_to_dict(decoded) == problem_to_dict(problem)
+            reader.close()
+        finally:
+            batch.close_and_unlink()
+        assert batch.name not in _shm_entries()
+
+    def test_unlink_is_idempotent(self):
+        batch = ShmBatch.pack([small_random_problem(0)])
+        batch.close_and_unlink()
+        batch.close_and_unlink()  # second call must not raise
+        assert batch.name not in _shm_entries()
+
+    def test_normal_batch_completion_leaves_no_segment(self):
+        problems = [small_random_problem(seed) for seed in range(6)]
+        before = _shm_entries()
+        result = solve_batch(problems, workers=2, transport="shm")
+        assert result.transport == "shm"
+        assert result.n_ok == len(problems)
+        assert _shm_entries() == before
+
+    def test_worker_crash_leaves_no_segment(self):
+        problems = [small_random_problem(seed) for seed in range(6)]
+        before = _shm_entries()
+        batch = ShmBatch.pack(problems)
+        try:
+            config = _solve_config(
+                shm_descriptors=batch.descriptors, _crash_on_index=2
+            )
+            jobs = [(i, None) for i in range(len(problems))]
+            items, stats = run_work_stealing(
+                jobs, config, 2, 1, shm_name=batch.name
+            )
+        finally:
+            batch.close_and_unlink()
+        assert _shm_entries() == before
+        assert stats.n_crashed == 1
+        assert [item.index for item in items] == list(range(len(problems)))
+        crashed = [item for item in items if item.status == "error"]
+        assert crashed and all("died" in item.error for item in crashed)
+        # The surviving worker drains the rest of the queue.
+        assert sum(1 for item in items if item.status == "ok") >= 4
+
+    def test_keyboard_interrupt_unlinks_segment(self, monkeypatch):
+        problems = [small_random_problem(seed) for seed in range(4)]
+        before = _shm_entries()
+
+        def _interrupt(*args, **kwargs):
+            # The pool dies mid-batch; solve_batch's finally must still
+            # unlink the segment it packed.
+            assert len(_shm_entries() - before) == 1
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            "repro.service.batch.run_work_stealing", _interrupt
+        )
+        with pytest.raises(KeyboardInterrupt):
+            solve_batch(problems, workers=2, transport="shm")
+        assert _shm_entries() == before
+
+
+class TestTransportEquivalence:
+    @pytest.mark.parametrize("platform_class", ALL_CLASSES)
+    def test_byte_identical_solutions(self, platform_class):
+        problems = [
+            small_random_problem(
+                seed,
+                platform_class=platform_class,
+                rule=MappingRule.INTERVAL,
+                n_apps=2,
+            )
+            for seed in range(6)
+        ]
+        sequential = solve_batch(problems, objective="period")
+        pickled = solve_batch(
+            problems, objective="period", workers=2, transport="pickle"
+        )
+        results = [sequential, pickled]
+        if shm_available():
+            shm = solve_batch(
+                problems, objective="period", workers=2, transport="shm"
+            )
+            assert shm.transport == "shm"
+            results.append(shm)
+        reference = sequential.items
+        for result in results[1:]:
+            for ref, item in zip(reference, result.items):
+                assert item.index == ref.index
+                assert item.status == ref.status
+                if ref.solution is None:
+                    assert item.solution is None
+                    continue
+                assert item.solution.mapping == ref.solution.mapping
+                assert item.solution.objective == ref.solution.objective
+                assert item.solution.values == ref.solution.values
+
+    @needs_shm
+    def test_shm_job_payload_is_tiny(self):
+        problems = [small_random_problem(seed, n_apps=2) for seed in range(8)]
+        shm = solve_batch(problems, workers=2, transport="shm")
+        pickled = solve_batch(problems, workers=2, transport="pickle")
+        assert (
+            shm.stats["bytes_pickled_per_job"]
+            <= 0.10 * pickled.stats["bytes_pickled_per_job"]
+        )
+
+    def test_transport_reported_on_result(self):
+        problems = [small_random_problem(seed) for seed in range(3)]
+        assert solve_batch(problems).transport == "inline"
+        assert (
+            solve_batch(problems, workers=2, transport="pickle").transport
+            == "pickle"
+        )
+
+
+class TestWorkStealingPool:
+    def test_deterministic_ordering_per_job_chunks(self):
+        problems = [small_random_problem(seed) for seed in range(10)]
+        # chunksize=1 maximizes stealing; ordering must still hold.
+        result = solve_batch(
+            problems, workers=3, chunksize=1, transport="pickle"
+        )
+        assert [item.index for item in result.items] == list(range(10))
+        assert result.n_ok == 10
+
+    def test_error_containment_per_item(self):
+        problems = [small_random_problem(seed) for seed in range(4)]
+        bad = problems[1]
+        object.__setattr__(bad.apps[0], "_work_prefix", None)  # poison
+        config = _solve_config()
+        jobs = list(enumerate(problems))
+        items, _stats = run_work_stealing(jobs, config, 2, 1)
+        # A poisoned instance fails its own item; nothing else.
+        assert [item.index for item in items] == [0, 1, 2, 3]
+        assert sum(1 for item in items if item.status != "ok") <= 1
+
+    def test_crash_containment_without_shm(self):
+        problems = [small_random_problem(seed) for seed in range(6)]
+        config = _solve_config(_crash_on_index=0)
+        jobs = list(enumerate(problems))
+        items, stats = run_work_stealing(jobs, config, 2, 1)
+        assert stats.n_crashed == 1
+        assert items[0].status == "error"
+        assert sum(1 for item in items if item.status == "ok") >= 4
+
+    def test_stats_count_job_bytes(self):
+        problems = [small_random_problem(seed) for seed in range(5)]
+        result = solve_batch(problems, workers=2, transport="pickle")
+        assert result.stats["bytes_job_payload"] > 0
+        assert result.stats["n_chunks"] >= 1
+        assert result.stats["n_crashed_workers"] == 0
