@@ -1,0 +1,193 @@
+"""Sharded-fleet benchmark: aggregate jobs/sec vs shard count, plus the
+fleet-wide dedup guarantee.
+
+Run as a script to (re)record the performance baseline::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py [output.json] [--tiny]
+
+For each shard count it spawns that many *real* daemon processes
+(``repro-pipelines serve`` on ephemeral ports, one cache directory per
+shard), fronts them with an in-process :class:`RouterThread`, and
+drives the fleet over HTTP with :class:`repro.client.SolveClient`:
+
+* ``cold_jobs_per_sec`` -- submit a fleet of distinct instances through
+  the router and drain it (routing + solve + fetch, all over HTTP);
+  separate daemon processes mean the aggregate genuinely scales with
+  shard count on multi-core machines;
+* ``warm_jobs_per_sec`` -- resubmit the identical fleet: every job must
+  come back ``source="cache"`` with **zero** additional solves anywhere
+  in the fleet (the ring maps a repeated key to the shard that already
+  owns its cache entry — dedup works *across* shards);
+* ``solved_total`` -- summed over shards after both passes; asserted
+  equal to the number of distinct cells, i.e. the fleet as a whole
+  solved each cell exactly once;
+* per-shard job distribution, to show ring balance on real work;
+* every solution is asserted byte-identical (mapping, objective,
+  criterion values) to the 1-shard baseline.
+
+``--tiny`` shrinks the fleet and job count for CI smoke runs (same
+assertions).  Writes ``BENCH_fleet.json`` next to this file.
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.client import SolveClient
+from repro.generators import small_random_problem
+from repro.io import problem_to_dict
+from repro.server import RouterThread, spawn_local_fleet, split_job_id
+from repro.server.router import terminate_fleet
+from repro.strategies import SolveBudget
+
+SOLVER_KWARGS = dict(
+    strategy="greedy",
+    budget=SolveBudget(max_evaluations=200_000, seed=0),
+)
+
+
+def canonical(result) -> str:
+    """Byte-comparable solution rendering (wall-clock fields dropped)."""
+    payload = dict(result.raw["solution"])
+    payload.pop("stats", None)
+    if isinstance(payload.get("telemetry"), dict):
+        telemetry = dict(payload["telemetry"])
+        telemetry.pop("wall_time", None)
+        payload["telemetry"] = telemetry
+    return json.dumps(payload, sort_keys=True)
+
+
+def bench_fleet(n_shards: int, problems, cache_dir: str) -> dict:
+    """Cold + warm pass through a fleet of ``n_shards`` daemons."""
+    shards = spawn_local_fleet(
+        n_shards, cache_dir=cache_dir, executor="thread", concurrency=2
+    )
+    try:
+        with RouterThread(
+            [(s.name, s.url) for s in shards], health_interval=5.0
+        ) as rt:
+            client = SolveClient(rt.url, timeout=60.0)
+
+            t0 = time.perf_counter()
+            ids = client.submit_many(problems, **SOLVER_KWARGS)
+            cold = {r.job_id: r for r in client.iter_results(ids, timeout=600)}
+            cold_s = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            ids_warm = client.submit_many(problems, **SOLVER_KWARGS)
+            warm = list(client.iter_results(ids_warm, timeout=600))
+            warm_s = time.perf_counter() - t0
+
+            metrics = client.metrics()
+
+        n = len(problems)
+        per_shard = {
+            name: sum(
+                1 for job_id in ids if split_job_id(job_id)[1] == name
+            )
+            for name in sorted(s.name for s in shards)
+        }
+        solved_total = metrics["fleet"]["jobs"]["solved"]
+        # Dedup across shards: the warm pass resolved every repeated
+        # submission on the shard owning its cache entry — the fleet
+        # solved each distinct cell exactly once, ever.
+        assert solved_total == n, (
+            f"{n_shards} shard(s): fleet solved {solved_total} != {n} cells"
+        )
+        warm_sources = {r.source for r in warm}
+        assert warm_sources == {"cache"}, (
+            f"warm pass must be all cache hits, got {warm_sources}"
+        )
+        assert all(r.ok for r in cold.values()) and len(cold) == n
+        # Key->shard assignment is identical on both passes (a warm
+        # submission gets a fresh job id but the same owning shard).
+        assert [split_job_id(i)[1] for i in ids] == [
+            split_job_id(i)[1] for i in ids_warm
+        ]
+        ordered = [cold[job_id] for job_id in ids]
+        return {
+            "shards": n_shards,
+            "cold_run_s": round(cold_s, 4),
+            "warm_run_s": round(warm_s, 4),
+            "cold_jobs_per_sec": round(n / cold_s, 2),
+            "warm_jobs_per_sec": round(n / warm_s, 2),
+            "jobs_per_shard": per_shard,
+            "solved_total": solved_total,
+            "results": ordered,
+        }
+    finally:
+        terminate_fleet(shards)
+
+
+def run(output: Path, *, tiny: bool = False) -> dict:
+    shard_counts = [1, 2] if tiny else [1, 2, 3]
+    n_jobs = 8 if tiny else 24
+    problems = [small_random_problem(8000 + i) for i in range(n_jobs)]
+
+    sweeps = []
+    baseline = None
+    for n_shards in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+            sweep = bench_fleet(n_shards, problems, tmp)
+        results = sweep.pop("results")
+        if baseline is None:
+            baseline = [canonical(r) for r in results]
+        else:
+            for i, result in enumerate(results):
+                assert canonical(result) == baseline[i], (
+                    f"{n_shards}-shard result {i} differs from the "
+                    "single-daemon baseline"
+                )
+        sweeps.append(sweep)
+
+    payload = {
+        "bench": "fleet",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "tiny": tiny,
+        "n_jobs": n_jobs,
+        "problem_payload_keys": sorted(
+            problem_to_dict(problems[0]).keys()
+        ),
+        "sweeps": sweeps,
+        "byte_identical_to_single_daemon": True,
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> int:
+    argv = list(sys.argv[1:])
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).parent / "BENCH_fleet.json"
+    )
+    payload = run(output, tiny=tiny)
+    for sweep in payload["sweeps"]:
+        assert sweep["solved_total"] == payload["n_jobs"]
+        assert min(sweep["jobs_per_shard"].values()) >= 0
+    multi = [s for s in payload["sweeps"] if s["shards"] > 1]
+    assert all(
+        len([v for v in s["jobs_per_shard"].values() if v > 0]) > 1
+        for s in multi
+    ), "multi-shard sweeps must spread work over more than one shard"
+    summary = ", ".join(
+        f"{s['shards']} shard(s): {s['cold_jobs_per_sec']} cold / "
+        f"{s['warm_jobs_per_sec']} warm jobs/s"
+        for s in payload["sweeps"]
+    )
+    print(f"ok: {summary}; fleet dedup exact, results byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,9 +23,14 @@ Subcommands:
 * ``serve`` -- run the solve-service daemon (:mod:`repro.server`): an
   HTTP API over a priority job queue with content-addressed dedup
   against the results cache;
+* ``route`` -- run the shard router (:mod:`repro.server.router`): one
+  ``/v1/*`` front door consistent-hash routing submissions over a
+  fleet of daemons (``--shard URL`` to front running ones, ``--spawn
+  N`` to launch a local fleet), with health mark-down/up and bounded
+  retry-to-next-replica;
 * ``submit`` / ``jobs`` / ``job-result`` -- client verbs
-  (:class:`repro.client.SolveClient`) targeting a running daemon:
-  submit instance files, list jobs, fetch a result.
+  (:class:`repro.client.SolveClient`) targeting a running daemon or
+  router (they speak the same API).
 
 ``solve-batch``, ``campaign run`` and ``submit`` accept ``--strategy``
 (a registered name or a composite spec like
@@ -580,6 +585,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_jobs_retained=args.max_jobs,
         max_queue_depth=args.max_queue_depth,
         transport=args.transport,
+        shard=args.shard_name,
+    )
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from .server import parse_shard_spec, run_router
+
+    if not args.shard and not args.spawn:
+        print(
+            "error: give at least one --shard URL or --spawn N",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        shard_specs = [parse_shard_spec(spec) for spec in args.shard]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    spawn_args = []
+    if args.max_queue_depth is not None:
+        spawn_args += ["--max-queue-depth", str(args.max_queue_depth)]
+    router_kwargs = {}
+    if args.vnodes is not None:
+        router_kwargs["vnodes"] = args.vnodes
+    run_router(
+        shard_specs,
+        host=args.host,
+        port=args.port,
+        spawn=args.spawn,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        concurrency=args.concurrency,
+        spawn_args=spawn_args,
+        max_hops=args.max_hops,
+        health_interval=args.health_interval,
+        fail_threshold=args.fail_threshold,
+        upstream_timeout=args.upstream_timeout,
+        redirect_results=args.redirect_results,
+        **router_kwargs,
     )
     return 0
 
@@ -649,15 +694,40 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
     try:
         if args.metrics:
             metrics = client.metrics()
-            queue, jobs, solver = (
-                metrics["queue"],
-                metrics["jobs"],
-                metrics["solver"],
-            )
-            print(
-                f"queue: depth={queue['depth']} running={queue['running']} "
-                f"concurrency={queue['concurrency']}"
-            )
+            if metrics.get("role") == "router":
+                # Shard-router payload: fleet-wide counters plus
+                # per-shard health instead of a single queue.
+                router = metrics["router"]
+                up = [s for s in metrics["shard_health"] if s["up"]]
+                print(
+                    f"router: shards_up={len(up)}/"
+                    f"{len(metrics['shard_health'])} "
+                    f"ring_vnodes={metrics['ring']['vnodes']} "
+                    + " ".join(
+                        f"{k}={v}" for k, v in sorted(router.items())
+                    )
+                )
+                for shard in metrics["shard_health"]:
+                    state = "up" if shard["up"] else "DOWN"
+                    print(
+                        f"  {shard['name']:8s} {state:4s} "
+                        f"{shard['url']} forwarded={shard['forwarded']}"
+                    )
+                jobs, solver = (
+                    metrics["fleet"]["jobs"],
+                    metrics["fleet"]["solver"],
+                )
+            else:
+                queue, jobs, solver = (
+                    metrics["queue"],
+                    metrics["jobs"],
+                    metrics["solver"],
+                )
+                print(
+                    f"queue: depth={queue['depth']} "
+                    f"running={queue['running']} "
+                    f"concurrency={queue['concurrency']}"
+                )
             print(
                 " ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
             )
@@ -1044,7 +1114,100 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="instance transport used by the daemon's solve runner",
     )
+    serve.add_argument(
+        "--shard-name",
+        default=None,
+        help="shard identity of this daemon in a routed fleet "
+        "(surfaced in /v1/metrics and /v1/healthz)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    route = sub.add_parser(
+        "route",
+        help="run the shard router: one /v1/* front door consistent-hash "
+        "routing jobs over several solve daemons",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument(
+        "--port", type=int, default=8786, help="0 picks an ephemeral port"
+    )
+    route.add_argument(
+        "--shard",
+        action="append",
+        default=[],
+        metavar="[NAME=]URL",
+        help="front an already-running daemon (repeatable); "
+        "e.g. --shard shard0=http://127.0.0.1:8787",
+    )
+    route.add_argument(
+        "--spawn",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N local daemons on ephemeral ports and front them "
+        "(terminated when the router exits)",
+    )
+    route.add_argument(
+        "--cache-dir",
+        default=None,
+        help="with --spawn: per-shard cache directories are created "
+        "under DIR/shard{i}",
+    )
+    route.add_argument(
+        "--executor",
+        choices=["process", "thread"],
+        default="process",
+        help="executor of spawned daemons",
+    )
+    route.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="per-shard solve concurrency of spawned daemons",
+    )
+    route.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="per-shard queue bound of spawned daemons (429 shedding)",
+    )
+    route.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        help="virtual nodes per shard on the hash ring (default 192)",
+    )
+    route.add_argument(
+        "--max-hops",
+        type=int,
+        default=3,
+        help="shards tried per submission on connect failure or 429",
+    )
+    route.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between background shard health sweeps",
+    )
+    route.add_argument(
+        "--fail-threshold",
+        type=int,
+        default=2,
+        help="consecutive failures that mark a shard down",
+    )
+    route.add_argument(
+        "--upstream-timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout for forwarded requests",
+    )
+    route.add_argument(
+        "--redirect-results",
+        action="store_true",
+        help="answer result fetches with a 307 to the owning shard "
+        "instead of proxying the payload",
+    )
+    route.set_defaults(func=_cmd_route)
 
     def _add_url(p: argparse.ArgumentParser) -> None:
         p.add_argument(

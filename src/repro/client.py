@@ -24,11 +24,13 @@ Quickstart::
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+from urllib.parse import urljoin
 
 from .core.exceptions import ReproError
 from .core.problem import ProblemInstance, Solution
@@ -39,6 +41,27 @@ from .strategies import SolveBudget, SolveTelemetry
 #: estimate beyond this is treated as "come back much later", not an
 #: instruction to block the caller for minutes.
 _RETRY_AFTER_CAP = 30.0
+
+#: Redirect hops followed per request.  The shard router answers result
+#: fetches with a ``307`` to the owning shard (``--redirect-results``);
+#: one hop is the norm, a few more are tolerated, loops are not.
+_MAX_REDIRECTS = 5
+
+
+class _NoRedirectHandler(urllib.request.HTTPRedirectHandler):
+    """Disable urllib's implicit redirect following.
+
+    The stock handler silently re-issues GETs (and mangles POSTs into
+    GETs on 303) — the client follows redirects itself instead, for
+    every method, preserving the body, so router redirects behave
+    identically for submits and fetches.
+    """
+
+    def redirect_request(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+
+_OPENER = urllib.request.build_opener(_NoRedirectHandler)
 
 __all__ = [
     "ClientError",
@@ -161,15 +184,9 @@ class SolveClient:
         delay = self.backoff
         last_exc: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
-            request = urllib.request.Request(
-                url,
-                data=body,
-                method=method,
-                headers={"Content-Type": "application/json"},
-            )
             try:
-                with urllib.request.urlopen(
-                    request, timeout=self.timeout
+                with self._open_following_redirects(
+                    url, method, body
                 ) as response:
                     return json.loads(response.read().decode() or "{}")
             except urllib.error.HTTPError as exc:
@@ -195,6 +212,39 @@ class SolveClient:
         raise ServerUnavailableError(
             f"{method} {url} unreachable after {self.retries + 1} attempts: "
             f"{last_exc}"
+        )
+
+    def _open_following_redirects(
+        self, url: str, method: str, body: Optional[bytes]
+    ):
+        """Issue one request, following up to ``_MAX_REDIRECTS`` hops.
+
+        ``307``/``308`` (and the legacy ``301``/``302``) re-issue the
+        *same* method and body at the ``Location`` target — this is how
+        the client transparently follows the shard router's
+        redirect-to-owning-shard responses; ``303`` degrades to a GET
+        per the RFC.
+        """
+        for _hop in range(_MAX_REDIRECTS + 1):
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                return _OPENER.open(request, timeout=self.timeout)
+            except urllib.error.HTTPError as exc:
+                location = exc.headers.get("Location") if exc.headers else None
+                if exc.code in (301, 302, 303, 307, 308) and location:
+                    exc.close()
+                    url = urljoin(url, location)
+                    if exc.code == 303:
+                        method, body = "GET", None
+                    continue
+                raise
+        raise ClientError(
+            f"{method} {url}: more than {_MAX_REDIRECTS} redirects"
         )
 
     @staticmethod
@@ -306,19 +356,30 @@ class SolveClient:
     # ------------------------------------------------------------------
     # waiting / convenience
     # ------------------------------------------------------------------
+    @staticmethod
+    def _jittered(delay: float) -> float:
+        """Uniform jitter in ``[delay/2, delay]`` — a fleet of waiters
+        started together desynchronizes instead of polling the daemon
+        (or the shard router) in lockstep."""
+        return delay * (0.5 + 0.5 * random.random())
+
     def wait(
         self,
         job_id: str,
         *,
         timeout: Optional[float] = 60.0,
         poll_interval: float = 0.02,
-        max_poll_interval: float = 0.5,
+        max_poll_interval: float = 2.0,
     ) -> RemoteResult:
         """Poll until the job finishes, then return its decoded result.
 
-        Polling backs off from ``poll_interval`` to
-        ``max_poll_interval``.  Raises :class:`JobFailedError` when the
-        job was cancelled, ``TimeoutError`` past ``timeout``.
+        Polling uses jittered exponential backoff: the delay doubles
+        from ``poll_interval`` up to ``max_poll_interval`` (default cap
+        2 s), and each sleep is jittered down by up to half.  A
+        short job still resolves in milliseconds, while a thousand
+        waiters on slow jobs send O(log) requests each instead of
+        busy-polling.  Raises :class:`JobFailedError` when the job was
+        cancelled, ``TimeoutError`` past ``timeout``.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         delay = poll_interval
@@ -331,8 +392,11 @@ class SolveClient:
                     f"job {job_id} not finished within {timeout}s "
                     f"(state={view['state']})"
                 )
-            time.sleep(delay)
-            delay = min(delay * 1.5, max_poll_interval)
+            sleep = self._jittered(delay)
+            if deadline is not None:
+                sleep = min(sleep, max(0.0, deadline - time.monotonic()))
+            time.sleep(sleep)
+            delay = min(delay * 2, max_poll_interval)
         if view["state"] == "cancelled":
             raise JobFailedError(f"job {job_id} was cancelled", view)
         return self.result(job_id)
@@ -378,13 +442,15 @@ class SolveClient:
         *,
         timeout: Optional[float] = 300.0,
         poll_interval: float = 0.02,
-        max_poll_interval: float = 0.5,
+        max_poll_interval: float = 2.0,
     ) -> Iterator[RemoteResult]:
         """Yield each job's result as it finishes (completion order).
 
         Cancelled jobs yield a ``status="cancelled"`` result rather than
         raising, so one cancelled job does not abort iteration over a
-        fleet.
+        fleet.  Sweeps without progress back off with the same jittered
+        exponential schedule as :meth:`wait` (cap
+        ``max_poll_interval``); any finished job resets the delay.
         """
         pending = list(job_ids)
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -418,5 +484,5 @@ class SolveClient:
             if progressed:
                 delay = poll_interval
             else:
-                time.sleep(delay)
-                delay = min(delay * 1.5, max_poll_interval)
+                time.sleep(self._jittered(delay))
+                delay = min(delay * 2, max_poll_interval)

@@ -33,6 +33,7 @@ The ``repro-pipelines campaign`` CLI subcommand (``run`` / ``status`` /
 from .cache import (
     ResultsCache,
     cell_key,
+    cell_key_for_payload,
     combine_digests,
     instance_digest,
     solver_digest,
@@ -66,6 +67,7 @@ __all__ = [
     "SolverSpec",
     "campaign_status",
     "cell_key",
+    "cell_key_for_payload",
     "combine_digests",
     "instance_digest",
     "load_records",

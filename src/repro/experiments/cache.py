@@ -34,6 +34,7 @@ from ..io import problem_to_dict
 __all__ = [
     "ResultsCache",
     "cell_key",
+    "cell_key_for_payload",
     "combine_digests",
     "instance_digest",
     "solver_digest",
@@ -123,6 +124,49 @@ def cell_key(problem: ProblemInstance, solver_payload: Dict[str, Any]) -> str:
     """
     return combine_digests(
         instance_digest(problem), solver_digest(solver_payload)
+    )
+
+
+def cell_key_for_payload(
+    problem_payload: Dict[str, Any],
+    solver_payload: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Cell key computed from *wire* payloads, without a daemon.
+
+    The shard router (and any external routing/inspection tool) must
+    agree byte-for-byte with the daemon's dedup key for the same
+    submission, so this normalizes exactly the way a submission is
+    normalized server-side: the problem payload round-trips through
+    :func:`repro.io.problem_from_dict` (canonicalizing field order and
+    defaults) and the solver payload through
+    :class:`~repro.experiments.spec.SolverSpec` (applying the spec's
+    defaults; a missing ``name`` gets the daemon's placeholder, which
+    the digest excludes anyway).
+
+    Parameters
+    ----------
+    problem_payload:
+        ``problem_to_dict``-shaped instance payload.
+    solver_payload:
+        Campaign-``solvers``-entry-shaped configuration; ``None`` or
+        ``{}`` mean the all-defaults solver, as in a bare submission.
+
+    Returns
+    -------
+    str
+        The same digest :func:`cell_key` yields for the parsed objects
+        (asserted against the daemon's key in
+        ``tests/server/test_router.py``).
+    """
+    from ..io import problem_from_dict
+    from .spec import SolverSpec
+
+    solver_raw = dict(solver_payload or {})
+    solver_raw.setdefault("name", "request")
+    solver = SolverSpec.from_dict(solver_raw)
+    return combine_digests(
+        instance_digest(problem_from_dict(problem_payload)),
+        solver_digest(solver.to_dict()),
     )
 
 

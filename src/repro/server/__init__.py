@@ -41,6 +41,18 @@ from .protocol import (
     parse_job_payload,
     result_to_dict,
 )
+from .ring import DEFAULT_VNODES, HashRing
+from .router import (
+    RouterThread,
+    Shard,
+    ShardRouter,
+    parse_shard_spec,
+    routed_job_id,
+    run_router,
+    serve_router,
+    spawn_local_fleet,
+    split_job_id,
+)
 from .service import (
     MemoryCache,
     ServiceClosedError,
@@ -51,22 +63,33 @@ from .service import (
 )
 
 __all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
     "JobOutcome",
     "JobRecord",
     "JobState",
     "MemoryCache",
     "ProtocolError",
+    "RouterThread",
     "ServerThread",
     "ServiceClosedError",
     "ServiceOverloadedError",
+    "Shard",
+    "ShardRouter",
     "SolveServer",
     "SolveService",
     "UnknownJobError",
     "job_to_dict",
     "new_job_id",
     "parse_job_payload",
+    "parse_shard_spec",
     "result_to_dict",
+    "routed_job_id",
+    "run_router",
     "run_server",
     "serve",
+    "serve_router",
     "solve_cell",
+    "spawn_local_fleet",
+    "split_job_id",
 ]

@@ -249,6 +249,7 @@ class SolveServer:
         return {
             "status": "ok",
             "version": __version__,
+            "shard": self.service.shard,
             "uptime_s": self.service.uptime,
             "concurrency": self.service.concurrency,
         }

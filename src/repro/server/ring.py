@@ -1,0 +1,165 @@
+"""Consistent-hash ring: the pure data structure behind the shard router.
+
+A :class:`HashRing` places every shard at :attr:`~HashRing.vnodes`
+pseudo-random points on a 64-bit circle (SHA-256 of ``"{node}#{i}"``)
+and owns each key to the first shard point at or after the key's own
+hash point, wrapping around.  The classic consequences, both asserted by
+``tests/server/test_ring_property.py``:
+
+* **stability** — the mapping is a pure function of (node names,
+  ``vnodes``): two processes, two machines or two router restarts with
+  the same membership agree on every key's owner, with no coordination;
+* **minimal disruption** — removing one of ``N`` shards remaps only the
+  keys that shard owned (~``1/N`` of them); every other key keeps its
+  owner, so a dead shard invalidates only its own share of the
+  fleet-wide cache;
+* **balance** — at the default ``vnodes=192`` the heaviest shard owns
+  at most ~1.5x the lightest shard's key share.
+
+Keys are expected to be :func:`repro.experiments.cell_key` digests but
+any string works.  The structure is plain and synchronous; the router
+guards membership changes with its own event-loop discipline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["DEFAULT_VNODES", "HashRing"]
+
+#: Default virtual nodes per shard.  Empirically (20k sampled keys,
+#: 2-12 shards), 192 points keep the max/min key-share ratio under
+#: ~1.35; 64 points can exceed 1.6.
+DEFAULT_VNODES = 192
+
+
+def _point(label: str) -> int:
+    """64-bit ring position of a label (first 8 bytes of SHA-256)."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent-hash ring over named shards.
+
+    Parameters
+    ----------
+    nodes:
+        Initial shard names (order-independent: membership is a set).
+    vnodes:
+        Virtual nodes per shard; more points = better balance, larger
+        ring.  Must be >= 1.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), *, vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: Dict[str, Tuple[int, ...]] = {}
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, node: str) -> None:
+        """Add a shard (idempotent)."""
+        if not node:
+            raise ValueError("node name must be a non-empty string")
+        if node in self._nodes:
+            return
+        points = tuple(
+            _point(f"{node}#{i}") for i in range(self.vnodes)
+        )
+        self._nodes[node] = points
+        for p in points:
+            index = bisect.bisect_left(self._points, p)
+            self._points.insert(index, p)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        """Remove a shard (idempotent); its keys fall to ring neighbors."""
+        if node not in self._nodes:
+            return
+        del self._nodes[node]
+        keep = [
+            (p, owner)
+            for p, owner in zip(self._points, self._owners)
+            if owner != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Current shard names, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The shard owning ``key``.
+
+        Raises
+        ------
+        LookupError
+            When the ring is empty.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        index = bisect.bisect_right(self._points, _point(key))
+        return self._owners[index % len(self._owners)]
+
+    def nodes_for(self, key: str, count: int) -> List[str]:
+        """Up to ``count`` *distinct* shards in ring order from ``key``.
+
+        The first entry is the owner (:meth:`node_for`); the rest are
+        the fallback replicas the router walks on connect failure or
+        load shedding — a deterministic preference order shared by every
+        router instance.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        count = min(count, len(self._nodes))
+        start = bisect.bisect_right(self._points, _point(key))
+        out: List[str] = []
+        n = len(self._owners)
+        for offset in range(n):
+            owner = self._owners[(start + offset) % n]
+            if owner not in out:
+                out.append(owner)
+                if len(out) >= count:
+                    break
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def shares(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Owned-key counts over a sample of ``keys`` (balance probes)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    def describe(self) -> Dict[str, object]:
+        """Ring summary for metrics payloads."""
+        return {
+            "nodes": self.nodes,
+            "vnodes": self.vnodes,
+            "points": len(self._points),
+        }

@@ -1,0 +1,929 @@
+"""Shard router: one HTTP front door over a fleet of solve daemons.
+
+The router re-exports the daemon's ``/v1/*`` API unchanged and spreads
+work over ``N`` :mod:`repro.server` daemons by **cell key**: every
+submission is parsed with the daemon's own validation, its
+content-addressed :func:`repro.experiments.cell_key` is computed, and a
+consistent-hash ring (:class:`~repro.server.ring.HashRing`) picks the
+*owning* shard.  Identical submissions — from any client, through any
+router — land on the same shard, so the daemon's in-flight coalescing
+and content-addressed cache keep deduplicating fleet-wide exactly as
+they do on a single daemon.
+
+Failure semantics
+-----------------
+* **Health checks.**  A background loop probes every shard's
+  ``/v1/healthz``; ``fail_threshold`` consecutive failures mark a shard
+  *down* (its keys fall to ring neighbors), the first success marks it
+  back *up* (its keys return — consistent hashing remaps only that
+  shard's share either way).
+* **Bounded retry-to-next-replica.**  A submission that cannot reach
+  its owner (connect failure/timeout — the shard is marked down on the
+  spot) or is shed by it (HTTP 429) is retried against the next
+  distinct shards in ring order, up to ``max_hops`` attempts total.
+  Retrying a submit is safe: dedup makes it idempotent.  When every
+  candidate sheds, the last ``429`` (``Retry-After`` included) is
+  relayed to the client; when none is reachable, the client gets
+  ``503``.
+* **Job affinity.**  Responses rewrite job ids to ``<id>@<shard>``;
+  status/result/cancel requests are routed straight back to the shard
+  that owns the job record — statelessly, so a router restart loses
+  nothing.
+
+``GET /v1/metrics`` aggregates the fleet (per-shard metrics plus summed
+job counters); ``GET /v1/jobs`` merges the shards' listings.  With
+``redirect_results=True`` the router answers result fetches with a
+``307`` redirect to the owning shard instead of proxying the payload
+bytes through itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from urllib.parse import urlsplit
+
+from .. import __version__
+from ..experiments.cache import cell_key
+from .http import _HttpError, _read_request, _response
+from .protocol import ProtocolError, parse_job_payload
+from .ring import DEFAULT_VNODES, HashRing
+
+__all__ = [
+    "RouterThread",
+    "Shard",
+    "ShardRouter",
+    "parse_shard_spec",
+    "routed_job_id",
+    "run_router",
+    "serve_router",
+    "spawn_local_fleet",
+    "split_job_id",
+]
+
+#: Separator between a shard-local job id and the shard name in the ids
+#: the router hands out.  ``@`` cannot appear in daemon job ids
+#: (``j000001-ab12cd34``) and is legal in a URL path segment.
+_ID_SEP = "@"
+
+
+def routed_job_id(raw_id: str, shard: str) -> str:
+    """The fleet-wide job id for a shard-local one."""
+    return f"{raw_id}{_ID_SEP}{shard}"
+
+
+def split_job_id(job_id: str) -> Tuple[str, Optional[str]]:
+    """Split a routed job id into ``(shard_local_id, shard_name)``.
+
+    Ids without a shard suffix return ``(id, None)`` — the router
+    cannot locate those (it keeps no job table by design).
+    """
+    raw, sep, shard = job_id.rpartition(_ID_SEP)
+    if not sep:
+        return job_id, None
+    return raw, shard
+
+
+def parse_shard_spec(spec: str) -> Tuple[str, str]:
+    """Parse one ``--shard`` value into ``(name, base_url)``.
+
+    Accepts ``http://host:port`` (named ``host:port``) or an explicit
+    ``name=http://host:port``.
+    """
+    name, sep, url = spec.partition("=")
+    if not sep:
+        name, url = "", spec
+    url = url.rstrip("/")
+    parsed = urlsplit(url)
+    if parsed.scheme not in ("http", "https") or not parsed.netloc:
+        raise ValueError(
+            f"shard spec {spec!r}: expected [name=]http://host:port"
+        )
+    return (name or parsed.netloc), url
+
+
+@dataclass
+class Shard:
+    """One routed daemon and its health bookkeeping."""
+
+    name: str
+    url: str
+    up: bool = True
+    consecutive_failures: int = 0
+    last_error: Optional[str] = None
+    marked_down_at: Optional[float] = None
+    forwarded: int = 0
+    #: Local child process when the router spawned this shard itself.
+    process: Optional[subprocess.Popen] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def describe(self) -> Dict[str, Any]:
+        """Health view for ``/v1/healthz`` and ``/v1/metrics``."""
+        return {
+            "name": self.name,
+            "url": self.url,
+            "up": self.up,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "forwarded": self.forwarded,
+        }
+
+
+class _UpstreamError(Exception):
+    """A shard could not be reached (connect failure or timeout)."""
+
+
+class ShardRouter:
+    """Routing core + HTTP front end over a fleet of solve daemons.
+
+    Parameters
+    ----------
+    shards:
+        ``(name, base_url)`` pairs (see :func:`parse_shard_spec`).
+        Names must be unique; they become the ring's node names and the
+        ``@shard`` suffix of fleet job ids.
+    vnodes:
+        Virtual nodes per shard on the hash ring.
+    max_hops:
+        Total shards tried per submission (owner + fallbacks) on
+        connect failure or 429.
+    health_interval:
+        Seconds between background health sweeps.
+    fail_threshold:
+        Consecutive probe/forward failures that mark a shard down.
+    upstream_timeout:
+        Socket timeout for forwarded requests (health probes use
+        ``min(2.0, upstream_timeout)``).
+    redirect_results:
+        Answer ``GET /v1/jobs/{id}/result`` with a ``307`` to the
+        owning shard instead of proxying the payload.
+    host / port:
+        Listening address (``port=0`` binds an ephemeral port).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Tuple[str, str]],
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        max_hops: int = 3,
+        health_interval: float = 1.0,
+        fail_threshold: int = 2,
+        upstream_timeout: float = 10.0,
+        redirect_results: bool = False,
+        host: str = "127.0.0.1",
+        port: int = 8786,
+    ) -> None:
+        if not shards:
+            raise ValueError("router needs at least one shard")
+        names = [name for name, _ in shards]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names: {sorted(names)}")
+        self.shards: Dict[str, Shard] = {
+            name: Shard(name=name, url=url.rstrip("/"))
+            for name, url in shards
+        }
+        self.ring = HashRing(names, vnodes=vnodes)
+        self.max_hops = max(1, max_hops)
+        self.health_interval = health_interval
+        self.fail_threshold = max(1, fail_threshold)
+        self.upstream_timeout = upstream_timeout
+        self.redirect_results = redirect_results
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * len(shards)),
+            thread_name_prefix="router-upstream",
+        )
+        self._started_at = time.time()
+        self._counters = {
+            "submitted": 0,
+            "forwarded": 0,
+            "retries": 0,
+            "relayed_429": 0,
+            "markdowns": 0,
+            "markups": 0,
+            "unroutable": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listening socket and launch the health loop."""
+        self._started_at = time.time()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._health_task = asyncio.create_task(
+            self._health_loop(), name="router-health"
+        )
+
+    async def close(self) -> None:
+        """Stop accepting connections; spawned shards are left to the
+        owner (see :func:`run_router` for the CLI's teardown)."""
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _mark_down(self, shard: Shard, error: str) -> None:
+        shard.consecutive_failures += 1
+        shard.last_error = error
+        if shard.up and shard.consecutive_failures >= self.fail_threshold:
+            shard.up = False
+            shard.marked_down_at = time.time()
+            self._counters["markdowns"] += 1
+
+    def _mark_up(self, shard: Shard) -> None:
+        shard.consecutive_failures = 0
+        shard.last_error = None
+        if not shard.up:
+            shard.up = True
+            shard.marked_down_at = None
+            self._counters["markups"] += 1
+
+    async def _health_loop(self) -> None:
+        probe_timeout = min(2.0, self.upstream_timeout)
+        while True:
+            await asyncio.gather(
+                *(self._probe(s, probe_timeout) for s in self.shards.values())
+            )
+            await asyncio.sleep(self.health_interval)
+
+    async def _probe(self, shard: Shard, timeout: float) -> None:
+        try:
+            status, _headers, _payload = await self._forward(
+                shard, "GET", "/v1/healthz", timeout=timeout, count=False
+            )
+        except _UpstreamError as exc:
+            self._mark_down(shard, str(exc))
+            return
+        if status == 200:
+            self._mark_up(shard)
+        else:
+            self._mark_down(shard, f"healthz returned HTTP {status}")
+
+    async def check_health(self) -> None:
+        """One immediate health sweep (tests use this to avoid waiting
+        out ``health_interval``)."""
+        probe_timeout = min(2.0, self.upstream_timeout)
+        await asyncio.gather(
+            *(self._probe(s, probe_timeout) for s in self.shards.values())
+        )
+
+    # ------------------------------------------------------------------
+    # upstream transport
+    # ------------------------------------------------------------------
+    def _forward_blocking(
+        self, url: str, method: str, body: Optional[bytes], timeout: float
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        request = urllib.request.Request(
+            url,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
+                payload = json.loads(resp.read().decode() or "{}")
+                return resp.status, dict(resp.headers.items()), payload
+        except urllib.error.HTTPError as exc:
+            # An HTTP status from a *live* shard: pass it upward as data.
+            try:
+                payload = json.loads(exc.read().decode() or "{}")
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                payload = {"error": str(exc)}
+            return exc.code, dict(exc.headers.items()), payload
+        except (
+            urllib.error.URLError,
+            ConnectionError,
+            TimeoutError,
+            OSError,
+        ) as exc:
+            raise _UpstreamError(f"{method} {url}: {exc}") from None
+
+    async def _forward(
+        self,
+        shard: Shard,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        *,
+        timeout: Optional[float] = None,
+        count: bool = True,
+    ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        if count:
+            self._counters["forwarded"] += 1
+            shard.forwarded += 1
+        return await loop.run_in_executor(
+            self._pool,
+            self._forward_blocking,
+            f"{shard.url}{path}",
+            method,
+            body,
+            self.upstream_timeout if timeout is None else timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def candidates_for(self, key: str) -> List[Shard]:
+        """Shards to try for a cell key, in ring preference order.
+
+        Up shards first (owner, then fallback replicas), truncated to
+        ``max_hops``.  When *every* shard is marked down the full ring
+        order is returned anyway — attempting a marked-down shard beats
+        refusing service on stale health state.
+        """
+        ordered = [
+            self.shards[name]
+            for name in self.ring.nodes_for(key, len(self.shards))
+        ]
+        up = [s for s in ordered if s.up]
+        return (up or ordered)[: self.max_hops]
+
+    def owner_for(self, key: str) -> Shard:
+        """The ring owner of a key, health ignored."""
+        return self.shards[self.ring.node_for(key)]
+
+    async def _submit(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        try:
+            problem, solver, _priority = parse_job_payload(payload)
+        except ProtocolError as exc:
+            raise _HttpError(400, str(exc)) from None
+        key = cell_key(problem, solver.to_dict())
+        self._counters["submitted"] += 1
+
+        shed: Optional[Tuple[int, Dict[str, str], Dict[str, Any]]] = None
+        tried: List[str] = []
+        for hop, shard in enumerate(self.candidates_for(key)):
+            if hop:
+                self._counters["retries"] += 1
+            tried.append(shard.name)
+            try:
+                status, headers, resp = await self._forward(
+                    shard, "POST", "/v1/jobs", body
+                )
+            except _UpstreamError as exc:
+                # Connect failure: this shard is gone right now — mark it
+                # down immediately (the health loop marks it back up).
+                shard.consecutive_failures = max(
+                    shard.consecutive_failures, self.fail_threshold - 1
+                )
+                self._mark_down(shard, str(exc))
+                continue
+            self._mark_up(shard)
+            if status == 429:
+                # Shed by this shard's bounded queue: remember the hint,
+                # try the next replica (dedup keeps this idempotent).
+                shed = (status, headers, resp)
+                continue
+            if status in (200, 202):
+                return status, self._rewrite_job(resp, shard.name), {}
+            return status, resp, {}  # validation errors etc. pass through
+        if shed is not None:
+            self._counters["relayed_429"] += 1
+            status, headers, resp = shed
+            out_headers = {}
+            if headers.get("Retry-After"):
+                out_headers["Retry-After"] = headers["Retry-After"]
+            resp.setdefault("tried", tried)
+            return status, resp, out_headers
+        self._counters["unroutable"] += 1
+        raise _HttpError(
+            503,
+            f"no shard reachable for this key (tried {tried})",
+            extra={"tried": tried},
+        )
+
+    def _shard_for_job(self, job_id: str) -> Tuple[str, Shard]:
+        raw, shard_name = split_job_id(job_id)
+        if shard_name is None:
+            raise _HttpError(
+                404,
+                f"job id {job_id!r} carries no shard suffix; the router "
+                "only resolves ids it issued (<id>@<shard>)",
+            )
+        shard = self.shards.get(shard_name)
+        if shard is None:
+            raise _HttpError(
+                404, f"unknown shard {shard_name!r} in job id {job_id!r}"
+            )
+        return raw, shard
+
+    async def _job_request(
+        self, method: str, job_id: str, suffix: str = ""
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        raw, shard = self._shard_for_job(job_id)
+        try:
+            status, _headers, resp = await self._forward(
+                shard, method, f"/v1/jobs/{raw}{suffix}"
+            )
+        except _UpstreamError as exc:
+            self._mark_down(shard, str(exc))
+            raise _HttpError(
+                503,
+                f"shard {shard.name!r} holding job {job_id!r} is "
+                f"unreachable: {exc}",
+            ) from None
+        self._mark_up(shard)
+        return status, self._rewrite_job(resp, shard.name), {}
+
+    async def _result(
+        self, job_id: str
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if self.redirect_results:
+            raw, shard = self._shard_for_job(job_id)
+            if shard.up:
+                return (
+                    307,
+                    {"location": f"{shard.url}/v1/jobs/{raw}/result"},
+                    {"Location": f"{shard.url}/v1/jobs/{raw}/result"},
+                )
+            # Fall through to proxying: a 307 at a down shard would
+            # just bounce the client into the same connect failure.
+        return await self._job_request("GET", job_id, "/result")
+
+    async def _list_jobs(
+        self, query: str
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        suffix = f"?{query}" if query else ""
+        shards = [s for s in self.shards.values() if s.up]
+        results = await asyncio.gather(
+            *(self._forward(s, "GET", f"/v1/jobs{suffix}") for s in shards),
+            return_exceptions=True,
+        )
+        jobs: List[Dict[str, Any]] = []
+        unavailable: List[str] = []
+        for shard, result in zip(shards, results):
+            if isinstance(result, BaseException):
+                if isinstance(result, _UpstreamError):
+                    self._mark_down(shard, str(result))
+                    unavailable.append(shard.name)
+                    continue
+                raise result
+            status, _headers, resp = result
+            if status != 200:
+                unavailable.append(shard.name)
+                continue
+            for job in resp.get("jobs", []):
+                jobs.append(self._rewrite_job(job, shard.name))
+        jobs.sort(key=lambda j: j.get("submitted_at") or 0.0, reverse=True)
+        payload: Dict[str, Any] = {"jobs": jobs, "count": len(jobs)}
+        if unavailable:
+            payload["unavailable_shards"] = unavailable
+        return 200, payload, {}
+
+    async def _metrics(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        shards = list(self.shards.values())
+        results = await asyncio.gather(
+            *(
+                self._forward(s, "GET", "/v1/metrics", count=False)
+                for s in shards
+            ),
+            return_exceptions=True,
+        )
+        per_shard: Dict[str, Any] = {}
+        fleet_jobs: Dict[str, int] = {}
+        fleet_solver = {"evaluations": 0, "solve_time_s": 0.0}
+        for shard, result in zip(shards, results):
+            if isinstance(result, BaseException):
+                if isinstance(result, _UpstreamError):
+                    per_shard[shard.name] = {"error": str(result)}
+                    continue
+                raise result
+            status, _headers, resp = result
+            if status != 200:
+                per_shard[shard.name] = {"error": f"HTTP {status}"}
+                continue
+            per_shard[shard.name] = resp
+            for counter, value in resp.get("jobs", {}).items():
+                fleet_jobs[counter] = fleet_jobs.get(counter, 0) + int(value)
+            solver = resp.get("solver", {})
+            fleet_solver["evaluations"] += int(solver.get("evaluations", 0))
+            fleet_solver["solve_time_s"] += float(
+                solver.get("solve_time_s", 0.0)
+            )
+        return 200, {
+            "version": __version__,
+            "role": "router",
+            "uptime_s": time.time() - self._started_at,
+            "router": dict(self._counters),
+            "ring": self.ring.describe(),
+            "shard_health": [s.describe() for s in shards],
+            "fleet": {"jobs": fleet_jobs, "solver": fleet_solver},
+            "shards": per_shard,
+        }, {}
+
+    def _healthz(self) -> Dict[str, Any]:
+        up = sum(1 for s in self.shards.values() if s.up)
+        return {
+            "status": "ok" if up else "degraded",
+            "role": "router",
+            "version": __version__,
+            "uptime_s": time.time() - self._started_at,
+            "shards_up": up,
+            "shards_total": len(self.shards),
+            "shards": [s.describe() for s in self.shards.values()],
+        }
+
+    @staticmethod
+    def _rewrite_job(payload: Dict[str, Any], shard: str) -> Dict[str, Any]:
+        """Stamp a shard-local job payload with its fleet identity."""
+        if isinstance(payload.get("id"), str) and payload["id"]:
+            payload["id"] = routed_job_id(payload["id"], shard)
+        payload.setdefault("shard", shard)
+        return payload
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, _headers, body = await _read_request(reader)
+                status, payload, headers = await self._route(
+                    method, target, body
+                )
+            except _HttpError as exc:
+                status, payload, headers = (
+                    exc.status,
+                    {"error": exc.message, **exc.extra},
+                    exc.headers,
+                )
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            except Exception as exc:  # never leak a traceback to the socket
+                status, payload, headers = 500, {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }, {}
+            writer.write(_response(status, payload, headers))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        split = urlsplit(target)
+        parts = [p for p in split.path.split("/") if p]
+        if parts[:1] != ["v1"]:
+            raise _HttpError(404, f"unknown path {split.path!r}")
+        rest = parts[1:]
+        if rest == ["healthz"]:
+            self._expect(method, "GET")
+            return 200, self._healthz(), {}
+        if rest == ["metrics"]:
+            self._expect(method, "GET")
+            return await self._metrics()
+        if rest == ["jobs"]:
+            if method == "POST":
+                return await self._submit(body)
+            self._expect(method, "GET")
+            return await self._list_jobs(split.query)
+        if len(rest) == 2 and rest[0] == "jobs":
+            if method == "DELETE":
+                return await self._job_request("DELETE", rest[1])
+            self._expect(method, "GET")
+            return await self._job_request("GET", rest[1])
+        if len(rest) == 3 and rest[0] == "jobs" and rest[2] == "result":
+            self._expect(method, "GET")
+            return await self._result(rest[1])
+        raise _HttpError(404, f"unknown path {split.path!r}")
+
+    @staticmethod
+    def _expect(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HttpError(405, f"method {method} not allowed here")
+
+
+# ----------------------------------------------------------------------
+# embedding / entry points
+# ----------------------------------------------------------------------
+async def serve_router(
+    shards: Sequence[Tuple[str, str]],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8786,
+    **router_kwargs: Any,
+) -> ShardRouter:
+    """Build, start and return a :class:`ShardRouter`."""
+    router = ShardRouter(shards, host=host, port=port, **router_kwargs)
+    await router.start()
+    return router
+
+
+class RouterThread:
+    """Host a :class:`ShardRouter` on a background thread.
+
+    Mirrors :class:`~repro.server.http.ServerThread`: :meth:`start`
+    blocks until the socket is bound, usable as a context manager.
+    Tests and benchmarks embed a live router this way.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Tuple[str, str]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **router_kwargs: Any,
+    ) -> None:
+        self._shards = list(shards)
+        self._host = host
+        self._port = port
+        self._router_kwargs = router_kwargs
+        self._ready = threading.Event()
+        self._stop: Optional[asyncio.Event] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self.router: Optional[ShardRouter] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running router."""
+        assert self.router is not None, "router not started"
+        return self.router.url
+
+    def start(self, timeout: float = 30.0) -> "RouterThread":
+        """Launch the thread and wait for the socket to be bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="shard-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("router thread did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"router failed to start: {self._startup_error}"
+            ) from self._startup_error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Request shutdown and join."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def run_sync(self, coro_factory) -> Any:
+        """Run ``coro_factory(router)`` on the router's loop (tests use
+        this to trigger an immediate health sweep)."""
+        assert self._loop is not None and self.router is not None
+        future = asyncio.run_coroutine_threadsafe(
+            coro_factory(self.router), self._loop
+        )
+        return future.result(timeout=30.0)
+
+    def __enter__(self) -> "RouterThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            self.router = await serve_router(
+                self._shards,
+                host=self._host,
+                port=self._port,
+                **self._router_kwargs,
+            )
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop.wait()
+        await self.router.close()
+
+
+#: Pattern the daemon prints on startup; the spawner parses the bound
+#: (possibly ephemeral) URL out of it.
+_LISTENING_RE = re.compile(r"listening on (http://\S+)")
+
+
+def spawn_local_fleet(
+    count: int,
+    *,
+    cache_dir: Union[str, Path, None] = None,
+    executor: str = "process",
+    concurrency: int = 2,
+    extra_args: Sequence[str] = (),
+    startup_timeout: float = 60.0,
+) -> List[Shard]:
+    """Spawn ``count`` solve daemons on ephemeral ports.
+
+    Each shard is a real child process running ``repro-pipelines serve
+    --port 0 --shard-name shard{i}``; with ``cache_dir`` set, shard
+    ``i`` caches under ``<cache_dir>/shard{i}`` (per-shard caches — the
+    ring, not a shared directory, is what makes dedup fleet-wide).
+    Returns :class:`Shard` handles carrying the child processes; the
+    caller owns their lifetime (see :func:`run_router`).
+    """
+    shards: List[Shard] = []
+    package_root = str(Path(__file__).resolve().parents[2])
+    try:
+        for i in range(count):
+            name = f"shard{i}"
+            argv = [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import main; sys.exit(main())",
+                "serve",
+                "--port",
+                "0",
+                "--shard-name",
+                name,
+                "--executor",
+                executor,
+                "--concurrency",
+                str(concurrency),
+                *extra_args,
+            ]
+            if cache_dir is not None:
+                shard_cache = Path(cache_dir) / name
+                shard_cache.mkdir(parents=True, exist_ok=True)
+                argv += ["--cache-dir", str(shard_cache)]
+            import os
+
+            env = dict(os.environ)
+            env["PYTHONPATH"] = package_root + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            env["PYTHONUNBUFFERED"] = "1"
+            proc = subprocess.Popen(
+                argv,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=env,
+            )
+            url = _wait_for_url(proc, startup_timeout)
+            shards.append(Shard(name=name, url=url, process=proc))
+    except BaseException:
+        terminate_fleet(shards)
+        raise
+    return shards
+
+
+def _wait_for_url(proc: subprocess.Popen, timeout: float) -> str:
+    """Read the child's stdout until it announces its bound URL."""
+    deadline = time.monotonic() + timeout
+    lines: List[str] = []
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            if proc.poll() is not None:
+                break
+            time.sleep(0.05)
+            continue
+        lines.append(line)
+        match = _LISTENING_RE.search(line)
+        if match:
+            return match.group(1)
+    raise RuntimeError(
+        "spawned daemon did not announce its URL within "
+        f"{timeout}s; output so far:\n{''.join(lines)}"
+    )
+
+
+def terminate_fleet(shards: Sequence[Shard]) -> None:
+    """Terminate (then kill) every spawned shard process."""
+    for shard in shards:
+        if shard.process is not None and shard.process.poll() is None:
+            shard.process.terminate()
+    deadline = time.monotonic() + 10.0
+    for shard in shards:
+        if shard.process is None:
+            continue
+        remaining = max(0.1, deadline - time.monotonic())
+        try:
+            shard.process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            shard.process.kill()
+            shard.process.wait(timeout=5.0)
+
+
+def run_router(
+    shards: Sequence[Tuple[str, str]] = (),
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8786,
+    spawn: int = 0,
+    cache_dir: Union[str, Path, None] = None,
+    executor: str = "process",
+    concurrency: int = 2,
+    spawn_args: Sequence[str] = (),
+    **router_kwargs: Any,
+) -> None:
+    """Blocking entry point used by ``repro-pipelines route``.
+
+    Fronts the given shard URLs, optionally spawning ``spawn`` local
+    daemons first; runs until SIGINT/SIGTERM, then closes the router
+    and terminates any spawned shards.
+    """
+    import signal
+
+    spawned: List[Shard] = []
+    shard_specs = list(shards)
+    if spawn:
+        spawned = spawn_local_fleet(
+            spawn,
+            cache_dir=cache_dir,
+            executor=executor,
+            concurrency=concurrency,
+            extra_args=spawn_args,
+        )
+        shard_specs += [(s.name, s.url) for s in spawned]
+
+    async def _main() -> None:
+        router = await serve_router(
+            shard_specs, host=host, port=port, **router_kwargs
+        )
+        for shard in spawned:
+            router.shards[shard.name].process = shard.process
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        handled = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                handled.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        roster = " ".join(f"{n}={u}" for n, u in shard_specs)
+        print(
+            f"repro-pipelines shard router v{__version__} "
+            f"listening on {router.url} fronting {len(shard_specs)} "
+            f"shard(s): {roster}",
+            flush=True,
+        )
+        try:
+            await stop.wait()
+            print("router shutting down", flush=True)
+        finally:
+            for sig in handled:
+                loop.remove_signal_handler(sig)
+            await router.close()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - handler fallback path
+        print("router shutting down", flush=True)
+    finally:
+        terminate_fleet(spawned)

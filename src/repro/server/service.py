@@ -199,6 +199,12 @@ class SolveService:
         runner (``"auto"``/``"shm"``/``"pickle"``, see
         :func:`repro.service.solve_batch`); reported in
         :meth:`metrics`.  Ignored for custom runners.
+    shard:
+        Optional shard identity of this daemon in a routed fleet
+        (``repro-pipelines serve --shard-name``).  Surfaced in
+        :meth:`metrics` and ``/v1/healthz`` so the router and operators
+        can attribute fleet-wide counters to the daemon that produced
+        them; ``None`` for a standalone daemon.
 
     All public methods must be called from the event-loop thread (the
     HTTP handlers do); no internal locking is performed.
@@ -214,6 +220,7 @@ class SolveService:
         max_jobs_retained: int = 4096,
         max_queue_depth: Optional[int] = None,
         transport: str = "auto",
+        shard: Optional[str] = None,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -227,6 +234,7 @@ class SolveService:
         self.concurrency = concurrency
         self.max_queue_depth = max_queue_depth
         self.transport = transport
+        self.shard = shard
         self._executor, self._owns_executor = _make_executor(
             executor, concurrency
         )
@@ -483,6 +491,7 @@ class SolveService:
         """Counters and gauges for ``GET /v1/metrics``."""
         return {
             "version": __version__,
+            "shard": self.shard,
             "uptime_s": self.uptime,
             "queue": {
                 "depth": self.queue_depth,

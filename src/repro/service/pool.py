@@ -80,6 +80,7 @@ def _pool_worker(task_q, result_q, config: Dict[str, Any], shm_name) -> None:
 
     _init_worker(config)
     crash_on = config.get("_crash_on_index")
+    exit_after = config.get("_exit_after_index")
     descriptors = config.get("shm_descriptors")
     reader = ShmReader(shm_name) if shm_name is not None else None
     try:
@@ -87,7 +88,8 @@ def _pool_worker(task_q, result_q, config: Dict[str, Any], shm_name) -> None:
             blob = task_q.get()
             if blob == _SENTINEL:
                 break
-            for index, payload in pickle.loads(blob):
+            chunk = pickle.loads(blob)
+            for index, payload in chunk:
                 if crash_on is not None and index == crash_on:
                     # Test seam: die *hard* (no cleanup, like a segfault
                     # or OOM kill) so crash containment is exercised for
@@ -106,6 +108,17 @@ def _pool_worker(task_q, result_q, config: Dict[str, Any], shm_name) -> None:
                 else:
                     item = _solve_indexed((index, payload))
                 result_q.put(item)
+            if exit_after is not None and any(
+                index == exit_after for index, _ in chunk
+            ):
+                # Test seam: die *between* chunks, results flushed —
+                # the `maxtasksperchild`-style churn shape (a worker
+                # recycled after finishing its unit of work).  Unlike
+                # `_crash_on_index`, nothing is lost: the queue keeps
+                # the remaining chunks for the surviving workers.
+                result_q.close()
+                result_q.join_thread()
+                os._exit(9)
     except KeyboardInterrupt:  # pragma: no cover - parent handles teardown
         pass
     finally:

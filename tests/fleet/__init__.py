@@ -1,0 +1,1 @@
+"""Fault-injection test harness for the sharded solve fleet."""

@@ -109,6 +109,64 @@ class TestRetries:
             client.job("jxxx")
 
 
+class TestWaitBackoff:
+    """Regression: ``wait`` must not busy-poll a slow job.
+
+    The fixed-interval poller sent one status request every 20 ms for
+    the whole life of a job; a 10 s job cost ~500 requests (times every
+    concurrent waiter).  The jittered exponential schedule (doubling
+    from ``poll_interval`` to the 2 s cap) sends O(log) + tail/2s.
+    """
+
+    def _stubbed_wait(self, monkeypatch, pending_seconds, **wait_kwargs):
+        client = SolveClient("http://127.0.0.1:9", retries=0)
+        clock = {"t": 0.0}
+        sleeps = []
+        polls = []
+
+        def fake_sleep(seconds):
+            sleeps.append(seconds)
+            clock["t"] += seconds
+
+        def fake_job(job_id):
+            polls.append(clock["t"])
+            done = clock["t"] >= pending_seconds
+            return {"id": job_id, "state": "done" if done else "running"}
+
+        def fake_result(job_id):
+            return RemoteResult(
+                job_id=job_id, status="ok", source="solved", wall_time=0.0
+            )
+
+        monkeypatch.setattr(client, "job", fake_job)
+        monkeypatch.setattr(client, "result", fake_result)
+        import repro.client as client_module
+
+        monkeypatch.setattr(client_module.time, "sleep", fake_sleep)
+        result = client.wait("j1", timeout=None, **wait_kwargs)
+        return result, polls, sleeps
+
+    def test_ten_second_job_costs_log_requests(self, monkeypatch):
+        result, polls, sleeps = self._stubbed_wait(monkeypatch, 10.0)
+        assert result.ok
+        # Fixed 20 ms polling would be ~500 requests; exponential
+        # backoff to the 2 s cap stays in the low tens.
+        assert 5 <= len(polls) <= 18
+        assert sleeps[0] <= 0.02
+        assert max(sleeps) <= 2.0  # capped at max_poll_interval
+        assert sleeps[-1] >= 0.5  # and the tail really reached the cap
+
+    def test_fast_job_still_resolves_immediately(self, monkeypatch):
+        result, polls, sleeps = self._stubbed_wait(monkeypatch, 0.0)
+        assert result.ok
+        assert len(polls) == 1
+        assert sleeps == []
+
+    def test_jitter_stays_within_half_to_full_delay(self):
+        for _ in range(200):
+            assert 1.0 <= SolveClient._jittered(2.0) < 2.0
+
+
 class TestRemoteResultDecoding:
     def test_minimal_payload(self):
         result = RemoteResult.from_payload(

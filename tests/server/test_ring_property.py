@@ -1,0 +1,181 @@
+"""Property suite for the consistent-hash ring (:mod:`repro.server.ring`).
+
+The three guarantees the shard router leans on:
+
+* **deterministic** — the key→shard mapping is a pure function of
+  (membership, vnodes): identical across ring instances *and across
+  processes* (no per-process salt, no dict-order dependence);
+* **balanced** — at the default vnode count the heaviest shard owns at
+  most 1.5x the lightest shard's key share;
+* **minimally disruptive** — removing one of N shards remaps exactly
+  the keys that shard owned (~1/N of all keys) and not one key more.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.ring import DEFAULT_VNODES, HashRing
+
+#: Fixed sample of keys used for share measurements; plenty for the
+#: ratio bounds while keeping each hypothesis example fast.
+KEYS = [f"cellkey-{i:05d}" for i in range(4000)]
+
+node_names = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=2,
+    max_size=6,
+    unique=True,
+)
+
+
+class TestDeterminism:
+    @given(nodes=node_names, vnodes=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25, deadline=None)
+    def test_two_rings_agree(self, nodes, vnodes):
+        a = HashRing(nodes, vnodes=vnodes)
+        b = HashRing(reversed(nodes), vnodes=vnodes)  # order-independent
+        sample = KEYS[:200]
+        assert [a.node_for(k) for k in sample] == [
+            b.node_for(k) for k in sample
+        ]
+
+    def test_incremental_add_equals_bulk_construction(self):
+        bulk = HashRing(["a", "b", "c"], vnodes=32)
+        grown = HashRing(vnodes=32)
+        for node in ("c", "a", "b"):
+            grown.add(node)
+        assert [bulk.node_for(k) for k in KEYS] == [
+            grown.node_for(k) for k in KEYS
+        ]
+
+    def test_deterministic_across_processes(self):
+        """A ring built in a *fresh interpreter* assigns every sampled
+        key identically — routing agreement needs no coordination."""
+        nodes = ["shard0", "shard1", "shard2"]
+        local = HashRing(nodes, vnodes=64)
+        sample = KEYS[:500]
+        # Import ring.py by file path so the child skips the package
+        # (and numpy) import entirely — the module is stdlib-pure.
+        import repro.server.ring as ring_module
+
+        ring_path = str(Path(ring_module.__file__).resolve())
+        script = (
+            "import importlib.util\n"
+            f"spec = importlib.util.spec_from_file_location('ring', {ring_path!r})\n"
+            "ring = importlib.util.module_from_spec(spec)\n"
+            "spec.loader.exec_module(ring)\n"
+            f"r = ring.HashRing({nodes!r}, vnodes=64)\n"
+            f"print('\\n'.join(r.node_for(k) for k in {sample!r}))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=60,
+        ).stdout.splitlines()
+        assert out == [local.node_for(k) for k in sample]
+
+
+class TestBalance:
+    @given(nodes=node_names)
+    @settings(max_examples=10, deadline=None)
+    def test_max_min_share_ratio_at_default_vnodes(self, nodes):
+        """At the default vnode count (>= 64, currently 192) the
+        heaviest/lightest key-share ratio stays within 1.5."""
+        assert DEFAULT_VNODES >= 64
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        shares = ring.shares(KEYS)
+        assert sum(shares.values()) == len(KEYS)
+        assert min(shares.values()) > 0
+        ratio = max(shares.values()) / min(shares.values())
+        assert ratio <= 1.5, f"shares {shares} ratio {ratio:.3f}"
+
+    def test_more_vnodes_do_not_hurt_named_fleet(self):
+        """The concrete fleet shape the router spawns (shard0..N-1)."""
+        for n in (2, 3, 4, 8):
+            ring = HashRing([f"shard{i}" for i in range(n)])
+            shares = ring.shares(KEYS)
+            ratio = max(shares.values()) / min(shares.values())
+            assert ratio <= 1.5, f"n={n}: {shares}"
+
+
+class TestMinimalDisruption:
+    @given(nodes=node_names)
+    @settings(max_examples=10, deadline=None)
+    def test_removal_remaps_only_the_dead_shards_keys(self, nodes):
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        before = {k: ring.node_for(k) for k in KEYS}
+        victim = sorted(nodes)[0]
+        ring.remove(victim)
+        after = {k: ring.node_for(k) for k in KEYS}
+        remapped = [k for k in KEYS if before[k] != after[k]]
+        # Exactly the victim's keys move; every other key keeps its
+        # owner (the structural consistent-hashing guarantee).
+        assert set(remapped) == {
+            k for k, owner in before.items() if owner == victim
+        }
+        for k in remapped:
+            assert after[k] != victim
+        # And that is ~1/N of all keys (1.5x slack = the balance bound).
+        assert len(remapped) <= 1.5 * len(KEYS) / len(nodes)
+
+    @given(nodes=node_names)
+    @settings(max_examples=10, deadline=None)
+    def test_removal_then_readdition_restores_the_mapping(self, nodes):
+        ring = HashRing(nodes, vnodes=64)
+        before = {k: ring.node_for(k) for k in KEYS[:1000]}
+        victim = sorted(nodes)[-1]
+        ring.remove(victim)
+        ring.add(victim)
+        assert {k: ring.node_for(k) for k in KEYS[:1000]} == before
+
+
+class TestRingApi:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.node_for("x")
+        with pytest.raises(LookupError):
+            ring.nodes_for("x", 1)
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing(["a"], vnodes=8)
+        ring.add("a")
+        assert len(ring) == 1
+        ring.remove("missing")
+        assert ring.nodes == ["a"]
+
+    def test_nodes_for_distinct_and_owner_first(self):
+        ring = HashRing(["a", "b", "c", "d"], vnodes=32)
+        for key in KEYS[:200]:
+            order = ring.nodes_for(key, 4)
+            assert len(order) == len(set(order)) == 4
+            assert order[0] == ring.node_for(key)
+            # Preference order is a stable prefix: asking for fewer
+            # replicas yields a prefix of asking for more.
+            assert ring.nodes_for(key, 2) == order[:2]
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        with pytest.raises(ValueError):
+            HashRing([""])
+
+    def test_describe(self):
+        ring = HashRing(["a", "b"], vnodes=16)
+        assert ring.describe() == {
+            "nodes": ["a", "b"],
+            "vnodes": 16,
+            "points": 32,
+        }
+        assert "a" in ring and "z" not in ring

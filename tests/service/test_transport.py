@@ -302,6 +302,26 @@ class TestWorkStealingPool:
         assert items[0].status == "error"
         assert sum(1 for item in items if item.status == "ok") >= 4
 
+    def test_worker_churn_between_chunks_loses_nothing(self):
+        """`maxtasksperchild`-style churn: a worker that dies *between*
+        chunks (its finished results already flushed) must cost zero
+        items — the unclaimed chunks drain to the surviving workers.
+
+        Complements ``test_crash_containment_without_shm``, which kills
+        a worker *mid*-chunk and rightly loses that chunk's items.
+        """
+        problems = [small_random_problem(seed) for seed in range(8)]
+        # The worker that completes the chunk holding index 1 exits
+        # hard (code 9) right after streaming that chunk's results.
+        config = _solve_config(_exit_after_index=1)
+        jobs = list(enumerate(problems))
+        items, stats = run_work_stealing(jobs, config, 2, 2)
+        assert stats.n_crashed == 1
+        assert [item.index for item in items] == list(range(8))
+        errors = [item for item in items if item.status == "error"]
+        assert errors == []
+        assert all(item.status == "ok" for item in items)
+
     def test_stats_count_job_bytes(self):
         problems = [small_random_problem(seed) for seed in range(5)]
         result = solve_batch(problems, workers=2, transport="pickle")

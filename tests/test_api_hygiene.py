@@ -84,7 +84,10 @@ def test_public_callables_documented(module):
 
 def test_version_string():
     assert repro.__version__
-    parts = repro.__version__.split(".")
+    # A PEP 440 local suffix ("1.0.0+src") marks an uninstalled
+    # source-tree run; the public part must still be X.Y.Z.
+    public = repro.__version__.split("+", 1)[0]
+    parts = public.split(".")
     assert len(parts) == 3 and all(p.isdigit() for p in parts)
 
 
