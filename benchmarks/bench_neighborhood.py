@@ -1,4 +1,4 @@
-"""Neighborhood-engine benchmark: batched vs scalar hill climbing.
+"""Neighborhood-engine benchmark: scalar vs batched vs compiled hill climbing.
 
 Run as a script to (re)record the performance baseline::
 
@@ -7,30 +7,47 @@ Run as a script to (re)record the performance baseline::
 It builds a grid of 100-stage / 20-processor NP-hard instances (two
 50-stage applications on fully heterogeneous and comm-homogeneous
 multi-modal platforms), runs :func:`repro.algorithms.heuristics.hill_climb`
-from the same greedy start with both neighborhood engines --
+from the same greedy start with every registered neighborhood engine --
 ``"scalar"`` (the seed's one-``Mapping``-at-a-time loop with
-delta-evaluation) and ``"batched"`` (array-native candidate generation +
-one ``evaluate_many`` kernel call per step) -- and writes
-``BENCH_neighborhood.json`` next to this file.
+delta-evaluation), ``"batched"`` (array-native candidate generation +
+one ``evaluate_many`` kernel call per step) and, when Numba is
+installed, ``"compiled"`` (:mod:`repro.kernel.compiled`: generation,
+evaluation, scoring and the accept replay fused into one nopython call
+per step) -- and writes ``BENCH_neighborhood.json`` next to this file.
+
+The compiled engine is additionally measured against the batched one on
+a dedicated 200-stage / 20-processor grid (the regime the JIT targets),
+with the one-off JIT compilation time reported separately and excluded
+from every per-instance timing (each instance's plan is prebuilt via
+:func:`repro.kernel.compiled.compile_for` before the clock starts).
 
 Asserted when run as a script:
 
-* both engines return **byte-identical** solutions (same mapping, same
+* all engines return **byte-identical** solutions (same mapping, same
   objective, same stats) on every instance;
-* the geometric-mean speedup of the batched engine is **>= 4x**
-  (``--tiny`` relaxes the bar to >= 1.5x for the CI smoke grid).
+* the geometric-mean speedup of the batched engine over the scalar one
+  is **>= 4x** (``--tiny`` relaxes the bar to >= 1.5x for the CI smoke
+  grid);
+* the geometric-mean speedup of the compiled engine over the batched
+  one on the 200-stage grid is **>= 3x** (``--tiny``: >= 1.0x, a smoke
+  bar).  *Escape hatch:* when Numba is not installed, or
+  ``NUMBA_DISABLE_JIT`` forces the kernels to run interpreted, the
+  compiled section records ``skipped`` + the reason instead of failing.
 
 The JSON also records a ``guard`` block (reference-instance wall-clock
 plus a machine-calibration time) consumed by
 ``tests/perf/test_hill_climb_guard.py``, which fails when hill climbing
 on the reference instance regresses to more than 1.5x the recorded
-batched wall-clock (after rescaling by the calibration ratio).
+wall-clock (after rescaling by the calibration ratio).  The block's
+``compiled_seconds`` is ``null`` when the baseline was recorded without
+Numba; the compiled guard test skips itself in that case.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import platform as _platform
 import sys
 import time
@@ -46,6 +63,7 @@ from repro.generators.platforms import (
     random_comm_homogeneous_platform,
     random_fully_heterogeneous_platform,
 )
+from repro.kernel import compiled
 
 #: Hill-climbing steps per instance: enough to amortize the greedy start
 #: while keeping the scalar baseline affordable.
@@ -54,12 +72,24 @@ MAX_ITERATIONS = 8
 #: The instance replayed by the wall-clock guard test.
 GUARD_SEED = 0
 
+#: Per-application stage count of the dedicated compiled-vs-batched grid
+#: (2 apps x 100 stages = the 200-stage regime the JIT targets).
+COMPILED_STAGES = 100
 
-def build_instance(seed: int, *, tiny: bool = False) -> ProblemInstance:
-    """One bench instance: 2 x 50 stages on 20 processors (2 x 10 stages
-    on 8 processors under ``--tiny``), NP-hard heterogeneous cells."""
+#: Hill-climbing steps on the compiled grid (no scalar baseline to
+#: amortize, so more steps fit the budget).
+COMPILED_ITERATIONS = 4
+
+
+def build_instance(
+    seed: int, *, tiny: bool = False, stages: int | None = None
+) -> ProblemInstance:
+    """One bench instance: 2 x ``stages`` stages on 20 processors
+    (2 x 10 stages on 8 processors under ``--tiny``), NP-hard
+    heterogeneous cells.  ``stages`` defaults to 50 (10 under tiny)."""
     rng = rng_from(seed)
-    stages = 10 if tiny else 50
+    if stages is None:
+        stages = 10 if tiny else 50
     procs = 8 if tiny else 20
     apps = random_applications(rng, 2, stage_range=(stages, stages))
     if seed % 2 == 0:
@@ -91,33 +121,123 @@ def geomean(values) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def compiled_skip_reason() -> str | None:
+    """Why the compiled section cannot produce meaningful timings here,
+    or ``None`` when it can (the bench's skip-with-reason escape hatch)."""
+    if not compiled.HAVE_NUMBA:
+        return "numba is not installed (pip install repro-pipelines[compiled])"
+    if os.environ.get("NUMBA_DISABLE_JIT", "0") not in ("", "0"):
+        return "NUMBA_DISABLE_JIT is set (kernels run interpreted)"
+    return None
+
+
+def _timed_hill_climb(problem, start, engine, max_iterations):
+    t0 = time.perf_counter()
+    solution = hill_climb(
+        problem,
+        start,
+        Criterion.PERIOD,
+        max_iterations=max_iterations,
+        engine=engine,
+    )
+    return solution, time.perf_counter() - t0
+
+
+def _same_solution(a, b) -> bool:
+    return (
+        a.mapping == b.mapping
+        and a.objective == b.objective
+        and a.values == b.values
+        and a.stats == b.stats
+    )
+
+
+def run_compiled_grid(tiny: bool) -> dict:
+    """The dedicated compiled-vs-batched grid (200-stage instances; the
+    tiny smoke reuses the tiny grid).  JIT warmup and per-instance plan
+    builds happen before the clock starts; the one-off compile cost is
+    reported separately as ``compile_seconds``."""
+    reason = compiled_skip_reason()
+    section: dict = {
+        "available": compiled.available(),
+        "numba": compiled.NUMBA_VERSION,
+        "skipped": reason is not None,
+        "reason": reason,
+        "n_stages": 2 * (10 if tiny else COMPILED_STAGES),
+        "max_iterations": COMPILED_ITERATIONS,
+    }
+    if reason is not None:
+        return section
+    t0 = time.perf_counter()
+    compiled.warmup()
+    compile_seconds = time.perf_counter() - t0
+    seeds = range(2) if tiny else range(4)
+    per_instance = []
+    identical = True
+    for seed in seeds:
+        stages = None if tiny else COMPILED_STAGES
+        problem = build_instance(seed, tiny=tiny, stages=stages)
+        start = greedy_interval_period(problem).mapping
+        # Plan build (array packing) is one-off per instance; exclude it
+        # from the timed run, mirroring what a warmed worker sees.
+        compiled.compile_for(problem)
+        problem.evaluation_context()
+        batched, t_batched = _timed_hill_climb(
+            problem, start, "batched", COMPILED_ITERATIONS
+        )
+        comp, t_compiled = _timed_hill_climb(
+            problem, start, "compiled", COMPILED_ITERATIONS
+        )
+        same = _same_solution(batched, comp)
+        identical = identical and same
+        per_instance.append(
+            {
+                "seed": seed,
+                "n_stages": problem.n_stages_total,
+                "n_processors": problem.platform.n_processors,
+                "batched_seconds": round(t_batched, 6),
+                "compiled_seconds": round(t_compiled, 6),
+                "speedup_vs_batched": round(t_batched / t_compiled, 3),
+                "objective": comp.objective,
+                "n_steps": comp.stats["n_steps"],
+                "identical_solutions": same,
+            }
+        )
+    section.update(
+        compile_seconds=round(compile_seconds, 6),
+        instances=per_instance,
+        geomean_speedup_vs_batched=round(
+            geomean([r["speedup_vs_batched"] for r in per_instance]), 3
+        ),
+        identical_solutions=identical,
+    )
+    return section
+
+
 def run(output: Path, tiny: bool = False) -> dict:
+    engines = ["scalar", "batched"]
+    if compiled.available():
+        engines.append("compiled")
+        compiled.warmup()
     seeds = range(2) if tiny else range(6)
-    instances = []
     per_instance = []
     identical = True
     guard = None
     for seed in seeds:
         problem = build_instance(seed, tiny=tiny)
         start = greedy_interval_period(problem).mapping
+        if "compiled" in engines:
+            compiled.compile_for(problem)  # plan build outside the clock
         timings = {}
         solutions = {}
-        for engine in ("scalar", "batched"):
-            t0 = time.perf_counter()
-            solutions[engine] = hill_climb(
-                problem,
-                start,
-                Criterion.PERIOD,
-                max_iterations=MAX_ITERATIONS,
-                engine=engine,
+        for engine in engines:
+            solutions[engine], timings[engine] = _timed_hill_climb(
+                problem, start, engine, MAX_ITERATIONS
             )
-            timings[engine] = time.perf_counter() - t0
-        same = (
-            solutions["scalar"].mapping == solutions["batched"].mapping
-            and solutions["scalar"].objective
-            == solutions["batched"].objective
-            and solutions["scalar"].values == solutions["batched"].values
-            and solutions["scalar"].stats == solutions["batched"].stats
+        same = all(
+            _same_solution(solutions["batched"], solutions[e])
+            for e in engines
+            if e != "batched"
         )
         identical = identical and same
         record = {
@@ -131,12 +251,17 @@ def run(output: Path, tiny: bool = False) -> dict:
             "n_steps": solutions["batched"].stats["n_steps"],
             "identical_solutions": same,
         }
+        if "compiled" in engines:
+            record["compiled_seconds"] = round(timings["compiled"], 6)
+            record["compiled_speedup_vs_batched"] = round(
+                timings["batched"] / timings["compiled"], 3
+            )
         per_instance.append(record)
-        instances.append(problem)
         if seed == GUARD_SEED:
             guard = {
                 "seed": seed,
                 "batched_seconds": timings["batched"],
+                "compiled_seconds": timings.get("compiled"),
                 "calibration_seconds": calibrate(),
                 "max_iterations": MAX_ITERATIONS,
                 "tiny": tiny,
@@ -147,11 +272,13 @@ def run(output: Path, tiny: bool = False) -> dict:
         "python": _platform.python_version(),
         "machine": _platform.machine(),
         "tiny": tiny,
+        "engines": engines,
         "n_instances": len(per_instance),
         "max_iterations": MAX_ITERATIONS,
         "instances": per_instance,
         "geomean_speedup": round(speedup, 3),
         "identical_solutions": identical,
+        "compiled": run_compiled_grid(tiny),
         "guard": guard,
     }
     output.write_text(json.dumps(payload, indent=2))
@@ -170,7 +297,7 @@ def main() -> int:
     )
     payload = run(output, tiny=tiny)
     assert payload["identical_solutions"], (
-        "batched and scalar hill_climb returned different solutions"
+        "the neighborhood engines returned different solutions"
     )
     bar = 1.5 if tiny else 4.0
     assert payload["geomean_speedup"] >= bar, (
@@ -182,6 +309,25 @@ def main() -> int:
         f"geomean speedup over the scalar path "
         f"({payload['n_instances']} instances, byte-identical solutions)"
     )
+    section = payload["compiled"]
+    if section["skipped"]:
+        print(f"compiled engine section skipped: {section['reason']}")
+    else:
+        assert section["identical_solutions"], (
+            "compiled and batched hill_climb returned different solutions"
+        )
+        compiled_bar = 1.0 if tiny else 3.0
+        assert section["geomean_speedup_vs_batched"] >= compiled_bar, (
+            f"compiled geomean speedup "
+            f"{section['geomean_speedup_vs_batched']}x below the "
+            f"{compiled_bar}x acceptance bar"
+        )
+        print(
+            f"ok: compiled engine "
+            f"{section['geomean_speedup_vs_batched']}x geomean speedup "
+            f"over the batched path on the {section['n_stages']}-stage "
+            f"grid (compile: {section['compile_seconds']}s, excluded)"
+        )
     return 0
 
 

@@ -43,12 +43,20 @@ def anneal(
     exists only as stacked column arrays, the sampled candidate is
     scored through a one-candidate
     :meth:`~repro.kernel.EvaluationContext.evaluate_many` slice, and a
-    ``Mapping`` is materialized only on acceptance.  The ``"scalar"``
-    engine materializes the whole neighborhood per proposal (the
-    original loop).  Both engines draw identical candidate sequences
-    from identical seeds and return byte-identical solutions (both tick
-    the budget once per proposal, so unlike ``hill_climb`` the parity
-    holds under wall-clock deadlines too).
+    ``Mapping`` is materialized only on acceptance.  The ``"compiled"``
+    engine (:mod:`repro.kernel.compiled`) never builds the candidate set
+    at all: the neighborhood is *counted* in one nopython call, the
+    sampled index is generated, evaluated and scored in another, and a
+    ``Mapping`` is materialized only on acceptance; it falls back to
+    ``"batched"`` (once-per-process warning) when Numba is absent or the
+    problem shape is unsupported.  The ``"scalar"`` engine materializes
+    the whole neighborhood per proposal (the original loop).  All
+    registered engines
+    (:func:`repro.algorithms.heuristics.local_search.engine_names`) draw
+    identical candidate sequences from identical seeds and return
+    byte-identical solutions (all tick the budget once per proposal, so
+    unlike ``hill_climb`` the parity holds under wall-clock deadlines
+    too).
 
     Parameters
     ----------
@@ -69,10 +77,22 @@ def anneal(
         move (one proposal = one scored candidate = one evaluation); on
         exhaustion the best mapping found so far is returned.
     engine:
-        ``"batched"``, ``"scalar"`` or ``None`` for the module default
-        (:data:`repro.algorithms.heuristics.local_search.DEFAULT_ENGINE`).
+        Any name from
+        :func:`repro.algorithms.heuristics.local_search.engine_names`
+        (the shared hill-climb registry), or ``None`` for the module
+        default
+        (:data:`repro.algorithms.heuristics.local_search.DEFAULT_ENGINE`);
+        unknown names raise a ``ValueError`` listing the registry.
     """
-    batched = _resolve_engine(engine) == "batched"
+    name = _resolve_engine(engine)
+    plan = None
+    if name == "compiled":
+        from ...kernel import compiled
+
+        plan, _reason = compiled.acquire(problem, context)
+        if plan is None:
+            name = "batched"
+    batched = name == "batched"
     ctx = problem.evaluation_context(context)
     rng = np.random.default_rng(seed)
     current = start
@@ -86,13 +106,24 @@ def anneal(
         if initial_temperature is not None
         else max(1e-9, 0.1 * current_score)
     )
+    if plan is not None:
+        state = plan.state_from(current)
+        crit = plan.criteria_arrays(criterion, thresholds)
     n_accepted = 0
     exhausted = False
     for _ in range(n_iterations):
         if budget is not None and not budget.tick():
             exhausted = True
             break
-        if batched:
+        if plan is not None:
+            free = plan.free_procs(state)
+            count = plan.count(state, free)
+            if count == 0:
+                break
+            index = int(rng.integers(count))
+            s, values = plan.propose(state, free, index, crit)
+            candidate = None  # materialized only on acceptance
+        elif batched:
             batch = generate_neighborhood(problem, current)
             if len(batch) == 0:
                 break
@@ -100,17 +131,22 @@ def anneal(
             proposal = batch.single(index)
             values = ctx.evaluate_many(proposal).select(0)
             candidate = None  # materialized only on acceptance
+            s = score_values(values, criterion, thresholds)
         else:
             options = list(neighbors(problem, current))
             if not options:
                 break
             candidate = options[int(rng.integers(len(options)))]
             values = ctx.delta_evaluate(candidate, current, current_values)
-        s = score_values(values, criterion, thresholds)
+            s = score_values(values, criterion, thresholds)
         delta = s - current_score
         if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
             if candidate is None:
-                candidate = proposal.materialize(0)
+                if plan is not None:
+                    state = plan.take(state, free, index)
+                    candidate = plan.materialize(state)
+                else:
+                    candidate = proposal.materialize(0)
             current = candidate
             current_values = values
             current_score = s

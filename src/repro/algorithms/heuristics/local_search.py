@@ -21,27 +21,32 @@ best-improvement descent over this neighborhood; infeasible neighbors are
 scored with a large penalty per violated threshold so the search can walk
 back into the feasible region.
 
-Two engines drive the descent.  The default ``"batched"`` engine
+Three engines drive the descent.  The default ``"batched"`` engine
 generates the whole neighborhood as stacked column arrays
 (:func:`repro.kernel.generate_neighborhood`), scores it in one
 vectorized kernel call
 (:meth:`~repro.kernel.EvaluationContext.evaluate_many` +
 :func:`score_many`) and materializes only the accepted candidate.  The
-``"scalar"`` engine is the original one-``Mapping``-at-a-time loop, kept
-as the equivalence reference and benchmark baseline: both engines return
-byte-identical solutions for identical inputs -- unbudgeted or under an
-evaluation cap (asserted by
-``tests/kernel/test_neighborhood_property.py`` and
+``"compiled"`` engine (:mod:`repro.kernel.compiled`) fuses generation,
+evaluation, scoring and the accept replay into one Numba ``@njit`` call
+per step -- zero Python re-entry -- and silently degrades to
+``"batched"`` (with a once-per-process warning) when Numba is absent or
+the problem shape is unsupported.  The ``"scalar"`` engine is the
+original one-``Mapping``-at-a-time loop, kept as the equivalence
+reference and benchmark baseline: all engines return byte-identical
+solutions for identical inputs -- unbudgeted or under an evaluation cap
+(asserted by ``tests/kernel/test_neighborhood_property.py`` and
 ``benchmarks/bench_neighborhood.py``).  Under a wall-clock
-``time_limit`` the batched engine checks the deadline once per
-neighborhood batch instead of once per candidate, so where the clock
-runs out mid-scan the two engines may part by up to one batch of
-evaluations (one descent step).
+``time_limit`` the batched and compiled engines check the deadline once
+per neighborhood batch instead of once per candidate, so where the
+clock runs out mid-scan they may part from the scalar engine by up to
+one batch of evaluations (one descent step).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -56,22 +61,68 @@ from ...kernel.neighborhood import clamp_speed
 _PENALTY = 1e9
 
 #: Neighborhood engine used when ``hill_climb``/``anneal`` receive
-#: ``engine=None``: ``"batched"`` (array-native, the default) or
-#: ``"scalar"`` (the reference loop).  Module-level so test harnesses can
-#: flip whole strategy stacks (portfolios, the service layer) onto the
-#: scalar path without threading a parameter through every layer.
+#: ``engine=None``: ``"batched"`` (array-native, the default),
+#: ``"compiled"`` (Numba-fused, falls back to batched) or ``"scalar"``
+#: (the reference loop).  Module-level so test harnesses and pool-worker
+#: initializers can flip whole strategy stacks (portfolios, the service
+#: layer) onto another engine without threading a parameter through
+#: every layer.
 DEFAULT_ENGINE = "batched"
 
-_ENGINES = ("batched", "scalar")
+#: Registered hill-climb engines, name -> implementation, in
+#: registration order.  Populated at module bottom; error messages and
+#: every engine listing (CLI, healthz, docs) derive from this mapping so
+#: adding an engine is a one-line registration.
+_ENGINES: Dict[str, object] = {}
+
+
+def engine_names() -> Tuple[str, ...]:
+    """The registered neighborhood engine names, registration order."""
+    return tuple(_ENGINES)
+
+
+def engine_info() -> Dict[str, object]:
+    """Operational snapshot of the engine registry -- surfaced by the
+    daemon's ``/v1/healthz`` and ``repro-pipelines strategies list``:
+    registered names, the process-wide default, whether the compiled
+    engine can actually run, and the Numba version (``None`` when not
+    installed)."""
+    from ...kernel import compiled
+
+    return {
+        "engines": list(_ENGINES),
+        "default": DEFAULT_ENGINE,
+        "compiled_available": compiled.available(),
+        "numba": compiled.NUMBA_VERSION,
+    }
 
 
 def _resolve_engine(engine: Optional[str]) -> str:
     name = DEFAULT_ENGINE if engine is None else engine
     if name not in _ENGINES:
         raise ValueError(
-            f"unknown neighborhood engine {name!r}; expected one of {_ENGINES}"
+            f"unknown neighborhood engine {name!r}; expected one of "
+            f"{tuple(_ENGINES)}"
         )
     return name
+
+
+@contextmanager
+def using_engine(engine: Optional[str]):
+    """Temporarily set :data:`DEFAULT_ENGINE` (validated), restoring the
+    previous default on exit -- how ``engine=`` threads through layers
+    that never call ``hill_climb``/``anneal`` directly (strategies,
+    ``solve_batch``, the daemon).  ``None`` is a no-op."""
+    global DEFAULT_ENGINE
+    if engine is None:
+        yield
+        return
+    previous = DEFAULT_ENGINE
+    DEFAULT_ENGINE = _resolve_engine(engine)
+    try:
+        yield
+    finally:
+        DEFAULT_ENGINE = previous
 
 
 def _clamp_speed(problem: ProblemInstance, proc: int, speed: float) -> float:
@@ -397,13 +448,17 @@ def hill_climb(
     With the default ``"batched"`` engine each step generates the whole
     neighborhood as stacked column arrays, scores it in one vectorized
     kernel call and materializes only the accepted candidate; the
-    ``"scalar"`` engine walks the same neighborhood one ``Mapping`` at a
-    time through incremental delta-evaluation.  Both engines visit
-    candidates in the same order with the same tie-breaking and return
-    byte-identical solutions, except under a wall-clock ``time_limit``
-    hit mid-scan, where the batched engine's per-batch deadline check
-    may let it finish (and act on) one neighborhood scan the scalar
-    engine would have abandoned.
+    ``"compiled"`` engine fuses that whole step into one Numba kernel
+    call (falling back to batched, with a once-per-process warning, when
+    Numba is absent or the shape unsupported); the ``"scalar"`` engine
+    walks the same neighborhood one ``Mapping`` at a time through
+    incremental delta-evaluation.  All registered engines
+    (:func:`engine_names`) visit candidates in the same order with the
+    same tie-breaking and return byte-identical solutions, except under
+    a wall-clock ``time_limit`` hit mid-scan, where the per-batch
+    deadline check of the batched/compiled engines may let them finish
+    (and act on) one neighborhood scan the scalar engine would have
+    abandoned.
 
     ``context`` optionally shares a prebuilt
     :class:`repro.kernel.EvaluationContext`.  ``budget`` optionally passes
@@ -415,16 +470,30 @@ def hill_climb(
     (:data:`DEFAULT_ENGINE`).  Returns the local optimum reached
     (``optimal=False``).
     """
-    if _resolve_engine(engine) == "scalar":
-        return _hill_climb_scalar(
-            problem,
-            start,
-            criterion,
-            thresholds,
-            max_iterations=max_iterations,
-            context=context,
-            budget=budget,
-        )
+    return _ENGINES[_resolve_engine(engine)](
+        problem,
+        start,
+        criterion,
+        thresholds,
+        max_iterations=max_iterations,
+        context=context,
+        budget=budget,
+    )
+
+
+def _hill_climb_batched(
+    problem: ProblemInstance,
+    start: Mapping,
+    criterion: Criterion,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    max_iterations: int = 10_000,
+    context=None,
+    budget=None,
+) -> Solution:
+    """The default array-native engine of :func:`hill_climb`: the whole
+    neighborhood generated and scored as stacked column arrays, only the
+    accepted candidate materialized."""
     ctx = problem.evaluation_context(context)
     current = start
     current_values = ctx.evaluate(current)
@@ -513,3 +582,78 @@ def _hill_climb_scalar(
     return _solution(
         current, current_values, current_score, criterion, n_steps, exhausted
     )
+
+
+def _hill_climb_compiled(
+    problem: ProblemInstance,
+    start: Mapping,
+    criterion: Criterion,
+    thresholds: Thresholds = Thresholds(),
+    *,
+    max_iterations: int = 10_000,
+    context=None,
+    budget=None,
+) -> Solution:
+    """The fused-kernel engine of :func:`hill_climb`: counting,
+    generation, evaluation, scoring and the accept replay of each step
+    run inside one :mod:`repro.kernel.compiled` nopython call; Python is
+    re-entered only between steps (budget accounting, state swap) and at
+    the end (materializing the final mapping).  Falls back to the
+    batched engine -- with a once-per-process warning -- when Numba is
+    absent or :func:`repro.kernel.compiled.support_reason` rejects the
+    problem shape."""
+    from ...kernel import compiled
+
+    plan, _reason = compiled.acquire(problem, context)
+    if plan is None:
+        return _hill_climb_batched(
+            problem,
+            start,
+            criterion,
+            thresholds,
+            max_iterations=max_iterations,
+            context=context,
+            budget=budget,
+        )
+    ctx = problem.evaluation_context(context)
+    current_values = ctx.evaluate(start)
+    current_score = score_values(current_values, criterion, thresholds)
+    crit = plan.criteria_arrays(criterion, thresholds)
+    state = plan.state_from(start)
+    n_steps = 0
+    exhausted = False
+    for _ in range(max_iterations):
+        free = plan.free_procs(state)
+        n_candidates = plan.count(state, free)
+        granted = (
+            n_candidates
+            if budget is None
+            else budget.reserve(n_candidates)
+        )
+        if granted < n_candidates:
+            exhausted = True
+        if granted == 0:
+            break
+        best_index, best_score = plan.best_step(
+            state, free, crit, current_score, granted
+        )
+        if best_index < 0:
+            break
+        state = plan.take(state, free, best_index)
+        current_score = best_score
+        n_steps += 1
+        if exhausted:
+            break
+    if n_steps:
+        current = plan.materialize(state)
+        current_values = ctx.evaluate(current)
+    else:
+        current = start
+    return _solution(
+        current, current_values, current_score, criterion, n_steps, exhausted
+    )
+
+
+_ENGINES["batched"] = _hill_climb_batched
+_ENGINES["scalar"] = _hill_climb_scalar
+_ENGINES["compiled"] = _hill_climb_compiled

@@ -20,13 +20,18 @@ as a data-parallel *cost-model kernel*:
   ``evaluate_many``), in the scalar generator's enumeration order;
 * :mod:`repro.kernel.vectorized` -- whole-table builders (interval
   cycle-time matrices, latency segment costs, cheapest-feasible-mode energy
-  tables) consumed by the dynamic-programming solvers.
+  tables) consumed by the dynamic-programming solvers;
+* :mod:`repro.kernel.compiled` -- the optional Numba ``@njit`` backend
+  fusing neighborhood generation, evaluation, scoring and the accept
+  replay into one nopython call per hill-climb step, with graceful
+  fallback to the batched path when Numba is absent.
 
 The scalar reference implementations live in :mod:`repro.core.evaluation`
 (``evaluate_scalar`` and friends); property tests assert the two paths
 agree to within 1e-9 relative tolerance on random instances.
 """
 
+from . import compiled
 from .context import BatchCriteria, EvaluationContext, attach_kernel_arrays
 from .neighborhood import CandidateBatch, generate_neighborhood
 from .vectorized import (
@@ -39,6 +44,7 @@ from .vectorized import (
 __all__ = [
     "BatchCriteria",
     "CandidateBatch",
+    "compiled",
     "EvaluationContext",
     "attach_kernel_arrays",
     "generate_neighborhood",

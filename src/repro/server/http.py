@@ -246,12 +246,21 @@ class SolveServer:
             raise _HttpError(405, f"method {method} not allowed here")
 
     def _healthz(self) -> Dict[str, Any]:
+        from ..algorithms.heuristics.local_search import engine_info
+
+        info = engine_info()
         return {
             "status": "ok",
             "version": __version__,
             "shard": self.service.shard,
             "uptime_s": self.service.uptime,
             "concurrency": self.service.concurrency,
+            # Active neighborhood engine: the daemon-level override when
+            # set, otherwise the library default.
+            "engine": self.service.engine or info["default"],
+            "engines": info["engines"],
+            "compiled_available": info["compiled_available"],
+            "numba": info["numba"],
         }
 
     def _job(self, job_id: str):

@@ -87,7 +87,10 @@ class ServiceOverloadedError(ReproError):
 
 
 def solve_cell(
-    problem: ProblemInstance, solver: SolverSpec, transport: str = "auto"
+    problem: ProblemInstance,
+    solver: SolverSpec,
+    transport: str = "auto",
+    engine: Optional[str] = None,
 ):
     """Solve one cell through the batch service (executor-side).
 
@@ -97,6 +100,8 @@ def solve_cell(
     wall-clock and telemetry.  ``transport`` is threaded through to
     :func:`repro.service.solve_batch` (it only engages when a runner
     fans a cell out over workers; single-instance cells solve inline).
+    ``engine`` is the daemon-level default neighborhood engine; a
+    solver spec that pins its own ``engine`` wins.
     """
     batch = solve_batch(
         [problem],
@@ -107,6 +112,7 @@ def solve_cell(
         budget=solver.budget,
         workers=None,
         transport=transport,
+        engine=solver.engine if solver.engine is not None else engine,
     )
     return batch.items[0]
 
@@ -205,6 +211,14 @@ class SolveService:
         :meth:`metrics` and ``/v1/healthz`` so the router and operators
         can attribute fleet-wide counters to the daemon that produced
         them; ``None`` for a standalone daemon.
+    engine:
+        Daemon-level default neighborhood engine for the local-search
+        heuristics (``repro-pipelines serve --engine``), any name from
+        :func:`repro.algorithms.heuristics.local_search.engine_names`;
+        a solver spec that pins its own ``engine`` overrides it per
+        job.  ``None`` keeps the library default.  Surfaced in
+        :meth:`metrics` and ``/v1/healthz``.  Ignored for custom
+        runners.
 
     All public methods must be called from the event-loop thread (the
     HTTP handlers do); no internal locking is performed.
@@ -221,6 +235,7 @@ class SolveService:
         max_queue_depth: Optional[int] = None,
         transport: str = "auto",
         shard: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -228,6 +243,10 @@ class SolveService:
             raise ValueError(
                 f"max_queue_depth must be >= 1 or None, got {max_queue_depth}"
             )
+        if engine is not None:
+            from ..algorithms.heuristics.local_search import _resolve_engine
+
+            engine = _resolve_engine(engine)  # fail fast on unknown names
         if isinstance(cache, (str, Path)):
             cache = ResultsCache(cache)
         self.cache = cache if cache is not None else MemoryCache()
@@ -235,13 +254,14 @@ class SolveService:
         self.max_queue_depth = max_queue_depth
         self.transport = transport
         self.shard = shard
+        self.engine = engine
         self._executor, self._owns_executor = _make_executor(
             executor, concurrency
         )
         self._runner = (
             runner
             if runner is not None
-            else functools.partial(solve_cell, transport=transport)
+            else functools.partial(solve_cell, transport=transport, engine=engine)
         )
         self._max_jobs_retained = max_jobs_retained
 
@@ -501,6 +521,7 @@ class SolveService:
                 "shed": self._counters["shed"],
             },
             "transport": self.transport,
+            "engine": self.engine,
             "jobs": dict(self._counters),
             "solver": {
                 "evaluations": self._evaluations_total,

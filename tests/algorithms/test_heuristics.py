@@ -120,45 +120,60 @@ class TestHillClimb:
 
 
 class TestNeighborhoodEngines:
-    """The batched engine is a drop-in for the scalar reference."""
+    """The batched and compiled engines are drop-ins for the scalar
+    reference (the compiled one runs its real kernels interpreted here,
+    via the pure-Python test hook, so Numba is not required)."""
 
     @pytest.mark.parametrize("seed", range(4))
     def test_hill_climb_engines_byte_identical(self, seed):
+        from ..kernel.test_neighborhood_property import forced_python_compiled
+
         problem = small_random_problem(
             seed + 70, platform_class=HET, n_modes=2, stage_range=(2, 4)
         )
         start = greedy_interval_period(problem)
         batched = hill_climb(problem, start.mapping, Criterion.PERIOD)
-        scalar = hill_climb(
-            problem, start.mapping, Criterion.PERIOD, engine="scalar"
-        )
-        assert batched.mapping == scalar.mapping
-        assert batched.objective == scalar.objective
-        assert batched.values == scalar.values
-        assert batched.stats == scalar.stats
+        with forced_python_compiled():
+            others = {
+                engine: hill_climb(
+                    problem, start.mapping, Criterion.PERIOD, engine=engine
+                )
+                for engine in ("scalar", "compiled")
+            }
+        for other in others.values():
+            assert batched.mapping == other.mapping
+            assert batched.objective == other.objective
+            assert batched.values == other.values
+            assert batched.stats == other.stats
 
     @pytest.mark.parametrize("seed", range(3))
     def test_anneal_engines_byte_identical(self, seed):
+        from ..kernel.test_neighborhood_property import forced_python_compiled
+
         problem = small_random_problem(
             seed + 80, platform_class=HET, n_modes=2
         )
         start = greedy_interval_period(problem)
-        runs = {
-            engine: anneal(
-                problem,
-                start.mapping,
-                Criterion.PERIOD,
-                seed=3,
-                n_iterations=120,
-                engine=engine,
-            )
-            for engine in ("batched", "scalar")
-        }
-        assert runs["batched"].mapping == runs["scalar"].mapping
-        assert runs["batched"].objective == runs["scalar"].objective
-        assert runs["batched"].stats == runs["scalar"].stats
+        with forced_python_compiled():
+            runs = {
+                engine: anneal(
+                    problem,
+                    start.mapping,
+                    Criterion.PERIOD,
+                    seed=3,
+                    n_iterations=120,
+                    engine=engine,
+                )
+                for engine in ("batched", "scalar", "compiled")
+            }
+        for engine in ("scalar", "compiled"):
+            assert runs["batched"].mapping == runs[engine].mapping
+            assert runs["batched"].objective == runs[engine].objective
+            assert runs["batched"].stats == runs[engine].stats
 
     def test_one_to_one_engines_byte_identical(self):
+        from ..kernel.test_neighborhood_property import forced_python_compiled
+
         problem = small_random_problem(
             90,
             platform_class=HET,
@@ -168,11 +183,13 @@ class TestNeighborhoodEngines:
         )
         start = greedy_one_to_one_period(problem)
         batched = hill_climb(problem, start.mapping, Criterion.PERIOD)
-        scalar = hill_climb(
-            problem, start.mapping, Criterion.PERIOD, engine="scalar"
-        )
-        assert batched.mapping == scalar.mapping
-        assert batched.stats == scalar.stats
+        with forced_python_compiled():
+            for engine in ("scalar", "compiled"):
+                other = hill_climb(
+                    problem, start.mapping, Criterion.PERIOD, engine=engine
+                )
+                assert batched.mapping == other.mapping
+                assert batched.stats == other.stats
 
     def test_unknown_engine_rejected(self):
         problem = small_random_problem(91)

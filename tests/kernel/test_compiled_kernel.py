@@ -1,0 +1,167 @@
+"""Property tests: the compiled (Numba) engine's kernels are candidate-
+for-candidate equivalent to the batched neighborhood path.
+
+The contract of :mod:`repro.kernel.compiled`: for every valid mapping,
+under both mapping rules and both communication models, the compiled
+plan
+
+* counts exactly the candidates of
+  :func:`~repro.kernel.generate_neighborhood`;
+* generates the same candidate at every index (``take(i)`` materializes
+  to ``batch.materialize(i)``);
+* evaluates and scores each candidate **bit-identically** to
+  ``evaluate_many`` + ``score_values`` (the property that makes compiled
+  hill climbing replay the batched walk exactly);
+* picks the same best step as the batched argmin + tie-break replay.
+
+All of it runs here through the pure-Python test hook
+(``_FORCE_PYTHON_ENGINE``): the decode/evaluate/score/accept code under
+test is the genuine compiled path, executed interpreted, so the
+equivalence holds with or without Numba installed (with Numba, the JIT
+compiles these same functions).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    CommunicationModel,
+    Criterion,
+    MappingRule,
+    ProblemInstance,
+    Thresholds,
+)
+from repro.algorithms.heuristics.local_search import score_many, score_values
+from repro.kernel import compiled, generate_neighborhood
+
+from ..properties.strategies import (
+    het_mapped_instances,
+    mapped_instances,
+    one_to_one_mapped_instances,
+)
+from .test_neighborhood_property import forced_python_compiled
+
+BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
+ALL_CRITERIA = [Criterion.PERIOD, Criterion.LATENCY, Criterion.ENERGY]
+
+
+def loose_thresholds(base):
+    """Thresholds that straddle the base values, so the penalty branches
+    of the compiled scorer (violated and satisfied) both execute."""
+    return Thresholds(
+        period=base.period * 0.9,
+        latency=base.latency * 1.1,
+        energy=base.energy,
+        per_app_period=tuple(
+            base.periods[a] * 0.95 for a in sorted(base.periods)
+        ),
+        per_app_latency=tuple(
+            base.latencies[a] * 1.05 for a in sorted(base.latencies)
+        ),
+    )
+
+
+def assert_compiled_matches_batch(problem, mapping, criterion):
+    """Per-candidate: count, decode, criteria and score all match."""
+    ctx = problem.evaluation_context()
+    base = ctx.evaluate(mapping)
+    thresholds = loose_thresholds(base)
+    batch = generate_neighborhood(problem, mapping)
+
+    plan, reason = compiled.acquire(problem)
+    assert reason is None and plan is not None
+    state = plan.state_from(mapping)
+    assert plan.materialize(state) == mapping
+    free = plan.free_procs(state)
+    n = plan.count(state, free)
+    assert n == len(batch)
+    if n == 0:
+        return
+    values = ctx.evaluate_many(batch)
+    scores = score_many(values, criterion, thresholds)
+    crit = plan.criteria_arrays(criterion, thresholds)
+    for i in range(n):
+        reference = values.select(i)
+        s, got = plan.propose(state, free, i, crit)
+        # Bit-identical, not merely approximately equal.
+        assert s == scores[i] == score_values(reference, criterion, thresholds)
+        assert got == reference
+        taken = plan.take(state, free, i)
+        assert plan.materialize(taken) == batch.materialize(i)
+
+    # The fused best-step agrees with the batched argmin + strict
+    # sequential tie-break replay.
+    current_score = score_values(base, criterion, thresholds)
+    best_index, best_score = plan.best_step(
+        state, free, crit, current_score, limit=n
+    )
+    expected_index, expected_score = -1, current_score
+    for i in range(n):
+        if scores[i] < expected_score - 1e-15:
+            expected_index, expected_score = i, scores[i]
+    assert best_index == expected_index
+    if best_index >= 0:
+        assert best_score == expected_score
+
+
+@given(
+    mapped_instances(max_apps=2, max_stages=4),
+    st.sampled_from(BOTH_MODELS),
+    st.sampled_from(ALL_CRITERIA),
+)
+@settings(max_examples=30, deadline=None)
+def test_compiled_matches_batch_interval(instance, model, criterion):
+    """INTERVAL rule, homogeneous platforms, both models, all criteria."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform, model=model)
+    with forced_python_compiled():
+        assert_compiled_matches_batch(problem, mapping, criterion)
+
+
+@given(
+    het_mapped_instances(max_apps=2, max_stages=4),
+    st.sampled_from(BOTH_MODELS),
+    st.sampled_from(ALL_CRITERIA),
+)
+@settings(max_examples=30, deadline=None)
+def test_compiled_matches_batch_heterogeneous(instance, model, criterion):
+    """INTERVAL rule through every bandwidth-resolution path."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(apps=apps, platform=platform, model=model)
+    with forced_python_compiled():
+        assert_compiled_matches_batch(problem, mapping, criterion)
+
+
+@given(
+    one_to_one_mapped_instances(max_apps=2, max_stages=4),
+    st.sampled_from(BOTH_MODELS),
+    st.sampled_from(ALL_CRITERIA),
+)
+@settings(max_examples=30, deadline=None)
+def test_compiled_matches_batch_one_to_one(instance, model, criterion):
+    """ONE_TO_ONE rule: shift/split/merge disabled, same equivalence."""
+    apps, platform, mapping = instance
+    problem = ProblemInstance(
+        apps=apps,
+        platform=platform,
+        rule=MappingRule.ONE_TO_ONE,
+        model=model,
+    )
+    with forced_python_compiled():
+        assert_compiled_matches_batch(problem, mapping, criterion)
+
+
+def test_plan_is_memoized_per_problem(fig1_problem):
+    with forced_python_compiled():
+        assert compiled.plan_for(fig1_problem) is compiled.plan_for(
+            fig1_problem
+        )
+
+
+def test_warmup_is_idempotent_and_reports_availability():
+    with forced_python_compiled():
+        assert compiled.warmup() is True
+        assert compiled.warmup() is True
+    if not compiled.HAVE_NUMBA:
+        assert compiled.warmup() is False

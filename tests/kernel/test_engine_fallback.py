@@ -1,0 +1,184 @@
+"""Graceful degradation of the ``"compiled"`` neighborhood engine.
+
+Contract (:func:`repro.kernel.compiled.acquire`):
+
+* with Numba absent, ``engine="compiled"`` falls back to the batched
+  engine and returns **byte-identical** solutions;
+* an unsupported problem shape (custom ``EnergyModel`` subclass)
+  downgrades the same way, even when the engine itself is available;
+* each distinct fallback reason warns **exactly once per process**
+  (``RuntimeWarning``), never once per solve;
+* the registry helpers (``engine_names`` / ``engine_info`` /
+  ``using_engine``) expose the compiled engine and restore state.
+"""
+
+import warnings
+
+import pytest
+
+from repro.algorithms.heuristics import anneal, hill_climb
+from repro.algorithms.heuristics import local_search
+from repro.core.energy import EnergyModel
+from repro.core.problem import ProblemInstance
+from repro.core.types import Criterion
+from repro.generators import small_random_problem
+from repro.kernel import compiled
+
+from .test_neighborhood_property import forced_python_compiled
+
+
+class TracedEnergyModel(EnergyModel):
+    """A pluggable energy model the compiled kernels cannot hard-code."""
+
+
+@pytest.fixture
+def fresh_warnings():
+    """Reset the once-per-process warning dedup around a test."""
+    saved = set(compiled._WARNED)
+    compiled._WARNED.clear()
+    yield
+    compiled._WARNED.clear()
+    compiled._WARNED.update(saved)
+
+
+@pytest.fixture
+def problem():
+    return small_random_problem(0)
+
+
+def greedy_start(problem):
+    from repro.algorithms.heuristics import greedy_interval_period
+
+    return greedy_interval_period(problem).mapping
+
+
+def test_numba_absent_falls_back_to_batched(problem, fresh_warnings):
+    if compiled.HAVE_NUMBA:
+        pytest.skip("numba is installed: the absent-numba path cannot run")
+    start = greedy_start(problem)
+    with pytest.warns(RuntimeWarning, match="numba is not installed"):
+        via_compiled = hill_climb(
+            problem, start, Criterion.PERIOD, max_iterations=4,
+            engine="compiled",
+        )
+    batched = hill_climb(
+        problem, start, Criterion.PERIOD, max_iterations=4, engine="batched"
+    )
+    assert via_compiled.mapping == batched.mapping
+    assert via_compiled.objective == batched.objective
+    assert via_compiled.values == batched.values
+    assert via_compiled.stats == batched.stats
+
+
+def test_anneal_numba_absent_falls_back_to_batched(problem, fresh_warnings):
+    if compiled.HAVE_NUMBA:
+        pytest.skip("numba is installed: the absent-numba path cannot run")
+    start = greedy_start(problem)
+    with pytest.warns(RuntimeWarning, match="numba is not installed"):
+        via_compiled = anneal(
+            problem, start, Criterion.PERIOD, seed=0, n_iterations=30,
+            engine="compiled",
+        )
+    batched = anneal(
+        problem, start, Criterion.PERIOD, seed=0, n_iterations=30,
+        engine="batched",
+    )
+    assert via_compiled.mapping == batched.mapping
+    assert via_compiled.values == batched.values
+    assert via_compiled.stats == batched.stats
+
+
+def test_unsupported_shape_downgrades_even_when_available(fresh_warnings):
+    """A custom EnergyModel subclass is outside the kernels' hard-coded
+    shapes: the plan is refused (with its own reason) and the solve
+    still matches batched bit-for-bit."""
+    base = small_random_problem(1)
+    custom = ProblemInstance(
+        apps=base.apps,
+        platform=base.platform,
+        rule=base.rule,
+        model=base.model,
+        energy_model=TracedEnergyModel(
+            alpha=base.energy_model.alpha,
+        ),
+    )
+    start = greedy_start(custom)
+    with forced_python_compiled():
+        assert compiled.available()
+        assert "TracedEnergyModel" in compiled.support_reason(custom)
+        with pytest.warns(RuntimeWarning, match="TracedEnergyModel"):
+            plan, reason = compiled.acquire(custom)
+        assert plan is None and "TracedEnergyModel" in reason
+        via_compiled = hill_climb(
+            custom, start, Criterion.PERIOD, max_iterations=4,
+            engine="compiled",
+        )
+    batched = hill_climb(
+        custom, start, Criterion.PERIOD, max_iterations=4, engine="batched"
+    )
+    assert via_compiled.mapping == batched.mapping
+    assert via_compiled.values == batched.values
+    assert via_compiled.stats == batched.stats
+
+
+def test_fallback_warning_fires_exactly_once_per_reason(
+    problem, fresh_warnings
+):
+    if compiled.HAVE_NUMBA:
+        pytest.skip("numba is installed: no fallback to warn about")
+    start = greedy_start(problem)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(3):
+            hill_climb(
+                problem, start, Criterion.PERIOD, max_iterations=2,
+                engine="compiled",
+            )
+    fallback = [
+        w for w in caught
+        if issubclass(w.category, RuntimeWarning)
+        and "numba is not installed" in str(w.message)
+    ]
+    assert len(fallback) == 1
+
+
+def test_supported_problem_warns_nothing(problem):
+    """The happy path is silent: no fallback, no warning."""
+    start = greedy_start(problem)
+    with forced_python_compiled():
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            hill_climb(
+                problem, start, Criterion.PERIOD, max_iterations=2,
+                engine="compiled",
+            )
+
+
+def test_engine_registry_exposes_all_three():
+    assert local_search.engine_names() == ("batched", "scalar", "compiled")
+    info = local_search.engine_info()
+    assert info["engines"] == ["batched", "scalar", "compiled"]
+    assert info["default"] == local_search.DEFAULT_ENGINE
+    assert info["compiled_available"] == compiled.available()
+    assert info["numba"] == compiled.NUMBA_VERSION
+
+
+def test_using_engine_sets_and_restores_default():
+    before = local_search.DEFAULT_ENGINE
+    with local_search.using_engine("scalar"):
+        assert local_search.DEFAULT_ENGINE == "scalar"
+    assert local_search.DEFAULT_ENGINE == before
+    with local_search.using_engine(None):  # no-op
+        assert local_search.DEFAULT_ENGINE == before
+    with pytest.raises(ValueError, match="unknown neighborhood engine"):
+        with local_search.using_engine("nope"):
+            pass  # pragma: no cover
+    assert local_search.DEFAULT_ENGINE == before
+
+
+def test_using_engine_restores_on_exception():
+    before = local_search.DEFAULT_ENGINE
+    with pytest.raises(RuntimeError):
+        with local_search.using_engine("scalar"):
+            raise RuntimeError("boom")
+    assert local_search.DEFAULT_ENGINE == before

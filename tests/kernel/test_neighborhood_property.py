@@ -14,9 +14,14 @@ and every platform class,
   per-neighbor ``delta_evaluate``;
 * :func:`~repro.algorithms.heuristics.local_search.score_many` matches
   per-candidate ``score_values``;
-* the two :func:`~repro.algorithms.heuristics.hill_climb` engines return
-  identical solutions.
+* all three :func:`~repro.algorithms.heuristics.hill_climb` engines
+  return identical solutions (the ``"compiled"`` engine runs its real
+  kernel code here through the pure-Python test hook
+  ``repro.kernel.compiled._FORCE_PYTHON_ENGINE``, so the equivalence is
+  asserted even where Numba is not installed).
 """
+
+from contextlib import contextmanager
 
 import pytest
 from hypothesis import given, settings
@@ -32,7 +37,7 @@ from repro import (
 )
 from repro.algorithms.heuristics import hill_climb, neighbors
 from repro.algorithms.heuristics.local_search import score_many, score_values
-from repro.kernel import generate_neighborhood
+from repro.kernel import compiled, generate_neighborhood
 
 from ..properties.strategies import (
     het_mapped_instances,
@@ -43,6 +48,19 @@ from ..properties.strategies import (
 BOTH_MODELS = [CommunicationModel.OVERLAP, CommunicationModel.NO_OVERLAP]
 
 RTOL = 1e-9
+
+
+@contextmanager
+def forced_python_compiled():
+    """Run the compiled engine's real kernels interpreted (no Numba
+    needed): the plan, decode and accept-replay code under test is the
+    genuine compiled path, minus the JIT."""
+    old = compiled._FORCE_PYTHON_ENGINE
+    compiled._FORCE_PYTHON_ENGINE = True
+    try:
+        yield
+    finally:
+        compiled._FORCE_PYTHON_ENGINE = old
 
 
 def assert_batch_matches_scalar(problem, mapping):
@@ -152,23 +170,25 @@ def test_score_many_matches_score_values(instance):
 )
 @settings(max_examples=15, deadline=None)
 def test_hill_climb_engines_identical(instance, criterion):
-    """Batched and scalar hill climbing return identical solutions."""
+    """All three hill-climb engines return identical solutions."""
     apps, platform, mapping = instance
     problem = ProblemInstance(apps=apps, platform=platform)
-    solutions = {
-        engine: hill_climb(
-            problem,
-            mapping,
-            criterion,
-            max_iterations=4,
-            engine=engine,
-        )
-        for engine in ("batched", "scalar")
-    }
-    assert solutions["batched"].mapping == solutions["scalar"].mapping
-    assert solutions["batched"].objective == solutions["scalar"].objective
-    assert solutions["batched"].values == solutions["scalar"].values
-    assert solutions["batched"].stats == solutions["scalar"].stats
+    with forced_python_compiled():
+        solutions = {
+            engine: hill_climb(
+                problem,
+                mapping,
+                criterion,
+                max_iterations=4,
+                engine=engine,
+            )
+            for engine in ("batched", "scalar", "compiled")
+        }
+    for engine in ("scalar", "compiled"):
+        assert solutions["batched"].mapping == solutions[engine].mapping
+        assert solutions["batched"].objective == solutions[engine].objective
+        assert solutions["batched"].values == solutions[engine].values
+        assert solutions["batched"].stats == solutions[engine].stats
 
 
 def test_empty_batch_evaluates_to_empty_vectors(fig1_apps, fig1_platform):

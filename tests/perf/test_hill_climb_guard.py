@@ -1,18 +1,24 @@
-"""Wall-clock regression guard for the batched neighborhood engine.
+"""Wall-clock regression guards for the neighborhood engines.
 
 ``benchmarks/BENCH_neighborhood.json`` records, next to the speedup
-table, a ``guard`` block: the batched hill-climb wall-clock on a fixed
-reference instance plus a machine-calibration time (a fixed NumPy +
-Python workload).  This test replays the reference instance and fails
-when the batched engine has regressed to more than 1.5x the recorded
-wall-clock -- after rescaling the recorded baseline by the calibration
-ratio, so a slower CI machine moves the bar instead of tripping it.
+table, a ``guard`` block: the batched (and, when the baseline machine
+had Numba, compiled) hill-climb wall-clock on a fixed reference instance
+plus a machine-calibration time (a fixed NumPy + Python workload).
+These tests replay the reference instance and fail when an engine has
+regressed to more than 1.5x the recorded wall-clock -- after rescaling
+the recorded baseline by the calibration ratio, so a slower CI machine
+moves the bar instead of tripping it.  A degenerate recorded calibration
+(zero, negative or non-finite) falls back to scale 1.0 rather than
+dividing by zero.
 
-Skipped when the baseline JSON has not been recorded.
+Skipped when the baseline JSON has not been recorded; the compiled guard
+additionally skips (with the reason) when Numba is absent here or the
+baseline was recorded without it.
 """
 
 import importlib.util
 import json
+import math
 import time
 from pathlib import Path
 
@@ -20,11 +26,12 @@ import pytest
 
 from repro.algorithms.heuristics import greedy_interval_period, hill_climb
 from repro.core.types import Criterion
+from repro.kernel import compiled
 
 BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 BASELINE = BENCH_DIR / "BENCH_neighborhood.json"
 
-#: Allowed regression over the (rescaled) recorded batched wall-clock.
+#: Allowed regression over the (rescaled) recorded wall-clock.
 MAX_REGRESSION = 1.5
 
 #: Noise floor: never fail on differences below this many seconds.
@@ -40,11 +47,25 @@ def load_bench_module():
     return module
 
 
-@pytest.mark.skipif(
-    not BASELINE.exists(),
-    reason="BENCH_neighborhood.json baseline not recorded",
-)
-def test_hill_climb_has_not_regressed_past_recorded_baseline():
+def calibration_scale(bench, guard) -> float:
+    """This machine's speed relative to the baseline machine's.
+
+    A corrupt or hand-edited baseline can carry a zero/negative/NaN
+    ``calibration_seconds``; rescaling by it would divide by zero (or
+    flip the bar's sign), so anything non-positive or non-finite
+    degrades to scale 1.0 (compare raw wall-clocks).
+    """
+    recorded = guard.get("calibration_seconds")
+    if (
+        not isinstance(recorded, (int, float))
+        or not math.isfinite(recorded)
+        or recorded <= 0.0
+    ):
+        return 1.0
+    return bench.calibrate() / recorded
+
+
+def run_guard(engine: str, baseline_seconds: float) -> None:
     payload = json.loads(BASELINE.read_text())
     guard = payload["guard"]
     bench = load_bench_module()
@@ -52,11 +73,10 @@ def test_hill_climb_has_not_regressed_past_recorded_baseline():
     problem = bench.build_instance(guard["seed"], tiny=guard["tiny"])
     start = greedy_interval_period(problem).mapping
     # Rescale the recorded baseline to this machine's speed.
-    calibration = bench.calibrate()
-    scale = calibration / guard["calibration_seconds"]
+    scale = calibration_scale(bench, guard)
 
-    # Warm the kernel tables, then keep the best of three runs so a
-    # scheduler hiccup cannot fail the guard.
+    # Warm the kernel tables (attempt 0), then keep the best of three
+    # runs so a scheduler hiccup cannot fail the guard.
     best = float("inf")
     for attempt in range(4):
         t0 = time.perf_counter()
@@ -65,7 +85,7 @@ def test_hill_climb_has_not_regressed_past_recorded_baseline():
             start,
             Criterion.PERIOD,
             max_iterations=guard["max_iterations"],
-            engine="batched",
+            engine=engine,
         )
         elapsed = time.perf_counter() - t0
         if attempt > 0:  # attempt 0 is the warm-up
@@ -73,11 +93,40 @@ def test_hill_climb_has_not_regressed_past_recorded_baseline():
     assert solution.stats["n_steps"] >= 1
 
     allowed = max(
-        MAX_REGRESSION * guard["batched_seconds"] * scale,
+        MAX_REGRESSION * baseline_seconds * scale,
         ABSOLUTE_FLOOR,
     )
     assert best <= allowed, (
-        f"batched hill_climb took {best:.3f}s on the reference instance; "
-        f"recorded baseline {guard['batched_seconds']:.3f}s "
+        f"{engine} hill_climb took {best:.3f}s on the reference instance; "
+        f"recorded baseline {baseline_seconds:.3f}s "
         f"(calibration scale {scale:.2f}) allows at most {allowed:.3f}s"
     )
+
+
+@pytest.mark.skipif(
+    not BASELINE.exists(),
+    reason="BENCH_neighborhood.json baseline not recorded",
+)
+def test_hill_climb_has_not_regressed_past_recorded_baseline():
+    guard = json.loads(BASELINE.read_text())["guard"]
+    run_guard("batched", guard["batched_seconds"])
+
+
+@pytest.mark.skipif(
+    not BASELINE.exists(),
+    reason="BENCH_neighborhood.json baseline not recorded",
+)
+def test_compiled_hill_climb_has_not_regressed_past_recorded_baseline():
+    if not compiled.HAVE_NUMBA:
+        pytest.skip(
+            "numba is not installed (pip install repro-pipelines[compiled]); "
+            "the compiled engine would fall back to batched here"
+        )
+    guard = json.loads(BASELINE.read_text())["guard"]
+    if guard.get("compiled_seconds") is None:
+        pytest.skip(
+            "baseline was recorded without numba: no compiled wall-clock "
+            "to guard against (re-record with the [compiled] extra)"
+        )
+    compiled.warmup()  # JIT compile outside the timed runs
+    run_guard("compiled", guard["compiled_seconds"])

@@ -1,0 +1,153 @@
+"""The ``engine=`` parameter reaches every solve surface.
+
+One seam (:func:`repro.algorithms.heuristics.local_search.using_engine` /
+the per-worker default) is threaded through :func:`repro.service.solve_one`,
+:func:`repro.service.solve_batch` (sequential and pooled),
+:class:`repro.experiments.SolverSpec`, the daemon's
+:class:`repro.server.SolveService` and ``/v1/healthz``.  Everything here
+runs with the compiled engine's pure-Python test hook where the real
+compiled path is wanted, and otherwise just asserts byte-identical
+results and correct plumbing/restoration.
+"""
+
+import pytest
+
+from repro.algorithms.heuristics import local_search
+from repro.experiments.spec import CampaignSpecError, SolverSpec
+from repro.generators import small_random_problem
+from repro.service import solve_batch, solve_one
+
+from ..kernel.test_neighborhood_property import forced_python_compiled
+
+
+@pytest.fixture
+def problems():
+    return [small_random_problem(seed) for seed in range(4)]
+
+
+class TestSolveOne:
+    def test_engine_applies_and_restores_default(self, problems):
+        before = local_search.DEFAULT_ENGINE
+        with forced_python_compiled():
+            a = solve_one(problems[0], "period", engine="compiled")
+        b = solve_one(problems[0], "period")
+        assert a.objective == b.objective
+        assert a.mapping == b.mapping
+        assert local_search.DEFAULT_ENGINE == before
+
+    def test_unknown_engine_rejected(self, problems):
+        with pytest.raises(ValueError, match="unknown neighborhood engine"):
+            solve_one(problems[0], "period", engine="simd")
+
+    def test_engine_with_strategy(self, problems):
+        with forced_python_compiled():
+            a = solve_one(
+                problems[0], "period", strategy="local_search",
+                engine="compiled",
+            )
+        b = solve_one(problems[0], "period", strategy="local_search")
+        assert a.objective == b.objective
+
+
+class TestSolveBatch:
+    def test_sequential_engines_byte_identical(self, problems):
+        base = solve_batch(problems, objective="period")
+        with forced_python_compiled():
+            comp = solve_batch(problems, objective="period", engine="compiled")
+        scal = solve_batch(problems, objective="period", engine="scalar")
+        for ref, c, s in zip(base.items, comp.items, scal.items):
+            assert ref.solution.mapping == c.solution.mapping
+            assert ref.solution.values == c.solution.values
+            assert ref.solution.mapping == s.solution.mapping
+
+    def test_unknown_engine_fails_fast_before_any_solve(self, problems):
+        with pytest.raises(ValueError, match="unknown neighborhood engine"):
+            solve_batch(problems, engine="simd", workers=4)
+
+    def test_pooled_engine_reaches_workers(self, problems):
+        # Without numba the workers downgrade compiled -> batched, which
+        # is exactly the graceful-degradation contract: same solutions.
+        base = solve_batch(problems, objective="period", workers=2)
+        comp = solve_batch(
+            problems, objective="period", workers=2, engine="compiled"
+        )
+        for ref, item in zip(base.items, comp.items):
+            assert item.solution.mapping == ref.solution.mapping
+            assert item.solution.values == ref.solution.values
+
+    def test_pooled_shared_instance_engine(self, problems):
+        shared = [problems[0]] * 4
+        base = solve_batch(shared, objective="period", workers=2)
+        comp = solve_batch(
+            shared, objective="period", workers=2, engine="compiled"
+        )
+        assert [i.objective for i in base.items] == [
+            i.objective for i in comp.items
+        ]
+
+
+class TestSolverSpec:
+    def test_engine_round_trips(self):
+        spec = SolverSpec.from_dict(
+            {"name": "x", "strategy": "annealing", "engine": "compiled"}
+        )
+        assert spec.engine == "compiled"
+        assert spec.to_dict()["engine"] == "compiled"
+
+    def test_engine_omitted_keeps_digest_stable(self):
+        # No engine pinned -> no key emitted -> pre-existing cache
+        # digests (which hash to_dict) are unchanged.
+        spec = SolverSpec.from_dict({"name": "y"})
+        assert spec.engine is None
+        assert "engine" not in spec.to_dict()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(CampaignSpecError, match="unknown engine"):
+            SolverSpec.from_dict({"name": "z", "engine": "simd"})
+
+
+class TestDaemon:
+    def test_service_validates_engine(self):
+        from repro.server import SolveService
+
+        with pytest.raises(ValueError, match="unknown neighborhood engine"):
+            SolveService(executor="thread", engine="simd")
+
+    def test_healthz_reports_engines(self):
+        from repro.client import SolveClient
+        from repro.kernel import compiled
+        from repro.server import ServerThread
+
+        with ServerThread(
+            port=0, concurrency=1, executor="thread", engine="scalar"
+        ) as server:
+            client = SolveClient(server.url)
+            health = client.healthz()
+            metrics = client.metrics()
+        assert health["engine"] == "scalar"
+        assert health["engines"] == ["batched", "scalar", "compiled"]
+        assert health["compiled_available"] == compiled.available()
+        assert health["numba"] == compiled.NUMBA_VERSION
+        assert metrics["engine"] == "scalar"
+
+    def test_healthz_defaults_to_library_default(self):
+        from repro.client import SolveClient
+        from repro.server import ServerThread
+
+        with ServerThread(port=0, concurrency=1, executor="thread") as server:
+            health = SolveClient(server.url).healthz()
+        assert health["engine"] == local_search.DEFAULT_ENGINE
+
+    def test_daemon_solves_with_engine(self):
+        from repro.client import SolveClient
+        from repro.server import ServerThread
+
+        problem = small_random_problem(0)
+        with ServerThread(
+            port=0, concurrency=1, executor="thread", engine="compiled"
+        ) as server:
+            client = SolveClient(server.url, timeout=60.0)
+            result = client.solve(problem, timeout=120)
+        assert result.status == "ok"
+        reference = solve_one(problem, "period")
+        assert result.solution.objective == reference.objective
