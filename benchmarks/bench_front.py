@@ -1,0 +1,151 @@
+"""Anytime front engine benchmark: hypervolume vs wall-clock against the
+sequential exact sweep.
+
+Run as a script to (re)record the performance baseline::
+
+    PYTHONPATH=src python benchmarks/bench_front.py [output.json] [--tiny]
+
+Over a mixed grid of NP-hard (interval rule on a communication-homogeneous
+platform, Table 2) energy/period instances it measures, per instance:
+
+* ``sequential_s`` -- wall-clock of :func:`period_energy_front_exact`,
+  the offline baseline that solves every threshold cell in ascending
+  order with no work sharing;
+* ``anytime_s`` -- wall-clock of :func:`compute_front_anytime` over the
+  *same* cells (bisection order + warm-started bounds);
+* ``t90_s`` -- elapsed time at which the anytime engine's incremental
+  front first reaches 90% of its final hypervolume (reference point
+  fixed post-hoc from the final front's extremes, so the trajectory is
+  comparable across runs);
+* byte-identity -- the anytime front must equal the offline exact front
+  exactly, instance by instance.
+
+The asserted headline bars are **byte-identical fronts everywhere** and
+``sum(t90) <= 0.5 * sum(sequential)``: the engine delivers >= 90% of the
+final front quality in at most half the baseline wall-clock.
+
+``--tiny`` shrinks the grid for CI smoke runs (same assertions).
+"""
+
+from __future__ import annotations
+
+import json
+import platform as _platform
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import compute_front_anytime, period_energy_front_exact
+from repro.core.types import MappingRule, PlatformClass
+from repro.generators import small_random_problem
+
+
+def _np_hard_problem(seed: int, n_apps: int):
+    """Interval mapping on a comm-homogeneous platform: NP-hard for
+    energy minimisation under a period threshold (Table 2)."""
+    return small_random_problem(
+        seed,
+        platform_class=PlatformClass.COMM_HOMOGENEOUS,
+        rule=MappingRule.INTERVAL,
+        n_apps=n_apps,
+    )
+
+
+def _bench_instance(seed: int, n_apps: int, max_points: int) -> dict:
+    problem = _np_hard_problem(seed, n_apps)
+
+    t0 = time.perf_counter()
+    exact = period_energy_front_exact(problem, max_points=max_points)
+    sequential_s = time.perf_counter() - t0
+
+    result = compute_front_anytime(problem, max_points=max_points)
+    identical = result.front == exact
+
+    # Fixed post-hoc reference just beyond the final front's extremes, so
+    # the whole trajectory is measured against one yardstick.
+    hi_p = max(p for p, _ in result.front)
+    hi_e = max(e for _, e in result.front)
+    ref = (hi_p * 1.01 + 1e-9, hi_e * 1.01 + 1e-9)
+    curve = result.hypervolume_trajectory(ref)
+    final_hv = curve[-1][1]
+    t90 = next(t for t, hv in curve if hv >= 0.9 * final_hv)
+
+    return {
+        "seed": seed,
+        "n_apps": n_apps,
+        "cells": result.n_cells,
+        "warm_started": result.n_warm,
+        "front_points": len(result.front),
+        "identical": identical,
+        "sequential_s": round(sequential_s, 4),
+        "anytime_s": round(result.wall_time, 4),
+        "t90_s": round(t90, 4),
+        "t90_ratio": round(t90 / sequential_s, 4) if sequential_s else None,
+    }
+
+
+def run(output: Path, *, tiny: bool = False) -> dict:
+    if tiny:
+        grid = [(0, 2, 20), (1, 2, 20)]
+    else:
+        grid = [(0, 2, 40), (1, 2, 40), (2, 3, 30), (3, 3, 30)]
+
+    instances = [
+        _bench_instance(seed, n_apps, pts) for seed, n_apps, pts in grid
+    ]
+    seq_total = sum(r["sequential_s"] for r in instances)
+    t90_total = sum(r["t90_s"] for r in instances)
+    payload = {
+        "bench": "front",
+        "python": _platform.python_version(),
+        "machine": _platform.machine(),
+        "tiny": tiny,
+        "n_instances": len(instances),
+        "sequential_total_s": round(seq_total, 4),
+        "anytime_total_s": round(
+            sum(r["anytime_s"] for r in instances), 4
+        ),
+        "t90_total_s": round(t90_total, 4),
+        "t90_over_sequential": round(t90_total / seq_total, 4),
+        "all_identical": all(r["identical"] for r in instances),
+        "warm_started_total": sum(r["warm_started"] for r in instances),
+        "instances": instances,
+    }
+    output.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def main() -> int:
+    argv = [a for a in sys.argv[1:]]
+    tiny = "--tiny" in argv
+    argv = [a for a in argv if a != "--tiny"]
+    output = (
+        Path(argv[0])
+        if argv
+        else Path(__file__).parent / "BENCH_front.json"
+    )
+    payload = run(output, tiny=tiny)
+    assert payload["all_identical"], (
+        "anytime front diverged from the offline exact sweep"
+    )
+    assert payload["warm_started_total"] > 0, (
+        "no cell was warm-started; the engine is not sharing work"
+    )
+    assert payload["t90_over_sequential"] <= 0.5, (
+        f"90% of final hypervolume took "
+        f"{payload['t90_over_sequential']:.0%} of the sequential "
+        f"sweep's wall-clock (bar: 50%)"
+    )
+    print(
+        f"ok: {payload['n_instances']} instances, 90% hypervolume in "
+        f"{payload['t90_over_sequential']:.0%} of sequential wall-clock "
+        f"({payload['t90_total_s']}s vs {payload['sequential_total_s']}s), "
+        f"{payload['warm_started_total']} warm-started cells, "
+        f"fronts byte-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,7 @@ def exact_minimize(
     fix_max_speed: Optional[bool] = None,
     node_limit: int = 20_000_000,
     budget=None,
+    upper_bound: Optional[float] = None,
 ) -> Solution:
     """Exact optimum of one criterion under thresholds on the others.
 
@@ -108,6 +109,18 @@ def exact_minimize(
         ``optimal=False`` (it is only a feasible bound, not a proven
         optimum); :class:`SolverError` when the budget runs out before
         any feasible mapping was found.
+    upper_bound:
+        Optional warm-start bound on the objective: the search starts
+        with ``best_objective = threshold_ceiling(upper_bound)`` instead
+        of ``+inf``, so subtrees that cannot beat an already-known
+        solution are pruned immediately.  The caller must guarantee a
+        feasible solution with objective ``<= upper_bound`` exists
+        (e.g. the incumbent of a neighboring epsilon-constraint cell);
+        the seeded ceiling then sits strictly above the true optimum, so
+        the search visits the exact same first-optimal leaf as the cold
+        run and the returned solution is byte-identical.  A bound below
+        every feasible objective makes the search report
+        :class:`InfeasibleProblemError` even on feasible instances.
 
     Raises
     ------
@@ -165,7 +178,13 @@ def exact_minimize(
         proc_class = list(range(p))
         n_classes = p
 
-    best_objective = math.inf
+    # A warm-start bound is seeded through the same `threshold_ceiling`
+    # slack as the threshold screens: any leaf tied with the known
+    # incumbent still passes `objective < best_objective`, so the first
+    # optimal leaf in DFS order -- the cold run's answer -- is kept.
+    best_objective = (
+        math.inf if upper_bound is None else threshold_ceiling(upper_bound)
+    )
     best_assignments: Optional[Tuple[Assignment, ...]] = None
     nodes = 0
 

@@ -2,6 +2,9 @@
 
 * :mod:`pareto` -- exact (exhaustive) and heuristic period/energy and
   period/latency trade-off fronts, with dominance filtering;
+* :mod:`front_engine` -- the anytime counterpart: warm-started parallel
+  epsilon-constraint sweeps with incremental front merging and
+  hypervolume telemetry;
 * :mod:`complexity` -- runtime scaling measurements and log-log power-law
   fits for the Table 1/2 "polynomial" claims;
 * :mod:`tables` -- plain-text table rendering for the bench reports;
@@ -18,8 +21,18 @@ from .campaigns import (
     strategy_telemetry_table,
 )
 from .complexity import fit_power_law, measure_scaling
+from .front_engine import (
+    FrontResult,
+    IncrementalFront,
+    bisection_order,
+    compute_front_anytime,
+    hypervolume_2d,
+    plan_front,
+)
 from .pareto import (
+    front_thresholds,
     pareto_filter,
+    period_candidates_for_front,
     period_energy_front_exact,
     period_energy_front_heuristic,
 )
@@ -27,12 +40,20 @@ from .stretch import solo_optima, solo_optimum, stretch_problem
 from .tables import render_table
 
 __all__ = [
+    "FrontResult",
+    "IncrementalFront",
+    "bisection_order",
     "campaign_table",
+    "compute_front_anytime",
     "fit_power_law",
     "front_quality",
+    "front_thresholds",
     "heuristic_front_quality",
+    "hypervolume_2d",
     "measure_scaling",
     "pareto_filter",
+    "period_candidates_for_front",
+    "plan_front",
     "solver_ratio_table",
     "strategy_telemetry_table",
     "period_energy_front_exact",

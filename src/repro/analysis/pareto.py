@@ -9,26 +9,38 @@ energy 10 at period 14).  These helpers enumerate the whole front:
   branch-and-bound elsewhere);
 * heuristically, with the greedy mode-downgrade heuristic, for instances
   beyond exact reach.
+
+The anytime/parallel counterpart of the exact sweep lives in
+:mod:`repro.analysis.front_engine`; both share the same threshold plan
+(:func:`front_thresholds`) so they solve identical cells.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.exceptions import InfeasibleProblemError, SolverError
+from ..core.exceptions import InfeasibleProblemError
 from ..core.objectives import Thresholds
 from ..core.problem import ProblemInstance, Solution
 from ..core.types import Criterion, MappingRule, PlatformClass
 from ..kernel.vectorized import interval_cycle_matrix, weighted_cycle_candidates
 
+#: Relative tolerance under which two period candidates are considered the
+#: same epsilon-constraint cell.  Well below ``THRESHOLD_RTOL``, so merged
+#: candidates could never have admitted different mappings anyway.
+CANDIDATE_RTOL = 1e-9
 
-def pareto_filter(
+
+def _pareto_filter_scalar(
     points: Sequence[Tuple[float, ...]],
 ) -> List[Tuple[float, ...]]:
-    """The non-dominated subset (all coordinates minimized), sorted
-    lexicographically.  ``O(n^2 d)`` -- fine for front sizes here."""
+    """Reference ``O(n^2 d)`` dominance filter (all coordinates minimized).
+
+    Kept as the fallback for ragged or non-numeric points and as the
+    byte-identity oracle for the vectorized path in the tests.
+    """
     out: List[Tuple[float, ...]] = []
     for p in points:
         dominated = False
@@ -45,11 +57,54 @@ def pareto_filter(
     return sorted(out)
 
 
+def pareto_filter(
+    points: Sequence[Tuple[float, ...]],
+) -> List[Tuple[float, ...]]:
+    """The non-dominated subset (all coordinates minimized), sorted
+    lexicographically.
+
+    One vectorized ``O(n^2)``-comparison pass (``q`` dominates ``p`` iff
+    ``all(q <= p) and any(q < p)``) instead of the Python triple loop;
+    the original tuples are returned unchanged and deduplicated in first-
+    appearance order, so the result is byte-identical to the scalar
+    reference.  Ragged or non-numeric inputs fall back to the scalar loop.
+    """
+    if len(points) <= 1:
+        return _pareto_filter_scalar(points)
+    try:
+        arr = np.asarray(points, dtype=np.float64)
+    except (TypeError, ValueError):
+        return _pareto_filter_scalar(points)
+    if arr.ndim != 2:
+        return _pareto_filter_scalar(points)
+    # le[q, p] / lt[q, p]: q weakly / strictly better than p, per point.
+    cmp = arr[:, None, :] - arr[None, :, :]
+    le = (cmp <= 0).all(axis=2)
+    lt = (cmp < 0).any(axis=2)
+    dominated = (le & lt).any(axis=0)
+    out: List[Tuple[float, ...]] = []
+    for i, p in enumerate(points):
+        if not dominated[i] and p not in out:
+            out.append(p)
+    return sorted(out)
+
+
 def _min_energy_at_period(
-    problem: ProblemInstance, period_bound: float, context=None
+    problem: ProblemInstance,
+    period_bound: float,
+    context=None,
+    energy_ubound: Optional[float] = None,
 ) -> Optional[Solution]:
     """Cheapest mapping with weighted period <= bound, via the polynomial
-    solver when the cell allows it, branch-and-bound otherwise."""
+    solver when the cell allows it, branch-and-bound otherwise.
+
+    ``energy_ubound`` optionally warm-starts the branch-and-bound prune
+    bound from a known-achievable energy (the incumbent of a neighboring
+    sweep cell); the polynomial solvers ignore it.  Should the warm run
+    report infeasibility (a bound that was not actually achievable at this
+    threshold), the cell is re-solved cold, so the result never depends on
+    the hint.
+    """
     from ..algorithms import (
         minimize_energy_given_period_interval,
         minimize_energy_given_period_one_to_one,
@@ -72,17 +127,33 @@ def _min_energy_at_period(
             return minimize_energy_given_period_interval(
                 problem, thresholds, context=context
             )
+        if energy_ubound is not None:
+            try:
+                return exact_minimize(
+                    problem,
+                    Criterion.ENERGY,
+                    thresholds,
+                    upper_bound=energy_ubound,
+                )
+            except InfeasibleProblemError:
+                pass  # stale hint: fall through to the cold solve
         return exact_minimize(problem, Criterion.ENERGY, thresholds)
     except InfeasibleProblemError:
         return None
 
 
-def period_candidates_for_front(problem: ProblemInstance) -> List[float]:
+def period_candidates_for_front(
+    problem: ProblemInstance, *, rtol: float = CANDIDATE_RTOL
+) -> List[float]:
     """All achievable weighted per-interval cycle-times: a superset of the
     periods at which the energy front can break.
 
     Tabulated through the vectorized kernel: one cycle-time matrix per
     (application, distinct speed) pair instead of a four-deep Python loop.
+    Candidates within relative tolerance ``rtol`` of each other (floating-
+    point echoes of the same cycle time reached along different speed /
+    bandwidth combinations) are merged onto the smallest member, so sweeps
+    don't re-solve effectively-identical thresholds.
     """
     one_to_one = problem.rule is MappingRule.ONE_TO_ONE
     speeds = sorted(
@@ -112,7 +183,37 @@ def period_candidates_for_front(problem: ProblemInstance) -> List[float]:
                 weighted_cycle_candidates(app, speeds, bw, problem.model)
             )
     values = np.unique(np.concatenate(chunks))
-    return values[np.isfinite(values) & (values > 0)].tolist()
+    values = values[np.isfinite(values) & (values > 0)]
+    return dedupe_within_rtol(values.tolist(), rtol=rtol)
+
+
+def dedupe_within_rtol(
+    values: Sequence[float], *, rtol: float = CANDIDATE_RTOL
+) -> List[float]:
+    """Collapse an ascending sequence of positive floats so consecutive
+    survivors differ by more than ``rtol`` relatively (the first member of
+    each near-duplicate run is kept)."""
+    out: List[float] = []
+    for v in values:
+        if not out or v > out[-1] * (1.0 + rtol):
+            out.append(v)
+    return out
+
+
+def front_thresholds(
+    problem: ProblemInstance, *, max_points: int = 200
+) -> List[float]:
+    """The sweep plan shared by :func:`period_energy_front_exact` and the
+    anytime engine: the deduped period candidates, subsampled to at most
+    ``max_points`` (+ the largest candidate, always kept so the unconstrained
+    minimum-energy end of the front is reachable)."""
+    candidates = period_candidates_for_front(problem)
+    if len(candidates) > max_points:
+        step = len(candidates) / max_points
+        candidates = [
+            candidates[int(i * step)] for i in range(max_points)
+        ] + [candidates[-1]]
+    return candidates
 
 
 def period_energy_front_exact(
@@ -126,12 +227,7 @@ def period_energy_front_exact(
     ``(period, energy)`` pairs (the *achieved* period is reported, not the
     threshold).  ``context`` optionally shares a prebuilt
     :class:`repro.kernel.EvaluationContext` across the sweep."""
-    candidates = period_candidates_for_front(problem)
-    if len(candidates) > max_points:
-        step = len(candidates) / max_points
-        candidates = [
-            candidates[int(i * step)] for i in range(max_points)
-        ] + [candidates[-1]]
+    candidates = front_thresholds(problem, max_points=max_points)
     points: List[Tuple[float, float]] = []
     for bound in candidates:
         solution = _min_energy_at_period(problem, bound, context=context)

@@ -258,6 +258,101 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_front(args: argparse.Namespace) -> int:
+    from .io import load_problem
+    from .paper import figure1_problem
+
+    problem = (
+        load_problem(args.instance) if args.instance else figure1_problem()
+    )
+    if args.url:
+        return _front_remote(args, problem)
+
+    from .analysis import compute_front_anytime
+
+    def _progress(event) -> None:
+        point = (
+            "infeasible"
+            if event.point is None
+            else f"period={event.point[0]:.6g} energy={event.point[1]:.6g}"
+        )
+        print(
+            f"[{event.elapsed:7.3f}s] threshold {event.threshold:.6g}: "
+            f"{point}"
+        )
+
+    result = compute_front_anytime(
+        problem,
+        max_points=args.points,
+        workers=args.workers,
+        warm_start=not args.no_warm,
+        on_event=_progress if args.progress else None,
+    )
+    print(render_table(["period", "energy"], result.front))
+    print(
+        f"({len(result.front)} non-dominated points; "
+        f"{result.n_cells} cells, {result.n_infeasible} infeasible, "
+        f"{result.n_warm} warm-started, {result.wall_time:.3f}s)"
+    )
+    if args.output:
+        import json
+        from pathlib import Path
+
+        Path(args.output).write_text(
+            json.dumps(
+                {
+                    "front": [list(p) for p in result.front],
+                    "thresholds": result.thresholds,
+                    "wall_time": result.wall_time,
+                    "cells": result.n_cells,
+                    "infeasible": result.n_infeasible,
+                    "warm_started": result.n_warm,
+                },
+                indent=2,
+            )
+        )
+        print(f"front written to {args.output}")
+    return 0
+
+
+def _front_remote(args: argparse.Namespace, problem) -> int:
+    from .client import ClientError, SolveClient
+
+    client = SolveClient(args.url)
+    try:
+        view = client.submit_front(
+            problem,
+            strategy=args.strategy,
+            points=args.points,
+            priority=args.priority,
+        )
+        print(f"{view['id']}  {view['state']}  {view['total']} cells")
+        for view in client.iter_front(view["id"], timeout=args.wait_timeout):
+            if args.progress:
+                print(
+                    f"  {view['done']}/{view['total']} cells  "
+                    f"front={len(view['front'])}  "
+                    f"hypervolume={view['hypervolume']:.6g}"
+                )
+    except (ClientError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    front = [tuple(p) for p in view["front"]]
+    print(render_table(["period", "energy"], front))
+    print(
+        f"({len(front)} non-dominated points; {view['total']} cells, "
+        f"{view['infeasible']} infeasible, "
+        f"hypervolume {view['hypervolume']:.6g})"
+    )
+    if args.output:
+        import json
+        from pathlib import Path
+
+        Path(args.output).write_text(json.dumps(view, indent=2))
+        print(f"front written to {args.output}")
+    return 0
+
+
 def _budget_from_args(args: argparse.Namespace):
     """A :class:`repro.strategies.SolveBudget` from the budget flags
     (``None`` when no flag was given)."""
@@ -1023,6 +1118,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pareto.add_argument("--points", type=int, default=100)
     pareto.set_defaults(func=_cmd_pareto)
+
+    front = sub.add_parser(
+        "front",
+        help="anytime period/energy front (local engine, or live "
+        "through a daemon/router with --url)",
+    )
+    front.add_argument(
+        "instance",
+        nargs="?",
+        default=None,
+        help="instance JSON file (defaults to the paper's Figure 1 example)",
+    )
+    front.add_argument(
+        "--points",
+        type=int,
+        default=100,
+        help="max epsilon-constraint cells in the sweep",
+    )
+    front.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="local worker processes (ignored with --url)",
+    )
+    front.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="disable warm-starting cells from neighboring incumbents "
+        "(local engine only)",
+    )
+    front.add_argument(
+        "--url",
+        default=None,
+        help="submit through a running daemon/router instead of solving "
+        "locally",
+    )
+    front.add_argument(
+        "--strategy",
+        default=None,
+        help="per-cell solver strategy for remote sweeps (default: the "
+        "exact dispatch, byte-identical to the offline front)",
+    )
+    front.add_argument(
+        "--priority", type=int, default=0, help="larger runs earlier"
+    )
+    front.add_argument(
+        "--progress",
+        action="store_true",
+        help="print each cell / refinement as it lands",
+    )
+    front.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=300.0,
+        help="remote sweep deadline in seconds",
+    )
+    front.add_argument(
+        "--output", default=None, help="write the front JSON here"
+    )
+    front.set_defaults(func=_cmd_front)
 
     campaign = sub.add_parser(
         "campaign",

@@ -436,6 +436,95 @@ class SolveClient:
             for p in problems
         ]
 
+    # ------------------------------------------------------------------
+    # anytime fronts
+    # ------------------------------------------------------------------
+    def submit_front(
+        self,
+        problem: ProblemInstance,
+        *,
+        method: Optional[str] = None,
+        strategy: Optional[str] = None,
+        budget: Union[SolveBudget, Dict[str, Any], None] = None,
+        engine: Optional[str] = None,
+        points: Optional[int] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit an anytime period/energy front sweep
+        (``POST /v1/fronts``); returns the front view (``"id"``,
+        ``"state"``, ``"front"``, ``"hypervolume"``, ...).
+
+        The optional solver template (``method``/``strategy``/``budget``/
+        ``engine``) applies to every sweep cell; by default the daemon
+        picks the per-cell dispatch that keeps the finished merge
+        byte-identical to the offline exact front.  ``points`` caps the
+        number of sweep cells.
+        """
+        solver: Dict[str, Any] = {}
+        if strategy is not None:
+            solver["strategy"] = strategy
+        elif method is not None:
+            solver["method"] = method
+        if budget is not None:
+            solver["budget"] = (
+                budget.to_dict() if isinstance(budget, SolveBudget) else budget
+            )
+        if engine is not None:
+            solver["engine"] = engine
+        payload: Dict[str, Any] = {"problem": problem_to_dict(problem)}
+        if solver:
+            payload["solver"] = solver
+        if points is not None:
+            payload["points"] = points
+        if priority:
+            payload["priority"] = priority
+        return self._request("POST", "/v1/fronts", payload)
+
+    def front(self, front_id: str) -> Dict[str, Any]:
+        """Front-so-far view of one sweep (``GET /v1/fronts/{id}``):
+        merged front, hypervolume and done/total telemetry."""
+        return self._request("GET", f"/v1/fronts/{front_id}")
+
+    def iter_front(
+        self,
+        front_id: str,
+        *,
+        timeout: Optional[float] = 300.0,
+        poll_interval: float = 0.02,
+        max_poll_interval: float = 2.0,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield front views as the sweep refines, ending when done.
+
+        Every yielded view improved on the previous one (more cells
+        done, new points merged, or higher hypervolume); the final view
+        has ``state == "done"`` and is always yielded, so consuming the
+        iterator to exhaustion leaves you with the finished front.
+        Polling backs off with the same jittered exponential schedule as
+        :meth:`wait`; progress resets the delay.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        delay = poll_interval
+        last: Optional[tuple] = None
+        while True:
+            view = self.front(front_id)
+            mark = (view["done"], view["points_merged"], view["hypervolume"])
+            progressed = mark != last
+            if progressed:
+                last = mark
+                yield view
+            if view["state"] == "done":
+                return
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"front {front_id} not finished within {timeout}s "
+                    f"({view['done']}/{view['total']} cells)"
+                )
+            if progressed:
+                delay = poll_interval
+            else:
+                time.sleep(self._jittered(delay))
+                delay = min(delay * 2, max_poll_interval)
+
     def iter_results(
         self,
         job_ids: Sequence[str],

@@ -5,7 +5,8 @@ instances; this package turns the solve pipeline into a *service*: a
 long-lived asyncio daemon with
 
 * an HTTP API (stdlib only) — ``POST /v1/jobs``, ``GET /v1/jobs/{id}``,
-  ``GET /v1/jobs/{id}/result``, ``GET /v1/metrics``, ``GET /v1/healthz``
+  ``GET /v1/jobs/{id}/result``, ``POST /v1/fronts``,
+  ``GET /v1/fronts/{id}``, ``GET /v1/metrics``, ``GET /v1/healthz``
   (:mod:`repro.server.http`);
 * a priority job queue with configurable concurrency executing through
   :func:`repro.service.solve_batch` (:mod:`repro.server.service`);
@@ -33,11 +34,13 @@ Embedding (tests, benchmarks)::
         ...
 """
 
+from .fronts import FrontRecord, FrontStore, new_front_id
 from .http import ServerThread, SolveServer, run_server, serve
 from .jobs import JobOutcome, JobRecord, JobState, new_job_id
 from .protocol import (
     ProtocolError,
     job_to_dict,
+    parse_front_payload,
     parse_job_payload,
     result_to_dict,
 )
@@ -64,6 +67,8 @@ from .service import (
 
 __all__ = [
     "DEFAULT_VNODES",
+    "FrontRecord",
+    "FrontStore",
     "HashRing",
     "JobOutcome",
     "JobRecord",
@@ -80,7 +85,9 @@ __all__ = [
     "SolveService",
     "UnknownJobError",
     "job_to_dict",
+    "new_front_id",
     "new_job_id",
+    "parse_front_payload",
     "parse_job_payload",
     "parse_shard_spec",
     "result_to_dict",

@@ -17,6 +17,11 @@ GET      ``/v1/jobs``                  list retained jobs (``?state=&limit=``)
 GET      ``/v1/jobs/{id}``             job status + telemetry
 GET      ``/v1/jobs/{id}/result``      solution payload of a finished job
 DELETE   ``/v1/jobs/{id}``             cancel a queued job
+POST     ``/v1/fronts``                submit an anytime Pareto-front sweep
+                                       (``202``; ``200`` when every cell was
+                                       answered from cache immediately)
+GET      ``/v1/fronts/{id}``           front-so-far + hypervolume +
+                                       done/total telemetry
 GET      ``/v1/metrics``               queue/job/solver counters
 GET      ``/v1/healthz``               liveness + version
 =======  ============================  =======================================
@@ -32,10 +37,12 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
+from .fronts import FrontStore
 from .jobs import JobState
 from .protocol import (
     ProtocolError,
     job_to_dict,
+    parse_front_payload,
     parse_job_payload,
     result_to_dict,
 )
@@ -147,6 +154,7 @@ class SolveServer:
         port: int = 8787,
     ) -> None:
         self.service = service
+        self.fronts = FrontStore(service)
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
@@ -238,6 +246,12 @@ class SolveServer:
         if len(rest) == 3 and rest[:1] == ["jobs"] and rest[2] == "result":
             self._expect(method, "GET")
             return self._result(rest[1])
+        if rest == ["fronts"]:
+            self._expect(method, "POST")
+            return self._submit_front(body)
+        if len(rest) == 2 and rest[0] == "fronts":
+            self._expect(method, "GET")
+            return 200, self._front(rest[1]).to_dict()
         raise _HttpError(404, f"unknown path {split.path!r}")
 
     @staticmethod
@@ -296,6 +310,42 @@ class SolveServer:
             ) from None
         # 200 when the cache answered instantly, 202 while work is pending.
         return (200 if job.state.finished else 202), job_to_dict(job)
+
+    def _front(self, front_id: str):
+        try:
+            return self.fronts.front(front_id)
+        except UnknownJobError as exc:
+            raise _HttpError(404, str(exc)) from None
+
+    def _submit_front(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        try:
+            problem, template, points, priority = parse_front_payload(payload)
+        except ProtocolError as exc:
+            raise _HttpError(400, str(exc)) from None
+        try:
+            record = self.fronts.submit(
+                problem,
+                template=template,
+                max_points=points,
+                priority=priority,
+            )
+        except ServiceClosedError as exc:
+            raise _HttpError(503, str(exc)) from None
+        except ServiceOverloadedError as exc:
+            raise _HttpError(
+                429,
+                str(exc),
+                headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))
+                },
+                extra={"retry_after": exc.retry_after},
+            ) from None
+        # 200 when every cell was served from cache, 202 while pending.
+        return (200 if record.finished else 202), record.to_dict()
 
     def _list_jobs(self, query: Dict[str, Any]) -> Dict[str, Any]:
         state: Optional[JobState] = None

@@ -36,6 +36,7 @@ from .jobs import JobRecord
 __all__ = [
     "ProtocolError",
     "job_to_dict",
+    "parse_front_payload",
     "parse_job_payload",
     "result_to_dict",
 ]
@@ -85,6 +86,71 @@ def parse_job_payload(
     if isinstance(priority, bool) or not isinstance(priority, int):
         raise ProtocolError(f"'priority' must be an int, got {priority!r}")
     return problem, solver, priority
+
+
+#: Solver keys a front submission may set: the sweep owns the objective
+#: and the period threshold, so neither may appear in the template.
+_FRONT_SOLVER_KEYS = ("name", "strategy", "method", "budget", "engine")
+
+
+def parse_front_payload(
+    payload: Any,
+) -> Tuple[ProblemInstance, Dict[str, Any], int, int]:
+    """Validate a ``POST /v1/fronts`` payload into
+    ``(problem, solver_template, max_points, priority)``.
+
+    The solver template is a *partial* solver configuration applied to
+    every sweep cell (strategy/method/budget/engine); the front engine
+    fills in ``objective="energy"`` and the per-cell ``max_period``, so a
+    template carrying either of those — or any other job-payload key —
+    is rejected.
+
+    Raises
+    ------
+    ProtocolError
+        On any malformed part; the message names the offending field.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    allowed = {"problem", "solver", "points", "priority"}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ProtocolError(
+            f"unknown key(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+    if "problem" not in payload:
+        raise ProtocolError("missing required key 'problem'")
+    try:
+        problem = problem_from_dict(payload["problem"])
+    except (SerializationError, ReproError, TypeError, KeyError) as exc:
+        raise ProtocolError(f"invalid 'problem': {exc}") from None
+    template = payload.get("solver") or {}
+    if not isinstance(template, dict):
+        raise ProtocolError("'solver' must be a JSON object")
+    bad = sorted(set(template) - set(_FRONT_SOLVER_KEYS))
+    if bad:
+        raise ProtocolError(
+            f"front solver template: unknown/forbidden key(s) {bad}; "
+            f"allowed: {sorted(_FRONT_SOLVER_KEYS)} (the sweep sets "
+            "'objective' and 'max_period' itself)"
+        )
+    template = dict(template)
+    template.setdefault("name", DEFAULT_SOLVER_NAME)
+    # Validate strategy/method/budget/engine by building a probe spec on
+    # a placeholder threshold; the engine re-builds per cell.
+    try:
+        SolverSpec.from_dict(
+            {**template, "objective": "energy", "max_period": 1.0}
+        )
+    except CampaignSpecError as exc:
+        raise ProtocolError(f"invalid 'solver': {exc}") from None
+    points = payload.get("points", 200)
+    if isinstance(points, bool) or not isinstance(points, int) or points < 1:
+        raise ProtocolError(f"'points' must be a positive int, got {points!r}")
+    priority = payload.get("priority", 0)
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ProtocolError(f"'priority' must be an int, got {priority!r}")
+    return problem, template, points, priority
 
 
 def job_to_dict(job: JobRecord) -> Dict[str, Any]:

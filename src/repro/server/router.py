@@ -29,6 +29,12 @@ Failure semantics
   status/result/cancel requests are routed straight back to the shard
   that owns the job record — statelessly, so a router restart loses
   nothing.
+* **Front affinity.**  ``POST /v1/fronts`` routes by a front-level key
+  derived from the *instance alone*, so every front (and re-front) of
+  the same problem lands on one shard and its sweep cells coalesce with
+  each other and with ad-hoc jobs there.  Front ids are rewritten like
+  job ids (``<id>@<shard>``, including the embedded cell-job ids), and
+  ``GET /v1/fronts/{id}`` routes back by suffix.
 
 ``GET /v1/metrics`` aggregates the fleet (per-shard metrics plus summed
 job counters); ``GET /v1/jobs`` merges the shards' listings.  With
@@ -57,7 +63,7 @@ from urllib.parse import urlsplit
 from .. import __version__
 from ..experiments.cache import cell_key
 from .http import _HttpError, _read_request, _response
-from .protocol import ProtocolError, parse_job_payload
+from .protocol import ProtocolError, parse_front_payload, parse_job_payload
 from .ring import DEFAULT_VNODES, HashRing
 
 __all__ = [
@@ -435,6 +441,91 @@ class ShardRouter:
             extra={"tried": tried},
         )
 
+    async def _submit_front(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"invalid JSON body: {exc}") from None
+        try:
+            problem, _template, _points, _priority = parse_front_payload(
+                payload
+            )
+        except ProtocolError as exc:
+            raise _HttpError(400, str(exc)) from None
+        # Instance-only affinity: every front over the same problem owns
+        # the same shard, so sweep cells coalesce across fronts there.
+        key = cell_key(problem, {"front": True})
+        self._counters["submitted"] += 1
+
+        shed: Optional[Tuple[int, Dict[str, str], Dict[str, Any]]] = None
+        tried: List[str] = []
+        for hop, shard in enumerate(self.candidates_for(key)):
+            if hop:
+                self._counters["retries"] += 1
+            tried.append(shard.name)
+            try:
+                status, headers, resp = await self._forward(
+                    shard, "POST", "/v1/fronts", body
+                )
+            except _UpstreamError as exc:
+                shard.consecutive_failures = max(
+                    shard.consecutive_failures, self.fail_threshold - 1
+                )
+                self._mark_down(shard, str(exc))
+                continue
+            self._mark_up(shard)
+            if status == 429:
+                shed = (status, headers, resp)
+                continue
+            if status in (200, 202):
+                return status, self._rewrite_front(resp, shard.name), {}
+            return status, resp, {}  # validation errors etc. pass through
+        if shed is not None:
+            self._counters["relayed_429"] += 1
+            status, headers, resp = shed
+            out_headers = {}
+            if headers.get("Retry-After"):
+                out_headers["Retry-After"] = headers["Retry-After"]
+            resp.setdefault("tried", tried)
+            return status, resp, out_headers
+        self._counters["unroutable"] += 1
+        raise _HttpError(
+            503,
+            f"no shard reachable for this key (tried {tried})",
+            extra={"tried": tried},
+        )
+
+    async def _front_request(
+        self, front_id: str
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        raw, shard_name = split_job_id(front_id)
+        if shard_name is None:
+            raise _HttpError(
+                404,
+                f"front id {front_id!r} carries no shard suffix; the "
+                "router only resolves ids it issued (<id>@<shard>)",
+            )
+        shard = self.shards.get(shard_name)
+        if shard is None:
+            raise _HttpError(
+                404, f"unknown shard {shard_name!r} in front id {front_id!r}"
+            )
+        try:
+            status, _headers, resp = await self._forward(
+                shard, "GET", f"/v1/fronts/{raw}"
+            )
+        except _UpstreamError as exc:
+            self._mark_down(shard, str(exc))
+            raise _HttpError(
+                503,
+                f"shard {shard.name!r} holding front {front_id!r} is "
+                f"unreachable: {exc}",
+            ) from None
+        self._mark_up(shard)
+        return status, self._rewrite_front(resp, shard.name), {}
+
     def _shard_for_job(self, job_id: str) -> Tuple[str, Shard]:
         raw, shard_name = split_job_id(job_id)
         if shard_name is None:
@@ -574,6 +665,20 @@ class ShardRouter:
         payload.setdefault("shard", shard)
         return payload
 
+    @staticmethod
+    def _rewrite_front(payload: Dict[str, Any], shard: str) -> Dict[str, Any]:
+        """Stamp a shard-local front payload (front id + embedded cell-job
+        ids) with its fleet identity."""
+        if isinstance(payload.get("id"), str) and payload["id"]:
+            payload["id"] = routed_job_id(payload["id"], shard)
+        if isinstance(payload.get("jobs"), list):
+            payload["jobs"] = [
+                routed_job_id(j, shard) if isinstance(j, str) else j
+                for j in payload["jobs"]
+            ]
+        payload.setdefault("shard", shard)
+        return payload
+
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
@@ -636,6 +741,12 @@ class ShardRouter:
         if len(rest) == 3 and rest[0] == "jobs" and rest[2] == "result":
             self._expect(method, "GET")
             return await self._result(rest[1])
+        if rest == ["fronts"]:
+            self._expect(method, "POST")
+            return await self._submit_front(body)
+        if len(rest) == 2 and rest[0] == "fronts":
+            self._expect(method, "GET")
+            return await self._front_request(rest[1])
         raise _HttpError(404, f"unknown path {split.path!r}")
 
     @staticmethod

@@ -336,6 +336,15 @@ def _solve_job(
             budget_exhausted=meter.exhausted,
             objective=None if solution is None else solution.objective,
             error=error,
+            values=(
+                None
+                if solution is None
+                else (
+                    solution.values.period,
+                    solution.values.latency,
+                    solution.values.energy,
+                )
+            ),
         ),
     )
 

@@ -206,6 +206,15 @@ class SolverStrategy(abc.ABC):
                 budget_exhausted=meter.exhausted,
                 objective=None if solution is None else solution.objective,
                 error=error,
+                values=(
+                    None
+                    if solution is None
+                    else (
+                        solution.values.period,
+                        solution.values.latency,
+                        solution.values.energy,
+                    )
+                ),
             ),
         )
 

@@ -186,6 +186,15 @@ class _CompositeStrategy(SolverStrategy):
                 objective=None if solution is None else solution.objective,
                 error=error,
                 members=members,
+                values=(
+                    None
+                    if solution is None
+                    else (
+                        solution.values.period,
+                        solution.values.latency,
+                        solution.values.energy,
+                    )
+                ),
             ),
         )
 

@@ -43,6 +43,11 @@ class SolveTelemetry:
     members:
         Per-member telemetry of a composite (portfolio/fallback) run,
         in execution order; empty for atomic strategies.
+    values:
+        The achieved ``(period, latency, energy)`` triple when the run
+        produced a solution.  This is what lets every feasible *member*
+        of a portfolio contribute its achieved point to a Pareto-front
+        merge, not just the race winner.
     """
 
     strategy: str
@@ -53,6 +58,7 @@ class SolveTelemetry:
     objective: Optional[float] = None
     error: Optional[str] = None
     members: Tuple["SolveTelemetry", ...] = field(default_factory=tuple)
+    values: Optional[Tuple[float, float, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -74,6 +80,8 @@ class SolveTelemetry:
             out["error"] = self.error
         if self.members:
             out["members"] = [m.to_dict() for m in self.members]
+        if self.values is not None:
+            out["values"] = list(self.values)
         return out
 
     @classmethod
@@ -93,5 +101,10 @@ class SolveTelemetry:
             error=payload.get("error"),
             members=tuple(
                 cls.from_dict(m) for m in payload.get("members", ())
+            ),
+            values=(
+                None
+                if payload.get("values") is None
+                else tuple(float(v) for v in payload["values"])
             ),
         )

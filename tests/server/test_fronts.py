@@ -1,0 +1,254 @@
+"""Anytime fronts through the daemon: protocol validation, the front
+store's merge/refresh behavior, the HTTP + router endpoints, and portfolio
+members as front contributors."""
+
+import pytest
+
+from repro.analysis import pareto_filter, period_energy_front_exact
+from repro.client import ClientError, SolveClient
+from repro.core.evaluation import CriteriaValues
+from repro.core.problem import Solution
+from repro.core.types import MappingRule, PlatformClass
+from repro.generators import small_random_problem
+from repro.io import problem_to_dict
+from repro.server import RouterThread, ServerThread
+from repro.server.fronts import FrontRecord, _member_points
+from repro.server.jobs import JobOutcome, JobRecord
+from repro.server.protocol import ProtocolError, parse_front_payload
+from repro.strategies import SolveTelemetry
+
+
+def np_hard_problem(seed=0):
+    return small_random_problem(
+        seed,
+        platform_class=PlatformClass.COMM_HOMOGENEOUS,
+        rule=MappingRule.INTERVAL,
+        n_apps=2,
+    )
+
+
+class TestParseFrontPayload:
+    def _payload(self, **extra):
+        return {"problem": problem_to_dict(np_hard_problem()), **extra}
+
+    def test_minimal(self):
+        problem, template, points, priority = parse_front_payload(
+            self._payload()
+        )
+        assert problem == np_hard_problem()
+        assert points == 200 and priority == 0
+        assert "objective" not in template
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ProtocolError, match="unknown key"):
+            parse_front_payload(self._payload(solvers=[]))
+
+    def test_rejects_objective_in_template(self):
+        with pytest.raises(ProtocolError, match="forbidden"):
+            parse_front_payload(
+                self._payload(solver={"objective": "energy"})
+            )
+
+    def test_rejects_max_period_in_template(self):
+        with pytest.raises(ProtocolError, match="forbidden"):
+            parse_front_payload(self._payload(solver={"max_period": 2.0}))
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(ProtocolError, match="invalid 'solver'"):
+            parse_front_payload(
+                self._payload(solver={"strategy": "no-such-strategy"})
+            )
+
+    def test_rejects_bad_points(self):
+        with pytest.raises(ProtocolError, match="'points'"):
+            parse_front_payload(self._payload(points=0))
+        with pytest.raises(ProtocolError, match="'points'"):
+            parse_front_payload(self._payload(points="many"))
+
+    def test_accepts_strategy_and_budget(self):
+        _, template, _, _ = parse_front_payload(
+            self._payload(
+                solver={
+                    "strategy": "portfolio(greedy,local_search)",
+                    "budget": {"max_evaluations": 100, "seed": 0},
+                },
+                points=10,
+                priority=3,
+            )
+        )
+        assert template["strategy"] == "portfolio(greedy,local_search)"
+
+
+def _telemetry(values=None, status="ok", members=()):
+    return SolveTelemetry(
+        strategy="t",
+        status=status,
+        wall_time=0.0,
+        values=values,
+        members=tuple(members),
+    )
+
+
+class TestMemberContributions:
+    def test_member_points_walks_the_tree(self):
+        tree = _telemetry(
+            values=(2.0, 5.0, 40.0),
+            members=[
+                _telemetry(values=(3.0, 6.0, 30.0)),
+                _telemetry(status="infeasible"),
+                _telemetry(
+                    values=(2.5, 5.0, 35.0),
+                    members=[_telemetry(values=(4.0, 7.0, 20.0))],
+                ),
+            ],
+        )
+        assert sorted(_member_points(tree)) == [
+            (2.0, 40.0),
+            (2.5, 35.0),
+            (3.0, 30.0),
+            (4.0, 20.0),
+        ]
+
+    def test_losing_members_feed_the_merge(self):
+        """A portfolio's losing member can contribute a front point the
+        winner does not."""
+        problem = np_hard_problem()
+        solution = Solution(
+            mapping=None,
+            objective=40.0,
+            values=CriteriaValues(
+                periods={}, latencies={}, period=2.0, latency=5.0, energy=40.0
+            ),
+            solver="t",
+        )
+        job = JobRecord(
+            id="j1", key="k1", priority=0, problem=problem, solver=None
+        )
+        job.resolve(
+            JobOutcome(
+                status="ok",
+                solution=solution,
+                telemetry=_telemetry(
+                    values=(2.0, 5.0, 40.0),
+                    members=[_telemetry(values=(9.0, 9.0, 7.0))],
+                ),
+            ),
+            "solved",
+        )
+        record = FrontRecord(
+            id="f1", problem=problem, thresholds=[2.0], jobs=[job]
+        )
+        record.refresh()
+        assert record.finished
+        assert record.merged.front() == pareto_filter(
+            [(2.0, 40.0), (9.0, 7.0)]
+        )
+
+    def test_infeasible_and_cancelled_cells_counted(self):
+        problem = np_hard_problem()
+        infeasible = JobRecord(
+            id="j1", key="k1", priority=0, problem=problem, solver=None
+        )
+        infeasible.resolve(JobOutcome(status="infeasible"), "solved")
+        cancelled = JobRecord(
+            id="j2", key="k2", priority=0, problem=problem, solver=None
+        )
+        cancelled.cancel()
+        record = FrontRecord(
+            id="f1",
+            problem=problem,
+            thresholds=[1.0, 2.0],
+            jobs=[infeasible, cancelled],
+        )
+        record.refresh()
+        assert record.finished
+        assert record.n_infeasible == 1 and record.n_failed == 1
+        assert record.to_dict()["front"] == []
+
+
+class TestDaemonFronts:
+    def test_front_matches_offline_exact_and_coalesces(self):
+        problem = np_hard_problem(1)
+        offline = period_energy_front_exact(problem, max_points=20)
+        with ServerThread(
+            port=0, concurrency=2, executor="thread"
+        ) as server:
+            client = SolveClient(server.url, timeout=60.0)
+            view = client.submit_front(problem, points=20)
+            assert view["total"] == len(view["jobs"]) > 0
+            snapshots = list(client.iter_front(view["id"], timeout=120))
+            final = snapshots[-1]
+            assert final["state"] == "done"
+            assert final["done"] == final["total"]
+            hvs = [s["hypervolume"] for s in snapshots]
+            assert hvs == sorted(hvs)
+            assert [tuple(p) for p in final["front"]] == offline
+            # Resubmission: every cell answered from cache, born done.
+            again = client.submit_front(problem, points=20)
+            assert again["state"] == "done"
+            assert [tuple(p) for p in again["front"]] == offline
+            # The embedded job ids resolve as ordinary jobs.
+            job = client.job(final["jobs"][0])
+            assert job["state"] == "done"
+
+    def test_unknown_front_is_404(self):
+        with ServerThread(
+            port=0, concurrency=1, executor="thread"
+        ) as server:
+            client = SolveClient(server.url, retries=0)
+            with pytest.raises(ClientError, match="404"):
+                client.front("f999999-deadbeef")
+
+    def test_strategy_template_front(self):
+        problem = np_hard_problem(0)
+        with ServerThread(
+            port=0, concurrency=2, executor="thread"
+        ) as server:
+            client = SolveClient(server.url, timeout=60.0)
+            view = client.submit_front(
+                problem,
+                strategy="portfolio(greedy,local_search)",
+                budget={"max_evaluations": 2000, "seed": 0},
+                points=8,
+            )
+            final = list(client.iter_front(view["id"], timeout=120))[-1]
+            assert final["state"] == "done"
+            # Heuristic fronts are still monotone non-dominated sets.
+            front = [tuple(p) for p in final["front"]]
+            assert front == pareto_filter(front)
+
+
+class TestRouterFronts:
+    def test_front_routes_and_matches_offline(self):
+        problem = np_hard_problem(2)
+        offline = period_energy_front_exact(problem, max_points=15)
+        with ServerThread(
+            port=0, concurrency=2, executor="thread"
+        ) as s1, ServerThread(
+            port=0, concurrency=2, executor="thread"
+        ) as s2:
+            with RouterThread(
+                shards=[("a", s1.url), ("b", s2.url)]
+            ) as router:
+                client = SolveClient(router.url, timeout=60.0)
+                view = client.submit_front(problem, points=15)
+                assert "@" in view["id"]
+                assert all("@" in j for j in view["jobs"])
+                final = list(
+                    client.iter_front(view["id"], timeout=120)
+                )[-1]
+                assert [tuple(p) for p in final["front"]] == offline
+                # Cell jobs resolve through the router by suffix.
+                assert client.job(final["jobs"][0])["state"] == "done"
+                # Same problem routes to the same shard again.
+                again = client.submit_front(problem, points=15)
+                assert again["id"].split("@")[1] == view["id"].split("@")[1]
+
+    def test_unsuffixed_front_id_is_404(self):
+        with ServerThread(
+            port=0, concurrency=1, executor="thread"
+        ) as s1:
+            with RouterThread(shards=[("a", s1.url)]) as router:
+                client = SolveClient(router.url, retries=0)
+                with pytest.raises(ClientError, match="404"):
+                    client.front("f000001-deadbeef")

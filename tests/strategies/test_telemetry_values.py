@@ -1,0 +1,66 @@
+"""The achieved-values field of :class:`SolveTelemetry`: populated by
+strategy runs (members included, so portfolios can contribute every
+feasible member point to a front merge) and JSON-round-trippable."""
+
+from repro.generators import small_random_problem
+from repro.strategies import (
+    SolveBudget,
+    SolveTelemetry,
+    get_strategy,
+    parse_strategy,
+)
+
+
+def problem():
+    return small_random_problem(0, n_apps=2)
+
+
+class TestValuesField:
+    def test_round_trip(self):
+        rec = SolveTelemetry(
+            strategy="greedy",
+            status="ok",
+            wall_time=0.1,
+            values=(1.0, 2.0, 3.0),
+        )
+        assert SolveTelemetry.from_dict(rec.to_dict()) == rec
+        assert rec.to_dict()["values"] == [1.0, 2.0, 3.0]
+
+    def test_unset_values_omitted_and_parse_back(self):
+        rec = SolveTelemetry(strategy="greedy", status="error", wall_time=0.0)
+        payload = rec.to_dict()
+        assert "values" not in payload
+        assert SolveTelemetry.from_dict(payload).values is None
+
+    def test_legacy_payload_without_values_parses(self):
+        rec = SolveTelemetry.from_dict(
+            {"strategy": "greedy", "status": "ok", "wall_time": 0.0}
+        )
+        assert rec.values is None
+
+
+class TestStrategyRunsPopulateValues:
+    def test_atomic_strategy_carries_achieved_values(self):
+        result = get_strategy("greedy").run(problem(), "period")
+        assert result.status == "ok"
+        solution = result.solution
+        assert result.telemetry.values == (
+            solution.values.period,
+            solution.values.latency,
+            solution.values.energy,
+        )
+
+    def test_portfolio_members_carry_values(self):
+        result = parse_strategy("portfolio(greedy,local_search)").run(
+            problem(),
+            "period",
+            budget=SolveBudget(max_evaluations=2000, seed=0),
+        )
+        assert result.status == "ok"
+        assert result.telemetry.values is not None
+        members = result.telemetry.members
+        assert members, "portfolio telemetry must include member records"
+        for member in members:
+            if member.ok:
+                assert member.values is not None
+                assert len(member.values) == 3

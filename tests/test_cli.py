@@ -134,6 +134,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "non-dominated" in out
 
+    def test_front_default_figure1_matches_pareto(self, capsys):
+        assert main(["front", "--points", "100", "--progress"]) == 0
+        front_out = capsys.readouterr().out
+        assert "non-dominated" in front_out and "warm-started" in front_out
+        assert main(["pareto"]) == 0
+        pareto_out = capsys.readouterr().out
+        # Identical front tables (the anytime engine is byte-identical
+        # to the sequential exact sweep).
+        assert front_out.split("(")[0].strip().splitlines()[-5:] == (
+            pareto_out.split("(")[0].strip().splitlines()[-5:]
+        )
+
+    def test_front_json_output(self, capsys, tmp_path):
+        import json
+
+        instance = tmp_path / "inst.json"
+        out_file = tmp_path / "front.json"
+        assert main(["generate", str(instance), "--seed", "2", "--modes", "2"]) == 0
+        assert (
+            main(
+                [
+                    "front",
+                    str(instance),
+                    "--points",
+                    "15",
+                    "--output",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out_file.read_text())
+        assert payload["cells"] >= 1
+        assert all(len(p) == 2 for p in payload["front"])
+
 
 class TestStrategiesCli:
     def test_list_enumerates_at_least_ten_with_capabilities(self, capsys):
