@@ -18,6 +18,8 @@ from ...core.objectives import Thresholds
 from ...core.problem import ProblemInstance, Solution
 from ...core.types import Criterion
 from ...kernel import generate_neighborhood
+from ...obs.spans import collect as _collect_spans
+from ...obs.spans import track as _track
 from .local_search import _resolve_engine, neighbors, score_values
 
 
@@ -111,51 +113,61 @@ def anneal(
         crit = plan.criteria_arrays(criterion, thresholds)
     n_accepted = 0
     exhausted = False
-    for _ in range(n_iterations):
-        if budget is not None and not budget.tick():
-            exhausted = True
-            break
-        if plan is not None:
-            free = plan.free_procs(state)
-            count = plan.count(state, free)
-            if count == 0:
+    with _collect_spans("solve.anneal", engine=name):
+        for _ in range(n_iterations):
+            if budget is not None and not budget.tick():
+                exhausted = True
                 break
-            index = int(rng.integers(count))
-            s, values = plan.propose(state, free, index, crit)
-            candidate = None  # materialized only on acceptance
-        elif batched:
-            batch = generate_neighborhood(problem, current)
-            if len(batch) == 0:
-                break
-            index = int(rng.integers(len(batch)))
-            proposal = batch.single(index)
-            values = ctx.evaluate_many(proposal).select(0)
-            candidate = None  # materialized only on acceptance
-            s = score_values(values, criterion, thresholds)
-        else:
-            options = list(neighbors(problem, current))
-            if not options:
-                break
-            candidate = options[int(rng.integers(len(options)))]
-            values = ctx.delta_evaluate(candidate, current, current_values)
-            s = score_values(values, criterion, thresholds)
-        delta = s - current_score
-        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
-            if candidate is None:
-                if plan is not None:
-                    state = plan.take(state, free, index)
-                    candidate = plan.materialize(state)
-                else:
-                    candidate = proposal.materialize(0)
-            current = candidate
-            current_values = values
-            current_score = s
-            n_accepted += 1
-            if s < best_score:
-                best = candidate
-                best_values = values
-                best_score = s
-        temperature *= cooling
+            if plan is not None:
+                free = plan.free_procs(state)
+                count = plan.count(state, free)
+                if count == 0:
+                    break
+                index = int(rng.integers(count))
+                s, values = plan.propose(state, free, index, crit)
+                candidate = None  # materialized only on acceptance
+            elif batched:
+                batch = generate_neighborhood(problem, current)
+                if len(batch) == 0:
+                    break
+                index = int(rng.integers(len(batch)))
+                proposal = batch.single(index)
+                values = ctx.evaluate_many(proposal).select(0)
+                candidate = None  # materialized only on acceptance
+                s = score_values(values, criterion, thresholds)
+            else:
+                # The scalar path materializes the whole neighborhood
+                # per proposal; generation + incremental evaluation are
+                # tracked as one fused phase (as in scalar hill-climb).
+                with _track("solve.evaluate"):
+                    options = list(neighbors(problem, current))
+                    if not options:
+                        break
+                    candidate = options[int(rng.integers(len(options)))]
+                    values = ctx.delta_evaluate(
+                        candidate, current, current_values
+                    )
+                    s = score_values(values, criterion, thresholds)
+            delta = s - current_score
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                with _track("solve.accept"):
+                    if candidate is None:
+                        if plan is not None:
+                            state = plan.take(state, free, index)
+                            candidate = plan.materialize(state)
+                        else:
+                            candidate = proposal.materialize(0)
+                    current = candidate
+                    current_values = values
+                    current_score = s
+                n_accepted += 1
+                if s < best_score:
+                    best = candidate
+                    best_values = values
+                    best_score = s
+            temperature *= cooling
     values = best_values
     objective = {
         Criterion.PERIOD: values.period,

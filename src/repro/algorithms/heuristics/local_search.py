@@ -56,6 +56,8 @@ from ...core.problem import ProblemInstance, Solution
 from ...core.types import Criterion, MappingRule
 from ...kernel import generate_neighborhood
 from ...kernel.neighborhood import clamp_speed
+from ...obs.spans import collect as _collect_spans
+from ...obs.spans import track as _track
 
 #: Penalty factor applied per unit of relative threshold violation.
 _PENALTY = 1e9
@@ -470,15 +472,17 @@ def hill_climb(
     (:data:`DEFAULT_ENGINE`).  Returns the local optimum reached
     (``optimal=False``).
     """
-    return _ENGINES[_resolve_engine(engine)](
-        problem,
-        start,
-        criterion,
-        thresholds,
-        max_iterations=max_iterations,
-        context=context,
-        budget=budget,
-    )
+    name = _resolve_engine(engine)
+    with _collect_spans("solve.hill_climb", engine=name):
+        return _ENGINES[name](
+            problem,
+            start,
+            criterion,
+            thresholds,
+            max_iterations=max_iterations,
+            context=context,
+            budget=budget,
+        )
 
 
 def _hill_climb_batched(
@@ -518,17 +522,19 @@ def _hill_climb_batched(
         # Replay the scalar engine's sequential best-improvement rule
         # (first strict improvement by more than 1e-15 wins ties) over
         # the score vector, so the accepted candidate is identical.
-        best_index: Optional[int] = None
-        best_score = current_score
-        for i, s in enumerate(scores.tolist()):
-            if s < best_score - 1e-15:
-                best_score = s
-                best_index = i
+        with _track("solve.accept"):
+            best_index: Optional[int] = None
+            best_score = current_score
+            for i, s in enumerate(scores.tolist()):
+                if s < best_score - 1e-15:
+                    best_score = s
+                    best_index = i
+            if best_index is not None:
+                current = scan.materialize(best_index)
+                current_values = values.select(best_index)
+                current_score = best_score
         if best_index is None:
             break
-        current = scan.materialize(best_index)
-        current_values = values.select(best_index)
-        current_score = best_score
         n_steps += 1
         if exhausted:
             break
@@ -561,21 +567,28 @@ def _hill_climb_scalar(
         best_neighbor: Optional[Mapping] = None
         best_values = None
         best_score = current_score
-        for candidate in neighbors(problem, current):
-            if budget is not None and not budget.tick():
-                exhausted = True
-                break
-            values = ctx.delta_evaluate(candidate, current, current_values)
-            s = score_values(values, criterion, thresholds)
-            if s < best_score - 1e-15:
-                best_score = s
-                best_neighbor = candidate
-                best_values = values
+        # The scalar engine interleaves generation with incremental
+        # evaluation (lazy ``neighbors``), so the whole scan is tracked
+        # as one fused "solve.evaluate" phase.
+        with _track("solve.evaluate"):
+            for candidate in neighbors(problem, current):
+                if budget is not None and not budget.tick():
+                    exhausted = True
+                    break
+                values = ctx.delta_evaluate(
+                    candidate, current, current_values
+                )
+                s = score_values(values, criterion, thresholds)
+                if s < best_score - 1e-15:
+                    best_score = s
+                    best_neighbor = candidate
+                    best_values = values
         if best_neighbor is None:
             break
-        current = best_neighbor
-        current_values = best_values
-        current_score = best_score
+        with _track("solve.accept"):
+            current = best_neighbor
+            current_values = best_values
+            current_score = best_score
         n_steps += 1
         if exhausted:
             break
@@ -623,8 +636,9 @@ def _hill_climb_compiled(
     n_steps = 0
     exhausted = False
     for _ in range(max_iterations):
-        free = plan.free_procs(state)
-        n_candidates = plan.count(state, free)
+        with _track("solve.neighborhood"):
+            free = plan.free_procs(state)
+            n_candidates = plan.count(state, free)
         granted = (
             n_candidates
             if budget is None
@@ -634,12 +648,16 @@ def _hill_climb_compiled(
             exhausted = True
         if granted == 0:
             break
-        best_index, best_score = plan.best_step(
-            state, free, crit, current_score, granted
-        )
+        # The fused nopython call: generation + evaluation + scoring +
+        # accept replay for one whole descent step.
+        with _track("solve.kernel"):
+            best_index, best_score = plan.best_step(
+                state, free, crit, current_score, granted
+            )
         if best_index < 0:
             break
-        state = plan.take(state, free, best_index)
+        with _track("solve.accept"):
+            state = plan.take(state, free, best_index)
         current_score = best_score
         n_steps += 1
         if exhausted:

@@ -691,8 +691,11 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .obs import spans as obs_spans
     from .server import run_server
 
+    if args.obs_jsonl is not None:
+        obs_spans.configure(jsonl_path=args.obs_jsonl)
     run_server(
         host=args.host,
         port=args.port,
@@ -704,6 +707,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         transport=args.transport,
         shard=args.shard_name,
         engine=args.engine,
+        slow_solve_threshold=args.slow_solve_threshold,
     )
     return 0
 
@@ -925,6 +929,49 @@ def _cmd_job_result(args: argparse.Namespace) -> int:
             f"budget_exhausted={t.budget_exhausted}"
         )
     return 0 if result.status in ("ok", "infeasible") else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .client import ClientError, SolveClient
+    from .obs.render import render_top
+
+    client = SolveClient(args.url)
+    while True:
+        try:
+            payload = client.metrics()
+        except ClientError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_top(payload))
+        if args.watch is None:
+            return 0
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+        print()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .client import ClientError, SolveClient
+    from .obs.render import format_span_tree
+
+    client = SolveClient(args.url)
+    try:
+        payload = client.trace(args.trace_id)
+    except ClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"trace {payload['trace_id']}: {payload['count']} span(s)")
+    print(format_span_tree(payload["spans"]))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1314,6 +1361,21 @@ def build_parser() -> argparse.ArgumentParser:
         "heuristics (job solver specs that pin their own engine win; "
         "surfaced in /v1/healthz)",
     )
+    serve.add_argument(
+        "--slow-solve-threshold",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="dump the span tree of any solve slower than this to stderr "
+        "(default: disabled)",
+    )
+    serve.add_argument(
+        "--obs-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append every recorded trace span to this JSONL file "
+        "(default: in-memory ring buffer only)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     route = sub.add_parser(
@@ -1474,6 +1536,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the mapping JSON here"
     )
     job_result.set_defaults(func=_cmd_job_result)
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet/daemon dashboard: queue depth, shed rate, "
+        "cache hit ratio, latency quantiles per shard",
+    )
+    _add_url(top)
+    top.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="refresh every SECONDS instead of printing once",
+    )
+    top.set_defaults(func=_cmd_top)
+
+    trace = sub.add_parser(
+        "trace", help="fetch a trace by id and print its span tree"
+    )
+    trace.add_argument("trace_id")
+    _add_url(trace)
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw span records instead of the rendered tree",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -35,6 +35,7 @@ from urllib.parse import urljoin
 from .core.exceptions import ReproError
 from .core.problem import ProblemInstance, Solution
 from .io import problem_to_dict, solution_from_dict
+from .obs import spans as _obs_spans
 from .strategies import SolveBudget, SolveTelemetry
 
 #: Upper bound on a single honored ``Retry-After`` sleep; a daemon
@@ -153,6 +154,12 @@ class SolveClient:
         Initial retry delay, doubled per attempt up to ``max_backoff``.
         A ``429`` response's ``Retry-After`` hint overrides the
         exponential delay for that attempt (capped at 30s).
+    tracing:
+        When true (default), every submission carries a fresh
+        distributed-trace id (``X-Repro-Trace-Id``) so the server-side
+        span tree — router hop, queue wait, solver phases — is
+        retrievable with :meth:`trace`.  The id comes back on the job
+        view as ``"trace_id"``.
     """
 
     def __init__(
@@ -163,12 +170,14 @@ class SolveClient:
         retries: int = 3,
         backoff: float = 0.2,
         max_backoff: float = 2.0,
+        tracing: bool = True,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.max_backoff = max_backoff
+        self.tracing = tracing
 
     # ------------------------------------------------------------------
     # transport
@@ -178,6 +187,7 @@ class SolveClient:
         method: str,
         path: str,
         payload: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         url = f"{self.base_url}{path}"
         body = None if payload is None else json.dumps(payload).encode()
@@ -186,7 +196,7 @@ class SolveClient:
         for attempt in range(self.retries + 1):
             try:
                 with self._open_following_redirects(
-                    url, method, body
+                    url, method, body, headers
                 ) as response:
                     return json.loads(response.read().decode() or "{}")
             except urllib.error.HTTPError as exc:
@@ -215,7 +225,11 @@ class SolveClient:
         )
 
     def _open_following_redirects(
-        self, url: str, method: str, body: Optional[bytes]
+        self,
+        url: str,
+        method: str,
+        body: Optional[bytes],
+        headers: Optional[Dict[str, str]] = None,
     ):
         """Issue one request, following up to ``_MAX_REDIRECTS`` hops.
 
@@ -230,7 +244,7 @@ class SolveClient:
                 url,
                 data=body,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers={"Content-Type": "application/json", **(headers or {})},
             )
             try:
                 return _OPENER.open(request, timeout=self.timeout)
@@ -280,6 +294,28 @@ class SolveClient:
         """Queue/job/solver counters (``GET /v1/metrics``)."""
         return self._request("GET", "/v1/metrics")
 
+    def trace(self, trace_id: str) -> Dict[str, Any]:
+        """Recorded spans of one trace (``GET /v1/traces/{id}``).
+
+        Against a router this returns the merged tree across shards;
+        against a daemon, that daemon's spans.  Raises
+        :class:`ClientError` (404) when the trace id is unknown.
+        """
+        return self._request("GET", f"/v1/traces/{trace_id}")
+
+    def _trace_headers(self) -> Optional[Dict[str, str]]:
+        """Fresh per-submission trace headers (``None`` when tracing is
+        off).  The client's span id rides as the parent so every
+        server-side span hangs off the ``client.submit`` root the first
+        hop records from the send timestamp."""
+        if not self.tracing or not _obs_spans.enabled():
+            return None
+        return {
+            _obs_spans.TRACE_HEADER: _obs_spans.new_trace_id(),
+            _obs_spans.PARENT_HEADER: _obs_spans.new_span_id(),
+            _obs_spans.CLIENT_SEND_HEADER: repr(time.time()),
+        }
+
     def submit(
         self,
         problem: ProblemInstance,
@@ -323,6 +359,7 @@ class SolveClient:
                 "solver": solver,
                 "priority": priority,
             },
+            headers=self._trace_headers(),
         )
 
     def job(self, job_id: str) -> Dict[str, Any]:

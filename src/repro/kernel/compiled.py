@@ -50,6 +50,7 @@ import numpy as np
 from ..core.energy import EnergyModel
 from ..core.mapping import Assignment, Mapping
 from ..core.types import CommunicationModel, Criterion, MappingRule
+from ..obs.spans import track as _track
 from .context import mapping_columns
 
 __all__ = [
@@ -715,6 +716,7 @@ class CompiledPlan:
         "_periods",
         "_latencies",
         "_all_procs",
+        "_last_score",
     )
 
     def __init__(self, problem, context=None) -> None:
@@ -951,7 +953,21 @@ class CompiledPlan:
         ``BatchCriteria.select`` would."""
         from ..core.evaluation import CriteriaValues
 
-        mc = self._generate(state, free, index)
+        with _track("solve.neighborhood"):
+            mc = self._generate(state, free, index)
+        with _track("solve.kernel"):
+            wp, wl, en = self._propose_eval(mc, crit)
+        values = CriteriaValues(
+            periods={a: float(t) for a, t in enumerate(self._periods)},
+            latencies={a: float(v) for a, v in enumerate(self._latencies)},
+            period=float(wp),
+            latency=float(wl),
+            energy=float(en),
+        )
+        return float(self._last_score), values
+
+    def _propose_eval(self, mc: int, crit: tuple):
+        """Evaluate + score the generated candidate (nopython calls)."""
         crit_code, th_global, pap, has_pap, pal, has_pal = crit
         wp, wl, en = _eval_candidate(
             self._oa,
@@ -976,7 +992,7 @@ class CompiledPlan:
             self._periods,
             self._latencies,
         )
-        s = _score(
+        self._last_score = _score(
             crit_code,
             wp,
             wl,
@@ -990,14 +1006,7 @@ class CompiledPlan:
             self._latencies,
             self.n_apps,
         )
-        values = CriteriaValues(
-            periods={a: float(t) for a, t in enumerate(self._periods)},
-            latencies={a: float(v) for a, v in enumerate(self._latencies)},
-            period=float(wp),
-            latency=float(wl),
-            energy=float(en),
-        )
-        return float(s), values
+        return wp, wl, en
 
 
 def plan_for(problem, context=None) -> CompiledPlan:

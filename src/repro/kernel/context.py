@@ -31,6 +31,7 @@ from ..core.exceptions import InvalidApplicationError, InvalidMappingError
 from ..core.mapping import Mapping
 from ..core.platform import Platform
 from ..core.types import CommunicationModel, Interval
+from ..obs.spans import track as _track
 
 __all__ = [
     "BatchCriteria",
@@ -761,6 +762,10 @@ class EvaluationContext:
         InvalidApplicationError
             When an interval exceeds its application's stage count.
         """
+        with _track("solve.evaluate"):
+            return self._evaluate_many(batch)
+
+    def _evaluate_many(self, batch) -> BatchCriteria:
         app = np.asarray(batch.app, dtype=np.intp)
         lo = np.asarray(batch.lo, dtype=np.intp)
         hi = np.asarray(batch.hi, dtype=np.intp)

@@ -34,6 +34,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..core.mapping import Assignment, Mapping
+from ..obs.spans import track as _track
 from .context import mapping_columns
 
 __all__ = [
@@ -224,6 +225,11 @@ def generate_neighborhood(problem, mapping: Mapping) -> CandidateBatch:
         (:func:`repro.algorithms.heuristics.local_search.neighbors`), in
         the same enumeration order, each one a valid mapping.
     """
+    with _track("solve.neighborhood"):
+        return _generate_neighborhood(problem, mapping)
+
+
+def _generate_neighborhood(problem, mapping: Mapping) -> CandidateBatch:
     from ..core.types import MappingRule
 
     columns = mapping_columns(mapping)

@@ -1,0 +1,267 @@
+"""Minimal metrics primitives: counters, gauges, fixed-bucket histograms.
+
+Each metric guards its state with its own lock, so concurrent observers
+(the asyncio event-loop thread, executor callbacks, HTTP scrape threads)
+never contend on a global.  Snapshots are plain JSON-serializable dicts;
+the Prometheus text exposition in :mod:`repro.obs.export` is rendered
+from the same snapshots the JSON ``/v1/metrics`` payload embeds, which
+keeps the two surfaces consistent by construction.
+
+Histogram buckets are fixed at construction (cumulative ``le`` bounds in
+the Prometheus style); the default latency ladder spans 100 µs – 60 s.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "FAST_LATENCY_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Solve-wall / queue-wait latencies: 100 µs .. 60 s.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Cache lookups / per-hop forwards: 10 µs .. 1 s.
+FAST_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+    0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Evaluations-per-job style counts: powers of ten up to 10M.
+COUNT_BUCKETS: Tuple[float, ...] = (
+    1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0, 10000000.0,
+)
+
+
+class Counter:
+    """Monotonic counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins gauge."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class _HistogramSeries:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: Tuple[float, ...]):
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        bounds = self._bounds
+        lo, hi = 0, len(bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            if lo < len(bounds):
+                self._counts[lo] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc_sum = self._sum
+        cumulative: List[List[float]] = []
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            cumulative.append([bound, running])
+        return {"buckets": cumulative, "sum": acc_sum, "count": total}
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram, optionally labelled.
+
+    Without ``labelnames`` observations go straight to a single series.
+    With labels, :meth:`labels` returns (creating on first use) a child
+    series keyed by the label values, and the snapshot carries a
+    ``series`` mapping keyed by ``"|"``-joined label values.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ):
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(math.isnan(b) for b in self.buckets):
+            raise ValueError("histogram bucket bounds must not be NaN")
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        if self.labelnames:
+            self._series: Optional[Dict[str, _HistogramSeries]] = {}
+            self._default: Optional[_HistogramSeries] = None
+        else:
+            self._series = None
+            self._default = _HistogramSeries(self.buckets)
+
+    def observe(self, value: float) -> None:
+        if self._default is None:
+            raise ValueError(
+                "histogram %r has labels %r; use .labels()" % (self.name, self.labelnames)
+            )
+        self._default.observe(float(value))
+
+    def labels(self, *values: str) -> _HistogramSeries:
+        if self._series is None:
+            raise ValueError("histogram %r has no labels" % self.name)
+        if len(values) != len(self.labelnames):
+            raise ValueError(
+                "histogram %r expects %d label values, got %d"
+                % (self.name, len(self.labelnames), len(values))
+            )
+        key = "|".join(str(v) for v in values)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.setdefault(key, _HistogramSeries(self.buckets))
+        return series
+
+    def snapshot(self) -> Dict[str, Any]:
+        if self._default is not None:
+            snap = self._default.snapshot()
+            snap["type"] = "histogram"
+            return snap
+        with self._lock:
+            items = list(self._series.items())  # type: ignore[union-attr]
+        return {
+            "type": "histogram",
+            "labelnames": list(self.labelnames),
+            "series": {key: series.snapshot() for key, series in items},
+        }
+
+
+class MetricsRegistry:
+    """Ordered get-or-create store of named metrics."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name, help))
+        if not isinstance(metric, Counter):
+            raise TypeError("metric %r already registered as %s" % (name, metric.kind))
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name, help))
+        if not isinstance(metric, Gauge):
+            raise TypeError("metric %r already registered as %s" % (name, metric.kind))
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, help, buckets, labelnames)
+        )
+        if not isinstance(metric, Histogram):
+            raise TypeError("metric %r already registered as %s" % (name, metric.kind))
+        return metric
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return list(self._metrics)
+
+    def to_dict(self, kinds: Optional[Iterable[str]] = None) -> Dict[str, Any]:
+        """Snapshot every metric (optionally filtered by kind) as JSON."""
+        wanted = set(kinds) if kinds is not None else None
+        with self._lock:
+            items = list(self._metrics.items())
+        out: Dict[str, Any] = {}
+        for name, metric in items:
+            if wanted is not None and metric.kind not in wanted:
+                continue
+            out[name] = metric.snapshot()
+        return out

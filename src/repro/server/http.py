@@ -22,9 +22,22 @@ POST     ``/v1/fronts``                submit an anytime Pareto-front sweep
                                        answered from cache immediately)
 GET      ``/v1/fronts/{id}``           front-so-far + hypervolume +
                                        done/total telemetry
-GET      ``/v1/metrics``               queue/job/solver counters
+GET      ``/v1/metrics``               queue/job/solver counters (JSON)
+GET      ``/metrics``                  the same counters + histograms in
+                                       Prometheus text exposition format
+GET      ``/v1/traces/{trace_id}``     recorded spans of one distributed
+                                       trace (``404`` when none)
 GET      ``/v1/healthz``               liveness + version
 =======  ============================  =======================================
+
+Tracing: a ``POST /v1/jobs`` carrying ``X-Repro-Trace-Id`` runs its
+submission under that trace — the daemon records its own spans
+(submit, dedup lookup, queue wait, dispatch, solver phases, cache
+write) against it, and ``GET /v1/traces/{trace_id}`` returns them.
+``X-Repro-Parent-Id`` parents the daemon's spans onto the caller's
+span; ``X-Repro-Client-Send`` (a wall-clock send timestamp) makes the
+first server hop record the ``client.submit`` root span, so the tree
+includes time spent on the wire.
 """
 
 from __future__ import annotations
@@ -33,10 +46,13 @@ import asyncio
 import json
 import math
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
+from ..obs import spans as obs_spans
+from ..obs.export import to_prometheus
 from .fronts import FrontStore
 from .jobs import JobState
 from .protocol import (
@@ -92,19 +108,34 @@ class _HttpError(Exception):
         self.extra = extra or {}
 
 
+class _PlainText(str):
+    """Marker type: a route returned pre-rendered plain text (the
+    Prometheus exposition endpoint), not a JSON-serializable payload."""
+
+
+#: Content type of the Prometheus text exposition format, version
+#: included (what official scrapers send in ``Accept``).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def _response(
     status: int,
-    payload: Dict[str, Any],
+    payload: Any,
     headers: Optional[Dict[str, str]] = None,
 ) -> bytes:
-    body = json.dumps(payload).encode()
+    if isinstance(payload, _PlainText):
+        body = payload.encode()
+        content_type = PROMETHEUS_CONTENT_TYPE
+    else:
+        body = json.dumps(payload).encode()
+        content_type = "application/json"
     phrase = _STATUS_PHRASES.get(status, "Unknown")
     extra = "".join(
         f"{name}: {value}\r\n" for name, value in (headers or {}).items()
     )
     head = (
         f"HTTP/1.1 {status} {phrase}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"{extra}"
         f"Connection: close\r\n"
@@ -191,8 +222,12 @@ class SolveServer:
     ) -> None:
         try:
             try:
-                method, target, _headers, body = await _read_request(reader)
-                status, payload = self._route(method, target, body)
+                method, target, req_headers, body = await _read_request(
+                    reader
+                )
+                status, payload = self._route(
+                    method, target, body, req_headers
+                )
                 headers: Dict[str, str] = {}
             except _HttpError as exc:
                 status, payload, headers = (
@@ -218,11 +253,20 @@ class SolveServer:
                 pass
 
     def _route(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any]]:
         split = urlsplit(target)
         parts = [p for p in split.path.split("/") if p]
         query = parse_qs(split.query)
+        if parts == ["metrics"]:
+            # Prometheus scrape target: text exposition rendered from
+            # the same payload GET /v1/metrics serves as JSON.
+            self._expect(method, "GET")
+            return 200, _PlainText(to_prometheus(self.service.metrics()))
         if parts[:1] != ["v1"]:
             raise _HttpError(404, f"unknown path {split.path!r}")
         rest = parts[1:]
@@ -232,9 +276,12 @@ class SolveServer:
         if rest == ["metrics"]:
             self._expect(method, "GET")
             return 200, self.service.metrics()
+        if len(rest) == 2 and rest[0] == "traces":
+            self._expect(method, "GET")
+            return 200, self._trace(rest[1])
         if rest == ["jobs"]:
             if method == "POST":
-                return self._submit(body)
+                return self._submit(body, headers or {})
             self._expect(method, "GET")
             return 200, self._list_jobs(query)
         if len(rest) == 2 and rest[0] == "jobs":
@@ -283,7 +330,58 @@ class SolveServer:
         except UnknownJobError as exc:
             raise _HttpError(404, str(exc)) from None
 
-    def _submit(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+    def _trace(self, trace_id: str) -> Dict[str, Any]:
+        spans = obs_spans.recorder().spans_for(trace_id)
+        if not spans:
+            raise _HttpError(
+                404, f"no spans recorded for trace {trace_id!r}"
+            )
+        return {
+            "trace_id": trace_id,
+            "count": len(spans),
+            "spans": list(spans),
+        }
+
+    @staticmethod
+    def _trace_headers(
+        headers: Dict[str, str],
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Extract (trace_id, parent_id) from request headers and, on
+        the first traced server hop, record the ``client.submit`` root
+        span from the client's send timestamp.
+
+        The root span reuses the client's span id (sent as
+        ``X-Repro-Parent-Id``) so every server-side span already
+        parented on it attaches to a recorded node.  A router strips
+        ``X-Repro-Client-Send`` when forwarding, so the span is
+        recorded exactly once per trace, on the hop the client spoke
+        to.
+        """
+        trace_id = headers.get(obs_spans.TRACE_HEADER.lower())
+        if not trace_id:
+            return None, None
+        parent_id = headers.get(obs_spans.PARENT_HEADER.lower()) or None
+        client_send = headers.get(obs_spans.CLIENT_SEND_HEADER.lower())
+        if client_send:
+            try:
+                sent = float(client_send)
+            except ValueError:
+                sent = None
+            if sent is not None:
+                now = time.time()
+                obs_spans.record_span(
+                    "client.submit",
+                    start=sent,
+                    duration=max(0.0, now - sent),
+                    trace_id=trace_id,
+                    parent_id=None,
+                    span_id=parent_id,
+                )
+        return trace_id, parent_id
+
+    def _submit(
+        self, body: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
         try:
             payload = json.loads(body.decode() or "null")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -292,8 +390,15 @@ class SolveServer:
             problem, solver, priority = parse_job_payload(payload)
         except ProtocolError as exc:
             raise _HttpError(400, str(exc)) from None
+        trace_id, parent_id = self._trace_headers(headers)
         try:
-            job = self.service.submit(problem, solver, priority=priority)
+            with obs_spans.trace_context(trace_id, parent_id):
+                with obs_spans.span(
+                    "daemon.submit", shard=self.service.shard
+                ):
+                    job = self.service.submit(
+                        problem, solver, priority=priority
+                    )
         except ServiceClosedError as exc:
             raise _HttpError(503, str(exc)) from None
         except ServiceOverloadedError as exc:

@@ -21,7 +21,7 @@ import secrets
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from ..core.problem import ProblemInstance, Solution
 from ..experiments.spec import SolverSpec
@@ -70,6 +70,11 @@ class JobOutcome:
     solution: Optional[Solution] = None
     telemetry: Optional[SolveTelemetry] = None
     error: Optional[str] = None
+    #: Trace spans recorded in the worker process that solved the cell
+    #: (plain dicts, see :mod:`repro.obs.spans`); empty when untraced.
+    #: The service ingests them into its own span ring buffer so
+    #: ``GET /v1/traces/{id}`` covers the solver phases too.
+    spans: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -78,13 +83,16 @@ class JobOutcome:
 
     @classmethod
     def from_batch_item(cls, item: Any) -> "JobOutcome":
-        """Build from a :class:`repro.service.BatchItem`."""
+        """Build from a :class:`repro.service.BatchItem` (or any
+        duck-typed stand-in a test runner returns — ``spans`` is
+        optional there)."""
         return cls(
             status=item.status,
             wall_time=item.wall_time,
             solution=item.solution,
             telemetry=item.telemetry,
             error=item.error,
+            spans=tuple(getattr(item, "spans", ()) or ()),
         )
 
     @classmethod
@@ -149,6 +157,14 @@ class JobRecord:
     job's cell was executed), ``"cache"`` (served from the results cache
     without solving) or ``"coalesced"`` (rode along on another job's
     identical in-flight cell).
+
+    The ``*_at`` timestamps are wall-clock (``time.time``) and exist
+    for display and API payloads only.  Every *duration* (queue wait,
+    time-to-finish) must come from the parallel ``*_mono`` fields,
+    which are ``time.monotonic`` readings immune to wall-clock
+    adjustment (NTP step, manual set).  ``trace_id`` correlates the job
+    with its spans in ``GET /v1/traces/{trace_id}`` when the submission
+    was traced.
     """
 
     id: str
@@ -162,6 +178,10 @@ class JobRecord:
     finished_at: Optional[float] = None
     source: Optional[str] = None
     outcome: Optional[JobOutcome] = None
+    trace_id: Optional[str] = None
+    submitted_mono: float = field(default_factory=time.monotonic)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
 
     def request_summary(self) -> Dict[str, Any]:
         """Compact description of what was submitted (for listings)."""
@@ -182,10 +202,21 @@ class JobRecord:
             "solver": spec,
         }
 
+    @property
+    def queue_wait(self) -> Optional[float]:
+        """Seconds spent queued before the solve started (monotonic
+        delta; ``None`` while still queued)."""
+        if self.started_mono is None:
+            return None
+        return self.started_mono - self.submitted_mono
+
     def mark_running(self, now: Optional[float] = None) -> None:
-        """QUEUED → RUNNING."""
+        """QUEUED → RUNNING.  ``now`` optionally pins the *display*
+        wall-clock timestamp (coalesced jobs share the cell's); the
+        monotonic reading is always taken fresh."""
         self.state = JobState.RUNNING
         self.started_at = time.time() if now is None else now
+        self.started_mono = time.monotonic()
 
     def resolve(self, outcome: JobOutcome, source: str) -> None:
         """Terminal transition into DONE with the cell's outcome."""
@@ -193,8 +224,10 @@ class JobRecord:
         self.source = source
         self.state = JobState.DONE
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()
 
     def cancel(self) -> None:
         """Terminal transition into CANCELLED (queued jobs only)."""
         self.state = JobState.CANCELLED
         self.finished_at = time.time()
+        self.finished_mono = time.monotonic()

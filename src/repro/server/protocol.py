@@ -167,6 +167,8 @@ def job_to_dict(job: JobRecord) -> Dict[str, Any]:
         "submitted_at": job.submitted_at,
         "started_at": job.started_at,
         "finished_at": job.finished_at,
+        "trace_id": job.trace_id,
+        "queue_wait": job.queue_wait,
         "request": job.request_summary(),
         "status": None,
         "objective": None,

@@ -46,6 +46,7 @@ bytes through itself.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import re
 import subprocess
@@ -62,7 +63,16 @@ from urllib.parse import urlsplit
 
 from .. import __version__
 from ..experiments.cache import cell_key
-from .http import _HttpError, _read_request, _response
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
+from ..obs.export import to_prometheus
+from .http import (
+    SolveServer,
+    _HttpError,
+    _PlainText,
+    _read_request,
+    _response,
+)
 from .protocol import ProtocolError, parse_front_payload, parse_job_payload
 from .ring import DEFAULT_VNODES, HashRing
 
@@ -216,6 +226,7 @@ class ShardRouter:
             thread_name_prefix="router-upstream",
         )
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
         self._counters = {
             "submitted": 0,
             "forwarded": 0,
@@ -225,6 +236,13 @@ class ShardRouter:
             "markups": 0,
             "unroutable": 0,
         }
+        self.metrics_registry = obs_metrics.MetricsRegistry()
+        self._h_forward = self.metrics_registry.histogram(
+            "forward_seconds",
+            "Per-hop latency of requests forwarded to a shard daemon.",
+            obs_metrics.LATENCY_BUCKETS,
+            labelnames=("shard",),
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -237,6 +255,7 @@ class ShardRouter:
     async def start(self) -> None:
         """Bind the listening socket and launch the health loop."""
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
@@ -313,13 +332,18 @@ class ShardRouter:
     # upstream transport
     # ------------------------------------------------------------------
     def _forward_blocking(
-        self, url: str, method: str, body: Optional[bytes], timeout: float
+        self,
+        url: str,
+        method: str,
+        body: Optional[bytes],
+        timeout: float,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
         request = urllib.request.Request(
             url,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers={"Content-Type": "application/json", **(headers or {})},
         )
         try:
             with urllib.request.urlopen(request, timeout=timeout) as resp:
@@ -349,19 +373,32 @@ class ShardRouter:
         *,
         timeout: Optional[float] = None,
         count: bool = True,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, str], Dict[str, Any]]:
         loop = asyncio.get_running_loop()
         if count:
             self._counters["forwarded"] += 1
             shard.forwarded += 1
-        return await loop.run_in_executor(
-            self._pool,
-            self._forward_blocking,
-            f"{shard.url}{path}",
-            method,
-            body,
-            self.upstream_timeout if timeout is None else timeout,
-        )
+        t0 = time.perf_counter()
+        try:
+            return await loop.run_in_executor(
+                self._pool,
+                functools.partial(
+                    self._forward_blocking,
+                    f"{shard.url}{path}",
+                    method,
+                    body,
+                    self.upstream_timeout if timeout is None else timeout,
+                    headers,
+                ),
+            )
+        finally:
+            # Health probes (count=False) stay out of the hop-latency
+            # histogram — they would flood it with sub-ms samples.
+            if count:
+                self._h_forward.labels(shard.name).observe(
+                    time.perf_counter() - t0
+                )
 
     # ------------------------------------------------------------------
     # routing
@@ -386,7 +423,7 @@ class ShardRouter:
         return self.shards[self.ring.node_for(key)]
 
     async def _submit(
-        self, body: bytes
+        self, body: bytes, req_headers: Optional[Dict[str, str]] = None
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         try:
             payload = json.loads(body.decode() or "null")
@@ -399,47 +436,82 @@ class ShardRouter:
         key = cell_key(problem, solver.to_dict())
         self._counters["submitted"] += 1
 
+        # The router is the client's first hop: it records the
+        # ``client.submit`` root span (consuming X-Repro-Client-Send)
+        # and forwards only trace id + its own routing span as the
+        # parent, so the daemon's spans nest under ``router.submit``.
+        trace_id, parent_id = SolveServer._trace_headers(req_headers or {})
+        route_span_id = (
+            obs_spans.new_span_id() if trace_id is not None else None
+        )
+        fwd_headers: Optional[Dict[str, str]] = None
+        if trace_id is not None:
+            fwd_headers = {
+                obs_spans.TRACE_HEADER: trace_id,
+                obs_spans.PARENT_HEADER: route_span_id,
+            }
+        route_wall = time.time()
+        route_t0 = time.perf_counter()
+        routed_to: Optional[str] = None
+
         shed: Optional[Tuple[int, Dict[str, str], Dict[str, Any]]] = None
         tried: List[str] = []
-        for hop, shard in enumerate(self.candidates_for(key)):
-            if hop:
-                self._counters["retries"] += 1
-            tried.append(shard.name)
-            try:
-                status, headers, resp = await self._forward(
-                    shard, "POST", "/v1/jobs", body
+        try:
+            for hop, shard in enumerate(self.candidates_for(key)):
+                if hop:
+                    self._counters["retries"] += 1
+                tried.append(shard.name)
+                try:
+                    status, headers, resp = await self._forward(
+                        shard, "POST", "/v1/jobs", body, headers=fwd_headers
+                    )
+                except _UpstreamError as exc:
+                    # Connect failure: this shard is gone right now — mark
+                    # it down immediately (the health loop marks it back
+                    # up).
+                    shard.consecutive_failures = max(
+                        shard.consecutive_failures, self.fail_threshold - 1
+                    )
+                    self._mark_down(shard, str(exc))
+                    continue
+                self._mark_up(shard)
+                if status == 429:
+                    # Shed by this shard's bounded queue: remember the
+                    # hint, try the next replica (dedup keeps this
+                    # idempotent).
+                    shed = (status, headers, resp)
+                    continue
+                if status in (200, 202):
+                    routed_to = shard.name
+                    return status, self._rewrite_job(resp, shard.name), {}
+                routed_to = shard.name
+                return status, resp, {}  # validation errors pass through
+            if shed is not None:
+                self._counters["relayed_429"] += 1
+                status, headers, resp = shed
+                out_headers = {}
+                if headers.get("Retry-After"):
+                    out_headers["Retry-After"] = headers["Retry-After"]
+                resp.setdefault("tried", tried)
+                return status, resp, out_headers
+            self._counters["unroutable"] += 1
+            raise _HttpError(
+                503,
+                f"no shard reachable for this key (tried {tried})",
+                extra={"tried": tried},
+            )
+        finally:
+            if route_span_id is not None:
+                obs_spans.record_span(
+                    "router.submit",
+                    start=route_wall,
+                    duration=time.perf_counter() - route_t0,
+                    trace_id=trace_id,
+                    parent_id=parent_id,
+                    span_id=route_span_id,
+                    shard=routed_to,
+                    tried=",".join(tried),
                 )
-            except _UpstreamError as exc:
-                # Connect failure: this shard is gone right now — mark it
-                # down immediately (the health loop marks it back up).
-                shard.consecutive_failures = max(
-                    shard.consecutive_failures, self.fail_threshold - 1
-                )
-                self._mark_down(shard, str(exc))
-                continue
-            self._mark_up(shard)
-            if status == 429:
-                # Shed by this shard's bounded queue: remember the hint,
-                # try the next replica (dedup keeps this idempotent).
-                shed = (status, headers, resp)
-                continue
-            if status in (200, 202):
-                return status, self._rewrite_job(resp, shard.name), {}
-            return status, resp, {}  # validation errors etc. pass through
-        if shed is not None:
-            self._counters["relayed_429"] += 1
-            status, headers, resp = shed
-            out_headers = {}
-            if headers.get("Retry-After"):
-                out_headers["Retry-After"] = headers["Retry-After"]
-            resp.setdefault("tried", tried)
-            return status, resp, out_headers
-        self._counters["unroutable"] += 1
-        raise _HttpError(
-            503,
-            f"no shard reachable for this key (tried {tried})",
-            extra={"tried": tried},
-        )
 
     async def _submit_front(
         self, body: bytes
@@ -604,6 +676,51 @@ class ShardRouter:
             payload["unavailable_shards"] = unavailable
         return 200, payload, {}
 
+    async def _trace_request(
+        self, trace_id: str
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Merged trace view: the router's own spans (client.submit,
+        router.submit) plus every up shard's, sorted by start time.
+        Span ids embed the recording pid, so the merge needs no
+        renumbering — dedup by id guards against double-reporting."""
+        spans: List[Dict[str, Any]] = list(
+            obs_spans.recorder().spans_for(trace_id)
+        )
+        shards = [s for s in self.shards.values() if s.up]
+        results = await asyncio.gather(
+            *(
+                self._forward(
+                    s, "GET", f"/v1/traces/{trace_id}", count=False
+                )
+                for s in shards
+            ),
+            return_exceptions=True,
+        )
+        seen = {span.get("span_id") for span in spans}
+        for shard, result in zip(shards, results):
+            if isinstance(result, BaseException):
+                if isinstance(result, _UpstreamError):
+                    continue  # a down shard just contributes no spans
+                raise result
+            status, _headers, resp = result
+            if status != 200:
+                continue
+            for span in resp.get("spans", []):
+                if span.get("span_id") in seen:
+                    continue
+                seen.add(span.get("span_id"))
+                spans.append(span)
+        if not spans:
+            raise _HttpError(
+                404, f"no spans recorded for trace {trace_id!r}"
+            )
+        spans.sort(key=lambda s: (s.get("start") or 0.0, s.get("name", "")))
+        return 200, {
+            "trace_id": trace_id,
+            "count": len(spans),
+            "spans": spans,
+        }, {}
+
     async def _metrics(self) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         shards = list(self.shards.values())
         results = await asyncio.gather(
@@ -637,12 +754,15 @@ class ShardRouter:
         return 200, {
             "version": __version__,
             "role": "router",
-            "uptime_s": time.time() - self._started_at,
+            "uptime_s": time.monotonic() - self._started_mono,
             "router": dict(self._counters),
             "ring": self.ring.describe(),
             "shard_health": [s.describe() for s in shards],
             "fleet": {"jobs": fleet_jobs, "solver": fleet_solver},
             "shards": per_shard,
+            "histograms": self.metrics_registry.to_dict(
+                kinds=("histogram",)
+            ),
         }, {}
 
     def _healthz(self) -> Dict[str, Any]:
@@ -651,7 +771,7 @@ class ShardRouter:
             "status": "ok" if up else "degraded",
             "role": "router",
             "version": __version__,
-            "uptime_s": time.time() - self._started_at,
+            "uptime_s": time.monotonic() - self._started_mono,
             "shards_up": up,
             "shards_total": len(self.shards),
             "shards": [s.describe() for s in self.shards.values()],
@@ -687,9 +807,11 @@ class ShardRouter:
     ) -> None:
         try:
             try:
-                method, target, _headers, body = await _read_request(reader)
+                method, target, req_headers, body = await _read_request(
+                    reader
+                )
                 status, payload, headers = await self._route(
-                    method, target, body
+                    method, target, body, req_headers
                 )
             except _HttpError as exc:
                 status, payload, headers = (
@@ -715,10 +837,20 @@ class ShardRouter:
                 pass
 
     async def _route(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        req_headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         split = urlsplit(target)
         parts = [p for p in split.path.split("/") if p]
+        if parts == ["metrics"]:
+            # Prometheus scrape target: fleet-aggregated text rendered
+            # from the same payload GET /v1/metrics serves as JSON.
+            self._expect(method, "GET")
+            _status, payload, _headers = await self._metrics()
+            return 200, _PlainText(to_prometheus(payload)), {}
         if parts[:1] != ["v1"]:
             raise _HttpError(404, f"unknown path {split.path!r}")
         rest = parts[1:]
@@ -728,9 +860,12 @@ class ShardRouter:
         if rest == ["metrics"]:
             self._expect(method, "GET")
             return await self._metrics()
+        if len(rest) == 2 and rest[0] == "traces":
+            self._expect(method, "GET")
+            return await self._trace_request(rest[1])
         if rest == ["jobs"]:
             if method == "POST":
-                return await self._submit(body)
+                return await self._submit(body, req_headers)
             self._expect(method, "GET")
             return await self._list_jobs(split.query)
         if len(rest) == 2 and rest[0] == "jobs":

@@ -38,6 +38,8 @@ from __future__ import annotations
 import asyncio
 import functools
 import heapq
+import inspect
+import sys
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -51,6 +53,8 @@ from ..experiments.cache import ResultsCache, cell_key
 from ..experiments.runner import RECORD_SCHEMA
 from ..experiments.spec import SolverSpec
 from ..io import solution_to_dict
+from ..obs import metrics as obs_metrics
+from ..obs import spans as obs_spans
 from ..service import solve_batch
 from .jobs import JobOutcome, JobRecord, JobState, new_job_id
 
@@ -91,6 +95,8 @@ def solve_cell(
     solver: SolverSpec,
     transport: str = "auto",
     engine: Optional[str] = None,
+    trace_id: Optional[str] = None,
+    parent_id: Optional[str] = None,
 ):
     """Solve one cell through the batch service (executor-side).
 
@@ -101,19 +107,23 @@ def solve_cell(
     :func:`repro.service.solve_batch` (it only engages when a runner
     fans a cell out over workers; single-instance cells solve inline).
     ``engine`` is the daemon-level default neighborhood engine; a
-    solver spec that pins its own ``engine`` wins.
+    solver spec that pins its own ``engine`` wins.  ``trace_id`` /
+    ``parent_id`` re-establish the submission's trace context in the
+    executor process; the recorded solver-phase spans ride back to the
+    daemon on the returned item (``BatchItem.spans``).
     """
-    batch = solve_batch(
-        [problem],
-        objective=solver.objective,
-        thresholds=solver.thresholds(),
-        method=solver.method,
-        strategy=solver.strategy,
-        budget=solver.budget,
-        workers=None,
-        transport=transport,
-        engine=solver.engine if solver.engine is not None else engine,
-    )
+    with obs_spans.trace_context(trace_id, parent_id):
+        batch = solve_batch(
+            [problem],
+            objective=solver.objective,
+            thresholds=solver.thresholds(),
+            method=solver.method,
+            strategy=solver.strategy,
+            budget=solver.budget,
+            workers=None,
+            transport=transport,
+            engine=solver.engine if solver.engine is not None else engine,
+        )
     return batch.items[0]
 
 
@@ -155,6 +165,13 @@ class _Cell:
     #: Bumped on every (re-)push; heap entries carrying an older id are
     #: stale and skipped on pop (lazy deletion).
     entry_id: int = 0
+    #: Trace context of the submission that created the cell (queue-wait
+    #: / dispatch / cache-write spans parent onto it); ``None`` untraced.
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
+    #: Monotonic enqueue instant — queue-wait is measured from this, so
+    #: a wall-clock adjustment mid-wait cannot skew the histogram.
+    submitted_mono: float = field(default_factory=time.monotonic)
 
 
 def _make_executor(executor: Union[str, Executor], concurrency: int) -> Tuple[Executor, bool]:
@@ -219,6 +236,11 @@ class SolveService:
         job.  ``None`` keeps the library default.  Surfaced in
         :meth:`metrics` and ``/v1/healthz``.  Ignored for custom
         runners.
+    slow_solve_threshold:
+        Seconds; a solved cell whose wall time exceeds it gets its span
+        tree dumped to stderr (``repro-pipelines serve
+        --slow-solve-threshold``).  ``None`` (default) disables the
+        slow-solve log.
 
     All public methods must be called from the event-loop thread (the
     HTTP handlers do); no internal locking is performed.
@@ -236,6 +258,7 @@ class SolveService:
         transport: str = "auto",
         shard: Optional[str] = None,
         engine: Optional[str] = None,
+        slow_solve_threshold: Optional[float] = None,
     ) -> None:
         if concurrency < 1:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -263,6 +286,15 @@ class SolveService:
             if runner is not None
             else functools.partial(solve_cell, transport=transport, engine=engine)
         )
+        # Custom runners (test stubs included) usually take a bare
+        # ``(problem, solver)``; only pass the trace context through
+        # when the runner's signature accepts it.
+        try:
+            params = inspect.signature(self._runner).parameters
+            self._runner_takes_trace = "trace_id" in params
+        except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+            self._runner_takes_trace = False
+        self.slow_solve_threshold = slow_solve_threshold
         self._max_jobs_retained = max_jobs_retained
 
         self._jobs: Dict[str, JobRecord] = {}
@@ -275,6 +307,7 @@ class SolveService:
         self._running_cells = 0
         self._closing = False
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
         self._counters = {
             "submitted": 0,
             "completed": 0,
@@ -288,6 +321,31 @@ class SolveService:
         }
         self._evaluations_total = 0
         self._solve_time_total = 0.0
+        #: EWMA of recent solve wall times (alpha=0.25), used by the
+        #: ``Retry-After`` hint so it tracks the current workload mix
+        #: instead of the lifetime mean; ``None`` before the first solve.
+        self._solve_time_recent: Optional[float] = None
+        self.metrics_registry = obs_metrics.MetricsRegistry()
+        self._h_queue_wait = self.metrics_registry.histogram(
+            "queue_wait_seconds",
+            "Time cells spent queued before their solve started.",
+            obs_metrics.LATENCY_BUCKETS,
+        )
+        self._h_solve_wall = self.metrics_registry.histogram(
+            "solve_wall_seconds",
+            "Wall-clock time of executed solves (cache hits excluded).",
+            obs_metrics.LATENCY_BUCKETS,
+        )
+        self._h_cache_lookup = self.metrics_registry.histogram(
+            "cache_lookup_seconds",
+            "Duration of the dedup/cache lookup on the submit path.",
+            obs_metrics.FAST_LATENCY_BUCKETS,
+        )
+        self._h_evaluations = self.metrics_registry.histogram(
+            "evaluations_per_job",
+            "Solver evaluations performed per executed cell.",
+            obs_metrics.COUNT_BUCKETS,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -299,6 +357,7 @@ class SolveService:
         self._cond = asyncio.Condition()
         self._closing = False
         self._started_at = time.time()
+        self._started_mono = time.monotonic()
         self._workers = [
             asyncio.create_task(self._worker(), name=f"solve-worker-{i}")
             for i in range(self.concurrency)
@@ -333,8 +392,10 @@ class SolveService:
 
     @property
     def uptime(self) -> float:
-        """Seconds since :meth:`start` (or construction)."""
-        return time.time() - self._started_at
+        """Seconds since :meth:`start` (or construction) — a monotonic
+        delta, immune to wall-clock adjustment; ``_started_at`` remains
+        the wall-clock display timestamp."""
+        return time.monotonic() - self._started_mono
 
     # ------------------------------------------------------------------
     # submission / queries
@@ -345,12 +406,16 @@ class SolveService:
         solver: SolverSpec,
         *,
         priority: int = 0,
+        trace_id: Optional[str] = None,
     ) -> JobRecord:
         """Submit one (instance, solver) job.
 
         Returns the job record, which may already be ``DONE`` (cache
         hit).  Identical submissions of an in-flight cell coalesce onto
-        it — the solver runs once for all of them.
+        it — the solver runs once for all of them.  ``trace_id``
+        correlates the job with a distributed trace (defaults to the
+        ambient trace context the HTTP layer establishes from the
+        ``X-Repro-Trace-Id`` header).
 
         Raises
         ------
@@ -365,11 +430,37 @@ class SolveService:
         """
         if self._closing:
             raise ServiceClosedError("service is shutting down")
-        key = cell_key(problem, solver.to_dict())
+        if trace_id is None:
+            trace_id = obs_spans.current_trace_id()
+        parent_id = obs_spans.current_parent_id()
 
+        lookup_wall = time.time()
+        lookup_t0 = time.perf_counter()
+        key = cell_key(problem, solver.to_dict())
         cell = self._inflight.get(key)
-        if cell is not None and not cell.state.finished:
-            job = self._accept(key, problem, solver, priority)
+        coalesce = cell is not None and not cell.state.finished
+        payload = None
+        if not coalesce:
+            payload = self.cache.get(key)
+        cache_hit = payload is not None and payload.get("status") in (
+            "ok",
+            "infeasible",
+        )
+        lookup_s = time.perf_counter() - lookup_t0
+        self._h_cache_lookup.observe(lookup_s)
+        if trace_id is not None:
+            obs_spans.record_span(
+                "daemon.dedup_lookup",
+                start=lookup_wall,
+                duration=lookup_s,
+                trace_id=trace_id,
+                parent_id=parent_id,
+                coalesced=coalesce,
+                cache_hit=cache_hit,
+            )
+
+        if coalesce:
+            job = self._accept(key, problem, solver, priority, trace_id)
             cell.jobs.append(job)
             self._counters["coalesced"] += 1
             if priority > cell.priority and cell.state is JobState.QUEUED:
@@ -379,9 +470,8 @@ class SolveService:
                 job.mark_running(cell.jobs[0].started_at)
             return job
 
-        payload = self.cache.get(key)
-        if payload is not None and payload.get("status") in ("ok", "infeasible"):
-            job = self._accept(key, problem, solver, priority)
+        if cache_hit:
+            job = self._accept(key, problem, solver, priority, trace_id)
             outcome = JobOutcome.from_cache_payload(payload)
             job.resolve(outcome, source="cache")
             self._counters["cache_hits"] += 1
@@ -399,7 +489,7 @@ class SolveService:
                 retry_after=self._retry_after_hint(),
             )
 
-        job = self._accept(key, problem, solver, priority)
+        job = self._accept(key, problem, solver, priority, trace_id)
         cell = _Cell(
             key=key,
             problem=problem,
@@ -407,6 +497,8 @@ class SolveService:
             priority=priority,
             seq=self._next_seq(),
             jobs=[job],
+            trace_id=trace_id,
+            parent_span_id=parent_id,
         )
         self._inflight[key] = cell
         self._push_cell(cell)
@@ -418,6 +510,7 @@ class SolveService:
         problem: ProblemInstance,
         solver: SolverSpec,
         priority: int,
+        trace_id: Optional[str] = None,
     ) -> JobRecord:
         """Create and retain the job record for an *admitted* submission
         (everything after this point completes, one way or another)."""
@@ -427,6 +520,7 @@ class SolveService:
             priority=priority,
             problem=problem,
             solver=solver,
+            trace_id=trace_id,
         )
         self._remember(job)
         self._counters["submitted"] += 1
@@ -442,11 +536,17 @@ class SolveService:
         )
 
     def _retry_after_hint(self) -> float:
-        """Estimate (seconds) until queue capacity frees up: observed
-        mean solve time x queued cells / concurrency, floored at 0.1s
-        (1.0s mean is assumed before any cell has been solved)."""
-        solved = self._counters["solved"]
-        mean = (self._solve_time_total / solved) if solved else 1.0
+        """Estimate (seconds) until queue capacity frees up: *recent*
+        solve time (EWMA, alpha=0.25) x queued cells / concurrency,
+        floored at 0.1s (1.0s is assumed before any cell has been
+        solved).  The sliding estimate tracks workload shifts — one
+        early batch of hour-long solves no longer poisons the hint for
+        the rest of the process lifetime the way a lifetime mean did."""
+        mean = (
+            self._solve_time_recent
+            if self._solve_time_recent is not None
+            else 1.0
+        )
         depth = max(1, self.queue_depth)
         return max(0.1, round(mean * depth / self.concurrency, 2))
 
@@ -507,8 +607,24 @@ class SolveService:
             await asyncio.sleep(0.005)
         return job
 
+    @property
+    def jobs_in_flight(self) -> int:
+        """Retained jobs not yet in a terminal state (queued or
+        running, coalesced riders included)."""
+        return sum(
+            1 for job in self._jobs.values() if not job.state.finished
+        )
+
     def metrics(self) -> Dict[str, Any]:
-        """Counters and gauges for ``GET /v1/metrics``."""
+        """Counters and gauges for ``GET /v1/metrics``.
+
+        The shape is additive-only across releases: existing keys keep
+        their meaning, new telemetry lands under new keys
+        (``jobs_in_flight``, ``histograms``, ``solver.solve_time_recent_s``).
+        The Prometheus text of ``GET /metrics`` is rendered from this
+        very payload (:func:`repro.obs.export.to_prometheus`), so the
+        two views cannot drift apart.
+        """
         return {
             "version": __version__,
             "shard": self.shard,
@@ -523,13 +639,18 @@ class SolveService:
             "transport": self.transport,
             "engine": self.engine,
             "jobs": dict(self._counters),
+            "jobs_in_flight": self.jobs_in_flight,
             "solver": {
                 "evaluations": self._evaluations_total,
                 "solve_time_s": self._solve_time_total,
+                "solve_time_recent_s": self._solve_time_recent,
             },
             "cache": {"entries": len(self.cache)}
             if hasattr(self.cache, "__len__")
             else {},
+            "histograms": self.metrics_registry.to_dict(
+                kinds=("histogram",)
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -599,13 +720,43 @@ class SolveService:
             if cell is None:
                 return
             now = time.time()
+            queue_wait = time.monotonic() - cell.submitted_mono
+            self._h_queue_wait.observe(queue_wait)
+            if cell.trace_id is not None:
+                obs_spans.record_span(
+                    "daemon.queue_wait",
+                    start=now - queue_wait,
+                    duration=queue_wait,
+                    trace_id=cell.trace_id,
+                    parent_id=cell.parent_span_id,
+                )
             for job in cell.jobs:
                 job.mark_running(now)
+            # Pre-allocate the dispatch span id so executor-side spans
+            # can parent onto it before the span itself is recorded.
+            dispatch_id = (
+                obs_spans.new_span_id()
+                if cell.trace_id is not None
+                else None
+            )
             t0 = time.perf_counter()
             try:
-                item = await loop.run_in_executor(
-                    self._executor, self._runner, cell.problem, cell.solver
-                )
+                if dispatch_id is not None and self._runner_takes_trace:
+                    runner = functools.partial(
+                        self._runner,
+                        cell.problem,
+                        cell.solver,
+                        trace_id=cell.trace_id,
+                        parent_id=dispatch_id,
+                    )
+                    item = await loop.run_in_executor(self._executor, runner)
+                else:
+                    item = await loop.run_in_executor(
+                        self._executor,
+                        self._runner,
+                        cell.problem,
+                        cell.solver,
+                    )
                 outcome = JobOutcome.from_batch_item(item)
             except Exception as exc:  # contained: one bad cell, one error
                 outcome = JobOutcome(
@@ -613,25 +764,81 @@ class SolveService:
                     wall_time=time.perf_counter() - t0,
                     error=f"{type(exc).__name__}: {exc}",
                 )
+            if dispatch_id is not None:
+                obs_spans.record_span(
+                    "daemon.pool_dispatch",
+                    start=now,
+                    duration=time.perf_counter() - t0,
+                    trace_id=cell.trace_id,
+                    parent_id=cell.parent_span_id,
+                    span_id=dispatch_id,
+                    executor=type(self._executor).__name__,
+                    status=outcome.status,
+                )
             self._finish_cell(cell, outcome)
 
     def _finish_cell(self, cell: _Cell, outcome: JobOutcome) -> None:
         cell.state = JobState.DONE
         self._running_cells -= 1
         self._inflight.pop(cell.key, None)
+        if outcome.spans:
+            # Solver-phase spans recorded in the executor process ride
+            # back on the outcome; fold them into this daemon's ring so
+            # GET /v1/traces/{id} serves the whole tree.
+            obs_spans.recorder().ingest(outcome.spans)
         if outcome.status in ("ok", "infeasible"):
             # Deterministic outcomes persist; transient errors do not,
             # so a resubmission after a crash re-solves the cell.
+            write_wall = time.time()
+            write_t0 = time.perf_counter()
             self.cache.put(cell.key, self._cache_record(cell, outcome))
+            if cell.trace_id is not None:
+                obs_spans.record_span(
+                    "daemon.cache_write",
+                    start=write_wall,
+                    duration=time.perf_counter() - write_t0,
+                    trace_id=cell.trace_id,
+                    parent_id=cell.parent_span_id,
+                )
         self._counters["solved"] += 1
         self._solve_time_total += outcome.wall_time
+        self._h_solve_wall.observe(outcome.wall_time)
+        alpha = 0.25
+        self._solve_time_recent = (
+            outcome.wall_time
+            if self._solve_time_recent is None
+            else alpha * outcome.wall_time
+            + (1.0 - alpha) * self._solve_time_recent
+        )
         if outcome.telemetry is not None:
             self._evaluations_total += outcome.telemetry.evaluations
+            self._h_evaluations.observe(outcome.telemetry.evaluations)
         for i, job in enumerate(cell.jobs):
             if job.state.finished:
                 continue
             job.resolve(outcome, source="solved" if i == 0 else "coalesced")
             self._count_completion(outcome)
+        if (
+            self.slow_solve_threshold is not None
+            and outcome.wall_time > self.slow_solve_threshold
+        ):
+            self._log_slow_solve(cell, outcome)
+
+    def _log_slow_solve(self, cell: _Cell, outcome: JobOutcome) -> None:
+        """Dump a slow cell's span tree to stderr (operator surface)."""
+        from ..obs.render import format_span_tree
+
+        header = (
+            f"[slow-solve] cell {cell.key[:12]} wall={outcome.wall_time:.3f}s"
+            f" threshold={self.slow_solve_threshold:g}s"
+            f" status={outcome.status} trace={cell.trace_id or '-'}"
+        )
+        lines = [header]
+        if cell.trace_id is not None:
+            spans = obs_spans.recorder().spans_for(cell.trace_id)
+            if spans:
+                lines.append(format_span_tree(spans))
+        print("\n".join(lines), file=sys.stderr, flush=True)
 
     def _count_completion(self, outcome: JobOutcome) -> None:
         self._counters["completed"] += 1

@@ -48,14 +48,15 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms.heuristics import local_search as _local_search
 from ..core.exceptions import InfeasibleProblemError
 from ..core.objectives import Thresholds
 from ..core.problem import ProblemInstance, Solution
 from ..core.types import Criterion
+from ..obs import spans as _spans
 from ..strategies import (
     BudgetMeter,
     SolveBudget,
@@ -167,6 +168,11 @@ class BatchItem:
     seconds, measured in the worker that ran it.  ``telemetry`` carries
     the structured :class:`~repro.strategies.SolveTelemetry` record
     (strategy spec, budget consumption, per-member portfolio outcomes).
+    ``spans`` carries the solve's trace spans (plain dicts, see
+    :mod:`repro.obs.spans`) when the batch ran under an active trace —
+    recorded in the worker process and shipped back on the item so the
+    submitting process (e.g. the daemon) can ingest them into its own
+    ring buffer; empty when untraced.
     """
 
     index: int
@@ -175,6 +181,7 @@ class BatchItem:
     solution: Optional[Solution] = None
     error: Optional[str] = None
     telemetry: Optional[SolveTelemetry] = None
+    spans: Tuple[Dict[str, Any], ...] = ()
 
     @property
     def objective(self) -> float:
@@ -242,6 +249,11 @@ def _init_worker(config: Dict[str, object]) -> None:
     first solve never pays the compile latency."""
     _WORKER_CONFIG.clear()
     _WORKER_CONFIG.update(config)
+    trace = config.get("trace")
+    if trace is not None:
+        # The whole worker lifetime belongs to this batch's trace; spans
+        # recorded here are drained back to the parent on each item.
+        _spans.set_ambient_trace(trace[0], trace[1])
     engine = config.get("engine")
     if engine is not None:
         _local_search.DEFAULT_ENGINE = _local_search._resolve_engine(engine)
@@ -289,38 +301,50 @@ def _solve_job(
 ) -> BatchItem:
     """Solve one indexed instance, catching failures into the item's
     status instead of crashing the pool."""
+    trace_id = _spans.current_trace_id()
     if strategy is not None:
         t0 = time.perf_counter()
-        result = parse_strategy(strategy).run(
-            problem, objective, thresholds=thresholds, budget=budget
-        )
+        with _spans.span(
+            "solve.run", strategy=str(strategy), index=index
+        ) as solve_span:
+            result = parse_strategy(strategy).run(
+                problem, objective, thresholds=thresholds, budget=budget
+            )
+        telemetry = result.telemetry
+        if solve_span.span_id is not None and telemetry is not None:
+            telemetry = replace(
+                telemetry, trace_id=trace_id, span_id=solve_span.span_id
+            )
         return BatchItem(
             index=index,
             status=result.status,
             wall_time=time.perf_counter() - t0,
             solution=result.solution,
             error=result.telemetry.error,
-            telemetry=result.telemetry,
+            telemetry=telemetry,
+            spans=_take_trace_spans(trace_id),
         )
     meter = BudgetMeter(budget)
     t0 = time.perf_counter()
     solution: Optional[Solution] = None
     status = "ok"
     error: Optional[str] = None
-    try:
-        # The meter is threaded into the solver loops only when a budget
-        # was requested, keeping the legacy hot path overhead-free.
-        solution = solve_via_method(
-            problem,
-            objective,
-            method,
-            thresholds,
-            meter if budget is not None else None,
-        )
-    except InfeasibleProblemError as exc:
-        status, error = "infeasible", str(exc)
-    except Exception as exc:  # contained: one bad instance, one error item
-        status, error = "error", f"{type(exc).__name__}: {exc}"
+    with _spans.span("solve.run", method=method, index=index) as solve_span:
+        try:
+            # The meter is threaded into the solver loops only when a
+            # budget was requested, keeping the legacy hot path
+            # overhead-free.
+            solution = solve_via_method(
+                problem,
+                objective,
+                method,
+                thresholds,
+                meter if budget is not None else None,
+            )
+        except InfeasibleProblemError as exc:
+            status, error = "infeasible", str(exc)
+        except Exception as exc:  # contained: one bad instance, one error
+            status, error = "error", f"{type(exc).__name__}: {exc}"
     wall = time.perf_counter() - t0
     return BatchItem(
         index=index,
@@ -345,8 +369,24 @@ def _solve_job(
                     solution.values.energy,
                 )
             ),
+            trace_id=trace_id,
+            span_id=solve_span.span_id,
         ),
+        spans=_take_trace_spans(trace_id),
     )
+
+
+def _take_trace_spans(
+    trace_id: Optional[str],
+) -> Tuple[Dict[str, Any], ...]:
+    """Drain this process's spans for ``trace_id`` onto a result item.
+
+    The spans ride back to the submitting process attached to the
+    :class:`BatchItem` (surviving the pool pickle boundary) instead of
+    staying stranded in a worker's ring buffer."""
+    if not trace_id:
+        return ()
+    return tuple(_spans.recorder().take(trace_id))
 
 
 def _auto_chunksize(n_jobs: int, workers: int) -> int:
@@ -444,6 +484,7 @@ def solve_batch(
         effective_transport = "inline"
     else:
         effective_transport = resolve_transport(transport, problems, shared)
+        active_trace = _spans.current_trace_id()
         config: Dict[str, object] = {
             "objective": objective,
             "method": method,
@@ -452,6 +493,13 @@ def solve_batch(
             "budget": budget,
             "problem": shared,
             "engine": engine,
+            # Trace context crosses the pool inside the per-worker
+            # config; workers re-establish it in the initializer.
+            "trace": (
+                None
+                if active_trace is None
+                else (active_trace, _spans.current_parent_id())
+            ),
         }
         shm_batch = None
         if effective_transport == "shm":

@@ -76,8 +76,13 @@ def _pool_worker(task_q, result_q, config: Dict[str, Any], shm_name) -> None:
     index back to the parent."""
     # Lazy import: batch.py imports this module at the top level; the
     # worker only runs post-fork, when both modules are fully loaded.
+    from ..obs.spans import recorder as _span_recorder
     from .batch import _init_worker, _solve_indexed, _solve_job
 
+    # Label this process's spans so a merged trace shows which pool
+    # worker ran each solve (the trace context itself is installed by
+    # ``_init_worker`` from ``config["trace"]``).
+    _span_recorder().configure(proc="pool-%d" % os.getpid())
     _init_worker(config)
     crash_on = config.get("_crash_on_index")
     exit_after = config.get("_exit_after_index")

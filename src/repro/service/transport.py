@@ -40,6 +40,7 @@ import numpy as np
 
 from ..core.problem import ProblemInstance
 from ..io import problem_from_arrays, problem_to_arrays
+from ..obs.spans import span as _obs_span
 
 __all__ = [
     "SHM_AUTO_MIN_BYTES",
@@ -186,6 +187,16 @@ class ShmBatch:
         when the platform cannot allocate (callers on the ``"auto"``
         path degrade to pickle).
         """
+        with _obs_span(
+            "transport.shm_pack", instances=len(problems)
+        ) as pack_span:
+            batch = cls._pack(problems)
+            if pack_span.span_id is not None:
+                pack_span.attrs["nbytes"] = batch.nbytes
+            return batch
+
+    @classmethod
+    def _pack(cls, problems: Sequence[ProblemInstance]) -> "ShmBatch":
         from multiprocessing import shared_memory
 
         encoded: List[Tuple[Dict[str, Any], List[np.ndarray]]] = [

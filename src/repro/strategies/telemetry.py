@@ -48,6 +48,12 @@ class SolveTelemetry:
         produced a solution.  This is what lets every feasible *member*
         of a portfolio contribute its achieved point to a Pareto-front
         merge, not just the race winner.
+    trace_id / span_id:
+        Observability correlation ids (:mod:`repro.obs.spans`): the
+        trace this solve ran under and the span covering the solve
+        itself, when the solve was traced (``None`` otherwise).  They
+        let a cached record point back at the phase breakdown served by
+        ``GET /v1/traces/{trace_id}``.
     """
 
     strategy: str
@@ -59,6 +65,8 @@ class SolveTelemetry:
     error: Optional[str] = None
     members: Tuple["SolveTelemetry", ...] = field(default_factory=tuple)
     values: Optional[Tuple[float, float, float]] = None
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +90,10 @@ class SolveTelemetry:
             out["members"] = [m.to_dict() for m in self.members]
         if self.values is not None:
             out["values"] = list(self.values)
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
         return out
 
     @classmethod
@@ -107,4 +119,6 @@ class SolveTelemetry:
                 if payload.get("values") is None
                 else tuple(float(v) for v in payload["values"])
             ),
+            trace_id=payload.get("trace_id"),
+            span_id=payload.get("span_id"),
         )

@@ -39,8 +39,9 @@ def fleet():
 def canonical_solution(result):
     """Byte-comparable rendering of a result's solution payload.
 
-    Wall-clock diagnostics are dropped (``stats`` and the telemetry's
-    ``wall_time``); mapping, objective, optimality flag, every
+    Per-run diagnostics are dropped (``stats``, the telemetry's
+    ``wall_time`` and its trace correlation ids, which are unique per
+    submission by design); mapping, objective, optimality flag, every
     criterion value and the deterministic telemetry (strategy,
     evaluation count) must match to the byte.
     """
@@ -49,6 +50,8 @@ def canonical_solution(result):
     if isinstance(payload.get("telemetry"), dict):
         telemetry = dict(payload["telemetry"])
         telemetry.pop("wall_time", None)
+        telemetry.pop("trace_id", None)
+        telemetry.pop("span_id", None)
         payload["telemetry"] = telemetry
     return json.dumps(payload, sort_keys=True)
 

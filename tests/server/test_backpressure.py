@@ -41,6 +41,25 @@ def problem(seed=0):
     return small_random_problem(seed)
 
 
+def _cell_factory():
+    """Yields fresh (cell, outcome) pairs for driving ``_finish_cell``
+    directly; ``wall_time`` controls the recorded solve duration."""
+    from repro.server.jobs import JobOutcome
+    from repro.server.service import _Cell
+
+    counter = iter(range(10_000))
+
+    def make(wall_time):
+        n = next(counter)
+        cell = _Cell(
+            key=f"k{n}", problem=problem(n), solver=SPEC, priority=0, seq=n
+        )
+        outcome = JobOutcome(status="infeasible", wall_time=wall_time)
+        return cell, outcome
+
+    return make
+
+
 _REAL_ITEM = solve_cell(problem(0), SPEC)
 
 
@@ -150,12 +169,45 @@ class TestServiceShedding:
                 executor="thread", concurrency=2, max_queue_depth=4
             )
             # No solves observed yet: the hint falls back to the 1s
-            # mean assumption, scaled by depth/concurrency.
+            # assumption, scaled by depth/concurrency.
             assert service._retry_after_hint() > 0
-            service._counters["solved"] = 10
-            service._solve_time_total = 50.0  # 5s mean solve
+            service._solve_time_recent = 5.0  # recent solves take ~5s
             hint = service._retry_after_hint()
-            assert hint >= 2.0  # >= mean/concurrency with depth >= 1
+            assert hint >= 2.0  # >= recent/concurrency with depth >= 1
+            await service.shutdown()
+
+        run(scenario())
+
+    def test_retry_after_tracks_recent_solves_not_lifetime_mean(self):
+        """Regression: the hint must follow the *current* workload.
+
+        With a lifetime mean, one early batch of slow solves poisons the
+        Retry-After estimate forever.  The EWMA forgets: after a run of
+        fast solves the hint must be near the fast regime even though
+        the lifetime mean is still dominated by the slow prefix.
+        """
+
+        async def scenario():
+            service = SolveService(
+                executor="thread", concurrency=1, max_queue_depth=4
+            )
+            make = _cell_factory()
+            # Slow prefix: 10 solves at 60s each.
+            for _ in range(10):
+                cell, outcome = make(wall_time=60.0)
+                service._running_cells += 1
+                service._finish_cell(cell, outcome)
+            # Fast regime: 30 solves at 0.1s each.
+            for _ in range(30):
+                cell, outcome = make(wall_time=0.1)
+                service._running_cells += 1
+                service._finish_cell(cell, outcome)
+            lifetime_mean = (
+                service._solve_time_total / service._counters["solved"]
+            )
+            assert lifetime_mean > 10.0  # slow prefix still dominates
+            hint = service._retry_after_hint()
+            assert hint < 1.0  # ...but the hint follows the fast regime
             await service.shutdown()
 
         run(scenario())

@@ -1,0 +1,140 @@
+"""Metrics under concurrency: hammer a daemon while scraping.
+
+Satellite bar from the ISSUE: hammer the daemon from N threads while
+scraping metrics concurrently, then assert the counter identities hold
+— every submission attempt is accounted for
+(``attempts == submitted + shed``, ``submitted == completed +
+cancelled + in-flight``) and the histograms sum to the counters.
+
+The daemon mutates every counter on its event-loop thread and builds
+the ``/v1/metrics`` payload there too, so *each scrape* must already
+satisfy the in-flight identity — not just the final drained state.
+"""
+
+import threading
+import time
+import urllib.request
+
+from repro.client import ClientError, SolveClient
+from repro.generators import small_random_problem
+from repro.obs.export import parse_prometheus
+from repro.server import ServerThread
+
+N_THREADS = 8
+PER_THREAD = 6
+
+
+def _assert_snapshot_identity(metrics):
+    jobs = metrics["jobs"]
+    assert jobs["submitted"] == (
+        jobs["completed"] + jobs["cancelled"] + metrics["jobs_in_flight"]
+    ), metrics
+
+
+def test_hammered_daemon_keeps_its_books(tmp_path):
+    with ServerThread(
+        executor="thread",
+        concurrency=1,
+        max_queue_depth=2,
+        cache=tmp_path / "cache",
+    ) as srv:
+        counts = {"ok": 0, "shed": 0}
+        lock = threading.Lock()
+        failures = []
+        stop_scraping = threading.Event()
+
+        def hammer(worker_id):
+            client = SolveClient(srv.url, timeout=30.0, retries=0)
+            for i in range(PER_THREAD):
+                problem = small_random_problem(1000 + worker_id * 100 + i)
+                try:
+                    client.submit(problem)
+                except ClientError as exc:
+                    if "429" in str(exc):
+                        with lock:
+                            counts["shed"] += 1
+                    else:  # pragma: no cover - would fail the test below
+                        failures.append(exc)
+                else:
+                    with lock:
+                        counts["ok"] += 1
+
+        def scrape():
+            client = SolveClient(srv.url, timeout=30.0)
+            while not stop_scraping.is_set():
+                try:
+                    _assert_snapshot_identity(client.metrics())
+                    with urllib.request.urlopen(
+                        srv.url + "/metrics", timeout=10
+                    ) as resp:
+                        families = parse_prometheus(resp.read().decode())
+                    assert "repro_jobs_submitted_total" in families
+                except AssertionError as exc:  # pragma: no cover
+                    failures.append(exc)
+                    return
+                except (ClientError, OSError):
+                    pass  # transient scrape failure: keep hammering
+                time.sleep(0.001)
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        workers = [
+            threading.Thread(target=hammer, args=(w,))
+            for w in range(N_THREADS)
+        ]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+
+        # Drain: every accepted job reaches a terminal state.
+        client = SolveClient(srv.url, timeout=30.0)
+        deadline = time.monotonic() + 60
+        while client.metrics()["jobs_in_flight"] > 0:
+            assert time.monotonic() < deadline, "daemon did not drain"
+            time.sleep(0.02)
+        stop_scraping.set()
+        scraper.join()
+        assert not failures, failures
+
+        metrics = client.metrics()
+        jobs = metrics["jobs"]
+
+        # Every HTTP attempt the clients made is in exactly one bucket.
+        attempts = N_THREADS * PER_THREAD
+        assert counts["ok"] + counts["shed"] == attempts
+        assert jobs["submitted"] == counts["ok"]
+        assert jobs["shed"] == counts["shed"] == metrics["queue"]["shed"]
+        assert jobs["shed"] > 0, (
+            "depth-2 queue at concurrency 1 must shed under 8 hammers"
+        )
+
+        # Terminal accounting: nothing in flight, nothing lost.
+        assert jobs["submitted"] == jobs["completed"] + jobs["cancelled"]
+        assert jobs["cancelled"] == 0
+        # Unique problems: no dedup paths taken.
+        assert jobs["coalesced"] == 0 and jobs["cache_hits"] == 0
+        assert jobs["solved"] == jobs["completed"]
+
+        # Histograms sum to the counters they sample.
+        hist = metrics["histograms"]
+        assert hist["solve_wall_seconds"]["count"] == jobs["solved"]
+        assert hist["queue_wait_seconds"]["count"] == jobs["solved"]
+        # The dedup/cache probe runs for every attempt, shed included.
+        assert hist["cache_lookup_seconds"]["count"] == attempts
+        assert hist["evaluations_per_job"]["count"] == jobs["solved"]
+
+        # The Prometheus text is rendered from this same payload: the
+        # bucket counts must agree exactly.
+        with urllib.request.urlopen(srv.url + "/metrics", timeout=10) as resp:
+            families = parse_prometheus(resp.read().decode())
+        ((_, prom_count),) = families["repro_solve_wall_seconds_count"]
+        assert prom_count == float(hist["solve_wall_seconds"]["count"])
+        inf_bucket = [
+            value
+            for labels, value in families["repro_solve_wall_seconds_bucket"]
+            if labels["le"] == "+Inf"
+        ]
+        assert inf_bucket == [float(hist["solve_wall_seconds"]["count"])]
+        ((_, submitted),) = families["repro_jobs_submitted_total"]
+        assert submitted == float(jobs["submitted"])
